@@ -1,0 +1,95 @@
+// Regenerates the paper's Table 3: top-5 outliers among a star author's
+// coauthors under NetOut vs PathSim vs CosSim (query
+// Sc = Sr = author{star}.paper.author, P = (A P V)), on the synthetic
+// stand-in for the ArnetMiner network.
+//
+// The published shape: NetOut's top outliers are semantically deviating
+// authors with a wide range of visibilities (30..300 papers for the
+// authors in the paper), while every PathSim/CosSim top-5 author has
+// fewer than 2-3 papers. The LOF baseline (Section 8) is included for
+// completeness.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "metapath/traversal.h"
+#include "query/engine.h"
+
+namespace {
+
+using namespace netout;
+using bench::Unwrap;
+
+int PaperCount(PathCounter* counter, const Hin& hin,
+               const std::string& author) {
+  const MetaPath ap = Unwrap(MetaPath::Parse(hin.schema(), "author.paper"),
+                             "parse author.paper");
+  const VertexRef v = Unwrap(hin.FindVertex("author", author), "author");
+  return static_cast<int>(
+      Unwrap(counter->NeighborVector(v, ap), "phi").nnz());
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Table 3: measure comparison on Sc=Sr=star coauthors, P=(APV)");
+  BiblioConfig config = bench::BenchBiblioConfig();
+  const BiblioDataset dataset =
+      Unwrap(GenerateBiblio(config), "GenerateBiblio");
+  Engine engine(dataset.hin);
+  PathCounter counter(dataset.hin);
+
+  const std::string anchor = dataset.star_names[0];
+  std::printf("anchor author: %s (%d papers)\n\n", anchor.c_str(),
+              PaperCount(&counter, *dataset.hin, anchor));
+
+  struct MeasureRun {
+    const char* name;
+    std::vector<OutlierEntry> top;
+  };
+  std::vector<MeasureRun> runs;
+  for (const char* measure : {"netout", "pathsim", "cossim", "lof"}) {
+    const std::string query = "FIND OUTLIERS FROM author{\"" + anchor +
+                              "\"}.paper.author JUDGED BY "
+                              "author.paper.venue USING MEASURE " +
+                              measure + " TOP 5;";
+    const QueryResult result = Unwrap(engine.Execute(query), measure);
+    runs.push_back(MeasureRun{measure, result.outliers});
+  }
+
+  for (const MeasureRun& run : runs) {
+    std::printf("-- %s --\n", run.name);
+    std::printf("   %-4s %-18s %12s %8s\n", "rank", "name", "score",
+                "#papers");
+    for (std::size_t i = 0; i < run.top.size(); ++i) {
+      std::printf("   %-4zu %-18s %12.4f %8d\n", i + 1,
+                  run.top[i].name.c_str(), run.top[i].score,
+                  PaperCount(&counter, *dataset.hin, run.top[i].name));
+    }
+  }
+
+  // Shape check (the paper's claim): the mean paper count of NetOut's
+  // top-5 is much larger than PathSim's / CosSim's.
+  auto mean_papers = [&](const MeasureRun& run) {
+    double total = 0.0;
+    for (const OutlierEntry& entry : run.top) {
+      total += PaperCount(&counter, *dataset.hin, entry.name);
+    }
+    return run.top.empty() ? 0.0 : total / run.top.size();
+  };
+  const double netout_mean = mean_papers(runs[0]);
+  const double pathsim_mean = mean_papers(runs[1]);
+  const double cossim_mean = mean_papers(runs[2]);
+  std::printf(
+      "\nmean #papers of top-5: NetOut %.1f, PathSim %.1f, CosSim %.1f\n",
+      netout_mean, pathsim_mean, cossim_mean);
+  std::printf("shape %s: NetOut avoids the low-visibility bias "
+              "(paper: PathSim/CosSim top-5 all have <2 papers)\n",
+              (netout_mean > pathsim_mean && netout_mean > cossim_mean)
+                  ? "HOLDS"
+                  : "VIOLATED");
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Regenerates the paper's Table 5 case studies on the synthetic network:
+//   query 1: outliers among a star's coauthors judged by venues;
+//   query 2: the same candidates judged by coauthors (the paper observed
+//            substantially different results with a single overlap);
+//   query 3: outliers among a venue's authors judged by venues.
+// Because the substitute network has planted ground truth, we addition-
+// ally report precision@10 against the planted cross-community authors.
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "query/engine.h"
+
+namespace {
+
+using namespace netout;
+using bench::Unwrap;
+
+void PrintTop(const char* title, const QueryResult& result) {
+  std::printf("-- %s --\n", title);
+  std::printf("   %-4s %-18s %12s\n", "rank", "name", "NetOut");
+  for (std::size_t i = 0; i < result.outliers.size(); ++i) {
+    std::printf("   %-4zu %-18s %12.4f\n", i + 1,
+                result.outliers[i].name.c_str(), result.outliers[i].score);
+  }
+}
+
+int CountPrefix(const QueryResult& result, const char* prefix) {
+  int count = 0;
+  for (const OutlierEntry& entry : result.outliers) {
+    if (entry.name.rfind(prefix, 0) == 0) ++count;
+  }
+  return count;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Table 5: NetOut case studies");
+  BiblioConfig config = bench::BenchBiblioConfig();
+  // Ground-truth precision needs candidate sets confined to communities
+  // (see DESIGN.md): cross-area coauthors are real outliers that would
+  // otherwise share the top ranks with the planted ones. A denser
+  // planting (6 of each kind per area) mirrors the paper's setting where
+  // the top-10 is dominated by genuinely deviating authors.
+  config.cross_area_coauthor_prob = 0.0;
+  config.planted_outliers_per_area = 6;
+  config.coauthor_outliers_per_area = 6;
+  const BiblioDataset dataset =
+      Unwrap(GenerateBiblio(config), "GenerateBiblio");
+  Engine engine(dataset.hin);
+  const std::string star = dataset.star_names[0];
+
+  // Query 1: coauthors judged by venues.
+  const QueryResult by_venue = Unwrap(
+      engine.Execute("FIND OUTLIERS FROM author{\"" + star +
+                     "\"}.paper.author JUDGED BY author.paper.venue "
+                     "TOP 10;"),
+      "query 1");
+  PrintTop(("Sc = Sr = " + star + ".paper.author, P = author.paper.venue")
+               .c_str(),
+           by_venue);
+  std::printf(
+      "   planted venue outliers in top-10: %d; planted coauthor "
+      "outliers: %d\n\n",
+      CountPrefix(by_venue, "outlier_"),
+      CountPrefix(by_venue, "oddcollab_"));
+
+  // Query 2: the same candidates judged by coauthors.
+  const QueryResult by_coauthor = Unwrap(
+      engine.Execute("FIND OUTLIERS FROM author{\"" + star +
+                     "\"}.paper.author JUDGED BY author.paper.author "
+                     "TOP 10;"),
+      "query 2");
+  PrintTop(("Sc = Sr = " + star + ".paper.author, P = author.paper.author")
+               .c_str(),
+           by_coauthor);
+  std::printf(
+      "   planted venue outliers in top-10: %d; planted coauthor "
+      "outliers: %d\n",
+      CountPrefix(by_coauthor, "outlier_"),
+      CountPrefix(by_coauthor, "oddcollab_"));
+
+  std::set<std::string> venue_names, coauthor_names;
+  for (const auto& e : by_venue.outliers) venue_names.insert(e.name);
+  for (const auto& e : by_coauthor.outliers) coauthor_names.insert(e.name);
+  std::vector<std::string> overlap;
+  std::set_intersection(venue_names.begin(), venue_names.end(),
+                        coauthor_names.begin(), coauthor_names.end(),
+                        std::back_inserter(overlap));
+  std::printf(
+      "   overlap between query 1 and query 2 top-10: %zu author(s)\n"
+      "   (paper observed exactly one overlapping author — different\n"
+      "    judgment criteria give substantially different outliers)\n\n",
+      overlap.size());
+
+  // Query 3: a venue's authors judged by their venues.
+  const std::string venue = "venue_0_0";
+  const QueryResult venue_authors = Unwrap(
+      engine.Execute("FIND OUTLIERS FROM venue{\"" + venue +
+                     "\"}.paper.author JUDGED BY author.paper.venue "
+                     "TOP 10;"),
+      "query 3");
+  PrintTop(("Sc = Sr = venue{" + venue + "}.paper.author, "
+            "P = author.paper.venue")
+               .c_str(),
+           venue_authors);
+  std::printf("   candidates: %zu authors of %s\n",
+              venue_authors.stats.candidate_count, venue.c_str());
+  return 0;
+}

@@ -1,0 +1,62 @@
+#ifndef NETOUT_BENCH_BENCH_UTIL_H_
+#define NETOUT_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "datagen/biblio_gen.h"
+
+namespace netout::bench {
+
+/// Global scale knob for the efficiency benches: NETOUT_BENCH_SCALE=4
+/// quadruples workload sizes (query counts, graph size). Default 1.0
+/// keeps every bench comfortably inside CI time budgets while preserving
+/// the paper's relative shapes.
+inline double BenchScale() {
+  const char* env = std::getenv("NETOUT_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  const double value = std::atof(env);
+  return value > 0.0 ? value : 1.0;
+}
+
+/// The shared synthetic stand-in for the ArnetMiner network (see
+/// DESIGN.md §2), sized by BenchScale().
+inline BiblioConfig BenchBiblioConfig() {
+  const double scale = BenchScale();
+  BiblioConfig config;
+  config.seed = 42;
+  config.num_areas = 8;
+  config.venues_per_area = 6;
+  config.terms_per_area = 80;
+  config.shared_terms = 150;
+  config.authors_per_area = static_cast<std::size_t>(250 * scale);
+  config.papers_per_area = static_cast<std::size_t>(900 * scale);
+  return config;
+}
+
+/// Dies with a message if a Status/Result is not OK.
+template <typename T>
+T Unwrap(netout::Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "FATAL %s: %s\n", what,
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+inline void Check(const netout::Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "FATAL %s: %s\n", what, status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+}  // namespace netout::bench
+
+#endif  // NETOUT_BENCH_BENCH_UTIL_H_

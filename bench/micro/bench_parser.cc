@@ -1,0 +1,63 @@
+// Query-frontend microbenchmarks: tokenize / parse / full prepare
+// (parse + semantic analysis) throughput — query compilation must be
+// negligible next to execution for the exploratory workloads the paper
+// targets.
+
+#include <benchmark/benchmark.h>
+
+#include "datagen/biblio_gen.h"
+#include "query/analyzer.h"
+#include "query/parser.h"
+#include "query/token.h"
+
+namespace {
+
+using namespace netout;
+
+constexpr const char* kSimpleQuery =
+    "FIND OUTLIERS FROM author{\"star_0\"}.paper.author "
+    "JUDGED BY author.paper.venue TOP 10;";
+
+constexpr const char* kComplexQuery =
+    "FIND OUTLIERS FROM venue{\"venue_0_0\"}.paper.author "
+    "UNION venue{\"venue_0_1\"}.paper.author AS A "
+    "WHERE COUNT(A.paper) >= 5 AND COUNT(A.paper.venue) > 1 "
+    "COMPARED TO author{\"star_0\"}.paper.author "
+    "JUDGED BY author.paper.venue : 2.0, author.paper.term "
+    "USING MEASURE netout COMBINE BY rank TOP 50;";
+
+void BM_Tokenize(benchmark::State& state) {
+  const char* query = state.range(0) == 0 ? kSimpleQuery : kComplexQuery;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Tokenize(query).value());
+  }
+}
+BENCHMARK(BM_Tokenize)->Arg(0)->Arg(1);
+
+void BM_Parse(benchmark::State& state) {
+  const char* query = state.range(0) == 0 ? kSimpleQuery : kComplexQuery;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ParseQuery(query).value());
+  }
+}
+BENCHMARK(BM_Parse)->Arg(0)->Arg(1);
+
+void BM_Prepare(benchmark::State& state) {
+  static const BiblioDataset* dataset = [] {
+    BiblioConfig config;
+    config.num_areas = 2;
+    config.authors_per_area = 40;
+    config.papers_per_area = 80;
+    return new BiblioDataset(GenerateBiblio(config).value());
+  }();
+  const char* query = state.range(0) == 0 ? kSimpleQuery : kComplexQuery;
+  for (auto _ : state) {
+    const QueryAst ast = ParseQuery(query).value();
+    benchmark::DoNotOptimize(AnalyzeQuery(*dataset->hin, ast).value());
+  }
+}
+BENCHMARK(BM_Prepare)->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

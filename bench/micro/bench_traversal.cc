@@ -1,0 +1,90 @@
+// Materialization-cost microbenchmarks: neighbor-vector computation by
+// raw traversal vs PM-index decomposition, across meta-path lengths —
+// the core trade-off behind Section 6.2 (materialization cost grows
+// exponentially with path length; indexed decomposition pays per-chunk).
+
+#include <benchmark/benchmark.h>
+
+#include "datagen/biblio_gen.h"
+#include "index/pm_index.h"
+#include "metapath/evaluator.h"
+
+namespace {
+
+using namespace netout;
+
+struct TraversalEnv {
+  BiblioDataset dataset;
+  std::unique_ptr<PmIndex> pm;
+  std::vector<MetaPath> paths;  // by hop count: 1, 2, 3, 4
+};
+
+const TraversalEnv& Env() {
+  static TraversalEnv* env = [] {
+    auto* out = new TraversalEnv();
+    BiblioConfig config;
+    config.num_areas = 6;
+    config.authors_per_area = 150;
+    config.papers_per_area = 500;
+    out->dataset = GenerateBiblio(config).value();
+    out->pm = PmIndex::Build(*out->dataset.hin).value();
+    const Schema& schema = out->dataset.hin->schema();
+    for (const char* text :
+         {"author.paper", "author.paper.venue", "author.paper.venue.paper",
+          "author.paper.venue.paper.author"}) {
+      out->paths.push_back(MetaPath::Parse(schema, text).value());
+    }
+    return out;
+  }();
+  return *env;
+}
+
+void BM_TraversalByPathLength(benchmark::State& state) {
+  const TraversalEnv& env = Env();
+  const MetaPath& path = env.paths[static_cast<std::size_t>(state.range(0)) - 1];
+  NeighborVectorEvaluator evaluator(env.dataset.hin, nullptr);
+  LocalId v = 0;
+  const LocalId n = static_cast<LocalId>(
+      env.dataset.hin->NumVertices(env.dataset.author_type));
+  for (auto _ : state) {
+    auto vec = evaluator
+                   .Evaluate(VertexRef{env.dataset.author_type, v}, path,
+                             nullptr)
+                   .value();
+    benchmark::DoNotOptimize(vec);
+    v = (v + 1) % n;
+  }
+}
+BENCHMARK(BM_TraversalByPathLength)->DenseRange(1, 4);
+
+void BM_IndexedByPathLength(benchmark::State& state) {
+  const TraversalEnv& env = Env();
+  const MetaPath& path = env.paths[static_cast<std::size_t>(state.range(0)) - 1];
+  NeighborVectorEvaluator evaluator(env.dataset.hin, env.pm.get());
+  LocalId v = 0;
+  const LocalId n = static_cast<LocalId>(
+      env.dataset.hin->NumVertices(env.dataset.author_type));
+  for (auto _ : state) {
+    auto vec = evaluator
+                   .Evaluate(VertexRef{env.dataset.author_type, v}, path,
+                             nullptr)
+                   .value();
+    benchmark::DoNotOptimize(vec);
+    v = (v + 1) % n;
+  }
+}
+BENCHMARK(BM_IndexedByPathLength)->DenseRange(1, 4);
+
+void BM_RelationMatrixMaterialize(benchmark::State& state) {
+  const TraversalEnv& env = Env();
+  for (auto _ : state) {
+    auto matrix =
+        RelationMatrix::Materialize(*env.dataset.hin, env.paths[1]).value();
+    benchmark::DoNotOptimize(matrix);
+  }
+}
+BENCHMARK(BM_RelationMatrixMaterialize);
+
+}  // namespace
+
+BENCHMARK_MAIN();

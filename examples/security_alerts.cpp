@@ -1,0 +1,85 @@
+// Second application domain: query-based outlier detection over an
+// intrusion-alert HIN (hosts, alerts, signatures, users). Shows that the
+// framework is schema-agnostic: the same query language and NetOut
+// measure, a completely different network.
+//
+//   ./build/examples/security_alerts
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "datagen/security_gen.h"
+#include "graph/stats.h"
+#include "query/engine.h"
+
+int main() {
+  using namespace netout;
+
+  auto dataset_result = GenerateSecurity(SecurityConfig{});
+  if (!dataset_result.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n",
+                 dataset_result.status().ToString().c_str());
+    return EXIT_FAILURE;
+  }
+  const SecurityDataset dataset = std::move(dataset_result).value();
+  std::printf("synthetic intrusion-alert network:\n%s\n",
+              ComputeGraphStats(*dataset.hin).ToString().c_str());
+  std::printf("planted compromised hosts:");
+  for (const std::string& name : dataset.compromised_names) {
+    std::printf(" %s", name.c_str());
+  }
+  std::printf("\n");
+
+  Engine engine(dataset.hin);
+
+  // For every subnet: hosts reachable from the gateway through shared
+  // users, judged by the signatures their alerts match. A compromised
+  // host raises alerts against signatures foreign to the subnet profile.
+  int found = 0;
+  for (std::size_t subnet = 0; subnet < dataset.gateway_names.size();
+       ++subnet) {
+    const std::string query =
+        "FIND OUTLIERS FROM host{\"" + dataset.gateway_names[subnet] +
+        "\"}.user.host JUDGED BY host.alert.signature TOP 3;";
+    auto result = engine.Execute(query);
+    if (!result.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   result.status().ToString().c_str());
+      return EXIT_FAILURE;
+    }
+    std::printf("\nsubnet %zu (%zu hosts screened):\n", subnet,
+                result->stats.candidate_count);
+    for (const OutlierEntry& entry : result->outliers) {
+      bool is_planted = false;
+      for (const std::string& name : dataset.compromised_names) {
+        is_planted |= (name == entry.name);
+      }
+      if (is_planted) ++found;
+      std::printf("  %-12s NetOut=%8.3f %s\n", entry.name.c_str(),
+                  entry.score, is_planted ? "<-- planted compromise" : "");
+    }
+  }
+  std::printf("\nplanted compromises surfaced in top-3 lists: %d/%zu\n",
+              found, dataset.compromised_names.size());
+
+  // A cross-subnet investigation: suspicious subnet-0 hosts relative to
+  // subnet-1's baseline behavior, weighting signatures over users.
+  const std::string cross_query =
+      "FIND OUTLIERS FROM host{\"" + dataset.gateway_names[0] +
+      "\"}.user.host COMPARED TO host{\"" + dataset.gateway_names[1] +
+      "\"}.user.host JUDGED BY host.alert.signature : 2.0, host.user "
+      "TOP 5;";
+  std::printf("\ncross-subnet comparison:\n%s\n", cross_query.c_str());
+  auto cross = engine.Execute(cross_query);
+  if (!cross.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 cross.status().ToString().c_str());
+    return EXIT_FAILURE;
+  }
+  for (const OutlierEntry& entry : cross->outliers) {
+    std::printf("  %-12s combined=%8.3f\n", entry.name.c_str(),
+                entry.score);
+  }
+  return EXIT_SUCCESS;
+}

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Rebuilds the project and regenerates every experiment artifact:
+#   test_output.txt   — full ctest run
+#   bench_output.txt  — every table/figure bench + microbenchmarks
+#
+# Usage:  scripts/run_experiments.sh [BENCH_SCALE]
+# BENCH_SCALE (default 1) multiplies the efficiency benches' workload;
+# the paper-shape speedups widen with scale (see EXPERIMENTS.md).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE="${1:-1}"
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+NETOUT_BENCH_SCALE="$SCALE" bash -c \
+  'for b in build/bench/*; do "$b"; done' 2>&1 | tee bench_output.txt
+
+echo
+echo "done: test_output.txt, bench_output.txt (scale $SCALE)"

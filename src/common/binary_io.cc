@@ -1,0 +1,141 @@
+#include "common/binary_io.h"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace netout {
+
+void AppendU64(std::string* buf, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    buf->push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+  }
+}
+
+void AppendU32(std::string* buf, std::uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    buf->push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+  }
+}
+
+void AppendDouble(std::string* buf, double value) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  AppendU64(buf, bits);
+}
+
+void AppendString(std::string* buf, std::string_view s) {
+  AppendU64(buf, s.size());
+  buf->append(s.data(), s.size());
+}
+
+Result<std::uint64_t> Cursor::ReadU64() {
+  if (pos_ + 8 > data_.size()) {
+    return Status::Corruption("buffer truncated (u64)");
+  }
+  std::uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<std::uint64_t>(
+                 static_cast<unsigned char>(data_[pos_ + i]))
+             << (8 * i);
+  }
+  pos_ += 8;
+  return value;
+}
+
+Result<std::uint32_t> Cursor::ReadU32() {
+  if (pos_ + 4 > data_.size()) {
+    return Status::Corruption("buffer truncated (u32)");
+  }
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= static_cast<std::uint32_t>(
+                 static_cast<unsigned char>(data_[pos_ + i]))
+             << (8 * i);
+  }
+  pos_ += 4;
+  return value;
+}
+
+Result<double> Cursor::ReadDouble() {
+  NETOUT_ASSIGN_OR_RETURN(std::uint64_t bits, ReadU64());
+  double value = 0.0;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+Result<std::string> Cursor::ReadString() {
+  NETOUT_ASSIGN_OR_RETURN(std::uint64_t size, ReadU64());
+  if (pos_ + size > data_.size()) {
+    return Status::Corruption("buffer truncated (string)");
+  }
+  std::string out(data_.substr(pos_, size));
+  pos_ += size;
+  return out;
+}
+
+Result<std::string> ReadFileToString(std::string_view path) {
+  std::ifstream in{std::string(path), std::ios::binary};
+  if (!in) {
+    return Status::IoError("cannot open '" + std::string(path) +
+                           "' for reading");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    return Status::IoError("read failed on '" + std::string(path) + "'");
+  }
+  return buffer.str();
+}
+
+Status WriteStringToFile(std::string_view path, std::string_view data) {
+  std::ofstream out{std::string(path), std::ios::binary | std::ios::trunc};
+  if (!out) {
+    return Status::IoError("cannot open '" + std::string(path) +
+                           "' for writing");
+  }
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  out.flush();
+  if (!out) {
+    return Status::IoError("write failed on '" + std::string(path) + "'");
+  }
+  return Status::OK();
+}
+
+std::string WrapWithChecksum(std::string_view magic8,
+                             std::string_view payload) {
+  NETOUT_CHECK(magic8.size() == 8) << "magic must be 8 bytes";
+  std::string file;
+  file.append(magic8.data(), magic8.size());
+  AppendU64(&file, payload.size());
+  file.append(payload.data(), payload.size());
+  AppendU64(&file, Fnv1a64(payload));
+  return file;
+}
+
+Result<std::string> UnwrapChecked(std::string_view magic8,
+                                  std::string_view file_data) {
+  NETOUT_CHECK(magic8.size() == 8) << "magic must be 8 bytes";
+  if (file_data.size() < 8 + 8 + 8 ||
+      file_data.substr(0, 8) != magic8) {
+    return Status::Corruption("bad magic: not the expected netout file");
+  }
+  Cursor header(file_data.substr(8, 8));
+  NETOUT_ASSIGN_OR_RETURN(std::uint64_t payload_size, header.ReadU64());
+  if (file_data.size() != 8 + 8 + payload_size + 8) {
+    return Status::Corruption("file size mismatch");
+  }
+  std::string_view payload = file_data.substr(16, payload_size);
+  Cursor footer(file_data.substr(16 + payload_size));
+  NETOUT_ASSIGN_OR_RETURN(std::uint64_t checksum, footer.ReadU64());
+  if (checksum != Fnv1a64(payload)) {
+    return Status::Corruption("checksum mismatch: file is corrupted");
+  }
+  return std::string(payload);
+}
+
+}  // namespace netout

@@ -1,0 +1,53 @@
+#ifndef NETOUT_COMMON_BINARY_IO_H_
+#define NETOUT_COMMON_BINARY_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace netout {
+
+/// Little-endian append helpers over a std::string buffer. Together with
+/// Cursor they implement the (trivially portable) on-disk encoding used
+/// by the graph snapshot and index files.
+void AppendU64(std::string* buf, std::uint64_t value);
+void AppendU32(std::string* buf, std::uint32_t value);
+void AppendDouble(std::string* buf, double value);
+void AppendString(std::string* buf, std::string_view s);
+
+/// Sequential reader over an encoded buffer; every read validates
+/// remaining length and fails with kCorruption on truncation.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view data) : data_(data) {}
+
+  Result<std::uint64_t> ReadU64();
+  Result<std::uint32_t> ReadU32();
+  Result<double> ReadDouble();
+  Result<std::string> ReadString();
+
+  bool AtEnd() const { return pos_ == data_.size(); }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+/// Whole-file helpers.
+Result<std::string> ReadFileToString(std::string_view path);
+Status WriteStringToFile(std::string_view path, std::string_view data);
+
+/// Wraps `payload` in the standard netout container:
+///   magic(8) | u64 payload_size | payload | u64 fnv1a(payload)
+/// and the matching validator that checks magic, size, and checksum.
+std::string WrapWithChecksum(std::string_view magic8,
+                             std::string_view payload);
+Result<std::string> UnwrapChecked(std::string_view magic8,
+                                  std::string_view file_data);
+
+}  // namespace netout
+
+#endif  // NETOUT_COMMON_BINARY_IO_H_

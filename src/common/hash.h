@@ -1,0 +1,38 @@
+#ifndef NETOUT_COMMON_HASH_H_
+#define NETOUT_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string_view>
+
+namespace netout {
+
+/// Mixes `value` into `seed` (boost::hash_combine recipe, 64-bit variant).
+inline std::size_t HashCombine(std::size_t seed, std::size_t value) {
+  return seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 12) + (seed >> 4));
+}
+
+/// FNV-1a over bytes; used by the snapshot format's integrity checksum and
+/// by composite hash keys.
+inline std::uint64_t Fnv1a64(std::string_view bytes,
+                             std::uint64_t seed = 0xcbf29ce484222325ULL) {
+  std::uint64_t hash = seed;
+  for (char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+/// Hash functor for pair-like integer keys, e.g. (type id, vertex id).
+struct PairHash {
+  template <typename A, typename B>
+  std::size_t operator()(const std::pair<A, B>& key) const {
+    return HashCombine(std::hash<A>()(key.first), std::hash<B>()(key.second));
+  }
+};
+
+}  // namespace netout
+
+#endif  // NETOUT_COMMON_HASH_H_

@@ -1,0 +1,160 @@
+#include "common/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace netout {
+
+std::string JsonEscape(std::string_view value) {
+  std::string out = "\"";
+  for (unsigned char c : value) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  out += "\"";
+  return out;
+}
+
+void JsonWriter::Separator() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // value directly follows its key; no comma
+  }
+  if (!has_element_.empty()) {
+    if (has_element_.back()) {
+      out_ += ",";
+    }
+    has_element_.back() = true;
+    if (pretty_) {
+      out_ += "\n";
+      Indent();
+    }
+  }
+}
+
+void JsonWriter::Indent() {
+  for (std::size_t i = 0; i < has_element_.size(); ++i) {
+    out_ += "  ";
+  }
+}
+
+void JsonWriter::Raw(std::string_view text) { out_.append(text); }
+
+void JsonWriter::BeginObject() {
+  Separator();
+  Raw("{");
+  has_element_.push_back(false);
+}
+
+void JsonWriter::EndObject() {
+  NETOUT_CHECK(!has_element_.empty()) << "EndObject without BeginObject";
+  const bool had = has_element_.back();
+  has_element_.pop_back();
+  if (pretty_ && had) {
+    out_ += "\n";
+    Indent();
+  }
+  Raw("}");
+}
+
+void JsonWriter::BeginArray() {
+  Separator();
+  Raw("[");
+  has_element_.push_back(false);
+}
+
+void JsonWriter::EndArray() {
+  NETOUT_CHECK(!has_element_.empty()) << "EndArray without BeginArray";
+  const bool had = has_element_.back();
+  has_element_.pop_back();
+  if (pretty_ && had) {
+    out_ += "\n";
+    Indent();
+  }
+  Raw("]");
+}
+
+void JsonWriter::Key(std::string_view key) {
+  Separator();
+  Raw(JsonEscape(key));
+  Raw(pretty_ ? ": " : ":");
+  pending_key_ = true;
+}
+
+void JsonWriter::String(std::string_view value) {
+  Separator();
+  Raw(JsonEscape(value));
+}
+
+void JsonWriter::Number(double value) {
+  Separator();
+  if (!std::isfinite(value)) {
+    // JSON has no Infinity/NaN; emit null per common convention.
+    Raw("null");
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", value);
+  Raw(buf);
+}
+
+void JsonWriter::Int(std::int64_t value) {
+  Separator();
+  Raw(std::to_string(value));
+}
+
+void JsonWriter::Uint(std::uint64_t value) {
+  Separator();
+  Raw(std::to_string(value));
+}
+
+void JsonWriter::Bool(bool value) {
+  Separator();
+  Raw(value ? "true" : "false");
+}
+
+void JsonWriter::Null() {
+  Separator();
+  Raw("null");
+}
+
+std::string JsonWriter::Take() && {
+  NETOUT_CHECK(has_element_.empty())
+      << "unbalanced Begin/End at JSON Take()";
+  std::string out = std::move(out_);
+  out_.clear();
+  return out;
+}
+
+}  // namespace netout

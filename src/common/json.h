@@ -1,0 +1,66 @@
+#ifndef NETOUT_COMMON_JSON_H_
+#define NETOUT_COMMON_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace netout {
+
+/// Minimal streaming JSON writer with correct string escaping — enough
+/// to emit query results and stats for downstream tooling without a
+/// third-party dependency. Usage is push-style:
+///
+///   JsonWriter json;
+///   json.BeginObject();
+///   json.Key("outliers");
+///   json.BeginArray();
+///   ...
+///   json.EndArray();
+///   json.EndObject();
+///   std::string text = std::move(json).Take();
+///
+/// The writer inserts commas automatically. It does not validate
+/// completeness — mismatched Begin/End pairs are the caller's bug
+/// (checked in debug builds).
+class JsonWriter {
+ public:
+  explicit JsonWriter(bool pretty = false) : pretty_(pretty) {}
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  /// Emits an object key; must be followed by exactly one value.
+  void Key(std::string_view key);
+
+  void String(std::string_view value);
+  void Number(double value);
+  void Int(std::int64_t value);
+  void Uint(std::uint64_t value);
+  void Bool(bool value);
+  void Null();
+
+  /// Returns the document and resets the writer.
+  std::string Take() &&;
+
+ private:
+  void Separator();
+  void Indent();
+  void Raw(std::string_view text);
+
+  bool pretty_;
+  std::string out_;
+  // Per nesting level: true once the first element was emitted.
+  std::vector<bool> has_element_;
+  bool pending_key_ = false;
+};
+
+/// Escapes `value` as a JSON string literal including the quotes.
+std::string JsonEscape(std::string_view value);
+
+}  // namespace netout
+
+#endif  // NETOUT_COMMON_JSON_H_

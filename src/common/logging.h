@@ -1,0 +1,81 @@
+#ifndef NETOUT_COMMON_LOGGING_H_
+#define NETOUT_COMMON_LOGGING_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace netout {
+
+enum class LogLevel : std::uint8_t {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+const char* LogLevelToString(LogLevel level);
+
+/// Process-wide minimum level; messages below it are dropped.
+/// Defaults to kInfo. Thread-safe (relaxed atomic underneath).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log message that emits on destruction. kFatal aborts.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when the level is disabled.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+/// glog-style voidifier: `&` binds looser than `<<`, so the whole streamed
+/// chain evaluates before being discarded, letting the conditional log
+/// macros expand to a single void-typed expression.
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+
+#define NETOUT_LOG(level)                                                  \
+  (::netout::LogLevel::k##level < ::netout::GetLogLevel())                 \
+      ? (void)0                                                            \
+      : ::netout::internal::Voidify() &                                    \
+            ::netout::internal::LogMessage(::netout::LogLevel::k##level,   \
+                                           __FILE__, __LINE__)             \
+                .stream()
+
+/// CHECK-style assertion that is active in all build modes. On failure it
+/// logs the condition at kFatal level and aborts.
+#define NETOUT_CHECK(cond)                                              \
+  (cond) ? (void)0                                                      \
+         : ::netout::internal::Voidify() &                              \
+               ::netout::internal::LogMessage(                          \
+                   ::netout::LogLevel::kFatal, __FILE__, __LINE__)      \
+                       .stream()                                        \
+                   << "Check failed: " #cond " "
+
+}  // namespace netout
+
+#endif  // NETOUT_COMMON_LOGGING_H_

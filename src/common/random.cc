@@ -1,0 +1,109 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace netout {
+namespace {
+
+std::uint64_t SplitMix64(std::uint64_t* state) {
+  std::uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  // xoshiro must not be seeded with all zeros; SplitMix64 guarantees a
+  // well-mixed non-degenerate state from any seed.
+  std::uint64_t sm = seed;
+  for (auto& word : state_) {
+    word = SplitMix64(&sm);
+  }
+}
+
+std::uint64_t Rng::NextUint64() {
+  const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::NextBounded(std::uint64_t bound) {
+  NETOUT_CHECK(bound > 0) << "NextBounded requires bound > 0";
+  // Lemire's multiply-shift; bias is negligible for bounds << 2^64.
+  const unsigned __int128 product =
+      static_cast<unsigned __int128>(NextUint64()) * bound;
+  return static_cast<std::uint64_t>(product >> 64);
+}
+
+std::int64_t Rng::NextInt(std::int64_t lo, std::int64_t hi) {
+  NETOUT_CHECK(lo <= hi) << "NextInt requires lo <= hi";
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  return lo + static_cast<std::int64_t>(NextBounded(span));
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> uniform double in [0, 1).
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBool(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+std::size_t Rng::NextZipf(std::size_t n, double s) {
+  ZipfSampler sampler(n, s);
+  return sampler.Sample(this);
+}
+
+int Rng::NextPoisson(double lambda) {
+  NETOUT_CHECK(lambda >= 0.0);
+  if (lambda == 0.0) return 0;
+  const double limit = std::exp(-lambda);
+  double product = NextDouble();
+  int count = 0;
+  while (product > limit) {
+    ++count;
+    product *= NextDouble();
+  }
+  return count;
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) {
+  NETOUT_CHECK(n > 0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t rank = 0; rank < n; ++rank) {
+    total += 1.0 / std::pow(static_cast<double>(rank + 1), s);
+    cdf_[rank] = total;
+  }
+  for (auto& value : cdf_) {
+    value /= total;
+  }
+}
+
+std::size_t ZipfSampler::Sample(Rng* rng) const {
+  const double u = rng->NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return cdf_.size() - 1;
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+}  // namespace netout

@@ -1,0 +1,70 @@
+#ifndef NETOUT_COMMON_RANDOM_H_
+#define NETOUT_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace netout {
+
+/// Deterministic, fast pseudo-random generator (xoshiro256**), seeded via
+/// SplitMix64. Used by the synthetic data generators and the workload
+/// builders so that every experiment is exactly reproducible from a seed.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit value.
+  std::uint64_t NextUint64();
+
+  /// Uniform in [0, bound) using Lemire's rejection-free-in-expectation
+  /// multiply-shift reduction. `bound` must be > 0.
+  std::uint64_t NextBounded(std::uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t NextInt(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool NextBool(double p = 0.5);
+
+  /// Geometric-ish heavy-tail sample: Zipf distribution over
+  /// {0, ..., n-1} with exponent s, via inverse-CDF on a precomputed table.
+  /// For repeated sampling prefer ZipfSampler below.
+  std::size_t NextZipf(std::size_t n, double s);
+
+  /// Poisson sample with mean lambda (Knuth's method; lambda expected
+  /// small, as with per-paper author counts).
+  int NextPoisson(double lambda);
+
+  /// Fisher-Yates shuffles `items` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    for (std::size_t i = items->size(); i > 1; --i) {
+      std::size_t j = NextBounded(i);
+      std::swap((*items)[i - 1], (*items)[j]);
+    }
+  }
+
+ private:
+  std::uint64_t state_[4];
+};
+
+/// Precomputed-CDF Zipf sampler over {0, ..., n-1} with exponent s.
+/// Rank 0 is the most likely outcome.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s);
+
+  std::size_t Sample(Rng* rng) const;
+
+  std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace netout
+
+#endif  // NETOUT_COMMON_RANDOM_H_

@@ -1,0 +1,86 @@
+#ifndef NETOUT_COMMON_RESULT_H_
+#define NETOUT_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace netout {
+
+/// A value-or-error wrapper (Arrow's Result / Abseil's StatusOr).
+///
+/// Invariant: a Result either holds a value of type T, or a non-OK Status.
+/// Constructing a Result from an OK status is a programming error and is
+/// converted to an internal error so the invariant always holds.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a Result holding `value`. Intentionally implicit so that
+  /// `return value;` works in functions returning Result<T>.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a Result holding an error. Intentionally implicit so that
+  /// `return Status::NotFound(...);` works.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(repr_).ok()) {
+      repr_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The error status; Status::OK() when a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// Access the held value. Must not be called on an error Result.
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this Result holds an error.
+  T value_or(T fallback) const& { return ok() ? value() : fallback; }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// Evaluates `rexpr` (a Result<T>), propagates its error if any, and
+/// otherwise declares/assigns `lhs` from the value.
+#define NETOUT_ASSIGN_OR_RETURN(lhs, rexpr)                            \
+  NETOUT_ASSIGN_OR_RETURN_IMPL_(                                       \
+      NETOUT_RESULT_CONCAT_(_netout_result, __LINE__), lhs, rexpr)
+
+#define NETOUT_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                  \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).value()
+
+#define NETOUT_RESULT_CONCAT_(a, b) NETOUT_RESULT_CONCAT_IMPL_(a, b)
+#define NETOUT_RESULT_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace netout
+
+#endif  // NETOUT_COMMON_RESULT_H_

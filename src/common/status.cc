@@ -1,0 +1,55 @@
+#include "common/status.h"
+
+namespace netout {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid-argument";
+    case StatusCode::kNotFound:
+      return "not-found";
+    case StatusCode::kAlreadyExists:
+      return "already-exists";
+    case StatusCode::kOutOfRange:
+      return "out-of-range";
+    case StatusCode::kFailedPrecondition:
+      return "failed-precondition";
+    case StatusCode::kParseError:
+      return "parse-error";
+    case StatusCode::kIoError:
+      return "io-error";
+    case StatusCode::kCorruption:
+      return "corruption";
+    case StatusCode::kUnimplemented:
+      return "unimplemented";
+    case StatusCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "ok";
+  std::string out = StatusCodeToString(code());
+  out += ": ";
+  out += message();
+  return out;
+}
+
+Status Status::WithContext(std::string_view context) const {
+  if (ok()) return Status();
+  std::string msg(context);
+  msg += ": ";
+  msg += message();
+  Status result;
+  result.rep_ = std::make_unique<Rep>(Rep{code(), std::move(msg)});
+  return result;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+}  // namespace netout

@@ -1,0 +1,129 @@
+#ifndef NETOUT_COMMON_STATUS_H_
+#define NETOUT_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace netout {
+
+/// Machine-readable classification of an error carried by a Status.
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,   // Malformed input supplied by the caller.
+  kNotFound = 2,          // A named entity does not exist.
+  kAlreadyExists = 3,     // An entity with the same key already exists.
+  kOutOfRange = 4,        // An index or id is outside its valid range.
+  kFailedPrecondition = 5,// The operation is not valid in the current state.
+  kParseError = 6,        // A query or file could not be parsed.
+  kIoError = 7,           // Underlying file/stream operation failed.
+  kCorruption = 8,        // Stored data failed integrity validation.
+  kUnimplemented = 9,     // The requested feature is not implemented.
+  kInternal = 10,         // Invariant violation inside the library.
+};
+
+/// Returns the canonical lower-case name of a status code ("ok",
+/// "invalid-argument", ...). Never returns null.
+const char* StatusCodeToString(StatusCode code);
+
+/// A RocksDB/Arrow-style success-or-error value. netout does not throw
+/// exceptions across public API boundaries; every fallible operation
+/// returns a Status (or a Result<T>, see result.h).
+///
+/// Status is cheap to copy in the OK case (a single null pointer); error
+/// states carry a heap-allocated code+message payload.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(const Status& other)
+      : rep_(other.rep_ ? std::make_unique<Rep>(*other.rep_) : nullptr) {}
+  Status& operator=(const Status& other) {
+    if (this != &other) {
+      rep_ = other.rep_ ? std::make_unique<Rep>(*other.rep_) : nullptr;
+    }
+    return *this;
+  }
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  /// Factory helpers, one per error code.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+
+  /// Human-readable error message; empty for OK statuses.
+  std::string_view message() const {
+    return rep_ ? std::string_view(rep_->message) : std::string_view();
+  }
+
+  /// "ok" or "<code-name>: <message>".
+  std::string ToString() const;
+
+  /// Returns a copy of this status with `context` prefixed to the message,
+  /// used to add call-site information while propagating errors upward.
+  Status WithContext(std::string_view context) const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+
+  Status(StatusCode code, std::string msg)
+      : rep_(std::make_unique<Rep>(Rep{code, std::move(msg)})) {}
+
+  std::unique_ptr<Rep> rep_;  // null <=> OK
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Propagates a non-OK Status out of the enclosing function.
+#define NETOUT_RETURN_IF_ERROR(expr)                \
+  do {                                              \
+    ::netout::Status _netout_status = (expr);       \
+    if (!_netout_status.ok()) return _netout_status; \
+  } while (false)
+
+}  // namespace netout
+
+#endif  // NETOUT_COMMON_STATUS_H_

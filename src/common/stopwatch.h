@@ -1,0 +1,75 @@
+#ifndef NETOUT_COMMON_STOPWATCH_H_
+#define NETOUT_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace netout {
+
+/// Monotonic wall-clock stopwatch used by the engine's per-stage timers
+/// and the benchmark harness.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts timing from now.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Nanoseconds elapsed since construction or the last Reset().
+  std::int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+  double ElapsedMicros() const {
+    return static_cast<double>(ElapsedNanos()) / 1e3;
+  }
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedNanos()) / 1e6;
+  }
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) / 1e9;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates elapsed time across multiple timed sections; used for the
+/// Figure 4 per-stage processing-time breakdown.
+class TimeAccumulator {
+ public:
+  /// Adds `nanos` to the running total.
+  void AddNanos(std::int64_t nanos) { total_nanos_ += nanos; }
+
+  std::int64_t TotalNanos() const { return total_nanos_; }
+  double TotalMillis() const { return static_cast<double>(total_nanos_) / 1e6; }
+
+  void Clear() { total_nanos_ = 0; }
+
+ private:
+  std::int64_t total_nanos_ = 0;
+};
+
+/// RAII guard that adds its lifetime to a TimeAccumulator. A null
+/// accumulator disables timing at negligible cost.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(TimeAccumulator* acc) : acc_(acc) {}
+  ~ScopedTimer() {
+    if (acc_ != nullptr) acc_->AddNanos(watch_.ElapsedNanos());
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  TimeAccumulator* acc_;
+  Stopwatch watch_;
+};
+
+}  // namespace netout
+
+#endif  // NETOUT_COMMON_STOPWATCH_H_

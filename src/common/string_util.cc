@@ -1,0 +1,126 @@
+#include "common/string_util.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace netout {
+
+std::vector<std::string> StrSplit(std::string_view input, char sep) {
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  while (true) {
+    std::size_t pos = input.find(sep, start);
+    if (pos == std::string_view::npos) {
+      fields.emplace_back(input.substr(start));
+      break;
+    }
+    fields.emplace_back(input.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return fields;
+}
+
+std::string_view StrTrim(std::string_view input) {
+  std::size_t begin = 0;
+  std::size_t end = input.size();
+  while (begin < end &&
+         std::isspace(static_cast<unsigned char>(input[begin]))) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(input[end - 1]))) {
+    --end;
+  }
+  return input.substr(begin, end - begin);
+}
+
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string AsciiToLower(std::string_view input) {
+  std::string out(input);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<std::int64_t> ParseInt64(std::string_view text) {
+  std::int64_t value = 0;
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr != end) {
+    return Status::ParseError("not a valid integer: '" + std::string(text) +
+                              "'");
+  }
+  return value;
+}
+
+Result<double> ParseDouble(std::string_view text) {
+  // std::from_chars<double> is available in libstdc++ 11+; use it directly.
+  double value = 0.0;
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr != end) {
+    return Status::ParseError("not a valid number: '" + std::string(text) +
+                              "'");
+  }
+  return value;
+}
+
+std::string HumanBytes(std::uint64_t bytes) {
+  static const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double value = static_cast<double>(bytes);
+  int unit = 0;
+  while (value >= 1024.0 && unit < 4) {
+    value /= 1024.0;
+    ++unit;
+  }
+  char buf[32];
+  if (unit == 0) {
+    std::snprintf(buf, sizeof(buf), "%.0f %s", value, kUnits[unit]);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f %s", value, kUnits[unit]);
+  }
+  return buf;
+}
+
+std::string FormatDouble(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+}  // namespace netout

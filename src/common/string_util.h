@@ -1,0 +1,45 @@
+#ifndef NETOUT_COMMON_STRING_UTIL_H_
+#define NETOUT_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace netout {
+
+/// Splits `input` on `sep`, keeping empty fields. Splitting the empty
+/// string yields one empty field (matching absl::StrSplit semantics).
+std::vector<std::string> StrSplit(std::string_view input, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StrTrim(std::string_view input);
+
+/// Joins `parts` with `sep`.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep);
+
+/// ASCII lower-casing (query keywords are case-insensitive).
+std::string AsciiToLower(std::string_view input);
+
+/// True if `text` begins with `prefix` / ends with `suffix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Strict full-string numeric parsing.
+Result<std::int64_t> ParseInt64(std::string_view text);
+Result<double> ParseDouble(std::string_view text);
+
+/// Formats a byte count with binary units ("1.5 MiB").
+std::string HumanBytes(std::uint64_t bytes);
+
+/// Formats a double with `digits` digits after the decimal point.
+std::string FormatDouble(double value, int digits);
+
+}  // namespace netout
+
+#endif  // NETOUT_COMMON_STRING_UTIL_H_

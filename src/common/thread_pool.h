@@ -1,0 +1,55 @@
+#ifndef NETOUT_COMMON_THREAD_POOL_H_
+#define NETOUT_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace netout {
+
+/// A minimal fixed-size thread pool used by the batch query driver to run
+/// independent queries concurrently (the immutable Hin makes query
+/// execution lock-free). Benchmarks mirroring the paper run single-threaded;
+/// the pool is an extension for interactive workloads.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(std::size_t num_threads);
+
+  /// Drains outstanding work, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task` for execution on some worker.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void Wait();
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+/// Runs fn(i) for i in [0, count) across the pool and waits for completion.
+void ParallelFor(ThreadPool* pool, std::size_t count,
+                 const std::function<void(std::size_t)>& fn);
+
+}  // namespace netout
+
+#endif  // NETOUT_COMMON_THREAD_POOL_H_

@@ -1,0 +1,327 @@
+#include "datagen/biblio_gen.h"
+
+#include <string>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "graph/builder.h"
+
+namespace netout {
+namespace {
+
+/// Working state threaded through the generation helpers.
+struct GenState {
+  GraphBuilder builder;
+  TypeId author_type;
+  TypeId paper_type;
+  TypeId venue_type;
+  TypeId term_type;
+  EdgeTypeId writes;
+  EdgeTypeId published_in;
+  EdgeTypeId has_term;
+
+  // Per area: vertex refs.
+  std::vector<std::vector<VertexRef>> area_authors;  // [area][rank]
+  std::vector<std::vector<VertexRef>> area_venues;
+  std::vector<std::vector<VertexRef>> area_terms;
+  std::vector<VertexRef> shared_terms;
+
+  std::size_t paper_serial = 0;
+};
+
+Result<VertexRef> NewPaper(GenState* state) {
+  return state->builder.AddVertex(
+      state->paper_type, "paper_" + std::to_string(state->paper_serial++));
+}
+
+/// Emits one paper with the given author set (deduplicated), venue, and
+/// terms (deduplicated).
+Status EmitPaper(GenState* state, const std::vector<VertexRef>& authors,
+                 VertexRef venue, const std::vector<VertexRef>& terms) {
+  NETOUT_ASSIGN_OR_RETURN(VertexRef paper, NewPaper(state));
+  std::unordered_set<LocalId> seen_authors;
+  for (const VertexRef& author : authors) {
+    if (!seen_authors.insert(author.local).second) continue;
+    NETOUT_RETURN_IF_ERROR(
+        state->builder.AddEdge(state->writes, author, paper));
+  }
+  NETOUT_RETURN_IF_ERROR(
+      state->builder.AddEdge(state->published_in, paper, venue));
+  std::unordered_set<LocalId> seen_terms;
+  for (const VertexRef& term : terms) {
+    if (!seen_terms.insert(term.local).second) continue;
+    NETOUT_RETURN_IF_ERROR(
+        state->builder.AddEdge(state->has_term, paper, term));
+  }
+  return Status::OK();
+}
+
+/// Draws `count` terms for a paper of `area`.
+std::vector<VertexRef> DrawTerms(GenState* state, const BiblioConfig& config,
+                                 std::size_t area, std::size_t count,
+                                 const ZipfSampler& term_sampler,
+                                 const ZipfSampler& shared_sampler,
+                                 Rng* rng) {
+  std::vector<VertexRef> terms;
+  terms.reserve(count);
+  for (std::size_t t = 0; t < count; ++t) {
+    if (!state->shared_terms.empty() &&
+        rng->NextBool(config.shared_term_prob)) {
+      terms.push_back(state->shared_terms[shared_sampler.Sample(rng)]);
+    } else {
+      terms.push_back(state->area_terms[area][term_sampler.Sample(rng)]);
+    }
+  }
+  return terms;
+}
+
+}  // namespace
+
+Result<BiblioDataset> GenerateBiblio(const BiblioConfig& config) {
+  if (config.num_areas == 0 || config.authors_per_area < 2 ||
+      config.venues_per_area == 0 || config.terms_per_area == 0) {
+    return Status::InvalidArgument(
+        "biblio config needs >=1 area, >=2 authors/area, >=1 venue/area, "
+        ">=1 term/area");
+  }
+  Rng rng(config.seed);
+  GenState state;
+  BiblioDataset dataset;
+
+  NETOUT_ASSIGN_OR_RETURN(state.author_type,
+                          state.builder.AddVertexType("author"));
+  NETOUT_ASSIGN_OR_RETURN(state.paper_type,
+                          state.builder.AddVertexType("paper"));
+  NETOUT_ASSIGN_OR_RETURN(state.venue_type,
+                          state.builder.AddVertexType("venue"));
+  NETOUT_ASSIGN_OR_RETURN(state.term_type,
+                          state.builder.AddVertexType("term"));
+  NETOUT_ASSIGN_OR_RETURN(
+      state.writes,
+      state.builder.AddEdgeType("writes", state.author_type,
+                                state.paper_type));
+  NETOUT_ASSIGN_OR_RETURN(
+      state.published_in,
+      state.builder.AddEdgeType("published_in", state.paper_type,
+                                state.venue_type));
+  NETOUT_ASSIGN_OR_RETURN(
+      state.has_term,
+      state.builder.AddEdgeType("has_term", state.paper_type,
+                                state.term_type));
+
+  // ---- vertices -------------------------------------------------------
+  state.area_authors.resize(config.num_areas);
+  state.area_venues.resize(config.num_areas);
+  state.area_terms.resize(config.num_areas);
+  for (std::size_t a = 0; a < config.num_areas; ++a) {
+    // Rank 0 is the area star (Zipf rank 0 = most productive).
+    NETOUT_ASSIGN_OR_RETURN(
+        VertexRef star, state.builder.AddVertex(
+                            state.author_type, "star_" + std::to_string(a)));
+    state.area_authors[a].push_back(star);
+    dataset.star_names.push_back("star_" + std::to_string(a));
+    for (std::size_t i = 1; i < config.authors_per_area; ++i) {
+      NETOUT_ASSIGN_OR_RETURN(
+          VertexRef author,
+          state.builder.AddVertex(state.author_type,
+                                  "author_" + std::to_string(a) + "_" +
+                                      std::to_string(i)));
+      state.area_authors[a].push_back(author);
+    }
+    for (std::size_t i = 0; i < config.venues_per_area; ++i) {
+      NETOUT_ASSIGN_OR_RETURN(
+          VertexRef venue,
+          state.builder.AddVertex(state.venue_type,
+                                  "venue_" + std::to_string(a) + "_" +
+                                      std::to_string(i)));
+      state.area_venues[a].push_back(venue);
+    }
+    for (std::size_t i = 0; i < config.terms_per_area; ++i) {
+      NETOUT_ASSIGN_OR_RETURN(
+          VertexRef term,
+          state.builder.AddVertex(state.term_type,
+                                  "term_" + std::to_string(a) + "_" +
+                                      std::to_string(i)));
+      state.area_terms[a].push_back(term);
+    }
+  }
+  for (std::size_t i = 0; i < config.shared_terms; ++i) {
+    NETOUT_ASSIGN_OR_RETURN(
+        VertexRef term,
+        state.builder.AddVertex(state.term_type,
+                                "shared_term_" + std::to_string(i)));
+    state.shared_terms.push_back(term);
+  }
+
+  const ZipfSampler author_sampler(config.authors_per_area,
+                                   config.author_zipf);
+  const ZipfSampler venue_sampler(config.venues_per_area, config.venue_zipf);
+  const ZipfSampler term_sampler(config.terms_per_area, config.term_zipf);
+  const ZipfSampler shared_sampler(std::max<std::size_t>(1,
+                                                         config.shared_terms),
+                                   config.term_zipf);
+
+  // ---- regular papers -------------------------------------------------
+  for (std::size_t a = 0; a < config.num_areas; ++a) {
+    for (std::size_t p = 0; p < config.papers_per_area; ++p) {
+      std::vector<VertexRef> authors;
+      authors.push_back(state.area_authors[a][author_sampler.Sample(&rng)]);
+      const int extra = rng.NextPoisson(config.extra_authors_lambda);
+      for (int e = 0; e < extra; ++e) {
+        if (config.num_areas > 1 &&
+            rng.NextBool(config.cross_area_coauthor_prob)) {
+          std::size_t other =
+              rng.NextBounded(config.num_areas - 1);
+          if (other >= a) ++other;
+          authors.push_back(
+              state.area_authors[other][author_sampler.Sample(&rng)]);
+        } else {
+          authors.push_back(
+              state.area_authors[a][author_sampler.Sample(&rng)]);
+        }
+      }
+      const VertexRef venue =
+          state.area_venues[a][venue_sampler.Sample(&rng)];
+      const std::size_t term_count =
+          1 + static_cast<std::size_t>(
+                  rng.NextPoisson(config.extra_terms_lambda));
+      const std::vector<VertexRef> terms = DrawTerms(
+          &state, config, a, term_count, term_sampler, shared_sampler, &rng);
+      NETOUT_RETURN_IF_ERROR(EmitPaper(&state, authors, venue, terms));
+    }
+  }
+
+  // ---- planted cross-community outliers -------------------------------
+  for (std::size_t a = 0; a < config.num_areas; ++a) {
+    for (std::size_t i = 0; i < config.planted_outliers_per_area; ++i) {
+      const std::string name =
+          "outlier_" + std::to_string(a) + "_" + std::to_string(i);
+      NETOUT_ASSIGN_OR_RETURN(
+          VertexRef outlier,
+          state.builder.AddVertex(state.author_type, name));
+      dataset.planted_outlier_names.push_back(name);
+
+      // A couple of home-area papers WITH the star: this places the
+      // outlier in the star's coauthor candidate set.
+      for (int h = 0; h < 2; ++h) {
+        std::vector<VertexRef> authors = {outlier, state.area_authors[a][0]};
+        const VertexRef venue =
+            state.area_venues[a][venue_sampler.Sample(&rng)];
+        NETOUT_RETURN_IF_ERROR(EmitPaper(
+            &state, authors, venue,
+            DrawTerms(&state, config, a, 4, term_sampler, shared_sampler,
+                      &rng)));
+      }
+      // The bulk of their work lives in a different area's *venues* with
+      // that area's vocabulary, but co-authored with home-area people —
+      // so only the venue/term profile deviates, not the collaboration
+      // profile.
+      if (config.num_areas > 1) {
+        std::size_t b = rng.NextBounded(config.num_areas - 1);
+        if (b >= a) ++b;
+        for (std::size_t p = 0; p < config.planted_outlier_papers; ++p) {
+          std::vector<VertexRef> authors = {outlier};
+          const int extra = rng.NextPoisson(config.extra_authors_lambda);
+          for (int e = 0; e < extra; ++e) {
+            authors.push_back(
+                state.area_authors[a][author_sampler.Sample(&rng)]);
+          }
+          const VertexRef venue =
+              state.area_venues[b][venue_sampler.Sample(&rng)];
+          NETOUT_RETURN_IF_ERROR(EmitPaper(
+              &state, authors, venue,
+              DrawTerms(&state, config, b, 4, term_sampler, shared_sampler,
+                        &rng)));
+        }
+      }
+    }
+  }
+
+  // ---- planted collaboration outliers ----------------------------------
+  for (std::size_t a = 0; a < config.num_areas; ++a) {
+    for (std::size_t i = 0; i < config.coauthor_outliers_per_area; ++i) {
+      const std::string name =
+          "oddcollab_" + std::to_string(a) + "_" + std::to_string(i);
+      NETOUT_ASSIGN_OR_RETURN(
+          VertexRef oddcollab,
+          state.builder.AddVertex(state.author_type, name));
+      dataset.coauthor_outlier_names.push_back(name);
+
+      // In the star's candidate set via two joint home-area papers.
+      for (int h = 0; h < 2; ++h) {
+        std::vector<VertexRef> authors = {oddcollab,
+                                          state.area_authors[a][0]};
+        const VertexRef venue =
+            state.area_venues[a][venue_sampler.Sample(&rng)];
+        NETOUT_RETURN_IF_ERROR(EmitPaper(
+            &state, authors, venue,
+            DrawTerms(&state, config, a, 4, term_sampler, shared_sampler,
+                      &rng)));
+      }
+      // Their own clique: a dedicated pool of external collaborators who
+      // publish nowhere else. Venues stay home-area, so only the
+      // collaboration profile deviates.
+      std::vector<VertexRef> pool;
+      for (std::size_t c = 0; c < config.collaborators_per_coauthor_outlier;
+           ++c) {
+        NETOUT_ASSIGN_OR_RETURN(
+            VertexRef collaborator,
+            state.builder.AddVertex(state.author_type,
+                                    "ext_" + std::to_string(a) + "_" +
+                                        std::to_string(i) + "_" +
+                                        std::to_string(c)));
+        pool.push_back(collaborator);
+      }
+      for (std::size_t p = 0; p < config.coauthor_outlier_papers; ++p) {
+        std::vector<VertexRef> authors = {oddcollab};
+        if (!pool.empty()) {
+          const std::size_t count = 1 + rng.NextBounded(pool.size());
+          for (std::size_t c = 0; c < count; ++c) {
+            authors.push_back(pool[rng.NextBounded(pool.size())]);
+          }
+        }
+        const VertexRef venue =
+            state.area_venues[a][venue_sampler.Sample(&rng)];
+        NETOUT_RETURN_IF_ERROR(EmitPaper(
+            &state, authors, venue,
+            DrawTerms(&state, config, a, 4, term_sampler, shared_sampler,
+                      &rng)));
+      }
+    }
+  }
+
+  // ---- planted low-visibility authors ----------------------------------
+  for (std::size_t a = 0; a < config.num_areas; ++a) {
+    for (std::size_t i = 0; i < config.low_visibility_per_area; ++i) {
+      const std::string name =
+          "lowvis_" + std::to_string(a) + "_" + std::to_string(i);
+      NETOUT_ASSIGN_OR_RETURN(
+          VertexRef lowvis,
+          state.builder.AddVertex(state.author_type, name));
+      dataset.low_visibility_names.push_back(name);
+      // One or two papers with the star in ordinary home-area venues:
+      // unstable publication record, but NOT semantically anomalous.
+      const int papers = 1 + static_cast<int>(rng.NextBounded(2));
+      for (int p = 0; p < papers; ++p) {
+        std::vector<VertexRef> authors = {lowvis, state.area_authors[a][0]};
+        const VertexRef venue =
+            state.area_venues[a][venue_sampler.Sample(&rng)];
+        NETOUT_RETURN_IF_ERROR(EmitPaper(
+            &state, authors, venue,
+            DrawTerms(&state, config, a, 3, term_sampler, shared_sampler,
+                      &rng)));
+      }
+    }
+  }
+
+  NETOUT_ASSIGN_OR_RETURN(dataset.hin, state.builder.Finish());
+  dataset.author_type = state.author_type;
+  dataset.paper_type = state.paper_type;
+  dataset.venue_type = state.venue_type;
+  dataset.term_type = state.term_type;
+  return dataset;
+}
+
+}  // namespace netout

@@ -1,0 +1,100 @@
+#ifndef NETOUT_DATAGEN_BIBLIO_GEN_H_
+#define NETOUT_DATAGEN_BIBLIO_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/hin.h"
+
+namespace netout {
+
+/// Configuration of the synthetic bibliographic network generator — the
+/// stand-in for the paper's ArnetMiner dump (see DESIGN.md §2). The
+/// generator produces the DBLP schema of Figure 1(a): author, paper,
+/// venue, term vertices with writes / published_in / has_term edges,
+/// organized into research areas (communities) with Zipf-skewed
+/// productivity and venue popularity, plus ground-truth planted outliers.
+struct BiblioConfig {
+  std::uint64_t seed = 42;
+
+  std::size_t num_areas = 8;
+  std::size_t venues_per_area = 6;
+  std::size_t terms_per_area = 80;
+  std::size_t shared_terms = 150;  // cross-area vocabulary
+  std::size_t authors_per_area = 250;
+  std::size_t papers_per_area = 900;
+
+  /// Mean number of coauthors beyond the first author (Poisson).
+  double extra_authors_lambda = 1.6;
+  /// Mean number of title terms beyond the first (Poisson).
+  double extra_terms_lambda = 4.0;
+
+  /// Zipf exponents: productivity / venue popularity / term frequency.
+  double author_zipf = 0.85;
+  double venue_zipf = 0.7;
+  double term_zipf = 0.9;
+
+  /// Probability that a coauthor is drawn from a different area.
+  double cross_area_coauthor_prob = 0.04;
+  /// Probability that a term comes from the shared vocabulary.
+  double shared_term_prob = 0.3;
+
+  /// Per area: authors who secretly publish most of their work in a
+  /// *different* area's venues (the venue outliers of the Table 5 case
+  /// studies). Their off-area papers carry home-area coauthors, so their
+  /// collaboration profile stays normal — they are outliers under
+  /// venue-judging queries only.
+  std::size_t planted_outliers_per_area = 3;
+  /// Off-area papers each planted venue outlier writes.
+  std::size_t planted_outlier_papers = 25;
+
+  /// Per area: authors with a normal venue profile but an anomalous
+  /// collaboration pattern — they publish with a dedicated pool of
+  /// otherwise-unconnected external collaborators. Outliers under
+  /// coauthor-judging queries only (the paper's Ee-Peng Lim case).
+  std::size_t coauthor_outliers_per_area = 3;
+  /// Home-venue papers each coauthor outlier writes with its pool.
+  std::size_t coauthor_outlier_papers = 15;
+  /// Size of each coauthor outlier's external collaborator pool.
+  std::size_t collaborators_per_coauthor_outlier = 4;
+
+  /// Per area: one-or-two-paper authors in ordinary venues (the
+  /// low-visibility candidates PathSim/CosSim wrongly favor, Table 3).
+  std::size_t low_visibility_per_area = 3;
+};
+
+/// The generated network plus ground-truth labels and handy handles.
+struct BiblioDataset {
+  HinPtr hin;
+
+  TypeId author_type = kInvalidTypeId;
+  TypeId paper_type = kInvalidTypeId;
+  TypeId venue_type = kInvalidTypeId;
+  TypeId term_type = kInvalidTypeId;
+
+  /// One prominent "star" author per area (guaranteed coauthor of every
+  /// planted outlier of that area); the case-study anchor vertices.
+  std::vector<std::string> star_names;
+
+  /// Planted cross-community venue outliers (ground truth for
+  /// venue-judged queries).
+  std::vector<std::string> planted_outlier_names;
+  /// Planted collaboration outliers (ground truth for coauthor-judged
+  /// queries).
+  std::vector<std::string> coauthor_outlier_names;
+  /// Planted low-visibility authors.
+  std::vector<std::string> low_visibility_names;
+};
+
+/// Deterministically generates a dataset from `config` (same seed, same
+/// network). Vertex names: "star_<a>", "author_<a>_<i>",
+/// "outlier_<a>_<i>", "oddcollab_<a>_<i>", "ext_<a>_<i>_<j>",
+/// "lowvis_<a>_<i>", "venue_<a>_<i>", "term_<a>_<i>", "shared_term_<i>",
+/// "paper_<serial>".
+Result<BiblioDataset> GenerateBiblio(const BiblioConfig& config);
+
+}  // namespace netout
+
+#endif  // NETOUT_DATAGEN_BIBLIO_GEN_H_

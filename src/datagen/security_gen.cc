@@ -1,0 +1,140 @@
+#include "datagen/security_gen.h"
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "graph/builder.h"
+
+namespace netout {
+
+Result<SecurityDataset> GenerateSecurity(const SecurityConfig& config) {
+  if (config.num_subnets == 0 || config.hosts_per_subnet < 2 ||
+      config.signatures_per_profile == 0) {
+    return Status::InvalidArgument(
+        "security config needs >=1 subnet, >=2 hosts/subnet, >=1 "
+        "signature/profile");
+  }
+  Rng rng(config.seed);
+  GraphBuilder builder;
+  SecurityDataset dataset;
+
+  NETOUT_ASSIGN_OR_RETURN(TypeId host_type, builder.AddVertexType("host"));
+  NETOUT_ASSIGN_OR_RETURN(TypeId alert_type, builder.AddVertexType("alert"));
+  NETOUT_ASSIGN_OR_RETURN(TypeId signature_type,
+                          builder.AddVertexType("signature"));
+  NETOUT_ASSIGN_OR_RETURN(TypeId user_type, builder.AddVertexType("user"));
+  NETOUT_ASSIGN_OR_RETURN(
+      EdgeTypeId raised_on,
+      builder.AddEdgeType("raised_on", alert_type, host_type));
+  NETOUT_ASSIGN_OR_RETURN(
+      EdgeTypeId matches,
+      builder.AddEdgeType("matches", alert_type, signature_type));
+  NETOUT_ASSIGN_OR_RETURN(
+      EdgeTypeId logs_into,
+      builder.AddEdgeType("logs_into", user_type, host_type));
+
+  // Subnet infrastructure: hosts, per-subnet signature profile, users.
+  std::vector<std::vector<VertexRef>> subnet_hosts(config.num_subnets);
+  std::vector<std::vector<VertexRef>> profile_signatures(config.num_subnets);
+  for (std::size_t s = 0; s < config.num_subnets; ++s) {
+    for (std::size_t h = 0; h < config.hosts_per_subnet; ++h) {
+      const std::string name = h == 0
+                                   ? "gateway_" + std::to_string(s)
+                                   : "host_" + std::to_string(s) + "_" +
+                                         std::to_string(h);
+      NETOUT_ASSIGN_OR_RETURN(VertexRef host,
+                              builder.AddVertex(host_type, name));
+      subnet_hosts[s].push_back(host);
+    }
+    dataset.gateway_names.push_back("gateway_" + std::to_string(s));
+    for (std::size_t g = 0; g < config.signatures_per_profile; ++g) {
+      NETOUT_ASSIGN_OR_RETURN(
+          VertexRef signature,
+          builder.AddVertex(signature_type, "sig_" + std::to_string(s) +
+                                                "_" + std::to_string(g)));
+      profile_signatures[s].push_back(signature);
+    }
+  }
+
+  // Users: each user logs into the gateway of one subnet plus a few of
+  // its hosts, making "gateway.user.host" a subnet neighborhood.
+  for (std::size_t u = 0; u < config.users; ++u) {
+    NETOUT_ASSIGN_OR_RETURN(
+        VertexRef user,
+        builder.AddVertex(user_type, "user_" + std::to_string(u)));
+    const std::size_t s = rng.NextBounded(config.num_subnets);
+    NETOUT_RETURN_IF_ERROR(
+        builder.AddEdge(logs_into, user, subnet_hosts[s][0]));
+    const std::size_t logins = 2 + rng.NextBounded(4);
+    for (std::size_t l = 0; l < logins; ++l) {
+      NETOUT_RETURN_IF_ERROR(builder.AddEdge(
+          logs_into, user,
+          subnet_hosts[s][rng.NextBounded(config.hosts_per_subnet)]));
+    }
+  }
+  // Guarantee every host is reachable from its gateway via some user.
+  for (std::size_t s = 0; s < config.num_subnets; ++s) {
+    for (std::size_t h = 1; h < config.hosts_per_subnet; ++h) {
+      NETOUT_ASSIGN_OR_RETURN(
+          VertexRef user,
+          builder.AddVertex(user_type, "admin_" + std::to_string(s) + "_" +
+                                           std::to_string(h)));
+      NETOUT_RETURN_IF_ERROR(
+          builder.AddEdge(logs_into, user, subnet_hosts[s][0]));
+      NETOUT_RETURN_IF_ERROR(
+          builder.AddEdge(logs_into, user, subnet_hosts[s][h]));
+    }
+  }
+
+  const ZipfSampler signature_sampler(config.signatures_per_profile,
+                                      config.signature_zipf);
+  std::size_t alert_serial = 0;
+  auto emit_alert = [&](VertexRef host, VertexRef signature) -> Status {
+    NETOUT_ASSIGN_OR_RETURN(
+        VertexRef alert,
+        builder.AddVertex(alert_type,
+                          "alert_" + std::to_string(alert_serial++)));
+    NETOUT_RETURN_IF_ERROR(builder.AddEdge(raised_on, alert, host));
+    return builder.AddEdge(matches, alert, signature);
+  };
+
+  // Baseline alert traffic: subnet-typical signatures.
+  for (std::size_t s = 0; s < config.num_subnets; ++s) {
+    for (const VertexRef& host : subnet_hosts[s]) {
+      for (std::size_t a = 0; a < config.alerts_per_host; ++a) {
+        NETOUT_RETURN_IF_ERROR(emit_alert(
+            host, profile_signatures[s][signature_sampler.Sample(&rng)]));
+      }
+    }
+  }
+
+  // Compromised hosts: extra alerts matching another subnet's profile.
+  for (std::size_t s = 0; s < config.num_subnets && config.num_subnets > 1;
+       ++s) {
+    for (std::size_t c = 0; c < config.compromised_per_subnet; ++c) {
+      // Pick a non-gateway host deterministically spread over the subnet.
+      const std::size_t index =
+          1 + (c * 7) % (config.hosts_per_subnet - 1);
+      const VertexRef host = subnet_hosts[s][index];
+      dataset.compromised_names.push_back(
+          "host_" + std::to_string(s) + "_" + std::to_string(index));
+      std::size_t other = rng.NextBounded(config.num_subnets - 1);
+      if (other >= s) ++other;
+      for (std::size_t a = 0; a < config.compromise_alerts; ++a) {
+        NETOUT_RETURN_IF_ERROR(emit_alert(
+            host,
+            profile_signatures[other][signature_sampler.Sample(&rng)]));
+      }
+    }
+  }
+
+  NETOUT_ASSIGN_OR_RETURN(dataset.hin, builder.Finish());
+  dataset.host_type = host_type;
+  dataset.alert_type = alert_type;
+  dataset.signature_type = signature_type;
+  dataset.user_type = user_type;
+  return dataset;
+}
+
+}  // namespace netout

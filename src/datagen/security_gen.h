@@ -1,0 +1,56 @@
+#ifndef NETOUT_DATAGEN_SECURITY_GEN_H_
+#define NETOUT_DATAGEN_SECURITY_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/hin.h"
+
+namespace netout {
+
+/// A second application domain for the framework (the paper was
+/// co-sponsored by the Army Research Lab with network-security analysis
+/// in mind): an intrusion-alert HIN with hosts, alerts, signatures and
+/// users.
+///
+/// Schema: alert -> host (raised_on), alert -> signature (matches),
+/// user -> host (logs_into). Hosts live in subnets whose baseline alert
+/// traffic matches a subnet-typical signature profile; planted
+/// compromised hosts additionally raise alerts against signatures
+/// typical of a *different* subnet profile, making them query-detectable
+/// via e.g.
+///   FIND OUTLIERS FROM subnet-neighborhood JUDGED BY
+///   host.alert.signature TOP k;
+struct SecurityConfig {
+  std::uint64_t seed = 7;
+  std::size_t num_subnets = 5;
+  std::size_t hosts_per_subnet = 60;
+  std::size_t signatures_per_profile = 20;
+  std::size_t users = 120;
+  std::size_t alerts_per_host = 25;
+  double signature_zipf = 0.9;
+  std::size_t compromised_per_subnet = 2;
+  std::size_t compromise_alerts = 30;
+};
+
+struct SecurityDataset {
+  HinPtr hin;
+  TypeId host_type = kInvalidTypeId;
+  TypeId alert_type = kInvalidTypeId;
+  TypeId signature_type = kInvalidTypeId;
+  TypeId user_type = kInvalidTypeId;
+
+  /// One gateway host per subnet (every subnet host shares a user with
+  /// it, so "hosts of the gateway's users" approximates the subnet).
+  std::vector<std::string> gateway_names;
+  /// Ground truth: names of the planted compromised hosts.
+  std::vector<std::string> compromised_names;
+};
+
+Result<SecurityDataset> GenerateSecurity(const SecurityConfig& config);
+
+}  // namespace netout
+
+#endif  // NETOUT_DATAGEN_SECURITY_GEN_H_

@@ -1,0 +1,85 @@
+#include "datagen/workload.h"
+
+#include "common/random.h"
+
+namespace netout {
+
+const char* QueryTemplateName(QueryTemplate t) {
+  switch (t) {
+    case QueryTemplate::kQ1:
+      return "Q1";
+    case QueryTemplate::kQ2:
+      return "Q2";
+    case QueryTemplate::kQ3:
+      return "Q3";
+  }
+  return "?";
+}
+
+std::string InstantiateTemplate(QueryTemplate t,
+                                std::string_view author_name) {
+  const std::string anchor = "author{\"" + std::string(author_name) + "\"}";
+  switch (t) {
+    case QueryTemplate::kQ1:
+      return "FIND OUTLIERS FROM " + anchor +
+             ".paper.author JUDGED BY author.paper.venue TOP 10;";
+    case QueryTemplate::kQ2:
+      return "FIND OUTLIERS IN " + anchor +
+             ".paper.venue JUDGED BY venue.paper.term TOP 10;";
+    case QueryTemplate::kQ3:
+      return "FIND OUTLIERS IN " + anchor +
+             ".paper.term JUDGED BY term.paper.venue TOP 10;";
+  }
+  return "";
+}
+
+Result<std::vector<std::string>> GenerateWorkload(
+    const Hin& hin, std::string_view author_type_name, QueryTemplate t,
+    const WorkloadConfig& config) {
+  NETOUT_ASSIGN_OR_RETURN(TypeId author_type,
+                          hin.schema().FindVertexType(author_type_name));
+  const std::size_t num_authors = hin.NumVertices(author_type);
+  if (num_authors == 0) {
+    return Status::FailedPrecondition("the network has no authors");
+  }
+  Rng rng(config.seed);
+  std::vector<std::string> queries;
+  queries.reserve(config.num_queries);
+  for (std::size_t i = 0; i < config.num_queries; ++i) {
+    const LocalId author =
+        static_cast<LocalId>(rng.NextBounded(num_authors));
+    queries.push_back(InstantiateTemplate(
+        t, hin.VertexName(VertexRef{author_type, author})));
+  }
+  return queries;
+}
+
+Result<std::vector<std::string>> GenerateSkewedWorkload(
+    const Hin& hin, std::string_view author_type_name, QueryTemplate t,
+    const SkewedWorkloadConfig& config) {
+  NETOUT_ASSIGN_OR_RETURN(TypeId author_type,
+                          hin.schema().FindVertexType(author_type_name));
+  const std::size_t num_authors = hin.NumVertices(author_type);
+  if (num_authors == 0) {
+    return Status::FailedPrecondition("the network has no authors");
+  }
+  Rng rng(config.seed);
+  const ZipfSampler sampler(num_authors, config.zipf_exponent);
+  // Shuffle the rank->author assignment so skew does not systematically
+  // favor the earliest-created vertices.
+  std::vector<LocalId> ranked(num_authors);
+  for (std::size_t i = 0; i < num_authors; ++i) {
+    ranked[i] = static_cast<LocalId>(i);
+  }
+  rng.Shuffle(&ranked);
+  std::vector<std::string> queries;
+  queries.reserve(config.num_queries);
+  for (std::size_t i = 0; i < config.num_queries; ++i) {
+    const LocalId author = ranked[sampler.Sample(&rng)];
+    queries.push_back(InstantiateTemplate(
+        t, hin.VertexName(VertexRef{author_type, author})));
+  }
+  return queries;
+}
+
+}  // namespace netout

@@ -1,0 +1,59 @@
+#ifndef NETOUT_DATAGEN_WORKLOAD_H_
+#define NETOUT_DATAGEN_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/hin.h"
+
+namespace netout {
+
+/// The paper's Table 4 query templates. The "·" position is filled with
+/// a randomly selected author name:
+///   Q1: FIND OUTLIERS FROM author{·}.paper.author
+///       JUDGED BY author.paper.venue TOP 10;
+///   Q2: FIND OUTLIERS IN author{·}.paper.venue
+///       JUDGED BY venue.paper.term TOP 10;
+///   Q3: FIND OUTLIERS IN author{·}.paper.term
+///       JUDGED BY term.paper.venue TOP 10;
+enum class QueryTemplate : std::uint8_t { kQ1 = 0, kQ2 = 1, kQ3 = 2 };
+
+const char* QueryTemplateName(QueryTemplate t);
+
+/// Substitutes `author_name` into the template.
+std::string InstantiateTemplate(QueryTemplate t, std::string_view author_name);
+
+struct WorkloadConfig {
+  std::size_t num_queries = 1000;
+  std::uint64_t seed = 1234;
+};
+
+/// Generates a query set from one template by substituting authors
+/// sampled uniformly (with replacement) from the network's author type —
+/// the paper's "10,000 randomly selected authors" procedure, scaled by
+/// `config.num_queries`.
+Result<std::vector<std::string>> GenerateWorkload(
+    const Hin& hin, std::string_view author_type_name, QueryTemplate t,
+    const WorkloadConfig& config);
+
+struct SkewedWorkloadConfig {
+  std::size_t num_queries = 1000;
+  std::uint64_t seed = 1234;
+  /// Zipf exponent over anchor vertices: higher = the same few anchors
+  /// recur more often (an analyst drilling into one neighborhood).
+  double zipf_exponent = 1.1;
+};
+
+/// Like GenerateWorkload but anchors are Zipf-distributed, modeling the
+/// skewed exploratory sessions that warm dynamic caches (see
+/// index/cached_index.h and bench_ablation_cache).
+Result<std::vector<std::string>> GenerateSkewedWorkload(
+    const Hin& hin, std::string_view author_type_name, QueryTemplate t,
+    const SkewedWorkloadConfig& config);
+
+}  // namespace netout
+
+#endif  // NETOUT_DATAGEN_WORKLOAD_H_

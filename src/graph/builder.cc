@@ -1,0 +1,115 @@
+#include "graph/builder.h"
+
+#include <limits>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace netout {
+
+Result<EdgeTypeId> GraphBuilder::AddEdgeType(std::string_view name,
+                                             TypeId src, TypeId dst) {
+  NETOUT_ASSIGN_OR_RETURN(EdgeTypeId id,
+                          schema_.AddEdgeType(name, src, dst));
+  edges_.resize(schema_.num_edge_types());
+  return id;
+}
+
+Result<VertexRef> GraphBuilder::AddVertex(TypeId type,
+                                          std::string_view name) {
+  if (type >= schema_.num_vertex_types()) {
+    return Status::OutOfRange("unknown vertex type id");
+  }
+  names_.resize(schema_.num_vertex_types());
+  name_index_.resize(schema_.num_vertex_types());
+  auto& index = name_index_[type];
+  auto it = index.find(std::string(name));
+  if (it != index.end()) {
+    return VertexRef{type, it->second};
+  }
+  if (names_[type].size() >=
+      static_cast<std::size_t>(std::numeric_limits<LocalId>::max())) {
+    return Status::OutOfRange("too many vertices of type '" +
+                              schema_.VertexTypeName(type) + "'");
+  }
+  LocalId local = static_cast<LocalId>(names_[type].size());
+  names_[type].emplace_back(name);
+  index.emplace(std::string(name), local);
+  return VertexRef{type, local};
+}
+
+Status GraphBuilder::AddEdge(EdgeTypeId edge_type, VertexRef src,
+                             VertexRef dst, std::uint32_t count) {
+  if (edge_type >= schema_.num_edge_types()) {
+    return Status::OutOfRange("unknown edge type id");
+  }
+  const EdgeTypeInfo& info = schema_.edge_type(edge_type);
+  if (src.type != info.src || dst.type != info.dst) {
+    return Status::InvalidArgument(
+        "edge endpoints do not match edge type '" + info.name + "' (" +
+        schema_.VertexTypeName(info.src) + " -> " +
+        schema_.VertexTypeName(info.dst) + ")");
+  }
+  names_.resize(schema_.num_vertex_types());
+  if (src.local >= names_[src.type].size() ||
+      dst.local >= names_[dst.type].size()) {
+    return Status::OutOfRange("edge references unknown vertex");
+  }
+  if (count == 0) {
+    return Status::InvalidArgument("edge multiplicity must be positive");
+  }
+  edges_[edge_type].emplace_back(src.local, dst.local, count);
+  return Status::OK();
+}
+
+Status GraphBuilder::AddEdgeByName(std::string_view edge_type_name,
+                                   std::string_view src_name,
+                                   std::string_view dst_name) {
+  NETOUT_ASSIGN_OR_RETURN(EdgeTypeId edge_type,
+                          schema_.FindEdgeType(edge_type_name));
+  const EdgeTypeInfo& info = schema_.edge_type(edge_type);
+  NETOUT_ASSIGN_OR_RETURN(VertexRef src, AddVertex(info.src, src_name));
+  NETOUT_ASSIGN_OR_RETURN(VertexRef dst, AddVertex(info.dst, dst_name));
+  return AddEdge(edge_type, src, dst);
+}
+
+std::size_t GraphBuilder::NumVertices(TypeId type) const {
+  if (type >= names_.size()) return 0;
+  return names_[type].size();
+}
+
+Result<HinPtr> GraphBuilder::Finish() {
+  auto hin = std::shared_ptr<Hin>(new Hin());
+  hin->schema_ = std::move(schema_);
+  names_.resize(hin->schema_.num_vertex_types());
+  name_index_.resize(hin->schema_.num_vertex_types());
+  edges_.resize(hin->schema_.num_edge_types());
+  hin->names_ = std::move(names_);
+  hin->name_index_ = std::move(name_index_);
+
+  hin->forward_.reserve(edges_.size());
+  hin->reverse_.reserve(edges_.size());
+  for (std::size_t e = 0; e < edges_.size(); ++e) {
+    const EdgeTypeInfo& info =
+        hin->schema_.edge_type(static_cast<EdgeTypeId>(e));
+    const std::size_t src_rows = hin->names_[info.src].size();
+    const std::size_t dst_rows = hin->names_[info.dst].size();
+
+    std::vector<std::tuple<LocalId, LocalId, std::uint32_t>> reversed;
+    reversed.reserve(edges_[e].size());
+    for (const auto& [src, dst, count] : edges_[e]) {
+      reversed.emplace_back(dst, src, count);
+    }
+    hin->forward_.push_back(Csr::FromEdges(src_rows, std::move(edges_[e])));
+    hin->reverse_.push_back(Csr::FromEdges(dst_rows, std::move(reversed)));
+  }
+
+  // Reset to a pristine state so reuse is well-defined.
+  schema_ = Schema();
+  names_.clear();
+  name_index_.clear();
+  edges_.clear();
+  return HinPtr(hin);
+}
+
+}  // namespace netout

@@ -1,0 +1,75 @@
+#ifndef NETOUT_GRAPH_BUILDER_H_
+#define NETOUT_GRAPH_BUILDER_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <tuple>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/hin.h"
+
+namespace netout {
+
+/// Mutable accumulator that assembles an immutable Hin.
+///
+/// Usage:
+///   GraphBuilder b;
+///   auto author = b.AddVertexType("author").value();
+///   auto paper  = b.AddVertexType("paper").value();
+///   auto writes = b.AddEdgeType("writes", author, paper).value();
+///   auto ava  = b.AddVertex(author, "Ava").value();
+///   auto p1   = b.AddVertex(paper, "P1").value();
+///   b.AddEdge(writes, ava, p1);
+///   HinPtr hin = b.Finish().value();
+///
+/// AddVertex is idempotent per (type, name): re-adding returns the
+/// existing reference. AddEdge accumulates multiplicity for repeated
+/// links. Finish() consumes the builder.
+class GraphBuilder {
+ public:
+  GraphBuilder() = default;
+
+  GraphBuilder(const GraphBuilder&) = delete;
+  GraphBuilder& operator=(const GraphBuilder&) = delete;
+
+  Result<TypeId> AddVertexType(std::string_view name) {
+    return schema_.AddVertexType(name);
+  }
+
+  Result<EdgeTypeId> AddEdgeType(std::string_view name, TypeId src,
+                                 TypeId dst);
+
+  /// Adds (or finds) the vertex (type, name).
+  Result<VertexRef> AddVertex(TypeId type, std::string_view name);
+
+  /// Adds a link of type `edge_type` from `src` to `dst` with the given
+  /// multiplicity. Vertex types must match the edge type's declaration.
+  Status AddEdge(EdgeTypeId edge_type, VertexRef src, VertexRef dst,
+                 std::uint32_t count = 1);
+
+  /// Convenience: resolves everything by name.
+  Status AddEdgeByName(std::string_view edge_type_name,
+                       std::string_view src_name, std::string_view dst_name);
+
+  const Schema& schema() const { return schema_; }
+  std::size_t NumVertices(TypeId type) const;
+
+  /// Freezes the accumulated data into an immutable Hin. The builder is
+  /// left empty.
+  Result<HinPtr> Finish();
+
+ private:
+  Schema schema_;
+  std::vector<std::vector<std::string>> names_;
+  std::vector<std::unordered_map<std::string, LocalId>> name_index_;
+  // Per edge type: raw (src_local, dst_local, count) triples.
+  std::vector<std::vector<std::tuple<LocalId, LocalId, std::uint32_t>>>
+      edges_;
+};
+
+}  // namespace netout
+
+#endif  // NETOUT_GRAPH_BUILDER_H_

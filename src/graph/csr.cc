@@ -1,0 +1,74 @@
+#include "graph/csr.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "common/logging.h"
+
+namespace netout {
+
+Csr Csr::FromEdges(
+    std::size_t num_rows,
+    std::vector<std::tuple<LocalId, LocalId, std::uint32_t>> edges) {
+  std::sort(edges.begin(), edges.end());
+
+  Csr csr;
+  csr.offsets_.assign(num_rows + 1, 0);
+  csr.entries_.clear();
+  csr.entries_.reserve(edges.size());
+
+  // Single pass: coalesce duplicate (src, dst) pairs and count per-row
+  // entries, then fill offsets by prefix sum.
+  std::vector<std::uint64_t> row_sizes(num_rows, 0);
+  std::size_t i = 0;
+  while (i < edges.size()) {
+    const LocalId src = std::get<0>(edges[i]);
+    const LocalId dst = std::get<1>(edges[i]);
+    NETOUT_CHECK(src < num_rows) << "CSR edge source out of range";
+    std::uint64_t count = 0;
+    while (i < edges.size() && std::get<0>(edges[i]) == src &&
+           std::get<1>(edges[i]) == dst) {
+      count += std::get<2>(edges[i]);
+      ++i;
+    }
+    csr.entries_.push_back(
+        CsrEntry{dst, static_cast<std::uint32_t>(count)});
+    ++row_sizes[src];
+  }
+  std::uint64_t running = 0;
+  for (std::size_t row = 0; row < num_rows; ++row) {
+    csr.offsets_[row] = running;
+    running += row_sizes[row];
+  }
+  csr.offsets_[num_rows] = running;
+  return csr;
+}
+
+std::uint64_t Csr::RowEdgeCount(LocalId row) const {
+  std::uint64_t total = 0;
+  for (const CsrEntry& entry : Row(row)) {
+    total += entry.count;
+  }
+  return total;
+}
+
+std::uint64_t Csr::TotalEdgeCount() const {
+  std::uint64_t total = 0;
+  for (const CsrEntry& entry : entries_) {
+    total += entry.count;
+  }
+  return total;
+}
+
+Csr Csr::FromRaw(std::vector<std::uint64_t> offsets,
+                 std::vector<CsrEntry> entries) {
+  Csr csr;
+  if (offsets.empty() || offsets.back() != entries.size()) {
+    return csr;
+  }
+  csr.offsets_ = std::move(offsets);
+  csr.entries_ = std::move(entries);
+  return csr;
+}
+
+}  // namespace netout

@@ -1,0 +1,81 @@
+#ifndef NETOUT_GRAPH_CSR_H_
+#define NETOUT_GRAPH_CSR_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace netout {
+
+/// One adjacency entry: a neighbor and the multiplicity (number of
+/// parallel edges) of the link. Multiplicities let path-instance counting
+/// treat repeated links correctly.
+struct CsrEntry {
+  LocalId neighbor;
+  std::uint32_t count;
+
+  friend bool operator==(const CsrEntry& a, const CsrEntry& b) {
+    return a.neighbor == b.neighbor && a.count == b.count;
+  }
+};
+
+/// Immutable compressed-sparse-row adjacency for one (edge type,
+/// direction): row r lists the neighbors reachable from source vertex r
+/// (type-local ids on both sides), sorted by neighbor id with duplicate
+/// links coalesced into counts.
+class Csr {
+ public:
+  Csr() : offsets_(1, 0) {}
+
+  /// Builds from (src, dst, count) triples. `num_rows` fixes the row-index
+  /// space (the number of vertices of the source type). Triples may be
+  /// unsorted and may repeat; repeats are summed.
+  static Csr FromEdges(
+      std::size_t num_rows,
+      std::vector<std::tuple<LocalId, LocalId, std::uint32_t>> edges);
+
+  /// Neighbors of `row`, sorted ascending by neighbor id.
+  std::span<const CsrEntry> Row(LocalId row) const {
+    if (row + 1 >= offsets_.size()) return {};
+    return std::span<const CsrEntry>(entries_.data() + offsets_[row],
+                                     offsets_[row + 1] - offsets_[row]);
+  }
+
+  /// Number of distinct neighbors of `row`.
+  std::size_t RowDegree(LocalId row) const { return Row(row).size(); }
+
+  /// Sum of multiplicities in `row` (total parallel-edge count).
+  std::uint64_t RowEdgeCount(LocalId row) const;
+
+  std::size_t num_rows() const { return offsets_.size() - 1; }
+  std::size_t num_entries() const { return entries_.size(); }
+
+  /// Total number of edges counting multiplicity.
+  std::uint64_t TotalEdgeCount() const;
+
+  /// Approximate heap footprint in bytes (index-size accounting).
+  std::size_t MemoryBytes() const {
+    return offsets_.capacity() * sizeof(std::uint64_t) +
+           entries_.capacity() * sizeof(CsrEntry);
+  }
+
+  /// Raw access for serialization.
+  const std::vector<std::uint64_t>& offsets() const { return offsets_; }
+  const std::vector<CsrEntry>& entries() const { return entries_; }
+
+  /// Reconstructs from raw arrays (deserialization). Returns an empty CSR
+  /// if the arrays are inconsistent; the caller validates sizes upfront.
+  static Csr FromRaw(std::vector<std::uint64_t> offsets,
+                     std::vector<CsrEntry> entries);
+
+ private:
+  std::vector<std::uint64_t> offsets_;  // size num_rows + 1
+  std::vector<CsrEntry> entries_;
+};
+
+}  // namespace netout
+
+#endif  // NETOUT_GRAPH_CSR_H_

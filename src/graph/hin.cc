@@ -1,0 +1,81 @@
+#include "graph/hin.h"
+
+#include "common/logging.h"
+
+namespace netout {
+
+std::size_t Hin::NumVertices(TypeId type) const {
+  NETOUT_CHECK(type < names_.size()) << "vertex type out of range";
+  return names_[type].size();
+}
+
+std::size_t Hin::TotalVertices() const {
+  std::size_t total = 0;
+  for (const auto& per_type : names_) {
+    total += per_type.size();
+  }
+  return total;
+}
+
+std::uint64_t Hin::TotalEdges() const {
+  std::uint64_t total = 0;
+  for (const Csr& csr : forward_) {
+    total += csr.TotalEdgeCount();
+  }
+  return total;
+}
+
+const std::string& Hin::VertexName(VertexRef v) const {
+  NETOUT_CHECK(v.type < names_.size()) << "vertex type out of range";
+  NETOUT_CHECK(v.local < names_[v.type].size()) << "vertex id out of range";
+  return names_[v.type][v.local];
+}
+
+Result<VertexRef> Hin::FindVertex(TypeId type, std::string_view name) const {
+  if (type >= names_.size()) {
+    return Status::OutOfRange("vertex type id out of range");
+  }
+  auto it = name_index_[type].find(std::string(name));
+  if (it == name_index_[type].end()) {
+    return Status::NotFound("no vertex named '" + std::string(name) +
+                            "' of type '" + schema_.VertexTypeName(type) +
+                            "'");
+  }
+  return VertexRef{type, it->second};
+}
+
+Result<VertexRef> Hin::FindVertex(std::string_view type_name,
+                                  std::string_view name) const {
+  NETOUT_ASSIGN_OR_RETURN(TypeId type, schema_.FindVertexType(type_name));
+  return FindVertex(type, name);
+}
+
+const Csr& Hin::Adjacency(const EdgeStep& step) const {
+  NETOUT_CHECK(step.edge_type < forward_.size()) << "edge type out of range";
+  return step.direction == Direction::kForward ? forward_[step.edge_type]
+                                               : reverse_[step.edge_type];
+}
+
+std::span<const CsrEntry> Hin::Neighbors(VertexRef v,
+                                         const EdgeStep& step) const {
+  const Csr& csr = Adjacency(step);
+  NETOUT_CHECK(schema_.StepSource(step) == v.type)
+      << "vertex type does not match the step's source type";
+  return csr.Row(v.local);
+}
+
+std::size_t Hin::MemoryBytes() const {
+  std::size_t bytes = 0;
+  for (std::size_t t = 0; t < names_.size(); ++t) {
+    for (const std::string& name : names_[t]) {
+      bytes += name.capacity() + sizeof(std::string);
+    }
+    // Rough estimate for the hash index: bucket + node overhead.
+    bytes += name_index_[t].size() * (sizeof(void*) * 4 + sizeof(LocalId));
+  }
+  for (const Csr& csr : forward_) bytes += csr.MemoryBytes();
+  for (const Csr& csr : reverse_) bytes += csr.MemoryBytes();
+  return bytes;
+}
+
+}  // namespace netout

@@ -1,0 +1,85 @@
+#ifndef NETOUT_GRAPH_HIN_H_
+#define NETOUT_GRAPH_HIN_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/csr.h"
+#include "graph/schema.h"
+#include "graph/types.h"
+
+namespace netout {
+
+/// An immutable heterogeneous information network (Definition 1 of the
+/// paper): multi-typed vertices with named identities and typed links.
+///
+/// Storage model:
+///  * vertices of each type are numbered contiguously (LocalId) and carry
+///    a unique name within their type;
+///  * every edge type is stored twice as CSR adjacency — forward
+///    (src-type row -> dst-type neighbors) and reverse — so any meta-path
+///    hop is a single indexed row scan regardless of declared direction;
+///  * parallel links are coalesced into per-neighbor multiplicities, which
+///    is exactly what path-instance counting needs.
+///
+/// Instances are produced by GraphBuilder (builder.h) or LoadHin* (io.h)
+/// and are immutable afterwards: concurrent queries need no locking.
+class Hin {
+ public:
+  const Schema& schema() const { return schema_; }
+
+  /// Number of vertices of `type`.
+  std::size_t NumVertices(TypeId type) const;
+
+  /// Total vertices across all types.
+  std::size_t TotalVertices() const;
+
+  /// Total links counting multiplicity (each conceptual edge once, not
+  /// double-counted for its two stored directions).
+  std::uint64_t TotalEdges() const;
+
+  /// Name of a vertex. Aborts on out-of-range references (programming
+  /// error; use FindVertex for user input).
+  const std::string& VertexName(VertexRef v) const;
+
+  /// Looks up a vertex by type and name. kNotFound if absent.
+  Result<VertexRef> FindVertex(TypeId type, std::string_view name) const;
+  Result<VertexRef> FindVertex(std::string_view type_name,
+                               std::string_view name) const;
+
+  /// Adjacency rows for one resolved meta-path hop.
+  const Csr& Adjacency(const EdgeStep& step) const;
+
+  /// Neighbors of `v` along `step` (empty if v is out of range).
+  std::span<const CsrEntry> Neighbors(VertexRef v,
+                                      const EdgeStep& step) const;
+
+  /// Approximate heap footprint in bytes.
+  std::size_t MemoryBytes() const;
+
+ private:
+  friend class GraphBuilder;
+  friend Result<std::shared_ptr<const Hin>> LoadHinBinary(
+      std::string_view path);
+
+  Hin() = default;
+
+  Schema schema_;
+  // names_[type][local] is the vertex name; name_index_[type] maps
+  // name -> local id.
+  std::vector<std::vector<std::string>> names_;
+  std::vector<std::unordered_map<std::string, LocalId>> name_index_;
+  // forward_[edge_type] / reverse_[edge_type]
+  std::vector<Csr> forward_;
+  std::vector<Csr> reverse_;
+};
+
+using HinPtr = std::shared_ptr<const Hin>;
+
+}  // namespace netout
+
+#endif  // NETOUT_GRAPH_HIN_H_

@@ -1,0 +1,181 @@
+#include "graph/import.h"
+
+#include <sstream>
+#include <unordered_map>
+
+#include "common/binary_io.h"
+#include "common/string_util.h"
+#include "graph/builder.h"
+
+namespace netout {
+
+Result<std::vector<std::string>> ParseCsvLine(std::string_view line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool quoted = false;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');  // escaped quote
+          i += 2;
+          continue;
+        }
+        quoted = false;
+        ++i;
+        continue;
+      }
+      current.push_back(c);
+      ++i;
+      continue;
+    }
+    if (c == '"' && current.empty()) {
+      quoted = true;
+      ++i;
+      continue;
+    }
+    if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+      ++i;
+      continue;
+    }
+    current.push_back(c);
+    ++i;
+  }
+  if (quoted) {
+    return Status::ParseError("unterminated quoted CSV field");
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+namespace {
+
+/// Resolves (or registers) a vertex type by name.
+Result<TypeId> EnsureVertexType(GraphBuilder* builder,
+                                std::string_view name) {
+  auto existing = builder->schema().FindVertexType(name);
+  if (existing.ok()) return existing;
+  return builder->AddVertexType(name);
+}
+
+/// Resolves (or registers) an edge type, validating endpoint agreement
+/// when it already exists.
+Result<EdgeTypeId> EnsureEdgeType(GraphBuilder* builder,
+                                  std::string_view name, TypeId src,
+                                  TypeId dst) {
+  auto existing = builder->schema().FindEdgeType(name);
+  if (existing.ok()) {
+    const EdgeTypeInfo& info = builder->schema().edge_type(existing.value());
+    if (info.src != src || info.dst != dst) {
+      return Status::InvalidArgument(
+          "edge type '" + std::string(name) +
+          "' is declared with different endpoint types by another table");
+    }
+    return existing;
+  }
+  return builder->AddEdgeType(name, src, dst);
+}
+
+}  // namespace
+
+Result<HinPtr> ImportCsvTables(std::span<const CsvTableSpec> tables) {
+  GraphBuilder builder;
+  for (const CsvTableSpec& table : tables) {
+    NETOUT_ASSIGN_OR_RETURN(TypeId row_type,
+                            EnsureVertexType(&builder, table.vertex_type));
+
+    // Pre-resolve link target/edge types so schema errors surface before
+    // any row is processed.
+    struct ResolvedLink {
+      std::size_t column_index = 0;
+      TypeId target = kInvalidTypeId;
+      EdgeTypeId edge = kInvalidEdgeTypeId;
+      char separator = '\0';
+    };
+    std::vector<ResolvedLink> links(table.links.size());
+    for (std::size_t l = 0; l < table.links.size(); ++l) {
+      NETOUT_ASSIGN_OR_RETURN(
+          links[l].target,
+          EnsureVertexType(&builder, table.links[l].vertex_type));
+      NETOUT_ASSIGN_OR_RETURN(
+          links[l].edge, EnsureEdgeType(&builder, table.links[l].edge_type,
+                                        row_type, links[l].target));
+      links[l].separator = table.links[l].separator;
+    }
+
+    NETOUT_ASSIGN_OR_RETURN(std::string data,
+                            ReadFileToString(table.path));
+    std::istringstream stream(data);
+    std::string line;
+    if (!std::getline(stream, line)) {
+      return Status::ParseError(table.path + ": missing CSV header");
+    }
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    NETOUT_ASSIGN_OR_RETURN(std::vector<std::string> header,
+                            ParseCsvLine(line));
+    std::unordered_map<std::string, std::size_t> column_index;
+    for (std::size_t c = 0; c < header.size(); ++c) {
+      column_index[AsciiToLower(StrTrim(header[c]))] = c;
+    }
+    auto find_column = [&](const std::string& name) -> Result<std::size_t> {
+      auto it = column_index.find(AsciiToLower(name));
+      if (it == column_index.end()) {
+        return Status::InvalidArgument(table.path + ": no column named '" +
+                                       name + "'");
+      }
+      return it->second;
+    };
+    NETOUT_ASSIGN_OR_RETURN(const std::size_t key_index,
+                            find_column(table.key_column));
+    for (std::size_t l = 0; l < table.links.size(); ++l) {
+      NETOUT_ASSIGN_OR_RETURN(links[l].column_index,
+                              find_column(table.links[l].column));
+    }
+
+    std::size_t line_no = 1;
+    while (std::getline(stream, line)) {
+      ++line_no;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (StrTrim(line).empty()) continue;
+      NETOUT_ASSIGN_OR_RETURN(std::vector<std::string> fields,
+                              ParseCsvLine(line));
+      if (fields.size() != header.size()) {
+        return Status::ParseError(
+            table.path + ":" + std::to_string(line_no) + ": expected " +
+            std::to_string(header.size()) + " fields, got " +
+            std::to_string(fields.size()));
+      }
+      const std::string_view key = StrTrim(fields[key_index]);
+      if (key.empty()) {
+        return Status::ParseError(table.path + ":" +
+                                  std::to_string(line_no) +
+                                  ": empty key column");
+      }
+      NETOUT_ASSIGN_OR_RETURN(VertexRef row,
+                              builder.AddVertex(row_type, key));
+      for (const ResolvedLink& link : links) {
+        const std::string& cell = fields[link.column_index];
+        std::vector<std::string> values;
+        if (link.separator == '\0') {
+          values.push_back(cell);
+        } else {
+          values = StrSplit(cell, link.separator);
+        }
+        for (const std::string& raw : values) {
+          const std::string_view value = StrTrim(raw);
+          if (value.empty()) continue;
+          NETOUT_ASSIGN_OR_RETURN(VertexRef target,
+                                  builder.AddVertex(link.target, value));
+          NETOUT_RETURN_IF_ERROR(builder.AddEdge(link.edge, row, target));
+        }
+      }
+    }
+  }
+  return builder.Finish();
+}
+
+}  // namespace netout

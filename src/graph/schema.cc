@@ -1,0 +1,145 @@
+#include "graph/schema.h"
+
+#include <limits>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace netout {
+
+Result<TypeId> Schema::AddVertexType(std::string_view name) {
+  if (StrTrim(name).empty()) {
+    return Status::InvalidArgument("vertex type name must not be empty");
+  }
+  std::string key = AsciiToLower(name);
+  if (vertex_type_index_.count(key) > 0) {
+    return Status::AlreadyExists("vertex type '" + std::string(name) +
+                                 "' already registered");
+  }
+  if (vertex_type_names_.size() >=
+      static_cast<std::size_t>(std::numeric_limits<TypeId>::max())) {
+    return Status::OutOfRange("too many vertex types");
+  }
+  TypeId id = static_cast<TypeId>(vertex_type_names_.size());
+  vertex_type_names_.emplace_back(name);
+  vertex_type_index_.emplace(std::move(key), id);
+  return id;
+}
+
+Result<EdgeTypeId> Schema::AddEdgeType(std::string_view name, TypeId src,
+                                       TypeId dst) {
+  if (StrTrim(name).empty()) {
+    return Status::InvalidArgument("edge type name must not be empty");
+  }
+  if (src >= vertex_type_names_.size() || dst >= vertex_type_names_.size()) {
+    return Status::OutOfRange("edge type references unknown vertex type");
+  }
+  std::string key = AsciiToLower(name);
+  if (edge_type_index_.count(key) > 0) {
+    return Status::AlreadyExists("edge type '" + std::string(name) +
+                                 "' already registered");
+  }
+  if (edge_types_.size() >=
+      static_cast<std::size_t>(std::numeric_limits<EdgeTypeId>::max())) {
+    return Status::OutOfRange("too many edge types");
+  }
+  EdgeTypeId id = static_cast<EdgeTypeId>(edge_types_.size());
+  edge_types_.push_back(EdgeTypeInfo{std::string(name), src, dst});
+  edge_type_index_.emplace(std::move(key), id);
+  return id;
+}
+
+Result<TypeId> Schema::FindVertexType(std::string_view name) const {
+  auto it = vertex_type_index_.find(AsciiToLower(name));
+  if (it == vertex_type_index_.end()) {
+    return Status::NotFound("unknown vertex type '" + std::string(name) +
+                            "'");
+  }
+  return it->second;
+}
+
+Result<EdgeTypeId> Schema::FindEdgeType(std::string_view name) const {
+  auto it = edge_type_index_.find(AsciiToLower(name));
+  if (it == edge_type_index_.end()) {
+    return Status::NotFound("unknown edge type '" + std::string(name) + "'");
+  }
+  return it->second;
+}
+
+const std::string& Schema::VertexTypeName(TypeId id) const {
+  NETOUT_CHECK(id < vertex_type_names_.size());
+  return vertex_type_names_[id];
+}
+
+const EdgeTypeInfo& Schema::edge_type(EdgeTypeId id) const {
+  NETOUT_CHECK(id < edge_types_.size());
+  return edge_types_[id];
+}
+
+Result<EdgeStep> Schema::ResolveStep(TypeId from, TypeId to) const {
+  EdgeStep found;
+  int matches = 0;
+  for (std::size_t i = 0; i < edge_types_.size(); ++i) {
+    const EdgeTypeInfo& info = edge_types_[i];
+    const EdgeTypeId id = static_cast<EdgeTypeId>(i);
+    if (info.src == from && info.dst == to) {
+      found = EdgeStep{id, Direction::kForward};
+      ++matches;
+    }
+    if (info.dst == from && info.src == to) {
+      found = EdgeStep{id, Direction::kReverse};
+      ++matches;
+    }
+  }
+  if (matches == 0) {
+    return Status::NotFound("no edge type connects '" +
+                            VertexTypeName(from) + "' to '" +
+                            VertexTypeName(to) + "'");
+  }
+  if (matches > 1) {
+    return Status::InvalidArgument(
+        "ambiguous relation between '" + VertexTypeName(from) + "' and '" +
+        VertexTypeName(to) +
+        "': multiple edge types match; annotate the meta-path with an edge "
+        "type name");
+  }
+  return found;
+}
+
+Result<EdgeStep> Schema::ResolveStepByName(std::string_view edge_name,
+                                           TypeId from, TypeId to) const {
+  NETOUT_ASSIGN_OR_RETURN(EdgeTypeId id, FindEdgeType(edge_name));
+  const EdgeTypeInfo& info = edge_types_[id];
+  if (info.src == from && info.dst == to) {
+    return EdgeStep{id, Direction::kForward};
+  }
+  if (info.dst == from && info.src == to) {
+    return EdgeStep{id, Direction::kReverse};
+  }
+  return Status::InvalidArgument(
+      "edge type '" + std::string(edge_name) + "' does not connect '" +
+      VertexTypeName(from) + "' to '" + VertexTypeName(to) + "'");
+}
+
+std::vector<EdgeStep> Schema::StepsFrom(TypeId from) const {
+  std::vector<EdgeStep> steps;
+  for (std::size_t i = 0; i < edge_types_.size(); ++i) {
+    const EdgeTypeInfo& info = edge_types_[i];
+    const EdgeTypeId id = static_cast<EdgeTypeId>(i);
+    if (info.src == from) steps.push_back(EdgeStep{id, Direction::kForward});
+    if (info.dst == from) steps.push_back(EdgeStep{id, Direction::kReverse});
+  }
+  return steps;
+}
+
+TypeId Schema::StepTarget(const EdgeStep& step) const {
+  const EdgeTypeInfo& info = edge_type(step.edge_type);
+  return step.direction == Direction::kForward ? info.dst : info.src;
+}
+
+TypeId Schema::StepSource(const EdgeStep& step) const {
+  const EdgeTypeInfo& info = edge_type(step.edge_type);
+  return step.direction == Direction::kForward ? info.src : info.dst;
+}
+
+}  // namespace netout

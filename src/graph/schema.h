@@ -1,0 +1,81 @@
+#ifndef NETOUT_GRAPH_SCHEMA_H_
+#define NETOUT_GRAPH_SCHEMA_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/types.h"
+
+namespace netout {
+
+/// Metadata for one registered edge type (a directed relation).
+struct EdgeTypeInfo {
+  std::string name;   // e.g. "writes"
+  TypeId src = kInvalidTypeId;
+  TypeId dst = kInvalidTypeId;
+};
+
+/// The network schema: the registry of vertex types and edge types.
+///
+/// This is the paper's schema graph (Figure 1a). Vertex type names are
+/// case-insensitive and unique; edge type names are case-insensitive and
+/// unique. An *undirected* conceptual link (paper—author) is registered as
+/// a single directed edge type; the reverse orientation is always
+/// traversable (Hin stores both CSR directions).
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Registers a vertex type; fails with kAlreadyExists on duplicates.
+  Result<TypeId> AddVertexType(std::string_view name);
+
+  /// Registers an edge type between two existing vertex types.
+  Result<EdgeTypeId> AddEdgeType(std::string_view name, TypeId src,
+                                 TypeId dst);
+
+  /// Name -> id lookups (case-insensitive). kNotFound when missing.
+  Result<TypeId> FindVertexType(std::string_view name) const;
+  Result<EdgeTypeId> FindEdgeType(std::string_view name) const;
+
+  const std::string& VertexTypeName(TypeId id) const;
+  const EdgeTypeInfo& edge_type(EdgeTypeId id) const;
+
+  std::size_t num_vertex_types() const { return vertex_type_names_.size(); }
+  std::size_t num_edge_types() const { return edge_types_.size(); }
+
+  /// Resolves the unique edge step connecting `from` to `to` (in either
+  /// orientation). Errors:
+  ///   kNotFound         — no edge type connects the pair;
+  ///   kInvalidArgument  — more than one step matches (the caller must
+  ///                       disambiguate with an explicit edge-type name).
+  /// A self-relation (src == dst) matches both orientations of the same
+  /// edge type and is therefore always ambiguous.
+  Result<EdgeStep> ResolveStep(TypeId from, TypeId to) const;
+
+  /// Resolves a step by explicit edge-type name, validating that the named
+  /// relation connects `from` to `to` in some orientation.
+  Result<EdgeStep> ResolveStepByName(std::string_view edge_name, TypeId from,
+                                     TypeId to) const;
+
+  /// All steps leaving `from` (used to enumerate length-2 meta-paths for
+  /// the pre-materialization index).
+  std::vector<EdgeStep> StepsFrom(TypeId from) const;
+
+  /// Destination vertex type of a step.
+  TypeId StepTarget(const EdgeStep& step) const;
+  /// Source vertex type of a step.
+  TypeId StepSource(const EdgeStep& step) const;
+
+ private:
+  std::vector<std::string> vertex_type_names_;
+  std::unordered_map<std::string, TypeId> vertex_type_index_;  // lower-cased
+  std::vector<EdgeTypeInfo> edge_types_;
+  std::unordered_map<std::string, EdgeTypeId> edge_type_index_;  // lower-cased
+};
+
+}  // namespace netout
+
+#endif  // NETOUT_GRAPH_SCHEMA_H_

@@ -1,0 +1,57 @@
+#include "graph/stats.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace netout {
+
+GraphStats ComputeGraphStats(const Hin& hin) {
+  GraphStats stats;
+  const Schema& schema = hin.schema();
+  for (TypeId t = 0; t < schema.num_vertex_types(); ++t) {
+    stats.vertex_counts.emplace_back(schema.VertexTypeName(t),
+                                     hin.NumVertices(t));
+    stats.total_vertices += hin.NumVertices(t);
+  }
+  for (EdgeTypeId e = 0; e < schema.num_edge_types(); ++e) {
+    const EdgeTypeInfo& info = schema.edge_type(e);
+    const Csr& csr = hin.Adjacency(EdgeStep{e, Direction::kForward});
+    DegreeStats d;
+    d.label = info.name + " (" + schema.VertexTypeName(info.src) + "->" +
+              schema.VertexTypeName(info.dst) + ")";
+    d.rows = csr.num_rows();
+    d.edges = csr.TotalEdgeCount();
+    for (LocalId row = 0; row < csr.num_rows(); ++row) {
+      const std::uint64_t degree = csr.RowEdgeCount(row);
+      if (degree == 0) ++d.isolated;
+      d.max_degree = std::max(d.max_degree, degree);
+    }
+    d.mean_degree =
+        d.rows == 0 ? 0.0
+                    : static_cast<double>(d.edges) / static_cast<double>(d.rows);
+    stats.degree_stats.push_back(std::move(d));
+    stats.total_edges += csr.TotalEdgeCount();
+  }
+  stats.memory_bytes = hin.MemoryBytes();
+  return stats;
+}
+
+std::string GraphStats::ToString() const {
+  std::ostringstream out;
+  out << "vertices: " << total_vertices << ", edges: " << total_edges
+      << ", memory: " << HumanBytes(memory_bytes) << "\n";
+  for (const auto& [name, count] : vertex_counts) {
+    out << "  type " << name << ": " << count << "\n";
+  }
+  for (const DegreeStats& d : degree_stats) {
+    out << "  edge " << d.label << ": " << d.edges
+        << " links, mean degree " << FormatDouble(d.mean_degree, 2)
+        << ", max degree " << d.max_degree << ", isolated " << d.isolated
+        << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace netout

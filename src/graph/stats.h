@@ -1,0 +1,39 @@
+#ifndef NETOUT_GRAPH_STATS_H_
+#define NETOUT_GRAPH_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/hin.h"
+
+namespace netout {
+
+/// Degree summary of one (edge type, direction) adjacency.
+struct DegreeStats {
+  std::string label;        // e.g. "writes (author->paper)"
+  std::uint64_t edges = 0;  // total multiplicity
+  std::size_t rows = 0;
+  std::size_t isolated = 0;  // rows with no neighbors
+  std::uint64_t max_degree = 0;
+  double mean_degree = 0.0;
+};
+
+/// Aggregate statistics of a Hin, used by examples/tools and by the
+/// benchmark harness to print workload characteristics.
+struct GraphStats {
+  std::vector<std::pair<std::string, std::size_t>> vertex_counts;
+  std::vector<DegreeStats> degree_stats;  // forward direction per edge type
+  std::size_t total_vertices = 0;
+  std::uint64_t total_edges = 0;
+  std::size_t memory_bytes = 0;
+
+  /// Multi-line human-readable report.
+  std::string ToString() const;
+};
+
+GraphStats ComputeGraphStats(const Hin& hin);
+
+}  // namespace netout
+
+#endif  // NETOUT_GRAPH_STATS_H_

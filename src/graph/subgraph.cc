@@ -1,0 +1,101 @@
+#include "graph/subgraph.h"
+
+#include <unordered_set>
+#include <vector>
+
+#include "graph/builder.h"
+
+namespace netout {
+
+Result<HinPtr> InducedSubgraph(const Hin& hin,
+                               std::span<const VertexRef> vertices) {
+  const Schema& schema = hin.schema();
+
+  // Selection bitmap per type for O(1) membership tests.
+  std::vector<std::vector<bool>> selected(schema.num_vertex_types());
+  for (TypeId t = 0; t < schema.num_vertex_types(); ++t) {
+    selected[t].assign(hin.NumVertices(t), false);
+  }
+  for (const VertexRef& v : vertices) {
+    if (v.type >= schema.num_vertex_types() ||
+        v.local >= hin.NumVertices(v.type)) {
+      return Status::OutOfRange("subgraph selection references an unknown "
+                                "vertex");
+    }
+    selected[v.type][v.local] = true;
+  }
+
+  GraphBuilder builder;
+  for (TypeId t = 0; t < schema.num_vertex_types(); ++t) {
+    NETOUT_RETURN_IF_ERROR(
+        builder.AddVertexType(schema.VertexTypeName(t)).status());
+  }
+  for (EdgeTypeId e = 0; e < schema.num_edge_types(); ++e) {
+    const EdgeTypeInfo& info = schema.edge_type(e);
+    NETOUT_RETURN_IF_ERROR(
+        builder.AddEdgeType(info.name, info.src, info.dst).status());
+  }
+  // Add vertices in original local-id order so renumbering is dense and
+  // deterministic.
+  for (TypeId t = 0; t < schema.num_vertex_types(); ++t) {
+    for (LocalId v = 0; v < hin.NumVertices(t); ++v) {
+      if (!selected[t][v]) continue;
+      NETOUT_RETURN_IF_ERROR(
+          builder.AddVertex(t, hin.VertexName(VertexRef{t, v})).status());
+    }
+  }
+  // Links with both endpoints selected, multiplicity preserved.
+  for (EdgeTypeId e = 0; e < schema.num_edge_types(); ++e) {
+    const EdgeTypeInfo& info = schema.edge_type(e);
+    const Csr& csr = hin.Adjacency(EdgeStep{e, Direction::kForward});
+    for (LocalId src = 0; src < csr.num_rows(); ++src) {
+      if (!selected[info.src][src]) continue;
+      NETOUT_ASSIGN_OR_RETURN(
+          VertexRef new_src,
+          builder.AddVertex(info.src,
+                            hin.VertexName(VertexRef{info.src, src})));
+      for (const CsrEntry& entry : csr.Row(src)) {
+        if (!selected[info.dst][entry.neighbor]) continue;
+        NETOUT_ASSIGN_OR_RETURN(
+            VertexRef new_dst,
+            builder.AddVertex(
+                info.dst,
+                hin.VertexName(VertexRef{info.dst, entry.neighbor})));
+        NETOUT_RETURN_IF_ERROR(
+            builder.AddEdge(e, new_src, new_dst, entry.count));
+      }
+    }
+  }
+  return builder.Finish();
+}
+
+Result<HinPtr> NeighborhoodSubgraph(const Hin& hin, VertexRef seed,
+                                    std::size_t hops) {
+  const Schema& schema = hin.schema();
+  if (seed.type >= schema.num_vertex_types() ||
+      seed.local >= hin.NumVertices(seed.type)) {
+    return Status::OutOfRange("seed vertex is unknown");
+  }
+  std::unordered_set<VertexRef, VertexRefHash> visited = {seed};
+  std::vector<VertexRef> frontier = {seed};
+  for (std::size_t hop = 0; hop < hops; ++hop) {
+    std::vector<VertexRef> next;
+    for (const VertexRef& v : frontier) {
+      for (const EdgeStep& step : schema.StepsFrom(v.type)) {
+        const TypeId target = schema.StepTarget(step);
+        for (const CsrEntry& entry : hin.Neighbors(v, step)) {
+          const VertexRef neighbor{target, entry.neighbor};
+          if (visited.insert(neighbor).second) {
+            next.push_back(neighbor);
+          }
+        }
+      }
+    }
+    frontier = std::move(next);
+    if (frontier.empty()) break;
+  }
+  const std::vector<VertexRef> all(visited.begin(), visited.end());
+  return InducedSubgraph(hin, all);
+}
+
+}  // namespace netout

@@ -1,0 +1,31 @@
+#ifndef NETOUT_GRAPH_SUBGRAPH_H_
+#define NETOUT_GRAPH_SUBGRAPH_H_
+
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/hin.h"
+
+namespace netout {
+
+/// The sub-network induced by `vertices`: the same schema, the selected
+/// vertices (names preserved, type-local ids renumbered densely), and
+/// every link whose *both* endpoints are selected (multiplicities
+/// preserved). Duplicate selections are ignored.
+///
+/// Typical use: carve out the neighborhood an analyst is exploring (the
+/// candidate set plus its 1-2 hop surroundings) into a small network
+/// that can be saved, shared, or queried in isolation.
+Result<HinPtr> InducedSubgraph(const Hin& hin,
+                               std::span<const VertexRef> vertices);
+
+/// Convenience: the induced sub-network of everything reachable from
+/// `seed` within `hops` edge traversals (any edge type, both
+/// orientations), including `seed` itself.
+Result<HinPtr> NeighborhoodSubgraph(const Hin& hin, VertexRef seed,
+                                    std::size_t hops);
+
+}  // namespace netout
+
+#endif  // NETOUT_GRAPH_SUBGRAPH_H_

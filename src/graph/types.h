@@ -1,0 +1,79 @@
+#ifndef NETOUT_GRAPH_TYPES_H_
+#define NETOUT_GRAPH_TYPES_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+#include "common/hash.h"
+
+namespace netout {
+
+/// Identifier of a vertex *type* (author, paper, venue, term, ...).
+using TypeId = std::uint16_t;
+
+/// Identifier of an edge type (a named, directed relation between two
+/// vertex types, e.g. "writes": author -> paper).
+using EdgeTypeId = std::uint16_t;
+
+/// Type-local vertex identifier: vertices of each type are numbered
+/// contiguously from zero. All per-type arrays (neighbor vectors, CSR
+/// rows) are indexed by LocalId, which keeps them dense and compact.
+using LocalId = std::uint32_t;
+
+inline constexpr TypeId kInvalidTypeId =
+    std::numeric_limits<TypeId>::max();
+inline constexpr EdgeTypeId kInvalidEdgeTypeId =
+    std::numeric_limits<EdgeTypeId>::max();
+inline constexpr LocalId kInvalidLocalId =
+    std::numeric_limits<LocalId>::max();
+
+/// A fully-qualified vertex reference: (type, type-local id).
+struct VertexRef {
+  TypeId type = kInvalidTypeId;
+  LocalId local = kInvalidLocalId;
+
+  bool valid() const { return type != kInvalidTypeId; }
+
+  friend bool operator==(const VertexRef& a, const VertexRef& b) {
+    return a.type == b.type && a.local == b.local;
+  }
+  friend bool operator!=(const VertexRef& a, const VertexRef& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const VertexRef& a, const VertexRef& b) {
+    return a.type != b.type ? a.type < b.type : a.local < b.local;
+  }
+};
+
+struct VertexRefHash {
+  std::size_t operator()(const VertexRef& v) const {
+    return HashCombine(std::hash<TypeId>()(v.type),
+                       std::hash<LocalId>()(v.local));
+  }
+};
+
+/// Traversal direction of an edge type. An edge type declared as
+/// src -> dst is traversed kForward when stepping src-to-dst and
+/// kReverse when stepping dst-to-src.
+enum class Direction : std::uint8_t { kForward = 0, kReverse = 1 };
+
+inline Direction Opposite(Direction d) {
+  return d == Direction::kForward ? Direction::kReverse
+                                  : Direction::kForward;
+}
+
+/// One hop of a resolved meta-path: which edge type to follow and in
+/// which orientation.
+struct EdgeStep {
+  EdgeTypeId edge_type = kInvalidEdgeTypeId;
+  Direction direction = Direction::kForward;
+
+  friend bool operator==(const EdgeStep& a, const EdgeStep& b) {
+    return a.edge_type == b.edge_type && a.direction == b.direction;
+  }
+};
+
+}  // namespace netout
+
+#endif  // NETOUT_GRAPH_TYPES_H_

@@ -1,0 +1,58 @@
+#include "index/cached_index.h"
+
+namespace netout {
+
+CachedIndex::CachedIndex() : CachedIndex(nullptr, Options()) {}
+
+CachedIndex::CachedIndex(const MetaPathIndex* base)
+    : CachedIndex(base, Options()) {}
+
+CachedIndex::CachedIndex(const MetaPathIndex* base, const Options& options)
+    : base_(base), options_(options) {}
+
+std::optional<SparseVecView> CachedIndex::Lookup(const TwoStepKey& key,
+                                                 LocalId row) const {
+  if (base_ != nullptr) {
+    std::optional<SparseVecView> hit = base_->Lookup(key, row);
+    if (hit.has_value()) return hit;
+  }
+  auto it = entries_.find(CacheKey{key, row});
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);  // promote to front
+  return it->second->vector.View();
+}
+
+void CachedIndex::Remember(const TwoStepKey& key, LocalId row,
+                           const SparseVector& vector) const {
+  const CacheKey cache_key{key, row};
+  if (entries_.count(cache_key) > 0) return;  // already cached
+  const std::size_t bytes = vector.MemoryBytes() + sizeof(Entry);
+  if (bytes > options_.capacity_bytes) return;  // never admissible
+  lru_.push_front(Entry{cache_key, vector, bytes});
+  entries_.emplace(cache_key, lru_.begin());
+  bytes_ += bytes;
+  ++stats_.insertions;
+  EvictToBudget();
+}
+
+void CachedIndex::EvictToBudget() const {
+  while (bytes_ > options_.capacity_bytes && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    bytes_ -= victim.bytes;
+    entries_.erase(victim.key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+void CachedIndex::Clear() {
+  lru_.clear();
+  entries_.clear();
+  bytes_ = 0;
+}
+
+}  // namespace netout

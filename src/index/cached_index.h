@@ -1,0 +1,105 @@
+#ifndef NETOUT_INDEX_CACHED_INDEX_H_
+#define NETOUT_INDEX_CACHED_INDEX_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <utility>
+
+#include "common/hash.h"
+#include "metapath/index_iface.h"
+
+namespace netout {
+
+/// A *dynamic* counterpart to SPM: instead of choosing hot vertices
+/// upfront from an initialization query set, CachedIndex memoizes
+/// length-2 meta-path vectors as queries compute them, under an LRU
+/// policy with a byte budget. Skewed exploratory workloads (the same
+/// analyst drilling into one neighborhood) warm it up automatically; no
+/// query log is needed.
+///
+/// This is an extension beyond the paper (its Section 6.2 strategies are
+/// static); `bench_ablation_cache` compares it against Baseline / SPM /
+/// PM on skewed and uniform workloads.
+///
+/// It can wrap a base index (PM or SPM): lookups consult the base index
+/// first and only fall back to the cache, so the cache holds exactly the
+/// vectors the base index lacks.
+///
+/// NOT thread-safe (lookups mutate LRU state); use one per Engine, like
+/// the Engine itself.
+class CachedIndex : public MetaPathIndex {
+ public:
+  struct Options {
+    /// Cache payload budget; entries are evicted LRU-first when the
+    /// budget is exceeded. Entries larger than the whole budget are not
+    /// admitted.
+    std::size_t capacity_bytes = std::size_t{64} << 20;
+  };
+
+  struct Stats {
+    std::uint64_t hits = 0;        // cache hits (excludes base hits)
+    std::uint64_t misses = 0;      // neither base nor cache had the row
+    std::uint64_t insertions = 0;  // rows remembered
+    std::uint64_t evictions = 0;   // rows dropped for space
+  };
+
+  /// `base` may be null (pure cache); it is borrowed.
+  CachedIndex();
+  explicit CachedIndex(const MetaPathIndex* base);
+  CachedIndex(const MetaPathIndex* base, const Options& options);
+
+  std::optional<SparseVecView> Lookup(const TwoStepKey& key,
+                                      LocalId row) const override;
+
+  void Remember(const TwoStepKey& key, LocalId row,
+                const SparseVector& vector) const override;
+
+  /// Cache payload bytes (excludes the base index; add
+  /// base->MemoryBytes() for the total).
+  std::size_t MemoryBytes() const override { return bytes_; }
+
+  const Stats& stats() const { return stats_; }
+  std::size_t num_entries() const { return entries_.size(); }
+
+  /// Drops every cached entry (stats are kept).
+  void Clear();
+
+ private:
+  struct CacheKey {
+    TwoStepKey key;
+    LocalId row;
+
+    friend bool operator==(const CacheKey& a, const CacheKey& b) {
+      return a.key == b.key && a.row == b.row;
+    }
+  };
+  struct CacheKeyHash {
+    std::size_t operator()(const CacheKey& k) const {
+      return HashCombine(TwoStepKeyHash()(k.key), k.row);
+    }
+  };
+  struct Entry {
+    CacheKey key;
+    SparseVector vector;
+    std::size_t bytes = 0;
+  };
+
+  void EvictToBudget() const;
+
+  const MetaPathIndex* base_;
+  Options options_;
+
+  // Logically-const cache state (the memoization idiom): Lookup and
+  // Remember mutate recency/occupancy but never observable results.
+  mutable std::list<Entry> lru_;  // front = most recently used
+  mutable std::unordered_map<CacheKey, std::list<Entry>::iterator,
+                             CacheKeyHash>
+      entries_;
+  mutable std::size_t bytes_ = 0;
+  mutable Stats stats_;
+};
+
+}  // namespace netout
+
+#endif  // NETOUT_INDEX_CACHED_INDEX_H_

@@ -1,0 +1,92 @@
+#include "index/pm_index.h"
+
+#include <utility>
+
+#include "common/stopwatch.h"
+
+namespace netout {
+namespace {
+
+/// Enumerates every composable (step1, step2) pair in the schema.
+std::vector<TwoStepKey> AllTwoStepKeys(const Schema& schema) {
+  std::vector<TwoStepKey> keys;
+  for (TypeId t0 = 0; t0 < schema.num_vertex_types(); ++t0) {
+    for (const EdgeStep& s1 : schema.StepsFrom(t0)) {
+      const TypeId t1 = schema.StepTarget(s1);
+      for (const EdgeStep& s2 : schema.StepsFrom(t1)) {
+        keys.push_back(TwoStepKey{s1, s2});
+      }
+    }
+  }
+  return keys;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<PmIndex>> PmIndex::Build(const Hin& hin) {
+  std::vector<TypeId> all_roots;
+  for (TypeId t = 0; t < hin.schema().num_vertex_types(); ++t) {
+    all_roots.push_back(t);
+  }
+  return BuildForRoots(hin, all_roots);
+}
+
+Result<std::unique_ptr<PmIndex>> PmIndex::BuildForRoots(
+    const Hin& hin, const std::vector<TypeId>& root_types) {
+  Stopwatch watch;
+  auto index = std::unique_ptr<PmIndex>(new PmIndex());
+  const Schema& schema = hin.schema();
+  for (TypeId root : root_types) {
+    if (root >= schema.num_vertex_types()) {
+      return Status::OutOfRange("PM root type out of range");
+    }
+  }
+  for (const TwoStepKey& key : AllTwoStepKeys(schema)) {
+    const TypeId root = schema.StepSource(key.first);
+    bool selected = false;
+    for (TypeId t : root_types) {
+      selected |= (t == root);
+    }
+    if (!selected) continue;
+    NETOUT_ASSIGN_OR_RETURN(
+        MetaPath path, MetaPath::FromSteps(schema, {key.first, key.second}));
+    NETOUT_ASSIGN_OR_RETURN(RelationMatrix matrix,
+                            RelationMatrix::Materialize(hin, path));
+    index->relations_.emplace(key, std::move(matrix));
+  }
+  index->build_time_nanos_ = watch.ElapsedNanos();
+  return index;
+}
+
+std::optional<SparseVecView> PmIndex::Lookup(const TwoStepKey& key,
+                                             LocalId row) const {
+  auto it = relations_.find(key);
+  if (it == relations_.end()) return std::nullopt;
+  if (row >= it->second.num_rows()) return std::nullopt;
+  return it->second.Row(row);
+}
+
+std::size_t PmIndex::MemoryBytes() const {
+  std::size_t bytes = 0;
+  for (const auto& [key, matrix] : relations_) {
+    bytes += sizeof(key) + matrix.MemoryBytes();
+  }
+  return bytes;
+}
+
+std::vector<TwoStepKey> PmIndex::Keys() const {
+  std::vector<TwoStepKey> keys;
+  keys.reserve(relations_.size());
+  for (const auto& [key, matrix] : relations_) {
+    (void)matrix;
+    keys.push_back(key);
+  }
+  return keys;
+}
+
+const RelationMatrix* PmIndex::Relation(const TwoStepKey& key) const {
+  auto it = relations_.find(key);
+  return it == relations_.end() ? nullptr : &it->second;
+}
+
+}  // namespace netout

@@ -1,0 +1,173 @@
+#include "index/serialize.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/binary_io.h"
+
+namespace netout {
+namespace {
+
+constexpr std::string_view kPmMagic = "NOUTPMI1";
+constexpr std::string_view kSpmMagic = "NOUTSPM1";
+
+void AppendStep(std::string* buf, const EdgeStep& step) {
+  AppendU32(buf, step.edge_type);
+  AppendU32(buf, static_cast<std::uint32_t>(step.direction));
+}
+
+Result<EdgeStep> ReadStep(Cursor* cur, const Schema& schema) {
+  NETOUT_ASSIGN_OR_RETURN(std::uint32_t edge_type, cur->ReadU32());
+  NETOUT_ASSIGN_OR_RETURN(std::uint32_t direction, cur->ReadU32());
+  if (edge_type >= schema.num_edge_types() || direction > 1) {
+    return Status::Corruption("invalid edge step in index file");
+  }
+  return EdgeStep{static_cast<EdgeTypeId>(edge_type),
+                  static_cast<Direction>(direction)};
+}
+
+}  // namespace
+
+Status SavePmIndex(const PmIndex& index, std::string_view path) {
+  std::string payload;
+  const std::vector<TwoStepKey> keys = index.Keys();
+  AppendU64(&payload, keys.size());
+  for (const TwoStepKey& key : keys) {
+    const RelationMatrix* matrix = index.Relation(key);
+    AppendStep(&payload, key.first);
+    AppendStep(&payload, key.second);
+    AppendU32(&payload, matrix->row_type());
+    AppendU32(&payload, matrix->col_type());
+    AppendU64(&payload, matrix->num_rows());
+    AppendU64(&payload, matrix->num_entries());
+    for (std::uint64_t offset : matrix->offsets()) AppendU64(&payload, offset);
+    for (LocalId col : matrix->cols()) AppendU32(&payload, col);
+    for (double val : matrix->vals()) AppendDouble(&payload, val);
+  }
+  return WriteStringToFile(path, WrapWithChecksum(kPmMagic, payload));
+}
+
+Result<std::unique_ptr<PmIndex>> LoadPmIndex(const Hin& hin,
+                                             std::string_view path) {
+  NETOUT_ASSIGN_OR_RETURN(std::string data, ReadFileToString(path));
+  NETOUT_ASSIGN_OR_RETURN(std::string payload, UnwrapChecked(kPmMagic, data));
+  const Schema& schema = hin.schema();
+  auto index = std::unique_ptr<PmIndex>(new PmIndex());
+  Cursor cur(payload);
+  NETOUT_ASSIGN_OR_RETURN(std::uint64_t num_keys, cur.ReadU64());
+  for (std::uint64_t k = 0; k < num_keys; ++k) {
+    NETOUT_ASSIGN_OR_RETURN(EdgeStep first, ReadStep(&cur, schema));
+    NETOUT_ASSIGN_OR_RETURN(EdgeStep second, ReadStep(&cur, schema));
+    NETOUT_ASSIGN_OR_RETURN(std::uint32_t row_type, cur.ReadU32());
+    NETOUT_ASSIGN_OR_RETURN(std::uint32_t col_type, cur.ReadU32());
+    if (row_type >= schema.num_vertex_types() ||
+        col_type >= schema.num_vertex_types()) {
+      return Status::Corruption("index references unknown vertex type");
+    }
+    NETOUT_ASSIGN_OR_RETURN(std::uint64_t num_rows, cur.ReadU64());
+    NETOUT_ASSIGN_OR_RETURN(std::uint64_t num_entries, cur.ReadU64());
+    if (num_rows != hin.NumVertices(static_cast<TypeId>(row_type))) {
+      return Status::Corruption("index row count does not match the graph");
+    }
+    std::vector<std::uint64_t> offsets(num_rows + 1);
+    for (auto& offset : offsets) {
+      NETOUT_ASSIGN_OR_RETURN(offset, cur.ReadU64());
+    }
+    std::vector<LocalId> cols(num_entries);
+    const std::size_t col_limit =
+        hin.NumVertices(static_cast<TypeId>(col_type));
+    for (auto& col : cols) {
+      NETOUT_ASSIGN_OR_RETURN(col, cur.ReadU32());
+      if (col >= col_limit) {
+        return Status::Corruption("index column does not match the graph");
+      }
+    }
+    std::vector<double> vals(num_entries);
+    for (auto& val : vals) {
+      NETOUT_ASSIGN_OR_RETURN(val, cur.ReadDouble());
+    }
+    NETOUT_ASSIGN_OR_RETURN(
+        RelationMatrix matrix,
+        RelationMatrix::FromRaw(static_cast<TypeId>(row_type),
+                                static_cast<TypeId>(col_type),
+                                std::move(offsets), std::move(cols),
+                                std::move(vals)));
+    index->relations_.emplace(TwoStepKey{first, second}, std::move(matrix));
+  }
+  if (!cur.AtEnd()) {
+    return Status::Corruption("trailing bytes in PM index file");
+  }
+  return index;
+}
+
+Status SaveSpmIndex(const SpmIndex& index, std::string_view path) {
+  std::string payload;
+  AppendU64(&payload, index.rows().size());
+  for (const auto& [key, row_map] : index.rows()) {
+    AppendStep(&payload, key.first);
+    AppendStep(&payload, key.second);
+    AppendU64(&payload, row_map.size());
+    for (const auto& [row, vec] : row_map) {
+      AppendU32(&payload, row);
+      AppendU64(&payload, vec.nnz());
+      for (LocalId idx : vec.indices()) AppendU32(&payload, idx);
+      for (double val : vec.values()) AppendDouble(&payload, val);
+    }
+  }
+  AppendU64(&payload, index.num_indexed_vertices());
+  return WriteStringToFile(path, WrapWithChecksum(kSpmMagic, payload));
+}
+
+Result<std::unique_ptr<SpmIndex>> LoadSpmIndex(const Hin& hin,
+                                               std::string_view path) {
+  NETOUT_ASSIGN_OR_RETURN(std::string data, ReadFileToString(path));
+  NETOUT_ASSIGN_OR_RETURN(std::string payload,
+                          UnwrapChecked(kSpmMagic, data));
+  const Schema& schema = hin.schema();
+  auto index = std::unique_ptr<SpmIndex>(new SpmIndex());
+  Cursor cur(payload);
+  NETOUT_ASSIGN_OR_RETURN(std::uint64_t num_keys, cur.ReadU64());
+  for (std::uint64_t k = 0; k < num_keys; ++k) {
+    NETOUT_ASSIGN_OR_RETURN(EdgeStep first, ReadStep(&cur, schema));
+    NETOUT_ASSIGN_OR_RETURN(EdgeStep second, ReadStep(&cur, schema));
+    const TypeId row_type = schema.StepSource(first);
+    const TypeId col_type = schema.StepTarget(second);
+    if (schema.StepTarget(first) != schema.StepSource(second)) {
+      return Status::Corruption("SPM key steps do not chain");
+    }
+    NETOUT_ASSIGN_OR_RETURN(std::uint64_t num_rows, cur.ReadU64());
+    auto& row_map = index->rows_[TwoStepKey{first, second}];
+    for (std::uint64_t r = 0; r < num_rows; ++r) {
+      NETOUT_ASSIGN_OR_RETURN(std::uint32_t row, cur.ReadU32());
+      if (row >= hin.NumVertices(row_type)) {
+        return Status::Corruption("SPM row does not match the graph");
+      }
+      NETOUT_ASSIGN_OR_RETURN(std::uint64_t nnz, cur.ReadU64());
+      std::vector<LocalId> indices(nnz);
+      LocalId prev = kInvalidLocalId;
+      for (auto& idx : indices) {
+        NETOUT_ASSIGN_OR_RETURN(idx, cur.ReadU32());
+        if (idx >= hin.NumVertices(col_type) ||
+            (prev != kInvalidLocalId && idx <= prev)) {
+          return Status::Corruption("SPM vector indices invalid");
+        }
+        prev = idx;
+      }
+      std::vector<double> values(nnz);
+      for (auto& val : values) {
+        NETOUT_ASSIGN_OR_RETURN(val, cur.ReadDouble());
+      }
+      row_map.emplace(row, SparseVector::FromSorted(std::move(indices),
+                                                    std::move(values)));
+    }
+  }
+  NETOUT_ASSIGN_OR_RETURN(std::uint64_t indexed_vertices, cur.ReadU64());
+  index->num_indexed_vertices_ = indexed_vertices;
+  if (!cur.AtEnd()) {
+    return Status::Corruption("trailing bytes in SPM index file");
+  }
+  return index;
+}
+
+}  // namespace netout

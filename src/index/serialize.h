@@ -1,0 +1,28 @@
+#ifndef NETOUT_INDEX_SERIALIZE_H_
+#define NETOUT_INDEX_SERIALIZE_H_
+
+#include <memory>
+#include <string_view>
+
+#include "common/result.h"
+#include "index/pm_index.h"
+#include "index/spm_index.h"
+
+namespace netout {
+
+/// Index persistence. Both formats use the standard netout container
+/// (magic + length + payload + FNV-1a checksum, see common/binary_io.h).
+/// Loading validates every row/column id against `hin`, so a snapshot
+/// from a different graph is rejected as corruption rather than producing
+/// out-of-range lookups.
+Status SavePmIndex(const PmIndex& index, std::string_view path);
+Result<std::unique_ptr<PmIndex>> LoadPmIndex(const Hin& hin,
+                                             std::string_view path);
+
+Status SaveSpmIndex(const SpmIndex& index, std::string_view path);
+Result<std::unique_ptr<SpmIndex>> LoadSpmIndex(const Hin& hin,
+                                               std::string_view path);
+
+}  // namespace netout
+
+#endif  // NETOUT_INDEX_SERIALIZE_H_

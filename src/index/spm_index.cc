@@ -1,0 +1,99 @@
+#include "index/spm_index.h"
+
+#include <unordered_set>
+#include <utility>
+
+#include "common/stopwatch.h"
+#include "metapath/metapath.h"
+#include "metapath/traversal.h"
+
+namespace netout {
+
+std::unordered_map<VertexRef, double, VertexRefHash> RelativeFrequencies(
+    const std::vector<std::vector<VertexRef>>& initialization_queries) {
+  std::unordered_map<VertexRef, double, VertexRefHash> freq;
+  if (initialization_queries.empty()) return freq;
+  for (const auto& query_vertices : initialization_queries) {
+    std::unordered_set<VertexRef, VertexRefHash> distinct(
+        query_vertices.begin(), query_vertices.end());
+    for (const VertexRef& v : distinct) {
+      freq[v] += 1.0;
+    }
+  }
+  const double n = static_cast<double>(initialization_queries.size());
+  for (auto& [v, count] : freq) {
+    (void)v;
+    count /= n;
+  }
+  return freq;
+}
+
+Result<std::unique_ptr<SpmIndex>> SpmIndex::Build(
+    const Hin& hin,
+    const std::vector<std::vector<VertexRef>>& initialization_queries,
+    const SpmOptions& options) {
+  auto frequencies = RelativeFrequencies(initialization_queries);
+  std::vector<VertexRef> selected;
+  for (const auto& [vertex, freq] : frequencies) {
+    if (freq >= options.relative_frequency_threshold) {
+      selected.push_back(vertex);
+    }
+  }
+  return BuildForVertices(hin, selected);
+}
+
+Result<std::unique_ptr<SpmIndex>> SpmIndex::BuildForVertices(
+    const Hin& hin, const std::vector<VertexRef>& vertices) {
+  Stopwatch watch;
+  auto index = std::unique_ptr<SpmIndex>(new SpmIndex());
+  const Schema& schema = hin.schema();
+  HinPtr alias(&hin, [](const Hin*) {});
+  PathCounter counter(alias);
+
+  std::unordered_set<VertexRef, VertexRefHash> seen;
+  for (const VertexRef& v : vertices) {
+    if (!v.valid() || v.type >= schema.num_vertex_types() ||
+        v.local >= hin.NumVertices(v.type)) {
+      return Status::OutOfRange("SPM selection references unknown vertex");
+    }
+    if (!seen.insert(v).second) continue;
+    // Materialize every length-2 meta-path leaving this vertex's type.
+    for (const EdgeStep& s1 : schema.StepsFrom(v.type)) {
+      const TypeId mid = schema.StepTarget(s1);
+      for (const EdgeStep& s2 : schema.StepsFrom(mid)) {
+        NETOUT_ASSIGN_OR_RETURN(MetaPath path,
+                                MetaPath::FromSteps(schema, {s1, s2}));
+        NETOUT_ASSIGN_OR_RETURN(SparseVector vec,
+                                counter.NeighborVector(v, path));
+        index->rows_[TwoStepKey{s1, s2}].emplace(v.local, std::move(vec));
+      }
+    }
+  }
+  index->num_indexed_vertices_ = seen.size();
+  index->build_time_nanos_ = watch.ElapsedNanos();
+  return index;
+}
+
+std::optional<SparseVecView> SpmIndex::Lookup(const TwoStepKey& key,
+                                              LocalId row) const {
+  auto it = rows_.find(key);
+  if (it == rows_.end()) return std::nullopt;
+  auto row_it = it->second.find(row);
+  if (row_it == it->second.end()) return std::nullopt;
+  return row_it->second.View();
+}
+
+std::size_t SpmIndex::MemoryBytes() const {
+  std::size_t bytes = 0;
+  for (const auto& [key, row_map] : rows_) {
+    bytes += sizeof(key);
+    for (const auto& [row, vec] : row_map) {
+      (void)row;
+      // Hash-node overhead approximated as 4 pointers per entry.
+      bytes += sizeof(LocalId) + vec.MemoryBytes() + sizeof(void*) * 4;
+    }
+  }
+  return bytes;
+}
+
+}  // namespace netout

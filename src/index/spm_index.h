@@ -1,0 +1,79 @@
+#ifndef NETOUT_INDEX_SPM_INDEX_H_
+#define NETOUT_INDEX_SPM_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/hin.h"
+#include "metapath/index_iface.h"
+
+namespace netout {
+
+/// Options for selective pre-materialization.
+struct SpmOptions {
+  /// A vertex is indexed when it appears in at least this fraction of the
+  /// initialization queries (the paper evaluates 0.001 ... 0.1 in
+  /// Figure 5; the case studies and Figures 3-4 use 0.01).
+  double relative_frequency_threshold = 0.01;
+};
+
+/// Selective pre-materialization (Section 6.2, "SPM"): length-2
+/// meta-path vectors are pre-computed only for vertices that appear
+/// frequently in an initialization query set (query logs, or synthetic
+/// queries when no logs exist). Hot hub vertices — which dominate
+/// materialization cost — get indexed; the long tail falls back to
+/// traversal at query time.
+class SpmIndex : public MetaPathIndex {
+ public:
+  /// Builds from an initialization query set. Each inner vector lists the
+  /// vertices appearing in one query (the paper counts candidate-set
+  /// membership); within one query a vertex counts once.
+  static Result<std::unique_ptr<SpmIndex>> Build(
+      const Hin& hin,
+      const std::vector<std::vector<VertexRef>>& initialization_queries,
+      const SpmOptions& options);
+
+  /// Builds for an explicit vertex selection (testing / hand tuning).
+  static Result<std::unique_ptr<SpmIndex>> BuildForVertices(
+      const Hin& hin, const std::vector<VertexRef>& vertices);
+
+  std::optional<SparseVecView> Lookup(const TwoStepKey& key,
+                                      LocalId row) const override;
+
+  std::size_t MemoryBytes() const override;
+
+  std::size_t num_indexed_vertices() const { return num_indexed_vertices_; }
+  std::int64_t build_time_nanos() const { return build_time_nanos_; }
+
+  /// Indexed rows per key (serialization, diagnostics).
+  const std::unordered_map<
+      TwoStepKey, std::unordered_map<LocalId, SparseVector>, TwoStepKeyHash>&
+  rows() const {
+    return rows_;
+  }
+
+ private:
+  friend Result<std::unique_ptr<SpmIndex>> LoadSpmIndex(
+      const Hin& hin, std::string_view path);
+
+  SpmIndex() = default;
+
+  std::unordered_map<TwoStepKey, std::unordered_map<LocalId, SparseVector>,
+                     TwoStepKeyHash>
+      rows_;
+  std::size_t num_indexed_vertices_ = 0;
+  std::int64_t build_time_nanos_ = 0;
+};
+
+/// Computes the per-vertex relative frequency over an initialization
+/// query set (exposed for tests and for workload analysis tools).
+std::unordered_map<VertexRef, double, VertexRefHash> RelativeFrequencies(
+    const std::vector<std::vector<VertexRef>>& initialization_queries);
+
+}  // namespace netout
+
+#endif  // NETOUT_INDEX_SPM_INDEX_H_

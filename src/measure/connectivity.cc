@@ -1,0 +1,18 @@
+#include "measure/connectivity.h"
+
+namespace netout {
+
+double NormalizedConnectivity(SparseVecView a, SparseVecView b,
+                              double zero_visibility_value) {
+  const double visibility = Visibility(a);
+  if (visibility == 0.0) return zero_visibility_value;
+  return Connectivity(a, b) / visibility;
+}
+
+double PathSim(SparseVecView a, SparseVecView b) {
+  const double denominator = Visibility(a) + Visibility(b);
+  if (denominator == 0.0) return 0.0;
+  return 2.0 * Connectivity(a, b) / denominator;
+}
+
+}  // namespace netout

@@ -1,0 +1,39 @@
+#ifndef NETOUT_MEASURE_CONNECTIVITY_H_
+#define NETOUT_MEASURE_CONNECTIVITY_H_
+
+#include "metapath/sparse_vector.h"
+
+namespace netout {
+
+/// Pairwise structural quantities of Section 5.1, expressed over neighbor
+/// vectors. With Psym = (P P⁻¹), the number of Psym path instances
+/// between va and vb factorizes as an inner product of the P neighbor
+/// vectors:
+///   |π_Psym(va, vb)| = φ_P(va) · φ_P(vb)
+/// so everything below takes the candidate/reference φ_P vectors.
+
+/// Connectivity ψ(va, vb) = |π_Psym(va, vb)|.
+inline double Connectivity(SparseVecView a, SparseVecView b) {
+  return Dot(a, b);
+}
+
+/// Visibility ψ(va, va) = |π_Psym(va, va)| = ‖φ_P(va)‖² — a vertex's
+/// potential for connectivity.
+inline double Visibility(SparseVecView a) { return L2NormSquared(a); }
+
+/// Normalized connectivity r(va, vb) = ψ(va, vb) / ψ(va, va)
+/// (Definition 9). Asymmetric by design. Returns `zero_visibility_value`
+/// when va has zero visibility (the ratio is undefined; NetOut treats
+/// such candidates as maximally outlying unless the query says to skip
+/// them).
+double NormalizedConnectivity(SparseVecView a, SparseVecView b,
+                              double zero_visibility_value = 0.0);
+
+/// PathSim similarity (Sun et al., VLDB'11; Section 5.2):
+///   2 ψ(va,vb) / (ψ(va,va) + ψ(vb,vb)).
+/// Returns 0 when both visibilities are zero.
+double PathSim(SparseVecView a, SparseVecView b);
+
+}  // namespace netout
+
+#endif  // NETOUT_MEASURE_CONNECTIVITY_H_

@@ -1,0 +1,69 @@
+#include "measure/explain.h"
+
+#include <algorithm>
+
+#include "measure/connectivity.h"
+
+namespace netout {
+
+OutlierExplanation ExplainNetOut(SparseVecView candidate,
+                                 SparseVecView reference_sum,
+                                 std::size_t top_m) {
+  OutlierExplanation out;
+  const double cand_l1 = L1Norm(candidate);
+  const double ref_l1 = L1Norm(reference_sum);
+  const double visibility = Visibility(candidate);
+  out.score = visibility == 0.0
+                  ? 0.0
+                  : Dot(candidate, reference_sum) / visibility;
+
+  // Merge-walk both sorted supports, computing the share divergence of
+  // every dimension present in either profile.
+  std::vector<ExplanationTerm> terms;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  auto push = [&](LocalId dim, double cand_count, double ref_mass) {
+    const double cand_share = cand_l1 == 0.0 ? 0.0 : cand_count / cand_l1;
+    const double ref_share = ref_l1 == 0.0 ? 0.0 : ref_mass / ref_l1;
+    terms.push_back(
+        ExplanationTerm{dim, cand_count, ref_mass, cand_share - ref_share});
+  };
+  while (i < candidate.indices.size() || j < reference_sum.indices.size()) {
+    if (j >= reference_sum.indices.size() ||
+        (i < candidate.indices.size() &&
+         candidate.indices[i] < reference_sum.indices[j])) {
+      push(candidate.indices[i], candidate.values[i], 0.0);
+      ++i;
+    } else if (i >= candidate.indices.size() ||
+               reference_sum.indices[j] < candidate.indices[i]) {
+      push(reference_sum.indices[j], 0.0, reference_sum.values[j]);
+      ++j;
+    } else {
+      push(candidate.indices[i], candidate.values[i],
+           reference_sum.values[j]);
+      ++i;
+      ++j;
+    }
+  }
+
+  std::sort(terms.begin(), terms.end(),
+            [](const ExplanationTerm& a, const ExplanationTerm& b) {
+              if (a.divergence != b.divergence) {
+                return a.divergence > b.divergence;
+              }
+              return a.dimension < b.dimension;
+            });
+  for (const ExplanationTerm& term : terms) {
+    if (term.divergence <= 0.0) break;
+    if (out.distinctive.size() >= top_m) break;
+    out.distinctive.push_back(term);
+  }
+  for (auto it = terms.rbegin(); it != terms.rend(); ++it) {
+    if (it->divergence >= 0.0) break;
+    if (out.missing.size() >= top_m) break;
+    out.missing.push_back(*it);
+  }
+  return out;
+}
+
+}  // namespace netout

@@ -1,0 +1,52 @@
+#ifndef NETOUT_MEASURE_EXPLAIN_H_
+#define NETOUT_MEASURE_EXPLAIN_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "metapath/sparse_vector.h"
+
+namespace netout {
+
+/// One dimension (terminal-type vertex) contributing to an outlierness
+/// explanation.
+struct ExplanationTerm {
+  LocalId dimension = kInvalidLocalId;
+  /// The candidate's path count into this dimension (φ_v[d]).
+  double candidate_count = 0.0;
+  /// The reference set's aggregate path count (Σ_u φ_u[d]).
+  double reference_mass = 0.0;
+  /// Share difference that ranked this term (see ExplainNetOut).
+  double divergence = 0.0;
+};
+
+/// Why a candidate's NetOut score is what it is, under one feature
+/// meta-path (the paper's Section 8 asks for more insight than a ranked
+/// list; this is the textual analogue of its visualization suggestion).
+struct OutlierExplanation {
+  /// The candidate's NetOut value against the reference sum.
+  double score = 0.0;
+
+  /// Dimensions where the candidate invests far *more* of its activity
+  /// than the reference population (e.g. the odd venues an outlying
+  /// author publishes in), ranked by share divergence.
+  std::vector<ExplanationTerm> distinctive;
+
+  /// Dimensions carrying large reference mass that the candidate barely
+  /// touches (the community behavior the candidate misses).
+  std::vector<ExplanationTerm> missing;
+};
+
+/// Compares the candidate's L1-normalized profile against the reference
+/// set's: a term is `distinctive` when the candidate's share exceeds the
+/// reference share (divergence = cand_share - ref_share > 0) and
+/// `missing` in the opposite direction. At most `top_m` terms per list,
+/// strongest divergence first. An empty candidate yields score 0 and an
+/// all-`missing` explanation.
+OutlierExplanation ExplainNetOut(SparseVecView candidate,
+                                 SparseVecView reference_sum,
+                                 std::size_t top_m);
+
+}  // namespace netout
+
+#endif  // NETOUT_MEASURE_EXPLAIN_H_

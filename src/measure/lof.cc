@@ -1,0 +1,129 @@
+#include "measure/lof.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace netout {
+
+double EuclideanDistance(SparseVecView a, SparseVecView b) {
+  const double squared =
+      L2NormSquared(a) + L2NormSquared(b) - 2.0 * Dot(a, b);
+  return squared <= 0.0 ? 0.0 : std::sqrt(squared);
+}
+
+namespace {
+
+/// k-nearest-neighbor info of one point against the reference set.
+struct KnnInfo {
+  double k_distance = 0.0;
+  // (distance, reference index) of the neighbors within the k-distance
+  // ball (ties included, self excluded via `self_index`).
+  std::vector<std::pair<double, std::size_t>> neighbors;
+};
+
+KnnInfo ComputeKnn(SparseVecView point,
+                   std::span<const SparseVecView> references, std::size_t k,
+                   std::size_t self_index) {
+  std::vector<std::pair<double, std::size_t>> distances;
+  distances.reserve(references.size());
+  for (std::size_t j = 0; j < references.size(); ++j) {
+    if (j == self_index) continue;
+    distances.emplace_back(EuclideanDistance(point, references[j]), j);
+  }
+  std::sort(distances.begin(), distances.end());
+  KnnInfo info;
+  if (distances.empty()) return info;
+  const std::size_t kth = std::min(k, distances.size()) - 1;
+  info.k_distance = distances[kth].first;
+  // Include all points at distance <= k-distance (LOF's tie rule).
+  for (const auto& entry : distances) {
+    if (entry.first > info.k_distance) break;
+    info.neighbors.push_back(entry);
+  }
+  return info;
+}
+
+double LocalReachabilityDensity(const KnnInfo& info,
+                                const std::vector<KnnInfo>& reference_knn) {
+  if (info.neighbors.empty()) return 0.0;
+  double reach_sum = 0.0;
+  for (const auto& [distance, j] : info.neighbors) {
+    reach_sum += std::max(distance, reference_knn[j].k_distance);
+  }
+  if (reach_sum == 0.0) {
+    // All neighbors coincide with the point: density is infinite; LOF
+    // convention treats such points as deep inliers.
+    return std::numeric_limits<double>::infinity();
+  }
+  return static_cast<double>(info.neighbors.size()) / reach_sum;
+}
+
+}  // namespace
+
+Result<std::vector<double>> LofScores(
+    std::span<const SparseVecView> candidates,
+    std::span<const SparseVecView> references, std::size_t k) {
+  if (references.size() < 2) {
+    return Status::InvalidArgument(
+        "LOF requires at least 2 reference vectors");
+  }
+  k = std::max<std::size_t>(1, std::min(k, references.size() - 1));
+
+  // k-NN structure of every reference point among the references.
+  std::vector<KnnInfo> reference_knn(references.size());
+  for (std::size_t j = 0; j < references.size(); ++j) {
+    reference_knn[j] = ComputeKnn(references[j], references, k, j);
+  }
+  std::vector<double> reference_lrd(references.size());
+  for (std::size_t j = 0; j < references.size(); ++j) {
+    reference_lrd[j] =
+        LocalReachabilityDensity(reference_knn[j], reference_knn);
+  }
+
+  std::vector<double> scores;
+  scores.reserve(candidates.size());
+  for (const SparseVecView& cand : candidates) {
+    // The candidate may itself be a reference vertex; LOF excludes the
+    // query point from its own neighborhood, which we approximate by
+    // excluding exact-duplicate references at distance 0 only through the
+    // tie rule (duplicates legitimately raise the density).
+    const KnnInfo info =
+        ComputeKnn(cand, references, k, references.size());
+    const double lrd = LocalReachabilityDensity(info, reference_knn);
+    if (info.neighbors.empty() || lrd == 0.0) {
+      scores.push_back(std::numeric_limits<double>::infinity());
+      continue;
+    }
+    double ratio_sum = 0.0;
+    for (const auto& [distance, j] : info.neighbors) {
+      (void)distance;
+      ratio_sum += reference_lrd[j];
+    }
+    if (std::isinf(lrd)) {
+      // Deep inlier: every neighbor coincides. LOF -> ratio of finite
+      // densities over infinity -> 0 ... but the standard convention is 1
+      // when neighbors are equally infinite-density. Report 1.
+      scores.push_back(1.0);
+      continue;
+    }
+    scores.push_back(ratio_sum /
+                     (static_cast<double>(info.neighbors.size()) * lrd));
+  }
+  return scores;
+}
+
+Result<std::vector<double>> LofScores(
+    std::span<const SparseVector> candidates,
+    std::span<const SparseVector> references, std::size_t k) {
+  std::vector<SparseVecView> cand_views;
+  cand_views.reserve(candidates.size());
+  for (const SparseVector& vec : candidates) cand_views.push_back(vec.View());
+  std::vector<SparseVecView> ref_views;
+  ref_views.reserve(references.size());
+  for (const SparseVector& vec : references) ref_views.push_back(vec.View());
+  return LofScores(std::span<const SparseVecView>(cand_views),
+                   std::span<const SparseVecView>(ref_views), k);
+}
+
+}  // namespace netout

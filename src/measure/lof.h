@@ -1,0 +1,41 @@
+#ifndef NETOUT_MEASURE_LOF_H_
+#define NETOUT_MEASURE_LOF_H_
+
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "metapath/sparse_vector.h"
+
+namespace netout {
+
+/// Local Outlier Factor (Breunig et al., SIGMOD'00) over neighbor
+/// vectors under Euclidean distance — the classic non-network baseline
+/// the paper's discussion (Section 8) compares NetOut against.
+///
+/// Each candidate is scored against the *reference* vectors: its
+/// k-nearest references define its local reachability density, which is
+/// compared with the density of those references among themselves.
+/// Scores near 1 mean inlier; larger means more outlying (note the
+/// polarity is opposite to NetOut's).
+///
+/// Complexity is O((|Sc|+|Sr|)·|Sr|) distance evaluations — quadratic,
+/// which is exactly why the paper argues such measures do not suit
+/// exploratory query workloads (see bench/micro/bench_netout).
+///
+/// `k` is clamped to |Sr| - 1 (at least 1). Fails if the reference set
+/// has fewer than 2 vectors.
+Result<std::vector<double>> LofScores(
+    std::span<const SparseVecView> candidates,
+    std::span<const SparseVecView> references, std::size_t k);
+Result<std::vector<double>> LofScores(
+    std::span<const SparseVector> candidates,
+    std::span<const SparseVector> references, std::size_t k);
+
+/// Euclidean distance between sparse vectors:
+/// sqrt(‖a‖² + ‖b‖² − 2 a·b), clamped at 0 against rounding.
+double EuclideanDistance(SparseVecView a, SparseVecView b);
+
+}  // namespace netout
+
+#endif  // NETOUT_MEASURE_LOF_H_

@@ -1,0 +1,316 @@
+#include "measure/scores.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "measure/connectivity.h"
+#include "measure/lof.h"
+
+namespace netout {
+
+const char* OutlierMeasureToString(OutlierMeasure measure) {
+  switch (measure) {
+    case OutlierMeasure::kNetOut:
+      return "netout";
+    case OutlierMeasure::kPathSim:
+      return "pathsim";
+    case OutlierMeasure::kCosSim:
+      return "cossim";
+    case OutlierMeasure::kLof:
+      return "lof";
+    case OutlierMeasure::kCustom:
+      return "custom";
+  }
+  return "?";
+}
+
+Result<OutlierMeasure> ParseOutlierMeasure(std::string_view text) {
+  const std::string lower = AsciiToLower(text);
+  if (lower == "netout") return OutlierMeasure::kNetOut;
+  if (lower == "pathsim") return OutlierMeasure::kPathSim;
+  if (lower == "cossim" || lower == "cosine") return OutlierMeasure::kCosSim;
+  if (lower == "lof") return OutlierMeasure::kLof;
+  if (lower == "custom") {
+    return Status::InvalidArgument(
+        "the custom measure requires a similarity function and is only "
+        "available through the C++ API (ScoreOptions::custom_similarity)");
+  }
+  return Status::InvalidArgument("unknown outlier measure '" +
+                                 std::string(text) + "'");
+}
+
+bool SmallerIsMoreOutlying(OutlierMeasure measure) {
+  // Similarity sums (NetOut/PathSim/CosSim/custom): low = disconnected.
+  return measure != OutlierMeasure::kLof;
+}
+
+std::vector<SparseVecView> AsViews(std::span<const SparseVector> vectors) {
+  std::vector<SparseVecView> views;
+  views.reserve(vectors.size());
+  for (const SparseVector& vec : vectors) {
+    views.push_back(vec.View());
+  }
+  return views;
+}
+
+SparseVector SumVectors(std::span<const SparseVecView> vectors) {
+  // Dense accumulation over the index range: total nnz is typically far
+  // larger than the distinct count, so only the touched slots are sorted
+  // at the end (inside Harvest).
+  LocalId max_index = 0;
+  bool any = false;
+  for (const SparseVecView& vec : vectors) {
+    if (!vec.indices.empty()) {
+      any = true;
+      max_index = std::max(max_index, vec.indices.back());
+    }
+  }
+  if (!any) return SparseVector();
+  DenseAccumulator acc;
+  acc.Resize(static_cast<std::size_t>(max_index) + 1);
+  for (const SparseVecView& vec : vectors) {
+    for (std::size_t i = 0; i < vec.indices.size(); ++i) {
+      acc.Add(vec.indices[i], vec.values[i]);
+    }
+  }
+  return acc.Harvest();
+}
+
+SparseVector SumVectors(std::span<const SparseVector> vectors) {
+  return SumVectors(std::span<const SparseVecView>(AsViews(vectors)));
+}
+
+namespace {
+
+std::vector<double> NetOutFactored(
+    std::span<const SparseVecView> candidates,
+    std::span<const SparseVecView> references) {
+  // Equation (1): Ω(vi) = (φ(vi) · Σ_j φ(vj)) / ‖φ(vi)‖².
+  const SparseVector reference_sum = SumVectors(references);
+  std::vector<double> scores;
+  scores.reserve(candidates.size());
+  for (const SparseVecView& cand : candidates) {
+    const double visibility = Visibility(cand);
+    if (visibility == 0.0) {
+      scores.push_back(0.0);
+    } else {
+      scores.push_back(Dot(cand, reference_sum.View()) / visibility);
+    }
+  }
+  return scores;
+}
+
+std::vector<double> NetOutNaive(std::span<const SparseVecView> candidates,
+                                std::span<const SparseVecView> references) {
+  std::vector<double> scores;
+  scores.reserve(candidates.size());
+  for (const SparseVecView& cand : candidates) {
+    double total = 0.0;
+    for (const SparseVecView& ref : references) {
+      total += NormalizedConnectivity(cand, ref);
+    }
+    scores.push_back(total);
+  }
+  return scores;
+}
+
+std::vector<double> PathSimSums(std::span<const SparseVecView> candidates,
+                                std::span<const SparseVecView> references) {
+  std::vector<double> scores;
+  scores.reserve(candidates.size());
+  for (const SparseVecView& cand : candidates) {
+    double total = 0.0;
+    for (const SparseVecView& ref : references) {
+      total += PathSim(cand, ref);
+    }
+    scores.push_back(total);
+  }
+  return scores;
+}
+
+std::vector<double> CosSimSums(std::span<const SparseVecView> candidates,
+                               std::span<const SparseVecView> references) {
+  std::vector<double> scores;
+  scores.reserve(candidates.size());
+  for (const SparseVecView& cand : candidates) {
+    double total = 0.0;
+    for (const SparseVecView& ref : references) {
+      total += CosineSimilarity(cand, ref);
+    }
+    scores.push_back(total);
+  }
+  return scores;
+}
+
+}  // namespace
+
+Result<std::vector<double>> ComputeOutlierScores(
+    std::span<const SparseVecView> candidates,
+    std::span<const SparseVecView> references, const ScoreOptions& options) {
+  if (references.empty()) {
+    return Status::InvalidArgument(
+        "outlier scoring requires a non-empty reference set");
+  }
+  switch (options.measure) {
+    case OutlierMeasure::kNetOut:
+      return options.use_factored ? NetOutFactored(candidates, references)
+                                  : NetOutNaive(candidates, references);
+    case OutlierMeasure::kPathSim:
+      return PathSimSums(candidates, references);
+    case OutlierMeasure::kCosSim:
+      return CosSimSums(candidates, references);
+    case OutlierMeasure::kLof:
+      return LofScores(candidates, references, options.lof_k);
+    case OutlierMeasure::kCustom: {
+      if (!options.custom_similarity) {
+        return Status::InvalidArgument(
+            "kCustom requires ScoreOptions::custom_similarity");
+      }
+      std::vector<double> scores;
+      scores.reserve(candidates.size());
+      for (const SparseVecView& cand : candidates) {
+        double total = 0.0;
+        for (const SparseVecView& ref : references) {
+          total += options.custom_similarity(cand, ref);
+        }
+        scores.push_back(total);
+      }
+      return scores;
+    }
+  }
+  return Status::Internal("unhandled measure");
+}
+
+Result<std::vector<double>> ComputeOutlierScores(
+    std::span<const SparseVector> candidates,
+    std::span<const SparseVector> references, const ScoreOptions& options) {
+  const std::vector<SparseVecView> cand_views = AsViews(candidates);
+  const std::vector<SparseVecView> ref_views = AsViews(references);
+  return ComputeOutlierScores(std::span<const SparseVecView>(cand_views),
+                              std::span<const SparseVecView>(ref_views),
+                              options);
+}
+
+Result<std::vector<double>> JointNetOutScores(
+    const std::vector<std::vector<SparseVecView>>& per_path_candidates,
+    const std::vector<std::vector<SparseVecView>>& per_path_references,
+    const std::vector<double>& weights) {
+  if (per_path_candidates.empty() ||
+      per_path_candidates.size() != per_path_references.size() ||
+      per_path_candidates.size() != weights.size()) {
+    return Status::InvalidArgument(
+        "joint scoring needs matching per-path candidate/reference lists "
+        "and weights");
+  }
+  const std::size_t num_candidates = per_path_candidates.front().size();
+  const std::size_t num_references = per_path_references.front().size();
+  if (num_references == 0) {
+    return Status::InvalidArgument(
+        "outlier scoring requires a non-empty reference set");
+  }
+  double weight_total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) {
+      return Status::InvalidArgument("meta-path weights must be >= 0");
+    }
+    weight_total += w;
+  }
+  if (weight_total <= 0.0) {
+    return Status::InvalidArgument("total meta-path weight must be > 0");
+  }
+  for (std::size_t p = 0; p < per_path_candidates.size(); ++p) {
+    if (per_path_candidates[p].size() != num_candidates ||
+        per_path_references[p].size() != num_references) {
+      return Status::InvalidArgument(
+          "per-path vertex lists differ in size");
+    }
+  }
+
+  // Equation (1) applied to the joint connectivity: one reference sum
+  // per path, then weighted numerator/denominator per candidate.
+  std::vector<SparseVector> reference_sums;
+  reference_sums.reserve(per_path_references.size());
+  for (const auto& refs : per_path_references) {
+    reference_sums.push_back(SumVectors(refs));
+  }
+  std::vector<double> scores(num_candidates, 0.0);
+  for (std::size_t i = 0; i < num_candidates; ++i) {
+    double numerator = 0.0;
+    double joint_visibility = 0.0;
+    for (std::size_t p = 0; p < per_path_candidates.size(); ++p) {
+      const SparseVecView& phi = per_path_candidates[p][i];
+      numerator += weights[p] * Dot(phi, reference_sums[p].View());
+      joint_visibility += weights[p] * L2NormSquared(phi);
+    }
+    scores[i] =
+        joint_visibility == 0.0 ? 0.0 : numerator / joint_visibility;
+  }
+  return scores;
+}
+
+Result<std::vector<double>> CombineScores(
+    const std::vector<std::vector<double>>& per_path_scores,
+    const std::vector<double>& weights, CombineMode mode,
+    OutlierMeasure measure) {
+  if (per_path_scores.empty()) {
+    return Status::InvalidArgument("no per-path scores to combine");
+  }
+  if (per_path_scores.size() != weights.size()) {
+    return Status::InvalidArgument("one weight per meta-path required");
+  }
+  const std::size_t n = per_path_scores.front().size();
+  for (const auto& scores : per_path_scores) {
+    if (scores.size() != n) {
+      return Status::InvalidArgument("per-path score lists differ in size");
+    }
+  }
+  double weight_total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) {
+      return Status::InvalidArgument("meta-path weights must be >= 0");
+    }
+    weight_total += w;
+  }
+  if (weight_total <= 0.0) {
+    return Status::InvalidArgument("total meta-path weight must be > 0");
+  }
+
+  std::vector<double> combined(n, 0.0);
+  if (mode == CombineMode::kWeightedAverage) {
+    for (std::size_t p = 0; p < per_path_scores.size(); ++p) {
+      const double w = weights[p] / weight_total;
+      for (std::size_t i = 0; i < n; ++i) {
+        combined[i] += w * per_path_scores[p][i];
+      }
+    }
+    return combined;
+  }
+
+  // Rank average: convert each path's scores to ranks (0 = most
+  // outlying), then weight-average the ranks.
+  const bool ascending = SmallerIsMoreOutlying(measure);
+  for (std::size_t p = 0; p < per_path_scores.size(); ++p) {
+    const auto& scores = per_path_scores[p];
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                if (scores[a] != scores[b]) {
+                  return ascending ? scores[a] < scores[b]
+                                   : scores[a] > scores[b];
+                }
+                return a < b;
+              });
+    const double w = weights[p] / weight_total;
+    for (std::size_t rank = 0; rank < n; ++rank) {
+      combined[order[rank]] += w * static_cast<double>(rank);
+    }
+  }
+  return combined;
+}
+
+}  // namespace netout

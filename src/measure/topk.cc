@@ -1,0 +1,27 @@
+#include "measure/topk.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace netout {
+
+std::vector<std::size_t> SelectTopK(std::span<const double> scores,
+                                    std::size_t k,
+                                    bool smaller_is_more_outlying) {
+  k = std::min(k, scores.size());
+  std::vector<std::size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  auto more_outlying = [&](std::size_t a, std::size_t b) {
+    if (scores[a] != scores[b]) {
+      return smaller_is_more_outlying ? scores[a] < scores[b]
+                                      : scores[a] > scores[b];
+    }
+    return a < b;
+  };
+  std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                    more_outlying);
+  order.resize(k);
+  return order;
+}
+
+}  // namespace netout

@@ -1,0 +1,20 @@
+#ifndef NETOUT_MEASURE_TOPK_H_
+#define NETOUT_MEASURE_TOPK_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace netout {
+
+/// Indices of the k most-outlying entries of `scores`, ordered
+/// most-outlying first. `smaller_is_more_outlying` selects the polarity
+/// (true for NetOut/PathSim/CosSim sums, false for LOF). Ties break by
+/// lower index for deterministic output. k is clamped to scores.size().
+std::vector<std::size_t> SelectTopK(std::span<const double> scores,
+                                    std::size_t k,
+                                    bool smaller_is_more_outlying);
+
+}  // namespace netout
+
+#endif  // NETOUT_MEASURE_TOPK_H_

@@ -1,0 +1,63 @@
+#ifndef NETOUT_METAPATH_INDEX_IFACE_H_
+#define NETOUT_METAPATH_INDEX_IFACE_H_
+
+#include <cstddef>
+#include <optional>
+
+#include "common/hash.h"
+#include "graph/types.h"
+#include "metapath/sparse_vector.h"
+
+namespace netout {
+
+/// Identifies one length-2 meta-path by its two resolved hops. This is
+/// the key space of the pre-materialization indexes (Section 6.2): a
+/// meta-path of arbitrary length decomposes into a chain of these.
+struct TwoStepKey {
+  EdgeStep first;
+  EdgeStep second;
+
+  friend bool operator==(const TwoStepKey& a, const TwoStepKey& b) {
+    return a.first == b.first && a.second == b.second;
+  }
+};
+
+struct TwoStepKeyHash {
+  std::size_t operator()(const TwoStepKey& key) const {
+    std::size_t h = HashCombine(key.first.edge_type,
+                                static_cast<std::size_t>(key.first.direction));
+    h = HashCombine(h, key.second.edge_type);
+    return HashCombine(h, static_cast<std::size_t>(key.second.direction));
+  }
+};
+
+/// Read interface shared by PmIndex (all vertices) and SpmIndex
+/// (frequency-selected vertices). Lookup returns the pre-materialized
+/// length-2 neighbor vector φ of `row` for the given key, or nullopt on
+/// a miss (not indexed). Implementations are immutable after build and
+/// safe for concurrent lookups.
+class MetaPathIndex {
+ public:
+  virtual ~MetaPathIndex() = default;
+
+  virtual std::optional<SparseVecView> Lookup(const TwoStepKey& key,
+                                              LocalId row) const = 0;
+
+  /// Heap footprint of the index payload (Figure 5b accounting).
+  virtual std::size_t MemoryBytes() const = 0;
+
+  /// Memoization hook: the evaluator calls this after computing a
+  /// length-2 vector by traversal fallback, so caching implementations
+  /// (CachedIndex) can remember it. Logically const — remembering is
+  /// transparent to lookups. Default: drop the result.
+  virtual void Remember(const TwoStepKey& key, LocalId row,
+                        const SparseVector& vector) const {
+    (void)key;
+    (void)row;
+    (void)vector;
+  }
+};
+
+}  // namespace netout
+
+#endif  // NETOUT_METAPATH_INDEX_IFACE_H_

@@ -1,0 +1,82 @@
+#include "metapath/matrix.h"
+
+#include "common/logging.h"
+#include "metapath/traversal.h"
+
+namespace netout {
+
+Result<RelationMatrix> RelationMatrix::Materialize(const Hin& hin,
+                                                   const MetaPath& path) {
+  if (path.types().empty()) {
+    return Status::InvalidArgument("empty meta-path");
+  }
+  RelationMatrix out;
+  out.row_type_ = path.source_type();
+  out.col_type_ = path.target_type();
+  const std::size_t rows = hin.NumVertices(out.row_type_);
+
+  // Hop state as a dense frontier per source vertex, reusing one
+  // accumulator via PathCounter.
+  // PathCounter needs a HinPtr; wrap without ownership transfer.
+  HinPtr alias(&hin, [](const Hin*) {});
+  PathCounter counter(alias);
+
+  out.offsets_.assign(rows + 1, 0);
+  for (LocalId row = 0; row < rows; ++row) {
+    NETOUT_ASSIGN_OR_RETURN(
+        SparseVector vec,
+        counter.NeighborVector(VertexRef{out.row_type_, row}, path));
+    out.offsets_[row + 1] = out.offsets_[row] + vec.nnz();
+    out.cols_.insert(out.cols_.end(), vec.indices().begin(),
+                     vec.indices().end());
+    out.vals_.insert(out.vals_.end(), vec.values().begin(),
+                     vec.values().end());
+  }
+  return out;
+}
+
+Result<RelationMatrix> RelationMatrix::FromRaw(
+    TypeId row_type, TypeId col_type, std::vector<std::uint64_t> offsets,
+    std::vector<LocalId> cols, std::vector<double> vals) {
+  if (offsets.empty() || offsets.front() != 0 ||
+      offsets.back() != cols.size() || cols.size() != vals.size()) {
+    return Status::Corruption("relation matrix arrays are inconsistent");
+  }
+  for (std::size_t i = 1; i < offsets.size(); ++i) {
+    if (offsets[i - 1] > offsets[i]) {
+      return Status::Corruption("relation matrix offsets not monotone");
+    }
+  }
+  RelationMatrix out;
+  out.row_type_ = row_type;
+  out.col_type_ = col_type;
+  out.offsets_ = std::move(offsets);
+  out.cols_ = std::move(cols);
+  out.vals_ = std::move(vals);
+  return out;
+}
+
+SparseVector MultiplyRowVector(const SparseVector& vec,
+                               const RelationMatrix& matrix,
+                               DenseAccumulator* acc) {
+  NETOUT_CHECK(acc != nullptr);
+  // Output dimension: columns of the matrix. The accumulator is sized to
+  // the max column id + 1 we could touch; the matrix knows its column
+  // type's cardinality only implicitly, so size by scanning is avoided by
+  // requiring callers to Resize upfront. For safety, grow lazily here.
+  const auto indices = vec.indices();
+  const auto values = vec.values();
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    SparseVecView row = matrix.Row(indices[i]);
+    const double weight = values[i];
+    for (std::size_t k = 0; k < row.indices.size(); ++k) {
+      if (row.indices[k] >= acc->dimension()) {
+        acc->Resize(row.indices[k] + 1);
+      }
+      acc->Add(row.indices[k], weight * row.values[k]);
+    }
+  }
+  return acc->Harvest();
+}
+
+}  // namespace netout

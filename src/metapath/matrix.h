@@ -1,0 +1,80 @@
+#ifndef NETOUT_METAPATH_MATRIX_H_
+#define NETOUT_METAPATH_MATRIX_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/hin.h"
+#include "metapath/metapath.h"
+#include "metapath/sparse_vector.h"
+
+namespace netout {
+
+/// A materialized meta-path relation: row r is the neighbor vector
+/// φ_P(v_r) of source vertex r, stored CSR-style with double counts.
+/// The pre-materialization index stores one RelationMatrix per length-2
+/// meta-path (Section 6.2).
+class RelationMatrix {
+ public:
+  RelationMatrix() : offsets_(1, 0) {}
+
+  /// Materializes the full relation of `path` over `hin` by propagating
+  /// every source vertex. O(Σ_v traversal(v)).
+  static Result<RelationMatrix> Materialize(const Hin& hin,
+                                            const MetaPath& path);
+
+  /// Neighbor vector of source row `row` as a view (no copy).
+  SparseVecView Row(LocalId row) const {
+    if (row + 1 >= offsets_.size()) return {};
+    const std::size_t begin = offsets_[row];
+    const std::size_t end = offsets_[row + 1];
+    return SparseVecView{
+        std::span<const LocalId>(cols_.data() + begin, end - begin),
+        std::span<const double>(vals_.data() + begin, end - begin)};
+  }
+
+  std::size_t num_rows() const { return offsets_.size() - 1; }
+  std::size_t num_entries() const { return cols_.size(); }
+
+  TypeId row_type() const { return row_type_; }
+  TypeId col_type() const { return col_type_; }
+
+  /// Heap footprint in bytes (Figure 5b index-size accounting).
+  std::size_t MemoryBytes() const {
+    return offsets_.capacity() * sizeof(std::uint64_t) +
+           cols_.capacity() * sizeof(LocalId) +
+           vals_.capacity() * sizeof(double);
+  }
+
+  /// Raw access for serialization.
+  const std::vector<std::uint64_t>& offsets() const { return offsets_; }
+  const std::vector<LocalId>& cols() const { return cols_; }
+  const std::vector<double>& vals() const { return vals_; }
+
+  /// Rebuilds from raw arrays (deserialization). Fails with kCorruption
+  /// if the arrays are inconsistent.
+  static Result<RelationMatrix> FromRaw(TypeId row_type, TypeId col_type,
+                                        std::vector<std::uint64_t> offsets,
+                                        std::vector<LocalId> cols,
+                                        std::vector<double> vals);
+
+ private:
+  TypeId row_type_ = kInvalidTypeId;
+  TypeId col_type_ = kInvalidTypeId;
+  std::vector<std::uint64_t> offsets_;
+  std::vector<LocalId> cols_;
+  std::vector<double> vals_;
+};
+
+/// vecᵀ · M — propagates a frontier over a materialized relation:
+/// result[u] = Σ_j vec[j] * M[j][u]. This is the decomposition step of
+/// Section 6.2 ("multiplication of indexed vectors").
+SparseVector MultiplyRowVector(const SparseVector& vec,
+                               const RelationMatrix& matrix,
+                               DenseAccumulator* acc);
+
+}  // namespace netout
+
+#endif  // NETOUT_METAPATH_MATRIX_H_

@@ -1,0 +1,144 @@
+#include "metapath/metapath.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace netout {
+
+Result<MetaPath> MetaPath::Create(const Schema& schema,
+                                  std::vector<TypeId> types,
+                                  std::vector<std::string> edge_names) {
+  if (types.empty()) {
+    return Status::InvalidArgument("meta-path needs at least one type");
+  }
+  for (TypeId t : types) {
+    if (t >= schema.num_vertex_types()) {
+      return Status::OutOfRange("meta-path references unknown vertex type");
+    }
+  }
+  if (!edge_names.empty() && edge_names.size() != types.size() - 1) {
+    return Status::InvalidArgument(
+        "edge_names must have one entry per hop (or be empty)");
+  }
+  MetaPath path;
+  path.types_ = std::move(types);
+  path.steps_.reserve(path.types_.size() - 1);
+  for (std::size_t i = 0; i + 1 < path.types_.size(); ++i) {
+    const TypeId from = path.types_[i];
+    const TypeId to = path.types_[i + 1];
+    if (!edge_names.empty() && !edge_names[i].empty()) {
+      NETOUT_ASSIGN_OR_RETURN(
+          EdgeStep step, schema.ResolveStepByName(edge_names[i], from, to));
+      path.steps_.push_back(step);
+    } else {
+      NETOUT_ASSIGN_OR_RETURN(EdgeStep step, schema.ResolveStep(from, to));
+      path.steps_.push_back(step);
+    }
+  }
+  return path;
+}
+
+Result<MetaPath> MetaPath::Parse(const Schema& schema,
+                                 std::string_view text) {
+  std::vector<std::string> segments = StrSplit(text, '.');
+  std::vector<TypeId> types;
+  std::vector<std::string> edge_names;
+  types.reserve(segments.size());
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    std::string_view segment = StrTrim(segments[i]);
+    std::string edge_name;
+    const std::size_t bracket = segment.find('[');
+    if (bracket != std::string_view::npos) {
+      if (segment.back() != ']') {
+        return Status::ParseError("malformed edge annotation in '" +
+                                  std::string(segment) + "'");
+      }
+      if (i == 0) {
+        return Status::ParseError(
+            "the first meta-path segment cannot carry an edge annotation");
+      }
+      edge_name = std::string(
+          segment.substr(bracket + 1, segment.size() - bracket - 2));
+      segment = segment.substr(0, bracket);
+    }
+    NETOUT_ASSIGN_OR_RETURN(TypeId type, schema.FindVertexType(segment));
+    types.push_back(type);
+    if (i > 0) edge_names.push_back(std::move(edge_name));
+  }
+  return Create(schema, std::move(types), std::move(edge_names));
+}
+
+Result<MetaPath> MetaPath::FromSteps(const Schema& schema,
+                                     std::vector<EdgeStep> steps) {
+  if (steps.empty()) {
+    return Status::InvalidArgument("FromSteps requires at least one step");
+  }
+  MetaPath path;
+  path.types_.reserve(steps.size() + 1);
+  path.types_.push_back(schema.StepSource(steps.front()));
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    if (steps[i].edge_type >= schema.num_edge_types()) {
+      return Status::OutOfRange("step references unknown edge type");
+    }
+    if (schema.StepSource(steps[i]) != path.types_.back()) {
+      return Status::InvalidArgument("steps do not chain");
+    }
+    path.types_.push_back(schema.StepTarget(steps[i]));
+  }
+  path.steps_ = std::move(steps);
+  return path;
+}
+
+MetaPath MetaPath::Reverse() const {
+  MetaPath out;
+  out.types_.assign(types_.rbegin(), types_.rend());
+  out.steps_.reserve(steps_.size());
+  for (auto it = steps_.rbegin(); it != steps_.rend(); ++it) {
+    out.steps_.push_back(EdgeStep{it->edge_type, Opposite(it->direction)});
+  }
+  return out;
+}
+
+Result<MetaPath> MetaPath::Concat(const MetaPath& other) const {
+  NETOUT_CHECK(!types_.empty() && !other.types_.empty());
+  if (target_type() != other.source_type()) {
+    return Status::InvalidArgument(
+        "meta-paths are not concatenable: target type of the first does "
+        "not match source type of the second");
+  }
+  MetaPath out;
+  out.types_ = types_;
+  out.types_.insert(out.types_.end(), other.types_.begin() + 1,
+                    other.types_.end());
+  out.steps_ = steps_;
+  out.steps_.insert(out.steps_.end(), other.steps_.begin(),
+                    other.steps_.end());
+  return out;
+}
+
+MetaPath MetaPath::Symmetric() const {
+  Result<MetaPath> sym = Concat(Reverse());
+  NETOUT_CHECK(sym.ok()) << "P and P⁻¹ are always concatenable";
+  return std::move(sym).value();
+}
+
+std::string MetaPath::ToString(const Schema& schema) const {
+  std::string out;
+  for (std::size_t i = 0; i < types_.size(); ++i) {
+    if (i > 0) out += ".";
+    out += schema.VertexTypeName(types_[i]);
+    // Emit the edge annotation only when auto-resolution would not find
+    // the same step (keeps round-trips minimal but unambiguous).
+    if (i > 0) {
+      auto resolved = schema.ResolveStep(types_[i - 1], types_[i]);
+      if (!resolved.ok() || !(resolved.value() == steps_[i - 1])) {
+        out += "[" + schema.edge_type(steps_[i - 1].edge_type).name + "]";
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace netout

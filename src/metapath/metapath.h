@@ -1,0 +1,85 @@
+#ifndef NETOUT_METAPATH_METAPATH_H_
+#define NETOUT_METAPATH_METAPATH_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/schema.h"
+#include "graph/types.h"
+
+namespace netout {
+
+/// A meta-path (Definition 2): an ordered sequence of vertex types
+/// P = (T0 T1 ... Tl), resolved against a schema so that every hop
+/// carries the concrete edge type and traversal direction.
+///
+/// Meta-paths are immutable value types supporting the paper's two
+/// operators: reversal (Definition 3) and concatenation (Definition 4).
+class MetaPath {
+ public:
+  MetaPath() = default;
+
+  /// Resolves a type sequence. Each consecutive pair must be connected by
+  /// exactly one edge step (Schema::ResolveStep); pass explicit edge
+  /// names in `edge_names` (empty string = auto-resolve, one entry per
+  /// hop, or an empty vector for all-auto) to disambiguate.
+  static Result<MetaPath> Create(const Schema& schema,
+                                 std::vector<TypeId> types,
+                                 std::vector<std::string> edge_names = {});
+
+  /// Parses dot syntax: "author.paper.venue". A segment may carry an
+  /// explicit edge annotation for the hop *into* it:
+  /// "paper.paper[cites]" follows the `cites` edge type forward or
+  /// backward into the second `paper`.
+  static Result<MetaPath> Parse(const Schema& schema, std::string_view text);
+
+  /// Builds from an exact resolved step sequence (the vertex types are
+  /// derived from the steps). Consecutive steps must chain. This is the
+  /// only way to express the orientation of a self-relation explicitly.
+  static Result<MetaPath> FromSteps(const Schema& schema,
+                                    std::vector<EdgeStep> steps);
+
+  /// Number of hops l (types().size() - 1). A single-type path has
+  /// length 0 and is valid (it denotes the identity relation).
+  std::size_t length() const { return steps_.size(); }
+
+  TypeId source_type() const { return types_.front(); }
+  TypeId target_type() const { return types_.back(); }
+
+  const std::vector<TypeId>& types() const { return types_; }
+  const std::vector<EdgeStep>& steps() const { return steps_; }
+
+  /// P⁻¹ = (Tl ... T0), each hop direction flipped.
+  MetaPath Reverse() const;
+
+  /// (P1 P2); requires target_type() == other.source_type().
+  Result<MetaPath> Concat(const MetaPath& other) const;
+
+  /// Psym = (P P⁻¹): the symmetric meta-path used by normalized
+  /// connectivity (Section 5.1). Always concatenable.
+  MetaPath Symmetric() const;
+
+  /// "author.paper.venue" (with edge annotations where they were given).
+  std::string ToString(const Schema& schema) const;
+
+  friend bool operator==(const MetaPath& a, const MetaPath& b) {
+    return a.types_ == b.types_ && a.steps_ == b.steps_;
+  }
+
+ private:
+  std::vector<TypeId> types_;   // length l+1; never empty once created
+  std::vector<EdgeStep> steps_; // length l
+};
+
+/// A feature meta-path with its user-assigned weight (the JUDGED BY list
+/// entries; weight defaults to 1 per Section 4.2).
+struct WeightedMetaPath {
+  MetaPath path;
+  double weight = 1.0;
+};
+
+}  // namespace netout
+
+#endif  // NETOUT_METAPATH_METAPATH_H_

@@ -1,0 +1,192 @@
+#include "metapath/sparse_vector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace netout {
+
+SparseVector SparseVector::FromPairs(
+    std::vector<std::pair<LocalId, double>> pairs) {
+  std::sort(pairs.begin(), pairs.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  SparseVector out;
+  out.indices_.reserve(pairs.size());
+  out.values_.reserve(pairs.size());
+  std::size_t i = 0;
+  while (i < pairs.size()) {
+    const LocalId index = pairs[i].first;
+    double value = 0.0;
+    while (i < pairs.size() && pairs[i].first == index) {
+      value += pairs[i].second;
+      ++i;
+    }
+    out.indices_.push_back(index);
+    out.values_.push_back(value);
+  }
+  return out;
+}
+
+SparseVector SparseVector::FromSorted(std::vector<LocalId> indices,
+                                      std::vector<double> values) {
+  NETOUT_CHECK(indices.size() == values.size());
+#ifndef NDEBUG
+  for (std::size_t i = 1; i < indices.size(); ++i) {
+    NETOUT_CHECK(indices[i - 1] < indices[i])
+        << "FromSorted requires strictly increasing indices";
+  }
+#endif
+  SparseVector out;
+  out.indices_ = std::move(indices);
+  out.values_ = std::move(values);
+  return out;
+}
+
+double SparseVector::ValueAt(LocalId index) const {
+  auto it = std::lower_bound(indices_.begin(), indices_.end(), index);
+  if (it == indices_.end() || *it != index) return 0.0;
+  return values_[static_cast<std::size_t>(it - indices_.begin())];
+}
+
+void SparseVector::Prune() {
+  std::size_t write = 0;
+  for (std::size_t read = 0; read < indices_.size(); ++read) {
+    if (values_[read] != 0.0) {
+      indices_[write] = indices_[read];
+      values_[write] = values_[read];
+      ++write;
+    }
+  }
+  indices_.resize(write);
+  values_.resize(write);
+}
+
+void SparseVector::Scale(double factor) {
+  for (double& value : values_) value *= factor;
+}
+
+std::string SparseVector::ToString() const {
+  std::ostringstream out;
+  out << "[";
+  for (std::size_t i = 0; i < indices_.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << indices_[i] << ":" << values_[i];
+  }
+  out << "]";
+  return out.str();
+}
+
+double Dot(SparseVecView a, SparseVecView b) {
+  double total = 0.0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.indices.size() && j < b.indices.size()) {
+    if (a.indices[i] < b.indices[j]) {
+      ++i;
+    } else if (a.indices[i] > b.indices[j]) {
+      ++j;
+    } else {
+      total += a.values[i] * b.values[j];
+      ++i;
+      ++j;
+    }
+  }
+  return total;
+}
+
+double Sum(SparseVecView v) {
+  double total = 0.0;
+  for (double value : v.values) total += value;
+  return total;
+}
+
+double L1Norm(SparseVecView v) {
+  double total = 0.0;
+  for (double value : v.values) total += std::abs(value);
+  return total;
+}
+
+double L2NormSquared(SparseVecView v) {
+  double total = 0.0;
+  for (double value : v.values) total += value * value;
+  return total;
+}
+
+SparseVector AddScaled(SparseVecView a, SparseVecView b, double scale) {
+  std::vector<LocalId> indices;
+  std::vector<double> values;
+  indices.reserve(a.nnz() + b.nnz());
+  values.reserve(a.nnz() + b.nnz());
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.indices.size() || j < b.indices.size()) {
+    if (j >= b.indices.size() ||
+        (i < a.indices.size() && a.indices[i] < b.indices[j])) {
+      indices.push_back(a.indices[i]);
+      values.push_back(a.values[i]);
+      ++i;
+    } else if (i >= a.indices.size() || b.indices[j] < a.indices[i]) {
+      indices.push_back(b.indices[j]);
+      values.push_back(scale * b.values[j]);
+      ++j;
+    } else {
+      indices.push_back(a.indices[i]);
+      values.push_back(a.values[i] + scale * b.values[j]);
+      ++i;
+      ++j;
+    }
+  }
+  return SparseVector::FromSorted(std::move(indices), std::move(values));
+}
+
+double CosineSimilarity(SparseVecView a, SparseVecView b) {
+  const double na = L2NormSquared(a);
+  const double nb = L2NormSquared(b);
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return Dot(a, b) / (std::sqrt(na) * std::sqrt(nb));
+}
+
+void DenseAccumulator::Resize(std::size_t dimension) {
+  if (dense_.size() < dimension) {
+    dense_.resize(dimension, 0.0);
+  }
+}
+
+void DenseAccumulator::Add(LocalId index, double value) {
+  NETOUT_CHECK(index < dense_.size()) << "accumulator index out of range";
+  if (dense_[index] == 0.0) {
+    touched_.push_back(index);
+  }
+  dense_[index] += value;
+  // A sum landing exactly on zero would orphan the touched entry; keep it
+  // (Harvest filters zero values) to stay O(1) per Add.
+}
+
+SparseVector DenseAccumulator::Harvest() {
+  std::sort(touched_.begin(), touched_.end());
+  std::vector<LocalId> indices;
+  std::vector<double> values;
+  indices.reserve(touched_.size());
+  values.reserve(touched_.size());
+  LocalId prev = kInvalidLocalId;
+  for (LocalId index : touched_) {
+    if (index == prev) continue;  // duplicate from a zero-crossing re-add
+    prev = index;
+    if (dense_[index] != 0.0) {
+      indices.push_back(index);
+      values.push_back(dense_[index]);
+    }
+    dense_[index] = 0.0;
+  }
+  touched_.clear();
+  return SparseVector::FromSorted(std::move(indices), std::move(values));
+}
+
+void DenseAccumulator::Clear() {
+  for (LocalId index : touched_) dense_[index] = 0.0;
+  touched_.clear();
+}
+
+}  // namespace netout

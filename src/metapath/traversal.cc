@@ -1,0 +1,75 @@
+#include "metapath/traversal.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace netout {
+
+PathCounter::PathCounter(HinPtr hin) : hin_(std::move(hin)) {
+  NETOUT_CHECK(hin_ != nullptr);
+  acc_.resize(hin_->schema().num_vertex_types());
+}
+
+Result<SparseVector> PathCounter::NeighborVector(VertexRef v,
+                                                 const MetaPath& path) {
+  if (path.types().empty()) {
+    return Status::InvalidArgument("empty meta-path");
+  }
+  if (v.type != path.source_type()) {
+    return Status::InvalidArgument(
+        "vertex type does not match the meta-path source type");
+  }
+  if (v.local >= hin_->NumVertices(v.type)) {
+    return Status::OutOfRange("vertex id out of range");
+  }
+  SparseVector unit = SparseVector::FromSorted({v.local}, {1.0});
+  return RunHops(std::move(unit), path.steps());
+}
+
+Result<SparseVector> PathCounter::Propagate(const SparseVector& frontier,
+                                            const MetaPath& path) {
+  if (path.types().empty()) {
+    return Status::InvalidArgument("empty meta-path");
+  }
+  return RunHops(frontier, path.steps());
+}
+
+SparseVector PathCounter::PropagateStep(const SparseVector& frontier,
+                                        const EdgeStep& step) {
+  const TypeId target = hin_->schema().StepTarget(step);
+  const Csr& adj = hin_->Adjacency(step);
+  DenseAccumulator& acc = acc_[target];
+  acc.Resize(hin_->NumVertices(target));
+  const auto indices = frontier.indices();
+  const auto values = frontier.values();
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const double weight = values[i];
+    for (const CsrEntry& entry : adj.Row(indices[i])) {
+      acc.Add(entry.neighbor, weight * entry.count);
+    }
+  }
+  return acc.Harvest();
+}
+
+SparseVector PathCounter::RunHops(SparseVector frontier,
+                                  std::span<const EdgeStep> steps) {
+  for (const EdgeStep& step : steps) {
+    frontier = PropagateStep(frontier, step);
+    if (frontier.empty()) break;  // nothing reachable further on
+  }
+  return frontier;
+}
+
+Result<std::vector<VertexRef>> PathCounter::Neighborhood(
+    VertexRef v, const MetaPath& path) {
+  NETOUT_ASSIGN_OR_RETURN(SparseVector vec, NeighborVector(v, path));
+  std::vector<VertexRef> out;
+  out.reserve(vec.nnz());
+  for (LocalId local : vec.indices()) {
+    out.push_back(VertexRef{path.target_type(), local});
+  }
+  return out;
+}
+
+}  // namespace netout

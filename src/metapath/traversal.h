@@ -1,0 +1,62 @@
+#ifndef NETOUT_METAPATH_TRAVERSAL_H_
+#define NETOUT_METAPATH_TRAVERSAL_H_
+
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/hin.h"
+#include "metapath/metapath.h"
+#include "metapath/sparse_vector.h"
+
+namespace netout {
+
+/// Materializes neighbor vectors by frontier-propagation over the CSR
+/// adjacency: for each hop, next[u] += frontier[w] * multiplicity(w, u).
+/// This counts *path instances* (Definition 5), so the j-th output entry
+/// is exactly |π_P(v, v_j)|.
+///
+/// The counter keeps one dense workspace per vertex type and reuses it
+/// across calls; it is cheap to hold for the lifetime of a query engine
+/// but is NOT thread-safe — use one PathCounter per thread.
+class PathCounter {
+ public:
+  explicit PathCounter(HinPtr hin);
+
+  /// φ_P(v): path-instance counts from `v` along `path`. Requires
+  /// v.type == path.source_type(). A length-0 path yields the unit
+  /// vector at v.
+  Result<SparseVector> NeighborVector(VertexRef v, const MetaPath& path);
+
+  /// Propagates an arbitrary starting frontier (over path.source_type())
+  /// along the path: result = frontierᵀ · M_P. Used by the decomposition
+  /// evaluator for trailing odd hops and by tests.
+  Result<SparseVector> Propagate(const SparseVector& frontier,
+                                 const MetaPath& path);
+
+  /// Propagates `frontier` (over the step's source type) one hop.
+  SparseVector PropagateStep(const SparseVector& frontier,
+                             const EdgeStep& step);
+
+  /// Neighborhood N_P(v) (Definition 6): vertices of the terminal type
+  /// reachable by at least one path instance.
+  Result<std::vector<VertexRef>> Neighborhood(VertexRef v,
+                                              const MetaPath& path);
+
+  const Hin& hin() const { return *hin_; }
+
+ private:
+  // Runs the hops of `path` starting from a frontier already loaded into
+  // acc_[path.source_type() workspace]; leaves the result as a harvested
+  // vector.
+  SparseVector RunHops(SparseVector frontier,
+                       std::span<const EdgeStep> steps);
+
+  HinPtr hin_;
+  // One reusable dense accumulator per vertex type.
+  std::vector<DenseAccumulator> acc_;
+};
+
+}  // namespace netout
+
+#endif  // NETOUT_METAPATH_TRAVERSAL_H_

@@ -1,0 +1,184 @@
+#include "query/analyzer.h"
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace netout {
+namespace {
+
+std::string JoinSegments(std::string_view head,
+                         const std::vector<std::string>& segments) {
+  std::string out(head);
+  for (const std::string& segment : segments) {
+    out += ".";
+    out += segment;
+  }
+  return out;
+}
+
+Result<std::unique_ptr<ResolvedWhere>> ResolveWhere(
+    const Hin& hin, const WhereExpr& where, std::string_view alias,
+    TypeId element_type) {
+  auto resolved = std::make_unique<ResolvedWhere>();
+  resolved->kind = where.kind;
+  switch (where.kind) {
+    case WhereExpr::Kind::kAtom: {
+      const CountCondition& atom = where.atom;
+      if (alias.empty()) {
+        return Status::InvalidArgument(
+            "WHERE COUNT(...) requires the set to be named with AS");
+      }
+      if (!EqualsIgnoreCase(atom.alias, alias)) {
+        return Status::InvalidArgument("unknown alias '" + atom.alias +
+                                       "' in COUNT(...); the set is named '" +
+                                       std::string(alias) + "'");
+      }
+      const std::string path_text = JoinSegments(
+          hin.schema().VertexTypeName(element_type), atom.hop_segments);
+      NETOUT_ASSIGN_OR_RETURN(resolved->atom.path,
+                              MetaPath::Parse(hin.schema(), path_text));
+      resolved->atom.op = atom.op;
+      resolved->atom.value = atom.value;
+      return resolved;
+    }
+    case WhereExpr::Kind::kNot: {
+      NETOUT_ASSIGN_OR_RETURN(
+          resolved->lhs, ResolveWhere(hin, *where.lhs, alias, element_type));
+      return resolved;
+    }
+    case WhereExpr::Kind::kAnd:
+    case WhereExpr::Kind::kOr: {
+      NETOUT_ASSIGN_OR_RETURN(
+          resolved->lhs, ResolveWhere(hin, *where.lhs, alias, element_type));
+      NETOUT_ASSIGN_OR_RETURN(
+          resolved->rhs, ResolveWhere(hin, *where.rhs, alias, element_type));
+      return resolved;
+    }
+  }
+  return Status::Internal("unhandled WHERE node kind");
+}
+
+Result<ResolvedSet> ResolveSet(const Hin& hin, const SetExpr& expr) {
+  ResolvedSet resolved;
+  resolved.kind = expr.kind;
+  if (expr.kind != SetExpr::Kind::kPrimary) {
+    NETOUT_ASSIGN_OR_RETURN(ResolvedSet lhs, ResolveSet(hin, *expr.lhs));
+    NETOUT_ASSIGN_OR_RETURN(ResolvedSet rhs, ResolveSet(hin, *expr.rhs));
+    if (lhs.element_type != rhs.element_type) {
+      return Status::InvalidArgument(
+          "set operator operands have different element types ('" +
+          hin.schema().VertexTypeName(lhs.element_type) + "' vs '" +
+          hin.schema().VertexTypeName(rhs.element_type) + "')");
+    }
+    resolved.element_type = lhs.element_type;
+    resolved.lhs = std::make_unique<ResolvedSet>(std::move(lhs));
+    resolved.rhs = std::make_unique<ResolvedSet>(std::move(rhs));
+    return resolved;
+  }
+
+  ResolvedPrimary& primary = resolved.primary;
+  NETOUT_ASSIGN_OR_RETURN(TypeId head_type,
+                          hin.schema().FindVertexType(expr.type_name));
+  const std::string path_text =
+      JoinSegments(hin.schema().VertexTypeName(head_type),
+                   expr.hop_segments);
+  NETOUT_ASSIGN_OR_RETURN(primary.hops,
+                          MetaPath::Parse(hin.schema(), path_text));
+  primary.element_type = primary.hops.target_type();
+
+  if (expr.anchor_name.has_value()) {
+    NETOUT_ASSIGN_OR_RETURN(VertexRef anchor,
+                            hin.FindVertex(head_type, *expr.anchor_name));
+    primary.anchor = anchor;
+  } else if (!expr.hop_segments.empty()) {
+    return Status::Unimplemented(
+        "a neighborhood set requires an anchor vertex: write " +
+        expr.type_name + "{\"name\"}." + expr.hop_segments.front() +
+        "...; a bare type denotes all vertices of that type");
+  }
+
+  if (expr.where != nullptr) {
+    NETOUT_ASSIGN_OR_RETURN(
+        primary.where,
+        ResolveWhere(hin, *expr.where, expr.alias, primary.element_type));
+  }
+  resolved.element_type = primary.element_type;
+  return resolved;
+}
+
+}  // namespace
+
+Result<QueryPlan> AnalyzeQuery(const Hin& hin, const QueryAst& ast,
+                               const AnalyzerOptions& options) {
+  QueryPlan plan;
+  NETOUT_ASSIGN_OR_RETURN(plan.candidate, ResolveSet(hin, ast.candidate));
+  plan.subject_type = plan.candidate.element_type;
+
+  if (ast.reference.has_value()) {
+    NETOUT_ASSIGN_OR_RETURN(ResolvedSet reference,
+                            ResolveSet(hin, *ast.reference));
+    if (reference.element_type != plan.subject_type) {
+      return Status::InvalidArgument(
+          "the COMPARED TO set must contain the same vertex type as the "
+          "candidate set ('" +
+          hin.schema().VertexTypeName(plan.subject_type) + "' expected, '" +
+          hin.schema().VertexTypeName(reference.element_type) + "' found)");
+    }
+    plan.reference = std::move(reference);
+  }
+
+  if (ast.judged_by.empty()) {
+    return Status::InvalidArgument(
+        "JUDGED BY requires at least one feature meta-path");
+  }
+  for (const PathSpec& spec : ast.judged_by) {
+    const std::string path_text = JoinSegments(
+        spec.segments.front(),
+        std::vector<std::string>(spec.segments.begin() + 1,
+                                 spec.segments.end()));
+    NETOUT_ASSIGN_OR_RETURN(MetaPath path,
+                            MetaPath::Parse(hin.schema(), path_text));
+    if (path.source_type() != plan.subject_type) {
+      return Status::InvalidArgument(
+          "feature meta-path '" + path_text +
+          "' must start at the candidate vertex type '" +
+          hin.schema().VertexTypeName(plan.subject_type) + "'");
+    }
+    plan.features.push_back(WeightedMetaPath{std::move(path), spec.weight});
+  }
+
+  plan.top_k = ast.top_k;
+
+  plan.measure = options.default_measure;
+  if (ast.measure_name.has_value()) {
+    NETOUT_ASSIGN_OR_RETURN(plan.measure,
+                            ParseOutlierMeasure(*ast.measure_name));
+  }
+  plan.combine = options.default_combine;
+  if (ast.combine_name.has_value()) {
+    const std::string lower = AsciiToLower(*ast.combine_name);
+    if (lower == "average" || lower == "avg" || lower == "mean") {
+      plan.combine = CombineMode::kWeightedAverage;
+    } else if (lower == "rank") {
+      plan.combine = CombineMode::kRankAverage;
+    } else if (lower == "joint" || lower == "connectivity") {
+      plan.combine = CombineMode::kJointConnectivity;
+    } else {
+      return Status::InvalidArgument("unknown combiner '" +
+                                     *ast.combine_name +
+                                     "' (expected: average, rank, joint)");
+    }
+  }
+  if (plan.combine == CombineMode::kJointConnectivity &&
+      plan.measure != OutlierMeasure::kNetOut) {
+    return Status::InvalidArgument(
+        "COMBINE BY joint redefines NetOut's connectivity and is only "
+        "valid with USING MEASURE netout");
+  }
+  return plan;
+}
+
+}  // namespace netout

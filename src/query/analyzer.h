@@ -1,0 +1,28 @@
+#ifndef NETOUT_QUERY_ANALYZER_H_
+#define NETOUT_QUERY_ANALYZER_H_
+
+#include "common/result.h"
+#include "graph/hin.h"
+#include "query/ast.h"
+#include "query/plan.h"
+
+namespace netout {
+
+/// Defaults applied when the query does not carry the corresponding
+/// optional clause.
+struct AnalyzerOptions {
+  OutlierMeasure default_measure = OutlierMeasure::kNetOut;
+  CombineMode default_combine = CombineMode::kWeightedAverage;
+};
+
+/// Binds a parsed query against a concrete network: resolves type and
+/// edge names, looks up anchor vertices, validates the paper's typing
+/// rules (all of Sc ∪ Sr share one vertex type; every feature meta-path
+/// starts at that type; WHERE aliases match), and resolves the measure /
+/// combiner names.
+Result<QueryPlan> AnalyzeQuery(const Hin& hin, const QueryAst& ast,
+                               const AnalyzerOptions& options = {});
+
+}  // namespace netout
+
+#endif  // NETOUT_QUERY_ANALYZER_H_

@@ -1,0 +1,86 @@
+#ifndef NETOUT_QUERY_AST_H_
+#define NETOUT_QUERY_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace netout {
+
+/// Comparison operators usable in WHERE conditions.
+enum class CmpOp : std::uint8_t {
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kEq,
+  kNe,
+};
+
+const char* CmpOpToString(CmpOp op);
+
+/// COUNT(<alias>.<type>...) <op> <number> — an atomic WHERE condition.
+/// COUNT is the number of *distinct* vertices reachable from the set
+/// element along the path (e.g. COUNT(A.paper) > 10: more than 10
+/// distinct papers).
+struct CountCondition {
+  std::string alias;
+  std::vector<std::string> hop_segments;  // raw segments, may carry [edge]
+  CmpOp op = CmpOp::kGt;
+  double value = 0.0;
+};
+
+/// Boolean combination of count conditions.
+struct WhereExpr {
+  enum class Kind : std::uint8_t { kAtom, kAnd, kOr, kNot };
+
+  Kind kind = Kind::kAtom;
+  CountCondition atom;              // kAtom
+  std::unique_ptr<WhereExpr> lhs;   // kAnd/kOr/kNot
+  std::unique_ptr<WhereExpr> rhs;   // kAnd/kOr
+};
+
+/// A vertex-set expression (the FROM / COMPARED TO operand).
+struct SetExpr {
+  enum class Kind : std::uint8_t {
+    kPrimary,    // anchored neighborhood or whole type
+    kUnion,
+    kIntersect,
+    kExcept,
+  };
+
+  Kind kind = Kind::kPrimary;
+
+  // kPrimary fields:
+  std::string type_name;                   // anchor / element type
+  std::optional<std::string> anchor_name;  // nullopt => all vertices of type
+  std::vector<std::string> hop_segments;   // types after the anchor
+  std::string alias;                       // AS <alias>, may be empty
+  std::unique_ptr<WhereExpr> where;        // may be null
+
+  // kUnion/kIntersect/kExcept children:
+  std::unique_ptr<SetExpr> lhs;
+  std::unique_ptr<SetExpr> rhs;
+};
+
+/// One JUDGED BY entry: a feature meta-path with optional ": weight".
+struct PathSpec {
+  std::vector<std::string> segments;  // raw dot-separated segments
+  double weight = 1.0;
+};
+
+/// The parsed outlier query (Definition 8 plus the TOP clause and the
+/// engine extensions USING MEASURE / COMBINE BY).
+struct QueryAst {
+  SetExpr candidate;                 // FIND OUTLIERS FROM/IN ...
+  std::optional<SetExpr> reference;  // COMPARED TO ... (defaults to Sc)
+  std::vector<PathSpec> judged_by;   // JUDGED BY p1[: w1], p2[: w2], ...
+  std::size_t top_k = 10;            // TOP k
+  std::optional<std::string> measure_name;  // USING MEASURE <name>
+  std::optional<std::string> combine_name;  // COMBINE BY average|rank
+};
+
+}  // namespace netout
+
+#endif  // NETOUT_QUERY_AST_H_

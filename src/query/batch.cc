@@ -1,0 +1,61 @@
+#include "query/batch.h"
+
+#include <atomic>
+#include <utility>
+
+#include "common/thread_pool.h"
+
+namespace netout {
+
+struct BatchRunner::Impl {
+  Impl(HinPtr hin_in, const EngineOptions& options_in,
+       std::size_t num_threads)
+      : hin(std::move(hin_in)), options(options_in), pool(num_threads) {}
+
+  HinPtr hin;
+  EngineOptions options;
+  ThreadPool pool;
+};
+
+BatchRunner::BatchRunner(HinPtr hin, const EngineOptions& engine_options,
+                         std::size_t num_threads)
+    : impl_(std::make_unique<Impl>(std::move(hin), engine_options,
+                                   num_threads)) {}
+
+BatchRunner::~BatchRunner() = default;
+
+std::size_t BatchRunner::num_threads() const {
+  return impl_->pool.num_threads();
+}
+
+std::vector<BatchOutcome> BatchRunner::Run(
+    const std::vector<std::string>& queries) {
+  std::vector<BatchOutcome> outcomes(queries.size());
+  if (queries.empty()) return outcomes;
+
+  // Contiguous slices, one Engine per slice: engines are cheap but not
+  // free (traversal workspaces), so build one per task rather than one
+  // per query.
+  const std::size_t num_slices =
+      std::min(queries.size(), impl_->pool.num_threads() * 4);
+  const std::size_t slice_size =
+      (queries.size() + num_slices - 1) / num_slices;
+  for (std::size_t begin = 0; begin < queries.size(); begin += slice_size) {
+    const std::size_t end = std::min(queries.size(), begin + slice_size);
+    impl_->pool.Submit([this, &queries, &outcomes, begin, end] {
+      Engine engine(impl_->hin, impl_->options);
+      for (std::size_t i = begin; i < end; ++i) {
+        auto result = engine.Execute(queries[i]);
+        if (result.ok()) {
+          outcomes[i].result = std::move(result).value();
+        } else {
+          outcomes[i].status = result.status();
+        }
+      }
+    });
+  }
+  impl_->pool.Wait();
+  return outcomes;
+}
+
+}  // namespace netout

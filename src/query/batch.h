@@ -1,0 +1,49 @@
+#ifndef NETOUT_QUERY_BATCH_H_
+#define NETOUT_QUERY_BATCH_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "query/engine.h"
+
+namespace netout {
+
+/// Outcome of one query in a batch: either `status` is non-OK or
+/// `result` is valid.
+struct BatchOutcome {
+  Status status;
+  QueryResult result;
+};
+
+/// Executes batches of outlier queries concurrently. The immutable Hin
+/// and indexes are shared; each worker owns a private Engine (traversal
+/// workspaces are the only mutable state), so execution is lock-free.
+///
+/// This is an extension beyond the paper (whose measurements are
+/// single-threaded, as are the Figure 3-5 benches here); it serves
+/// multi-analyst / dashboard workloads.
+class BatchRunner {
+ public:
+  /// `num_threads` workers are spawned once and reused across Run calls.
+  BatchRunner(HinPtr hin, const EngineOptions& engine_options,
+              std::size_t num_threads);
+  ~BatchRunner();
+
+  BatchRunner(const BatchRunner&) = delete;
+  BatchRunner& operator=(const BatchRunner&) = delete;
+
+  /// Runs every query; outcomes are returned in input order. Individual
+  /// query failures are reported per-outcome, never thrown/propagated.
+  std::vector<BatchOutcome> Run(const std::vector<std::string>& queries);
+
+  std::size_t num_threads() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace netout
+
+#endif  // NETOUT_QUERY_BATCH_H_

@@ -1,0 +1,101 @@
+#ifndef NETOUT_QUERY_ENGINE_H_
+#define NETOUT_QUERY_ENGINE_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/hin.h"
+#include "metapath/index_iface.h"
+#include "query/analyzer.h"
+#include "query/executor.h"
+
+namespace netout {
+
+/// Engine configuration: which index to use (null = the paper's Baseline
+/// strategy) and default execution knobs. Per-query USING MEASURE /
+/// COMBINE BY clauses override the defaults.
+struct EngineOptions {
+  const MetaPathIndex* index = nullptr;  // borrowed, may be null
+  AnalyzerOptions analyzer;
+  ExecOptions exec;
+};
+
+/// The query-based outlier detection system facade: parse -> analyze ->
+/// execute. One Engine per thread (it owns traversal workspaces); the
+/// underlying Hin and index are immutable and shareable.
+///
+///   Engine engine(hin);
+///   auto result = engine.Execute(R"(
+///     FIND OUTLIERS FROM author{"Christos Faloutsos"}.paper.author
+///     JUDGED BY author.paper.venue
+///     TOP 10;
+///   )");
+class Engine {
+ public:
+  explicit Engine(HinPtr hin, const EngineOptions& options = {});
+
+  /// Parses, analyzes, and runs `query_text`.
+  Result<QueryResult> Execute(std::string_view query_text);
+
+  /// Parse + analyze only; useful for validating queries and for
+  /// repeated execution of one plan.
+  Result<QueryPlan> Prepare(std::string_view query_text) const;
+
+  /// Runs an already-prepared plan.
+  Result<QueryResult> ExecutePlan(const QueryPlan& plan);
+
+  /// Evaluates just the candidate set of `query_text` — the vertex lists
+  /// SPM's initialization-query frequency counting consumes
+  /// (Section 6.2).
+  Result<std::vector<VertexRef>> CandidateVertices(
+      std::string_view query_text);
+
+  /// Explains why `candidate_name` scores the way it does under the
+  /// query's feature meta-paths (Section 8's insight suggestion): per
+  /// path, the candidate's NetOut value plus the named dimensions it
+  /// over-invests in ("distinctive") and the community dimensions it
+  /// misses. Fails with kNotFound if the vertex is not in the query's
+  /// candidate set.
+  struct PathExplanation {
+    std::string path_text;
+    double score = 0.0;
+    struct Term {
+      std::string name;
+      double candidate_count = 0.0;
+      double reference_mass = 0.0;
+    };
+    std::vector<Term> distinctive;
+    std::vector<Term> missing;
+  };
+  Result<std::vector<PathExplanation>> Explain(
+      std::string_view query_text, std::string_view candidate_name,
+      std::size_t top_m = 5);
+
+  /// Suggests alternative JUDGED BY meta-paths for a query (Section 8's
+  /// query-modification suggestion): every schema-valid meta-path from
+  /// the query's subject type with at most `max_hops` hops, excluding
+  /// the paths the query already uses, in dot syntax ready to paste into
+  /// a JUDGED BY clause. Self-relation hops that need an edge annotation
+  /// are rendered with it.
+  Result<std::vector<std::string>> SuggestFeaturePaths(
+      std::string_view query_text, std::size_t max_hops = 2) const;
+
+  /// Human-readable description of the resolved plan (the EXPLAIN of
+  /// this engine): candidate/reference set trees with resolved anchors
+  /// and filters, weighted feature meta-paths, measure, combiner, k.
+  Result<std::string> DescribePlan(std::string_view query_text) const;
+  std::string DescribePlan(const QueryPlan& plan) const;
+
+  const Hin& hin() const { return *hin_; }
+  bool has_index() const { return options_.index != nullptr; }
+
+ private:
+  HinPtr hin_;
+  EngineOptions options_;
+  Executor executor_;
+};
+
+}  // namespace netout
+
+#endif  // NETOUT_QUERY_ENGINE_H_

@@ -1,0 +1,300 @@
+#include "query/executor.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "measure/topk.h"
+
+namespace netout {
+namespace {
+
+std::vector<LocalId> SetUnion(const std::vector<LocalId>& a,
+                              const std::vector<LocalId>& b) {
+  std::vector<LocalId> out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+std::vector<LocalId> SetIntersection(const std::vector<LocalId>& a,
+                                     const std::vector<LocalId>& b) {
+  std::vector<LocalId> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+std::vector<LocalId> SetDifference(const std::vector<LocalId>& a,
+                                   const std::vector<LocalId>& b) {
+  std::vector<LocalId> out;
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(out));
+  return out;
+}
+
+bool Compare(double lhs, CmpOp op, double rhs) {
+  switch (op) {
+    case CmpOp::kLt:
+      return lhs < rhs;
+    case CmpOp::kLe:
+      return lhs <= rhs;
+    case CmpOp::kGt:
+      return lhs > rhs;
+    case CmpOp::kGe:
+      return lhs >= rhs;
+    case CmpOp::kEq:
+      return lhs == rhs;
+    case CmpOp::kNe:
+      return lhs != rhs;
+  }
+  return false;
+}
+
+}  // namespace
+
+Executor::Executor(HinPtr hin, const MetaPathIndex* index,
+                   const ExecOptions& options)
+    : hin_(std::move(hin)), options_(options), evaluator_(hin_, index) {
+  NETOUT_CHECK(hin_ != nullptr);
+}
+
+Result<bool> Executor::EvalWhere(const ResolvedWhere& where,
+                                 VertexRef member, EvalStats* stats) {
+  switch (where.kind) {
+    case WhereExpr::Kind::kAtom: {
+      NETOUT_ASSIGN_OR_RETURN(
+          SparseVector vec,
+          evaluator_.Evaluate(member, where.atom.path, stats));
+      // COUNT(...) counts distinct reachable vertices.
+      return Compare(static_cast<double>(vec.nnz()), where.atom.op,
+                     where.atom.value);
+    }
+    case WhereExpr::Kind::kNot: {
+      NETOUT_ASSIGN_OR_RETURN(bool inner,
+                              EvalWhere(*where.lhs, member, stats));
+      return !inner;
+    }
+    case WhereExpr::Kind::kAnd: {
+      NETOUT_ASSIGN_OR_RETURN(bool lhs, EvalWhere(*where.lhs, member, stats));
+      if (!lhs) return false;
+      return EvalWhere(*where.rhs, member, stats);
+    }
+    case WhereExpr::Kind::kOr: {
+      NETOUT_ASSIGN_OR_RETURN(bool lhs, EvalWhere(*where.lhs, member, stats));
+      if (lhs) return true;
+      return EvalWhere(*where.rhs, member, stats);
+    }
+  }
+  return Status::Internal("unhandled WHERE node kind");
+}
+
+Result<std::vector<LocalId>> Executor::EvalPrimary(
+    const ResolvedPrimary& primary, EvalStats* stats) {
+  std::vector<LocalId> members;
+  if (primary.anchor.has_value()) {
+    if (primary.hops.length() == 0) {
+      members.push_back(primary.anchor->local);
+    } else {
+      NETOUT_ASSIGN_OR_RETURN(
+          SparseVector vec,
+          evaluator_.Evaluate(*primary.anchor, primary.hops, stats));
+      members.assign(vec.indices().begin(), vec.indices().end());
+    }
+  } else {
+    // All vertices of the element type.
+    const std::size_t n = hin_->NumVertices(primary.element_type);
+    members.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      members[i] = static_cast<LocalId>(i);
+    }
+  }
+
+  if (primary.where != nullptr) {
+    std::vector<LocalId> filtered;
+    filtered.reserve(members.size());
+    for (LocalId member : members) {
+      NETOUT_ASSIGN_OR_RETURN(
+          bool keep,
+          EvalWhere(*primary.where,
+                    VertexRef{primary.element_type, member}, stats));
+      if (keep) filtered.push_back(member);
+    }
+    members = std::move(filtered);
+  }
+  return members;
+}
+
+Result<std::vector<LocalId>> Executor::EvalSet(const ResolvedSet& set,
+                                               EvalStats* stats) {
+  switch (set.kind) {
+    case SetExpr::Kind::kPrimary:
+      return EvalPrimary(set.primary, stats);
+    case SetExpr::Kind::kUnion: {
+      NETOUT_ASSIGN_OR_RETURN(std::vector<LocalId> lhs,
+                              EvalSet(*set.lhs, stats));
+      NETOUT_ASSIGN_OR_RETURN(std::vector<LocalId> rhs,
+                              EvalSet(*set.rhs, stats));
+      return SetUnion(lhs, rhs);
+    }
+    case SetExpr::Kind::kIntersect: {
+      NETOUT_ASSIGN_OR_RETURN(std::vector<LocalId> lhs,
+                              EvalSet(*set.lhs, stats));
+      NETOUT_ASSIGN_OR_RETURN(std::vector<LocalId> rhs,
+                              EvalSet(*set.rhs, stats));
+      return SetIntersection(lhs, rhs);
+    }
+    case SetExpr::Kind::kExcept: {
+      NETOUT_ASSIGN_OR_RETURN(std::vector<LocalId> lhs,
+                              EvalSet(*set.lhs, stats));
+      NETOUT_ASSIGN_OR_RETURN(std::vector<LocalId> rhs,
+                              EvalSet(*set.rhs, stats));
+      return SetDifference(lhs, rhs);
+    }
+  }
+  return Status::Internal("unhandled set node kind");
+}
+
+Result<std::vector<VertexRef>> Executor::EvaluateSet(
+    const ResolvedSet& set) {
+  NETOUT_ASSIGN_OR_RETURN(std::vector<LocalId> members,
+                          EvalSet(set, nullptr));
+  std::vector<VertexRef> out;
+  out.reserve(members.size());
+  for (LocalId member : members) {
+    out.push_back(VertexRef{set.element_type, member});
+  }
+  return out;
+}
+
+Result<QueryResult> Executor::Run(const QueryPlan& plan) {
+  Stopwatch total_watch;
+  QueryResult result;
+  QueryExecStats& stats = result.stats;
+
+  NETOUT_ASSIGN_OR_RETURN(std::vector<LocalId> candidates,
+                          EvalSet(plan.candidate, &stats.eval));
+  std::vector<LocalId> references;
+  if (plan.reference.has_value()) {
+    NETOUT_ASSIGN_OR_RETURN(references,
+                            EvalSet(*plan.reference, &stats.eval));
+  } else {
+    references = candidates;
+  }
+  stats.candidate_count = candidates.size();
+  stats.reference_count = references.size();
+
+  if (candidates.empty()) {
+    stats.total_nanos = total_watch.ElapsedNanos();
+    return result;
+  }
+  if (references.empty()) {
+    return Status::FailedPrecondition("the reference set is empty");
+  }
+
+  // Materialize the feature vectors of every distinct candidate/reference
+  // vertex, per feature meta-path, then score.
+  std::vector<std::vector<double>> per_path_scores;
+  std::vector<double> weights;
+  // zero_visibility[i]: candidate i had an empty vector under every path.
+  std::vector<bool> zero_visibility(candidates.size(), true);
+  // Joint-connectivity combination scores once over all paths, so the
+  // materialized vectors must outlive the feature loop.
+  const bool joint = plan.combine == CombineMode::kJointConnectivity;
+  std::vector<std::vector<SparseVector>> joint_storage;
+  std::vector<std::vector<SparseVecView>> joint_cand_views;
+  std::vector<std::vector<SparseVecView>> joint_ref_views;
+
+  for (const WeightedMetaPath& feature : plan.features) {
+    const std::vector<LocalId> all = SetUnion(candidates, references);
+    std::vector<SparseVector> vectors(all.size());
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      NETOUT_ASSIGN_OR_RETURN(
+          vectors[i],
+          evaluator_.Evaluate(VertexRef{plan.subject_type, all[i]},
+                              feature.path, &stats.eval));
+    }
+    auto vector_of = [&](LocalId id) -> const SparseVector& {
+      const auto it = std::lower_bound(all.begin(), all.end(), id);
+      return vectors[static_cast<std::size_t>(it - all.begin())];
+    };
+
+    ScopedTimer scoring_timer(&stats.scoring);
+    std::vector<SparseVecView> cand_vecs;
+    cand_vecs.reserve(candidates.size());
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      cand_vecs.push_back(vector_of(candidates[i]).View());
+      if (!cand_vecs.back().empty()) zero_visibility[i] = false;
+    }
+    std::vector<SparseVecView> ref_vecs;
+    ref_vecs.reserve(references.size());
+    for (LocalId id : references) {
+      ref_vecs.push_back(vector_of(id).View());
+    }
+    if (joint) {
+      joint_storage.push_back(std::move(vectors));
+      joint_cand_views.push_back(std::move(cand_vecs));
+      joint_ref_views.push_back(std::move(ref_vecs));
+      weights.push_back(feature.weight);
+      continue;
+    }
+    ScoreOptions score_options;
+    score_options.measure = plan.measure;
+    score_options.use_factored = options_.use_factored_netout;
+    score_options.lof_k = options_.lof_k;
+    NETOUT_ASSIGN_OR_RETURN(
+        std::vector<double> scores,
+        ComputeOutlierScores(std::span<const SparseVecView>(cand_vecs),
+                             std::span<const SparseVecView>(ref_vecs),
+                             score_options));
+    per_path_scores.push_back(std::move(scores));
+    weights.push_back(feature.weight);
+  }
+
+  std::vector<double> combined;
+  {
+    ScopedTimer scoring_timer(&stats.scoring);
+    if (joint) {
+      NETOUT_ASSIGN_OR_RETURN(
+          combined,
+          JointNetOutScores(joint_cand_views, joint_ref_views, weights));
+    } else {
+      NETOUT_ASSIGN_OR_RETURN(
+          combined, CombineScores(per_path_scores, weights, plan.combine,
+                                  plan.measure));
+    }
+  }
+
+  // Optionally exclude zero-visibility candidates, then select the top-k.
+  std::vector<std::size_t> eligible;
+  eligible.reserve(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (options_.skip_zero_visibility && zero_visibility[i]) continue;
+    eligible.push_back(i);
+  }
+  std::vector<double> eligible_scores;
+  eligible_scores.reserve(eligible.size());
+  for (std::size_t i : eligible) {
+    eligible_scores.push_back(combined[i]);
+  }
+  const bool smaller_first =
+      CombinedSmallerIsMoreOutlying(plan.combine, plan.measure);
+  const std::vector<std::size_t> top =
+      SelectTopK(eligible_scores, plan.top_k, smaller_first);
+
+  result.outliers.reserve(top.size());
+  for (std::size_t rank : top) {
+    const std::size_t i = eligible[rank];
+    OutlierEntry entry;
+    entry.vertex = VertexRef{plan.subject_type, candidates[i]};
+    entry.name = hin_->VertexName(entry.vertex);
+    entry.score = combined[i];
+    entry.zero_visibility = zero_visibility[i];
+    result.outliers.push_back(std::move(entry));
+  }
+  stats.total_nanos = total_watch.ElapsedNanos();
+  return result;
+}
+
+}  // namespace netout

@@ -1,0 +1,96 @@
+#ifndef NETOUT_QUERY_EXECUTOR_H_
+#define NETOUT_QUERY_EXECUTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/stopwatch.h"
+#include "graph/hin.h"
+#include "metapath/evaluator.h"
+#include "query/plan.h"
+
+namespace netout {
+
+/// One returned outlier.
+struct OutlierEntry {
+  VertexRef vertex;
+  std::string name;
+  double score = 0.0;
+  /// True when the candidate had zero visibility under every feature
+  /// meta-path (its normalized connectivity is undefined; NetOut reports
+  /// it as maximally outlying with score 0 — see DESIGN.md).
+  bool zero_visibility = false;
+};
+
+/// Per-query execution statistics, matching the Figure 4 breakdown:
+/// eval.not_indexed (traversal materialization), eval.indexed (index
+/// lookups), scoring (outlierness calculation).
+struct QueryExecStats {
+  EvalStats eval;
+  TimeAccumulator scoring;
+  std::int64_t total_nanos = 0;
+  std::size_t candidate_count = 0;
+  std::size_t reference_count = 0;
+
+  void MergeFrom(const QueryExecStats& other) {
+    eval.MergeFrom(other.eval);
+    scoring.AddNanos(other.scoring.TotalNanos());
+    total_nanos += other.total_nanos;
+    candidate_count += other.candidate_count;
+    reference_count += other.reference_count;
+  }
+};
+
+struct QueryResult {
+  std::vector<OutlierEntry> outliers;
+  QueryExecStats stats;
+};
+
+/// Execution tuning knobs.
+struct ExecOptions {
+  /// NetOut's Equation (1) factorization (on by default; the naive
+  /// pairwise form exists for differential testing / ablation).
+  bool use_factored_netout = true;
+
+  /// Drop candidates whose feature vectors are all empty instead of
+  /// reporting them as maximal outliers.
+  bool skip_zero_visibility = false;
+
+  /// k for the LOF baseline measure.
+  std::size_t lof_k = 5;
+};
+
+/// Executes resolved query plans against one network, optionally through
+/// a pre-materialization index. Owns traversal workspaces; create one
+/// executor per thread.
+class Executor {
+ public:
+  /// `index` may be null (baseline execution); it is borrowed.
+  Executor(HinPtr hin, const MetaPathIndex* index,
+           const ExecOptions& options = {});
+
+  /// Runs a full outlier query.
+  Result<QueryResult> Run(const QueryPlan& plan);
+
+  /// Evaluates just a set expression (used for SPM initialization-query
+  /// candidate extraction and by tools). Members are returned sorted.
+  Result<std::vector<VertexRef>> EvaluateSet(const ResolvedSet& set);
+
+ private:
+  Result<std::vector<LocalId>> EvalSet(const ResolvedSet& set,
+                                       EvalStats* stats);
+  Result<std::vector<LocalId>> EvalPrimary(const ResolvedPrimary& primary,
+                                           EvalStats* stats);
+  Result<bool> EvalWhere(const ResolvedWhere& where, VertexRef member,
+                         EvalStats* stats);
+
+  HinPtr hin_;
+  ExecOptions options_;
+  NeighborVectorEvaluator evaluator_;
+};
+
+}  // namespace netout
+
+#endif  // NETOUT_QUERY_EXECUTOR_H_

@@ -1,0 +1,171 @@
+#include "query/token.h"
+
+#include <cctype>
+
+namespace netout {
+
+const char* TokenKindToString(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kWord:
+      return "word";
+    case TokenKind::kString:
+      return "string";
+    case TokenKind::kNumber:
+      return "number";
+    case TokenKind::kDot:
+      return "'.'";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kColon:
+      return "':'";
+    case TokenKind::kSemicolon:
+      return "';'";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kLBrace:
+      return "'{'";
+    case TokenKind::kRBrace:
+      return "'}'";
+    case TokenKind::kLBracket:
+      return "'['";
+    case TokenKind::kRBracket:
+      return "']'";
+    case TokenKind::kCompare:
+      return "comparison operator";
+    case TokenKind::kEnd:
+      return "end of query";
+  }
+  return "?";
+}
+
+namespace {
+
+bool IsWordStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsWordChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view query) {
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  const std::size_t n = query.size();
+  auto fail = [&](std::string message, std::size_t at) {
+    return Status::ParseError(message + " at offset " + std::to_string(at));
+  };
+
+  while (i < n) {
+    const char c = query[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // "--" line comment.
+    if (c == '-' && i + 1 < n && query[i + 1] == '-') {
+      while (i < n && query[i] != '\n') ++i;
+      continue;
+    }
+    const std::size_t start = i;
+    if (IsWordStart(c)) {
+      ++i;
+      while (i < n && IsWordChar(query[i])) ++i;
+      tokens.push_back(Token{TokenKind::kWord,
+                             std::string(query.substr(start, i - start)),
+                             start});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      ++i;
+      bool seen_dot = false;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(query[i])) ||
+                       (!seen_dot && query[i] == '.' && i + 1 < n &&
+                        std::isdigit(static_cast<unsigned char>(
+                            query[i + 1]))))) {
+        if (query[i] == '.') seen_dot = true;
+        ++i;
+      }
+      tokens.push_back(Token{TokenKind::kNumber,
+                             std::string(query.substr(start, i - start)),
+                             start});
+      continue;
+    }
+    if (c == '"') {
+      ++i;
+      std::string value;
+      while (i < n && query[i] != '"') {
+        if (query[i] == '\n') {
+          return fail("unterminated string literal", start);
+        }
+        value.push_back(query[i]);
+        ++i;
+      }
+      if (i >= n) return fail("unterminated string literal", start);
+      ++i;  // closing quote
+      tokens.push_back(Token{TokenKind::kString, std::move(value), start});
+      continue;
+    }
+    auto single = [&](TokenKind kind) {
+      tokens.push_back(Token{kind, std::string(1, c), start});
+      ++i;
+    };
+    switch (c) {
+      case '.':
+        single(TokenKind::kDot);
+        continue;
+      case ',':
+        single(TokenKind::kComma);
+        continue;
+      case ':':
+        single(TokenKind::kColon);
+        continue;
+      case ';':
+        single(TokenKind::kSemicolon);
+        continue;
+      case '(':
+        single(TokenKind::kLParen);
+        continue;
+      case ')':
+        single(TokenKind::kRParen);
+        continue;
+      case '{':
+        single(TokenKind::kLBrace);
+        continue;
+      case '}':
+        single(TokenKind::kRBrace);
+        continue;
+      case '[':
+        single(TokenKind::kLBracket);
+        continue;
+      case ']':
+        single(TokenKind::kRBracket);
+        continue;
+      default:
+        break;
+    }
+    if (c == '<' || c == '>' || c == '=' || c == '!') {
+      std::string op(1, c);
+      ++i;
+      if (i < n && (query[i] == '=' ||
+                    (c == '<' && query[i] == '>'))) {
+        op.push_back(query[i]);
+        ++i;
+      }
+      if (op == "!") {
+        return fail("'!' must be followed by '=' to form '!='", start);
+      }
+      tokens.push_back(Token{TokenKind::kCompare, std::move(op), start});
+      continue;
+    }
+    return fail(std::string("illegal character '") + c + "'", start);
+  }
+  tokens.push_back(Token{TokenKind::kEnd, "", n});
+  return tokens;
+}
+
+}  // namespace netout

@@ -1,0 +1,354 @@
+#include "query/parser.h"
+
+#include <memory>
+#include <utility>
+
+#include "common/string_util.h"
+#include "query/token.h"
+
+namespace netout {
+
+const char* CmpOpToString(CmpOp op) {
+  switch (op) {
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kGe:
+      return ">=";
+    case CmpOp::kEq:
+      return "=";
+    case CmpOp::kNe:
+      return "!=";
+  }
+  return "?";
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<QueryAst> Parse() {
+    QueryAst ast;
+    NETOUT_RETURN_IF_ERROR(ExpectWord("FIND"));
+    NETOUT_RETURN_IF_ERROR(ExpectWord("OUTLIERS"));
+    if (!WordIs("FROM") && !WordIs("IN")) {
+      return Error("expected FROM or IN");
+    }
+    Advance();
+    NETOUT_ASSIGN_OR_RETURN(ast.candidate, ParseSetExpr());
+    if (WordIs("COMPARED")) {
+      Advance();
+      NETOUT_RETURN_IF_ERROR(ExpectWord("TO"));
+      NETOUT_ASSIGN_OR_RETURN(SetExpr reference, ParseSetExpr());
+      ast.reference = std::move(reference);
+    }
+    NETOUT_RETURN_IF_ERROR(ExpectWord("JUDGED"));
+    NETOUT_RETURN_IF_ERROR(ExpectWord("BY"));
+    NETOUT_ASSIGN_OR_RETURN(ast.judged_by, ParsePathList());
+    if (WordIs("USING")) {
+      Advance();
+      NETOUT_RETURN_IF_ERROR(ExpectWord("MEASURE"));
+      if (Peek().kind != TokenKind::kWord) {
+        return Error("expected a measure name after USING MEASURE");
+      }
+      ast.measure_name = Peek().text;
+      Advance();
+    }
+    if (WordIs("COMBINE")) {
+      Advance();
+      NETOUT_RETURN_IF_ERROR(ExpectWord("BY"));
+      if (Peek().kind != TokenKind::kWord) {
+        return Error("expected a combiner name after COMBINE BY");
+      }
+      ast.combine_name = Peek().text;
+      Advance();
+    }
+    if (WordIs("TOP")) {
+      Advance();
+      if (Peek().kind != TokenKind::kNumber) {
+        return Error("expected a number after TOP");
+      }
+      NETOUT_ASSIGN_OR_RETURN(std::int64_t k, ParseInt64(Peek().text));
+      if (k <= 0) return Error("TOP requires a positive count");
+      ast.top_k = static_cast<std::size_t>(k);
+      Advance();
+    }
+    if (Peek().kind == TokenKind::kSemicolon) {
+      Advance();
+    }
+    if (Peek().kind != TokenKind::kEnd) {
+      return Error("unexpected trailing input");
+    }
+    return ast;
+  }
+
+ private:
+  const Token& Peek(std::size_t ahead = 0) const {
+    const std::size_t at = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[at];
+  }
+
+  void Advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+
+  bool WordIs(std::string_view keyword) const {
+    return Peek().kind == TokenKind::kWord &&
+           EqualsIgnoreCase(Peek().text, keyword);
+  }
+
+  Status Error(std::string_view message) const {
+    return Status::ParseError(std::string(message) + " (near offset " +
+                              std::to_string(Peek().offset) + ", got " +
+                              TokenKindToString(Peek().kind) +
+                              (Peek().text.empty() ? "" : " '" + Peek().text +
+                                                            "'") +
+                              ")");
+  }
+
+  Status ExpectWord(std::string_view keyword) {
+    if (!WordIs(keyword)) {
+      return Error("expected keyword " + std::string(keyword));
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Status Expect(TokenKind kind) {
+    if (Peek().kind != kind) {
+      return Error(std::string("expected ") + TokenKindToString(kind));
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  /// One meta-path segment: word with optional [edge] annotation,
+  /// serialized back to its raw "type[edge]" spelling.
+  Result<std::string> ParseSegment() {
+    if (Peek().kind != TokenKind::kWord) {
+      return Error("expected a vertex type name");
+    }
+    std::string segment = Peek().text;
+    Advance();
+    if (Peek().kind == TokenKind::kLBracket) {
+      Advance();
+      if (Peek().kind != TokenKind::kWord) {
+        return Error("expected an edge type name inside [ ]");
+      }
+      segment += "[" + Peek().text + "]";
+      Advance();
+      NETOUT_RETURN_IF_ERROR(Expect(TokenKind::kRBracket));
+    }
+    return segment;
+  }
+
+  Result<SetExpr> ParseSetExpr() {
+    NETOUT_ASSIGN_OR_RETURN(SetExpr lhs, ParseSetTerm());
+    while (WordIs("UNION") || WordIs("INTERSECT") || WordIs("EXCEPT")) {
+      SetExpr::Kind kind = SetExpr::Kind::kUnion;
+      if (WordIs("INTERSECT")) kind = SetExpr::Kind::kIntersect;
+      if (WordIs("EXCEPT")) kind = SetExpr::Kind::kExcept;
+      Advance();
+      NETOUT_ASSIGN_OR_RETURN(SetExpr rhs, ParseSetTerm());
+      SetExpr combined;
+      combined.kind = kind;
+      combined.lhs = std::make_unique<SetExpr>(std::move(lhs));
+      combined.rhs = std::make_unique<SetExpr>(std::move(rhs));
+      lhs = std::move(combined);
+    }
+    return lhs;
+  }
+
+  Result<SetExpr> ParseSetTerm() {
+    if (Peek().kind == TokenKind::kLParen) {
+      Advance();
+      NETOUT_ASSIGN_OR_RETURN(SetExpr inner, ParseSetExpr());
+      NETOUT_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+      return inner;
+    }
+    return ParsePrimary();
+  }
+
+  Result<SetExpr> ParsePrimary() {
+    SetExpr expr;
+    expr.kind = SetExpr::Kind::kPrimary;
+    if (Peek().kind != TokenKind::kWord) {
+      return Error("expected a vertex type name");
+    }
+    expr.type_name = Peek().text;
+    Advance();
+    if (Peek().kind == TokenKind::kLBrace) {
+      Advance();
+      if (Peek().kind != TokenKind::kString) {
+        return Error("expected a quoted vertex name inside { }");
+      }
+      expr.anchor_name = Peek().text;
+      Advance();
+      NETOUT_RETURN_IF_ERROR(Expect(TokenKind::kRBrace));
+    }
+    while (Peek().kind == TokenKind::kDot) {
+      Advance();
+      NETOUT_ASSIGN_OR_RETURN(std::string segment, ParseSegment());
+      expr.hop_segments.push_back(std::move(segment));
+    }
+    if (WordIs("AS")) {
+      Advance();
+      if (Peek().kind != TokenKind::kWord) {
+        return Error("expected an alias name after AS");
+      }
+      expr.alias = Peek().text;
+      Advance();
+    }
+    if (WordIs("WHERE")) {
+      Advance();
+      NETOUT_ASSIGN_OR_RETURN(std::unique_ptr<WhereExpr> where,
+                              ParseWhere());
+      expr.where = std::move(where);
+    }
+    return expr;
+  }
+
+  Result<std::unique_ptr<WhereExpr>> ParseWhere() {
+    NETOUT_ASSIGN_OR_RETURN(std::unique_ptr<WhereExpr> lhs, ParseOrTerm());
+    while (WordIs("OR")) {
+      Advance();
+      NETOUT_ASSIGN_OR_RETURN(std::unique_ptr<WhereExpr> rhs, ParseOrTerm());
+      auto combined = std::make_unique<WhereExpr>();
+      combined->kind = WhereExpr::Kind::kOr;
+      combined->lhs = std::move(lhs);
+      combined->rhs = std::move(rhs);
+      lhs = std::move(combined);
+    }
+    return lhs;
+  }
+
+  Result<std::unique_ptr<WhereExpr>> ParseOrTerm() {
+    NETOUT_ASSIGN_OR_RETURN(std::unique_ptr<WhereExpr> lhs, ParseAndTerm());
+    while (WordIs("AND")) {
+      Advance();
+      NETOUT_ASSIGN_OR_RETURN(std::unique_ptr<WhereExpr> rhs,
+                              ParseAndTerm());
+      auto combined = std::make_unique<WhereExpr>();
+      combined->kind = WhereExpr::Kind::kAnd;
+      combined->lhs = std::move(lhs);
+      combined->rhs = std::move(rhs);
+      lhs = std::move(combined);
+    }
+    return lhs;
+  }
+
+  Result<std::unique_ptr<WhereExpr>> ParseAndTerm() {
+    if (WordIs("NOT")) {
+      Advance();
+      NETOUT_ASSIGN_OR_RETURN(std::unique_ptr<WhereExpr> inner,
+                              ParseAndTerm());
+      auto negated = std::make_unique<WhereExpr>();
+      negated->kind = WhereExpr::Kind::kNot;
+      negated->lhs = std::move(inner);
+      return negated;
+    }
+    if (Peek().kind == TokenKind::kLParen) {
+      Advance();
+      NETOUT_ASSIGN_OR_RETURN(std::unique_ptr<WhereExpr> inner,
+                              ParseWhere());
+      NETOUT_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+      return inner;
+    }
+    return ParseCountAtom();
+  }
+
+  Result<std::unique_ptr<WhereExpr>> ParseCountAtom() {
+    NETOUT_RETURN_IF_ERROR(ExpectWord("COUNT"));
+    NETOUT_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+    auto atom = std::make_unique<WhereExpr>();
+    atom->kind = WhereExpr::Kind::kAtom;
+    if (Peek().kind != TokenKind::kWord) {
+      return Error("expected an alias inside COUNT(...)");
+    }
+    atom->atom.alias = Peek().text;
+    Advance();
+    if (Peek().kind != TokenKind::kDot) {
+      return Error("COUNT(...) requires at least one hop, e.g. COUNT(A.paper)");
+    }
+    while (Peek().kind == TokenKind::kDot) {
+      Advance();
+      NETOUT_ASSIGN_OR_RETURN(std::string segment, ParseSegment());
+      atom->atom.hop_segments.push_back(std::move(segment));
+    }
+    NETOUT_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+    if (Peek().kind != TokenKind::kCompare) {
+      return Error("expected a comparison operator after COUNT(...)");
+    }
+    const std::string& op = Peek().text;
+    if (op == "<") {
+      atom->atom.op = CmpOp::kLt;
+    } else if (op == "<=") {
+      atom->atom.op = CmpOp::kLe;
+    } else if (op == ">") {
+      atom->atom.op = CmpOp::kGt;
+    } else if (op == ">=") {
+      atom->atom.op = CmpOp::kGe;
+    } else if (op == "=" || op == "==") {
+      atom->atom.op = CmpOp::kEq;
+    } else {  // "!=" or "<>"
+      atom->atom.op = CmpOp::kNe;
+    }
+    Advance();
+    if (Peek().kind != TokenKind::kNumber) {
+      return Error("expected a number after the comparison operator");
+    }
+    NETOUT_ASSIGN_OR_RETURN(atom->atom.value, ParseDouble(Peek().text));
+    Advance();
+    return atom;
+  }
+
+  Result<std::vector<PathSpec>> ParsePathList() {
+    std::vector<PathSpec> paths;
+    while (true) {
+      PathSpec spec;
+      NETOUT_ASSIGN_OR_RETURN(std::string first, ParseSegment());
+      spec.segments.push_back(std::move(first));
+      while (Peek().kind == TokenKind::kDot) {
+        Advance();
+        NETOUT_ASSIGN_OR_RETURN(std::string segment, ParseSegment());
+        spec.segments.push_back(std::move(segment));
+      }
+      if (spec.segments.size() < 2) {
+        return Error("a feature meta-path needs at least two types");
+      }
+      if (Peek().kind == TokenKind::kColon) {
+        Advance();
+        if (Peek().kind != TokenKind::kNumber) {
+          return Error("expected a weight after ':'");
+        }
+        NETOUT_ASSIGN_OR_RETURN(spec.weight, ParseDouble(Peek().text));
+        if (spec.weight < 0.0) {
+          return Error("meta-path weights must be >= 0");
+        }
+        Advance();
+      }
+      paths.push_back(std::move(spec));
+      if (Peek().kind != TokenKind::kComma) break;
+      Advance();
+    }
+    return paths;
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<QueryAst> ParseQuery(std::string_view query_text) {
+  NETOUT_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(query_text));
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace netout

@@ -1,0 +1,40 @@
+#ifndef NETOUT_QUERY_PARSER_H_
+#define NETOUT_QUERY_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "query/ast.h"
+
+namespace netout {
+
+/// Parses one outlier query statement into an AST.
+///
+/// Grammar (keywords case-insensitive; IN is a synonym of FROM as used by
+/// the paper's Table 4 templates):
+///
+///   query     := FIND OUTLIERS (FROM|IN) setexpr
+///                [COMPARED TO setexpr]
+///                JUDGED BY pathlist
+///                [USING MEASURE word]
+///                [COMBINE BY word]
+///                [TOP number] ';'
+///   setexpr   := setterm ((UNION|INTERSECT|EXCEPT) setterm)*
+///   setterm   := '(' setexpr ')' | primary
+///   primary   := segment ['{' string '}'] ('.' segment)*
+///                [AS word] [WHERE where]
+///   segment   := word ['[' word ']']          -- type with optional edge
+///   where     := orterm (OR orterm)*
+///   orterm    := andterm (AND andterm)*
+///   andterm   := NOT andterm | '(' where ')' | atom
+///   atom      := COUNT '(' word ('.' segment)+ ')' cmp number
+///   pathlist  := path [':' number] (',' path [':' number])*
+///   path      := segment ('.' segment)+
+///
+/// The set operators are left-associative with equal precedence (chain
+/// evaluation order is textual; use parentheses to group).
+Result<QueryAst> ParseQuery(std::string_view query_text);
+
+}  // namespace netout
+
+#endif  // NETOUT_QUERY_PARSER_H_

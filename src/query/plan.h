@@ -1,0 +1,73 @@
+#ifndef NETOUT_QUERY_PLAN_H_
+#define NETOUT_QUERY_PLAN_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "graph/types.h"
+#include "measure/scores.h"
+#include "metapath/metapath.h"
+#include "query/ast.h"
+
+namespace netout {
+
+/// A WHERE atom with its meta-path resolved against the schema; the path
+/// starts at the set's element type.
+struct ResolvedCondition {
+  MetaPath path;
+  CmpOp op = CmpOp::kGt;
+  double value = 0.0;
+};
+
+/// Resolved boolean filter tree.
+struct ResolvedWhere {
+  WhereExpr::Kind kind = WhereExpr::Kind::kAtom;
+  ResolvedCondition atom;              // kAtom
+  std::unique_ptr<ResolvedWhere> lhs;  // kAnd/kOr/kNot
+  std::unique_ptr<ResolvedWhere> rhs;  // kAnd/kOr
+};
+
+/// A resolved primary set: either the neighborhood N_hops(anchor) or all
+/// vertices of a type, optionally filtered by `where`.
+struct ResolvedPrimary {
+  /// The type of the set's *elements* (the last type of `hops`).
+  TypeId element_type = kInvalidTypeId;
+
+  /// The anchor vertex; nullopt means "all vertices of element_type"
+  /// (hops must then be trivial).
+  std::optional<VertexRef> anchor;
+
+  /// Meta-path from the anchor's type to element_type; length 0 when the
+  /// primary denotes the anchor itself.
+  MetaPath hops;
+
+  std::unique_ptr<ResolvedWhere> where;  // may be null
+};
+
+/// Resolved set-algebra tree over primaries.
+struct ResolvedSet {
+  SetExpr::Kind kind = SetExpr::Kind::kPrimary;
+  TypeId element_type = kInvalidTypeId;
+
+  ResolvedPrimary primary;            // kPrimary
+  std::unique_ptr<ResolvedSet> lhs;   // set operators
+  std::unique_ptr<ResolvedSet> rhs;
+};
+
+/// A fully-resolved, executable outlier query. Move-only.
+struct QueryPlan {
+  ResolvedSet candidate;
+  std::optional<ResolvedSet> reference;  // nullopt => Sr = Sc
+  std::vector<WeightedMetaPath> features;
+  std::size_t top_k = 10;
+  OutlierMeasure measure = OutlierMeasure::kNetOut;
+  CombineMode combine = CombineMode::kWeightedAverage;
+
+  /// The common vertex type of Sc, Sr and every feature path's source.
+  TypeId subject_type = kInvalidTypeId;
+};
+
+}  // namespace netout
+
+#endif  // NETOUT_QUERY_PLAN_H_

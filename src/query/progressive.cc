@@ -1,0 +1,209 @@
+#include "query/progressive.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "measure/connectivity.h"
+#include "measure/topk.h"
+
+namespace netout {
+namespace {
+
+/// Welford-style accumulator over per-batch score estimates; provides
+/// the jackknife standard error of the mean.
+struct BatchStats {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double m2 = 0.0;
+
+  void Add(double value) {
+    ++n;
+    const double delta = value - mean;
+    mean += delta / static_cast<double>(n);
+    m2 += delta * (value - mean);
+  }
+
+  double StandardError() const {
+    if (n < 2) return 0.0;
+    const double variance = m2 / static_cast<double>(n - 1);
+    return std::sqrt(variance / static_cast<double>(n));
+  }
+};
+
+}  // namespace
+
+ProgressiveExecutor::ProgressiveExecutor(HinPtr hin,
+                                         const MetaPathIndex* index,
+                                         const ExecOptions& exec_options,
+                                         const ProgressiveOptions& options)
+    : hin_(std::move(hin)),
+      exec_options_(exec_options),
+      options_(options),
+      executor_(hin_, index, exec_options),
+      evaluator_(hin_, index) {}
+
+Result<QueryResult> ProgressiveExecutor::Run(
+    const QueryPlan& plan, const ProgressiveCallback& callback) {
+  if (plan.measure != OutlierMeasure::kNetOut) {
+    return Status::Unimplemented(
+        "progressive execution supports the NetOut measure only");
+  }
+  if (plan.combine != CombineMode::kWeightedAverage) {
+    return Status::Unimplemented(
+        "progressive execution supports weighted-average combination only");
+  }
+
+  Stopwatch total_watch;
+  QueryResult result;
+
+  NETOUT_ASSIGN_OR_RETURN(std::vector<VertexRef> candidate_refs,
+                          executor_.EvaluateSet(plan.candidate));
+  std::vector<VertexRef> reference_refs;
+  if (plan.reference.has_value()) {
+    NETOUT_ASSIGN_OR_RETURN(reference_refs,
+                            executor_.EvaluateSet(*plan.reference));
+  } else {
+    reference_refs = candidate_refs;
+  }
+  result.stats.candidate_count = candidate_refs.size();
+  result.stats.reference_count = reference_refs.size();
+  if (candidate_refs.empty()) {
+    result.stats.total_nanos = total_watch.ElapsedNanos();
+    return result;
+  }
+  if (reference_refs.empty()) {
+    return Status::FailedPrecondition("the reference set is empty");
+  }
+
+  const std::size_t num_paths = plan.features.size();
+  const std::size_t num_candidates = candidate_refs.size();
+  const std::size_t num_references = reference_refs.size();
+
+  // Materialize candidate vectors and visibilities per feature path.
+  std::vector<std::vector<SparseVector>> cand_vectors(num_paths);
+  std::vector<std::vector<double>> cand_visibility(num_paths);
+  double weight_total = 0.0;
+  for (const WeightedMetaPath& feature : plan.features) {
+    weight_total += feature.weight;
+  }
+  if (weight_total <= 0.0) {
+    return Status::InvalidArgument("total meta-path weight must be > 0");
+  }
+  std::vector<bool> zero_visibility(num_candidates, true);
+  for (std::size_t p = 0; p < num_paths; ++p) {
+    cand_vectors[p].resize(num_candidates);
+    cand_visibility[p].resize(num_candidates);
+    for (std::size_t i = 0; i < num_candidates; ++i) {
+      NETOUT_ASSIGN_OR_RETURN(
+          cand_vectors[p][i],
+          evaluator_.Evaluate(candidate_refs[i], plan.features[p].path,
+                              &result.stats.eval));
+      cand_visibility[p][i] = Visibility(cand_vectors[p][i].View());
+      if (cand_visibility[p][i] > 0.0) zero_visibility[i] = false;
+    }
+  }
+
+  // Shuffled reference processing order.
+  std::vector<std::size_t> order(num_references);
+  for (std::size_t i = 0; i < num_references; ++i) order[i] = i;
+  Rng rng(options_.shuffle_seed);
+  rng.Shuffle(&order);
+
+  const std::size_t num_batches =
+      std::max<std::size_t>(1, std::min(options_.num_batches,
+                                        num_references));
+
+  // Running reference sums per path, cumulative combined estimates, and
+  // per-candidate batch statistics.
+  std::vector<SparseVector> refsum(num_paths);
+  std::vector<BatchStats> batch_stats(num_candidates);
+  std::vector<double> estimates(num_candidates, 0.0);
+
+  std::size_t processed = 0;
+  bool stopped_early = false;
+  for (std::size_t batch = 0; batch < num_batches && !stopped_early;
+       ++batch) {
+    const std::size_t begin = batch * num_references / num_batches;
+    const std::size_t end = (batch + 1) * num_references / num_batches;
+    if (begin == end) continue;
+
+    // Fold this batch's reference vectors into the running sums, and
+    // keep the batch-only sums for the jackknife.
+    std::vector<SparseVector> batch_sum(num_paths);
+    for (std::size_t p = 0; p < num_paths; ++p) {
+      for (std::size_t r = begin; r < end; ++r) {
+        NETOUT_ASSIGN_OR_RETURN(
+            SparseVector phi,
+            evaluator_.Evaluate(reference_refs[order[r]],
+                                plan.features[p].path,
+                                &result.stats.eval));
+        batch_sum[p] = AddScaled(batch_sum[p].View(), phi.View(), 1.0);
+      }
+      refsum[p] = AddScaled(refsum[p].View(), batch_sum[p].View(), 1.0);
+    }
+    processed += end - begin;
+
+    ScopedTimer scoring_timer(&result.stats.scoring);
+    const double extrapolate =
+        static_cast<double>(num_references) / static_cast<double>(processed);
+    const double batch_extrapolate =
+        static_cast<double>(num_references) /
+        static_cast<double>(end - begin);
+    for (std::size_t i = 0; i < num_candidates; ++i) {
+      double estimate = 0.0;
+      double batch_estimate = 0.0;
+      for (std::size_t p = 0; p < num_paths; ++p) {
+        if (cand_visibility[p][i] == 0.0) continue;
+        const double w = plan.features[p].weight / weight_total;
+        estimate += w * Dot(cand_vectors[p][i].View(), refsum[p].View()) /
+                    cand_visibility[p][i];
+        batch_estimate += w *
+                          Dot(cand_vectors[p][i].View(),
+                              batch_sum[p].View()) /
+                          cand_visibility[p][i];
+      }
+      estimates[i] = estimate * extrapolate;
+      batch_stats[i].Add(batch_estimate * batch_extrapolate);
+    }
+
+    // Build and publish the snapshot.
+    ProgressiveSnapshot snapshot;
+    snapshot.fraction_processed =
+        static_cast<double>(processed) / static_cast<double>(num_references);
+    snapshot.final = (processed == num_references);
+    std::vector<std::size_t> eligible;
+    for (std::size_t i = 0; i < num_candidates; ++i) {
+      if (exec_options_.skip_zero_visibility && zero_visibility[i]) continue;
+      eligible.push_back(i);
+    }
+    std::vector<double> eligible_scores;
+    eligible_scores.reserve(eligible.size());
+    for (std::size_t i : eligible) eligible_scores.push_back(estimates[i]);
+    const std::vector<std::size_t> top = SelectTopK(
+        eligible_scores, plan.top_k, /*smaller_is_more_outlying=*/true);
+    for (std::size_t rank : top) {
+      const std::size_t i = eligible[rank];
+      OutlierEntry entry;
+      entry.vertex = candidate_refs[i];
+      entry.name = hin_->VertexName(entry.vertex);
+      entry.score = estimates[i];
+      entry.zero_visibility = zero_visibility[i];
+      snapshot.top.push_back(std::move(entry));
+      snapshot.standard_error.push_back(batch_stats[i].StandardError());
+    }
+    if (snapshot.final || batch + 1 == num_batches) snapshot.final = true;
+
+    result.outliers = snapshot.top;
+    if (callback && !callback(snapshot)) {
+      stopped_early = true;
+    }
+  }
+
+  result.stats.total_nanos = total_watch.ElapsedNanos();
+  return result;
+}
+
+}  // namespace netout

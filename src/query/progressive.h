@@ -1,0 +1,88 @@
+#ifndef NETOUT_QUERY_PROGRESSIVE_H_
+#define NETOUT_QUERY_PROGRESSIVE_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/hin.h"
+#include "metapath/index_iface.h"
+#include "query/executor.h"
+#include "query/plan.h"
+
+namespace netout {
+
+/// One intermediate answer of a progressive execution.
+struct ProgressiveSnapshot {
+  /// Fraction of the reference set folded into the estimates, in (0, 1].
+  double fraction_processed = 0.0;
+
+  /// Current top-k outlier *estimates* (scores extrapolated to the full
+  /// reference set), most outlying first.
+  std::vector<OutlierEntry> top;
+
+  /// Batch-jackknife standard error of each estimate in `top` (same
+  /// order). Shrinks as more reference batches are folded in; 0 when
+  /// only one batch has been processed.
+  std::vector<double> standard_error;
+
+  /// True for the last snapshot (all references processed — estimates
+  /// are exact NetOut scores).
+  bool final = false;
+};
+
+/// Invoked after each reference batch; return false to stop early and
+/// accept the current approximate answer.
+using ProgressiveCallback =
+    std::function<bool(const ProgressiveSnapshot& snapshot)>;
+
+struct ProgressiveOptions {
+  /// Number of reference batches (= number of snapshots when not
+  /// stopped early). Clamped to [1, |Sr|].
+  std::size_t num_batches = 10;
+
+  /// Shuffle seed for the reference processing order (shuffling makes
+  /// batch estimates unbiased draws; fixed seed keeps runs
+  /// reproducible).
+  std::uint64_t shuffle_seed = 1;
+};
+
+/// Progressive NetOut execution — the paper's Section 8 suggestion:
+/// "the system could find the approximate top-k outliers, with
+/// confidences, while the query is being processed so that users can
+/// determine whether to continue".
+///
+/// The reference set is shuffled and folded in batch by batch; after
+/// each batch the per-candidate NetOut estimate
+///   Ω̂(v) = (φ(v) · refsum_partial) / ‖φ(v)‖² · |Sr| / |processed|
+/// is re-ranked and reported with a jackknife-over-batches standard
+/// error. If the callback stops early, the returned QueryResult carries
+/// the current estimates; otherwise it equals the exact execution.
+///
+/// Restrictions: measure must be kNetOut with kWeightedAverage
+/// combination (the estimator extrapolates reference sums; rank
+/// combination and the pairwise measures do not decompose this way) —
+/// anything else fails with kUnimplemented.
+///
+/// Not thread-safe; create one per thread (owns traversal workspaces).
+class ProgressiveExecutor {
+ public:
+  /// `index` may be null (baseline traversal); borrowed.
+  ProgressiveExecutor(HinPtr hin, const MetaPathIndex* index,
+                      const ExecOptions& exec_options = {},
+                      const ProgressiveOptions& options = {});
+
+  Result<QueryResult> Run(const QueryPlan& plan,
+                          const ProgressiveCallback& callback);
+
+ private:
+  HinPtr hin_;
+  ExecOptions exec_options_;
+  ProgressiveOptions options_;
+  Executor executor_;  // reused for set evaluation
+  NeighborVectorEvaluator evaluator_;
+};
+
+}  // namespace netout
+
+#endif  // NETOUT_QUERY_PROGRESSIVE_H_

@@ -1,0 +1,55 @@
+#include "query/result_json.h"
+
+#include "common/json.h"
+
+namespace netout {
+
+std::string QueryResultToJson(const Hin& hin, const QueryResult& result,
+                              bool pretty) {
+  JsonWriter json(pretty);
+  json.BeginObject();
+
+  json.Key("outliers");
+  json.BeginArray();
+  for (std::size_t i = 0; i < result.outliers.size(); ++i) {
+    const OutlierEntry& entry = result.outliers[i];
+    json.BeginObject();
+    json.Key("rank");
+    json.Uint(i + 1);
+    json.Key("name");
+    json.String(entry.name);
+    json.Key("type");
+    json.String(hin.schema().VertexTypeName(entry.vertex.type));
+    json.Key("score");
+    json.Number(entry.score);
+    json.Key("zero_visibility");
+    json.Bool(entry.zero_visibility);
+    json.EndObject();
+  }
+  json.EndArray();
+
+  json.Key("stats");
+  json.BeginObject();
+  json.Key("candidates");
+  json.Uint(result.stats.candidate_count);
+  json.Key("references");
+  json.Uint(result.stats.reference_count);
+  json.Key("total_ms");
+  json.Number(static_cast<double>(result.stats.total_nanos) / 1e6);
+  json.Key("not_indexed_ms");
+  json.Number(result.stats.eval.not_indexed.TotalMillis());
+  json.Key("indexed_ms");
+  json.Number(result.stats.eval.indexed.TotalMillis());
+  json.Key("scoring_ms");
+  json.Number(result.stats.scoring.TotalMillis());
+  json.Key("index_hits");
+  json.Uint(result.stats.eval.index_hits);
+  json.Key("index_misses");
+  json.Uint(result.stats.eval.index_misses);
+  json.EndObject();
+
+  json.EndObject();
+  return std::move(json).Take();
+}
+
+}  // namespace netout

@@ -1,0 +1,26 @@
+#ifndef NETOUT_QUERY_RESULT_JSON_H_
+#define NETOUT_QUERY_RESULT_JSON_H_
+
+#include <string>
+
+#include "graph/hin.h"
+#include "query/executor.h"
+
+namespace netout {
+
+/// Serializes a query result for downstream tooling:
+/// {
+///   "outliers": [{"rank":1,"name":...,"type":...,"score":...,
+///                 "zero_visibility":...}, ...],
+///   "stats": {"candidates":..,"references":..,"total_ms":..,
+///             "not_indexed_ms":..,"indexed_ms":..,"scoring_ms":..,
+///             "index_hits":..,"index_misses":..}
+/// }
+/// `hin` resolves vertex type names; pass pretty=true for indented
+/// output.
+std::string QueryResultToJson(const Hin& hin, const QueryResult& result,
+                              bool pretty = false);
+
+}  // namespace netout
+
+#endif  // NETOUT_QUERY_RESULT_JSON_H_

@@ -1,0 +1,49 @@
+#ifndef NETOUT_QUERY_TOKEN_H_
+#define NETOUT_QUERY_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace netout {
+
+enum class TokenKind : std::uint8_t {
+  kWord,       // bare word: keyword, type name, alias, measure name
+  kString,     // "quoted vertex name"
+  kNumber,     // integer or decimal literal
+  kDot,        // .
+  kComma,      // ,
+  kColon,      // :
+  kSemicolon,  // ;
+  kLParen,     // (
+  kRParen,     // )
+  kLBrace,     // {
+  kRBrace,     // }
+  kLBracket,   // [
+  kRBracket,   // ]
+  kCompare,    // < <= > >= = == != <>
+  kEnd,        // end of input
+};
+
+const char* TokenKindToString(TokenKind kind);
+
+/// One lexical token. Keywords are not distinguished from identifiers at
+/// this level — the parser matches them contextually and
+/// case-insensitively, so user schemas may reuse keyword-looking names
+/// as vertex types.
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;       // word/string contents or operator spelling
+  std::size_t offset = 0; // byte offset into the query, for diagnostics
+};
+
+/// Tokenizes an outlier query. Comments run from "--" to end of line.
+/// Fails with kParseError on unterminated strings or illegal characters,
+/// reporting the byte offset.
+Result<std::vector<Token>> Tokenize(std::string_view query);
+
+}  // namespace netout
+
+#endif  // NETOUT_QUERY_TOKEN_H_

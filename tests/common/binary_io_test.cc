@@ -1,0 +1,129 @@
+#include "common/binary_io.h"
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace netout {
+namespace {
+
+std::string TempPath(const char* name) {
+  return (std::filesystem::temp_directory_path() /
+          (std::string("netout_binio_") + name))
+      .string();
+}
+
+TEST(BinaryIoTest, U64RoundTrip) {
+  std::string buf;
+  AppendU64(&buf, 0);
+  AppendU64(&buf, 1);
+  AppendU64(&buf, std::numeric_limits<std::uint64_t>::max());
+  AppendU64(&buf, 0x0123456789abcdefULL);
+  EXPECT_EQ(buf.size(), 32u);
+  Cursor cur(buf);
+  EXPECT_EQ(cur.ReadU64().value(), 0u);
+  EXPECT_EQ(cur.ReadU64().value(), 1u);
+  EXPECT_EQ(cur.ReadU64().value(), std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(cur.ReadU64().value(), 0x0123456789abcdefULL);
+  EXPECT_TRUE(cur.AtEnd());
+}
+
+TEST(BinaryIoTest, U32RoundTrip) {
+  std::string buf;
+  AppendU32(&buf, 7);
+  AppendU32(&buf, std::numeric_limits<std::uint32_t>::max());
+  Cursor cur(buf);
+  EXPECT_EQ(cur.ReadU32().value(), 7u);
+  EXPECT_EQ(cur.ReadU32().value(), std::numeric_limits<std::uint32_t>::max());
+}
+
+TEST(BinaryIoTest, DoubleRoundTrip) {
+  std::string buf;
+  AppendDouble(&buf, 3.141592653589793);
+  AppendDouble(&buf, -0.0);
+  AppendDouble(&buf, std::numeric_limits<double>::infinity());
+  Cursor cur(buf);
+  EXPECT_DOUBLE_EQ(cur.ReadDouble().value(), 3.141592653589793);
+  EXPECT_DOUBLE_EQ(cur.ReadDouble().value(), -0.0);
+  EXPECT_TRUE(std::isinf(cur.ReadDouble().value()));
+}
+
+TEST(BinaryIoTest, StringRoundTrip) {
+  std::string buf;
+  AppendString(&buf, "hello");
+  AppendString(&buf, "");
+  AppendString(&buf, std::string("\0binary\xff", 8));
+  Cursor cur(buf);
+  EXPECT_EQ(cur.ReadString().value(), "hello");
+  EXPECT_EQ(cur.ReadString().value(), "");
+  EXPECT_EQ(cur.ReadString().value(), std::string("\0binary\xff", 8));
+}
+
+TEST(BinaryIoTest, TruncatedReadsFailWithCorruption) {
+  std::string buf;
+  AppendU32(&buf, 5);
+  {
+    Cursor cur(buf);
+    auto r = cur.ReadU64();
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+  }
+  std::string buf2;
+  AppendU64(&buf2, 100);  // string claims 100 bytes, none present
+  {
+    Cursor cur(buf2);
+    auto r = cur.ReadString();
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+  }
+}
+
+TEST(BinaryIoTest, FileRoundTrip) {
+  const std::string path = TempPath("file");
+  ASSERT_TRUE(WriteStringToFile(path, "payload bytes").ok());
+  EXPECT_EQ(ReadFileToString(path).value(), "payload bytes");
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, MissingFileIsIoError) {
+  auto r = ReadFileToString("/nonexistent/definitely/missing");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST(BinaryIoTest, ChecksumWrapRoundTrip) {
+  const std::string wrapped = WrapWithChecksum("MAGIC678", "the payload");
+  auto unwrapped = UnwrapChecked("MAGIC678", wrapped);
+  ASSERT_TRUE(unwrapped.ok());
+  EXPECT_EQ(unwrapped.value(), "the payload");
+}
+
+TEST(BinaryIoTest, WrongMagicRejected) {
+  const std::string wrapped = WrapWithChecksum("MAGIC678", "x");
+  auto r = UnwrapChecked("OTHERMAG", wrapped);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+}
+
+TEST(BinaryIoTest, BitFlipRejected) {
+  std::string wrapped = WrapWithChecksum("MAGIC678", "sensitive payload");
+  wrapped[20] ^= 0x01;  // flip one payload bit
+  auto r = UnwrapChecked("MAGIC678", wrapped);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+}
+
+TEST(BinaryIoTest, TruncatedContainerRejected) {
+  std::string wrapped = WrapWithChecksum("MAGIC678", "sensitive payload");
+  wrapped.resize(wrapped.size() - 3);
+  auto r = UnwrapChecked("MAGIC678", wrapped);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace netout

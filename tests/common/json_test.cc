@@ -1,0 +1,106 @@
+#include "common/json.h"
+
+#include <gtest/gtest.h>
+
+namespace netout {
+namespace {
+
+TEST(JsonEscapeTest, EscapesSpecials) {
+  EXPECT_EQ(JsonEscape("plain"), "\"plain\"");
+  EXPECT_EQ(JsonEscape("say \"hi\""), "\"say \\\"hi\\\"\"");
+  EXPECT_EQ(JsonEscape("back\\slash"), "\"back\\\\slash\"");
+  EXPECT_EQ(JsonEscape("line\nbreak\ttab"), "\"line\\nbreak\\ttab\"");
+  EXPECT_EQ(JsonEscape(std::string_view("\x01", 1)), "\"\\u0001\"");
+  EXPECT_EQ(JsonEscape(""), "\"\"");
+}
+
+TEST(JsonWriterTest, EmptyContainers) {
+  {
+    JsonWriter json;
+    json.BeginObject();
+    json.EndObject();
+    EXPECT_EQ(std::move(json).Take(), "{}");
+  }
+  {
+    JsonWriter json;
+    json.BeginArray();
+    json.EndArray();
+    EXPECT_EQ(std::move(json).Take(), "[]");
+  }
+}
+
+TEST(JsonWriterTest, ObjectWithMixedValues) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("name");
+  json.String("Ava");
+  json.Key("score");
+  json.Number(2.5);
+  json.Key("count");
+  json.Int(-3);
+  json.Key("big");
+  json.Uint(18446744073709551615ull);
+  json.Key("flag");
+  json.Bool(true);
+  json.Key("nothing");
+  json.Null();
+  json.EndObject();
+  EXPECT_EQ(std::move(json).Take(),
+            "{\"name\":\"Ava\",\"score\":2.5,\"count\":-3,"
+            "\"big\":18446744073709551615,\"flag\":true,\"nothing\":null}");
+}
+
+TEST(JsonWriterTest, NestedStructures) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("list");
+  json.BeginArray();
+  json.Int(1);
+  json.BeginObject();
+  json.Key("inner");
+  json.Bool(false);
+  json.EndObject();
+  json.BeginArray();
+  json.EndArray();
+  json.EndArray();
+  json.EndObject();
+  EXPECT_EQ(std::move(json).Take(),
+            "{\"list\":[1,{\"inner\":false},[]]}");
+}
+
+TEST(JsonWriterTest, NonFiniteNumbersBecomeNull) {
+  JsonWriter json;
+  json.BeginArray();
+  json.Number(std::numeric_limits<double>::infinity());
+  json.Number(std::numeric_limits<double>::quiet_NaN());
+  json.Number(1.0);
+  json.EndArray();
+  EXPECT_EQ(std::move(json).Take(), "[null,null,1]");
+}
+
+TEST(JsonWriterTest, PrettyPrintIndents) {
+  JsonWriter json(/*pretty=*/true);
+  json.BeginObject();
+  json.Key("a");
+  json.Int(1);
+  json.Key("b");
+  json.BeginArray();
+  json.Int(2);
+  json.EndArray();
+  json.EndObject();
+  EXPECT_EQ(std::move(json).Take(),
+            "{\n  \"a\": 1,\n  \"b\": [\n    2\n  ]\n}");
+}
+
+TEST(JsonWriterDeathTest, UnbalancedTakeAborts) {
+  EXPECT_DEATH(
+      {
+        JsonWriter json;
+        json.BeginObject();
+        std::move(json).Take();
+      },
+      "unbalanced");
+}
+
+}  // namespace
+}  // namespace netout

@@ -1,0 +1,145 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace netout {
+namespace {
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, BoundedCoversRange) {
+  Rng rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    seen.insert(rng.NextBounded(8));
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, NextIntInclusiveBounds) {
+  Rng rng(11);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const std::int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(13);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, NextBoolRespectsProbability) {
+  Rng rng(17);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.NextBool(0.25)) ++heads;
+  }
+  EXPECT_NEAR(heads / 10000.0, 0.25, 0.02);
+  EXPECT_FALSE(rng.NextBool(0.0));
+  EXPECT_TRUE(rng.NextBool(1.0));
+}
+
+TEST(RngTest, PoissonMeanIsLambda) {
+  Rng rng(19);
+  double total = 0.0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    const int v = rng.NextPoisson(2.5);
+    EXPECT_GE(v, 0);
+    total += v;
+  }
+  EXPECT_NEAR(total / kSamples, 2.5, 0.05);
+  EXPECT_EQ(rng.NextPoisson(0.0), 0);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(23);
+  std::vector<int> items{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = items;
+  rng.Shuffle(&shuffled);
+  std::vector<int> sorted = shuffled;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, items);
+}
+
+TEST(ZipfSamplerTest, RankZeroIsMostFrequent) {
+  Rng rng(29);
+  ZipfSampler sampler(50, 1.0);
+  std::vector<int> counts(50, 0);
+  for (int i = 0; i < 50000; ++i) {
+    const std::size_t v = sampler.Sample(&rng);
+    ASSERT_LT(v, 50u);
+    ++counts[v];
+  }
+  // Monotone-ish decreasing frequency; rank 0 clearly dominates rank 10.
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], counts[49]);
+  // With s=1 the head probability is 1/H_50 ~ 0.2226.
+  EXPECT_NEAR(counts[0] / 50000.0, 0.2226, 0.02);
+}
+
+TEST(ZipfSamplerTest, SingleOutcome) {
+  Rng rng(31);
+  ZipfSampler sampler(1, 0.8);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(sampler.Sample(&rng), 0u);
+  }
+}
+
+TEST(ZipfSamplerTest, ZeroExponentIsUniform) {
+  Rng rng(37);
+  ZipfSampler sampler(4, 0.0);
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 40000; ++i) {
+    ++counts[sampler.Sample(&rng)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c / 40000.0, 0.25, 0.02);
+  }
+}
+
+}  // namespace
+}  // namespace netout

@@ -1,0 +1,84 @@
+#include "common/result.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace netout {
+namespace {
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result = 42;
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result = Status::NotFound("nope");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(result.value_or(-1), -1);
+}
+
+TEST(ResultTest, OkStatusIsCoercedToInternalError) {
+  // Constructing from an OK status would violate the invariant; the
+  // Result converts it to an internal error instead of UB.
+  Result<int> result = Status::OK();
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> result = std::make_unique<int>(7);
+  ASSERT_TRUE(result.ok());
+  std::unique_ptr<int> owned = std::move(result).value();
+  EXPECT_EQ(*owned, 7);
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> result = std::string("hello");
+  EXPECT_EQ(result->size(), 5u);
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesError) {
+  auto fails = []() -> Result<int> { return Status::OutOfRange("big"); };
+  auto wrapper = [&]() -> Result<int> {
+    NETOUT_ASSIGN_OR_RETURN(int v, fails());
+    return v + 1;
+  };
+  auto result = wrapper();
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ResultTest, AssignOrReturnUnwrapsValue) {
+  auto gives = []() -> Result<int> { return 10; };
+  auto wrapper = [&]() -> Result<int> {
+    NETOUT_ASSIGN_OR_RETURN(int v, gives());
+    NETOUT_ASSIGN_OR_RETURN(int w, gives());
+    return v + w;
+  };
+  auto result = wrapper();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 20);
+}
+
+TEST(ResultTest, VectorValue) {
+  Result<std::vector<int>> result = std::vector<int>{1, 2, 3};
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 3u);
+}
+
+TEST(ResultTest, CopyableResult) {
+  Result<std::string> a = std::string("x");
+  Result<std::string> b = a;
+  EXPECT_TRUE(b.ok());
+  EXPECT_EQ(b.value(), "x");
+}
+
+}  // namespace
+}  // namespace netout

@@ -1,0 +1,97 @@
+#include "common/status.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace netout {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.message(), "");
+  EXPECT_EQ(status.ToString(), "ok");
+}
+
+TEST(StatusTest, FactoriesSetCodeAndMessage) {
+  struct Case {
+    Status status;
+    StatusCode code;
+    const char* name;
+  };
+  const Case cases[] = {
+      {Status::InvalidArgument("m"), StatusCode::kInvalidArgument,
+       "invalid-argument"},
+      {Status::NotFound("m"), StatusCode::kNotFound, "not-found"},
+      {Status::AlreadyExists("m"), StatusCode::kAlreadyExists,
+       "already-exists"},
+      {Status::OutOfRange("m"), StatusCode::kOutOfRange, "out-of-range"},
+      {Status::FailedPrecondition("m"), StatusCode::kFailedPrecondition,
+       "failed-precondition"},
+      {Status::ParseError("m"), StatusCode::kParseError, "parse-error"},
+      {Status::IoError("m"), StatusCode::kIoError, "io-error"},
+      {Status::Corruption("m"), StatusCode::kCorruption, "corruption"},
+      {Status::Unimplemented("m"), StatusCode::kUnimplemented,
+       "unimplemented"},
+      {Status::Internal("m"), StatusCode::kInternal, "internal"},
+  };
+  for (const Case& c : cases) {
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_EQ(c.status.code(), c.code);
+    EXPECT_EQ(c.status.message(), "m");
+    EXPECT_STREQ(StatusCodeToString(c.code), c.name);
+  }
+}
+
+TEST(StatusTest, CopyPreservesErrorState) {
+  Status original = Status::NotFound("missing thing");
+  Status copy = original;
+  EXPECT_EQ(copy, original);
+  EXPECT_EQ(copy.message(), "missing thing");
+  // Mutating via assignment does not alias.
+  copy = Status::OK();
+  EXPECT_TRUE(copy.ok());
+  EXPECT_FALSE(original.ok());
+}
+
+TEST(StatusTest, MoveLeavesSourceReusable) {
+  Status original = Status::IoError("disk");
+  Status moved = std::move(original);
+  EXPECT_EQ(moved.code(), StatusCode::kIoError);
+}
+
+TEST(StatusTest, WithContextPrefixesMessage) {
+  Status status = Status::ParseError("bad token");
+  Status wrapped = status.WithContext("query 3");
+  EXPECT_EQ(wrapped.code(), StatusCode::kParseError);
+  EXPECT_EQ(wrapped.message(), "query 3: bad token");
+  // Context on OK is a no-op.
+  EXPECT_TRUE(Status::OK().WithContext("x").ok());
+}
+
+TEST(StatusTest, StreamInsertionUsesToString) {
+  std::ostringstream out;
+  out << Status::Corruption("bad checksum");
+  EXPECT_EQ(out.str(), "corruption: bad checksum");
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto fails = [] { return Status::NotFound("x"); };
+  auto wrapper = [&]() -> Status {
+    NETOUT_RETURN_IF_ERROR(fails());
+    return Status::Internal("unreachable");
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kNotFound);
+
+  auto succeeds = [] { return Status::OK(); };
+  auto wrapper2 = [&]() -> Status {
+    NETOUT_RETURN_IF_ERROR(succeeds());
+    return Status::Internal("reached");
+  };
+  EXPECT_EQ(wrapper2().code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace netout

@@ -1,0 +1,64 @@
+#include "common/stopwatch.h"
+
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace netout {
+namespace {
+
+TEST(StopwatchTest, ElapsedIsMonotone) {
+  Stopwatch watch;
+  const auto a = watch.ElapsedNanos();
+  const auto b = watch.ElapsedNanos();
+  EXPECT_GE(a, 0);
+  EXPECT_GE(b, a);
+}
+
+TEST(StopwatchTest, MeasuresSleep) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(watch.ElapsedMillis(), 15.0);
+}
+
+TEST(StopwatchTest, ResetRestarts) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  watch.Reset();
+  EXPECT_LT(watch.ElapsedMillis(), 10.0);
+}
+
+TEST(StopwatchTest, UnitConversions) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const double nanos = static_cast<double>(watch.ElapsedNanos());
+  EXPECT_NEAR(watch.ElapsedMicros(), nanos / 1e3, nanos / 1e3 * 0.5);
+  EXPECT_NEAR(watch.ElapsedSeconds() * 1e9, nanos, nanos * 0.5);
+}
+
+TEST(TimeAccumulatorTest, AccumulatesAndClears) {
+  TimeAccumulator acc;
+  EXPECT_EQ(acc.TotalNanos(), 0);
+  acc.AddNanos(1000);
+  acc.AddNanos(500);
+  EXPECT_EQ(acc.TotalNanos(), 1500);
+  EXPECT_DOUBLE_EQ(acc.TotalMillis(), 1500.0 / 1e6);
+  acc.Clear();
+  EXPECT_EQ(acc.TotalNanos(), 0);
+}
+
+TEST(ScopedTimerTest, AddsElapsedOnDestruction) {
+  TimeAccumulator acc;
+  {
+    ScopedTimer timer(&acc);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(acc.TotalMillis(), 5.0);
+}
+
+TEST(ScopedTimerTest, NullAccumulatorIsSafe) {
+  ScopedTimer timer(nullptr);  // must not crash on destruction
+}
+
+}  // namespace
+}  // namespace netout

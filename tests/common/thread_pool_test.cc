@@ -1,0 +1,82 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace netout {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, WaitWithNoWorkReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not deadlock
+}
+
+TEST(ThreadPoolTest, DestructorDrainsOutstandingWork) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    // no Wait(): the destructor must still run everything.
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, TasksRunConcurrently) {
+  // Two tasks rendezvous: each waits for the other, so completion proves
+  // they executed on distinct workers simultaneously.
+  ThreadPool pool(2);
+  std::atomic<int> arrived{0};
+  for (int i = 0; i < 2; ++i) {
+    pool.Submit([&arrived] {
+      arrived.fetch_add(1);
+      // Wait (bounded) for the sibling task.
+      for (int spin = 0; spin < 10000000 && arrived.load() < 2; ++spin) {
+        std::this_thread::yield();
+      }
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(arrived.load(), 2);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  ParallelFor(&pool, hits.size(),
+              [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& hit : hits) {
+    EXPECT_EQ(hit.load(), 1);
+  }
+}
+
+TEST(ParallelForTest, ZeroCountIsNoop) {
+  ThreadPool pool(2);
+  ParallelFor(&pool, 0, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+}  // namespace
+}  // namespace netout

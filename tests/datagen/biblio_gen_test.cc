@@ -1,0 +1,177 @@
+#include "datagen/biblio_gen.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/stats.h"
+#include "metapath/traversal.h"
+
+namespace netout {
+namespace {
+
+BiblioConfig SmallConfig() {
+  BiblioConfig config;
+  config.seed = 99;
+  config.num_areas = 4;
+  config.authors_per_area = 60;
+  config.papers_per_area = 200;
+  config.venues_per_area = 5;
+  config.terms_per_area = 40;
+  config.shared_terms = 25;
+  config.planted_outliers_per_area = 2;
+  config.low_visibility_per_area = 2;
+  return config;
+}
+
+class BiblioFixture : public ::testing::Test {
+ protected:
+  void SetUp() override { dataset_ = GenerateBiblio(SmallConfig()).value(); }
+  BiblioDataset dataset_;
+};
+
+TEST_F(BiblioFixture, SchemaMatchesDblp) {
+  const Schema& schema = dataset_.hin->schema();
+  EXPECT_EQ(schema.num_vertex_types(), 4u);
+  EXPECT_TRUE(schema.FindVertexType("author").ok());
+  EXPECT_TRUE(schema.FindVertexType("paper").ok());
+  EXPECT_TRUE(schema.FindVertexType("venue").ok());
+  EXPECT_TRUE(schema.FindVertexType("term").ok());
+  EXPECT_TRUE(schema.FindEdgeType("writes").ok());
+  EXPECT_TRUE(schema.FindEdgeType("published_in").ok());
+  EXPECT_TRUE(schema.FindEdgeType("has_term").ok());
+}
+
+TEST_F(BiblioFixture, VertexCountsMatchConfig) {
+  const BiblioConfig config = SmallConfig();
+  const std::size_t expected_authors =
+      config.num_areas *
+      (config.authors_per_area + config.planted_outliers_per_area +
+       config.coauthor_outliers_per_area *
+           (1 + config.collaborators_per_coauthor_outlier) +
+       config.low_visibility_per_area);
+  EXPECT_EQ(dataset_.hin->NumVertices(dataset_.author_type),
+            expected_authors);
+  EXPECT_EQ(dataset_.hin->NumVertices(dataset_.venue_type),
+            config.num_areas * config.venues_per_area);
+  EXPECT_EQ(dataset_.hin->NumVertices(dataset_.term_type),
+            config.num_areas * config.terms_per_area + config.shared_terms);
+  EXPECT_GE(dataset_.hin->NumVertices(dataset_.paper_type),
+            config.num_areas * config.papers_per_area);
+}
+
+TEST_F(BiblioFixture, GroundTruthLabelsExist) {
+  const BiblioConfig config = SmallConfig();
+  EXPECT_EQ(dataset_.star_names.size(), config.num_areas);
+  EXPECT_EQ(dataset_.planted_outlier_names.size(),
+            config.num_areas * config.planted_outliers_per_area);
+  EXPECT_EQ(dataset_.coauthor_outlier_names.size(),
+            config.num_areas * config.coauthor_outliers_per_area);
+  EXPECT_EQ(dataset_.low_visibility_names.size(),
+            config.num_areas * config.low_visibility_per_area);
+  for (const std::string& name : dataset_.planted_outlier_names) {
+    EXPECT_TRUE(dataset_.hin->FindVertex("author", name).ok()) << name;
+  }
+  for (const std::string& name : dataset_.coauthor_outlier_names) {
+    EXPECT_TRUE(dataset_.hin->FindVertex("author", name).ok()) << name;
+  }
+}
+
+TEST_F(BiblioFixture, DeterministicFromSeed) {
+  const BiblioDataset again = GenerateBiblio(SmallConfig()).value();
+  EXPECT_EQ(dataset_.hin->TotalVertices(), again.hin->TotalVertices());
+  EXPECT_EQ(dataset_.hin->TotalEdges(), again.hin->TotalEdges());
+
+  BiblioConfig other = SmallConfig();
+  other.seed = 100;
+  const BiblioDataset different = GenerateBiblio(other).value();
+  EXPECT_NE(dataset_.hin->TotalEdges(), different.hin->TotalEdges());
+}
+
+TEST_F(BiblioFixture, EveryPaperHasAuthorVenueAndTerm) {
+  const Hin& hin = *dataset_.hin;
+  const Schema& schema = hin.schema();
+  const EdgeStep to_author =
+      schema.ResolveStep(dataset_.paper_type, dataset_.author_type).value();
+  const EdgeStep to_venue =
+      schema.ResolveStep(dataset_.paper_type, dataset_.venue_type).value();
+  const EdgeStep to_term =
+      schema.ResolveStep(dataset_.paper_type, dataset_.term_type).value();
+  for (LocalId p = 0; p < hin.NumVertices(dataset_.paper_type); ++p) {
+    const VertexRef paper{dataset_.paper_type, p};
+    EXPECT_GE(hin.Neighbors(paper, to_author).size(), 1u);
+    EXPECT_EQ(hin.Neighbors(paper, to_venue).size(), 1u);
+    EXPECT_GE(hin.Neighbors(paper, to_term).size(), 1u);
+  }
+}
+
+TEST_F(BiblioFixture, PlantedOutliersCoauthorWithTheirStar) {
+  PathCounter counter(dataset_.hin);
+  const MetaPath pca =
+      MetaPath::Parse(dataset_.hin->schema(), "author.paper.author").value();
+  for (std::size_t a = 0; a < 4; ++a) {
+    const VertexRef star =
+        dataset_.hin->FindVertex("author", dataset_.star_names[a]).value();
+    const SparseVector coauthors =
+        counter.NeighborVector(star, pca).value();
+    for (std::size_t i = 0; i < 2; ++i) {
+      const std::string name =
+          "outlier_" + std::to_string(a) + "_" + std::to_string(i);
+      const VertexRef outlier =
+          dataset_.hin->FindVertex("author", name).value();
+      EXPECT_GT(coauthors.ValueAt(outlier.local), 0.0)
+          << name << " must be a coauthor of " << dataset_.star_names[a];
+    }
+  }
+}
+
+TEST_F(BiblioFixture, StarsAreProlific) {
+  PathCounter counter(dataset_.hin);
+  const MetaPath ap =
+      MetaPath::Parse(dataset_.hin->schema(), "author.paper").value();
+  for (const std::string& star_name : dataset_.star_names) {
+    const VertexRef star =
+        dataset_.hin->FindVertex("author", star_name).value();
+    const SparseVector papers = counter.NeighborVector(star, ap).value();
+    EXPECT_GT(papers.nnz(), 20u) << star_name;
+  }
+}
+
+TEST_F(BiblioFixture, LowVisibilityAuthorsHaveFewPapers) {
+  PathCounter counter(dataset_.hin);
+  const MetaPath ap =
+      MetaPath::Parse(dataset_.hin->schema(), "author.paper").value();
+  for (const std::string& name : dataset_.low_visibility_names) {
+    const VertexRef author = dataset_.hin->FindVertex("author", name).value();
+    const SparseVector papers = counter.NeighborVector(author, ap).value();
+    EXPECT_LE(papers.nnz(), 2u) << name;
+    EXPECT_GE(papers.nnz(), 1u) << name;
+  }
+}
+
+TEST(BiblioConfigValidation, RejectsDegenerateConfigs) {
+  BiblioConfig config;
+  config.num_areas = 0;
+  EXPECT_FALSE(GenerateBiblio(config).ok());
+  config = BiblioConfig();
+  config.authors_per_area = 1;
+  EXPECT_FALSE(GenerateBiblio(config).ok());
+  config = BiblioConfig();
+  config.venues_per_area = 0;
+  EXPECT_FALSE(GenerateBiblio(config).ok());
+}
+
+TEST(BiblioSingleArea, NoCrossAreaMachinery) {
+  BiblioConfig config;
+  config.num_areas = 1;
+  config.authors_per_area = 20;
+  config.papers_per_area = 50;
+  config.venues_per_area = 3;
+  config.terms_per_area = 10;
+  config.shared_terms = 5;
+  config.planted_outliers_per_area = 1;
+  config.low_visibility_per_area = 1;
+  const BiblioDataset dataset = GenerateBiblio(config).value();
+  EXPECT_GT(dataset.hin->TotalEdges(), 0u);
+}
+
+}  // namespace
+}  // namespace netout

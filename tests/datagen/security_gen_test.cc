@@ -1,0 +1,84 @@
+#include "datagen/security_gen.h"
+
+#include <gtest/gtest.h>
+
+#include "query/engine.h"
+
+namespace netout {
+namespace {
+
+SecurityConfig SmallConfig() {
+  SecurityConfig config;
+  config.num_subnets = 3;
+  config.hosts_per_subnet = 20;
+  config.signatures_per_profile = 10;
+  config.users = 40;
+  config.alerts_per_host = 12;
+  config.compromised_per_subnet = 1;
+  config.compromise_alerts = 20;
+  return config;
+}
+
+class SecurityFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dataset_ = GenerateSecurity(SmallConfig()).value();
+  }
+  SecurityDataset dataset_;
+};
+
+TEST_F(SecurityFixture, SchemaAndCounts) {
+  const Schema& schema = dataset_.hin->schema();
+  EXPECT_EQ(schema.num_vertex_types(), 4u);
+  EXPECT_TRUE(schema.FindEdgeType("raised_on").ok());
+  EXPECT_TRUE(schema.FindEdgeType("matches").ok());
+  EXPECT_TRUE(schema.FindEdgeType("logs_into").ok());
+  EXPECT_EQ(dataset_.hin->NumVertices(dataset_.host_type), 60u);
+  EXPECT_EQ(dataset_.hin->NumVertices(dataset_.signature_type), 30u);
+  EXPECT_EQ(dataset_.gateway_names.size(), 3u);
+  EXPECT_EQ(dataset_.compromised_names.size(), 3u);
+}
+
+TEST_F(SecurityFixture, Deterministic) {
+  const SecurityDataset again = GenerateSecurity(SmallConfig()).value();
+  EXPECT_EQ(dataset_.hin->TotalEdges(), again.hin->TotalEdges());
+}
+
+TEST_F(SecurityFixture, CompromisedHostsExist) {
+  for (const std::string& name : dataset_.compromised_names) {
+    EXPECT_TRUE(dataset_.hin->FindVertex("host", name).ok()) << name;
+  }
+}
+
+TEST_F(SecurityFixture, QueryFindsCompromisedHostInItsSubnet) {
+  Engine engine(dataset_.hin);
+  // Hosts reachable from the subnet-0 gateway through shared users,
+  // judged by the signatures their alerts match.
+  const QueryResult result = engine
+                                 .Execute(R"(
+      FIND OUTLIERS FROM host{"gateway_0"}.user.host
+      JUDGED BY host.alert.signature
+      TOP 3;
+  )")
+                                 .value();
+  ASSERT_FALSE(result.outliers.empty());
+  // The planted compromised host of subnet 0 must rank within the top 3.
+  bool found = false;
+  for (const OutlierEntry& entry : result.outliers) {
+    if (entry.name == dataset_.compromised_names[0]) found = true;
+  }
+  EXPECT_TRUE(found) << "expected " << dataset_.compromised_names[0]
+                     << " in the top 3";
+}
+
+TEST(SecurityConfigValidation, RejectsDegenerateConfigs) {
+  SecurityConfig config;
+  config.num_subnets = 0;
+  EXPECT_FALSE(GenerateSecurity(config).ok());
+  config = SecurityConfig();
+  config.hosts_per_subnet = 1;
+  EXPECT_FALSE(GenerateSecurity(config).ok());
+}
+
+}  // namespace
+}  // namespace netout

@@ -1,0 +1,132 @@
+#include "datagen/workload.h"
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "datagen/biblio_gen.h"
+#include "query/parser.h"
+
+namespace netout {
+namespace {
+
+TEST(WorkloadTest, TemplatesMatchTable4) {
+  EXPECT_EQ(InstantiateTemplate(QueryTemplate::kQ1, "X"),
+            "FIND OUTLIERS FROM author{\"X\"}.paper.author "
+            "JUDGED BY author.paper.venue TOP 10;");
+  EXPECT_EQ(InstantiateTemplate(QueryTemplate::kQ2, "X"),
+            "FIND OUTLIERS IN author{\"X\"}.paper.venue "
+            "JUDGED BY venue.paper.term TOP 10;");
+  EXPECT_EQ(InstantiateTemplate(QueryTemplate::kQ3, "X"),
+            "FIND OUTLIERS IN author{\"X\"}.paper.term "
+            "JUDGED BY term.paper.venue TOP 10;");
+  EXPECT_STREQ(QueryTemplateName(QueryTemplate::kQ1), "Q1");
+  EXPECT_STREQ(QueryTemplateName(QueryTemplate::kQ2), "Q2");
+  EXPECT_STREQ(QueryTemplateName(QueryTemplate::kQ3), "Q3");
+}
+
+TEST(WorkloadTest, EveryTemplateParses) {
+  for (QueryTemplate t :
+       {QueryTemplate::kQ1, QueryTemplate::kQ2, QueryTemplate::kQ3}) {
+    EXPECT_TRUE(ParseQuery(InstantiateTemplate(t, "Some Author")).ok());
+  }
+}
+
+class WorkloadFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    BiblioConfig config;
+    config.num_areas = 2;
+    config.authors_per_area = 30;
+    config.papers_per_area = 60;
+    config.venues_per_area = 3;
+    config.terms_per_area = 20;
+    config.shared_terms = 10;
+    config.planted_outliers_per_area = 1;
+    config.low_visibility_per_area = 1;
+    dataset_ = GenerateBiblio(config).value();
+  }
+  BiblioDataset dataset_;
+};
+
+TEST_F(WorkloadFixture, GeneratesRequestedCount) {
+  WorkloadConfig config;
+  config.num_queries = 37;
+  const auto queries =
+      GenerateWorkload(*dataset_.hin, "author", QueryTemplate::kQ1, config)
+          .value();
+  EXPECT_EQ(queries.size(), 37u);
+  for (const std::string& query : queries) {
+    EXPECT_TRUE(ParseQuery(query).ok()) << query;
+  }
+}
+
+TEST_F(WorkloadFixture, DeterministicPerSeed) {
+  WorkloadConfig config;
+  config.num_queries = 10;
+  config.seed = 5;
+  const auto a =
+      GenerateWorkload(*dataset_.hin, "author", QueryTemplate::kQ2, config)
+          .value();
+  const auto b =
+      GenerateWorkload(*dataset_.hin, "author", QueryTemplate::kQ2, config)
+          .value();
+  EXPECT_EQ(a, b);
+  config.seed = 6;
+  const auto c =
+      GenerateWorkload(*dataset_.hin, "author", QueryTemplate::kQ2, config)
+          .value();
+  EXPECT_NE(a, c);
+}
+
+TEST_F(WorkloadFixture, UnknownTypeFails) {
+  WorkloadConfig config;
+  EXPECT_FALSE(
+      GenerateWorkload(*dataset_.hin, "ghost", QueryTemplate::kQ1, config)
+          .ok());
+  SkewedWorkloadConfig skewed;
+  EXPECT_FALSE(GenerateSkewedWorkload(*dataset_.hin, "ghost",
+                                      QueryTemplate::kQ1, skewed)
+                   .ok());
+}
+
+TEST_F(WorkloadFixture, SkewedWorkloadRepeatsAnchors) {
+  SkewedWorkloadConfig config;
+  config.num_queries = 200;
+  config.seed = 9;
+  config.zipf_exponent = 1.3;
+  const auto skewed =
+      GenerateSkewedWorkload(*dataset_.hin, "author", QueryTemplate::kQ1,
+                             config)
+          .value();
+  ASSERT_EQ(skewed.size(), 200u);
+  std::map<std::string, int> counts;
+  for (const std::string& query : skewed) {
+    ++counts[query];
+    EXPECT_TRUE(ParseQuery(query).ok()) << query;
+  }
+  // Zipf skew: far fewer distinct queries than draws, and the hottest
+  // anchor recurs many times.
+  EXPECT_LT(counts.size(), 150u);
+  int max_count = 0;
+  for (const auto& [query, count] : counts) {
+    max_count = std::max(max_count, count);
+  }
+  EXPECT_GE(max_count, 10);
+}
+
+TEST_F(WorkloadFixture, SkewedWorkloadDeterministic) {
+  SkewedWorkloadConfig config;
+  config.num_queries = 20;
+  config.seed = 4;
+  const auto a = GenerateSkewedWorkload(*dataset_.hin, "author",
+                                        QueryTemplate::kQ2, config)
+                     .value();
+  const auto b = GenerateSkewedWorkload(*dataset_.hin, "author",
+                                        QueryTemplate::kQ2, config)
+                     .value();
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace netout

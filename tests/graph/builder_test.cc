@@ -1,0 +1,129 @@
+#include "graph/builder.h"
+
+#include <gtest/gtest.h>
+
+namespace netout {
+namespace {
+
+class BuilderFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    author_ = builder_.AddVertexType("author").value();
+    paper_ = builder_.AddVertexType("paper").value();
+    writes_ = builder_.AddEdgeType("writes", author_, paper_).value();
+  }
+
+  GraphBuilder builder_;
+  TypeId author_, paper_;
+  EdgeTypeId writes_;
+};
+
+TEST_F(BuilderFixture, AddVertexAssignsSequentialLocalIds) {
+  const VertexRef a = builder_.AddVertex(author_, "Ava").value();
+  const VertexRef b = builder_.AddVertex(author_, "Liam").value();
+  EXPECT_EQ(a.type, author_);
+  EXPECT_EQ(a.local, 0u);
+  EXPECT_EQ(b.local, 1u);
+  EXPECT_EQ(builder_.NumVertices(author_), 2u);
+}
+
+TEST_F(BuilderFixture, AddVertexIsIdempotentPerTypeAndName) {
+  const VertexRef first = builder_.AddVertex(author_, "Ava").value();
+  const VertexRef again = builder_.AddVertex(author_, "Ava").value();
+  EXPECT_EQ(first, again);
+  EXPECT_EQ(builder_.NumVertices(author_), 1u);
+  // Same name in a different type is a different vertex.
+  const VertexRef paper = builder_.AddVertex(paper_, "Ava").value();
+  EXPECT_NE(paper.type, first.type);
+}
+
+TEST_F(BuilderFixture, AddVertexUnknownTypeFails) {
+  auto r = builder_.AddVertex(static_cast<TypeId>(42), "x");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(BuilderFixture, AddEdgeValidatesEndpointTypes) {
+  const VertexRef a = builder_.AddVertex(author_, "Ava").value();
+  const VertexRef p = builder_.AddVertex(paper_, "P1").value();
+  EXPECT_TRUE(builder_.AddEdge(writes_, a, p).ok());
+  // Reversed endpoints violate the edge type declaration.
+  auto s = builder_.AddEdge(writes_, p, a);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(BuilderFixture, AddEdgeRejectsZeroCountAndUnknownVertex) {
+  const VertexRef a = builder_.AddVertex(author_, "Ava").value();
+  const VertexRef p = builder_.AddVertex(paper_, "P1").value();
+  EXPECT_EQ(builder_.AddEdge(writes_, a, p, 0).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(builder_
+                .AddEdge(writes_, VertexRef{author_, 999}, p)
+                .code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(builder_.AddEdge(static_cast<EdgeTypeId>(9), a, p).code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST_F(BuilderFixture, AddEdgeByNameCreatesEndpoints) {
+  ASSERT_TRUE(builder_.AddEdgeByName("writes", "Ava", "P1").ok());
+  EXPECT_EQ(builder_.NumVertices(author_), 1u);
+  EXPECT_EQ(builder_.NumVertices(paper_), 1u);
+  EXPECT_FALSE(builder_.AddEdgeByName("ghost", "a", "b").ok());
+}
+
+TEST_F(BuilderFixture, FinishProducesImmutableHinWithBothDirections) {
+  const VertexRef ava = builder_.AddVertex(author_, "Ava").value();
+  const VertexRef liam = builder_.AddVertex(author_, "Liam").value();
+  const VertexRef p1 = builder_.AddVertex(paper_, "P1").value();
+  const VertexRef p2 = builder_.AddVertex(paper_, "P2").value();
+  ASSERT_TRUE(builder_.AddEdge(writes_, ava, p1).ok());
+  ASSERT_TRUE(builder_.AddEdge(writes_, liam, p1).ok());
+  ASSERT_TRUE(builder_.AddEdge(writes_, ava, p2).ok());
+
+  const HinPtr hin = builder_.Finish().value();
+  EXPECT_EQ(hin->TotalVertices(), 4u);
+  EXPECT_EQ(hin->TotalEdges(), 3u);
+
+  const EdgeStep forward =
+      hin->schema().ResolveStep(author_, paper_).value();
+  const EdgeStep reverse =
+      hin->schema().ResolveStep(paper_, author_).value();
+  EXPECT_EQ(hin->Neighbors(ava, forward).size(), 2u);
+  EXPECT_EQ(hin->Neighbors(liam, forward).size(), 1u);
+  EXPECT_EQ(hin->Neighbors(p1, reverse).size(), 2u);
+  EXPECT_EQ(hin->Neighbors(p2, reverse).size(), 1u);
+}
+
+TEST_F(BuilderFixture, ParallelEdgesAccumulateMultiplicity) {
+  const VertexRef ava = builder_.AddVertex(author_, "Ava").value();
+  const VertexRef p1 = builder_.AddVertex(paper_, "P1").value();
+  ASSERT_TRUE(builder_.AddEdge(writes_, ava, p1).ok());
+  ASSERT_TRUE(builder_.AddEdge(writes_, ava, p1, 2).ok());
+  const HinPtr hin = builder_.Finish().value();
+  const EdgeStep step = hin->schema().ResolveStep(author_, paper_).value();
+  ASSERT_EQ(hin->Neighbors(ava, step).size(), 1u);
+  EXPECT_EQ(hin->Neighbors(ava, step)[0].count, 3u);
+  EXPECT_EQ(hin->TotalEdges(), 3u);
+}
+
+TEST_F(BuilderFixture, FinishOnEmptyBuilderGivesEmptyHin) {
+  GraphBuilder empty;
+  const HinPtr hin = empty.Finish().value();
+  EXPECT_EQ(hin->TotalVertices(), 0u);
+  EXPECT_EQ(hin->TotalEdges(), 0u);
+  EXPECT_EQ(hin->schema().num_vertex_types(), 0u);
+}
+
+TEST_F(BuilderFixture, IsolatedVerticesSurviveFinish) {
+  builder_.AddVertex(author_, "Hermit").value();
+  const HinPtr hin = builder_.Finish().value();
+  EXPECT_EQ(hin->NumVertices(author_), 1u);
+  const VertexRef hermit = hin->FindVertex(author_, "Hermit").value();
+  const EdgeStep step = hin->schema().ResolveStep(author_, paper_).value();
+  EXPECT_TRUE(hin->Neighbors(hermit, step).empty());
+}
+
+}  // namespace
+}  // namespace netout

@@ -1,0 +1,95 @@
+#include "graph/csr.h"
+
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace netout {
+namespace {
+
+TEST(CsrTest, EmptyCsr) {
+  Csr csr;
+  EXPECT_EQ(csr.num_rows(), 0u);
+  EXPECT_EQ(csr.num_entries(), 0u);
+  EXPECT_EQ(csr.TotalEdgeCount(), 0u);
+  EXPECT_TRUE(csr.Row(0).empty());
+  EXPECT_TRUE(csr.Row(99).empty());
+}
+
+TEST(CsrTest, BuildsSortedRows) {
+  const Csr csr = Csr::FromEdges(3, {{2, 5, 1}, {0, 3, 1}, {0, 1, 1},
+                                     {2, 0, 1}});
+  EXPECT_EQ(csr.num_rows(), 3u);
+  ASSERT_EQ(csr.Row(0).size(), 2u);
+  EXPECT_EQ(csr.Row(0)[0], (CsrEntry{1, 1}));
+  EXPECT_EQ(csr.Row(0)[1], (CsrEntry{3, 1}));
+  EXPECT_TRUE(csr.Row(1).empty());
+  ASSERT_EQ(csr.Row(2).size(), 2u);
+  EXPECT_EQ(csr.Row(2)[0], (CsrEntry{0, 1}));
+  EXPECT_EQ(csr.Row(2)[1], (CsrEntry{5, 1}));
+}
+
+TEST(CsrTest, CoalescesDuplicateEdgesIntoCounts) {
+  const Csr csr =
+      Csr::FromEdges(2, {{0, 1, 1}, {0, 1, 1}, {0, 1, 3}, {1, 0, 2}});
+  ASSERT_EQ(csr.Row(0).size(), 1u);
+  EXPECT_EQ(csr.Row(0)[0], (CsrEntry{1, 5}));
+  EXPECT_EQ(csr.Row(1)[0], (CsrEntry{0, 2}));
+  EXPECT_EQ(csr.TotalEdgeCount(), 7u);
+  EXPECT_EQ(csr.num_entries(), 2u);
+}
+
+TEST(CsrTest, RowDegreesAndEdgeCounts) {
+  const Csr csr = Csr::FromEdges(2, {{0, 1, 2}, {0, 2, 1}});
+  EXPECT_EQ(csr.RowDegree(0), 2u);    // distinct neighbors
+  EXPECT_EQ(csr.RowEdgeCount(0), 3u); // multiplicity sum
+  EXPECT_EQ(csr.RowDegree(1), 0u);
+  EXPECT_EQ(csr.RowEdgeCount(1), 0u);
+}
+
+TEST(CsrTest, OutOfRangeRowIsEmpty) {
+  const Csr csr = Csr::FromEdges(2, {{0, 0, 1}});
+  EXPECT_TRUE(csr.Row(2).empty());
+  EXPECT_TRUE(csr.Row(1000).empty());
+}
+
+TEST(CsrTest, NoEdges) {
+  const Csr csr = Csr::FromEdges(4, {});
+  EXPECT_EQ(csr.num_rows(), 4u);
+  for (LocalId row = 0; row < 4; ++row) {
+    EXPECT_TRUE(csr.Row(row).empty());
+  }
+}
+
+TEST(CsrTest, FromRawRoundTrip) {
+  const Csr original = Csr::FromEdges(3, {{0, 1, 2}, {1, 0, 1}, {2, 2, 4}});
+  const Csr rebuilt = Csr::FromRaw(
+      std::vector<std::uint64_t>(original.offsets()),
+      std::vector<CsrEntry>(original.entries()));
+  EXPECT_EQ(rebuilt.num_rows(), original.num_rows());
+  for (LocalId row = 0; row < 3; ++row) {
+    ASSERT_EQ(rebuilt.Row(row).size(), original.Row(row).size());
+    for (std::size_t i = 0; i < rebuilt.Row(row).size(); ++i) {
+      EXPECT_EQ(rebuilt.Row(row)[i], original.Row(row)[i]);
+    }
+  }
+}
+
+TEST(CsrTest, FromRawRejectsInconsistentArrays) {
+  // offsets.back() != entries.size() -> empty CSR sentinel.
+  const Csr bad = Csr::FromRaw({0, 2}, {CsrEntry{0, 1}});
+  EXPECT_EQ(bad.num_rows(), 0u);
+}
+
+TEST(CsrTest, MemoryBytesIsPositiveForNonEmpty) {
+  const Csr csr = Csr::FromEdges(2, {{0, 1, 1}});
+  EXPECT_GT(csr.MemoryBytes(), 0u);
+}
+
+TEST(CsrDeathTest, SourceOutOfRangeAborts) {
+  EXPECT_DEATH(Csr::FromEdges(1, {{5, 0, 1}}), "out of range");
+}
+
+}  // namespace
+}  // namespace netout

@@ -1,0 +1,92 @@
+#include "graph/hin.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+
+namespace netout {
+namespace {
+
+class HinFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    GraphBuilder builder;
+    author_ = builder.AddVertexType("author").value();
+    paper_ = builder.AddVertexType("paper").value();
+    venue_ = builder.AddVertexType("venue").value();
+    builder.AddEdgeType("writes", author_, paper_).value();
+    builder.AddEdgeType("published_in", paper_, venue_).value();
+    ASSERT_TRUE(builder.AddEdgeByName("writes", "Ava", "P1").ok());
+    ASSERT_TRUE(builder.AddEdgeByName("writes", "Liam", "P1").ok());
+    ASSERT_TRUE(builder.AddEdgeByName("writes", "Ava", "P2").ok());
+    ASSERT_TRUE(builder.AddEdgeByName("published_in", "P1", "KDD").ok());
+    ASSERT_TRUE(builder.AddEdgeByName("published_in", "P2", "ICDE").ok());
+    hin_ = builder.Finish().value();
+  }
+
+  TypeId author_, paper_, venue_;
+  HinPtr hin_;
+};
+
+TEST_F(HinFixture, Counts) {
+  EXPECT_EQ(hin_->NumVertices(author_), 2u);
+  EXPECT_EQ(hin_->NumVertices(paper_), 2u);
+  EXPECT_EQ(hin_->NumVertices(venue_), 2u);
+  EXPECT_EQ(hin_->TotalVertices(), 6u);
+  EXPECT_EQ(hin_->TotalEdges(), 5u);
+}
+
+TEST_F(HinFixture, FindVertexByTypeAndByName) {
+  const VertexRef ava = hin_->FindVertex(author_, "Ava").value();
+  EXPECT_EQ(hin_->VertexName(ava), "Ava");
+  const VertexRef same = hin_->FindVertex("author", "Ava").value();
+  EXPECT_EQ(ava, same);
+  // Vertex names are case-sensitive (type names are not).
+  EXPECT_FALSE(hin_->FindVertex(author_, "ava").ok());
+  EXPECT_TRUE(hin_->FindVertex("AUTHOR", "Ava").ok());
+}
+
+TEST_F(HinFixture, FindVertexErrors) {
+  auto missing = hin_->FindVertex(author_, "Nobody");
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+  auto bad_type = hin_->FindVertex(static_cast<TypeId>(50), "Ava");
+  EXPECT_EQ(bad_type.status().code(), StatusCode::kOutOfRange);
+  auto bad_type_name = hin_->FindVertex("ghost_type", "Ava");
+  EXPECT_EQ(bad_type_name.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(HinFixture, NeighborsFollowBothOrientations) {
+  const VertexRef ava = hin_->FindVertex(author_, "Ava").value();
+  const VertexRef p1 = hin_->FindVertex(paper_, "P1").value();
+  const EdgeStep a_to_p = hin_->schema().ResolveStep(author_, paper_).value();
+  const EdgeStep p_to_a = hin_->schema().ResolveStep(paper_, author_).value();
+  EXPECT_EQ(hin_->Neighbors(ava, a_to_p).size(), 2u);
+  EXPECT_EQ(hin_->Neighbors(p1, p_to_a).size(), 2u);
+  const EdgeStep p_to_v = hin_->schema().ResolveStep(paper_, venue_).value();
+  ASSERT_EQ(hin_->Neighbors(p1, p_to_v).size(), 1u);
+  EXPECT_EQ(
+      hin_->VertexName(VertexRef{venue_,
+                                 hin_->Neighbors(p1, p_to_v)[0].neighbor}),
+      "KDD");
+}
+
+TEST_F(HinFixture, AdjacencyRowsAreSharedImmutableState) {
+  const EdgeStep step = hin_->schema().ResolveStep(author_, paper_).value();
+  const Csr& csr1 = hin_->Adjacency(step);
+  const Csr& csr2 = hin_->Adjacency(step);
+  EXPECT_EQ(&csr1, &csr2);
+  EXPECT_EQ(csr1.num_rows(), hin_->NumVertices(author_));
+}
+
+TEST_F(HinFixture, MemoryBytesIsPositive) {
+  EXPECT_GT(hin_->MemoryBytes(), 0u);
+}
+
+TEST_F(HinFixture, VertexNameDeathOnBadRef) {
+  EXPECT_DEATH(hin_->VertexName(VertexRef{author_, 999}), "out of range");
+  EXPECT_DEATH(hin_->VertexName(VertexRef{static_cast<TypeId>(9), 0}),
+               "out of range");
+}
+
+}  // namespace
+}  // namespace netout

@@ -1,0 +1,177 @@
+#include "graph/io.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/binary_io.h"
+#include "graph/builder.h"
+
+namespace netout {
+namespace {
+
+std::string TempPath(const char* name) {
+  return (std::filesystem::temp_directory_path() /
+          (std::string("netout_io_") + name))
+      .string();
+}
+
+HinPtr MakeSample() {
+  GraphBuilder builder;
+  const TypeId author = builder.AddVertexType("author").value();
+  const TypeId paper = builder.AddVertexType("paper").value();
+  builder.AddEdgeType("writes", author, paper).value();
+  EXPECT_TRUE(builder.AddEdgeByName("writes", "Ava Lovelace", "P1").ok());
+  EXPECT_TRUE(builder.AddEdgeByName("writes", "Liam", "P1").ok());
+  EXPECT_TRUE(builder.AddEdgeByName("writes", "Ava Lovelace", "P2").ok());
+  // A parallel link (multiplicity 2 total).
+  EXPECT_TRUE(builder.AddEdgeByName("writes", "Liam", "P2").ok());
+  EXPECT_TRUE(builder.AddEdgeByName("writes", "Liam", "P2").ok());
+  // An isolated vertex.
+  builder.AddVertex(author, "Hermit").value();
+  return builder.Finish().value();
+}
+
+void ExpectSameNetwork(const Hin& a, const Hin& b) {
+  ASSERT_EQ(a.schema().num_vertex_types(), b.schema().num_vertex_types());
+  ASSERT_EQ(a.schema().num_edge_types(), b.schema().num_edge_types());
+  EXPECT_EQ(a.TotalVertices(), b.TotalVertices());
+  EXPECT_EQ(a.TotalEdges(), b.TotalEdges());
+  for (TypeId t = 0; t < a.schema().num_vertex_types(); ++t) {
+    EXPECT_EQ(a.schema().VertexTypeName(t), b.schema().VertexTypeName(t));
+    ASSERT_EQ(a.NumVertices(t), b.NumVertices(t));
+    for (LocalId v = 0; v < a.NumVertices(t); ++v) {
+      // Vertex identity is preserved through names (ids may renumber in
+      // the text round trip, so match by lookup).
+      const std::string& name = a.VertexName(VertexRef{t, v});
+      EXPECT_TRUE(b.FindVertex(t, name).ok()) << name;
+    }
+  }
+  for (EdgeTypeId e = 0; e < a.schema().num_edge_types(); ++e) {
+    const EdgeTypeInfo& info = a.schema().edge_type(e);
+    const Csr& ca = a.Adjacency(EdgeStep{e, Direction::kForward});
+    for (LocalId src = 0; src < ca.num_rows(); ++src) {
+      for (const CsrEntry& entry : ca.Row(src)) {
+        const VertexRef b_src =
+            b.FindVertex(info.src, a.VertexName(VertexRef{info.src, src}))
+                .value();
+        const VertexRef b_dst =
+            b.FindVertex(info.dst,
+                         a.VertexName(VertexRef{info.dst, entry.neighbor}))
+                .value();
+        const EdgeStep step{e, Direction::kForward};
+        bool found = false;
+        for (const CsrEntry& b_entry : b.Neighbors(b_src, step)) {
+          if (b_entry.neighbor == b_dst.local) {
+            EXPECT_EQ(b_entry.count, entry.count);
+            found = true;
+          }
+        }
+        EXPECT_TRUE(found);
+      }
+    }
+  }
+}
+
+TEST(GraphIoTest, TextRoundTrip) {
+  const HinPtr original = MakeSample();
+  const std::string path = TempPath("text.hin");
+  ASSERT_TRUE(SaveHinText(*original, path).ok());
+  const HinPtr loaded = LoadHinText(path).value();
+  ExpectSameNetwork(*original, *loaded);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, BinaryRoundTripPreservesIds) {
+  const HinPtr original = MakeSample();
+  const std::string path = TempPath("bin.hin");
+  ASSERT_TRUE(SaveHinBinary(*original, path).ok());
+  const HinPtr loaded = LoadHinBinary(path).value();
+  ExpectSameNetwork(*original, *loaded);
+  // Binary snapshots preserve local ids exactly.
+  for (TypeId t = 0; t < original->schema().num_vertex_types(); ++t) {
+    for (LocalId v = 0; v < original->NumVertices(t); ++v) {
+      EXPECT_EQ(original->VertexName(VertexRef{t, v}),
+                loaded->VertexName(VertexRef{t, v}));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, TextParserRejectsMalformedLines) {
+  const std::string path = TempPath("bad.hin");
+  {
+    std::ofstream out(path);
+    out << "T\tauthor\nX\tjunk\n";
+  }
+  auto r = LoadHinText(path);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, TextParserRejectsUndeclaredTypes) {
+  const std::string path = TempPath("undeclared.hin");
+  {
+    std::ofstream out(path);
+    out << "V\tghost\tAva\n";
+  }
+  EXPECT_FALSE(LoadHinText(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, TextParserSkipsCommentsAndBlanks) {
+  const std::string path = TempPath("comments.hin");
+  {
+    std::ofstream out(path);
+    out << "# a comment\n\nT\tauthor\n  \nV\tauthor\tAva\n";
+  }
+  const HinPtr hin = LoadHinText(path).value();
+  EXPECT_EQ(hin->TotalVertices(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, BinaryLoadRejectsCorruption) {
+  const HinPtr original = MakeSample();
+  const std::string path = TempPath("corrupt.hin");
+  ASSERT_TRUE(SaveHinBinary(*original, path).ok());
+  std::string bytes = ReadFileToString(path).value();
+  bytes[bytes.size() / 2] ^= 0x40;
+  ASSERT_TRUE(WriteStringToFile(path, bytes).ok());
+  auto r = LoadHinBinary(path);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, BinaryLoadRejectsWrongMagic) {
+  const std::string path = TempPath("notasnapshot.hin");
+  ASSERT_TRUE(WriteStringToFile(path, "this is not a snapshot at all!").ok());
+  auto r = LoadHinBinary(path);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, MissingFilesAreIoErrors) {
+  EXPECT_EQ(LoadHinText("/no/such/file").status().code(),
+            StatusCode::kIoError);
+  EXPECT_EQ(LoadHinBinary("/no/such/file").status().code(),
+            StatusCode::kIoError);
+}
+
+TEST(GraphIoTest, EmptyNetworkRoundTrips) {
+  GraphBuilder builder;
+  const HinPtr empty = builder.Finish().value();
+  const std::string path = TempPath("empty.hin");
+  ASSERT_TRUE(SaveHinBinary(*empty, path).ok());
+  const HinPtr loaded = LoadHinBinary(path).value();
+  EXPECT_EQ(loaded->TotalVertices(), 0u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace netout

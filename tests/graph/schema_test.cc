@@ -1,0 +1,134 @@
+#include "graph/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace netout {
+namespace {
+
+class SchemaFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    author_ = schema_.AddVertexType("author").value();
+    paper_ = schema_.AddVertexType("paper").value();
+    venue_ = schema_.AddVertexType("venue").value();
+    writes_ = schema_.AddEdgeType("writes", author_, paper_).value();
+    published_ = schema_.AddEdgeType("published_in", paper_, venue_).value();
+  }
+
+  Schema schema_;
+  TypeId author_, paper_, venue_;
+  EdgeTypeId writes_, published_;
+};
+
+TEST_F(SchemaFixture, VertexTypeRegistrationAndLookup) {
+  EXPECT_EQ(schema_.num_vertex_types(), 3u);
+  EXPECT_EQ(schema_.FindVertexType("author").value(), author_);
+  EXPECT_EQ(schema_.FindVertexType("AUTHOR").value(), author_);  // ci
+  EXPECT_EQ(schema_.VertexTypeName(author_), "author");
+  EXPECT_FALSE(schema_.FindVertexType("nonexistent").ok());
+}
+
+TEST_F(SchemaFixture, DuplicateVertexTypeRejected) {
+  auto r = schema_.AddVertexType("Author");  // case-insensitive duplicate
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(SchemaFixture, EmptyVertexTypeNameRejected) {
+  EXPECT_FALSE(schema_.AddVertexType("").ok());
+  EXPECT_FALSE(schema_.AddVertexType("  ").ok());
+}
+
+TEST_F(SchemaFixture, EdgeTypeRegistrationAndLookup) {
+  EXPECT_EQ(schema_.num_edge_types(), 2u);
+  EXPECT_EQ(schema_.FindEdgeType("writes").value(), writes_);
+  EXPECT_EQ(schema_.FindEdgeType("WRITES").value(), writes_);
+  const EdgeTypeInfo& info = schema_.edge_type(writes_);
+  EXPECT_EQ(info.name, "writes");
+  EXPECT_EQ(info.src, author_);
+  EXPECT_EQ(info.dst, paper_);
+}
+
+TEST_F(SchemaFixture, DuplicateEdgeTypeRejected) {
+  auto r = schema_.AddEdgeType("writes", paper_, venue_);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(SchemaFixture, EdgeTypeWithUnknownEndpointRejected) {
+  auto r = schema_.AddEdgeType("bad", author_, static_cast<TypeId>(99));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(SchemaFixture, ResolveStepForwardAndReverse) {
+  const EdgeStep forward = schema_.ResolveStep(author_, paper_).value();
+  EXPECT_EQ(forward.edge_type, writes_);
+  EXPECT_EQ(forward.direction, Direction::kForward);
+
+  const EdgeStep reverse = schema_.ResolveStep(paper_, author_).value();
+  EXPECT_EQ(reverse.edge_type, writes_);
+  EXPECT_EQ(reverse.direction, Direction::kReverse);
+}
+
+TEST_F(SchemaFixture, ResolveStepUnconnectedPairIsNotFound) {
+  auto r = schema_.ResolveStep(author_, venue_);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(SchemaFixture, AmbiguousRelationRequiresAnnotation) {
+  // Add a second edge type between author and paper.
+  ASSERT_TRUE(schema_.AddEdgeType("reviews", author_, paper_).ok());
+  auto r = schema_.ResolveStep(author_, paper_);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+
+  // Disambiguated by name it works again.
+  const EdgeStep step =
+      schema_.ResolveStepByName("reviews", author_, paper_).value();
+  EXPECT_EQ(schema_.edge_type(step.edge_type).name, "reviews");
+  EXPECT_EQ(step.direction, Direction::kForward);
+}
+
+TEST_F(SchemaFixture, SelfRelationIsAlwaysAmbiguous) {
+  ASSERT_TRUE(schema_.AddEdgeType("cites", paper_, paper_).ok());
+  auto r = schema_.ResolveStep(paper_, paper_);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  // Even by name the orientation is ambiguous only at the ResolveStep
+  // level; ResolveStepByName prefers forward for self-relations.
+  const EdgeStep step =
+      schema_.ResolveStepByName("cites", paper_, paper_).value();
+  EXPECT_EQ(step.direction, Direction::kForward);
+}
+
+TEST_F(SchemaFixture, ResolveStepByNameValidatesEndpoints) {
+  auto r = schema_.ResolveStepByName("writes", paper_, venue_);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(schema_.ResolveStepByName("ghost", author_, paper_).ok());
+}
+
+TEST_F(SchemaFixture, StepsFromEnumeratesBothOrientations) {
+  const std::vector<EdgeStep> from_paper = schema_.StepsFrom(paper_);
+  // paper -> author (writes reverse) and paper -> venue (published fwd).
+  ASSERT_EQ(from_paper.size(), 2u);
+  for (const EdgeStep& step : from_paper) {
+    EXPECT_EQ(schema_.StepSource(step), paper_);
+  }
+  const std::vector<EdgeStep> from_venue = schema_.StepsFrom(venue_);
+  ASSERT_EQ(from_venue.size(), 1u);
+  EXPECT_EQ(schema_.StepTarget(from_venue[0]), paper_);
+}
+
+TEST_F(SchemaFixture, StepSourceTargetAndOpposite) {
+  const EdgeStep step = schema_.ResolveStep(author_, paper_).value();
+  EXPECT_EQ(schema_.StepSource(step), author_);
+  EXPECT_EQ(schema_.StepTarget(step), paper_);
+  EXPECT_EQ(Opposite(Direction::kForward), Direction::kReverse);
+  EXPECT_EQ(Opposite(Direction::kReverse), Direction::kForward);
+}
+
+}  // namespace
+}  // namespace netout

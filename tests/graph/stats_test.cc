@@ -1,0 +1,64 @@
+#include "graph/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+
+namespace netout {
+namespace {
+
+TEST(GraphStatsTest, ComputesCountsAndDegrees) {
+  GraphBuilder builder;
+  const TypeId author = builder.AddVertexType("author").value();
+  const TypeId paper = builder.AddVertexType("paper").value();
+  builder.AddEdgeType("writes", author, paper).value();
+  ASSERT_TRUE(builder.AddEdgeByName("writes", "Ava", "P1").ok());
+  ASSERT_TRUE(builder.AddEdgeByName("writes", "Ava", "P2").ok());
+  ASSERT_TRUE(builder.AddEdgeByName("writes", "Liam", "P1").ok());
+  builder.AddVertex(author, "Hermit").value();
+  const HinPtr hin = builder.Finish().value();
+
+  const GraphStats stats = ComputeGraphStats(*hin);
+  EXPECT_EQ(stats.total_vertices, 5u);
+  EXPECT_EQ(stats.total_edges, 3u);
+  ASSERT_EQ(stats.vertex_counts.size(), 2u);
+  EXPECT_EQ(stats.vertex_counts[0],
+            (std::pair<std::string, std::size_t>{"author", 3}));
+  EXPECT_EQ(stats.vertex_counts[1],
+            (std::pair<std::string, std::size_t>{"paper", 2}));
+
+  ASSERT_EQ(stats.degree_stats.size(), 1u);
+  const DegreeStats& d = stats.degree_stats[0];
+  EXPECT_EQ(d.label, "writes (author->paper)");
+  EXPECT_EQ(d.edges, 3u);
+  EXPECT_EQ(d.rows, 3u);
+  EXPECT_EQ(d.isolated, 1u);  // Hermit
+  EXPECT_EQ(d.max_degree, 2u);
+  EXPECT_DOUBLE_EQ(d.mean_degree, 1.0);
+  EXPECT_GT(stats.memory_bytes, 0u);
+}
+
+TEST(GraphStatsTest, EmptyNetwork) {
+  GraphBuilder builder;
+  const HinPtr hin = builder.Finish().value();
+  const GraphStats stats = ComputeGraphStats(*hin);
+  EXPECT_EQ(stats.total_vertices, 0u);
+  EXPECT_EQ(stats.total_edges, 0u);
+  EXPECT_TRUE(stats.vertex_counts.empty());
+  EXPECT_TRUE(stats.degree_stats.empty());
+}
+
+TEST(GraphStatsTest, ToStringMentionsEverySection) {
+  GraphBuilder builder;
+  const TypeId a = builder.AddVertexType("alpha").value();
+  builder.AddEdgeType("self", a, a).value();
+  ASSERT_TRUE(builder.AddEdgeByName("self", "x", "y").ok());
+  const HinPtr hin = builder.Finish().value();
+  const std::string report = ComputeGraphStats(*hin).ToString();
+  EXPECT_NE(report.find("vertices: 2"), std::string::npos);
+  EXPECT_NE(report.find("type alpha"), std::string::npos);
+  EXPECT_NE(report.find("self (alpha->alpha)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace netout

@@ -1,0 +1,135 @@
+#include "graph/subgraph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+
+namespace netout {
+namespace {
+
+class SubgraphFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    GraphBuilder builder;
+    author_ = builder.AddVertexType("author").value();
+    paper_ = builder.AddVertexType("paper").value();
+    venue_ = builder.AddVertexType("venue").value();
+    builder.AddEdgeType("writes", author_, paper_).value();
+    builder.AddEdgeType("published_in", paper_, venue_).value();
+    // Ava-p1-KDD, Liam-p1, Liam-p2-ICDE, Zoe-p3-KDD (Zoe disconnected
+    // from the others except through KDD).
+    ASSERT_TRUE(builder.AddEdgeByName("writes", "Ava", "p1").ok());
+    ASSERT_TRUE(builder.AddEdgeByName("writes", "Liam", "p1").ok());
+    ASSERT_TRUE(builder.AddEdgeByName("writes", "Liam", "p2").ok());
+    ASSERT_TRUE(builder.AddEdgeByName("writes", "Zoe", "p3").ok());
+    ASSERT_TRUE(builder.AddEdgeByName("published_in", "p1", "KDD").ok());
+    ASSERT_TRUE(builder.AddEdgeByName("published_in", "p2", "ICDE").ok());
+    ASSERT_TRUE(builder.AddEdgeByName("published_in", "p3", "KDD").ok());
+    hin_ = builder.Finish().value();
+  }
+
+  VertexRef V(const char* type, const char* name) {
+    return hin_->FindVertex(type, name).value();
+  }
+
+  TypeId author_, paper_, venue_;
+  HinPtr hin_;
+};
+
+TEST_F(SubgraphFixture, KeepsOnlyFullySelectedLinks) {
+  const std::vector<VertexRef> selection = {V("author", "Ava"),
+                                            V("author", "Liam"),
+                                            V("paper", "p1")};
+  const HinPtr sub = InducedSubgraph(*hin_, selection).value();
+  EXPECT_EQ(sub->TotalVertices(), 3u);
+  // Only the two writes links into p1 survive (p1's venue is cut).
+  EXPECT_EQ(sub->TotalEdges(), 2u);
+  // Schema preserved verbatim.
+  EXPECT_EQ(sub->schema().num_vertex_types(), 3u);
+  EXPECT_EQ(sub->schema().num_edge_types(), 2u);
+  // Names preserved, ids renumbered densely.
+  EXPECT_TRUE(sub->FindVertex("author", "Ava").ok());
+  EXPECT_TRUE(sub->FindVertex("paper", "p1").ok());
+  EXPECT_FALSE(sub->FindVertex("paper", "p2").ok());
+  EXPECT_EQ(sub->NumVertices(venue_), 0u);
+}
+
+TEST_F(SubgraphFixture, EmptySelection) {
+  const HinPtr sub = InducedSubgraph(*hin_, {}).value();
+  EXPECT_EQ(sub->TotalVertices(), 0u);
+  EXPECT_EQ(sub->TotalEdges(), 0u);
+  EXPECT_EQ(sub->schema().num_vertex_types(), 3u);
+}
+
+TEST_F(SubgraphFixture, DuplicateSelectionIsIdempotent) {
+  const std::vector<VertexRef> selection = {
+      V("author", "Ava"), V("author", "Ava"), V("author", "Ava")};
+  const HinPtr sub = InducedSubgraph(*hin_, selection).value();
+  EXPECT_EQ(sub->TotalVertices(), 1u);
+}
+
+TEST_F(SubgraphFixture, InvalidSelectionRejected) {
+  const std::vector<VertexRef> bad = {VertexRef{author_, 999}};
+  auto result = InducedSubgraph(*hin_, bad);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(SubgraphFixture, FullSelectionReproducesTheNetwork) {
+  std::vector<VertexRef> all;
+  for (TypeId t = 0; t < hin_->schema().num_vertex_types(); ++t) {
+    for (LocalId v = 0; v < hin_->NumVertices(t); ++v) {
+      all.push_back(VertexRef{t, v});
+    }
+  }
+  const HinPtr sub = InducedSubgraph(*hin_, all).value();
+  EXPECT_EQ(sub->TotalVertices(), hin_->TotalVertices());
+  EXPECT_EQ(sub->TotalEdges(), hin_->TotalEdges());
+}
+
+TEST_F(SubgraphFixture, NeighborhoodSubgraphGrowsByHop) {
+  // hop 0: Ava alone.
+  const HinPtr hop0 =
+      NeighborhoodSubgraph(*hin_, V("author", "Ava"), 0).value();
+  EXPECT_EQ(hop0->TotalVertices(), 1u);
+  EXPECT_EQ(hop0->TotalEdges(), 0u);
+  // hop 1: Ava + p1.
+  const HinPtr hop1 =
+      NeighborhoodSubgraph(*hin_, V("author", "Ava"), 1).value();
+  EXPECT_EQ(hop1->TotalVertices(), 2u);
+  EXPECT_EQ(hop1->TotalEdges(), 1u);
+  // hop 2: + Liam + KDD.
+  const HinPtr hop2 =
+      NeighborhoodSubgraph(*hin_, V("author", "Ava"), 2).value();
+  EXPECT_EQ(hop2->TotalVertices(), 4u);
+  // hop 4: reaches Zoe through KDD-p3 and ICDE via Liam-p2.
+  const HinPtr hop4 =
+      NeighborhoodSubgraph(*hin_, V("author", "Ava"), 4).value();
+  EXPECT_TRUE(hop4->FindVertex("author", "Zoe").ok());
+  EXPECT_TRUE(hop4->FindVertex("venue", "ICDE").ok());
+  EXPECT_EQ(hop4->TotalVertices(), hin_->TotalVertices());
+  EXPECT_EQ(hop4->TotalEdges(), hin_->TotalEdges());
+}
+
+TEST_F(SubgraphFixture, NeighborhoodBadSeedRejected) {
+  auto result = NeighborhoodSubgraph(*hin_, VertexRef{venue_, 50}, 1);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(SubgraphFixture, MultiplicityPreserved) {
+  GraphBuilder builder;
+  const TypeId a = builder.AddVertexType("a").value();
+  const TypeId b = builder.AddVertexType("b").value();
+  const EdgeTypeId e = builder.AddEdgeType("e", a, b).value();
+  const VertexRef x = builder.AddVertex(a, "x").value();
+  const VertexRef y = builder.AddVertex(b, "y").value();
+  ASSERT_TRUE(builder.AddEdge(e, x, y, 3).ok());
+  const HinPtr hin = builder.Finish().value();
+  const HinPtr sub =
+      InducedSubgraph(*hin, std::vector<VertexRef>{x, y}).value();
+  EXPECT_EQ(sub->TotalEdges(), 3u);
+}
+
+}  // namespace
+}  // namespace netout

@@ -1,0 +1,142 @@
+#include "index/cached_index.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/biblio_gen.h"
+#include "index/pm_index.h"
+#include "metapath/evaluator.h"
+#include "query/engine.h"
+
+namespace netout {
+namespace {
+
+class CachedIndexFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    BiblioConfig config;
+    config.seed = 17;
+    config.num_areas = 3;
+    config.authors_per_area = 50;
+    config.papers_per_area = 150;
+    config.venues_per_area = 4;
+    config.terms_per_area = 30;
+    config.shared_terms = 15;
+    dataset_ = new BiblioDataset(GenerateBiblio(config).value());
+  }
+  static void TearDownTestSuite() { delete dataset_; }
+
+  static BiblioDataset* dataset_;
+};
+
+BiblioDataset* CachedIndexFixture::dataset_ = nullptr;
+
+TEST_F(CachedIndexFixture, CachedEvaluationMatchesBaseline) {
+  CachedIndex cache;
+  NeighborVectorEvaluator baseline(dataset_->hin, nullptr);
+  NeighborVectorEvaluator cached(dataset_->hin, &cache);
+  const MetaPath apv =
+      MetaPath::Parse(dataset_->hin->schema(), "author.paper.venue").value();
+  // Two passes: the first warms the cache, the second hits it; results
+  // must be identical throughout.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (LocalId v = 0; v < 30; ++v) {
+      const VertexRef vertex{dataset_->author_type, v};
+      const SparseVector expect =
+          baseline.Evaluate(vertex, apv, nullptr).value();
+      const SparseVector got = cached.Evaluate(vertex, apv, nullptr).value();
+      ASSERT_EQ(expect.nnz(), got.nnz());
+      for (std::size_t i = 0; i < expect.nnz(); ++i) {
+        EXPECT_EQ(expect.indices()[i], got.indices()[i]);
+        EXPECT_DOUBLE_EQ(expect.values()[i], got.values()[i]);
+      }
+    }
+  }
+  EXPECT_EQ(cache.stats().insertions, 30u);
+  EXPECT_EQ(cache.stats().hits, 30u);  // second pass all hits
+  EXPECT_EQ(cache.num_entries(), 30u);
+}
+
+TEST_F(CachedIndexFixture, RepeatedQueriesHitTheCache) {
+  CachedIndex cache;
+  EngineOptions options;
+  options.index = &cache;
+  Engine engine(dataset_->hin, options);
+  const std::string query = "FIND OUTLIERS FROM author{\"" +
+                            dataset_->star_names[0] +
+                            "\"}.paper.author JUDGED BY "
+                            "author.paper.venue TOP 5;";
+  const QueryResult cold = engine.Execute(query).value();
+  EXPECT_EQ(cold.stats.eval.index_hits, 0u);
+  EXPECT_GT(cold.stats.eval.index_misses, 0u);
+
+  const QueryResult warm = engine.Execute(query).value();
+  EXPECT_GT(warm.stats.eval.index_hits, 0u);
+  EXPECT_EQ(warm.stats.eval.index_misses, 0u);
+  // Identical answers either way.
+  ASSERT_EQ(cold.outliers.size(), warm.outliers.size());
+  for (std::size_t i = 0; i < cold.outliers.size(); ++i) {
+    EXPECT_EQ(cold.outliers[i].name, warm.outliers[i].name);
+    EXPECT_DOUBLE_EQ(cold.outliers[i].score, warm.outliers[i].score);
+  }
+}
+
+TEST_F(CachedIndexFixture, WrapsABaseIndexWithoutDoubleCaching) {
+  const auto pm = PmIndex::Build(*dataset_->hin).value();
+  CachedIndex cache(pm.get());
+  NeighborVectorEvaluator evaluator(dataset_->hin, &cache);
+  const MetaPath apv =
+      MetaPath::Parse(dataset_->hin->schema(), "author.paper.venue").value();
+  for (LocalId v = 0; v < 20; ++v) {
+    evaluator.Evaluate(VertexRef{dataset_->author_type, v}, apv, nullptr)
+        .value();
+  }
+  // Everything hit the PM base: no cache population at all.
+  EXPECT_EQ(cache.num_entries(), 0u);
+  EXPECT_EQ(cache.stats().insertions, 0u);
+  EXPECT_EQ(cache.MemoryBytes(), 0u);
+}
+
+TEST_F(CachedIndexFixture, EvictsLruUnderBudget) {
+  CachedIndex::Options options;
+  options.capacity_bytes = 4096;  // tiny: forces eviction
+  CachedIndex cache(nullptr, options);
+  NeighborVectorEvaluator evaluator(dataset_->hin, &cache);
+  const MetaPath apv =
+      MetaPath::Parse(dataset_->hin->schema(), "author.paper.venue").value();
+  for (LocalId v = 0; v < 100; ++v) {
+    evaluator.Evaluate(VertexRef{dataset_->author_type, v}, apv, nullptr)
+        .value();
+  }
+  EXPECT_LE(cache.MemoryBytes(), options.capacity_bytes);
+  EXPECT_GT(cache.stats().evictions, 0u);
+  EXPECT_LT(cache.num_entries(), 100u);
+}
+
+TEST_F(CachedIndexFixture, OversizedEntryIsNotAdmitted) {
+  CachedIndex::Options options;
+  options.capacity_bytes = 1;  // nothing fits
+  CachedIndex cache(nullptr, options);
+  NeighborVectorEvaluator evaluator(dataset_->hin, &cache);
+  const MetaPath apv =
+      MetaPath::Parse(dataset_->hin->schema(), "author.paper.venue").value();
+  evaluator.Evaluate(VertexRef{dataset_->author_type, 0}, apv, nullptr)
+      .value();
+  EXPECT_EQ(cache.num_entries(), 0u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+TEST_F(CachedIndexFixture, ClearEmptiesTheCache) {
+  CachedIndex cache;
+  NeighborVectorEvaluator evaluator(dataset_->hin, &cache);
+  const MetaPath apv =
+      MetaPath::Parse(dataset_->hin->schema(), "author.paper.venue").value();
+  evaluator.Evaluate(VertexRef{dataset_->author_type, 0}, apv, nullptr)
+      .value();
+  ASSERT_GT(cache.num_entries(), 0u);
+  cache.Clear();
+  EXPECT_EQ(cache.num_entries(), 0u);
+  EXPECT_EQ(cache.MemoryBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace netout

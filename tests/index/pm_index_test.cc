@@ -1,0 +1,121 @@
+#include "index/pm_index.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+#include "metapath/traversal.h"
+
+namespace netout {
+namespace {
+
+class PmIndexFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    GraphBuilder builder;
+    author_ = builder.AddVertexType("author").value();
+    paper_ = builder.AddVertexType("paper").value();
+    venue_ = builder.AddVertexType("venue").value();
+    builder.AddEdgeType("writes", author_, paper_).value();
+    builder.AddEdgeType("published_in", paper_, venue_).value();
+    ASSERT_TRUE(builder.AddEdgeByName("writes", "Ava", "p1").ok());
+    ASSERT_TRUE(builder.AddEdgeByName("writes", "Liam", "p1").ok());
+    ASSERT_TRUE(builder.AddEdgeByName("writes", "Zoe", "p2").ok());
+    ASSERT_TRUE(builder.AddEdgeByName("published_in", "p1", "KDD").ok());
+    ASSERT_TRUE(builder.AddEdgeByName("published_in", "p2", "ICDE").ok());
+    hin_ = builder.Finish().value();
+    index_ = PmIndex::Build(*hin_).value();
+  }
+
+  TypeId author_, paper_, venue_;
+  HinPtr hin_;
+  std::unique_ptr<PmIndex> index_;
+};
+
+TEST_F(PmIndexFixture, MaterializesEveryComposableTwoStepKey) {
+  // Steps: A->P, P->A, P->V, V->P. Composable pairs:
+  //   A->P with {P->A, P->V}                       = 2
+  //   P->A with {A->P}                             = 1
+  //   P->V with {V->P}                             = 1
+  //   V->P with {P->A, P->V}                       = 2
+  EXPECT_EQ(index_->num_relations(), 6u);
+  EXPECT_EQ(index_->Keys().size(), 6u);
+  EXPECT_GE(index_->build_time_nanos(), 0);
+}
+
+TEST_F(PmIndexFixture, LookupMatchesTraversal) {
+  PathCounter counter(hin_);
+  const Schema& schema = hin_->schema();
+  for (const TwoStepKey& key : index_->Keys()) {
+    const TypeId source = schema.StepSource(key.first);
+    const MetaPath path =
+        MetaPath::FromSteps(schema, {key.first, key.second}).value();
+    for (LocalId row = 0; row < hin_->NumVertices(source); ++row) {
+      const auto view = index_->Lookup(key, row);
+      ASSERT_TRUE(view.has_value());
+      const SparseVector expect =
+          counter.NeighborVector(VertexRef{source, row}, path).value();
+      ASSERT_EQ(view->nnz(), expect.nnz());
+      for (std::size_t i = 0; i < view->nnz(); ++i) {
+        EXPECT_EQ(view->indices[i], expect.indices()[i]);
+        EXPECT_DOUBLE_EQ(view->values[i], expect.values()[i]);
+      }
+    }
+  }
+}
+
+TEST_F(PmIndexFixture, LookupMissesOnUnknownKeyOrRow) {
+  // A key that does not exist: (A->P, A->P) does not chain, so fabricate
+  // one from valid steps that is not materialized.
+  const EdgeStep a_to_p = hin_->schema().ResolveStep(author_, paper_).value();
+  const TwoStepKey bogus{a_to_p, a_to_p};
+  EXPECT_FALSE(index_->Lookup(bogus, 0).has_value());
+
+  const EdgeStep p_to_v = hin_->schema().ResolveStep(paper_, venue_).value();
+  const TwoStepKey valid{a_to_p, p_to_v};
+  EXPECT_TRUE(index_->Lookup(valid, 0).has_value());
+  EXPECT_FALSE(index_->Lookup(valid, 12345).has_value());
+}
+
+TEST_F(PmIndexFixture, RelationAccessor) {
+  const EdgeStep a_to_p = hin_->schema().ResolveStep(author_, paper_).value();
+  const EdgeStep p_to_v = hin_->schema().ResolveStep(paper_, venue_).value();
+  const RelationMatrix* matrix =
+      index_->Relation(TwoStepKey{a_to_p, p_to_v});
+  ASSERT_NE(matrix, nullptr);
+  EXPECT_EQ(matrix->num_rows(), hin_->NumVertices(author_));
+  EXPECT_EQ(index_->Relation(TwoStepKey{a_to_p, a_to_p}), nullptr);
+}
+
+TEST_F(PmIndexFixture, MemoryAccountingPositive) {
+  EXPECT_GT(index_->MemoryBytes(), 0u);
+}
+
+TEST(PmIndexEdgeCases, EmptyGraph) {
+  GraphBuilder builder;
+  const HinPtr hin = builder.Finish().value();
+  const auto index = PmIndex::Build(*hin).value();
+  EXPECT_EQ(index->num_relations(), 0u);
+}
+
+TEST(PmIndexEdgeCases, SelfRelationBothOrientations) {
+  GraphBuilder builder;
+  const TypeId paper = builder.AddVertexType("paper").value();
+  builder.AddEdgeType("cites", paper, paper).value();
+  ASSERT_TRUE(builder.AddEdgeByName("cites", "a", "b").ok());
+  ASSERT_TRUE(builder.AddEdgeByName("cites", "b", "c").ok());
+  const HinPtr hin = builder.Finish().value();
+  const auto index = PmIndex::Build(*hin).value();
+  // Steps from paper: cites-forward and cites-reverse; all 4 pairs chain.
+  EXPECT_EQ(index->num_relations(), 4u);
+
+  // citing-of-citing: a ->(cites) b ->(cites) c.
+  const EdgeStep fwd{0, Direction::kForward};
+  const auto row = index->Lookup(TwoStepKey{fwd, fwd},
+                                 hin->FindVertex("paper", "a")->local);
+  ASSERT_TRUE(row.has_value());
+  ASSERT_EQ(row->nnz(), 1u);
+  EXPECT_EQ(row->indices[0], hin->FindVertex("paper", "c")->local);
+}
+
+}  // namespace
+}  // namespace netout

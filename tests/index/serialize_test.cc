@@ -1,0 +1,142 @@
+#include "index/serialize.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/binary_io.h"
+#include "graph/builder.h"
+
+namespace netout {
+namespace {
+
+std::string TempPath(const char* name) {
+  return (std::filesystem::temp_directory_path() /
+          (std::string("netout_idx_") + name))
+      .string();
+}
+
+HinPtr MakeSample() {
+  GraphBuilder builder;
+  const TypeId author = builder.AddVertexType("author").value();
+  const TypeId paper = builder.AddVertexType("paper").value();
+  const TypeId venue = builder.AddVertexType("venue").value();
+  builder.AddEdgeType("writes", author, paper).value();
+  builder.AddEdgeType("published_in", paper, venue).value();
+  EXPECT_TRUE(builder.AddEdgeByName("writes", "Ava", "p1").ok());
+  EXPECT_TRUE(builder.AddEdgeByName("writes", "Liam", "p1").ok());
+  EXPECT_TRUE(builder.AddEdgeByName("writes", "Zoe", "p2").ok());
+  EXPECT_TRUE(builder.AddEdgeByName("published_in", "p1", "KDD").ok());
+  EXPECT_TRUE(builder.AddEdgeByName("published_in", "p2", "ICDE").ok());
+  return builder.Finish().value();
+}
+
+HinPtr MakeDifferent() {
+  GraphBuilder builder;
+  const TypeId author = builder.AddVertexType("author").value();
+  const TypeId paper = builder.AddVertexType("paper").value();
+  const TypeId venue = builder.AddVertexType("venue").value();
+  builder.AddEdgeType("writes", author, paper).value();
+  builder.AddEdgeType("published_in", paper, venue).value();
+  EXPECT_TRUE(builder.AddEdgeByName("writes", "OnlyOne", "p1").ok());
+  EXPECT_TRUE(builder.AddEdgeByName("published_in", "p1", "X").ok());
+  return builder.Finish().value();
+}
+
+TEST(PmSerializeTest, RoundTrip) {
+  const HinPtr hin = MakeSample();
+  const auto index = PmIndex::Build(*hin).value();
+  const std::string path = TempPath("pm.idx");
+  ASSERT_TRUE(SavePmIndex(*index, path).ok());
+  const auto loaded = LoadPmIndex(*hin, path).value();
+  EXPECT_EQ(loaded->num_relations(), index->num_relations());
+  for (const TwoStepKey& key : index->Keys()) {
+    const TypeId source = hin->schema().StepSource(key.first);
+    for (LocalId row = 0; row < hin->NumVertices(source); ++row) {
+      const auto a = index->Lookup(key, row);
+      const auto b = loaded->Lookup(key, row);
+      ASSERT_EQ(a.has_value(), b.has_value());
+      ASSERT_EQ(a->nnz(), b->nnz());
+      for (std::size_t i = 0; i < a->nnz(); ++i) {
+        EXPECT_EQ(a->indices[i], b->indices[i]);
+        EXPECT_DOUBLE_EQ(a->values[i], b->values[i]);
+      }
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(PmSerializeTest, RejectsMismatchedGraph) {
+  const HinPtr hin = MakeSample();
+  const auto index = PmIndex::Build(*hin).value();
+  const std::string path = TempPath("pm_mismatch.idx");
+  ASSERT_TRUE(SavePmIndex(*index, path).ok());
+  const HinPtr other = MakeDifferent();
+  auto r = LoadPmIndex(*other, path);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(PmSerializeTest, RejectsBitFlip) {
+  const HinPtr hin = MakeSample();
+  const auto index = PmIndex::Build(*hin).value();
+  const std::string path = TempPath("pm_corrupt.idx");
+  ASSERT_TRUE(SavePmIndex(*index, path).ok());
+  std::string bytes = ReadFileToString(path).value();
+  bytes[bytes.size() / 2] ^= 0x10;
+  ASSERT_TRUE(WriteStringToFile(path, bytes).ok());
+  EXPECT_EQ(LoadPmIndex(*hin, path).status().code(),
+            StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(SpmSerializeTest, RoundTrip) {
+  const HinPtr hin = MakeSample();
+  const VertexRef ava = hin->FindVertex("author", "Ava").value();
+  const VertexRef zoe = hin->FindVertex("author", "Zoe").value();
+  const auto index = SpmIndex::BuildForVertices(*hin, {ava, zoe}).value();
+  const std::string path = TempPath("spm.idx");
+  ASSERT_TRUE(SaveSpmIndex(*index, path).ok());
+  const auto loaded = LoadSpmIndex(*hin, path).value();
+  EXPECT_EQ(loaded->num_indexed_vertices(), 2u);
+  for (const auto& [key, rows] : index->rows()) {
+    for (const auto& [row, vec] : rows) {
+      const auto got = loaded->Lookup(key, row);
+      ASSERT_TRUE(got.has_value());
+      ASSERT_EQ(got->nnz(), vec.nnz());
+      for (std::size_t i = 0; i < vec.nnz(); ++i) {
+        EXPECT_EQ(got->indices[i], vec.indices()[i]);
+        EXPECT_DOUBLE_EQ(got->values[i], vec.values()[i]);
+      }
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SpmSerializeTest, RejectsWrongMagic) {
+  const HinPtr hin = MakeSample();
+  const VertexRef ava = hin->FindVertex("author", "Ava").value();
+  const auto pm_style = SpmIndex::BuildForVertices(*hin, {ava}).value();
+  const std::string path = TempPath("spm_magic.idx");
+  ASSERT_TRUE(SaveSpmIndex(*pm_style, path).ok());
+  // Loading an SPM file as a PM index must fail on magic.
+  EXPECT_EQ(LoadPmIndex(*hin, path).status().code(),
+            StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(SpmSerializeTest, EmptyIndexRoundTrips) {
+  const HinPtr hin = MakeSample();
+  const auto index = SpmIndex::BuildForVertices(*hin, {}).value();
+  const std::string path = TempPath("spm_empty.idx");
+  ASSERT_TRUE(SaveSpmIndex(*index, path).ok());
+  const auto loaded = LoadSpmIndex(*hin, path).value();
+  EXPECT_EQ(loaded->num_indexed_vertices(), 0u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace netout

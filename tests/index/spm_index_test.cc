@@ -1,0 +1,134 @@
+#include "index/spm_index.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+#include "index/pm_index.h"
+#include "metapath/traversal.h"
+
+namespace netout {
+namespace {
+
+HinPtr MakeSmallDblp() {
+  GraphBuilder builder;
+  const TypeId author = builder.AddVertexType("author").value();
+  const TypeId paper = builder.AddVertexType("paper").value();
+  const TypeId venue = builder.AddVertexType("venue").value();
+  builder.AddEdgeType("writes", author, paper).value();
+  builder.AddEdgeType("published_in", paper, venue).value();
+  EXPECT_TRUE(builder.AddEdgeByName("writes", "Ava", "p1").ok());
+  EXPECT_TRUE(builder.AddEdgeByName("writes", "Liam", "p1").ok());
+  EXPECT_TRUE(builder.AddEdgeByName("writes", "Zoe", "p2").ok());
+  EXPECT_TRUE(builder.AddEdgeByName("writes", "Ava", "p2").ok());
+  EXPECT_TRUE(builder.AddEdgeByName("published_in", "p1", "KDD").ok());
+  EXPECT_TRUE(builder.AddEdgeByName("published_in", "p2", "ICDE").ok());
+  return builder.Finish().value();
+}
+
+TEST(RelativeFrequenciesTest, CountsPerQueryOnce) {
+  const VertexRef a{0, 0}, b{0, 1}, c{0, 2};
+  // a appears in 3/4 queries (duplicates within a query count once),
+  // b in 2/4, c in 1/4.
+  const std::vector<std::vector<VertexRef>> queries = {
+      {a, a, b}, {a, b}, {a}, {c}};
+  const auto freq = RelativeFrequencies(queries);
+  EXPECT_DOUBLE_EQ(freq.at(a), 0.75);
+  EXPECT_DOUBLE_EQ(freq.at(b), 0.5);
+  EXPECT_DOUBLE_EQ(freq.at(c), 0.25);
+}
+
+TEST(RelativeFrequenciesTest, EmptyQuerySet) {
+  EXPECT_TRUE(RelativeFrequencies({}).empty());
+}
+
+TEST(SpmIndexTest, ThresholdSelectsHotVertices) {
+  const HinPtr hin = MakeSmallDblp();
+  const VertexRef ava = hin->FindVertex("author", "Ava").value();
+  const VertexRef liam = hin->FindVertex("author", "Liam").value();
+  // Ava in 100% of queries, Liam in 50%.
+  const std::vector<std::vector<VertexRef>> queries = {{ava, liam}, {ava}};
+
+  SpmOptions options;
+  options.relative_frequency_threshold = 0.6;
+  const auto index = SpmIndex::Build(*hin, queries, options).value();
+  EXPECT_EQ(index->num_indexed_vertices(), 1u);  // only Ava
+
+  options.relative_frequency_threshold = 0.4;
+  const auto index2 = SpmIndex::Build(*hin, queries, options).value();
+  EXPECT_EQ(index2->num_indexed_vertices(), 2u);  // both
+}
+
+TEST(SpmIndexTest, LowerThresholdNeverShrinksIndex) {
+  const HinPtr hin = MakeSmallDblp();
+  const VertexRef ava = hin->FindVertex("author", "Ava").value();
+  const VertexRef liam = hin->FindVertex("author", "Liam").value();
+  const VertexRef zoe = hin->FindVertex("author", "Zoe").value();
+  const std::vector<std::vector<VertexRef>> queries = {
+      {ava, liam}, {ava}, {ava, zoe}, {ava}};
+  std::size_t previous_bytes = 0;
+  std::size_t previous_vertices = 0;
+  for (double threshold : {1.0, 0.5, 0.26, 0.1}) {
+    SpmOptions options;
+    options.relative_frequency_threshold = threshold;
+    const auto index = SpmIndex::Build(*hin, queries, options).value();
+    EXPECT_GE(index->num_indexed_vertices(), previous_vertices);
+    EXPECT_GE(index->MemoryBytes(), previous_bytes);
+    previous_vertices = index->num_indexed_vertices();
+    previous_bytes = index->MemoryBytes();
+  }
+}
+
+TEST(SpmIndexTest, IndexedRowsMatchPmIndex) {
+  const HinPtr hin = MakeSmallDblp();
+  const VertexRef ava = hin->FindVertex("author", "Ava").value();
+  const auto spm = SpmIndex::BuildForVertices(*hin, {ava}).value();
+  const auto pm = PmIndex::Build(*hin).value();
+  for (const TwoStepKey& key : pm->Keys()) {
+    if (hin->schema().StepSource(key.first) != ava.type) continue;
+    const auto spm_row = spm->Lookup(key, ava.local);
+    const auto pm_row = pm->Lookup(key, ava.local);
+    ASSERT_TRUE(spm_row.has_value());
+    ASSERT_TRUE(pm_row.has_value());
+    ASSERT_EQ(spm_row->nnz(), pm_row->nnz());
+    for (std::size_t i = 0; i < spm_row->nnz(); ++i) {
+      EXPECT_EQ(spm_row->indices[i], pm_row->indices[i]);
+      EXPECT_DOUBLE_EQ(spm_row->values[i], pm_row->values[i]);
+    }
+  }
+}
+
+TEST(SpmIndexTest, LookupMissesForUnselectedVertices) {
+  const HinPtr hin = MakeSmallDblp();
+  const VertexRef ava = hin->FindVertex("author", "Ava").value();
+  const VertexRef zoe = hin->FindVertex("author", "Zoe").value();
+  const auto spm = SpmIndex::BuildForVertices(*hin, {ava}).value();
+  const EdgeStep a_to_p = hin->schema().ResolveStep(0, 1).value();
+  const EdgeStep p_to_v = hin->schema().ResolveStep(1, 2).value();
+  const TwoStepKey key{a_to_p, p_to_v};
+  EXPECT_TRUE(spm->Lookup(key, ava.local).has_value());
+  EXPECT_FALSE(spm->Lookup(key, zoe.local).has_value());
+}
+
+TEST(SpmIndexTest, DuplicateSelectionIsDeduplicated) {
+  const HinPtr hin = MakeSmallDblp();
+  const VertexRef ava = hin->FindVertex("author", "Ava").value();
+  const auto spm = SpmIndex::BuildForVertices(*hin, {ava, ava, ava}).value();
+  EXPECT_EQ(spm->num_indexed_vertices(), 1u);
+}
+
+TEST(SpmIndexTest, InvalidSelectionRejected) {
+  const HinPtr hin = MakeSmallDblp();
+  auto r = SpmIndex::BuildForVertices(*hin, {VertexRef{0, 999}});
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(SpmIndexTest, EmptySelectionGivesEmptyIndex) {
+  const HinPtr hin = MakeSmallDblp();
+  const auto spm = SpmIndex::BuildForVertices(*hin, {}).value();
+  EXPECT_EQ(spm->num_indexed_vertices(), 0u);
+  EXPECT_EQ(spm->MemoryBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace netout

@@ -1,0 +1,174 @@
+// Differential testing of the three execution strategies: Baseline
+// (pure traversal), PM (full pre-materialization) and SPM (selective
+// pre-materialization) must return byte-identical outlier rankings for
+// every Table 4 query template.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "datagen/biblio_gen.h"
+#include "datagen/workload.h"
+#include "index/cached_index.h"
+#include "index/pm_index.h"
+#include "index/spm_index.h"
+#include "query/engine.h"
+
+namespace netout {
+namespace {
+
+class IndexConsistencyFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    BiblioConfig config;
+    config.seed = 21;
+    config.num_areas = 3;
+    config.authors_per_area = 60;
+    config.papers_per_area = 200;
+    config.venues_per_area = 4;
+    config.terms_per_area = 40;
+    config.shared_terms = 20;
+    config.planted_outliers_per_area = 2;
+    config.low_visibility_per_area = 2;
+    dataset_ = new BiblioDataset(GenerateBiblio(config).value());
+    pm_ = PmIndex::Build(*dataset_->hin).value().release();
+
+    // SPM initialization from a Q1 query log.
+    WorkloadConfig workload;
+    workload.num_queries = 60;
+    workload.seed = 3;
+    const auto queries = GenerateWorkload(*dataset_->hin, "author",
+                                          QueryTemplate::kQ1, workload)
+                             .value();
+    Engine engine(dataset_->hin);
+    std::vector<std::vector<VertexRef>> init_sets;
+    for (const std::string& query : queries) {
+      init_sets.push_back(engine.CandidateVertices(query).value());
+    }
+    SpmOptions options;
+    options.relative_frequency_threshold = 0.01;
+    spm_ = SpmIndex::Build(*dataset_->hin, init_sets, options)
+               .value()
+               .release();
+  }
+
+  static void TearDownTestSuite() {
+    delete spm_;
+    delete pm_;
+    delete dataset_;
+  }
+
+  void ExpectIdenticalResults(const std::string& query) {
+    Engine baseline(dataset_->hin);
+    EngineOptions pm_options;
+    pm_options.index = pm_;
+    Engine pm_engine(dataset_->hin, pm_options);
+    EngineOptions spm_options;
+    spm_options.index = spm_;
+    Engine spm_engine(dataset_->hin, spm_options);
+    // Dynamic cache wrapping SPM: the fourth strategy, run twice so both
+    // the cold and the warm cache paths are compared.
+    CachedIndex cache(spm_);
+    EngineOptions cache_options;
+    cache_options.index = &cache;
+    Engine cache_engine(dataset_->hin, cache_options);
+
+    const QueryResult base = baseline.Execute(query).value();
+    const QueryResult with_pm = pm_engine.Execute(query).value();
+    const QueryResult with_spm = spm_engine.Execute(query).value();
+    const QueryResult with_cold_cache = cache_engine.Execute(query).value();
+    const QueryResult with_warm_cache = cache_engine.Execute(query).value();
+
+    ASSERT_EQ(base.outliers.size(), with_pm.outliers.size()) << query;
+    ASSERT_EQ(base.outliers.size(), with_spm.outliers.size()) << query;
+    ASSERT_EQ(base.outliers.size(), with_cold_cache.outliers.size())
+        << query;
+    ASSERT_EQ(base.outliers.size(), with_warm_cache.outliers.size())
+        << query;
+    for (std::size_t i = 0; i < base.outliers.size(); ++i) {
+      EXPECT_EQ(base.outliers[i].name, with_pm.outliers[i].name) << query;
+      EXPECT_NEAR(base.outliers[i].score, with_pm.outliers[i].score, 1e-9);
+      EXPECT_EQ(base.outliers[i].name, with_spm.outliers[i].name) << query;
+      EXPECT_NEAR(base.outliers[i].score, with_spm.outliers[i].score, 1e-9);
+      EXPECT_EQ(base.outliers[i].name, with_cold_cache.outliers[i].name)
+          << query;
+      EXPECT_NEAR(base.outliers[i].score,
+                  with_cold_cache.outliers[i].score, 1e-9);
+      EXPECT_EQ(base.outliers[i].name, with_warm_cache.outliers[i].name)
+          << query;
+      EXPECT_NEAR(base.outliers[i].score,
+                  with_warm_cache.outliers[i].score, 1e-9);
+    }
+  }
+
+  static BiblioDataset* dataset_;
+  static PmIndex* pm_;
+  static SpmIndex* spm_;
+};
+
+BiblioDataset* IndexConsistencyFixture::dataset_ = nullptr;
+PmIndex* IndexConsistencyFixture::pm_ = nullptr;
+SpmIndex* IndexConsistencyFixture::spm_ = nullptr;
+
+TEST_F(IndexConsistencyFixture, Q1TemplateConsistentAcrossStrategies) {
+  WorkloadConfig config;
+  config.num_queries = 15;
+  config.seed = 11;
+  const auto queries = GenerateWorkload(*dataset_->hin, "author",
+                                        QueryTemplate::kQ1, config)
+                           .value();
+  for (const std::string& query : queries) {
+    ExpectIdenticalResults(query);
+  }
+}
+
+TEST_F(IndexConsistencyFixture, Q2TemplateConsistentAcrossStrategies) {
+  WorkloadConfig config;
+  config.num_queries = 10;
+  config.seed = 12;
+  const auto queries = GenerateWorkload(*dataset_->hin, "author",
+                                        QueryTemplate::kQ2, config)
+                           .value();
+  for (const std::string& query : queries) {
+    ExpectIdenticalResults(query);
+  }
+}
+
+TEST_F(IndexConsistencyFixture, Q3TemplateConsistentAcrossStrategies) {
+  WorkloadConfig config;
+  config.num_queries = 5;
+  config.seed = 13;
+  const auto queries = GenerateWorkload(*dataset_->hin, "author",
+                                        QueryTemplate::kQ3, config)
+                           .value();
+  for (const std::string& query : queries) {
+    ExpectIdenticalResults(query);
+  }
+}
+
+TEST_F(IndexConsistencyFixture, ComplexQueryConsistent) {
+  ExpectIdenticalResults(
+      "FIND OUTLIERS FROM author{\"" + dataset_->star_names[0] +
+      "\"}.paper.author UNION author{\"" + dataset_->star_names[1] +
+      "\"}.paper.author AS A WHERE COUNT(A.paper) >= 2 "
+      "JUDGED BY author.paper.venue : 2.0, author.paper.term "
+      "TOP 15;");
+}
+
+TEST_F(IndexConsistencyFixture, SpmActuallyMixesHitsAndMisses) {
+  EngineOptions spm_options;
+  spm_options.index = spm_;
+  Engine spm_engine(dataset_->hin, spm_options);
+  const std::string query =
+      "FIND OUTLIERS FROM author{\"" + dataset_->star_names[0] +
+      "\"}.paper.author JUDGED BY author.paper.venue TOP 10;";
+  const QueryResult result = spm_engine.Execute(query).value();
+  // A star's coauthor set contains both hot (indexed) and cold vertices.
+  EXPECT_GT(result.stats.eval.index_hits, 0u);
+  EXPECT_GT(result.stats.eval.index_misses, 0u);
+}
+
+}  // namespace
+}  // namespace netout

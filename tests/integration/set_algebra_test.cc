@@ -1,0 +1,109 @@
+// Algebraic laws of the candidate-set operators, checked end to end
+// through the query language on generated networks: commutativity of
+// UNION/INTERSECT, idempotence, EXCEPT identities, and De-Morgan-style
+// interactions. The observable is the candidate_count plus the exact
+// outlier ranking (same set => same ranking).
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "datagen/biblio_gen.h"
+#include "query/engine.h"
+
+namespace netout {
+namespace {
+
+class SetAlgebraFixture : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  void SetUp() override {
+    BiblioConfig config;
+    config.seed = GetParam();
+    config.num_areas = 3;
+    config.authors_per_area = 40;
+    config.papers_per_area = 120;
+    config.venues_per_area = 4;
+    config.terms_per_area = 20;
+    config.shared_terms = 10;
+    dataset_ = GenerateBiblio(config).value();
+    engine_ = std::make_unique<Engine>(dataset_.hin);
+    a_ = "author{\"" + dataset_.star_names[0] + "\"}.paper.author";
+    b_ = "venue{\"venue_0_0\"}.paper.author";
+    c_ = "venue{\"venue_1_0\"}.paper.author";
+  }
+
+  QueryResult Run(const std::string& set_expr) {
+    return engine_
+        ->Execute("FIND OUTLIERS FROM " + set_expr +
+                  " JUDGED BY author.paper.venue TOP 10;")
+        .value();
+  }
+
+  void ExpectSameResult(const std::string& lhs, const std::string& rhs) {
+    const QueryResult a = Run(lhs);
+    const QueryResult b = Run(rhs);
+    EXPECT_EQ(a.stats.candidate_count, b.stats.candidate_count)
+        << lhs << " vs " << rhs;
+    ASSERT_EQ(a.outliers.size(), b.outliers.size()) << lhs << " vs " << rhs;
+    for (std::size_t i = 0; i < a.outliers.size(); ++i) {
+      EXPECT_EQ(a.outliers[i].name, b.outliers[i].name);
+      EXPECT_DOUBLE_EQ(a.outliers[i].score, b.outliers[i].score);
+    }
+  }
+
+  BiblioDataset dataset_;
+  std::unique_ptr<Engine> engine_;
+  std::string a_, b_, c_;
+};
+
+TEST_P(SetAlgebraFixture, UnionCommutes) {
+  ExpectSameResult(a_ + " UNION " + b_, b_ + " UNION " + a_);
+}
+
+TEST_P(SetAlgebraFixture, IntersectCommutes) {
+  ExpectSameResult(a_ + " INTERSECT " + b_, b_ + " INTERSECT " + a_);
+}
+
+TEST_P(SetAlgebraFixture, UnionAndIntersectAreIdempotent) {
+  ExpectSameResult(a_ + " UNION " + a_, a_);
+  ExpectSameResult(a_ + " INTERSECT " + a_, a_);
+}
+
+TEST_P(SetAlgebraFixture, ExceptSelfIsEmpty) {
+  const QueryResult result = Run(a_ + " EXCEPT " + a_);
+  EXPECT_EQ(result.stats.candidate_count, 0u);
+  EXPECT_TRUE(result.outliers.empty());
+}
+
+TEST_P(SetAlgebraFixture, ExceptThenUnionRestoresTheUnion) {
+  // (A \ B) ∪ (A ∩ B) = A.
+  ExpectSameResult("(" + a_ + " EXCEPT " + b_ + ") UNION (" + a_ +
+                       " INTERSECT " + b_ + ")",
+                   a_);
+}
+
+TEST_P(SetAlgebraFixture, UnionDistributesOverIntersect) {
+  // A ∪ (B ∩ C) = (A ∪ B) ∩ (A ∪ C).
+  ExpectSameResult(a_ + " UNION (" + b_ + " INTERSECT " + c_ + ")",
+                   "(" + a_ + " UNION " + b_ + ") INTERSECT (" + a_ +
+                       " UNION " + c_ + ")");
+}
+
+TEST_P(SetAlgebraFixture, SubsetMonotonicity) {
+  // |A ∩ B| <= |A| <= |A ∪ B|.
+  const std::size_t inter =
+      Run(a_ + " INTERSECT " + b_).stats.candidate_count;
+  const std::size_t only_a = Run(a_).stats.candidate_count;
+  const std::size_t uni = Run(a_ + " UNION " + b_).stats.candidate_count;
+  EXPECT_LE(inter, only_a);
+  EXPECT_LE(only_a, uni);
+  // Inclusion-exclusion: |A| + |B| = |A ∪ B| + |A ∩ B|.
+  const std::size_t only_b = Run(b_).stats.candidate_count;
+  EXPECT_EQ(only_a + only_b, uni + inter);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SetAlgebraFixture,
+                         ::testing::Values(1, 7, 42));
+
+}  // namespace
+}  // namespace netout

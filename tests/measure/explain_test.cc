@@ -1,0 +1,82 @@
+#include "measure/explain.h"
+
+#include <gtest/gtest.h>
+
+namespace netout {
+namespace {
+
+// Candidate publishes mostly in dim 3 (unusual), reference mass sits in
+// dims 0 and 1.
+TEST(ExplainTest, SeparatesDistinctiveFromMissing) {
+  const SparseVector candidate =
+      SparseVector::FromPairs({{1, 1.0}, {3, 9.0}});
+  const SparseVector reference =
+      SparseVector::FromPairs({{0, 50.0}, {1, 40.0}, {3, 2.0}});
+  const OutlierExplanation explanation =
+      ExplainNetOut(candidate.View(), reference.View(), 5);
+
+  // Score = (1*40 + 9*2) / (1 + 81).
+  EXPECT_NEAR(explanation.score, 58.0 / 82.0, 1e-12);
+
+  ASSERT_FALSE(explanation.distinctive.empty());
+  EXPECT_EQ(explanation.distinctive[0].dimension, 3u);
+  EXPECT_DOUBLE_EQ(explanation.distinctive[0].candidate_count, 9.0);
+  EXPECT_DOUBLE_EQ(explanation.distinctive[0].reference_mass, 2.0);
+
+  ASSERT_EQ(explanation.missing.size(), 2u);
+  EXPECT_EQ(explanation.missing[0].dimension, 0u);  // biggest missing mass
+  EXPECT_DOUBLE_EQ(explanation.missing[0].candidate_count, 0.0);
+  EXPECT_DOUBLE_EQ(explanation.missing[0].reference_mass, 50.0);
+  EXPECT_EQ(explanation.missing[1].dimension, 1u);
+}
+
+TEST(ExplainTest, TopMTruncates) {
+  const SparseVector candidate = SparseVector::FromPairs(
+      {{10, 5.0}, {11, 4.0}, {12, 3.0}, {13, 2.0}});
+  const SparseVector reference =
+      SparseVector::FromPairs({{0, 10.0}, {1, 9.0}, {2, 8.0}});
+  const OutlierExplanation explanation =
+      ExplainNetOut(candidate.View(), reference.View(), 2);
+  EXPECT_EQ(explanation.distinctive.size(), 2u);
+  EXPECT_EQ(explanation.missing.size(), 2u);
+  EXPECT_EQ(explanation.distinctive[0].dimension, 10u);
+  EXPECT_EQ(explanation.missing[0].dimension, 0u);
+}
+
+TEST(ExplainTest, IdenticalProfilesExplainNothing) {
+  const SparseVector profile =
+      SparseVector::FromPairs({{0, 2.0}, {1, 3.0}});
+  // Reference = 10 copies of the candidate: shares are identical.
+  SparseVector reference = profile;
+  reference.Scale(10.0);
+  const OutlierExplanation explanation =
+      ExplainNetOut(profile.View(), reference.View(), 5);
+  EXPECT_TRUE(explanation.distinctive.empty());
+  EXPECT_TRUE(explanation.missing.empty());
+  EXPECT_NEAR(explanation.score, 10.0, 1e-12);
+}
+
+TEST(ExplainTest, EmptyCandidate) {
+  SparseVector empty;
+  const SparseVector reference = SparseVector::FromPairs({{0, 5.0}});
+  const OutlierExplanation explanation =
+      ExplainNetOut(empty.View(), reference.View(), 3);
+  EXPECT_DOUBLE_EQ(explanation.score, 0.0);
+  EXPECT_TRUE(explanation.distinctive.empty());
+  ASSERT_EQ(explanation.missing.size(), 1u);
+  EXPECT_EQ(explanation.missing[0].dimension, 0u);
+}
+
+TEST(ExplainTest, EmptyReference) {
+  const SparseVector candidate = SparseVector::FromPairs({{2, 1.0}});
+  SparseVector empty;
+  const OutlierExplanation explanation =
+      ExplainNetOut(candidate.View(), empty.View(), 3);
+  EXPECT_DOUBLE_EQ(explanation.score, 0.0);
+  ASSERT_EQ(explanation.distinctive.size(), 1u);
+  EXPECT_EQ(explanation.distinctive[0].dimension, 2u);
+  EXPECT_TRUE(explanation.missing.empty());
+}
+
+}  // namespace
+}  // namespace netout

@@ -1,0 +1,96 @@
+#include "measure/lof.h"
+
+#include <cmath>
+
+#include "measure/scores.h"
+
+#include <gtest/gtest.h>
+
+namespace netout {
+namespace {
+
+SparseVector Vec2(double x, double y) {
+  return SparseVector::FromPairs({{0, x}, {1, y}});
+}
+
+TEST(EuclideanDistanceTest, BasicDistances) {
+  const SparseVector a = Vec2(0.0, 0.0);
+  const SparseVector b = Vec2(3.0, 4.0);
+  EXPECT_DOUBLE_EQ(EuclideanDistance(a.View(), b.View()), 5.0);
+  EXPECT_DOUBLE_EQ(EuclideanDistance(b.View(), a.View()), 5.0);
+  EXPECT_DOUBLE_EQ(EuclideanDistance(b.View(), b.View()), 0.0);
+}
+
+TEST(EuclideanDistanceTest, SparseDisjointSupports) {
+  const SparseVector a = SparseVector::FromSorted({0}, {1.0});
+  const SparseVector b = SparseVector::FromSorted({5}, {1.0});
+  EXPECT_DOUBLE_EQ(EuclideanDistance(a.View(), b.View()), std::sqrt(2.0));
+}
+
+TEST(LofTest, RequiresTwoReferences) {
+  std::vector<SparseVector> candidates = {Vec2(0, 0)};
+  std::vector<SparseVector> references = {Vec2(0, 0)};
+  auto r = LofScores(candidates, references, 2);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(LofTest, UniformClusterScoresNearOne) {
+  // A tight 3x3 grid: every interior point has LOF ~ 1.
+  std::vector<SparseVector> references;
+  for (int x = 0; x < 3; ++x) {
+    for (int y = 0; y < 3; ++y) {
+      references.push_back(Vec2(x, y));
+    }
+  }
+  std::vector<SparseVector> candidates = {Vec2(1, 1)};
+  const auto scores = LofScores(candidates, references, 3).value();
+  EXPECT_NEAR(scores[0], 1.0, 0.3);
+}
+
+TEST(LofTest, FarPointScoresHigh) {
+  std::vector<SparseVector> references;
+  for (int x = 0; x < 3; ++x) {
+    for (int y = 0; y < 3; ++y) {
+      references.push_back(Vec2(x, y));
+    }
+  }
+  std::vector<SparseVector> candidates = {Vec2(1, 1), Vec2(50, 50)};
+  const auto scores = LofScores(candidates, references, 3).value();
+  // LOF polarity: larger = more outlying.
+  EXPECT_GT(scores[1], scores[0]);
+  EXPECT_GT(scores[1], 5.0);
+  EXPECT_FALSE(SmallerIsMoreOutlying(OutlierMeasure::kLof));
+}
+
+TEST(LofTest, KIsClampedToReferenceSize) {
+  std::vector<SparseVector> references = {Vec2(0, 0), Vec2(1, 0),
+                                          Vec2(0, 1)};
+  std::vector<SparseVector> candidates = {Vec2(0.5, 0.5)};
+  // k = 100 clamps to |Sr| - 1 = 2 without failing.
+  const auto scores = LofScores(candidates, references, 100).value();
+  ASSERT_EQ(scores.size(), 1u);
+  EXPECT_GT(scores[0], 0.0);
+}
+
+TEST(LofTest, DuplicateReferencePointsDoNotDivideByZero) {
+  std::vector<SparseVector> references = {Vec2(0, 0), Vec2(0, 0),
+                                          Vec2(0, 0), Vec2(5, 5)};
+  std::vector<SparseVector> candidates = {Vec2(0, 0), Vec2(10, 10)};
+  const auto scores = LofScores(candidates, references, 2).value();
+  ASSERT_EQ(scores.size(), 2u);
+  for (double score : scores) {
+    EXPECT_FALSE(std::isnan(score));
+  }
+  // The coincident candidate must not look more outlying than the far one.
+  EXPECT_LE(scores[0], scores[1]);
+}
+
+TEST(LofTest, EmptyCandidateListGivesEmptyScores) {
+  std::vector<SparseVector> references = {Vec2(0, 0), Vec2(1, 1)};
+  std::vector<SparseVector> candidates;
+  EXPECT_TRUE(LofScores(candidates, references, 1).value().empty());
+}
+
+}  // namespace
+}  // namespace netout

@@ -1,0 +1,175 @@
+// Reproduces the paper's Table 1 / Table 2 toy example *exactly*:
+// a 100-author reference set with publication record
+// [VLDB:10, KDD:10, STOC:1, SIGGRAPH:1] and five candidate authors,
+// scored under NetOut, PathSim-sum and CosSim-sum with feature meta-path
+// P = (A P V). Expected values are the published ones.
+
+#include "measure/scores.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+#include "metapath/metapath.h"
+#include "metapath/traversal.h"
+
+namespace netout {
+namespace {
+
+constexpr const char* kVenues[] = {"VLDB", "KDD", "STOC", "SIGGRAPH"};
+
+class Table2Fixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    GraphBuilder builder;
+    author_ = builder.AddVertexType("author").value();
+    paper_ = builder.AddVertexType("paper").value();
+    venue_ = builder.AddVertexType("venue").value();
+    writes_ = builder.AddEdgeType("writes", author_, paper_).value();
+    published_in_ =
+        builder.AddEdgeType("published_in", paper_, venue_).value();
+    for (const char* venue : kVenues) {
+      builder.AddVertex(venue_, venue).value();
+    }
+
+    auto add_author = [&](const std::string& name, int vldb, int kdd,
+                          int stoc, int siggraph) {
+      VertexRef a = builder.AddVertex(author_, name).value();
+      const int counts[] = {vldb, kdd, stoc, siggraph};
+      for (int v = 0; v < 4; ++v) {
+        for (int p = 0; p < counts[v]; ++p) {
+          VertexRef paper =
+              builder
+                  .AddVertex(paper_, name + "_" + kVenues[v] + "_" +
+                                         std::to_string(p))
+                  .value();
+          ASSERT_TRUE(builder.AddEdge(writes_, a, paper).ok());
+          VertexRef venue = builder.AddVertex(venue_, kVenues[v]).value();
+          ASSERT_TRUE(builder.AddEdge(published_in_, paper, venue).ok());
+        }
+      }
+    };
+
+    // Table 1: 100 reference authors identical to the Reference Author.
+    for (int i = 0; i < 100; ++i) {
+      add_author("ref_" + std::to_string(i), 10, 10, 1, 1);
+    }
+    add_author("Sarah", 10, 10, 1, 1);
+    add_author("Rob", 0, 1, 20, 20);
+    add_author("Lucy", 0, 5, 10, 10);
+    add_author("Joe", 0, 0, 0, 2);
+    add_author("Emma", 0, 0, 0, 30);
+
+    hin_ = builder.Finish().value();
+    path_ = MetaPath::Parse(hin_->schema(), "author.paper.venue").value();
+
+    PathCounter counter(hin_);
+    for (int i = 0; i < 100; ++i) {
+      VertexRef ref =
+          hin_->FindVertex(author_, "ref_" + std::to_string(i)).value();
+      references_.push_back(counter.NeighborVector(ref, path_).value());
+    }
+    for (const char* name : {"Sarah", "Rob", "Lucy", "Joe", "Emma"}) {
+      VertexRef cand = hin_->FindVertex(author_, name).value();
+      candidates_.push_back(counter.NeighborVector(cand, path_).value());
+    }
+  }
+
+  std::vector<double> Score(OutlierMeasure measure, bool factored = true) {
+    ScoreOptions options;
+    options.measure = measure;
+    options.use_factored = factored;
+    return ComputeOutlierScores(candidates_, references_, options).value();
+  }
+
+  TypeId author_, paper_, venue_;
+  EdgeTypeId writes_, published_in_;
+  HinPtr hin_;
+  MetaPath path_;
+  std::vector<SparseVector> references_;
+  std::vector<SparseVector> candidates_;
+};
+
+// Candidate order: Sarah, Rob, Lucy, Joe, Emma.
+
+TEST_F(Table2Fixture, NetOutMatchesPublishedValues) {
+  const std::vector<double> scores = Score(OutlierMeasure::kNetOut);
+  ASSERT_EQ(scores.size(), 5u);
+  EXPECT_NEAR(scores[0], 100.0, 1e-9);    // Sarah
+  EXPECT_NEAR(scores[1], 6.24, 5e-3);     // Rob   (5000/801)
+  EXPECT_NEAR(scores[2], 31.11, 5e-3);    // Lucy  (7000/225)
+  EXPECT_NEAR(scores[3], 50.0, 1e-9);     // Joe   (200/4)
+  EXPECT_NEAR(scores[4], 3.33, 5e-3);     // Emma  (3000/900)
+}
+
+TEST_F(Table2Fixture, NaiveAndFactoredNetOutAgree) {
+  const std::vector<double> factored = Score(OutlierMeasure::kNetOut, true);
+  const std::vector<double> naive = Score(OutlierMeasure::kNetOut, false);
+  ASSERT_EQ(factored.size(), naive.size());
+  for (std::size_t i = 0; i < factored.size(); ++i) {
+    EXPECT_NEAR(factored[i], naive[i], 1e-9) << "candidate " << i;
+  }
+}
+
+TEST_F(Table2Fixture, PathSimMatchesPublishedValues) {
+  const std::vector<double> scores = Score(OutlierMeasure::kPathSim);
+  ASSERT_EQ(scores.size(), 5u);
+  EXPECT_NEAR(scores[0], 100.0, 1e-9);   // Sarah
+  EXPECT_NEAR(scores[1], 9.97, 5e-3);    // Rob   (10000/1003)
+  EXPECT_NEAR(scores[2], 32.79, 5e-3);   // Lucy  (14000/427)
+  EXPECT_NEAR(scores[3], 1.94, 5e-3);    // Joe   (400/206)
+  EXPECT_NEAR(scores[4], 5.44, 5e-3);    // Emma  (6000/1102)
+}
+
+TEST_F(Table2Fixture, CosSimMatchesPublishedValues) {
+  const std::vector<double> scores = Score(OutlierMeasure::kCosSim);
+  ASSERT_EQ(scores.size(), 5u);
+  EXPECT_NEAR(scores[0], 100.0, 1e-9);   // Sarah
+  EXPECT_NEAR(scores[1], 12.43, 5e-3);   // Rob
+  EXPECT_NEAR(scores[2], 32.83, 5e-3);   // Lucy
+  EXPECT_NEAR(scores[3], 7.04, 5e-3);    // Joe
+  EXPECT_NEAR(scores[4], 7.04, 5e-3);    // Emma (same direction as Joe)
+}
+
+// The Table 2 narrative: NetOut ranks Emma (stable unusual record) as the
+// strongest outlier and does NOT flag Joe (low visibility), while
+// PathSim/CosSim both put Joe at or near the top.
+TEST_F(Table2Fixture, NetOutIsNotBiasedTowardLowVisibility) {
+  const std::vector<double> netout = Score(OutlierMeasure::kNetOut);
+  const std::vector<double> pathsim = Score(OutlierMeasure::kPathSim);
+  const std::vector<double> cossim = Score(OutlierMeasure::kCosSim);
+  // NetOut: Emma < Rob < Lucy < Joe < Sarah.
+  EXPECT_LT(netout[4], netout[1]);
+  EXPECT_LT(netout[1], netout[2]);
+  EXPECT_LT(netout[2], netout[3]);
+  EXPECT_LT(netout[3], netout[0]);
+  // PathSim: Joe is the minimum (most outlying) — the visibility bias.
+  for (std::size_t i = 0; i < 5; ++i) {
+    if (i == 3) continue;
+    EXPECT_LT(pathsim[3], pathsim[i]) << "vs candidate " << i;
+  }
+  // CosSim cannot distinguish Joe from Emma at all.
+  EXPECT_DOUBLE_EQ(cossim[3], cossim[4]);
+}
+
+TEST_F(Table2Fixture, ZeroVisibilityCandidateScoresZero) {
+  SparseVector empty;
+  std::vector<SparseVector> candidates = {empty};
+  ScoreOptions options;
+  const std::vector<double> scores =
+      ComputeOutlierScores(candidates, references_, options).value();
+  EXPECT_EQ(scores[0], 0.0);
+}
+
+TEST_F(Table2Fixture, EmptyReferenceSetIsRejected) {
+  std::vector<SparseVector> empty_refs;
+  ScoreOptions options;
+  auto result = ComputeOutlierScores(candidates_, empty_refs, options);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace netout

@@ -1,0 +1,197 @@
+#include "measure/scores.h"
+
+#include <gtest/gtest.h>
+
+namespace netout {
+namespace {
+
+TEST(MeasureNamesTest, RoundTrip) {
+  for (OutlierMeasure m :
+       {OutlierMeasure::kNetOut, OutlierMeasure::kPathSim,
+        OutlierMeasure::kCosSim, OutlierMeasure::kLof}) {
+    EXPECT_EQ(ParseOutlierMeasure(OutlierMeasureToString(m)).value(), m);
+  }
+  EXPECT_EQ(ParseOutlierMeasure("NetOut").value(), OutlierMeasure::kNetOut);
+  EXPECT_EQ(ParseOutlierMeasure("cosine").value(), OutlierMeasure::kCosSim);
+  EXPECT_FALSE(ParseOutlierMeasure("bogus").ok());
+}
+
+TEST(MeasurePolarityTest, OnlyLofIsLargerMoreOutlying) {
+  EXPECT_TRUE(SmallerIsMoreOutlying(OutlierMeasure::kNetOut));
+  EXPECT_TRUE(SmallerIsMoreOutlying(OutlierMeasure::kPathSim));
+  EXPECT_TRUE(SmallerIsMoreOutlying(OutlierMeasure::kCosSim));
+  EXPECT_FALSE(SmallerIsMoreOutlying(OutlierMeasure::kLof));
+  // Rank-average flips LOF's polarity to smaller-first.
+  EXPECT_TRUE(CombinedSmallerIsMoreOutlying(CombineMode::kRankAverage,
+                                            OutlierMeasure::kLof));
+  EXPECT_FALSE(CombinedSmallerIsMoreOutlying(CombineMode::kWeightedAverage,
+                                             OutlierMeasure::kLof));
+}
+
+TEST(SumVectorsTest, AggregatesSupports) {
+  std::vector<SparseVector> vectors = {
+      SparseVector::FromSorted({0, 2}, {1.0, 2.0}),
+      SparseVector::FromSorted({2, 4}, {3.0, 4.0}),
+      SparseVector(),
+  };
+  const SparseVector sum = SumVectors(vectors);
+  EXPECT_EQ(sum.nnz(), 3u);
+  EXPECT_DOUBLE_EQ(sum.ValueAt(0), 1.0);
+  EXPECT_DOUBLE_EQ(sum.ValueAt(2), 5.0);
+  EXPECT_DOUBLE_EQ(sum.ValueAt(4), 4.0);
+  EXPECT_TRUE(SumVectors(std::span<const SparseVector>()).empty());
+}
+
+class CombineFixture : public ::testing::Test {
+ protected:
+  // Two paths, three candidates.
+  const std::vector<std::vector<double>> per_path_ = {
+      {1.0, 2.0, 3.0},
+      {30.0, 20.0, 10.0},
+  };
+};
+
+TEST_F(CombineFixture, WeightedAverageNormalizesWeights) {
+  const auto combined =
+      CombineScores(per_path_, {1.0, 1.0}, CombineMode::kWeightedAverage,
+                    OutlierMeasure::kNetOut)
+          .value();
+  EXPECT_DOUBLE_EQ(combined[0], 15.5);
+  EXPECT_DOUBLE_EQ(combined[1], 11.0);
+  EXPECT_DOUBLE_EQ(combined[2], 6.5);
+  // Scaling all weights by a constant changes nothing.
+  const auto scaled =
+      CombineScores(per_path_, {10.0, 10.0}, CombineMode::kWeightedAverage,
+                    OutlierMeasure::kNetOut)
+          .value();
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(combined[i], scaled[i]);
+  }
+}
+
+TEST_F(CombineFixture, UnbalancedWeights) {
+  // Weight 3 on path 0, 1 on path 1 (the paper's "venue: 2.0" style).
+  const auto combined =
+      CombineScores(per_path_, {3.0, 1.0}, CombineMode::kWeightedAverage,
+                    OutlierMeasure::kNetOut)
+          .value();
+  EXPECT_DOUBLE_EQ(combined[0], 0.75 * 1.0 + 0.25 * 30.0);
+}
+
+TEST_F(CombineFixture, SinglePathIsIdentity) {
+  const auto combined =
+      CombineScores({per_path_[0]}, {2.0}, CombineMode::kWeightedAverage,
+                    OutlierMeasure::kNetOut)
+          .value();
+  EXPECT_EQ(combined, per_path_[0]);
+}
+
+TEST_F(CombineFixture, RankAverageIsScaleFree) {
+  // Path 0 ranks (ascending): c0=0, c1=1, c2=2. Path 1: c2=0, c1=1, c0=2.
+  const auto combined = CombineScores(per_path_, {1.0, 1.0},
+                                      CombineMode::kRankAverage,
+                                      OutlierMeasure::kNetOut)
+                            .value();
+  EXPECT_DOUBLE_EQ(combined[0], 1.0);
+  EXPECT_DOUBLE_EQ(combined[1], 1.0);
+  EXPECT_DOUBLE_EQ(combined[2], 1.0);
+  // Blowing up one path's scale does not change rank averaging.
+  std::vector<std::vector<double>> scaled = per_path_;
+  for (double& v : scaled[1]) v *= 1e9;
+  const auto combined2 = CombineScores(scaled, {1.0, 1.0},
+                                       CombineMode::kRankAverage,
+                                       OutlierMeasure::kNetOut)
+                             .value();
+  EXPECT_EQ(combined, combined2);
+}
+
+TEST_F(CombineFixture, RankAverageRespectsLofPolarity) {
+  // For LOF (larger = more outlying), rank 0 goes to the LARGEST score.
+  const auto combined = CombineScores({{1.0, 5.0, 3.0}}, {1.0},
+                                      CombineMode::kRankAverage,
+                                      OutlierMeasure::kLof)
+                            .value();
+  EXPECT_DOUBLE_EQ(combined[1], 0.0);  // most outlying
+  EXPECT_DOUBLE_EQ(combined[2], 1.0);
+  EXPECT_DOUBLE_EQ(combined[0], 2.0);
+}
+
+TEST_F(CombineFixture, ValidationErrors) {
+  EXPECT_FALSE(CombineScores({}, {}, CombineMode::kWeightedAverage,
+                             OutlierMeasure::kNetOut)
+                   .ok());
+  EXPECT_FALSE(CombineScores(per_path_, {1.0},
+                             CombineMode::kWeightedAverage,
+                             OutlierMeasure::kNetOut)
+                   .ok());  // weight count mismatch
+  EXPECT_FALSE(CombineScores(per_path_, {0.0, 0.0},
+                             CombineMode::kWeightedAverage,
+                             OutlierMeasure::kNetOut)
+                   .ok());  // zero total weight
+  EXPECT_FALSE(CombineScores(per_path_, {-1.0, 2.0},
+                             CombineMode::kWeightedAverage,
+                             OutlierMeasure::kNetOut)
+                   .ok());  // negative weight
+  EXPECT_FALSE(CombineScores({{1.0}, {1.0, 2.0}}, {1.0, 1.0},
+                             CombineMode::kWeightedAverage,
+                             OutlierMeasure::kNetOut)
+                   .ok());  // ragged scores
+}
+
+TEST(CustomMeasureTest, SumsTheUserSimilarity) {
+  std::vector<SparseVector> references = {
+      SparseVector::FromSorted({0}, {2.0}),
+      SparseVector::FromSorted({1}, {3.0}),
+  };
+  std::vector<SparseVector> candidates = {
+      SparseVector::FromSorted({0, 1}, {1.0, 1.0}),
+      SparseVector::FromSorted({2}, {5.0}),
+  };
+  ScoreOptions options;
+  options.measure = OutlierMeasure::kCustom;
+  options.custom_similarity = [](SparseVecView a, SparseVecView b) {
+    return Dot(a, b);  // raw connectivity as the user's similarity
+  };
+  const auto scores =
+      ComputeOutlierScores(candidates, references, options).value();
+  EXPECT_DOUBLE_EQ(scores[0], 2.0 + 3.0);
+  EXPECT_DOUBLE_EQ(scores[1], 0.0);  // disconnected -> most outlying
+  EXPECT_TRUE(SmallerIsMoreOutlying(OutlierMeasure::kCustom));
+}
+
+TEST(CustomMeasureTest, MissingFunctionIsRejected) {
+  std::vector<SparseVector> vectors = {SparseVector::FromSorted({0}, {1.0}),
+                                       SparseVector::FromSorted({0}, {2.0})};
+  ScoreOptions options;
+  options.measure = OutlierMeasure::kCustom;
+  auto result = ComputeOutlierScores(vectors, vectors, options);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CustomMeasureTest, NotReachableFromTheQueryLanguage) {
+  auto result = ParseOutlierMeasure("custom");
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("C++ API"), std::string::npos);
+}
+
+TEST(ComputeScoresDispatchTest, LofThroughTheCommonEntryPoint) {
+  std::vector<SparseVector> references;
+  for (int i = 0; i < 5; ++i) {
+    references.push_back(
+        SparseVector::FromPairs({{0, 1.0 * i}, {1, 1.0 * i}}));
+  }
+  std::vector<SparseVector> candidates = {
+      SparseVector::FromPairs({{0, 2.0}, {1, 2.0}}),
+      SparseVector::FromPairs({{0, 100.0}, {1, -100.0}}),
+  };
+  ScoreOptions options;
+  options.measure = OutlierMeasure::kLof;
+  options.lof_k = 2;
+  const auto scores =
+      ComputeOutlierScores(candidates, references, options).value();
+  EXPECT_GT(scores[1], scores[0]);
+}
+
+}  // namespace
+}  // namespace netout

@@ -1,0 +1,50 @@
+#include "measure/topk.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace netout {
+namespace {
+
+TEST(TopKTest, SelectsSmallestWhenSmallerIsMoreOutlying) {
+  const std::vector<double> scores = {5.0, 1.0, 3.0, 2.0, 4.0};
+  const auto top = SelectTopK(scores, 3, /*smaller_is_more_outlying=*/true);
+  EXPECT_EQ(top, (std::vector<std::size_t>{1, 3, 2}));
+}
+
+TEST(TopKTest, SelectsLargestForLofPolarity) {
+  const std::vector<double> scores = {5.0, 1.0, 3.0, 2.0, 4.0};
+  const auto top = SelectTopK(scores, 2, /*smaller_is_more_outlying=*/false);
+  EXPECT_EQ(top, (std::vector<std::size_t>{0, 4}));
+}
+
+TEST(TopKTest, KLargerThanInputClamps) {
+  const std::vector<double> scores = {2.0, 1.0};
+  const auto top = SelectTopK(scores, 10, true);
+  EXPECT_EQ(top, (std::vector<std::size_t>{1, 0}));
+}
+
+TEST(TopKTest, KZeroGivesEmpty) {
+  const std::vector<double> scores = {1.0};
+  EXPECT_TRUE(SelectTopK(scores, 0, true).empty());
+}
+
+TEST(TopKTest, EmptyScores) {
+  EXPECT_TRUE(SelectTopK({}, 5, true).empty());
+}
+
+TEST(TopKTest, TiesBreakByLowerIndex) {
+  const std::vector<double> scores = {1.0, 1.0, 1.0, 0.5};
+  const auto top = SelectTopK(scores, 3, true);
+  EXPECT_EQ(top, (std::vector<std::size_t>{3, 0, 1}));
+}
+
+TEST(TopKTest, FullSortWhenKEqualsSize) {
+  const std::vector<double> scores = {3.0, 1.0, 2.0};
+  const auto top = SelectTopK(scores, 3, true);
+  EXPECT_EQ(top, (std::vector<std::size_t>{1, 2, 0}));
+}
+
+}  // namespace
+}  // namespace netout

@@ -1,0 +1,157 @@
+#include "metapath/evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/biblio_gen.h"
+#include "index/pm_index.h"
+#include "index/spm_index.h"
+
+namespace netout {
+namespace {
+
+BiblioConfig SmallConfig() {
+  BiblioConfig config;
+  config.num_areas = 3;
+  config.authors_per_area = 40;
+  config.papers_per_area = 120;
+  config.venues_per_area = 4;
+  config.terms_per_area = 30;
+  config.shared_terms = 20;
+  config.planted_outliers_per_area = 2;
+  config.low_visibility_per_area = 2;
+  return config;
+}
+
+class EvaluatorFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dataset_ = GenerateBiblio(SmallConfig()).value();
+    hin_ = dataset_.hin;
+    pm_ = PmIndex::Build(*hin_).value();
+  }
+
+  void ExpectSameVector(const SparseVector& a, const SparseVector& b,
+                        const char* context) {
+    ASSERT_EQ(a.nnz(), b.nnz()) << context;
+    for (std::size_t i = 0; i < a.nnz(); ++i) {
+      EXPECT_EQ(a.indices()[i], b.indices()[i]) << context;
+      EXPECT_DOUBLE_EQ(a.values()[i], b.values()[i]) << context;
+    }
+  }
+
+  BiblioDataset dataset_;
+  HinPtr hin_;
+  std::unique_ptr<PmIndex> pm_;
+};
+
+TEST_F(EvaluatorFixture, PmIndexedEvaluationMatchesBaselineEvenLength) {
+  NeighborVectorEvaluator baseline(hin_, nullptr);
+  NeighborVectorEvaluator indexed(hin_, pm_.get());
+  const MetaPath apv =
+      MetaPath::Parse(hin_->schema(), "author.paper.venue").value();
+  const MetaPath apvpa = apv.Symmetric();  // length 4
+  for (LocalId v = 0; v < 30; ++v) {
+    const VertexRef vertex{dataset_.author_type, v};
+    const SparseVector expect =
+        baseline.Evaluate(vertex, apvpa, nullptr).value();
+    const SparseVector got = indexed.Evaluate(vertex, apvpa, nullptr).value();
+    ExpectSameVector(expect, got, "APVPA");
+  }
+}
+
+TEST_F(EvaluatorFixture, PmIndexedEvaluationMatchesBaselineOddLength) {
+  NeighborVectorEvaluator baseline(hin_, nullptr);
+  NeighborVectorEvaluator indexed(hin_, pm_.get());
+  // Length 3: two-step chunk + one raw hop.
+  const MetaPath apvp =
+      MetaPath::Parse(hin_->schema(), "author.paper.venue.paper").value();
+  for (LocalId v = 0; v < 20; ++v) {
+    const VertexRef vertex{dataset_.author_type, v};
+    const SparseVector expect =
+        baseline.Evaluate(vertex, apvp, nullptr).value();
+    const SparseVector got = indexed.Evaluate(vertex, apvp, nullptr).value();
+    ExpectSameVector(expect, got, "APVP");
+  }
+}
+
+TEST_F(EvaluatorFixture, SingleHopPathNeedsNoIndex) {
+  NeighborVectorEvaluator baseline(hin_, nullptr);
+  NeighborVectorEvaluator indexed(hin_, pm_.get());
+  const MetaPath ap = MetaPath::Parse(hin_->schema(), "author.paper").value();
+  const VertexRef vertex{dataset_.author_type, 0};
+  ExpectSameVector(baseline.Evaluate(vertex, ap, nullptr).value(),
+                   indexed.Evaluate(vertex, ap, nullptr).value(), "AP");
+}
+
+TEST_F(EvaluatorFixture, PmLookupsAreAllHits) {
+  NeighborVectorEvaluator indexed(hin_, pm_.get());
+  const MetaPath apv =
+      MetaPath::Parse(hin_->schema(), "author.paper.venue").value();
+  EvalStats stats;
+  indexed.Evaluate(VertexRef{dataset_.author_type, 1}, apv, &stats).value();
+  EXPECT_EQ(stats.index_hits, 1u);
+  EXPECT_EQ(stats.index_misses, 0u);
+}
+
+TEST_F(EvaluatorFixture, SpmPartialIndexMatchesBaselineAndCountsMisses) {
+  // Index only the first 5 authors.
+  std::vector<VertexRef> selected;
+  for (LocalId v = 0; v < 5; ++v) {
+    selected.push_back(VertexRef{dataset_.author_type, v});
+  }
+  const auto spm = SpmIndex::BuildForVertices(*hin_, selected).value();
+
+  NeighborVectorEvaluator baseline(hin_, nullptr);
+  NeighborVectorEvaluator indexed(hin_, spm.get());
+  const MetaPath apv =
+      MetaPath::Parse(hin_->schema(), "author.paper.venue").value();
+
+  EvalStats stats;
+  for (LocalId v = 0; v < 10; ++v) {
+    const VertexRef vertex{dataset_.author_type, v};
+    ExpectSameVector(baseline.Evaluate(vertex, apv, nullptr).value(),
+                     indexed.Evaluate(vertex, apv, &stats).value(), "SPM");
+  }
+  EXPECT_EQ(stats.index_hits, 5u);
+  EXPECT_EQ(stats.index_misses, 5u);
+  EXPECT_GT(stats.not_indexed.TotalNanos(), 0);
+}
+
+TEST_F(EvaluatorFixture, ErrorsPropagate) {
+  NeighborVectorEvaluator evaluator(hin_, pm_.get());
+  const MetaPath apv =
+      MetaPath::Parse(hin_->schema(), "author.paper.venue").value();
+  // Wrong vertex type.
+  EXPECT_EQ(evaluator
+                .Evaluate(VertexRef{dataset_.venue_type, 0}, apv, nullptr)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  // Out-of-range vertex.
+  EXPECT_EQ(evaluator
+                .Evaluate(VertexRef{dataset_.author_type, 10000000}, apv,
+                          nullptr)
+                .status()
+                .code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST_F(EvaluatorFixture, StatsMergeAndClear) {
+  EvalStats a;
+  a.index_hits = 2;
+  a.not_indexed.AddNanos(10);
+  EvalStats b;
+  b.index_misses = 3;
+  b.indexed.AddNanos(5);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.index_hits, 2u);
+  EXPECT_EQ(a.index_misses, 3u);
+  EXPECT_EQ(a.not_indexed.TotalNanos(), 10);
+  EXPECT_EQ(a.indexed.TotalNanos(), 5);
+  a.Clear();
+  EXPECT_EQ(a.index_hits, 0u);
+  EXPECT_EQ(a.not_indexed.TotalNanos(), 0);
+}
+
+}  // namespace
+}  // namespace netout

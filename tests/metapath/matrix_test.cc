@@ -1,0 +1,113 @@
+#include "metapath/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+#include "metapath/traversal.h"
+
+namespace netout {
+namespace {
+
+class MatrixFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    GraphBuilder builder;
+    author_ = builder.AddVertexType("author").value();
+    paper_ = builder.AddVertexType("paper").value();
+    venue_ = builder.AddVertexType("venue").value();
+    builder.AddEdgeType("writes", author_, paper_).value();
+    builder.AddEdgeType("published_in", paper_, venue_).value();
+    ASSERT_TRUE(builder.AddEdgeByName("writes", "Ava", "p1").ok());
+    ASSERT_TRUE(builder.AddEdgeByName("writes", "Liam", "p1").ok());
+    ASSERT_TRUE(builder.AddEdgeByName("writes", "Ava", "p2").ok());
+    ASSERT_TRUE(builder.AddEdgeByName("published_in", "p1", "KDD").ok());
+    ASSERT_TRUE(builder.AddEdgeByName("published_in", "p2", "KDD").ok());
+    builder.AddVertex(author_, "Hermit").value();
+    hin_ = builder.Finish().value();
+    apv_ = MetaPath::Parse(hin_->schema(), "author.paper.venue").value();
+  }
+
+  TypeId author_, paper_, venue_;
+  HinPtr hin_;
+  MetaPath apv_;
+};
+
+TEST_F(MatrixFixture, MaterializeMatchesPerVertexTraversal) {
+  const RelationMatrix matrix =
+      RelationMatrix::Materialize(*hin_, apv_).value();
+  EXPECT_EQ(matrix.num_rows(), hin_->NumVertices(author_));
+  EXPECT_EQ(matrix.row_type(), author_);
+  EXPECT_EQ(matrix.col_type(), venue_);
+
+  PathCounter counter(hin_);
+  for (LocalId row = 0; row < matrix.num_rows(); ++row) {
+    const SparseVector expected =
+        counter.NeighborVector(VertexRef{author_, row}, apv_).value();
+    const SparseVecView got = matrix.Row(row);
+    ASSERT_EQ(got.nnz(), expected.nnz()) << "row " << row;
+    for (std::size_t i = 0; i < got.nnz(); ++i) {
+      EXPECT_EQ(got.indices[i], expected.indices()[i]);
+      EXPECT_DOUBLE_EQ(got.values[i], expected.values()[i]);
+    }
+  }
+}
+
+TEST_F(MatrixFixture, IsolatedRowIsEmpty) {
+  const RelationMatrix matrix =
+      RelationMatrix::Materialize(*hin_, apv_).value();
+  const VertexRef hermit = hin_->FindVertex("author", "Hermit").value();
+  EXPECT_TRUE(matrix.Row(hermit.local).empty());
+  EXPECT_TRUE(matrix.Row(999).empty());  // out of range -> empty view
+}
+
+TEST_F(MatrixFixture, MultiplyRowVectorIsFrontierPropagation) {
+  const RelationMatrix matrix =
+      RelationMatrix::Materialize(*hin_, apv_).value();
+  const VertexRef ava = hin_->FindVertex("author", "Ava").value();
+  const VertexRef liam = hin_->FindVertex("author", "Liam").value();
+  // frontier = {Ava: 1, Liam: 2}; result = φ(Ava) + 2 φ(Liam).
+  SparseVector frontier = SparseVector::FromPairs(
+      {{ava.local, 1.0}, {liam.local, 2.0}});
+  DenseAccumulator acc;
+  acc.Resize(hin_->NumVertices(venue_));
+  const SparseVector result = MultiplyRowVector(frontier, matrix, &acc);
+  const VertexRef kdd = hin_->FindVertex("venue", "KDD").value();
+  EXPECT_DOUBLE_EQ(result.ValueAt(kdd.local), 2.0 + 2.0 * 1.0);
+}
+
+TEST_F(MatrixFixture, MultiplyWithEmptyFrontierIsEmpty) {
+  const RelationMatrix matrix =
+      RelationMatrix::Materialize(*hin_, apv_).value();
+  DenseAccumulator acc;
+  SparseVector empty;
+  EXPECT_TRUE(MultiplyRowVector(empty, matrix, &acc).empty());
+}
+
+TEST_F(MatrixFixture, FromRawValidation) {
+  // Consistent arrays round-trip.
+  const RelationMatrix matrix =
+      RelationMatrix::Materialize(*hin_, apv_).value();
+  auto rebuilt = RelationMatrix::FromRaw(
+      matrix.row_type(), matrix.col_type(),
+      std::vector<std::uint64_t>(matrix.offsets()),
+      std::vector<LocalId>(matrix.cols()),
+      std::vector<double>(matrix.vals()));
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_EQ(rebuilt->num_entries(), matrix.num_entries());
+
+  // Inconsistent offsets rejected.
+  EXPECT_FALSE(RelationMatrix::FromRaw(0, 1, {0, 5}, {1}, {1.0}).ok());
+  EXPECT_FALSE(RelationMatrix::FromRaw(0, 1, {}, {}, {}).ok());
+  EXPECT_FALSE(RelationMatrix::FromRaw(0, 1, {0, 1}, {1}, {}).ok());
+  EXPECT_FALSE(RelationMatrix::FromRaw(0, 1, {0, 2, 1}, {1, 2}, {1.0, 2.0})
+                   .ok());
+}
+
+TEST_F(MatrixFixture, MemoryBytesPositive) {
+  const RelationMatrix matrix =
+      RelationMatrix::Materialize(*hin_, apv_).value();
+  EXPECT_GT(matrix.MemoryBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace netout

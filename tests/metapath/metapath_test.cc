@@ -1,0 +1,154 @@
+#include "metapath/metapath.h"
+
+#include <gtest/gtest.h>
+
+namespace netout {
+namespace {
+
+class MetaPathFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    author_ = schema_.AddVertexType("author").value();
+    paper_ = schema_.AddVertexType("paper").value();
+    venue_ = schema_.AddVertexType("venue").value();
+    term_ = schema_.AddVertexType("term").value();
+    writes_ = schema_.AddEdgeType("writes", author_, paper_).value();
+    published_ = schema_.AddEdgeType("published_in", paper_, venue_).value();
+    has_term_ = schema_.AddEdgeType("has_term", paper_, term_).value();
+  }
+
+  Schema schema_;
+  TypeId author_, paper_, venue_, term_;
+  EdgeTypeId writes_, published_, has_term_;
+};
+
+TEST_F(MetaPathFixture, CreateResolvesUniqueSteps) {
+  const MetaPath apv =
+      MetaPath::Create(schema_, {author_, paper_, venue_}).value();
+  EXPECT_EQ(apv.length(), 2u);
+  EXPECT_EQ(apv.source_type(), author_);
+  EXPECT_EQ(apv.target_type(), venue_);
+  EXPECT_EQ(apv.steps()[0], (EdgeStep{writes_, Direction::kForward}));
+  EXPECT_EQ(apv.steps()[1], (EdgeStep{published_, Direction::kForward}));
+}
+
+TEST_F(MetaPathFixture, CreateResolvesReverseSteps) {
+  const MetaPath vpa =
+      MetaPath::Create(schema_, {venue_, paper_, author_}).value();
+  EXPECT_EQ(vpa.steps()[0], (EdgeStep{published_, Direction::kReverse}));
+  EXPECT_EQ(vpa.steps()[1], (EdgeStep{writes_, Direction::kReverse}));
+}
+
+TEST_F(MetaPathFixture, CreateErrors) {
+  EXPECT_FALSE(MetaPath::Create(schema_, {}).ok());
+  EXPECT_FALSE(
+      MetaPath::Create(schema_, {author_, venue_}).ok());  // no relation
+  EXPECT_FALSE(
+      MetaPath::Create(schema_, {author_, static_cast<TypeId>(40)}).ok());
+  // Wrong number of edge annotations.
+  EXPECT_FALSE(MetaPath::Create(schema_, {author_, paper_},
+                                {"writes", "extra"})
+                   .ok());
+}
+
+TEST_F(MetaPathFixture, SingleTypePathIsIdentity) {
+  const MetaPath identity = MetaPath::Create(schema_, {author_}).value();
+  EXPECT_EQ(identity.length(), 0u);
+  EXPECT_EQ(identity.source_type(), author_);
+  EXPECT_EQ(identity.target_type(), author_);
+}
+
+TEST_F(MetaPathFixture, ParseDotSyntax) {
+  const MetaPath parsed =
+      MetaPath::Parse(schema_, "author.paper.venue").value();
+  const MetaPath created =
+      MetaPath::Create(schema_, {author_, paper_, venue_}).value();
+  EXPECT_EQ(parsed, created);
+  // Case-insensitive types, tolerant of spaces.
+  EXPECT_EQ(MetaPath::Parse(schema_, "Author . PAPER . venue").value(),
+            created);
+}
+
+TEST_F(MetaPathFixture, ParseErrors) {
+  EXPECT_FALSE(MetaPath::Parse(schema_, "").ok());
+  EXPECT_FALSE(MetaPath::Parse(schema_, "author..venue").ok());
+  EXPECT_FALSE(MetaPath::Parse(schema_, "author.ghost").ok());
+  EXPECT_FALSE(MetaPath::Parse(schema_, "author.paper[").ok());
+  EXPECT_FALSE(MetaPath::Parse(schema_, "author[writes].paper").ok());
+}
+
+TEST_F(MetaPathFixture, ParseWithEdgeAnnotation) {
+  // Add a second relation author->paper; plain resolution is ambiguous.
+  ASSERT_TRUE(schema_.AddEdgeType("reviews", author_, paper_).ok());
+  EXPECT_FALSE(MetaPath::Parse(schema_, "author.paper").ok());
+  const MetaPath annotated =
+      MetaPath::Parse(schema_, "author.paper[reviews]").value();
+  EXPECT_EQ(schema_.edge_type(annotated.steps()[0].edge_type).name,
+            "reviews");
+}
+
+TEST_F(MetaPathFixture, ReverseFlipsTypesAndDirections) {
+  const MetaPath apv = MetaPath::Parse(schema_, "author.paper.venue").value();
+  const MetaPath vpa = apv.Reverse();
+  EXPECT_EQ(vpa.types(),
+            (std::vector<TypeId>{venue_, paper_, author_}));
+  EXPECT_EQ(vpa.steps()[0], (EdgeStep{published_, Direction::kReverse}));
+  EXPECT_EQ(vpa.steps()[1], (EdgeStep{writes_, Direction::kReverse}));
+  // Double reversal is the identity.
+  EXPECT_EQ(vpa.Reverse(), apv);
+}
+
+TEST_F(MetaPathFixture, ConcatChainsPaths) {
+  const MetaPath apv = MetaPath::Parse(schema_, "author.paper.venue").value();
+  const MetaPath vpt = MetaPath::Parse(schema_, "venue.paper.term").value();
+  const MetaPath apvpt = apv.Concat(vpt).value();
+  EXPECT_EQ(apvpt.length(), 4u);
+  EXPECT_EQ(apvpt.types(),
+            (std::vector<TypeId>{author_, paper_, venue_, paper_, term_}));
+  // Non-chaining concat fails.
+  EXPECT_FALSE(vpt.Concat(apv).ok());
+}
+
+TEST_F(MetaPathFixture, SymmetricIsPathThenReverse) {
+  const MetaPath apv = MetaPath::Parse(schema_, "author.paper.venue").value();
+  const MetaPath sym = apv.Symmetric();
+  EXPECT_EQ(sym.length(), 4u);
+  EXPECT_EQ(sym.source_type(), author_);
+  EXPECT_EQ(sym.target_type(), author_);
+  EXPECT_EQ(sym.types(),
+            (std::vector<TypeId>{author_, paper_, venue_, paper_, author_}));
+}
+
+TEST_F(MetaPathFixture, FromStepsDerivesTypes) {
+  const MetaPath path =
+      MetaPath::FromSteps(schema_, {{writes_, Direction::kForward},
+                                    {published_, Direction::kForward}})
+          .value();
+  EXPECT_EQ(path, MetaPath::Parse(schema_, "author.paper.venue").value());
+  // Steps that do not chain fail.
+  EXPECT_FALSE(MetaPath::FromSteps(schema_,
+                                   {{writes_, Direction::kForward},
+                                    {writes_, Direction::kForward}})
+                   .ok());
+  EXPECT_FALSE(MetaPath::FromSteps(schema_, {}).ok());
+}
+
+TEST_F(MetaPathFixture, ToStringRoundTrips) {
+  const MetaPath apv = MetaPath::Parse(schema_, "author.paper.venue").value();
+  EXPECT_EQ(apv.ToString(schema_), "author.paper.venue");
+  const MetaPath reparsed =
+      MetaPath::Parse(schema_, apv.ToString(schema_)).value();
+  EXPECT_EQ(reparsed, apv);
+}
+
+TEST_F(MetaPathFixture, ToStringEmitsAnnotationWhenAmbiguous) {
+  ASSERT_TRUE(schema_.AddEdgeType("reviews", author_, paper_).ok());
+  const MetaPath reviews =
+      MetaPath::Parse(schema_, "author.paper[reviews].venue").value();
+  const std::string text = reviews.ToString(schema_);
+  EXPECT_NE(text.find("[reviews]"), std::string::npos);
+  EXPECT_EQ(MetaPath::Parse(schema_, text).value(), reviews);
+}
+
+}  // namespace
+}  // namespace netout

@@ -1,0 +1,157 @@
+// Path-instance counting on the paper's Figure 1(b) instantiated network:
+// authors Ava, Liam, Zoe with |π_Pca(Ava, Liam)| = 1,
+// |π_Pca(Liam, Zoe)| = 2, φ_Pca(Zoe) = [Ava:1, Liam:2, Zoe:5] and
+// φ_Pv(Zoe) = [ICDE:2, KDD:3].
+
+#include "metapath/traversal.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+
+namespace netout {
+namespace {
+
+class Figure1Fixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    GraphBuilder builder;
+    author_ = builder.AddVertexType("author").value();
+    paper_ = builder.AddVertexType("paper").value();
+    venue_ = builder.AddVertexType("venue").value();
+    builder.AddEdgeType("writes", author_, paper_).value();
+    builder.AddEdgeType("published_in", paper_, venue_).value();
+
+    // Papers (authors -> venue):
+    //   p1: Ava, Liam        -> KDD
+    //   p2: Ava, Zoe         -> ICDE
+    //   p3: Zoe, Liam        -> KDD
+    //   p4: Zoe, Liam        -> KDD
+    //   p5: Zoe              -> ICDE
+    //   p6: Zoe              -> KDD
+    auto add_paper = [&](const char* name,
+                         std::initializer_list<const char*> authors,
+                         const char* venue) {
+      for (const char* a : authors) {
+        ASSERT_TRUE(builder.AddEdgeByName("writes", a, name).ok());
+      }
+      ASSERT_TRUE(builder.AddEdgeByName("published_in", name, venue).ok());
+    };
+    add_paper("p1", {"Ava", "Liam"}, "KDD");
+    add_paper("p2", {"Ava", "Zoe"}, "ICDE");
+    add_paper("p3", {"Zoe", "Liam"}, "KDD");
+    add_paper("p4", {"Zoe", "Liam"}, "KDD");
+    add_paper("p5", {"Zoe"}, "ICDE");
+    add_paper("p6", {"Zoe"}, "KDD");
+    hin_ = builder.Finish().value();
+
+    pca_ = MetaPath::Parse(hin_->schema(), "author.paper.author").value();
+    pv_ = MetaPath::Parse(hin_->schema(), "author.paper.venue").value();
+  }
+
+  VertexRef Author(const char* name) {
+    return hin_->FindVertex("author", name).value();
+  }
+  double Count(const SparseVector& vec, const char* author_name) {
+    return vec.ValueAt(Author(author_name).local);
+  }
+
+  TypeId author_, paper_, venue_;
+  HinPtr hin_;
+  MetaPath pca_, pv_;
+};
+
+TEST_F(Figure1Fixture, CoauthorPathCountsMatchFigure1) {
+  PathCounter counter(hin_);
+  const SparseVector zoe = counter.NeighborVector(Author("Zoe"), pca_).value();
+  EXPECT_DOUBLE_EQ(Count(zoe, "Ava"), 1.0);
+  EXPECT_DOUBLE_EQ(Count(zoe, "Liam"), 2.0);
+  EXPECT_DOUBLE_EQ(Count(zoe, "Zoe"), 5.0);  // her 5 papers
+
+  const SparseVector ava = counter.NeighborVector(Author("Ava"), pca_).value();
+  EXPECT_DOUBLE_EQ(Count(ava, "Liam"), 1.0);
+  EXPECT_DOUBLE_EQ(Count(ava, "Zoe"), 1.0);
+  EXPECT_DOUBLE_EQ(Count(ava, "Ava"), 2.0);
+}
+
+TEST_F(Figure1Fixture, VenueNeighborVectorMatchesFigure1) {
+  PathCounter counter(hin_);
+  const SparseVector zoe = counter.NeighborVector(Author("Zoe"), pv_).value();
+  const VertexRef icde = hin_->FindVertex("venue", "ICDE").value();
+  const VertexRef kdd = hin_->FindVertex("venue", "KDD").value();
+  EXPECT_DOUBLE_EQ(zoe.ValueAt(icde.local), 2.0);
+  EXPECT_DOUBLE_EQ(zoe.ValueAt(kdd.local), 3.0);
+  EXPECT_EQ(zoe.nnz(), 2u);
+}
+
+TEST_F(Figure1Fixture, NeighborhoodIsTheSupport) {
+  PathCounter counter(hin_);
+  const std::vector<VertexRef> coauthors =
+      counter.Neighborhood(Author("Zoe"), pca_).value();
+  // N_Pca(Zoe) = {Ava, Liam, Zoe} (self included via her own papers).
+  EXPECT_EQ(coauthors.size(), 3u);
+  for (const VertexRef& v : coauthors) {
+    EXPECT_EQ(v.type, author_);
+  }
+}
+
+TEST_F(Figure1Fixture, IdentityPathYieldsUnitVector) {
+  PathCounter counter(hin_);
+  const MetaPath identity =
+      MetaPath::Create(hin_->schema(), {author_}).value();
+  const SparseVector vec =
+      counter.NeighborVector(Author("Ava"), identity).value();
+  EXPECT_EQ(vec.nnz(), 1u);
+  EXPECT_DOUBLE_EQ(vec.ValueAt(Author("Ava").local), 1.0);
+}
+
+TEST_F(Figure1Fixture, FourHopSymmetricPath) {
+  PathCounter counter(hin_);
+  // (A P V P A): Zoe—venue—author path counts. Zoe to Ava via venues:
+  // Zoe's [ICDE:2, KDD:3] dot Ava's [ICDE:1, KDD:1] = 5.
+  const MetaPath sym = pv_.Symmetric();
+  const SparseVector zoe = counter.NeighborVector(Author("Zoe"), sym).value();
+  EXPECT_DOUBLE_EQ(Count(zoe, "Ava"), 5.0);
+  EXPECT_DOUBLE_EQ(Count(zoe, "Zoe"), 13.0);  // 2*2 + 3*3
+}
+
+TEST_F(Figure1Fixture, PropagateAppliesFrontierWeights) {
+  PathCounter counter(hin_);
+  // Frontier {Ava: 2} through (A P V) doubles Ava's venue counts.
+  SparseVector frontier =
+      SparseVector::FromSorted({Author("Ava").local}, {2.0});
+  const SparseVector out = counter.Propagate(frontier, pv_).value();
+  const VertexRef kdd = hin_->FindVertex("venue", "KDD").value();
+  const VertexRef icde = hin_->FindVertex("venue", "ICDE").value();
+  EXPECT_DOUBLE_EQ(out.ValueAt(kdd.local), 2.0);
+  EXPECT_DOUBLE_EQ(out.ValueAt(icde.local), 2.0);
+}
+
+TEST_F(Figure1Fixture, ErrorsOnTypeMismatchAndRange) {
+  PathCounter counter(hin_);
+  const VertexRef kdd = hin_->FindVertex("venue", "KDD").value();
+  EXPECT_EQ(counter.NeighborVector(kdd, pca_).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(counter.NeighborVector(VertexRef{author_, 99}, pca_)
+                .status()
+                .code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST_F(Figure1Fixture, IsolatedVertexYieldsEmptyVector) {
+  GraphBuilder builder;
+  const TypeId a = builder.AddVertexType("author").value();
+  const TypeId p = builder.AddVertexType("paper").value();
+  builder.AddEdgeType("writes", a, p).value();
+  builder.AddVertex(a, "Hermit").value();
+  const HinPtr hin = builder.Finish().value();
+  PathCounter counter(hin);
+  const MetaPath ap = MetaPath::Parse(hin->schema(), "author.paper").value();
+  const SparseVector vec =
+      counter.NeighborVector(hin->FindVertex("author", "Hermit").value(), ap)
+          .value();
+  EXPECT_TRUE(vec.empty());
+}
+
+}  // namespace
+}  // namespace netout

@@ -1,0 +1,196 @@
+#include "query/analyzer.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+#include "query/parser.h"
+
+namespace netout {
+namespace {
+
+class AnalyzerFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    GraphBuilder builder;
+    author_ = builder.AddVertexType("author").value();
+    paper_ = builder.AddVertexType("paper").value();
+    venue_ = builder.AddVertexType("venue").value();
+    builder.AddEdgeType("writes", author_, paper_).value();
+    builder.AddEdgeType("published_in", paper_, venue_).value();
+    ASSERT_TRUE(builder.AddEdgeByName("writes", "Ava", "p1").ok());
+    ASSERT_TRUE(builder.AddEdgeByName("writes", "Liam", "p1").ok());
+    ASSERT_TRUE(builder.AddEdgeByName("published_in", "p1", "KDD").ok());
+    hin_ = builder.Finish().value();
+  }
+
+  Result<QueryPlan> Analyze(const char* query) {
+    NETOUT_ASSIGN_OR_RETURN(QueryAst ast, ParseQuery(query));
+    return AnalyzeQuery(*hin_, ast);
+  }
+
+  TypeId author_, paper_, venue_;
+  HinPtr hin_;
+};
+
+TEST_F(AnalyzerFixture, ResolvesAnchoredNeighborhood) {
+  const QueryPlan plan = Analyze(R"(
+      FIND OUTLIERS FROM author{"Ava"}.paper.author
+      JUDGED BY author.paper.venue TOP 3;
+  )")
+                             .value();
+  EXPECT_EQ(plan.subject_type, author_);
+  EXPECT_EQ(plan.candidate.kind, SetExpr::Kind::kPrimary);
+  ASSERT_TRUE(plan.candidate.primary.anchor.has_value());
+  EXPECT_EQ(plan.candidate.primary.anchor->type, author_);
+  EXPECT_EQ(plan.candidate.primary.hops.length(), 2u);
+  EXPECT_EQ(plan.candidate.primary.element_type, author_);
+  EXPECT_FALSE(plan.reference.has_value());
+  ASSERT_EQ(plan.features.size(), 1u);
+  EXPECT_EQ(plan.features[0].path.target_type(), venue_);
+  EXPECT_EQ(plan.top_k, 3u);
+  EXPECT_EQ(plan.measure, OutlierMeasure::kNetOut);
+  EXPECT_EQ(plan.combine, CombineMode::kWeightedAverage);
+}
+
+TEST_F(AnalyzerFixture, BareTypeMeansAllVertices) {
+  const QueryPlan plan =
+      Analyze("FIND OUTLIERS FROM author JUDGED BY author.paper;").value();
+  EXPECT_FALSE(plan.candidate.primary.anchor.has_value());
+  EXPECT_EQ(plan.candidate.primary.element_type, author_);
+  EXPECT_EQ(plan.candidate.primary.hops.length(), 0u);
+}
+
+TEST_F(AnalyzerFixture, HopsWithoutAnchorUnimplemented) {
+  auto r = Analyze("FIND OUTLIERS FROM author.paper JUDGED BY paper.author;");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST_F(AnalyzerFixture, UnknownAnchorVertexIsNotFound) {
+  auto r = Analyze(R"(
+      FIND OUTLIERS FROM author{"Nobody"}.paper.author
+      JUDGED BY author.paper.venue;
+  )");
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(AnalyzerFixture, UnknownTypeIsNotFound) {
+  auto r = Analyze("FIND OUTLIERS FROM ghost JUDGED BY ghost.paper;");
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(AnalyzerFixture, ReferenceMustShareElementType) {
+  auto r = Analyze(R"(
+      FIND OUTLIERS FROM author{"Ava"}.paper.author
+      COMPARED TO venue{"KDD"}
+      JUDGED BY author.paper.venue;
+  )");
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(AnalyzerFixture, SetOperandsMustShareElementType) {
+  auto r = Analyze(R"(
+      FIND OUTLIERS FROM author UNION venue
+      JUDGED BY author.paper.venue;
+  )");
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(AnalyzerFixture, FeaturePathMustStartAtSubjectType) {
+  auto r = Analyze(R"(
+      FIND OUTLIERS FROM author{"Ava"}.paper.author
+      JUDGED BY venue.paper.author;
+  )");
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("must start at"), std::string::npos);
+}
+
+TEST_F(AnalyzerFixture, WhereRequiresAlias) {
+  auto r = Analyze(R"(
+      FIND OUTLIERS FROM author WHERE COUNT(A.paper) > 1
+      JUDGED BY author.paper.venue;
+  )");
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("AS"), std::string::npos);
+}
+
+TEST_F(AnalyzerFixture, WhereAliasMustMatch) {
+  auto r = Analyze(R"(
+      FIND OUTLIERS FROM author AS A WHERE COUNT(B.paper) > 1
+      JUDGED BY author.paper.venue;
+  )");
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("unknown alias"), std::string::npos);
+}
+
+TEST_F(AnalyzerFixture, WhereAliasIsCaseInsensitive) {
+  EXPECT_TRUE(Analyze(R"(
+      FIND OUTLIERS FROM author AS A WHERE COUNT(a.paper) > 0
+      JUDGED BY author.paper.venue;
+  )")
+                  .ok());
+}
+
+TEST_F(AnalyzerFixture, WhereConditionPathResolvesFromElementType) {
+  const QueryPlan plan = Analyze(R"(
+      FIND OUTLIERS FROM venue{"KDD"}.paper.author AS A
+           WHERE COUNT(A.paper.venue) >= 1
+      JUDGED BY author.paper.venue;
+  )")
+                             .value();
+  const ResolvedWhere* where = plan.candidate.primary.where.get();
+  ASSERT_NE(where, nullptr);
+  EXPECT_EQ(where->atom.path.source_type(), author_);
+  EXPECT_EQ(where->atom.path.target_type(), venue_);
+  EXPECT_EQ(where->atom.op, CmpOp::kGe);
+}
+
+TEST_F(AnalyzerFixture, WhereConditionWithUnknownHopFails) {
+  auto r = Analyze(R"(
+      FIND OUTLIERS FROM author AS A WHERE COUNT(A.ghost) > 1
+      JUDGED BY author.paper.venue;
+  )");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(AnalyzerFixture, MeasureAndCombineClauses) {
+  const QueryPlan plan = Analyze(R"(
+      FIND OUTLIERS FROM author JUDGED BY author.paper.venue
+      USING MEASURE cossim COMBINE BY rank TOP 2;
+  )")
+                             .value();
+  EXPECT_EQ(plan.measure, OutlierMeasure::kCosSim);
+  EXPECT_EQ(plan.combine, CombineMode::kRankAverage);
+  EXPECT_FALSE(Analyze("FIND OUTLIERS FROM author JUDGED BY "
+                       "author.paper USING MEASURE bogus;")
+                   .ok());
+  EXPECT_FALSE(Analyze("FIND OUTLIERS FROM author JUDGED BY "
+                       "author.paper COMBINE BY bogus;")
+                   .ok());
+}
+
+TEST_F(AnalyzerFixture, DefaultsComeFromAnalyzerOptions) {
+  QueryAst ast = ParseQuery(
+                     "FIND OUTLIERS FROM author JUDGED BY author.paper.venue;")
+                     .value();
+  AnalyzerOptions options;
+  options.default_measure = OutlierMeasure::kPathSim;
+  options.default_combine = CombineMode::kRankAverage;
+  const QueryPlan plan = AnalyzeQuery(*hin_, ast, options).value();
+  EXPECT_EQ(plan.measure, OutlierMeasure::kPathSim);
+  EXPECT_EQ(plan.combine, CombineMode::kRankAverage);
+}
+
+TEST_F(AnalyzerFixture, FeatureWeightsCarryThrough) {
+  const QueryPlan plan = Analyze(R"(
+      FIND OUTLIERS FROM author
+      JUDGED BY author.paper.venue : 2.5, author.paper : 0.5;
+  )")
+                             .value();
+  ASSERT_EQ(plan.features.size(), 2u);
+  EXPECT_DOUBLE_EQ(plan.features[0].weight, 2.5);
+  EXPECT_DOUBLE_EQ(plan.features[1].weight, 0.5);
+}
+
+}  // namespace
+}  // namespace netout

@@ -1,0 +1,99 @@
+#include "query/batch.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/biblio_gen.h"
+#include "datagen/workload.h"
+
+namespace netout {
+namespace {
+
+class BatchFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    BiblioConfig config;
+    config.seed = 31;
+    config.num_areas = 3;
+    config.authors_per_area = 50;
+    config.papers_per_area = 150;
+    config.venues_per_area = 4;
+    config.terms_per_area = 30;
+    config.shared_terms = 15;
+    dataset_ = new BiblioDataset(GenerateBiblio(config).value());
+  }
+  static void TearDownTestSuite() { delete dataset_; }
+
+  static BiblioDataset* dataset_;
+};
+
+BiblioDataset* BatchFixture::dataset_ = nullptr;
+
+TEST_F(BatchFixture, ParallelMatchesSequential) {
+  WorkloadConfig workload;
+  workload.num_queries = 40;
+  workload.seed = 5;
+  const auto queries = GenerateWorkload(*dataset_->hin, "author",
+                                        QueryTemplate::kQ1, workload)
+                           .value();
+
+  BatchRunner sequential(dataset_->hin, EngineOptions{}, 1);
+  BatchRunner parallel(dataset_->hin, EngineOptions{}, 4);
+  const auto a = sequential.Run(queries);
+  const auto b = parallel.Run(queries);
+  ASSERT_EQ(a.size(), queries.size());
+  ASSERT_EQ(b.size(), queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_TRUE(a[i].status.ok()) << queries[i];
+    ASSERT_TRUE(b[i].status.ok()) << queries[i];
+    ASSERT_EQ(a[i].result.outliers.size(), b[i].result.outliers.size());
+    for (std::size_t j = 0; j < a[i].result.outliers.size(); ++j) {
+      EXPECT_EQ(a[i].result.outliers[j].name,
+                b[i].result.outliers[j].name);
+      EXPECT_DOUBLE_EQ(a[i].result.outliers[j].score,
+                       b[i].result.outliers[j].score);
+    }
+  }
+}
+
+TEST_F(BatchFixture, PerQueryFailuresAreIsolated) {
+  const std::vector<std::string> queries = {
+      "FIND OUTLIERS FROM author{\"" + dataset_->star_names[0] +
+          "\"}.paper.author JUDGED BY author.paper.venue TOP 3;",
+      "THIS IS NOT A QUERY;",
+      "FIND OUTLIERS FROM author{\"nobody-here\"}.paper.author "
+      "JUDGED BY author.paper.venue TOP 3;",
+      "FIND OUTLIERS FROM author{\"" + dataset_->star_names[1] +
+          "\"}.paper.author JUDGED BY author.paper.venue TOP 3;",
+  };
+  BatchRunner runner(dataset_->hin, EngineOptions{}, 2);
+  const auto outcomes = runner.Run(queries);
+  ASSERT_EQ(outcomes.size(), 4u);
+  EXPECT_TRUE(outcomes[0].status.ok());
+  EXPECT_EQ(outcomes[1].status.code(), StatusCode::kParseError);
+  EXPECT_EQ(outcomes[2].status.code(), StatusCode::kNotFound);
+  EXPECT_TRUE(outcomes[3].status.ok());
+  EXPECT_FALSE(outcomes[0].result.outliers.empty());
+  EXPECT_FALSE(outcomes[3].result.outliers.empty());
+}
+
+TEST_F(BatchFixture, EmptyBatch) {
+  BatchRunner runner(dataset_->hin, EngineOptions{}, 2);
+  EXPECT_TRUE(runner.Run({}).empty());
+}
+
+TEST_F(BatchFixture, ReusableAcrossRuns) {
+  BatchRunner runner(dataset_->hin, EngineOptions{}, 3);
+  EXPECT_EQ(runner.num_threads(), 3u);
+  const std::vector<std::string> queries = {
+      "FIND OUTLIERS FROM author{\"" + dataset_->star_names[0] +
+      "\"}.paper.author JUDGED BY author.paper.venue TOP 2;"};
+  const auto first = runner.Run(queries);
+  const auto second = runner.Run(queries);
+  ASSERT_TRUE(first[0].status.ok());
+  ASSERT_TRUE(second[0].status.ok());
+  EXPECT_EQ(first[0].result.outliers[0].name,
+            second[0].result.outliers[0].name);
+}
+
+}  // namespace
+}  // namespace netout

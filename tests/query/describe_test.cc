@@ -1,0 +1,86 @@
+// Engine::DescribePlan — the EXPLAIN-style plan printer.
+
+#include <gtest/gtest.h>
+
+#include "datagen/biblio_gen.h"
+#include "index/pm_index.h"
+#include "query/engine.h"
+
+namespace netout {
+namespace {
+
+class DescribeFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    BiblioConfig config;
+    config.num_areas = 2;
+    config.authors_per_area = 20;
+    config.papers_per_area = 40;
+    config.venues_per_area = 3;
+    config.terms_per_area = 10;
+    config.shared_terms = 5;
+    dataset_ = new BiblioDataset(GenerateBiblio(config).value());
+  }
+  static void TearDownTestSuite() { delete dataset_; }
+
+  static BiblioDataset* dataset_;
+};
+
+BiblioDataset* DescribeFixture::dataset_ = nullptr;
+
+TEST_F(DescribeFixture, DescribesEveryClause) {
+  Engine engine(dataset_->hin);
+  const std::string description = engine
+                                      .DescribePlan(R"(
+      FIND OUTLIERS FROM author{"star_0"}.paper.author
+        UNION venue{"venue_0_0"}.paper.author AS A
+        WHERE COUNT(A.paper) >= 2 AND NOT COUNT(A.paper.venue) > 5
+      COMPARED TO author
+      JUDGED BY author.paper.venue : 2.0, author.paper.term
+      USING MEASURE pathsim COMBINE BY rank TOP 7;
+  )")
+                                      .value();
+  EXPECT_NE(description.find("candidate set (type author)"),
+            std::string::npos);
+  EXPECT_NE(description.find("UNION of:"), std::string::npos);
+  EXPECT_NE(description.find("neighborhood of author{\"star_0\"} via "
+                             "author.paper.author"),
+            std::string::npos);
+  EXPECT_NE(description.find("WHERE (COUNT(author.paper) >= 2 AND NOT "
+                             "(COUNT(author.paper.venue) > 5))"),
+            std::string::npos);
+  EXPECT_NE(description.find("reference set:"), std::string::npos);
+  EXPECT_NE(description.find("all vertices of type author"),
+            std::string::npos);
+  EXPECT_NE(description.find("author.paper.venue (weight 2.00)"),
+            std::string::npos);
+  EXPECT_NE(description.find("author.paper.term (weight 1.00)"),
+            std::string::npos);
+  EXPECT_NE(description.find("measure: pathsim"), std::string::npos);
+  EXPECT_NE(description.find("combine: rank average"), std::string::npos);
+  EXPECT_NE(description.find("top-k: 7"), std::string::npos);
+  EXPECT_NE(description.find("baseline traversal"), std::string::npos);
+}
+
+TEST_F(DescribeFixture, DefaultReferenceAndIndexedExecution) {
+  const auto pm = PmIndex::Build(*dataset_->hin).value();
+  EngineOptions options;
+  options.index = pm.get();
+  Engine engine(dataset_->hin, options);
+  const std::string description =
+      engine
+          .DescribePlan("FIND OUTLIERS FROM author JUDGED BY "
+                        "author.paper.venue;")
+          .value();
+  EXPECT_NE(description.find("reference set: same as candidate set"),
+            std::string::npos);
+  EXPECT_NE(description.find("indexed"), std::string::npos);
+}
+
+TEST_F(DescribeFixture, PropagatesErrors) {
+  Engine engine(dataset_->hin);
+  EXPECT_FALSE(engine.DescribePlan("garbage").ok());
+}
+
+}  // namespace
+}  // namespace netout

@@ -1,0 +1,137 @@
+// EngineOptions plumbing: analyzer defaults, executor knobs and index
+// attachment, exercised through the Engine facade (the configuration
+// surface a downstream embedder actually touches).
+
+#include <gtest/gtest.h>
+
+#include "datagen/biblio_gen.h"
+#include "graph/builder.h"
+#include "index/pm_index.h"
+#include "query/engine.h"
+#include "query/progressive.h"
+
+namespace netout {
+namespace {
+
+class EngineOptionsFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    BiblioConfig config;
+    config.seed = 23;
+    config.num_areas = 3;
+    config.authors_per_area = 50;
+    config.papers_per_area = 150;
+    config.venues_per_area = 4;
+    config.terms_per_area = 25;
+    config.shared_terms = 12;
+    dataset_ = new BiblioDataset(GenerateBiblio(config).value());
+  }
+  static void TearDownTestSuite() { delete dataset_; }
+
+  static std::string StarQuery(const char* extra = "") {
+    return "FIND OUTLIERS FROM author{\"" + dataset_->star_names[0] +
+           "\"}.paper.author JUDGED BY author.paper.venue " + extra +
+           " TOP 5;";
+  }
+
+  static BiblioDataset* dataset_;
+};
+
+BiblioDataset* EngineOptionsFixture::dataset_ = nullptr;
+
+TEST_F(EngineOptionsFixture, DefaultMeasureFlowsThroughAnalyzerOptions) {
+  EngineOptions options;
+  options.analyzer.default_measure = OutlierMeasure::kPathSim;
+  Engine pathsim_engine(dataset_->hin, options);
+  Engine netout_engine(dataset_->hin);
+
+  // Without a USING MEASURE clause, each engine applies its default.
+  const QueryPlan pathsim_plan =
+      pathsim_engine.Prepare(StarQuery()).value();
+  EXPECT_EQ(pathsim_plan.measure, OutlierMeasure::kPathSim);
+  const QueryPlan netout_plan = netout_engine.Prepare(StarQuery()).value();
+  EXPECT_EQ(netout_plan.measure, OutlierMeasure::kNetOut);
+
+  // An explicit clause overrides the default.
+  const QueryPlan overridden =
+      pathsim_engine.Prepare(StarQuery("USING MEASURE netout")).value();
+  EXPECT_EQ(overridden.measure, OutlierMeasure::kNetOut);
+}
+
+TEST_F(EngineOptionsFixture, DefaultCombineFlowsThroughAnalyzerOptions) {
+  EngineOptions options;
+  options.analyzer.default_combine = CombineMode::kJointConnectivity;
+  Engine engine(dataset_->hin, options);
+  const QueryPlan plan = engine.Prepare(StarQuery()).value();
+  EXPECT_EQ(plan.combine, CombineMode::kJointConnectivity);
+  // And the query executes under that default.
+  EXPECT_TRUE(engine.Execute(StarQuery()).ok());
+}
+
+TEST_F(EngineOptionsFixture, SkipZeroVisibilityThroughTheEngine) {
+  // An isolated author shows up (score 0) unless the engine is told to
+  // skip zero-visibility candidates.
+  GraphBuilder builder;
+  const TypeId author = builder.AddVertexType("author").value();
+  const TypeId paper = builder.AddVertexType("paper").value();
+  const TypeId venue = builder.AddVertexType("venue").value();
+  builder.AddEdgeType("writes", author, paper).value();
+  builder.AddEdgeType("published_in", paper, venue).value();
+  EXPECT_TRUE(builder.AddEdgeByName("writes", "Writer", "p1").ok());
+  EXPECT_TRUE(builder.AddEdgeByName("published_in", "p1", "KDD").ok());
+  builder.AddVertex(author, "Ghost").value();
+  const HinPtr hin = builder.Finish().value();
+
+  const char* query =
+      "FIND OUTLIERS FROM author JUDGED BY author.paper.venue TOP 5;";
+  Engine keep(hin);
+  const QueryResult with_ghost = keep.Execute(query).value();
+  ASSERT_EQ(with_ghost.outliers.size(), 2u);
+  EXPECT_EQ(with_ghost.outliers[0].name, "Ghost");
+
+  EngineOptions options;
+  options.exec.skip_zero_visibility = true;
+  Engine skip(hin, options);
+  const QueryResult without_ghost = skip.Execute(query).value();
+  ASSERT_EQ(without_ghost.outliers.size(), 1u);
+  EXPECT_EQ(without_ghost.outliers[0].name, "Writer");
+}
+
+TEST_F(EngineOptionsFixture, ProgressiveWithPmIndexMatchesExact) {
+  const auto pm = PmIndex::Build(*dataset_->hin).value();
+  EngineOptions options;
+  options.index = pm.get();
+  Engine engine(dataset_->hin, options);
+  const QueryPlan plan = engine.Prepare(StarQuery()).value();
+  const QueryResult exact = engine.ExecutePlan(plan).value();
+
+  ProgressiveOptions progressive_options;
+  progressive_options.num_batches = 5;
+  ProgressiveExecutor progressive(dataset_->hin, pm.get(), ExecOptions{},
+                                  progressive_options);
+  const QueryResult approx = progressive.Run(plan, nullptr).value();
+  ASSERT_EQ(exact.outliers.size(), approx.outliers.size());
+  for (std::size_t i = 0; i < exact.outliers.size(); ++i) {
+    EXPECT_EQ(exact.outliers[i].name, approx.outliers[i].name);
+    EXPECT_NEAR(exact.outliers[i].score, approx.outliers[i].score, 1e-9);
+  }
+}
+
+TEST_F(EngineOptionsFixture, JointCombineConsistentAcrossStrategies) {
+  const auto pm = PmIndex::Build(*dataset_->hin).value();
+  EngineOptions indexed_options;
+  indexed_options.index = pm.get();
+  Engine baseline(dataset_->hin);
+  Engine indexed(dataset_->hin, indexed_options);
+  const std::string query = StarQuery("COMBINE BY joint");
+  const QueryResult a = baseline.Execute(query).value();
+  const QueryResult b = indexed.Execute(query).value();
+  ASSERT_EQ(a.outliers.size(), b.outliers.size());
+  for (std::size_t i = 0; i < a.outliers.size(); ++i) {
+    EXPECT_EQ(a.outliers[i].name, b.outliers[i].name);
+    EXPECT_NEAR(a.outliers[i].score, b.outliers[i].score, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace netout

@@ -1,0 +1,134 @@
+#include "query/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/biblio_gen.h"
+#include "index/pm_index.h"
+
+namespace netout {
+namespace {
+
+class EngineFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    BiblioConfig config;
+    config.num_areas = 3;
+    config.authors_per_area = 50;
+    config.papers_per_area = 150;
+    config.venues_per_area = 4;
+    config.terms_per_area = 30;
+    config.shared_terms = 15;
+    config.planted_outliers_per_area = 2;
+    config.low_visibility_per_area = 2;
+    dataset_ = GenerateBiblio(config).value();
+  }
+
+  BiblioDataset dataset_;
+};
+
+TEST_F(EngineFixture, ExecuteEndToEnd) {
+  Engine engine(dataset_.hin);
+  const QueryResult result = engine
+                                 .Execute(R"(
+      FIND OUTLIERS FROM author{"star_0"}.paper.author
+      JUDGED BY author.paper.venue
+      TOP 10;
+  )")
+                                 .value();
+  EXPECT_EQ(result.outliers.size(), 10u);
+  EXPECT_GT(result.stats.candidate_count, 10u);
+}
+
+TEST_F(EngineFixture, ParseErrorsSurfaceFromExecute) {
+  Engine engine(dataset_.hin);
+  auto r = engine.Execute("FIND SOMETHING WRONG;");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST_F(EngineFixture, AnalyzeErrorsSurfaceFromExecute) {
+  Engine engine(dataset_.hin);
+  auto r = engine.Execute(
+      "FIND OUTLIERS FROM ghost JUDGED BY ghost.paper TOP 5;");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(EngineFixture, PrepareOncePlanRunsRepeatedly) {
+  Engine engine(dataset_.hin);
+  const QueryPlan plan = engine
+                             .Prepare(R"(
+      FIND OUTLIERS FROM author{"star_1"}.paper.author
+      JUDGED BY author.paper.venue TOP 5;
+  )")
+                             .value();
+  const QueryResult a = engine.ExecutePlan(plan).value();
+  const QueryResult b = engine.ExecutePlan(plan).value();
+  ASSERT_EQ(a.outliers.size(), b.outliers.size());
+  for (std::size_t i = 0; i < a.outliers.size(); ++i) {
+    EXPECT_EQ(a.outliers[i].name, b.outliers[i].name);
+    EXPECT_DOUBLE_EQ(a.outliers[i].score, b.outliers[i].score);
+  }
+}
+
+TEST_F(EngineFixture, IndexedEngineGivesIdenticalResults) {
+  const auto pm = PmIndex::Build(*dataset_.hin).value();
+  Engine baseline(dataset_.hin);
+  EngineOptions indexed_options;
+  indexed_options.index = pm.get();
+  Engine indexed(dataset_.hin, indexed_options);
+  EXPECT_TRUE(indexed.has_index());
+  EXPECT_FALSE(baseline.has_index());
+
+  const char* query = R"(
+      FIND OUTLIERS FROM author{"star_2"}.paper.author
+      JUDGED BY author.paper.venue TOP 8;
+  )";
+  const QueryResult a = baseline.Execute(query).value();
+  const QueryResult b = indexed.Execute(query).value();
+  ASSERT_EQ(a.outliers.size(), b.outliers.size());
+  for (std::size_t i = 0; i < a.outliers.size(); ++i) {
+    EXPECT_EQ(a.outliers[i].name, b.outliers[i].name);
+    EXPECT_NEAR(a.outliers[i].score, b.outliers[i].score, 1e-9);
+  }
+  // The indexed run actually used the index.
+  EXPECT_GT(b.stats.eval.index_hits, 0u);
+  EXPECT_EQ(a.stats.eval.index_hits, 0u);
+}
+
+TEST_F(EngineFixture, CandidateVerticesForSpmInitialization) {
+  Engine engine(dataset_.hin);
+  const auto vertices = engine
+                            .CandidateVertices(R"(
+      FIND OUTLIERS FROM author{"star_0"}.paper.author
+      JUDGED BY author.paper.venue TOP 10;
+  )")
+                            .value();
+  EXPECT_GT(vertices.size(), 10u);
+  for (const VertexRef& v : vertices) {
+    EXPECT_EQ(v.type, dataset_.author_type);
+  }
+}
+
+TEST_F(EngineFixture, PerQueryMeasureOverride) {
+  Engine engine(dataset_.hin);
+  const char* netout_query = R"(
+      FIND OUTLIERS FROM author{"star_0"}.paper.author
+      JUDGED BY author.paper.venue USING MEASURE netout TOP 5;
+  )";
+  const char* lof_query = R"(
+      FIND OUTLIERS FROM author{"star_0"}.paper.author
+      JUDGED BY author.paper.venue USING MEASURE lof TOP 5;
+  )";
+  const QueryResult netout = engine.Execute(netout_query).value();
+  const QueryResult lof = engine.Execute(lof_query).value();
+  EXPECT_EQ(netout.outliers.size(), 5u);
+  EXPECT_EQ(lof.outliers.size(), 5u);
+  // LOF sorts descending (larger = more outlying).
+  for (std::size_t i = 1; i < lof.outliers.size(); ++i) {
+    EXPECT_GE(lof.outliers[i - 1].score, lof.outliers[i].score);
+  }
+}
+
+}  // namespace
+}  // namespace netout

@@ -1,0 +1,90 @@
+// Engine::Explain end-to-end: the named explanation of a planted venue
+// outlier must point at its off-area venues (distinctive) and the home
+// community's venues (missing).
+
+#include <gtest/gtest.h>
+
+#include "datagen/biblio_gen.h"
+#include "query/engine.h"
+
+namespace netout {
+namespace {
+
+class ExplainEngineFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    BiblioConfig config;
+    config.seed = 3;
+    config.num_areas = 3;
+    config.authors_per_area = 60;
+    config.papers_per_area = 200;
+    config.venues_per_area = 4;
+    config.terms_per_area = 30;
+    config.shared_terms = 15;
+    config.cross_area_coauthor_prob = 0.0;
+    dataset_ = new BiblioDataset(GenerateBiblio(config).value());
+  }
+  static void TearDownTestSuite() { delete dataset_; }
+
+  static BiblioDataset* dataset_;
+};
+
+BiblioDataset* ExplainEngineFixture::dataset_ = nullptr;
+
+TEST_F(ExplainEngineFixture, ExplainsPlantedVenueOutlier) {
+  Engine engine(dataset_->hin);
+  const std::string query = "FIND OUTLIERS FROM author{\"" +
+                            dataset_->star_names[0] +
+                            "\"}.paper.author JUDGED BY "
+                            "author.paper.venue TOP 5;";
+  const auto explanations =
+      engine.Explain(query, "outlier_0_0", /*top_m=*/4).value();
+  ASSERT_EQ(explanations.size(), 1u);
+  const auto& explanation = explanations[0];
+  EXPECT_EQ(explanation.path_text, "author.paper.venue");
+  EXPECT_GT(explanation.score, 0.0);
+
+  // Distinctive venues are off-area (not venue_0_*); missing venues are
+  // the home community's.
+  ASSERT_FALSE(explanation.distinctive.empty());
+  for (const auto& term : explanation.distinctive) {
+    EXPECT_NE(term.name.rfind("venue_", 0), std::string::npos);
+    EXPECT_EQ(term.name.rfind("venue_0_", 0), std::string::npos)
+        << "distinctive venue should be off-area, got " << term.name;
+  }
+  ASSERT_FALSE(explanation.missing.empty());
+  EXPECT_EQ(explanation.missing[0].name.rfind("venue_0_", 0), 0u)
+      << "top missing venue should be a home venue, got "
+      << explanation.missing[0].name;
+}
+
+TEST_F(ExplainEngineFixture, MultiPathExplanations) {
+  Engine engine(dataset_->hin);
+  const std::string query = "FIND OUTLIERS FROM author{\"" +
+                            dataset_->star_names[0] +
+                            "\"}.paper.author JUDGED BY "
+                            "author.paper.venue, author.paper.term TOP 5;";
+  const auto explanations =
+      engine.Explain(query, dataset_->star_names[0]).value();
+  ASSERT_EQ(explanations.size(), 2u);
+  EXPECT_EQ(explanations[0].path_text, "author.paper.venue");
+  EXPECT_EQ(explanations[1].path_text, "author.paper.term");
+}
+
+TEST_F(ExplainEngineFixture, RejectsVertexOutsideCandidateSet) {
+  Engine engine(dataset_->hin);
+  const std::string query = "FIND OUTLIERS FROM author{\"" +
+                            dataset_->star_names[0] +
+                            "\"}.paper.author JUDGED BY "
+                            "author.paper.venue TOP 5;";
+  // star_1 is in another community and never coauthors with star_0.
+  auto result = engine.Explain(query, dataset_->star_names[1]);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  // Unknown vertex name also fails cleanly.
+  EXPECT_EQ(engine.Explain(query, "no-such-author").status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace netout

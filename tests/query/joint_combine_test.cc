@@ -1,0 +1,139 @@
+// CombineMode::kJointConnectivity — Section 5.1's first multi-path
+// option: connectivity redefined as the weighted sum over feature
+// meta-paths, scored with a single NetOut.
+
+#include <gtest/gtest.h>
+
+#include "datagen/biblio_gen.h"
+#include "measure/connectivity.h"
+#include "measure/scores.h"
+#include "metapath/traversal.h"
+#include "query/engine.h"
+
+namespace netout {
+namespace {
+
+class JointCombineFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    BiblioConfig config;
+    config.seed = 8;
+    config.num_areas = 3;
+    config.authors_per_area = 40;
+    config.papers_per_area = 120;
+    config.venues_per_area = 4;
+    config.terms_per_area = 20;
+    config.shared_terms = 10;
+    dataset_ = new BiblioDataset(GenerateBiblio(config).value());
+  }
+  static void TearDownTestSuite() { delete dataset_; }
+
+  static BiblioDataset* dataset_;
+};
+
+BiblioDataset* JointCombineFixture::dataset_ = nullptr;
+
+TEST_F(JointCombineFixture, SinglePathJointEqualsPlainNetOut) {
+  Engine engine(dataset_->hin);
+  const std::string base = "FIND OUTLIERS FROM author{\"" +
+                           dataset_->star_names[0] +
+                           "\"}.paper.author JUDGED BY author.paper.venue ";
+  const QueryResult plain = engine.Execute(base + "TOP 8;").value();
+  const QueryResult joint =
+      engine.Execute(base + "COMBINE BY joint TOP 8;").value();
+  ASSERT_EQ(plain.outliers.size(), joint.outliers.size());
+  for (std::size_t i = 0; i < plain.outliers.size(); ++i) {
+    EXPECT_EQ(plain.outliers[i].name, joint.outliers[i].name);
+    EXPECT_NEAR(plain.outliers[i].score, joint.outliers[i].score, 1e-9);
+  }
+}
+
+TEST_F(JointCombineFixture, MatchesHandComputedDefinition) {
+  // Ω(v) = (Σ_p w_p φ_p(v)·refsum_p) / (Σ_p w_p ‖φ_p(v)‖²) over the
+  // star's coauthors, w = {2, 1} for (APV, APT).
+  Engine engine(dataset_->hin);
+  const std::string query = "FIND OUTLIERS FROM author{\"" +
+                            dataset_->star_names[0] +
+                            "\"}.paper.author JUDGED BY "
+                            "author.paper.venue : 2.0, author.paper.term "
+                            "COMBINE BY joint TOP 5;";
+  const QueryResult result = engine.Execute(query).value();
+  ASSERT_FALSE(result.outliers.empty());
+
+  // Recompute the top entry's score by hand.
+  const std::vector<VertexRef> members =
+      engine.CandidateVertices(query).value();
+  PathCounter counter(dataset_->hin);
+  const MetaPath apv =
+      MetaPath::Parse(dataset_->hin->schema(), "author.paper.venue").value();
+  const MetaPath apt =
+      MetaPath::Parse(dataset_->hin->schema(), "author.paper.term").value();
+  const VertexRef top = result.outliers[0].vertex;
+
+  double numerator = 0.0;
+  double joint_visibility = 0.0;
+  const double path_weights[] = {2.0, 1.0};
+  const MetaPath* paths[] = {&apv, &apt};
+  for (int p = 0; p < 2; ++p) {
+    const SparseVector phi_top =
+        counter.NeighborVector(top, *paths[p]).value();
+    std::vector<SparseVector> refs;
+    for (const VertexRef& member : members) {
+      refs.push_back(counter.NeighborVector(member, *paths[p]).value());
+    }
+    const SparseVector refsum = SumVectors(refs);
+    numerator += path_weights[p] * Dot(phi_top.View(), refsum.View());
+    joint_visibility += path_weights[p] * Visibility(phi_top.View());
+  }
+  EXPECT_NEAR(result.outliers[0].score, numerator / joint_visibility, 1e-9);
+}
+
+TEST_F(JointCombineFixture, JointDiffersFromWeightedAverageInGeneral) {
+  Engine engine(dataset_->hin);
+  const std::string base = "FIND OUTLIERS FROM author{\"" +
+                           dataset_->star_names[0] +
+                           "\"}.paper.author JUDGED BY "
+                           "author.paper.venue : 2.0, author.paper.term ";
+  const QueryResult averaged = engine.Execute(base + "TOP 5;").value();
+  const QueryResult joint =
+      engine.Execute(base + "COMBINE BY joint TOP 5;").value();
+  bool any_difference = false;
+  for (std::size_t i = 0;
+       i < std::min(averaged.outliers.size(), joint.outliers.size()); ++i) {
+    any_difference |= (averaged.outliers[i].name != joint.outliers[i].name);
+    any_difference |= std::abs(averaged.outliers[i].score -
+                               joint.outliers[i].score) > 1e-9;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST_F(JointCombineFixture, JointRequiresNetOut) {
+  Engine engine(dataset_->hin);
+  auto result = engine.Execute(
+      "FIND OUTLIERS FROM author JUDGED BY author.paper.venue "
+      "USING MEASURE pathsim COMBINE BY joint TOP 5;");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(JointCombineFixture, JointMeasureLevelValidation) {
+  // Direct API validation.
+  EXPECT_FALSE(JointNetOutScores({}, {}, {}).ok());
+  std::vector<std::vector<SparseVecView>> one_path(1);
+  EXPECT_FALSE(
+      JointNetOutScores(one_path, one_path, {1.0, 2.0}).ok());  // weights
+  EXPECT_FALSE(JointNetOutScores(one_path, one_path, {1.0}).ok());  // empty refs
+}
+
+TEST_F(JointCombineFixture, DescribePlanShowsJoint) {
+  Engine engine(dataset_->hin);
+  const std::string description =
+      engine
+          .DescribePlan("FIND OUTLIERS FROM author JUDGED BY "
+                        "author.paper.venue COMBINE BY joint;")
+          .value();
+  EXPECT_NE(description.find("joint connectivity"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace netout

@@ -1,0 +1,123 @@
+#include "query/token.h"
+
+#include <gtest/gtest.h>
+
+namespace netout {
+namespace {
+
+std::vector<TokenKind> Kinds(const std::vector<Token>& tokens) {
+  std::vector<TokenKind> kinds;
+  for (const Token& token : tokens) kinds.push_back(token.kind);
+  return kinds;
+}
+
+TEST(LexerTest, EmptyInput) {
+  const auto tokens = Tokenize("").value();
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, WordsAndPunctuation) {
+  const auto tokens = Tokenize("author . paper ; ,").value();
+  EXPECT_EQ(Kinds(tokens),
+            (std::vector<TokenKind>{TokenKind::kWord, TokenKind::kDot,
+                                    TokenKind::kWord, TokenKind::kSemicolon,
+                                    TokenKind::kComma, TokenKind::kEnd}));
+  EXPECT_EQ(tokens[0].text, "author");
+  EXPECT_EQ(tokens[2].text, "paper");
+}
+
+TEST(LexerTest, StringLiterals) {
+  const auto tokens = Tokenize("author{\"Christos Faloutsos\"}").value();
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kWord);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kLBrace);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[2].text, "Christos Faloutsos");
+  EXPECT_EQ(tokens[3].kind, TokenKind::kRBrace);
+}
+
+TEST(LexerTest, EmptyStringLiteral) {
+  const auto tokens = Tokenize("\"\"").value();
+  EXPECT_EQ(tokens[0].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[0].text, "");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  auto r = Tokenize("author{\"unterminated");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_FALSE(Tokenize("\"line\nbreak\"").ok());
+}
+
+TEST(LexerTest, Numbers) {
+  const auto tokens = Tokenize("10 3.5 0").value();
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].text, "10");
+  EXPECT_EQ(tokens[1].text, "3.5");
+  EXPECT_EQ(tokens[2].text, "0");
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(tokens[i].kind, TokenKind::kNumber);
+  }
+}
+
+TEST(LexerTest, NumberFollowedByDotHop) {
+  // "10.paper" must lex as number 10, dot, word (not the float 10.p...).
+  const auto tokens = Tokenize("10.paper").value();
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kNumber);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kDot);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kWord);
+}
+
+TEST(LexerTest, ComparisonOperators) {
+  const auto tokens = Tokenize("< <= > >= = == != <>").value();
+  ASSERT_EQ(tokens.size(), 9u);
+  const char* expected[] = {"<", "<=", ">", ">=", "=", "==", "!=", "<>"};
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(tokens[i].kind, TokenKind::kCompare) << i;
+    EXPECT_EQ(tokens[i].text, expected[i]) << i;
+  }
+}
+
+TEST(LexerTest, BareBangFails) {
+  EXPECT_FALSE(Tokenize("COUNT(A.paper) ! 5").ok());
+}
+
+TEST(LexerTest, Brackets) {
+  const auto tokens = Tokenize("paper[cites] (x)").value();
+  EXPECT_EQ(Kinds(tokens),
+            (std::vector<TokenKind>{
+                TokenKind::kWord, TokenKind::kLBracket, TokenKind::kWord,
+                TokenKind::kRBracket, TokenKind::kLParen, TokenKind::kWord,
+                TokenKind::kRParen, TokenKind::kEnd}));
+}
+
+TEST(LexerTest, LineComments) {
+  const auto tokens =
+      Tokenize("FIND -- everything after is ignored\nOUTLIERS").value();
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].text, "FIND");
+  EXPECT_EQ(tokens[1].text, "OUTLIERS");
+}
+
+TEST(LexerTest, IllegalCharacterFails) {
+  auto r = Tokenize("FIND @ OUTLIERS");
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("offset 5"), std::string::npos);
+}
+
+TEST(LexerTest, OffsetsPointIntoInput) {
+  const auto tokens = Tokenize("FIND OUTLIERS").value();
+  EXPECT_EQ(tokens[0].offset, 0u);
+  EXPECT_EQ(tokens[1].offset, 5u);
+}
+
+TEST(LexerTest, WordsMayContainUnderscoreDigitsDash) {
+  const auto tokens = Tokenize("cyber_alert2 multi-word").value();
+  EXPECT_EQ(tokens[0].text, "cyber_alert2");
+  EXPECT_EQ(tokens[1].text, "multi-word");
+}
+
+}  // namespace
+}  // namespace netout

@@ -1,0 +1,231 @@
+#include "query/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace netout {
+namespace {
+
+// ---- the paper's own example queries ----------------------------------
+
+TEST(ParserTest, PaperExample1) {
+  const QueryAst ast = ParseQuery(R"(
+      FIND OUTLIERS
+      FROM author{"Christos Faloutsos"}.paper.author
+      JUDGED BY author.paper.venue
+      TOP 10;
+  )")
+                           .value();
+  EXPECT_EQ(ast.candidate.kind, SetExpr::Kind::kPrimary);
+  EXPECT_EQ(ast.candidate.type_name, "author");
+  EXPECT_EQ(ast.candidate.anchor_name.value(), "Christos Faloutsos");
+  EXPECT_EQ(ast.candidate.hop_segments,
+            (std::vector<std::string>{"paper", "author"}));
+  EXPECT_FALSE(ast.reference.has_value());
+  ASSERT_EQ(ast.judged_by.size(), 1u);
+  EXPECT_EQ(ast.judged_by[0].segments,
+            (std::vector<std::string>{"author", "paper", "venue"}));
+  EXPECT_DOUBLE_EQ(ast.judged_by[0].weight, 1.0);
+  EXPECT_EQ(ast.top_k, 10u);
+}
+
+TEST(ParserTest, PaperExample2WithComparedTo) {
+  const QueryAst ast = ParseQuery(R"(
+      FIND OUTLIERS
+      FROM author{"Christos Faloutsos"}.paper.author
+      COMPARED TO venue{"KDD"}.paper.author
+      JUDGED BY author.paper.venue, author.paper.author
+      TOP 10;
+  )")
+                           .value();
+  ASSERT_TRUE(ast.reference.has_value());
+  EXPECT_EQ(ast.reference->type_name, "venue");
+  EXPECT_EQ(ast.reference->anchor_name.value(), "KDD");
+  ASSERT_EQ(ast.judged_by.size(), 2u);
+}
+
+TEST(ParserTest, PaperExample3WithWhereAndWeights) {
+  const QueryAst ast = ParseQuery(R"(
+      FIND OUTLIERS
+      FROM venue{"SIGMOD"}.paper.author AS A
+           WHERE COUNT(A.paper) >= 5
+      JUDGED BY author.paper.author,
+                author.paper.term : 3.0
+      TOP 50;
+  )")
+                           .value();
+  EXPECT_EQ(ast.candidate.alias, "A");
+  ASSERT_NE(ast.candidate.where, nullptr);
+  EXPECT_EQ(ast.candidate.where->kind, WhereExpr::Kind::kAtom);
+  EXPECT_EQ(ast.candidate.where->atom.alias, "A");
+  EXPECT_EQ(ast.candidate.where->atom.op, CmpOp::kGe);
+  EXPECT_DOUBLE_EQ(ast.candidate.where->atom.value, 5.0);
+  ASSERT_EQ(ast.judged_by.size(), 2u);
+  EXPECT_DOUBLE_EQ(ast.judged_by[0].weight, 1.0);
+  EXPECT_DOUBLE_EQ(ast.judged_by[1].weight, 3.0);
+  EXPECT_EQ(ast.top_k, 50u);
+}
+
+// ---- clause variants ---------------------------------------------------
+
+TEST(ParserTest, InIsASynonymOfFrom) {
+  const QueryAst ast = ParseQuery(
+                           "FIND OUTLIERS IN author{\"X\"}.paper.venue "
+                           "JUDGED BY venue.paper.term TOP 10;")
+                           .value();
+  EXPECT_EQ(ast.candidate.hop_segments,
+            (std::vector<std::string>{"paper", "venue"}));
+}
+
+TEST(ParserTest, KeywordsAreCaseInsensitive) {
+  EXPECT_TRUE(ParseQuery("find outliers from author judged by "
+                         "author.paper top 5;")
+                  .ok());
+}
+
+TEST(ParserTest, TopDefaultsToTenWhenOmitted) {
+  const QueryAst ast =
+      ParseQuery("FIND OUTLIERS FROM author JUDGED BY author.paper;")
+          .value();
+  EXPECT_EQ(ast.top_k, 10u);
+}
+
+TEST(ParserTest, TrailingSemicolonOptional) {
+  EXPECT_TRUE(
+      ParseQuery("FIND OUTLIERS FROM author JUDGED BY author.paper TOP 3")
+          .ok());
+}
+
+TEST(ParserTest, UsingMeasureAndCombineBy) {
+  const QueryAst ast = ParseQuery(R"(
+      FIND OUTLIERS FROM author JUDGED BY author.paper
+      USING MEASURE pathsim COMBINE BY rank TOP 4;
+  )")
+                           .value();
+  EXPECT_EQ(ast.measure_name.value(), "pathsim");
+  EXPECT_EQ(ast.combine_name.value(), "rank");
+}
+
+TEST(ParserTest, UnionIntersectExcept) {
+  const QueryAst ast = ParseQuery(R"(
+      FIND OUTLIERS FROM
+        venue{"EDBT"}.paper.author
+        UNION venue{"ICDE"}.paper.author
+        EXCEPT venue{"KDD"}.paper.author
+      JUDGED BY author.paper.venue TOP 10;
+  )")
+                           .value();
+  // Left-associative: (EDBT UNION ICDE) EXCEPT KDD.
+  EXPECT_EQ(ast.candidate.kind, SetExpr::Kind::kExcept);
+  ASSERT_NE(ast.candidate.lhs, nullptr);
+  EXPECT_EQ(ast.candidate.lhs->kind, SetExpr::Kind::kUnion);
+  EXPECT_EQ(ast.candidate.rhs->kind, SetExpr::Kind::kPrimary);
+}
+
+TEST(ParserTest, ParenthesizedSetExpressions) {
+  const QueryAst ast = ParseQuery(R"(
+      FIND OUTLIERS FROM
+        venue{"EDBT"}.paper.author
+        INTERSECT (venue{"ICDE"}.paper.author UNION author{"Solo"})
+      JUDGED BY author.paper.venue;
+  )")
+                           .value();
+  EXPECT_EQ(ast.candidate.kind, SetExpr::Kind::kIntersect);
+  EXPECT_EQ(ast.candidate.rhs->kind, SetExpr::Kind::kUnion);
+}
+
+TEST(ParserTest, WhereBooleanOperatorsAndPrecedence) {
+  const QueryAst ast = ParseQuery(R"(
+      FIND OUTLIERS FROM author AS A
+        WHERE COUNT(A.paper) > 2 AND COUNT(A.paper.venue) > 1
+              OR NOT COUNT(A.paper.term) = 0
+      JUDGED BY author.paper.venue;
+  )")
+                           .value();
+  // OR is the weakest binder: (atom AND atom) OR (NOT atom).
+  const WhereExpr* where = ast.candidate.where.get();
+  ASSERT_NE(where, nullptr);
+  EXPECT_EQ(where->kind, WhereExpr::Kind::kOr);
+  EXPECT_EQ(where->lhs->kind, WhereExpr::Kind::kAnd);
+  EXPECT_EQ(where->rhs->kind, WhereExpr::Kind::kNot);
+  EXPECT_EQ(where->rhs->lhs->kind, WhereExpr::Kind::kAtom);
+}
+
+TEST(ParserTest, EdgeAnnotatedSegments) {
+  const QueryAst ast = ParseQuery(R"(
+      FIND OUTLIERS FROM paper{"p1"}.paper[cites]
+      JUDGED BY paper.paper[cites] TOP 2;
+  )")
+                           .value();
+  EXPECT_EQ(ast.candidate.hop_segments,
+            (std::vector<std::string>{"paper[cites]"}));
+  EXPECT_EQ(ast.judged_by[0].segments,
+            (std::vector<std::string>{"paper", "paper[cites]"}));
+}
+
+// ---- rejection cases ----------------------------------------------------
+
+TEST(ParserTest, RejectsMissingClauses) {
+  EXPECT_FALSE(ParseQuery("").ok());
+  EXPECT_FALSE(ParseQuery("FIND OUTLIERS JUDGED BY author.paper;").ok());
+  EXPECT_FALSE(ParseQuery("FIND OUTLIERS FROM author TOP 10;").ok());
+  EXPECT_FALSE(
+      ParseQuery("SELECT OUTLIERS FROM author JUDGED BY author.paper;")
+          .ok());
+}
+
+TEST(ParserTest, RejectsBadTop) {
+  EXPECT_FALSE(
+      ParseQuery("FIND OUTLIERS FROM author JUDGED BY author.paper TOP 0;")
+          .ok());
+  EXPECT_FALSE(
+      ParseQuery("FIND OUTLIERS FROM author JUDGED BY author.paper TOP x;")
+          .ok());
+}
+
+TEST(ParserTest, RejectsSingleTypeFeaturePath) {
+  EXPECT_FALSE(
+      ParseQuery("FIND OUTLIERS FROM author JUDGED BY author TOP 5;").ok());
+}
+
+TEST(ParserTest, RejectsTrailingGarbage) {
+  EXPECT_FALSE(ParseQuery("FIND OUTLIERS FROM author JUDGED BY "
+                          "author.paper TOP 5; extra")
+                   .ok());
+}
+
+TEST(ParserTest, RejectsMalformedWhere) {
+  EXPECT_FALSE(ParseQuery("FIND OUTLIERS FROM author AS A WHERE "
+                          "COUNT(A) > 2 JUDGED BY author.paper;")
+                   .ok());  // COUNT needs a hop
+  EXPECT_FALSE(ParseQuery("FIND OUTLIERS FROM author AS A WHERE "
+                          "COUNT(A.paper) 2 JUDGED BY author.paper;")
+                   .ok());  // missing comparator
+  EXPECT_FALSE(ParseQuery("FIND OUTLIERS FROM author AS A WHERE "
+                          "COUNT(A.paper) > JUDGED BY author.paper;")
+                   .ok());  // missing number
+}
+
+TEST(ParserTest, RejectsUnbalancedBraces) {
+  EXPECT_FALSE(ParseQuery("FIND OUTLIERS FROM author{\"X\" JUDGED BY "
+                          "author.paper;")
+                   .ok());
+  EXPECT_FALSE(ParseQuery("FIND OUTLIERS FROM (author JUDGED BY "
+                          "author.paper;")
+                   .ok());
+}
+
+TEST(ParserTest, RejectsNegativeWeightViaGrammar) {
+  // The grammar has no unary minus; a negative weight cannot be written.
+  EXPECT_FALSE(ParseQuery("FIND OUTLIERS FROM author JUDGED BY "
+                          "author.paper : -1 TOP 5;")
+                   .ok());
+}
+
+TEST(ParserTest, ErrorsCarryOffsets) {
+  auto r = ParseQuery("FIND OUTLIERS FROM author JUDGED BY TOP 5;");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("offset"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace netout

@@ -1,0 +1,191 @@
+#include "query/progressive.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "datagen/biblio_gen.h"
+#include "query/analyzer.h"
+#include "query/parser.h"
+
+namespace netout {
+namespace {
+
+class ProgressiveFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    BiblioConfig config;
+    config.seed = 11;
+    config.num_areas = 3;
+    config.authors_per_area = 70;
+    config.papers_per_area = 250;
+    config.venues_per_area = 5;
+    config.terms_per_area = 40;
+    config.shared_terms = 20;
+    config.cross_area_coauthor_prob = 0.0;
+    dataset_ = new BiblioDataset(GenerateBiblio(config).value());
+  }
+  static void TearDownTestSuite() { delete dataset_; }
+
+  QueryPlan MakePlan(const std::string& query) {
+    return AnalyzeQuery(*dataset_->hin, ParseQuery(query).value()).value();
+  }
+
+  std::string StarQuery(const char* extra = "") {
+    return "FIND OUTLIERS FROM author{\"" + dataset_->star_names[0] +
+           "\"}.paper.author JUDGED BY author.paper.venue " + extra +
+           " TOP 5;";
+  }
+
+  static BiblioDataset* dataset_;
+};
+
+BiblioDataset* ProgressiveFixture::dataset_ = nullptr;
+
+TEST_F(ProgressiveFixture, FinalSnapshotMatchesExactExecution) {
+  const QueryPlan plan = MakePlan(StarQuery());
+  Executor exact(dataset_->hin, nullptr, ExecOptions{});
+  const QueryResult expected = exact.Run(plan).value();
+
+  ProgressiveOptions options;
+  options.num_batches = 7;
+  ProgressiveExecutor progressive(dataset_->hin, nullptr, ExecOptions{},
+                                  options);
+  ProgressiveSnapshot last;
+  int snapshots = 0;
+  const QueryResult result =
+      progressive
+          .Run(plan,
+               [&](const ProgressiveSnapshot& snapshot) {
+                 ++snapshots;
+                 last = snapshot;
+                 return true;
+               })
+          .value();
+  EXPECT_EQ(snapshots, 7);
+  EXPECT_TRUE(last.final);
+  EXPECT_DOUBLE_EQ(last.fraction_processed, 1.0);
+  ASSERT_EQ(result.outliers.size(), expected.outliers.size());
+  for (std::size_t i = 0; i < expected.outliers.size(); ++i) {
+    EXPECT_EQ(result.outliers[i].name, expected.outliers[i].name);
+    EXPECT_NEAR(result.outliers[i].score, expected.outliers[i].score, 1e-9);
+  }
+}
+
+TEST_F(ProgressiveFixture, EstimatesConvergeTowardExactScores) {
+  const QueryPlan plan = MakePlan(StarQuery());
+  Executor exact(dataset_->hin, nullptr, ExecOptions{});
+  const double exact_top = exact.Run(plan).value().outliers[0].score;
+
+  ProgressiveOptions options;
+  options.num_batches = 10;
+  ProgressiveExecutor progressive(dataset_->hin, nullptr, ExecOptions{},
+                                  options);
+  std::vector<double> top_estimates;
+  progressive
+      .Run(plan,
+           [&](const ProgressiveSnapshot& snapshot) {
+             top_estimates.push_back(snapshot.top[0].score);
+             return true;
+           })
+      .value();
+  ASSERT_EQ(top_estimates.size(), 10u);
+  // The last estimate is exact; the last error is no larger than the
+  // first (convergence, allowing sampling noise in between).
+  EXPECT_NEAR(top_estimates.back(), exact_top, 1e-9);
+}
+
+TEST_F(ProgressiveFixture, StandardErrorShrinks) {
+  const QueryPlan plan = MakePlan(StarQuery());
+  ProgressiveOptions options;
+  options.num_batches = 10;
+  ProgressiveExecutor progressive(dataset_->hin, nullptr, ExecOptions{},
+                                  options);
+  std::vector<double> errors;
+  progressive
+      .Run(plan,
+           [&](const ProgressiveSnapshot& snapshot) {
+             EXPECT_EQ(snapshot.top.size(), snapshot.standard_error.size());
+             double total = 0.0;
+             for (double se : snapshot.standard_error) total += se;
+             errors.push_back(total);
+             return true;
+           })
+      .value();
+  // First snapshot has a single batch -> zero error by convention; from
+  // the second on the error is positive and the last is below the peak.
+  ASSERT_GE(errors.size(), 3u);
+  EXPECT_DOUBLE_EQ(errors[0], 0.0);
+  double peak = 0.0;
+  for (double e : errors) peak = std::max(peak, e);
+  EXPECT_GT(peak, 0.0);
+  EXPECT_LT(errors.back(), peak + 1e-12);
+}
+
+TEST_F(ProgressiveFixture, EarlyStopReturnsApproximateAnswer) {
+  const QueryPlan plan = MakePlan(StarQuery());
+  ProgressiveOptions options;
+  options.num_batches = 10;
+  ProgressiveExecutor progressive(dataset_->hin, nullptr, ExecOptions{},
+                                  options);
+  int snapshots = 0;
+  const QueryResult result =
+      progressive
+          .Run(plan,
+               [&](const ProgressiveSnapshot& snapshot) {
+                 ++snapshots;
+                 return snapshot.fraction_processed < 0.25;  // stop early
+               })
+          .value();
+  EXPECT_LT(snapshots, 10);
+  EXPECT_EQ(result.outliers.size(), 5u);  // still a usable top-k
+}
+
+TEST_F(ProgressiveFixture, MultiPathWeightedAverageSupported) {
+  const QueryPlan plan = MakePlan(
+      "FIND OUTLIERS FROM author{\"" + dataset_->star_names[0] +
+      "\"}.paper.author JUDGED BY author.paper.venue : 2.0, "
+      "author.paper.term TOP 5;");
+  Executor exact(dataset_->hin, nullptr, ExecOptions{});
+  const QueryResult expected = exact.Run(plan).value();
+  ProgressiveExecutor progressive(dataset_->hin, nullptr, ExecOptions{},
+                                  ProgressiveOptions{});
+  const QueryResult result = progressive.Run(plan, nullptr).value();
+  ASSERT_EQ(result.outliers.size(), expected.outliers.size());
+  for (std::size_t i = 0; i < expected.outliers.size(); ++i) {
+    EXPECT_EQ(result.outliers[i].name, expected.outliers[i].name);
+    EXPECT_NEAR(result.outliers[i].score, expected.outliers[i].score, 1e-9);
+  }
+}
+
+TEST_F(ProgressiveFixture, RejectsUnsupportedMeasuresAndCombiners) {
+  const QueryPlan lof_plan = MakePlan(StarQuery("USING MEASURE lof"));
+  ProgressiveExecutor progressive(dataset_->hin, nullptr, ExecOptions{},
+                                  ProgressiveOptions{});
+  EXPECT_EQ(progressive.Run(lof_plan, nullptr).status().code(),
+            StatusCode::kUnimplemented);
+  const QueryPlan rank_plan = MakePlan(StarQuery("COMBINE BY rank"));
+  EXPECT_EQ(progressive.Run(rank_plan, nullptr).status().code(),
+            StatusCode::kUnimplemented);
+}
+
+TEST_F(ProgressiveFixture, SingleBatchDegeneratesToExact) {
+  const QueryPlan plan = MakePlan(StarQuery());
+  ProgressiveOptions options;
+  options.num_batches = 1;
+  ProgressiveExecutor progressive(dataset_->hin, nullptr, ExecOptions{},
+                                  options);
+  int snapshots = 0;
+  progressive
+      .Run(plan,
+           [&](const ProgressiveSnapshot& snapshot) {
+             ++snapshots;
+             EXPECT_TRUE(snapshot.final);
+             return true;
+           })
+      .value();
+  EXPECT_EQ(snapshots, 1);
+}
+
+}  // namespace
+}  // namespace netout

@@ -1,0 +1,64 @@
+#include "query/result_json.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/biblio_gen.h"
+#include "query/engine.h"
+
+namespace netout {
+namespace {
+
+class ResultJsonFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    BiblioConfig config;
+    config.num_areas = 2;
+    config.authors_per_area = 25;
+    config.papers_per_area = 50;
+    config.venues_per_area = 3;
+    config.terms_per_area = 10;
+    config.shared_terms = 5;
+    dataset_ = GenerateBiblio(config).value();
+  }
+  BiblioDataset dataset_;
+};
+
+TEST_F(ResultJsonFixture, SerializesOutliersAndStats) {
+  Engine engine(dataset_.hin);
+  const QueryResult result = engine
+                                 .Execute(R"(
+      FIND OUTLIERS FROM author{"star_0"}.paper.author
+      JUDGED BY author.paper.venue TOP 3;
+  )")
+                                 .value();
+  const std::string json = QueryResultToJson(*dataset_.hin, result);
+  // Structural spot checks (no JSON parser dependency).
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"outliers\":["), std::string::npos);
+  EXPECT_NE(json.find("\"rank\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"type\":\"author\""), std::string::npos);
+  EXPECT_NE(json.find("\"stats\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"candidates\":"), std::string::npos);
+  EXPECT_NE(json.find("\"index_misses\":"), std::string::npos);
+  // Every returned outlier name appears.
+  for (const OutlierEntry& entry : result.outliers) {
+    EXPECT_NE(json.find("\"" + entry.name + "\""), std::string::npos);
+  }
+}
+
+TEST_F(ResultJsonFixture, EmptyResultSerializes) {
+  QueryResult empty;
+  const std::string json = QueryResultToJson(*dataset_.hin, empty);
+  EXPECT_NE(json.find("\"outliers\":[]"), std::string::npos);
+}
+
+TEST_F(ResultJsonFixture, PrettyOutputHasNewlines) {
+  QueryResult empty;
+  const std::string json =
+      QueryResultToJson(*dataset_.hin, empty, /*pretty=*/true);
+  EXPECT_NE(json.find('\n'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace netout

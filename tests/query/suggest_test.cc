@@ -1,0 +1,90 @@
+// Engine::SuggestFeaturePaths (the paper's Section 8 query-modification
+// suggestion).
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "datagen/biblio_gen.h"
+#include "query/engine.h"
+
+namespace netout {
+namespace {
+
+class SuggestFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    BiblioConfig config;
+    config.num_areas = 2;
+    config.authors_per_area = 20;
+    config.papers_per_area = 40;
+    config.venues_per_area = 3;
+    config.terms_per_area = 10;
+    config.shared_terms = 5;
+    dataset_ = new BiblioDataset(GenerateBiblio(config).value());
+  }
+  static void TearDownTestSuite() { delete dataset_; }
+
+  static bool Contains(const std::vector<std::string>& list,
+                       const std::string& item) {
+    return std::find(list.begin(), list.end(), item) != list.end();
+  }
+
+  static BiblioDataset* dataset_;
+};
+
+BiblioDataset* SuggestFixture::dataset_ = nullptr;
+
+TEST_F(SuggestFixture, SuggestsAlternativesExcludingUsedPaths) {
+  Engine engine(dataset_->hin);
+  const auto suggestions =
+      engine
+          .SuggestFeaturePaths(
+              "FIND OUTLIERS FROM author{\"star_0\"}.paper.author "
+              "JUDGED BY author.paper.venue TOP 5;")
+          .value();
+  // From `author` with <=2 hops: author.paper, author.paper.author,
+  // author.paper.venue, author.paper.term — minus the used one.
+  EXPECT_TRUE(Contains(suggestions, "author.paper"));
+  EXPECT_TRUE(Contains(suggestions, "author.paper.author"));
+  EXPECT_TRUE(Contains(suggestions, "author.paper.term"));
+  EXPECT_FALSE(Contains(suggestions, "author.paper.venue"));  // in use
+  EXPECT_EQ(suggestions.size(), 3u);
+}
+
+TEST_F(SuggestFixture, HopBudgetExtendsTheSet) {
+  Engine engine(dataset_->hin);
+  const std::string query =
+      "FIND OUTLIERS FROM author{\"star_0\"}.paper.author "
+      "JUDGED BY author.paper.venue TOP 5;";
+  const auto short_hops = engine.SuggestFeaturePaths(query, 2).value();
+  const auto long_hops = engine.SuggestFeaturePaths(query, 4).value();
+  EXPECT_GT(long_hops.size(), short_hops.size());
+  EXPECT_TRUE(Contains(long_hops, "author.paper.venue.paper.author"));
+  // Every short suggestion survives a larger budget.
+  for (const std::string& s : short_hops) {
+    EXPECT_TRUE(Contains(long_hops, s)) << s;
+  }
+}
+
+TEST_F(SuggestFixture, SuggestionsAreValidQueries) {
+  Engine engine(dataset_->hin);
+  const std::string base =
+      "FIND OUTLIERS FROM author{\"star_0\"}.paper.author JUDGED BY ";
+  const auto suggestions =
+      engine.SuggestFeaturePaths(base + "author.paper.venue TOP 3;", 3)
+          .value();
+  ASSERT_FALSE(suggestions.empty());
+  for (const std::string& path : suggestions) {
+    auto result = engine.Execute(base + path + " TOP 3;");
+    EXPECT_TRUE(result.ok()) << path << ": " << result.status();
+  }
+}
+
+TEST_F(SuggestFixture, PropagatesPrepareErrors) {
+  Engine engine(dataset_->hin);
+  EXPECT_FALSE(engine.SuggestFeaturePaths("NOT A QUERY").ok());
+}
+
+}  // namespace
+}  // namespace netout

@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the command-line tools:
+# generate -> index (PM + SPM) -> query (plain / indexed / json /
+# explain / progressive / batch file).
+set -euo pipefail
+
+TOOLS_DIR="$1"
+WORK_DIR="$(mktemp -d)"
+trap 'rm -rf "$WORK_DIR"' EXIT
+
+GRAPH="$WORK_DIR/smoke.hin"
+QUERY='FIND OUTLIERS FROM author{"star_0"}.paper.author JUDGED BY author.paper.venue TOP 5;'
+
+"$TOOLS_DIR/netout_gen" --kind=biblio --out="$GRAPH" \
+    --areas=3 --authors=40 --papers=120 > "$WORK_DIR/gen.log"
+grep -q "wrote $GRAPH" "$WORK_DIR/gen.log"
+
+"$TOOLS_DIR/netout_index" "$GRAPH" --type=pm --out="$WORK_DIR/pm.idx" \
+    --roots=author,venue,term > "$WORK_DIR/pm.log"
+grep -q "PM index" "$WORK_DIR/pm.log"
+
+printf '%s\n' "$QUERY" > "$WORK_DIR/queries.txt"
+"$TOOLS_DIR/netout_index" "$GRAPH" --type=spm --out="$WORK_DIR/spm.idx" \
+    --queries="$WORK_DIR/queries.txt" --threshold=0.5 > "$WORK_DIR/spm.log"
+grep -q "SPM index" "$WORK_DIR/spm.log"
+
+# Plain, PM-indexed and SPM-indexed runs must agree on the top outlier.
+"$TOOLS_DIR/netout_query" "$GRAPH" --query="$QUERY" > "$WORK_DIR/q_base.log"
+"$TOOLS_DIR/netout_query" "$GRAPH" --pm="$WORK_DIR/pm.idx" \
+    --query="$QUERY" > "$WORK_DIR/q_pm.log"
+"$TOOLS_DIR/netout_query" "$GRAPH" --spm="$WORK_DIR/spm.idx" \
+    --query="$QUERY" > "$WORK_DIR/q_spm.log"
+top_base=$(grep ' 1\.' "$WORK_DIR/q_base.log" | head -1 | awk '{print $2}')
+top_pm=$(grep ' 1\.' "$WORK_DIR/q_pm.log" | head -1 | awk '{print $2}')
+top_spm=$(grep ' 1\.' "$WORK_DIR/q_spm.log" | head -1 | awk '{print $2}')
+[ "$top_base" = "$top_pm" ]
+[ "$top_base" = "$top_spm" ]
+
+# JSON output is emitted and mentions the top outlier.
+"$TOOLS_DIR/netout_query" "$GRAPH" --query="$QUERY" --json \
+    > "$WORK_DIR/q_json.log"
+grep -q '"outliers"' "$WORK_DIR/q_json.log"
+grep -q "\"$top_base\"" "$WORK_DIR/q_json.log"
+
+# Explain runs for the top outlier.
+"$TOOLS_DIR/netout_query" "$GRAPH" --query="$QUERY" \
+    --explain="$top_base" > "$WORK_DIR/q_explain.log"
+grep -q "distinctive" "$WORK_DIR/q_explain.log"
+
+# Progressive streams snapshots and finishes.
+"$TOOLS_DIR/netout_query" "$GRAPH" --query="$QUERY" --progressive \
+    --batches=4 > "$WORK_DIR/q_prog.log"
+grep -q "final answer" "$WORK_DIR/q_prog.log"
+grep -q "100.0%" "$WORK_DIR/q_prog.log"
+
+# Batch file execution with threads.
+printf '%s\n%s\n' "$QUERY" "$QUERY" > "$WORK_DIR/batch.txt"
+"$TOOLS_DIR/netout_query" "$GRAPH" --file="$WORK_DIR/batch.txt" \
+    --threads=2 > "$WORK_DIR/q_batch.log"
+[ "$(grep -c -- '-- query' "$WORK_DIR/q_batch.log")" = "2" ]
+
+echo "tools smoke test passed"

@@ -1,0 +1,165 @@
+// netout_query — run outlier queries against a snapshot.
+//
+//   netout_query GRAPH.hin --query='FIND OUTLIERS ... TOP 10;'
+//   netout_query GRAPH.hin --file=queries.txt [--pm=graph.pmidx]
+//                [--spm=graph.spmidx] [--threads=4]
+//   netout_query GRAPH.hin --query='...' --explain=VERTEX
+//   netout_query GRAPH.hin --query='...' --progressive [--batches=10]
+//   netout_query GRAPH.hin --query='...' --json
+//
+// With --file, queries (one per line) run through the parallel batch
+// driver. --pm / --spm attach a pre-built index. --explain prints why
+// the named candidate scores the way it does; --progressive streams
+// approximate top-k snapshots with confidence while executing.
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/binary_io.h"
+#include "common/string_util.h"
+#include "graph/io.h"
+#include "index/serialize.h"
+#include "query/analyzer.h"
+#include "query/batch.h"
+#include "query/engine.h"
+#include "query/parser.h"
+#include "query/progressive.h"
+#include "query/result_json.h"
+#include "tools/tool_util.h"
+
+namespace {
+
+using namespace netout;
+
+void PrintResult(const QueryResult& result) {
+  std::printf("%zu candidate(s), %zu reference(s), %.2f ms "
+              "(index hits %zu / misses %zu)\n",
+              result.stats.candidate_count, result.stats.reference_count,
+              static_cast<double>(result.stats.total_nanos) / 1e6,
+              result.stats.eval.index_hits,
+              result.stats.eval.index_misses);
+  for (std::size_t i = 0; i < result.outliers.size(); ++i) {
+    std::printf("  %2zu. %-28s %12.4f%s\n", i + 1,
+                result.outliers[i].name.c_str(), result.outliers[i].score,
+                result.outliers[i].zero_visibility ? "  (zero visibility)"
+                                                   : "");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace netout::tools;
+
+  const Args args = ParseArgs(argc, argv);
+  if (args.positional.size() != 1 ||
+      (!args.Has("query") && !args.Has("file"))) {
+    std::fprintf(stderr,
+                 "usage: netout_query GRAPH.hin --query='...' | "
+                 "--file=FILE [--pm=IDX | --spm=IDX] [--threads=N] "
+                 "[--explain=VERTEX] [--progressive [--batches=N]]\n");
+    return 1;
+  }
+  const HinPtr hin =
+      UnwrapOrDie(LoadHinBinary(args.positional[0]), "load graph");
+
+  std::unique_ptr<PmIndex> pm;
+  std::unique_ptr<SpmIndex> spm;
+  EngineOptions engine_options;
+  if (args.Has("pm")) {
+    pm = UnwrapOrDie(LoadPmIndex(*hin, args.Get("pm")), "load PM index");
+    engine_options.index = pm.get();
+  } else if (args.Has("spm")) {
+    spm =
+        UnwrapOrDie(LoadSpmIndex(*hin, args.Get("spm")), "load SPM index");
+    engine_options.index = spm.get();
+  }
+
+  if (args.Has("file")) {
+    const std::string text =
+        UnwrapOrDie(ReadFileToString(args.Get("file")), "read query file");
+    std::vector<std::string> queries;
+    std::istringstream stream(text);
+    std::string line;
+    while (std::getline(stream, line)) {
+      if (!StrTrim(line).empty()) queries.push_back(line);
+    }
+    const std::size_t threads =
+        static_cast<std::size_t>(args.GetInt("threads", 1));
+    BatchRunner runner(hin, engine_options, threads);
+    const auto outcomes = runner.Run(queries);
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      std::printf("\n-- query %zu: %s\n", i + 1, queries[i].c_str());
+      if (!outcomes[i].status.ok()) {
+        std::printf("  error: %s\n", outcomes[i].status.ToString().c_str());
+      } else {
+        PrintResult(outcomes[i].result);
+      }
+    }
+    return 0;
+  }
+
+  const std::string query = args.Get("query");
+  Engine engine(hin, engine_options);
+
+  if (args.Has("explain")) {
+    const auto explanations = UnwrapOrDie(
+        engine.Explain(query, args.Get("explain")), "explain");
+    for (const auto& explanation : explanations) {
+      std::printf("path %s: NetOut = %.4f\n",
+                  explanation.path_text.c_str(), explanation.score);
+      std::printf("  distinctive (candidate over-invests):\n");
+      for (const auto& term : explanation.distinctive) {
+        std::printf("    %-28s candidate %.0f vs reference mass %.0f\n",
+                    term.name.c_str(), term.candidate_count,
+                    term.reference_mass);
+      }
+      std::printf("  missing (community behavior the candidate lacks):\n");
+      for (const auto& term : explanation.missing) {
+        std::printf("    %-28s candidate %.0f vs reference mass %.0f\n",
+                    term.name.c_str(), term.candidate_count,
+                    term.reference_mass);
+      }
+    }
+    return 0;
+  }
+
+  if (args.Has("progressive")) {
+    const QueryPlan plan = UnwrapOrDie(engine.Prepare(query), "prepare");
+    ProgressiveOptions options;
+    options.num_batches =
+        static_cast<std::size_t>(args.GetInt("batches", 10));
+    ProgressiveExecutor progressive(hin, engine_options.index,
+                                    engine_options.exec, options);
+    const QueryResult result = UnwrapOrDie(
+        progressive.Run(plan,
+                        [](const ProgressiveSnapshot& snapshot) {
+                          std::printf("[%5.1f%%] top-1 %s  score ~%.4f  "
+                                      "(stderr %.4f)%s\n",
+                                      snapshot.fraction_processed * 100.0,
+                                      snapshot.top.empty()
+                                          ? "-"
+                                          : snapshot.top[0].name.c_str(),
+                                      snapshot.top.empty()
+                                          ? 0.0
+                                          : snapshot.top[0].score,
+                                      snapshot.standard_error.empty()
+                                          ? 0.0
+                                          : snapshot.standard_error[0],
+                                      snapshot.final ? "  [final]" : "");
+                          return true;
+                        }),
+        "progressive run");
+    std::printf("\nfinal answer:\n");
+    PrintResult(result);
+    return 0;
+  }
+
+  const QueryResult result = UnwrapOrDie(engine.Execute(query), "execute");
+  if (args.Has("json")) {
+    std::printf("%s\n", QueryResultToJson(*hin, result, true).c_str());
+  } else {
+    PrintResult(result);
+  }
+  return 0;
+}

@@ -1,0 +1,83 @@
+#ifndef NETOUT_TOOLS_TOOL_UTIL_H_
+#define NETOUT_TOOLS_TOOL_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/string_util.h"
+
+namespace netout::tools {
+
+/// Minimal command-line parsing: positional arguments plus
+/// --key=value / --flag options.
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> options;
+
+  bool Has(const std::string& key) const { return options.count(key) > 0; }
+
+  std::string Get(const std::string& key,
+                  const std::string& fallback = "") const {
+    auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+
+  std::int64_t GetInt(const std::string& key, std::int64_t fallback) const {
+    auto it = options.find(key);
+    if (it == options.end()) return fallback;
+    auto parsed = ParseInt64(it->second);
+    return parsed.ok() ? parsed.value() : fallback;
+  }
+
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = options.find(key);
+    if (it == options.end()) return fallback;
+    auto parsed = ParseDouble(it->second);
+    return parsed.ok() ? parsed.value() : fallback;
+  }
+};
+
+inline Args ParseArgs(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (StartsWith(arg, "--")) {
+      const std::size_t eq = arg.find('=');
+      if (eq == std::string::npos) {
+        args.options[arg.substr(2)] = "true";
+      } else {
+        args.options[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      }
+    } else {
+      args.positional.push_back(arg);
+    }
+  }
+  return args;
+}
+
+/// Prints an error and exits if `status` is not OK.
+inline void CheckOk(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "error (%s): %s\n", what,
+                 status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T UnwrapOrDie(Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "error (%s): %s\n", what,
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+}  // namespace netout::tools
+
+#endif  // NETOUT_TOOLS_TOOL_UTIL_H_
