@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_threshold"
+  "../bench/bench_fig5_threshold.pdb"
+  "CMakeFiles/bench_fig5_threshold.dir/bench_fig5_threshold.cc.o"
+  "CMakeFiles/bench_fig5_threshold.dir/bench_fig5_threshold.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

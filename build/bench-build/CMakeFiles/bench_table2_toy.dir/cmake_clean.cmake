@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_toy"
+  "../bench/bench_table2_toy.pdb"
+  "CMakeFiles/bench_table2_toy.dir/bench_table2_toy.cc.o"
+  "CMakeFiles/bench_table2_toy.dir/bench_table2_toy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_toy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_measures"
+  "../bench/bench_table3_measures.pdb"
+  "CMakeFiles/bench_table3_measures.dir/bench_table3_measures.cc.o"
+  "CMakeFiles/bench_table3_measures.dir/bench_table3_measures.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_measures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_bench_batch"
+  "../bench/micro_bench_batch.pdb"
+  "CMakeFiles/micro_bench_batch.dir/micro/bench_batch.cc.o"
+  "CMakeFiles/micro_bench_batch.dir/micro/bench_batch.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_bench_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

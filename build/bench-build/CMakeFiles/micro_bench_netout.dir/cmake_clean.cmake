@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_bench_netout"
+  "../bench/micro_bench_netout.pdb"
+  "CMakeFiles/micro_bench_netout.dir/micro/bench_netout.cc.o"
+  "CMakeFiles/micro_bench_netout.dir/micro/bench_netout.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_bench_netout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_bench_parser"
+  "../bench/micro_bench_parser.pdb"
+  "CMakeFiles/micro_bench_parser.dir/micro/bench_parser.cc.o"
+  "CMakeFiles/micro_bench_parser.dir/micro/bench_parser.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_bench_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

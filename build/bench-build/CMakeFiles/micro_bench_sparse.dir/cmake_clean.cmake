@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_bench_sparse"
+  "../bench/micro_bench_sparse.pdb"
+  "CMakeFiles/micro_bench_sparse.dir/micro/bench_sparse.cc.o"
+  "CMakeFiles/micro_bench_sparse.dir/micro/bench_sparse.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_bench_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

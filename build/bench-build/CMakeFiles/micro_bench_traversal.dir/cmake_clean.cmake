@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_bench_traversal"
+  "../bench/micro_bench_traversal.pdb"
+  "CMakeFiles/micro_bench_traversal.dir/micro/bench_traversal.cc.o"
+  "CMakeFiles/micro_bench_traversal.dir/micro/bench_traversal.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_bench_traversal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netout_shell.dir/netout_shell.cpp.o"
+  "CMakeFiles/netout_shell.dir/netout_shell.cpp.o.d"
+  "netout_shell"
+  "netout_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netout_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netout_common.dir/binary_io.cc.o"
+  "CMakeFiles/netout_common.dir/binary_io.cc.o.d"
+  "CMakeFiles/netout_common.dir/json.cc.o"
+  "CMakeFiles/netout_common.dir/json.cc.o.d"
+  "CMakeFiles/netout_common.dir/logging.cc.o"
+  "CMakeFiles/netout_common.dir/logging.cc.o.d"
+  "CMakeFiles/netout_common.dir/random.cc.o"
+  "CMakeFiles/netout_common.dir/random.cc.o.d"
+  "CMakeFiles/netout_common.dir/status.cc.o"
+  "CMakeFiles/netout_common.dir/status.cc.o.d"
+  "CMakeFiles/netout_common.dir/string_util.cc.o"
+  "CMakeFiles/netout_common.dir/string_util.cc.o.d"
+  "CMakeFiles/netout_common.dir/thread_pool.cc.o"
+  "CMakeFiles/netout_common.dir/thread_pool.cc.o.d"
+  "libnetout_common.a"
+  "libnetout_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netout_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/biblio_gen.cc" "src/datagen/CMakeFiles/netout_datagen.dir/biblio_gen.cc.o" "gcc" "src/datagen/CMakeFiles/netout_datagen.dir/biblio_gen.cc.o.d"
+  "/root/repo/src/datagen/security_gen.cc" "src/datagen/CMakeFiles/netout_datagen.dir/security_gen.cc.o" "gcc" "src/datagen/CMakeFiles/netout_datagen.dir/security_gen.cc.o.d"
+  "/root/repo/src/datagen/workload.cc" "src/datagen/CMakeFiles/netout_datagen.dir/workload.cc.o" "gcc" "src/datagen/CMakeFiles/netout_datagen.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/netout_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/netout_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

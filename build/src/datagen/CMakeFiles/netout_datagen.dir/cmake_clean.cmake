@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netout_datagen.dir/biblio_gen.cc.o"
+  "CMakeFiles/netout_datagen.dir/biblio_gen.cc.o.d"
+  "CMakeFiles/netout_datagen.dir/security_gen.cc.o"
+  "CMakeFiles/netout_datagen.dir/security_gen.cc.o.d"
+  "CMakeFiles/netout_datagen.dir/workload.cc.o"
+  "CMakeFiles/netout_datagen.dir/workload.cc.o.d"
+  "libnetout_datagen.a"
+  "libnetout_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netout_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

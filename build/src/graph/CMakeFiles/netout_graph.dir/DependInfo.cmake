@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/builder.cc" "src/graph/CMakeFiles/netout_graph.dir/builder.cc.o" "gcc" "src/graph/CMakeFiles/netout_graph.dir/builder.cc.o.d"
+  "/root/repo/src/graph/csr.cc" "src/graph/CMakeFiles/netout_graph.dir/csr.cc.o" "gcc" "src/graph/CMakeFiles/netout_graph.dir/csr.cc.o.d"
+  "/root/repo/src/graph/hin.cc" "src/graph/CMakeFiles/netout_graph.dir/hin.cc.o" "gcc" "src/graph/CMakeFiles/netout_graph.dir/hin.cc.o.d"
+  "/root/repo/src/graph/import.cc" "src/graph/CMakeFiles/netout_graph.dir/import.cc.o" "gcc" "src/graph/CMakeFiles/netout_graph.dir/import.cc.o.d"
+  "/root/repo/src/graph/io.cc" "src/graph/CMakeFiles/netout_graph.dir/io.cc.o" "gcc" "src/graph/CMakeFiles/netout_graph.dir/io.cc.o.d"
+  "/root/repo/src/graph/schema.cc" "src/graph/CMakeFiles/netout_graph.dir/schema.cc.o" "gcc" "src/graph/CMakeFiles/netout_graph.dir/schema.cc.o.d"
+  "/root/repo/src/graph/stats.cc" "src/graph/CMakeFiles/netout_graph.dir/stats.cc.o" "gcc" "src/graph/CMakeFiles/netout_graph.dir/stats.cc.o.d"
+  "/root/repo/src/graph/subgraph.cc" "src/graph/CMakeFiles/netout_graph.dir/subgraph.cc.o" "gcc" "src/graph/CMakeFiles/netout_graph.dir/subgraph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/netout_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netout_graph.dir/builder.cc.o"
+  "CMakeFiles/netout_graph.dir/builder.cc.o.d"
+  "CMakeFiles/netout_graph.dir/csr.cc.o"
+  "CMakeFiles/netout_graph.dir/csr.cc.o.d"
+  "CMakeFiles/netout_graph.dir/hin.cc.o"
+  "CMakeFiles/netout_graph.dir/hin.cc.o.d"
+  "CMakeFiles/netout_graph.dir/import.cc.o"
+  "CMakeFiles/netout_graph.dir/import.cc.o.d"
+  "CMakeFiles/netout_graph.dir/io.cc.o"
+  "CMakeFiles/netout_graph.dir/io.cc.o.d"
+  "CMakeFiles/netout_graph.dir/schema.cc.o"
+  "CMakeFiles/netout_graph.dir/schema.cc.o.d"
+  "CMakeFiles/netout_graph.dir/stats.cc.o"
+  "CMakeFiles/netout_graph.dir/stats.cc.o.d"
+  "CMakeFiles/netout_graph.dir/subgraph.cc.o"
+  "CMakeFiles/netout_graph.dir/subgraph.cc.o.d"
+  "libnetout_graph.a"
+  "libnetout_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netout_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnetout_graph.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/cached_index.cc" "src/index/CMakeFiles/netout_index.dir/cached_index.cc.o" "gcc" "src/index/CMakeFiles/netout_index.dir/cached_index.cc.o.d"
+  "/root/repo/src/index/pm_index.cc" "src/index/CMakeFiles/netout_index.dir/pm_index.cc.o" "gcc" "src/index/CMakeFiles/netout_index.dir/pm_index.cc.o.d"
+  "/root/repo/src/index/serialize.cc" "src/index/CMakeFiles/netout_index.dir/serialize.cc.o" "gcc" "src/index/CMakeFiles/netout_index.dir/serialize.cc.o.d"
+  "/root/repo/src/index/spm_index.cc" "src/index/CMakeFiles/netout_index.dir/spm_index.cc.o" "gcc" "src/index/CMakeFiles/netout_index.dir/spm_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/metapath/CMakeFiles/netout_metapath.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/netout_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/netout_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netout_index.dir/cached_index.cc.o"
+  "CMakeFiles/netout_index.dir/cached_index.cc.o.d"
+  "CMakeFiles/netout_index.dir/pm_index.cc.o"
+  "CMakeFiles/netout_index.dir/pm_index.cc.o.d"
+  "CMakeFiles/netout_index.dir/serialize.cc.o"
+  "CMakeFiles/netout_index.dir/serialize.cc.o.d"
+  "CMakeFiles/netout_index.dir/spm_index.cc.o"
+  "CMakeFiles/netout_index.dir/spm_index.cc.o.d"
+  "libnetout_index.a"
+  "libnetout_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netout_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

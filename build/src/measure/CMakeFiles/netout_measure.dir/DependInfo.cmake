@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/measure/connectivity.cc" "src/measure/CMakeFiles/netout_measure.dir/connectivity.cc.o" "gcc" "src/measure/CMakeFiles/netout_measure.dir/connectivity.cc.o.d"
+  "/root/repo/src/measure/explain.cc" "src/measure/CMakeFiles/netout_measure.dir/explain.cc.o" "gcc" "src/measure/CMakeFiles/netout_measure.dir/explain.cc.o.d"
+  "/root/repo/src/measure/lof.cc" "src/measure/CMakeFiles/netout_measure.dir/lof.cc.o" "gcc" "src/measure/CMakeFiles/netout_measure.dir/lof.cc.o.d"
+  "/root/repo/src/measure/scores.cc" "src/measure/CMakeFiles/netout_measure.dir/scores.cc.o" "gcc" "src/measure/CMakeFiles/netout_measure.dir/scores.cc.o.d"
+  "/root/repo/src/measure/topk.cc" "src/measure/CMakeFiles/netout_measure.dir/topk.cc.o" "gcc" "src/measure/CMakeFiles/netout_measure.dir/topk.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/metapath/CMakeFiles/netout_metapath.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/netout_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/netout_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

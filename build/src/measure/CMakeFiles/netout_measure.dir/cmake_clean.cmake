@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netout_measure.dir/connectivity.cc.o"
+  "CMakeFiles/netout_measure.dir/connectivity.cc.o.d"
+  "CMakeFiles/netout_measure.dir/explain.cc.o"
+  "CMakeFiles/netout_measure.dir/explain.cc.o.d"
+  "CMakeFiles/netout_measure.dir/lof.cc.o"
+  "CMakeFiles/netout_measure.dir/lof.cc.o.d"
+  "CMakeFiles/netout_measure.dir/scores.cc.o"
+  "CMakeFiles/netout_measure.dir/scores.cc.o.d"
+  "CMakeFiles/netout_measure.dir/topk.cc.o"
+  "CMakeFiles/netout_measure.dir/topk.cc.o.d"
+  "libnetout_measure.a"
+  "libnetout_measure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netout_measure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

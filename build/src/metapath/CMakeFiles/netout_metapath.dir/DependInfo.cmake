@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metapath/evaluator.cc" "src/metapath/CMakeFiles/netout_metapath.dir/evaluator.cc.o" "gcc" "src/metapath/CMakeFiles/netout_metapath.dir/evaluator.cc.o.d"
+  "/root/repo/src/metapath/matrix.cc" "src/metapath/CMakeFiles/netout_metapath.dir/matrix.cc.o" "gcc" "src/metapath/CMakeFiles/netout_metapath.dir/matrix.cc.o.d"
+  "/root/repo/src/metapath/metapath.cc" "src/metapath/CMakeFiles/netout_metapath.dir/metapath.cc.o" "gcc" "src/metapath/CMakeFiles/netout_metapath.dir/metapath.cc.o.d"
+  "/root/repo/src/metapath/sparse_vector.cc" "src/metapath/CMakeFiles/netout_metapath.dir/sparse_vector.cc.o" "gcc" "src/metapath/CMakeFiles/netout_metapath.dir/sparse_vector.cc.o.d"
+  "/root/repo/src/metapath/traversal.cc" "src/metapath/CMakeFiles/netout_metapath.dir/traversal.cc.o" "gcc" "src/metapath/CMakeFiles/netout_metapath.dir/traversal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/netout_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/netout_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netout_metapath.dir/evaluator.cc.o"
+  "CMakeFiles/netout_metapath.dir/evaluator.cc.o.d"
+  "CMakeFiles/netout_metapath.dir/matrix.cc.o"
+  "CMakeFiles/netout_metapath.dir/matrix.cc.o.d"
+  "CMakeFiles/netout_metapath.dir/metapath.cc.o"
+  "CMakeFiles/netout_metapath.dir/metapath.cc.o.d"
+  "CMakeFiles/netout_metapath.dir/sparse_vector.cc.o"
+  "CMakeFiles/netout_metapath.dir/sparse_vector.cc.o.d"
+  "CMakeFiles/netout_metapath.dir/traversal.cc.o"
+  "CMakeFiles/netout_metapath.dir/traversal.cc.o.d"
+  "libnetout_metapath.a"
+  "libnetout_metapath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netout_metapath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/analyzer.cc" "src/query/CMakeFiles/netout_query.dir/analyzer.cc.o" "gcc" "src/query/CMakeFiles/netout_query.dir/analyzer.cc.o.d"
+  "/root/repo/src/query/batch.cc" "src/query/CMakeFiles/netout_query.dir/batch.cc.o" "gcc" "src/query/CMakeFiles/netout_query.dir/batch.cc.o.d"
+  "/root/repo/src/query/engine.cc" "src/query/CMakeFiles/netout_query.dir/engine.cc.o" "gcc" "src/query/CMakeFiles/netout_query.dir/engine.cc.o.d"
+  "/root/repo/src/query/executor.cc" "src/query/CMakeFiles/netout_query.dir/executor.cc.o" "gcc" "src/query/CMakeFiles/netout_query.dir/executor.cc.o.d"
+  "/root/repo/src/query/lexer.cc" "src/query/CMakeFiles/netout_query.dir/lexer.cc.o" "gcc" "src/query/CMakeFiles/netout_query.dir/lexer.cc.o.d"
+  "/root/repo/src/query/parser.cc" "src/query/CMakeFiles/netout_query.dir/parser.cc.o" "gcc" "src/query/CMakeFiles/netout_query.dir/parser.cc.o.d"
+  "/root/repo/src/query/progressive.cc" "src/query/CMakeFiles/netout_query.dir/progressive.cc.o" "gcc" "src/query/CMakeFiles/netout_query.dir/progressive.cc.o.d"
+  "/root/repo/src/query/result_json.cc" "src/query/CMakeFiles/netout_query.dir/result_json.cc.o" "gcc" "src/query/CMakeFiles/netout_query.dir/result_json.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/measure/CMakeFiles/netout_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/netout_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/metapath/CMakeFiles/netout_metapath.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/netout_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/netout_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

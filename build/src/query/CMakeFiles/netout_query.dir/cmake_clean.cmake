@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netout_query.dir/analyzer.cc.o"
+  "CMakeFiles/netout_query.dir/analyzer.cc.o.d"
+  "CMakeFiles/netout_query.dir/batch.cc.o"
+  "CMakeFiles/netout_query.dir/batch.cc.o.d"
+  "CMakeFiles/netout_query.dir/engine.cc.o"
+  "CMakeFiles/netout_query.dir/engine.cc.o.d"
+  "CMakeFiles/netout_query.dir/executor.cc.o"
+  "CMakeFiles/netout_query.dir/executor.cc.o.d"
+  "CMakeFiles/netout_query.dir/lexer.cc.o"
+  "CMakeFiles/netout_query.dir/lexer.cc.o.d"
+  "CMakeFiles/netout_query.dir/parser.cc.o"
+  "CMakeFiles/netout_query.dir/parser.cc.o.d"
+  "CMakeFiles/netout_query.dir/progressive.cc.o"
+  "CMakeFiles/netout_query.dir/progressive.cc.o.d"
+  "CMakeFiles/netout_query.dir/result_json.cc.o"
+  "CMakeFiles/netout_query.dir/result_json.cc.o.d"
+  "libnetout_query.a"
+  "libnetout_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netout_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

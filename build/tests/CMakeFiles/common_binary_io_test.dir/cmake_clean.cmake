@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_binary_io_test.dir/common/binary_io_test.cc.o"
+  "CMakeFiles/common_binary_io_test.dir/common/binary_io_test.cc.o.d"
+  "common_binary_io_test"
+  "common_binary_io_test.pdb"
+  "common_binary_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_binary_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

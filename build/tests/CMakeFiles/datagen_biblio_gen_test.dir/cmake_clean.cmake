@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datagen_biblio_gen_test.dir/datagen/biblio_gen_test.cc.o"
+  "CMakeFiles/datagen_biblio_gen_test.dir/datagen/biblio_gen_test.cc.o.d"
+  "datagen_biblio_gen_test"
+  "datagen_biblio_gen_test.pdb"
+  "datagen_biblio_gen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datagen_biblio_gen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datagen_security_gen_test.dir/datagen/security_gen_test.cc.o"
+  "CMakeFiles/datagen_security_gen_test.dir/datagen/security_gen_test.cc.o.d"
+  "datagen_security_gen_test"
+  "datagen_security_gen_test.pdb"
+  "datagen_security_gen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datagen_security_gen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datagen_workload_test.dir/datagen/workload_test.cc.o"
+  "CMakeFiles/datagen_workload_test.dir/datagen/workload_test.cc.o.d"
+  "datagen_workload_test"
+  "datagen_workload_test.pdb"
+  "datagen_workload_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datagen_workload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_import_test.dir/graph/import_test.cc.o"
+  "CMakeFiles/graph_import_test.dir/graph/import_test.cc.o.d"
+  "graph_import_test"
+  "graph_import_test.pdb"
+  "graph_import_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_import_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

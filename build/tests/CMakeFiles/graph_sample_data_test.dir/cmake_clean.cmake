@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_sample_data_test.dir/graph/sample_data_test.cc.o"
+  "CMakeFiles/graph_sample_data_test.dir/graph/sample_data_test.cc.o.d"
+  "graph_sample_data_test"
+  "graph_sample_data_test.pdb"
+  "graph_sample_data_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_sample_data_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

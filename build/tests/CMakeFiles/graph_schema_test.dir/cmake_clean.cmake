@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_schema_test.dir/graph/schema_test.cc.o"
+  "CMakeFiles/graph_schema_test.dir/graph/schema_test.cc.o.d"
+  "graph_schema_test"
+  "graph_schema_test.pdb"
+  "graph_schema_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_schema_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_subgraph_test.dir/graph/subgraph_test.cc.o"
+  "CMakeFiles/graph_subgraph_test.dir/graph/subgraph_test.cc.o.d"
+  "graph_subgraph_test"
+  "graph_subgraph_test.pdb"
+  "graph_subgraph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_subgraph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

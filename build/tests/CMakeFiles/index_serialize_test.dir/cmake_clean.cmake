@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_serialize_test.dir/index/serialize_test.cc.o"
+  "CMakeFiles/index_serialize_test.dir/index/serialize_test.cc.o.d"
+  "index_serialize_test"
+  "index_serialize_test.pdb"
+  "index_serialize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_serialize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_set_algebra_test.dir/integration/set_algebra_test.cc.o"
+  "CMakeFiles/integration_set_algebra_test.dir/integration/set_algebra_test.cc.o.d"
+  "integration_set_algebra_test"
+  "integration_set_algebra_test.pdb"
+  "integration_set_algebra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_set_algebra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

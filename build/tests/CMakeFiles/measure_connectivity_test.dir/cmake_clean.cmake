@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/measure_connectivity_test.dir/measure/connectivity_test.cc.o"
+  "CMakeFiles/measure_connectivity_test.dir/measure/connectivity_test.cc.o.d"
+  "measure_connectivity_test"
+  "measure_connectivity_test.pdb"
+  "measure_connectivity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/measure_connectivity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

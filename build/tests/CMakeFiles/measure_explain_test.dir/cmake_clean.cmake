@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/measure_explain_test.dir/measure/explain_test.cc.o"
+  "CMakeFiles/measure_explain_test.dir/measure/explain_test.cc.o.d"
+  "measure_explain_test"
+  "measure_explain_test.pdb"
+  "measure_explain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/measure_explain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

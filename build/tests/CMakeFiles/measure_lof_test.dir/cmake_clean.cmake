@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/measure_lof_test.dir/measure/lof_test.cc.o"
+  "CMakeFiles/measure_lof_test.dir/measure/lof_test.cc.o.d"
+  "measure_lof_test"
+  "measure_lof_test.pdb"
+  "measure_lof_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/measure_lof_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

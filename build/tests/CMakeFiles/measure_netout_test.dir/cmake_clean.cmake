@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/measure_netout_test.dir/measure/netout_test.cc.o"
+  "CMakeFiles/measure_netout_test.dir/measure/netout_test.cc.o.d"
+  "measure_netout_test"
+  "measure_netout_test.pdb"
+  "measure_netout_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/measure_netout_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/measure_scores_test.dir/measure/scores_test.cc.o"
+  "CMakeFiles/measure_scores_test.dir/measure/scores_test.cc.o.d"
+  "measure_scores_test"
+  "measure_scores_test.pdb"
+  "measure_scores_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/measure_scores_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

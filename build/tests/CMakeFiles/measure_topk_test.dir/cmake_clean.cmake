@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/measure_topk_test.dir/measure/topk_test.cc.o"
+  "CMakeFiles/measure_topk_test.dir/measure/topk_test.cc.o.d"
+  "measure_topk_test"
+  "measure_topk_test.pdb"
+  "measure_topk_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/measure_topk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metapath_evaluator_test.dir/metapath/evaluator_test.cc.o"
+  "CMakeFiles/metapath_evaluator_test.dir/metapath/evaluator_test.cc.o.d"
+  "metapath_evaluator_test"
+  "metapath_evaluator_test.pdb"
+  "metapath_evaluator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metapath_evaluator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

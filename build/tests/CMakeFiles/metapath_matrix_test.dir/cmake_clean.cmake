@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metapath_matrix_test.dir/metapath/matrix_test.cc.o"
+  "CMakeFiles/metapath_matrix_test.dir/metapath/matrix_test.cc.o.d"
+  "metapath_matrix_test"
+  "metapath_matrix_test.pdb"
+  "metapath_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metapath_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

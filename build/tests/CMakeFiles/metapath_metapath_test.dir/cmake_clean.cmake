@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metapath_metapath_test.dir/metapath/metapath_test.cc.o"
+  "CMakeFiles/metapath_metapath_test.dir/metapath/metapath_test.cc.o.d"
+  "metapath_metapath_test"
+  "metapath_metapath_test.pdb"
+  "metapath_metapath_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metapath_metapath_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

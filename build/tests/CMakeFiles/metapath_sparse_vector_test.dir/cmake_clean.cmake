@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metapath_sparse_vector_test.dir/metapath/sparse_vector_test.cc.o"
+  "CMakeFiles/metapath_sparse_vector_test.dir/metapath/sparse_vector_test.cc.o.d"
+  "metapath_sparse_vector_test"
+  "metapath_sparse_vector_test.pdb"
+  "metapath_sparse_vector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metapath_sparse_vector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

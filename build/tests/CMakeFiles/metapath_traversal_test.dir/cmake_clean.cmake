@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metapath_traversal_test.dir/metapath/traversal_test.cc.o"
+  "CMakeFiles/metapath_traversal_test.dir/metapath/traversal_test.cc.o.d"
+  "metapath_traversal_test"
+  "metapath_traversal_test.pdb"
+  "metapath_traversal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metapath_traversal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

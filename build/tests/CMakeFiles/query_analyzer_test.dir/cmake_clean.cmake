@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_analyzer_test.dir/query/analyzer_test.cc.o"
+  "CMakeFiles/query_analyzer_test.dir/query/analyzer_test.cc.o.d"
+  "query_analyzer_test"
+  "query_analyzer_test.pdb"
+  "query_analyzer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_analyzer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

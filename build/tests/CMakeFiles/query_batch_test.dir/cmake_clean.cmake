@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_batch_test.dir/query/batch_test.cc.o"
+  "CMakeFiles/query_batch_test.dir/query/batch_test.cc.o.d"
+  "query_batch_test"
+  "query_batch_test.pdb"
+  "query_batch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_batch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_describe_test.dir/query/describe_test.cc.o"
+  "CMakeFiles/query_describe_test.dir/query/describe_test.cc.o.d"
+  "query_describe_test"
+  "query_describe_test.pdb"
+  "query_describe_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_describe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_executor_test.dir/query/executor_test.cc.o"
+  "CMakeFiles/query_executor_test.dir/query/executor_test.cc.o.d"
+  "query_executor_test"
+  "query_executor_test.pdb"
+  "query_executor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_executor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

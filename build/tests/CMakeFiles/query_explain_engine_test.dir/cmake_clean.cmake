@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_explain_engine_test.dir/query/explain_engine_test.cc.o"
+  "CMakeFiles/query_explain_engine_test.dir/query/explain_engine_test.cc.o.d"
+  "query_explain_engine_test"
+  "query_explain_engine_test.pdb"
+  "query_explain_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_explain_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

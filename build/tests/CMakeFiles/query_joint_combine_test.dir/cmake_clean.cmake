@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_joint_combine_test.dir/query/joint_combine_test.cc.o"
+  "CMakeFiles/query_joint_combine_test.dir/query/joint_combine_test.cc.o.d"
+  "query_joint_combine_test"
+  "query_joint_combine_test.pdb"
+  "query_joint_combine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_joint_combine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_progressive_test.dir/query/progressive_test.cc.o"
+  "CMakeFiles/query_progressive_test.dir/query/progressive_test.cc.o.d"
+  "query_progressive_test"
+  "query_progressive_test.pdb"
+  "query_progressive_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_progressive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_suggest_test.dir/query/suggest_test.cc.o"
+  "CMakeFiles/query_suggest_test.dir/query/suggest_test.cc.o.d"
+  "query_suggest_test"
+  "query_suggest_test.pdb"
+  "query_suggest_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_suggest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

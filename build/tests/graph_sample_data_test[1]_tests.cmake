@@ -1,0 +1,3 @@
+add_test([=[SampleDataTest.Figure1ExampleLoadsAndMatchesThePaper]=]  /root/repo/build/tests/graph_sample_data_test [==[--gtest_filter=SampleDataTest.Figure1ExampleLoadsAndMatchesThePaper]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[SampleDataTest.Figure1ExampleLoadsAndMatchesThePaper]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  graph_sample_data_test_TESTS SampleDataTest.Figure1ExampleLoadsAndMatchesThePaper)

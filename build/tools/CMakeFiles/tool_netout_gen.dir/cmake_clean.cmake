@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_netout_gen.dir/netout_gen.cc.o"
+  "CMakeFiles/tool_netout_gen.dir/netout_gen.cc.o.d"
+  "netout_gen"
+  "netout_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_netout_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_netout_index.dir/netout_index.cc.o"
+  "CMakeFiles/tool_netout_index.dir/netout_index.cc.o.d"
+  "netout_index"
+  "netout_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_netout_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_netout_query.dir/netout_query.cc.o"
+  "CMakeFiles/tool_netout_query.dir/netout_query.cc.o.d"
+  "netout_query"
+  "netout_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_netout_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
