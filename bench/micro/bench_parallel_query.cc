@@ -1,0 +1,87 @@
+// Single-query scaling: one FIND OUTLIERS query over every author
+// (~1.5k candidates) executed with ExecOptions::num_threads at 1/2/4/8.
+// Intra-query parallelism fans out the per-candidate neighbor-vector
+// materialization and the scoring loops; the top-k answer is verified
+// identical across thread counts at setup, so any speedup is free of
+// result drift (extension beyond the paper's single-threaded
+// measurements, complementary to the batch driver's whole-query
+// parallelism).
+
+#include <benchmark/benchmark.h>
+
+#include "common/logging.h"
+#include "datagen/biblio_gen.h"
+#include "query/engine.h"
+
+namespace {
+
+using namespace netout;
+
+// The 4-step coauthor-venue path makes per-candidate materialization
+// heavy enough (one BFS over coauthors' papers per author) that the
+// fan-out overhead is amortized; a 2-step path finishes in microseconds
+// per candidate and parallelism cannot pay for itself.
+constexpr const char* kQuery =
+    "FIND OUTLIERS FROM author JUDGED BY author.paper.author.paper.venue "
+    "TOP 10;";
+
+const BiblioDataset& Dataset() {
+  static BiblioDataset* dataset = [] {
+    BiblioConfig config;
+    config.num_areas = 6;
+    config.authors_per_area = 250;
+    config.papers_per_area = 700;
+    auto* out = new BiblioDataset(GenerateBiblio(config).value());
+
+    // Determinism gate: every thread count must produce the exact
+    // serial answer before any timing is reported.
+    EngineOptions serial_options;
+    Engine serial(out->hin, serial_options);
+    const QueryResult reference = serial.Execute(kQuery).value();
+    NETOUT_CHECK(reference.outliers.size() == 10u);
+    for (std::size_t threads : {2u, 4u, 8u}) {
+      EngineOptions options;
+      options.exec.num_threads = threads;
+      Engine engine(out->hin, options);
+      const QueryResult got = engine.Execute(kQuery).value();
+      NETOUT_CHECK(got.outliers.size() == reference.outliers.size());
+      for (std::size_t i = 0; i < got.outliers.size(); ++i) {
+        NETOUT_CHECK(got.outliers[i].name == reference.outliers[i].name)
+            << "rank " << i << " differs at num_threads=" << threads;
+        NETOUT_CHECK(got.outliers[i].score == reference.outliers[i].score)
+            << "score at rank " << i << " differs at num_threads="
+            << threads;
+      }
+    }
+    return out;
+  }();
+  return *dataset;
+}
+
+void BM_SingleQuery(benchmark::State& state) {
+  const BiblioDataset& dataset = Dataset();
+  EngineOptions options;
+  options.exec.num_threads = static_cast<std::size_t>(state.range(0));
+  Engine engine(dataset.hin, options);
+  std::int64_t materialize_nanos = 0;
+  std::int64_t score_nanos = 0;
+  for (auto _ : state) {
+    auto result = engine.Execute(kQuery).value();
+    materialize_nanos += result.stats.stages.materialize_nanos;
+    score_nanos += result.stats.stages.score_nanos;
+    benchmark::DoNotOptimize(result);
+  }
+  const double iterations = static_cast<double>(state.iterations());
+  state.counters["materialize_ms"] =
+      static_cast<double>(materialize_nanos) / 1e6 / iterations;
+  state.counters["score_ms"] =
+      static_cast<double>(score_nanos) / 1e6 / iterations;
+}
+// UseRealTime: the work happens on pool workers, so wall time (not the
+// submitting thread's CPU time) is the meaningful metric.
+BENCHMARK(BM_SingleQuery)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

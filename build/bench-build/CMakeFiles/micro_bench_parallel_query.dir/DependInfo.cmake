@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro/bench_parallel_query.cc" "bench-build/CMakeFiles/micro_bench_parallel_query.dir/micro/bench_parallel_query.cc.o" "gcc" "bench-build/CMakeFiles/micro_bench_parallel_query.dir/micro/bench_parallel_query.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/query/CMakeFiles/netout_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/netout_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/measure/CMakeFiles/netout_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/netout_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/metapath/CMakeFiles/netout_metapath.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/netout_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/netout_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_bench_parallel_query"
+  "../bench/micro_bench_parallel_query.pdb"
+  "CMakeFiles/micro_bench_parallel_query.dir/micro/bench_parallel_query.cc.o"
+  "CMakeFiles/micro_bench_parallel_query.dir/micro/bench_parallel_query.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_bench_parallel_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for micro_bench_parallel_query.
+# This may be replaced when dependencies are built.

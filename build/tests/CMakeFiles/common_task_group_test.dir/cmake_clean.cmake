@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_task_group_test.dir/common/task_group_test.cc.o"
+  "CMakeFiles/common_task_group_test.dir/common/task_group_test.cc.o.d"
+  "common_task_group_test"
+  "common_task_group_test.pdb"
+  "common_task_group_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_task_group_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

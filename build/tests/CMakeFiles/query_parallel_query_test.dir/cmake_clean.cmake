@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_parallel_query_test.dir/query/parallel_query_test.cc.o"
+  "CMakeFiles/query_parallel_query_test.dir/query/parallel_query_test.cc.o.d"
+  "query_parallel_query_test"
+  "query_parallel_query_test.pdb"
+  "query_parallel_query_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_parallel_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

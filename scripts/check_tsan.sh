@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Builds with ThreadSanitizer and runs the concurrency-labelled tests
+# (thread pool / task group / batch runner / intra-query parallelism).
+# Usage: scripts/check_tsan.sh [build-dir]   (default: build-tsan)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-tsan}"
+
+cmake -B "${BUILD_DIR}" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DNETOUT_SANITIZE=thread \
+  -DNETOUT_BUILD_BENCHMARKS=OFF \
+  -DNETOUT_BUILD_EXAMPLES=OFF
+cmake --build "${BUILD_DIR}" -j "$(nproc)"
+
+# halt_on_error so a data race fails the test run instead of scrolling by.
+TSAN_OPTIONS="halt_on_error=1" \
+  ctest --test-dir "${BUILD_DIR}" -L concurrency --output-on-failure -j "$(nproc)"

@@ -1,6 +1,7 @@
 #include "common/thread_pool.h"
 
-#include <atomic>
+#include <algorithm>
+#include <utility>
 
 #include "common/logging.h"
 
@@ -26,10 +27,14 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  SubmitOwned(nullptr, std::move(task));
+}
+
+void ThreadPool::SubmitOwned(const void* owner, std::function<void()> task) {
   {
     std::unique_lock<std::mutex> lock(mutex_);
     NETOUT_CHECK(!shutting_down_) << "Submit after shutdown";
-    queue_.push_back(std::move(task));
+    queue_.push_back(QueuedTask{std::move(task), owner});
     ++in_flight_;
   }
   work_available_.notify_one();
@@ -38,6 +43,58 @@ void ThreadPool::Submit(std::function<void()> task) {
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mutex_);
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::ExecuteTask(std::function<void()> task) {
+  // RAII: the in-flight count must drop even when the task throws, or
+  // every later Wait() would hang on work that can never finish.
+  struct InFlightGuard {
+    ThreadPool* pool;
+    ~InFlightGuard() {
+      std::unique_lock<std::mutex> lock(pool->mutex_);
+      --pool->in_flight_;
+      if (pool->in_flight_ == 0) pool->all_done_.notify_all();
+    }
+  } guard{this};
+  try {
+    task();
+  } catch (...) {
+    // Raw-submitted tasks have no TaskGroup to deliver the exception to;
+    // dropping it here beats std::terminate tearing down the process.
+    // TaskGroup wraps its tasks, so grouped exceptions never reach this.
+    NETOUT_LOG(Warning)
+        << "exception escaped a thread-pool task; dropped (use TaskGroup "
+           "to propagate task exceptions)";
+  }
+}
+
+bool ThreadPool::RunOneTask() {
+  std::function<void()> task;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front().fn);
+    queue_.pop_front();
+  }
+  ExecuteTask(std::move(task));
+  return true;
+}
+
+bool ThreadPool::RunOneTaskOwnedBy(const void* owner) {
+  std::function<void()> task;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const auto it =
+        std::find_if(queue_.begin(), queue_.end(),
+                     [owner](const QueuedTask& queued) {
+                       return queued.owner == owner;
+                     });
+    if (it == queue_.end()) return false;
+    task = std::move(it->fn);
+    queue_.erase(it);
+  }
+  ExecuteTask(std::move(task));
+  return true;
 }
 
 void ThreadPool::WorkerLoop() {
@@ -51,31 +108,84 @@ void ThreadPool::WorkerLoop() {
         // shutting_down_ must be true here; drain completed, exit.
         return;
       }
-      task = std::move(queue_.front());
+      task = std::move(queue_.front().fn);
       queue_.pop_front();
     }
-    task();
+    ExecuteTask(std::move(task));
+  }
+}
+
+TaskGroup::TaskGroup(ThreadPool* pool) : pool_(pool) {
+  NETOUT_CHECK(pool_ != nullptr);
+}
+
+TaskGroup::~TaskGroup() { WaitAllFinished(); }
+
+void TaskGroup::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ++pending_;
+  }
+  pool_->SubmitOwned(this, [this, task = std::move(task)]() mutable {
+    std::exception_ptr thrown;
+    try {
+      task();
+    } catch (...) {
+      thrown = std::current_exception();
+    }
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (thrown != nullptr && first_exception_ == nullptr) {
+      first_exception_ = thrown;
+    }
+    if (--pending_ == 0) done_.notify_all();
+  });
+}
+
+void TaskGroup::WaitAllFinished() {
+  for (;;) {
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      --in_flight_;
-      if (in_flight_ == 0) all_done_.notify_all();
+      if (pending_ == 0) return;
     }
+    // Help drain this group's own tasks instead of sleeping: a Wait()
+    // from inside a pool task (nested ParallelFor) would otherwise park
+    // the worker while its subtasks sit unrunnable behind it. Only own
+    // tasks are eligible — running a foreign group's task here could
+    // block this thread on work unrelated to what it awaits.
+    if (pool_->RunOneTaskOwnedBy(this)) continue;
+    // Queue empty: the group's remaining tasks are executing on other
+    // threads; sleep until they land. Any task they enqueue wakes a pool
+    // worker via Submit's notify, so sleeping here cannot deadlock.
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait(lock, [this] { return pending_ == 0; });
+    return;
   }
+}
+
+void TaskGroup::Wait() {
+  WaitAllFinished();
+  std::exception_ptr thrown;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    thrown = std::exchange(first_exception_, nullptr);
+  }
+  if (thrown != nullptr) std::rethrow_exception(thrown);
 }
 
 void ParallelFor(ThreadPool* pool, std::size_t count,
                  const std::function<void(std::size_t)>& fn) {
   if (count == 0) return;
   // Chunk the index space so tiny tasks do not thrash the queue lock.
-  const std::size_t chunks = pool->num_threads() * 4;
+  const std::size_t chunks = std::min(count, pool->num_threads() * 4);
   const std::size_t chunk_size = (count + chunks - 1) / chunks;
+  TaskGroup group(pool);
   for (std::size_t begin = 0; begin < count; begin += chunk_size) {
     const std::size_t end = std::min(count, begin + chunk_size);
-    pool->Submit([begin, end, &fn] {
+    group.Submit([begin, end, &fn] {
       for (std::size_t i = begin; i < end; ++i) fn(i);
     });
   }
-  pool->Wait();
+  group.Wait();
 }
 
 }  // namespace netout

@@ -4,6 +4,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -11,10 +12,16 @@
 
 namespace netout {
 
-/// A minimal fixed-size thread pool used by the batch query driver to run
-/// independent queries concurrently (the immutable Hin makes query
-/// execution lock-free). Benchmarks mirroring the paper run single-threaded;
-/// the pool is an extension for interactive workloads.
+/// A minimal fixed-size thread pool shared by the batch query driver
+/// (whole-query parallelism) and the executor's intra-query fan-out
+/// (ExecOptions::num_threads). The immutable Hin makes query execution
+/// lock-free, so workers never contend outside the queue itself.
+///
+/// Completion tracking belongs to TaskGroup, not the pool: several
+/// clients can share one pool and each waits only for its own tasks.
+/// A task that throws never terminates the process — raw-submitted
+/// exceptions are logged and dropped; TaskGroup-submitted exceptions are
+/// captured and rethrown from TaskGroup::Wait().
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (at least 1).
@@ -26,27 +33,103 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues `task` for execution on some worker.
+  /// Enqueues `task` for execution on some worker. Prefer
+  /// TaskGroup::Submit when completion must be awaited: an exception
+  /// escaping a raw-submitted task is logged and dropped.
   void Submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished executing.
+  /// Blocks until the pool is globally idle: every task submitted by
+  /// *any* client has finished. Prefer TaskGroup::Wait, which waits only
+  /// for its own tasks and propagates their exceptions.
   void Wait();
+
+  /// Runs one queued task on the calling thread, if any is queued.
+  /// Returns false when the queue was empty.
+  bool RunOneTask();
 
   std::size_t num_threads() const { return workers_.size(); }
 
  private:
+  friend class TaskGroup;
+
+  // A queued task plus the TaskGroup it belongs to (nullptr for raw
+  // Submit()). The owner tag lets a waiting group help-drain only its
+  // own tasks: pulling a foreign group's (possibly blocking) task onto
+  // the waiting thread would reintroduce the wait-scoping bug.
+  struct QueuedTask {
+    std::function<void()> fn;
+    const void* owner;
+  };
+
+  // TaskGroup plumbing: tagged submission, and draining restricted to
+  // one owner's tasks. TaskGroup::Wait uses the latter while blocked,
+  // so a Wait() issued from inside a pool task (e.g. a nested
+  // ParallelFor) cannot starve the pool.
+  void SubmitOwned(const void* owner, std::function<void()> task);
+  bool RunOneTaskOwnedBy(const void* owner);
+
   void WorkerLoop();
+  // Runs `task` with the in-flight count released via RAII, so a
+  // throwing task cannot leave the pool's idle accounting stuck.
+  void ExecuteTask(std::function<void()> task);
 
   std::mutex mutex_;
   std::condition_variable work_available_;
   std::condition_variable all_done_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<QueuedTask> queue_;
   std::vector<std::thread> workers_;
   std::size_t in_flight_ = 0;
   bool shutting_down_ = false;
 };
 
-/// Runs fn(i) for i in [0, count) across the pool and waits for completion.
+/// A completion latch over one batch of tasks on a shared ThreadPool.
+/// Multiple groups can run concurrently on the same pool; each Wait()
+/// observes only its own tasks (the pool's global Wait() would make
+/// concurrent clients block on each other's work).
+///
+/// Exception contract: the first exception thrown by any task of the
+/// group is captured and rethrown from Wait(); later exceptions of the
+/// same group are dropped. The destructor waits for completion but
+/// swallows any unconsumed exception.
+///
+/// Thread contract: tasks may Submit() follow-up tasks into their own
+/// group; unrelated threads must not Submit() concurrently with Wait().
+class TaskGroup {
+ public:
+  /// `pool` is borrowed and must outlive the group.
+  explicit TaskGroup(ThreadPool* pool);
+
+  /// Blocks until every submitted task finished (never throws).
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Enqueues `task`; its completion (and any exception) is tracked by
+  /// this group.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted to this group has finished, then
+  /// rethrows the first captured exception, if any. While blocked, the
+  /// calling thread helps execute this group's queued tasks (never a
+  /// foreign group's, which could block the waiter on unrelated work).
+  void Wait();
+
+ private:
+  // Waits for pending_ == 0 without consuming the captured exception.
+  void WaitAllFinished();
+
+  ThreadPool* pool_;
+  std::mutex mutex_;
+  std::condition_variable done_;
+  std::size_t pending_ = 0;
+  std::exception_ptr first_exception_;
+};
+
+/// Runs fn(i) for i in [0, count) across the pool and waits for
+/// completion of exactly these calls (concurrent ParallelFor invocations
+/// on one pool do not interfere). The first exception thrown by `fn` is
+/// rethrown here. Safe to call from inside a pool task.
 void ParallelFor(ThreadPool* pool, std::size_t count,
                  const std::function<void(std::size_t)>& fn);
 

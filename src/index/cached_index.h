@@ -55,6 +55,10 @@ class CachedIndex : public MetaPathIndex {
   void Remember(const TwoStepKey& key, LocalId row,
                 const SparseVector& vector) const override;
 
+  /// Lookup mutates LRU recency and Remember can evict entries whose
+  /// views another thread still holds, so concurrent use is unsafe.
+  bool SupportsConcurrentUse() const override { return false; }
+
   /// Cache payload bytes (excludes the base index; add
   /// base->MemoryBytes() for the total).
   std::size_t MemoryBytes() const override { return bytes_; }

@@ -7,6 +7,7 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "measure/connectivity.h"
 #include "measure/lof.h"
 
@@ -60,10 +61,13 @@ std::vector<SparseVecView> AsViews(std::span<const SparseVector> vectors) {
 SparseVector SumVectors(std::span<const SparseVecView> vectors) {
   // Dense accumulation over the index range: total nnz is typically far
   // larger than the distinct count, so only the touched slots are sorted
-  // at the end (inside Harvest).
+  // at the end (inside Harvest). indices.back() is the max index only
+  // for sorted views — an unsorted (e.g. hand-built or deserialized)
+  // vector would silently under-size the accumulator and abort on Add.
   LocalId max_index = 0;
   bool any = false;
   for (const SparseVecView& vec : vectors) {
+    vec.DebugCheckSorted();
     if (!vec.indices.empty()) {
       any = true;
       max_index = std::max(max_index, vec.indices.back());
@@ -86,63 +90,76 @@ SparseVector SumVectors(std::span<const SparseVector> vectors) {
 
 namespace {
 
-std::vector<double> NetOutFactored(
-    std::span<const SparseVecView> candidates,
-    std::span<const SparseVecView> references) {
-  // Equation (1): Ω(vi) = (φ(vi) · Σ_j φ(vj)) / ‖φ(vi)‖².
-  const SparseVector reference_sum = SumVectors(references);
-  std::vector<double> scores;
-  scores.reserve(candidates.size());
-  for (const SparseVecView& cand : candidates) {
-    const double visibility = Visibility(cand);
-    if (visibility == 0.0) {
-      scores.push_back(0.0);
-    } else {
-      scores.push_back(Dot(cand, reference_sum.View()) / visibility);
-    }
+/// Runs fn(i) for every candidate index, fanning across `pool` when one
+/// is attached. Each call writes only its own output slot and reads only
+/// shared immutable inputs, so the parallel and serial paths produce
+/// bitwise-identical scores.
+void ForEachCandidate(ThreadPool* pool, std::size_t count,
+                      const std::function<void(std::size_t)>& fn) {
+  if (pool == nullptr || count < 2) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
   }
+  ParallelFor(pool, count, fn);
+}
+
+std::vector<double> NetOutFactored(std::span<const SparseVecView> candidates,
+                                   std::span<const SparseVecView> references,
+                                   ThreadPool* pool) {
+  // Equation (1): Ω(vi) = (φ(vi) · Σ_j φ(vj)) / ‖φ(vi)‖². The reference
+  // sum is computed once and shared read-only across workers.
+  const SparseVector reference_sum = SumVectors(references);
+  const SparseVecView sum_view = reference_sum.View();
+  std::vector<double> scores(candidates.size(), 0.0);
+  ForEachCandidate(pool, candidates.size(), [&](std::size_t i) {
+    const SparseVecView& cand = candidates[i];
+    const double visibility = Visibility(cand);
+    if (visibility != 0.0) {
+      scores[i] = Dot(cand, sum_view) / visibility;
+    }
+  });
   return scores;
 }
 
 std::vector<double> NetOutNaive(std::span<const SparseVecView> candidates,
-                                std::span<const SparseVecView> references) {
-  std::vector<double> scores;
-  scores.reserve(candidates.size());
-  for (const SparseVecView& cand : candidates) {
+                                std::span<const SparseVecView> references,
+                                ThreadPool* pool) {
+  std::vector<double> scores(candidates.size(), 0.0);
+  ForEachCandidate(pool, candidates.size(), [&](std::size_t i) {
     double total = 0.0;
     for (const SparseVecView& ref : references) {
-      total += NormalizedConnectivity(cand, ref);
+      total += NormalizedConnectivity(candidates[i], ref);
     }
-    scores.push_back(total);
-  }
+    scores[i] = total;
+  });
   return scores;
 }
 
 std::vector<double> PathSimSums(std::span<const SparseVecView> candidates,
-                                std::span<const SparseVecView> references) {
-  std::vector<double> scores;
-  scores.reserve(candidates.size());
-  for (const SparseVecView& cand : candidates) {
+                                std::span<const SparseVecView> references,
+                                ThreadPool* pool) {
+  std::vector<double> scores(candidates.size(), 0.0);
+  ForEachCandidate(pool, candidates.size(), [&](std::size_t i) {
     double total = 0.0;
     for (const SparseVecView& ref : references) {
-      total += PathSim(cand, ref);
+      total += PathSim(candidates[i], ref);
     }
-    scores.push_back(total);
-  }
+    scores[i] = total;
+  });
   return scores;
 }
 
 std::vector<double> CosSimSums(std::span<const SparseVecView> candidates,
-                               std::span<const SparseVecView> references) {
-  std::vector<double> scores;
-  scores.reserve(candidates.size());
-  for (const SparseVecView& cand : candidates) {
+                               std::span<const SparseVecView> references,
+                               ThreadPool* pool) {
+  std::vector<double> scores(candidates.size(), 0.0);
+  ForEachCandidate(pool, candidates.size(), [&](std::size_t i) {
     double total = 0.0;
     for (const SparseVecView& ref : references) {
-      total += CosineSimilarity(cand, ref);
+      total += CosineSimilarity(candidates[i], ref);
     }
-    scores.push_back(total);
-  }
+    scores[i] = total;
+  });
   return scores;
 }
 
@@ -157,12 +174,13 @@ Result<std::vector<double>> ComputeOutlierScores(
   }
   switch (options.measure) {
     case OutlierMeasure::kNetOut:
-      return options.use_factored ? NetOutFactored(candidates, references)
-                                  : NetOutNaive(candidates, references);
+      return options.use_factored
+                 ? NetOutFactored(candidates, references, options.pool)
+                 : NetOutNaive(candidates, references, options.pool);
     case OutlierMeasure::kPathSim:
-      return PathSimSums(candidates, references);
+      return PathSimSums(candidates, references, options.pool);
     case OutlierMeasure::kCosSim:
-      return CosSimSums(candidates, references);
+      return CosSimSums(candidates, references, options.pool);
     case OutlierMeasure::kLof:
       return LofScores(candidates, references, options.lof_k);
     case OutlierMeasure::kCustom: {
@@ -198,7 +216,7 @@ Result<std::vector<double>> ComputeOutlierScores(
 Result<std::vector<double>> JointNetOutScores(
     const std::vector<std::vector<SparseVecView>>& per_path_candidates,
     const std::vector<std::vector<SparseVecView>>& per_path_references,
-    const std::vector<double>& weights) {
+    const std::vector<double>& weights, ThreadPool* pool) {
   if (per_path_candidates.empty() ||
       per_path_candidates.size() != per_path_references.size() ||
       per_path_candidates.size() != weights.size()) {
@@ -238,7 +256,7 @@ Result<std::vector<double>> JointNetOutScores(
     reference_sums.push_back(SumVectors(refs));
   }
   std::vector<double> scores(num_candidates, 0.0);
-  for (std::size_t i = 0; i < num_candidates; ++i) {
+  ForEachCandidate(pool, num_candidates, [&](std::size_t i) {
     double numerator = 0.0;
     double joint_visibility = 0.0;
     for (std::size_t p = 0; p < per_path_candidates.size(); ++p) {
@@ -248,7 +266,7 @@ Result<std::vector<double>> JointNetOutScores(
     }
     scores[i] =
         joint_visibility == 0.0 ? 0.0 : numerator / joint_visibility;
-  }
+  });
   return scores;
 }
 
@@ -291,7 +309,10 @@ Result<std::vector<double>> CombineScores(
   }
 
   // Rank average: convert each path's scores to ranks (0 = most
-  // outlying), then weight-average the ranks.
+  // outlying), then weight-average the ranks. NaN scores (possible from
+  // a custom similarity) rank last — least outlying — and are ordered
+  // explicitly because <,> comparisons with NaN are always false, which
+  // would break std::sort's strict-weak-ordering contract (UB).
   const bool ascending = SmallerIsMoreOutlying(measure);
   for (std::size_t p = 0; p < per_path_scores.size(); ++p) {
     const auto& scores = per_path_scores[p];
@@ -299,7 +320,10 @@ Result<std::vector<double>> CombineScores(
     std::iota(order.begin(), order.end(), 0);
     std::sort(order.begin(), order.end(),
               [&](std::size_t a, std::size_t b) {
-                if (scores[a] != scores[b]) {
+                const bool a_nan = std::isnan(scores[a]);
+                const bool b_nan = std::isnan(scores[b]);
+                if (a_nan != b_nan) return b_nan;
+                if (!a_nan && scores[a] != scores[b]) {
                   return ascending ? scores[a] < scores[b]
                                    : scores[a] > scores[b];
                 }

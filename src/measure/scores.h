@@ -12,6 +12,8 @@
 
 namespace netout {
 
+class ThreadPool;
+
 /// Which outlierness measure to apply (Section 5.2 compares them; the
 /// paper's contribution is kNetOut, the others are the comparison
 /// baselines, LOF being the classic non-network baseline of Section 8).
@@ -55,6 +57,15 @@ struct ScoreOptions {
 
   /// Required when measure == kCustom; ignored otherwise.
   SimilarityFn custom_similarity;
+
+  /// Optional worker pool (borrowed) for the per-candidate scoring
+  /// loops of NetOut/PathSim/CosSim: each candidate's score is computed
+  /// independently against the read-only reference data (the Equation
+  /// (1) reference sum is built once and shared), so results are
+  /// bitwise-identical to the serial path regardless of thread count.
+  /// LOF and kCustom stay serial (LOF mutates shared distance state;
+  /// a user similarity fn is not guaranteed thread-safe). Null = serial.
+  ThreadPool* pool = nullptr;
 };
 
 /// Outlier scores of every candidate against the reference set, given
@@ -107,10 +118,13 @@ enum class CombineMode : std::uint8_t {
 /// index of both nested spans: feature meta-path; inner: candidate /
 /// reference vertex (the same vertex order across paths). A candidate
 /// whose joint visibility is zero scores 0 (maximally outlying).
+/// `pool` (optional, borrowed) parallelizes the per-candidate loop; the
+/// per-path reference sums are computed once and shared read-only, so
+/// output is identical across thread counts.
 Result<std::vector<double>> JointNetOutScores(
     const std::vector<std::vector<SparseVecView>>& per_path_candidates,
     const std::vector<std::vector<SparseVecView>>& per_path_references,
-    const std::vector<double>& weights);
+    const std::vector<double>& weights, ThreadPool* pool = nullptr);
 
 /// Combines per-path score lists (outer index: meta-path, inner index:
 /// candidate) with the given weights. Weights are normalized to sum to

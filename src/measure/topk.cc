@@ -1,6 +1,7 @@
 #include "measure/topk.h"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 
 namespace netout {
@@ -11,8 +12,15 @@ std::vector<std::size_t> SelectTopK(std::span<const double> scores,
   k = std::min(k, scores.size());
   std::vector<std::size_t> order(scores.size());
   std::iota(order.begin(), order.end(), 0);
+  // NaN scores (a custom_similarity can produce them) sort as *least*
+  // outlying: comparing NaN with <,> is always false, which would break
+  // std::partial_sort's strict-weak-ordering contract (UB), so they are
+  // ordered explicitly, after every finite score.
   auto more_outlying = [&](std::size_t a, std::size_t b) {
-    if (scores[a] != scores[b]) {
+    const bool a_nan = std::isnan(scores[a]);
+    const bool b_nan = std::isnan(scores[b]);
+    if (a_nan != b_nan) return b_nan;
+    if (!a_nan && scores[a] != scores[b]) {
       return smaller_is_more_outlying ? scores[a] < scores[b]
                                       : scores[a] > scores[b];
     }

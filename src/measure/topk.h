@@ -11,6 +11,9 @@ namespace netout {
 /// most-outlying first. `smaller_is_more_outlying` selects the polarity
 /// (true for NetOut/PathSim/CosSim sums, false for LOF). Ties break by
 /// lower index for deterministic output. k is clamped to scores.size().
+/// NaN scores rank least-outlying (after every finite score) under
+/// either polarity, so a misbehaving custom similarity cannot push
+/// garbage into the top-k or trip comparator UB.
 std::vector<std::size_t> SelectTopK(std::span<const double> scores,
                                     std::size_t k,
                                     bool smaller_is_more_outlying);

@@ -56,6 +56,13 @@ class MetaPathIndex {
     (void)row;
     (void)vector;
   }
+
+  /// True if Lookup/Remember may be called from several threads at once
+  /// (the immutable PM/SPM indexes). CachedIndex overrides to false — its
+  /// LRU state mutates on Lookup and returned views can dangle across an
+  /// eviction — which makes the parallel executor fall back to serial
+  /// materialization while keeping parallel scoring.
+  virtual bool SupportsConcurrentUse() const { return true; }
 };
 
 }  // namespace netout

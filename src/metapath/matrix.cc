@@ -46,6 +46,15 @@ Result<RelationMatrix> RelationMatrix::FromRaw(
     if (offsets[i - 1] > offsets[i]) {
       return Status::Corruption("relation matrix offsets not monotone");
     }
+    // Each row's columns must be strictly increasing: Row() views feed
+    // the sorted-merge kernels (Dot, AddScaled, SumVectors), which
+    // silently compute garbage on unsorted input. Validating here covers
+    // deserialized payloads in release builds too.
+    for (std::uint64_t k = offsets[i - 1] + 1; k < offsets[i]; ++k) {
+      if (cols[k - 1] >= cols[k]) {
+        return Status::Corruption("relation matrix row columns not sorted");
+      }
+    }
   }
   RelationMatrix out;
   out.row_type_ = row_type;

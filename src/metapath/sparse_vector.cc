@@ -8,6 +8,16 @@
 
 namespace netout {
 
+void SparseVecView::DebugCheckSorted() const {
+#ifndef NDEBUG
+  NETOUT_CHECK(indices.size() == values.size());
+  for (std::size_t i = 1; i < indices.size(); ++i) {
+    NETOUT_CHECK(indices[i - 1] < indices[i])
+        << "sparse view requires strictly increasing indices";
+  }
+#endif
+}
+
 SparseVector SparseVector::FromPairs(
     std::vector<std::pair<LocalId, double>> pairs) {
   std::sort(pairs.begin(), pairs.end(),

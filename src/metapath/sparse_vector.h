@@ -20,6 +20,11 @@ struct SparseVecView {
 
   std::size_t nnz() const { return indices.size(); }
   bool empty() const { return indices.empty(); }
+
+  /// Debug-build check that indices are strictly increasing (the merge
+  /// kernels above silently produce garbage on unsorted input). No-op
+  /// when NDEBUG is defined.
+  void DebugCheckSorted() const;
 };
 
 /// An owned sparse vector over the type-local id space of one vertex type

@@ -40,9 +40,13 @@ std::vector<BatchOutcome> BatchRunner::Run(
       std::min(queries.size(), impl_->pool.num_threads() * 4);
   const std::size_t slice_size =
       (queries.size() + num_slices - 1) / num_slices;
+  // Per-run TaskGroup: concurrent Run() calls on one runner each wait
+  // for their own slices only (the pool-global Wait() would interleave
+  // them and block each caller on the other's work).
+  TaskGroup group(&impl_->pool);
   for (std::size_t begin = 0; begin < queries.size(); begin += slice_size) {
     const std::size_t end = std::min(queries.size(), begin + slice_size);
-    impl_->pool.Submit([this, &queries, &outcomes, begin, end] {
+    group.Submit([this, &queries, &outcomes, begin, end] {
       Engine engine(impl_->hin, impl_->options);
       for (std::size_t i = begin; i < end; ++i) {
         auto result = engine.Execute(queries[i]);
@@ -54,7 +58,7 @@ std::vector<BatchOutcome> BatchRunner::Run(
       }
     });
   }
-  impl_->pool.Wait();
+  group.Wait();
   return outcomes;
 }
 

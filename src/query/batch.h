@@ -35,6 +35,9 @@ class BatchRunner {
 
   /// Runs every query; outcomes are returned in input order. Individual
   /// query failures are reported per-outcome, never thrown/propagated.
+  /// Re-entrant: concurrent Run() calls from different threads share the
+  /// worker pool but complete independently (each waits on a per-run
+  /// TaskGroup, not the pool's global idle state).
   std::vector<BatchOutcome> Run(const std::vector<std::string>& queries);
 
   std::size_t num_threads() const;

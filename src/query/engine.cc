@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "measure/explain.h"
 #include "measure/scores.h"
@@ -22,8 +23,18 @@ Result<QueryPlan> Engine::Prepare(std::string_view query_text) const {
 }
 
 Result<QueryResult> Engine::Execute(std::string_view query_text) {
-  NETOUT_ASSIGN_OR_RETURN(QueryPlan plan, Prepare(query_text));
-  return executor_.Run(plan);
+  Stopwatch parse_watch;
+  NETOUT_ASSIGN_OR_RETURN(QueryAst ast, ParseQuery(query_text));
+  const std::int64_t parse_nanos = parse_watch.ElapsedNanos();
+  Stopwatch analyze_watch;
+  NETOUT_ASSIGN_OR_RETURN(QueryPlan plan,
+                          AnalyzeQuery(*hin_, ast, options_.analyzer));
+  const std::int64_t analyze_nanos = analyze_watch.ElapsedNanos();
+  NETOUT_ASSIGN_OR_RETURN(QueryResult result, executor_.Run(plan));
+  result.stats.stages.parse_nanos = parse_nanos;
+  result.stats.stages.analyze_nanos = analyze_nanos;
+  result.stats.total_nanos += parse_nanos + analyze_nanos;
+  return result;
 }
 
 Result<QueryResult> Engine::ExecutePlan(const QueryPlan& plan) {

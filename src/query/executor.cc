@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "measure/topk.h"
 
 namespace netout {
@@ -56,8 +57,76 @@ bool Compare(double lhs, CmpOp op, double rhs) {
 
 Executor::Executor(HinPtr hin, const MetaPathIndex* index,
                    const ExecOptions& options)
-    : hin_(std::move(hin)), options_(options), evaluator_(hin_, index) {
+    : hin_(std::move(hin)),
+      index_(index),
+      options_(options),
+      evaluator_(hin_, index) {
   NETOUT_CHECK(hin_ != nullptr);
+  if (options_.num_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+    worker_evaluators_.reserve(options_.num_threads);
+    for (std::size_t i = 0; i < options_.num_threads; ++i) {
+      worker_evaluators_.push_back(
+          std::make_unique<NeighborVectorEvaluator>(hin_, index));
+    }
+  }
+}
+
+Executor::~Executor() = default;
+
+std::size_t Executor::MaterializeWorkers(std::size_t count) const {
+  if (pool_ == nullptr || count < 2) return 1;
+  if (index_ != nullptr && !index_->SupportsConcurrentUse()) return 1;
+  return std::min(worker_evaluators_.size(), count);
+}
+
+Result<std::vector<SparseVector>> Executor::MaterializeVectors(
+    TypeId subject_type, const MetaPath& path,
+    const std::vector<LocalId>& members, EvalStats* stats) {
+  std::vector<SparseVector> vectors(members.size());
+  const std::size_t workers = MaterializeWorkers(members.size());
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      NETOUT_ASSIGN_OR_RETURN(
+          vectors[i], evaluator_.Evaluate(VertexRef{subject_type, members[i]},
+                                          path, stats));
+    }
+    return vectors;
+  }
+
+  // One contiguous shard per worker evaluator; each shard owns private
+  // stats and status slots, merged in shard order below so the reported
+  // totals and the surfaced first error match serial execution.
+  std::vector<EvalStats> shard_stats(workers);
+  std::vector<Status> shard_status(workers);
+  const std::size_t shard_size = (members.size() + workers - 1) / workers;
+  TaskGroup group(pool_.get());
+  for (std::size_t w = 0; w < workers; ++w) {
+    const std::size_t begin = w * shard_size;
+    const std::size_t end = std::min(members.size(), begin + shard_size);
+    if (begin >= end) break;
+    group.Submit([this, w, begin, end, subject_type, &path, &members,
+                  &vectors, &shard_stats, &shard_status] {
+      NeighborVectorEvaluator& evaluator = *worker_evaluators_[w];
+      for (std::size_t i = begin; i < end; ++i) {
+        Result<SparseVector> vec = evaluator.Evaluate(
+            VertexRef{subject_type, members[i]}, path, &shard_stats[w]);
+        if (!vec.ok()) {
+          shard_status[w] = vec.status();
+          return;
+        }
+        vectors[i] = std::move(vec).value();
+      }
+    });
+  }
+  group.Wait();
+  for (std::size_t w = 0; w < workers; ++w) {
+    if (stats != nullptr) stats->MergeFrom(shard_stats[w]);
+  }
+  for (std::size_t w = 0; w < workers; ++w) {
+    if (!shard_status[w].ok()) return shard_status[w];
+  }
+  return vectors;
 }
 
 Result<bool> Executor::EvalWhere(const ResolvedWhere& where,
@@ -208,13 +277,12 @@ Result<QueryResult> Executor::Run(const QueryPlan& plan) {
 
   for (const WeightedMetaPath& feature : plan.features) {
     const std::vector<LocalId> all = SetUnion(candidates, references);
-    std::vector<SparseVector> vectors(all.size());
-    for (std::size_t i = 0; i < all.size(); ++i) {
-      NETOUT_ASSIGN_OR_RETURN(
-          vectors[i],
-          evaluator_.Evaluate(VertexRef{plan.subject_type, all[i]},
-                              feature.path, &stats.eval));
-    }
+    Stopwatch materialize_watch;
+    NETOUT_ASSIGN_OR_RETURN(
+        std::vector<SparseVector> vectors,
+        MaterializeVectors(plan.subject_type, feature.path, all,
+                           &stats.eval));
+    stats.stages.materialize_nanos += materialize_watch.ElapsedNanos();
     auto vector_of = [&](LocalId id) -> const SparseVector& {
       const auto it = std::lower_bound(all.begin(), all.end(), id);
       return vectors[static_cast<std::size_t>(it - all.begin())];
@@ -243,11 +311,14 @@ Result<QueryResult> Executor::Run(const QueryPlan& plan) {
     score_options.measure = plan.measure;
     score_options.use_factored = options_.use_factored_netout;
     score_options.lof_k = options_.lof_k;
+    score_options.pool = pool_.get();
+    Stopwatch score_watch;
     NETOUT_ASSIGN_OR_RETURN(
         std::vector<double> scores,
         ComputeOutlierScores(std::span<const SparseVecView>(cand_vecs),
                              std::span<const SparseVecView>(ref_vecs),
                              score_options));
+    stats.stages.score_nanos += score_watch.ElapsedNanos();
     per_path_scores.push_back(std::move(scores));
     weights.push_back(feature.weight);
   }
@@ -255,18 +326,21 @@ Result<QueryResult> Executor::Run(const QueryPlan& plan) {
   std::vector<double> combined;
   {
     ScopedTimer scoring_timer(&stats.scoring);
+    Stopwatch score_watch;
     if (joint) {
       NETOUT_ASSIGN_OR_RETURN(
-          combined,
-          JointNetOutScores(joint_cand_views, joint_ref_views, weights));
+          combined, JointNetOutScores(joint_cand_views, joint_ref_views,
+                                      weights, pool_.get()));
     } else {
       NETOUT_ASSIGN_OR_RETURN(
           combined, CombineScores(per_path_scores, weights, plan.combine,
                                   plan.measure));
     }
+    stats.stages.score_nanos += score_watch.ElapsedNanos();
   }
 
   // Optionally exclude zero-visibility candidates, then select the top-k.
+  Stopwatch topk_watch;
   std::vector<std::size_t> eligible;
   eligible.reserve(candidates.size());
   for (std::size_t i = 0; i < candidates.size(); ++i) {
@@ -293,6 +367,7 @@ Result<QueryResult> Executor::Run(const QueryPlan& plan) {
     entry.zero_visibility = zero_visibility[i];
     result.outliers.push_back(std::move(entry));
   }
+  stats.stages.topk_nanos += topk_watch.ElapsedNanos();
   stats.total_nanos = total_watch.ElapsedNanos();
   return result;
 }

@@ -2,6 +2,7 @@
 #define NETOUT_QUERY_EXECUTOR_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -12,6 +13,8 @@
 #include "query/plan.h"
 
 namespace netout {
+
+class ThreadPool;
 
 /// One returned outlier.
 struct OutlierEntry {
@@ -24,12 +27,35 @@ struct OutlierEntry {
   bool zero_visibility = false;
 };
 
+/// Wall-clock nanoseconds per pipeline stage of one query, end to end:
+/// parse and analyze are filled by Engine::Execute (Prepare-only callers
+/// see zeros), the rest by the executor. Unlike EvalStats (which slices
+/// materialization by index hit/miss), these are disjoint wall-clock
+/// spans whose sum approximates total_nanos, so speedups from
+/// ExecOptions::num_threads show up directly per stage.
+struct StageTimings {
+  std::int64_t parse_nanos = 0;
+  std::int64_t analyze_nanos = 0;
+  std::int64_t materialize_nanos = 0;
+  std::int64_t score_nanos = 0;
+  std::int64_t topk_nanos = 0;
+
+  void MergeFrom(const StageTimings& other) {
+    parse_nanos += other.parse_nanos;
+    analyze_nanos += other.analyze_nanos;
+    materialize_nanos += other.materialize_nanos;
+    score_nanos += other.score_nanos;
+    topk_nanos += other.topk_nanos;
+  }
+};
+
 /// Per-query execution statistics, matching the Figure 4 breakdown:
 /// eval.not_indexed (traversal materialization), eval.indexed (index
 /// lookups), scoring (outlierness calculation).
 struct QueryExecStats {
   EvalStats eval;
   TimeAccumulator scoring;
+  StageTimings stages;
   std::int64_t total_nanos = 0;
   std::size_t candidate_count = 0;
   std::size_t reference_count = 0;
@@ -37,6 +63,7 @@ struct QueryExecStats {
   void MergeFrom(const QueryExecStats& other) {
     eval.MergeFrom(other.eval);
     scoring.AddNanos(other.scoring.TotalNanos());
+    stages.MergeFrom(other.stages);
     total_nanos += other.total_nanos;
     candidate_count += other.candidate_count;
     reference_count += other.reference_count;
@@ -60,6 +87,16 @@ struct ExecOptions {
 
   /// k for the LOF baseline measure.
   std::size_t lof_k = 5;
+
+  /// Intra-query parallelism: > 1 spawns a private worker pool that fans
+  /// out (a) per-candidate neighbor-vector materialization (one
+  /// traversal workspace per worker; falls back to serial when the
+  /// attached index does not SupportsConcurrentUse, e.g. CachedIndex)
+  /// and (b) the per-candidate NetOut/PathSim/CosSim scoring loops.
+  /// Results are bitwise-identical to num_threads == 1: every
+  /// candidate's value is computed by the same serial per-candidate
+  /// code, only the outer loop is distributed.
+  std::size_t num_threads = 1;
 };
 
 /// Executes resolved query plans against one network, optionally through
@@ -70,6 +107,7 @@ class Executor {
   /// `index` may be null (baseline execution); it is borrowed.
   Executor(HinPtr hin, const MetaPathIndex* index,
            const ExecOptions& options = {});
+  ~Executor();
 
   /// Runs a full outlier query.
   Result<QueryResult> Run(const QueryPlan& plan);
@@ -86,9 +124,26 @@ class Executor {
   Result<bool> EvalWhere(const ResolvedWhere& where, VertexRef member,
                          EvalStats* stats);
 
+  /// φ of every vertex of `members` under `path`, in order. Shards
+  /// contiguously across worker_evaluators_ when MaterializeWorkers says
+  /// so; per-shard stats and errors merge in shard order after the group
+  /// waits, so output and first-error choice are thread-count-invariant.
+  Result<std::vector<SparseVector>> MaterializeVectors(
+      TypeId subject_type, const MetaPath& path,
+      const std::vector<LocalId>& members, EvalStats* stats);
+
+  /// Worker count for one materialization: 1 (serial) without a pool,
+  /// for tiny inputs, or when the index is not safe for concurrent use.
+  std::size_t MaterializeWorkers(std::size_t count) const;
+
   HinPtr hin_;
+  const MetaPathIndex* index_;
   ExecOptions options_;
   NeighborVectorEvaluator evaluator_;
+  // Intra-query pool and one traversal workspace per worker; null/empty
+  // unless options_.num_threads > 1.
+  std::unique_ptr<ThreadPool> pool_;
+  std::vector<std::unique_ptr<NeighborVectorEvaluator>> worker_evaluators_;
 };
 
 }  // namespace netout

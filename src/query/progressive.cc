@@ -93,17 +93,21 @@ Result<QueryResult> ProgressiveExecutor::Run(
     return Status::InvalidArgument("total meta-path weight must be > 0");
   }
   std::vector<bool> zero_visibility(num_candidates, true);
-  for (std::size_t p = 0; p < num_paths; ++p) {
-    cand_vectors[p].resize(num_candidates);
-    cand_visibility[p].resize(num_candidates);
-    for (std::size_t i = 0; i < num_candidates; ++i) {
-      NETOUT_ASSIGN_OR_RETURN(
-          cand_vectors[p][i],
-          evaluator_.Evaluate(candidate_refs[i], plan.features[p].path,
-                              &result.stats.eval));
-      cand_visibility[p][i] = Visibility(cand_vectors[p][i].View());
-      if (cand_visibility[p][i] > 0.0) zero_visibility[i] = false;
+  {
+    Stopwatch materialize_watch;
+    for (std::size_t p = 0; p < num_paths; ++p) {
+      cand_vectors[p].resize(num_candidates);
+      cand_visibility[p].resize(num_candidates);
+      for (std::size_t i = 0; i < num_candidates; ++i) {
+        NETOUT_ASSIGN_OR_RETURN(
+            cand_vectors[p][i],
+            evaluator_.Evaluate(candidate_refs[i], plan.features[p].path,
+                                &result.stats.eval));
+        cand_visibility[p][i] = Visibility(cand_vectors[p][i].View());
+        if (cand_visibility[p][i] > 0.0) zero_visibility[i] = false;
+      }
     }
+    result.stats.stages.materialize_nanos += materialize_watch.ElapsedNanos();
   }
 
   // Shuffled reference processing order.
@@ -132,6 +136,7 @@ Result<QueryResult> ProgressiveExecutor::Run(
 
     // Fold this batch's reference vectors into the running sums, and
     // keep the batch-only sums for the jackknife.
+    Stopwatch materialize_watch;
     std::vector<SparseVector> batch_sum(num_paths);
     for (std::size_t p = 0; p < num_paths; ++p) {
       for (std::size_t r = begin; r < end; ++r) {
@@ -145,7 +150,9 @@ Result<QueryResult> ProgressiveExecutor::Run(
       refsum[p] = AddScaled(refsum[p].View(), batch_sum[p].View(), 1.0);
     }
     processed += end - begin;
+    result.stats.stages.materialize_nanos += materialize_watch.ElapsedNanos();
 
+    Stopwatch score_watch;
     ScopedTimer scoring_timer(&result.stats.scoring);
     const double extrapolate =
         static_cast<double>(num_references) / static_cast<double>(processed);
@@ -168,8 +175,10 @@ Result<QueryResult> ProgressiveExecutor::Run(
       estimates[i] = estimate * extrapolate;
       batch_stats[i].Add(batch_estimate * batch_extrapolate);
     }
+    result.stats.stages.score_nanos += score_watch.ElapsedNanos();
 
     // Build and publish the snapshot.
+    Stopwatch topk_watch;
     ProgressiveSnapshot snapshot;
     snapshot.fraction_processed =
         static_cast<double>(processed) / static_cast<double>(num_references);
@@ -195,6 +204,7 @@ Result<QueryResult> ProgressiveExecutor::Run(
       snapshot.standard_error.push_back(batch_stats[i].StandardError());
     }
     if (snapshot.final || batch + 1 == num_batches) snapshot.final = true;
+    result.stats.stages.topk_nanos += topk_watch.ElapsedNanos();
 
     result.outliers = snapshot.top;
     if (callback && !callback(snapshot)) {

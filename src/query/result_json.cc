@@ -46,6 +46,22 @@ std::string QueryResultToJson(const Hin& hin, const QueryResult& result,
   json.Uint(result.stats.eval.index_hits);
   json.Key("index_misses");
   json.Uint(result.stats.eval.index_misses);
+  // Disjoint wall-clock spans of the pipeline (StageTimings); parse and
+  // analyze are zero unless the result came from Engine::Execute.
+  json.Key("stages");
+  json.BeginObject();
+  const StageTimings& stages = result.stats.stages;
+  json.Key("parse_ms");
+  json.Number(static_cast<double>(stages.parse_nanos) / 1e6);
+  json.Key("analyze_ms");
+  json.Number(static_cast<double>(stages.analyze_nanos) / 1e6);
+  json.Key("materialize_ms");
+  json.Number(static_cast<double>(stages.materialize_nanos) / 1e6);
+  json.Key("score_ms");
+  json.Number(static_cast<double>(stages.score_nanos) / 1e6);
+  json.Key("topk_ms");
+  json.Number(static_cast<double>(stages.topk_nanos) / 1e6);
+  json.EndObject();
   json.EndObject();
 
   json.EndObject();

@@ -14,7 +14,9 @@ namespace netout {
 ///                 "zero_visibility":...}, ...],
 ///   "stats": {"candidates":..,"references":..,"total_ms":..,
 ///             "not_indexed_ms":..,"indexed_ms":..,"scoring_ms":..,
-///             "index_hits":..,"index_misses":..}
+///             "index_hits":..,"index_misses":..,
+///             "stages": {"parse_ms":..,"analyze_ms":..,
+///                        "materialize_ms":..,"score_ms":..,"topk_ms":..}}
 /// }
 /// `hin` resolves vertex type names; pass pretty=true for indented
 /// output.

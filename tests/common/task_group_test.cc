@@ -1,0 +1,166 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <future>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace netout {
+namespace {
+
+TEST(TaskGroupTest, WaitsForOwnTasksOnly) {
+  // Group A's task blocks on a promise; group B's Wait() must return
+  // while A is still outstanding (the old pool-global Wait() would have
+  // blocked B on A's work — the wait-scoping bug).
+  ThreadPool pool(2);
+  std::promise<void> release_a;
+  std::shared_future<void> gate(release_a.get_future());
+
+  TaskGroup group_a(&pool);
+  std::atomic<bool> a_done{false};
+  group_a.Submit([gate, &a_done] {
+    gate.wait();
+    a_done.store(true);
+  });
+
+  TaskGroup group_b(&pool);
+  std::atomic<bool> b_done{false};
+  group_b.Submit([&b_done] { b_done.store(true); });
+  group_b.Wait();
+  EXPECT_TRUE(b_done.load());
+  EXPECT_FALSE(a_done.load());
+
+  release_a.set_value();
+  group_a.Wait();
+  EXPECT_TRUE(a_done.load());
+}
+
+TEST(TaskGroupTest, WaitRethrowsFirstTaskException) {
+  ThreadPool pool(2);
+  TaskGroup group(&pool);
+  group.Submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(group.Wait(), std::runtime_error);
+
+  // The pool stays usable and a fresh group is clean.
+  TaskGroup next(&pool);
+  std::atomic<int> counter{0};
+  next.Submit([&counter] { counter.fetch_add(1); });
+  next.Wait();  // must not rethrow anything
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(TaskGroupTest, ExceptionDoesNotCancelSiblingTasks) {
+  ThreadPool pool(2);
+  TaskGroup group(&pool);
+  std::atomic<int> completed{0};
+  group.Submit([] { throw std::runtime_error("first"); });
+  for (int i = 0; i < 10; ++i) {
+    group.Submit([&completed] { completed.fetch_add(1); });
+  }
+  EXPECT_THROW(group.Wait(), std::runtime_error);
+  EXPECT_EQ(completed.load(), 10);
+}
+
+TEST(TaskGroupTest, DestructorWaitsAndSwallowsException) {
+  ThreadPool pool(2);
+  std::atomic<bool> done{false};
+  {
+    TaskGroup group(&pool);
+    group.Submit([&done] {
+      done.store(true);
+      throw std::runtime_error("unconsumed");
+    });
+    // No Wait(): the destructor must drain without throwing.
+  }
+  EXPECT_TRUE(done.load());
+}
+
+TEST(TaskGroupTest, EmptyGroupWaitReturnsImmediately) {
+  ThreadPool pool(2);
+  TaskGroup group(&pool);
+  group.Wait();  // must not deadlock
+}
+
+TEST(TaskGroupTest, ManyConcurrentGroupsOnOneSharedPool) {
+  // Stress the completion accounting: external threads race whole
+  // Submit/Wait cycles on one pool; every group must see exactly its own
+  // task count.
+  ThreadPool pool(4);
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 25;
+  std::vector<std::thread> drivers;
+  std::atomic<int> failures{0};
+  drivers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    drivers.emplace_back([&pool, &failures] {
+      for (int round = 0; round < kRounds; ++round) {
+        TaskGroup group(&pool);
+        std::atomic<int> counter{0};
+        for (int i = 0; i < 16; ++i) {
+          group.Submit([&counter] { counter.fetch_add(1); });
+        }
+        group.Wait();
+        if (counter.load() != 16) failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& driver : drivers) driver.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(ParallelForTest, PropagatesExceptions) {
+  ThreadPool pool(4);
+  EXPECT_THROW(ParallelFor(&pool, 100,
+                           [](std::size_t i) {
+                             if (i == 37) throw std::runtime_error("at 37");
+                           }),
+               std::runtime_error);
+}
+
+TEST(ParallelForTest, CountSmallerThanThreadCount) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  ParallelFor(&pool, hits.size(),
+              [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& hit : hits) {
+    EXPECT_EQ(hit.load(), 1);
+  }
+}
+
+TEST(ParallelForTest, NestedOnSmallPoolDoesNotDeadlock) {
+  // An inner ParallelFor issued from inside a pool task must complete
+  // even when every worker is occupied by outer tasks: the waiting
+  // worker helps drain the queue instead of sleeping.
+  ThreadPool pool(1);
+  std::atomic<int> inner_total{0};
+  ParallelFor(&pool, 4, [&](std::size_t) {
+    ParallelFor(&pool, 4,
+                [&](std::size_t) { inner_total.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_total.load(), 16);
+}
+
+TEST(ParallelForTest, ConcurrentInvocationsDoNotInterfere) {
+  ThreadPool pool(4);
+  std::vector<std::thread> drivers;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 4; ++t) {
+    drivers.emplace_back([&pool, &failures] {
+      for (int round = 0; round < 20; ++round) {
+        std::atomic<int> counter{0};
+        ParallelFor(&pool, 64,
+                    [&counter](std::size_t) { counter.fetch_add(1); });
+        if (counter.load() != 64) failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& driver : drivers) driver.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace netout

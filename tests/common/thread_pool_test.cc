@@ -1,6 +1,7 @@
 #include "common/thread_pool.h"
 
 #include <atomic>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -76,6 +77,23 @@ TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
 TEST(ParallelForTest, ZeroCountIsNoop) {
   ThreadPool pool(2);
   ParallelFor(&pool, 0, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+// Regression: a raw-submitted task that throws used to escape WorkerLoop
+// and std::terminate the process, leaving in_flight_ stuck so any later
+// Wait() hung forever. Now the exception is dropped (logged) and the
+// idle accounting still settles.
+TEST(ThreadPoolTest, ThrowingTaskDoesNotTerminateOrWedgeWait) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([] { throw std::runtime_error("boom"); });
+  pool.Wait();  // must return despite the throw
+  // The pool must remain fully usable afterwards.
+  for (int i = 0; i < 20; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 20);
 }
 
 }  // namespace

@@ -93,6 +93,66 @@ TEST(PmSerializeTest, RejectsBitFlip) {
   std::remove(path.c_str());
 }
 
+// Regression: a PM file whose row columns are not strictly increasing
+// used to load fine (the checksum only protects against accidental
+// corruption, not a buggy or adversarial writer) and then silently fed
+// unsorted views into the sorted-merge kernels. FromRaw now validates
+// per-row sortedness, so the load fails with kCorruption.
+TEST(PmSerializeTest, RejectsUnsortedRowColumns) {
+  const HinPtr hin = MakeSample();
+  std::string payload;
+  AppendU64(&payload, 1);  // one two-step key
+  AppendU32(&payload, 0);  // first step: writes
+  AppendU32(&payload, 0);  //   forward
+  AppendU32(&payload, 1);  // second step: published_in
+  AppendU32(&payload, 0);  //   forward
+  AppendU32(&payload, 0);  // row type: author
+  AppendU32(&payload, 2);  // col type: venue
+  AppendU64(&payload, 3);  // num rows (matches the sample's authors)
+  AppendU64(&payload, 2);  // num entries
+  AppendU64(&payload, 0);  // offsets: row 0 holds both entries
+  AppendU64(&payload, 2);
+  AppendU64(&payload, 2);
+  AppendU64(&payload, 2);
+  AppendU32(&payload, 1);  // cols: 1 then 0 — NOT sorted
+  AppendU32(&payload, 0);
+  AppendDouble(&payload, 1.0);
+  AppendDouble(&payload, 1.0);
+  const std::string path = TempPath("pm_unsorted.idx");
+  ASSERT_TRUE(
+      WriteStringToFile(path, WrapWithChecksum("NOUTPMI1", payload)).ok());
+  auto r = LoadPmIndex(*hin, path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+// The SPM loader must likewise reject a vector with unsorted indices.
+TEST(SpmSerializeTest, RejectsUnsortedVectorIndices) {
+  const HinPtr hin = MakeSample();
+  std::string payload;
+  AppendU64(&payload, 1);  // one two-step key
+  AppendU32(&payload, 0);  // first step: writes, forward
+  AppendU32(&payload, 0);
+  AppendU32(&payload, 1);  // second step: published_in, forward
+  AppendU32(&payload, 0);
+  AppendU64(&payload, 1);  // one row entry
+  AppendU32(&payload, 0);  // row 0
+  AppendU64(&payload, 2);  // nnz
+  AppendU32(&payload, 1);  // indices: 1 then 0 — NOT sorted
+  AppendU32(&payload, 0);
+  AppendDouble(&payload, 1.0);
+  AppendDouble(&payload, 1.0);
+  AppendU64(&payload, 1);  // num indexed vertices
+  const std::string path = TempPath("spm_unsorted.idx");
+  ASSERT_TRUE(
+      WriteStringToFile(path, WrapWithChecksum("NOUTSPM1", payload)).ok());
+  auto r = LoadSpmIndex(*hin, path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
 TEST(SpmSerializeTest, RoundTrip) {
   const HinPtr hin = MakeSample();
   const VertexRef ava = hin->FindVertex("author", "Ava").value();

@@ -1,6 +1,11 @@
 #include "measure/scores.h"
 
+#include <limits>
+#include <utility>
+
 #include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
 
 namespace netout {
 namespace {
@@ -136,6 +141,103 @@ TEST_F(CombineFixture, ValidationErrors) {
                              CombineMode::kWeightedAverage,
                              OutlierMeasure::kNetOut)
                    .ok());  // ragged scores
+}
+
+TEST_F(CombineFixture, RankAverageWithNanRanksLeastOutlying) {
+  // Regression: a NaN score (possible from a custom similarity) used to
+  // break the rank sort's strict weak ordering (UB). It must now rank
+  // last — least outlying — deterministically.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const auto combined = CombineScores({{2.0, nan, 1.0}}, {1.0},
+                                      CombineMode::kRankAverage,
+                                      OutlierMeasure::kNetOut)
+                            .value();
+  EXPECT_DOUBLE_EQ(combined[2], 0.0);  // most outlying
+  EXPECT_DOUBLE_EQ(combined[0], 1.0);
+  EXPECT_DOUBLE_EQ(combined[1], 2.0);  // NaN last
+}
+
+TEST_F(CombineFixture, RankAverageAllNanDoesNotCrash) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const auto combined = CombineScores({{nan, nan, nan}}, {1.0},
+                                      CombineMode::kRankAverage,
+                                      OutlierMeasure::kNetOut)
+                            .value();
+  // All NaN: ranks fall back to index order.
+  EXPECT_DOUBLE_EQ(combined[0], 0.0);
+  EXPECT_DOUBLE_EQ(combined[1], 1.0);
+  EXPECT_DOUBLE_EQ(combined[2], 2.0);
+}
+
+class ParallelScoringFixture : public ::testing::Test {
+ protected:
+  static std::vector<SparseVector> MakeVectors(std::size_t count,
+                                               std::uint32_t seed) {
+    std::vector<SparseVector> out;
+    out.reserve(count);
+    std::uint64_t state = seed;
+    auto next = [&state] {
+      state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+      return static_cast<std::uint32_t>(state >> 33);
+    };
+    for (std::size_t v = 0; v < count; ++v) {
+      std::vector<std::pair<LocalId, double>> pairs;
+      const std::size_t nnz = 1 + next() % 12;
+      for (std::size_t i = 0; i < nnz; ++i) {
+        pairs.emplace_back(next() % 64, 1.0 + next() % 7);
+      }
+      out.push_back(SparseVector::FromPairs(std::move(pairs)));
+    }
+    return out;
+  }
+};
+
+TEST_F(ParallelScoringFixture, PoolGivesBitwiseIdenticalScores) {
+  const auto candidates = MakeVectors(300, 7);
+  const auto references = MakeVectors(120, 9);
+  ThreadPool pool(4);
+  for (OutlierMeasure measure :
+       {OutlierMeasure::kNetOut, OutlierMeasure::kPathSim,
+        OutlierMeasure::kCosSim}) {
+    for (bool use_factored : {true, false}) {
+      ScoreOptions serial;
+      serial.measure = measure;
+      serial.use_factored = use_factored;
+      ScoreOptions parallel = serial;
+      parallel.pool = &pool;
+      const auto a =
+          ComputeOutlierScores(candidates, references, serial).value();
+      const auto b =
+          ComputeOutlierScores(candidates, references, parallel).value();
+      ASSERT_EQ(a.size(), b.size());
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        // Bitwise equality, not approximate: the parallel path must run
+        // the identical per-candidate arithmetic.
+        EXPECT_EQ(a[i], b[i]) << OutlierMeasureToString(measure)
+                              << " candidate " << i;
+      }
+    }
+  }
+}
+
+TEST_F(ParallelScoringFixture, JointScoresIdenticalWithPool) {
+  const std::vector<std::vector<SparseVector>> cand_storage = {
+      MakeVectors(200, 3), MakeVectors(200, 4)};
+  const std::vector<std::vector<SparseVector>> ref_storage = {
+      MakeVectors(80, 5), MakeVectors(80, 6)};
+  std::vector<std::vector<SparseVecView>> cands;
+  std::vector<std::vector<SparseVecView>> refs;
+  for (const auto& vectors : cand_storage) cands.push_back(AsViews(vectors));
+  for (const auto& vectors : ref_storage) refs.push_back(AsViews(vectors));
+  const std::vector<double> weights = {2.0, 1.0};
+  ThreadPool pool(4);
+  const auto serial = JointNetOutScores(cands, refs, weights).value();
+  const auto parallel =
+      JointNetOutScores(cands, refs, weights, &pool).value();
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], parallel[i]);
+  }
 }
 
 TEST(CustomMeasureTest, SumsTheUserSimilarity) {

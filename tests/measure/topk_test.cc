@@ -1,5 +1,6 @@
 #include "measure/topk.h"
 
+#include <limits>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -44,6 +45,38 @@ TEST(TopKTest, FullSortWhenKEqualsSize) {
   const std::vector<double> scores = {3.0, 1.0, 2.0};
   const auto top = SelectTopK(scores, 3, true);
   EXPECT_EQ(top, (std::vector<std::size_t>{1, 2, 0}));
+}
+
+// Regression: NaN scores used to feed <,> straight into
+// std::partial_sort — always-false comparisons violate strict weak
+// ordering (UB). NaN is now defined to rank least-outlying.
+TEST(TopKTest, NanRanksLeastOutlyingUnderSmallerPolarity) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const std::vector<double> scores = {nan, 2.0, nan, 1.0, 3.0};
+  const auto top = SelectTopK(scores, 3, /*smaller_is_more_outlying=*/true);
+  EXPECT_EQ(top, (std::vector<std::size_t>{3, 1, 4}));
+}
+
+TEST(TopKTest, NanRanksLeastOutlyingUnderLofPolarity) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const std::vector<double> scores = {nan, 2.0, nan, 1.0, 3.0};
+  const auto top = SelectTopK(scores, 3, /*smaller_is_more_outlying=*/false);
+  EXPECT_EQ(top, (std::vector<std::size_t>{4, 1, 3}));
+}
+
+TEST(TopKTest, NanIncludedOnlyWhenFiniteScoresRunOut) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const std::vector<double> scores = {nan, 5.0, nan};
+  const auto top = SelectTopK(scores, 3, true);
+  // Finite first, then NaNs tie-broken by index.
+  EXPECT_EQ(top, (std::vector<std::size_t>{1, 0, 2}));
+}
+
+TEST(TopKTest, AllNanDoesNotCrash) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const std::vector<double> scores(64, nan);
+  const auto top = SelectTopK(scores, 8, true);
+  EXPECT_EQ(top, (std::vector<std::size_t>{0, 1, 2, 3, 4, 5, 6, 7}));
 }
 
 }  // namespace

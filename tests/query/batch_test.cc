@@ -1,5 +1,7 @@
 #include "query/batch.h"
 
+#include <thread>
+
 #include <gtest/gtest.h>
 
 #include "datagen/biblio_gen.h"
@@ -74,6 +76,53 @@ TEST_F(BatchFixture, PerQueryFailuresAreIsolated) {
   EXPECT_TRUE(outcomes[3].status.ok());
   EXPECT_FALSE(outcomes[0].result.outliers.empty());
   EXPECT_FALSE(outcomes[3].result.outliers.empty());
+}
+
+// Regression: Run() used to wait on the pool's *global* idle state, so
+// two concurrent Run() calls on one runner blocked on (and could return
+// before) each other's work. With the per-run TaskGroup each call
+// completes exactly its own queries.
+TEST_F(BatchFixture, ConcurrentRunsCompleteIndependently) {
+  WorkloadConfig workload;
+  workload.num_queries = 24;
+  workload.seed = 11;
+  const auto queries_a = GenerateWorkload(*dataset_->hin, "author",
+                                          QueryTemplate::kQ1, workload)
+                             .value();
+  workload.seed = 12;
+  const auto queries_b = GenerateWorkload(*dataset_->hin, "author",
+                                          QueryTemplate::kQ1, workload)
+                             .value();
+
+  BatchRunner reference(dataset_->hin, EngineOptions{}, 1);
+  const auto expect_a = reference.Run(queries_a);
+  const auto expect_b = reference.Run(queries_b);
+
+  BatchRunner runner(dataset_->hin, EngineOptions{}, 2);
+  std::vector<BatchOutcome> got_a;
+  std::vector<BatchOutcome> got_b;
+  std::thread thread_a([&] { got_a = runner.Run(queries_a); });
+  std::thread thread_b([&] { got_b = runner.Run(queries_b); });
+  thread_a.join();
+  thread_b.join();
+
+  auto check = [](const std::vector<BatchOutcome>& got,
+                  const std::vector<BatchOutcome>& expected) {
+    ASSERT_EQ(got.size(), expected.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_TRUE(got[i].status.ok());
+      ASSERT_EQ(got[i].result.outliers.size(),
+                expected[i].result.outliers.size());
+      for (std::size_t j = 0; j < got[i].result.outliers.size(); ++j) {
+        EXPECT_EQ(got[i].result.outliers[j].name,
+                  expected[i].result.outliers[j].name);
+        EXPECT_DOUBLE_EQ(got[i].result.outliers[j].score,
+                         expected[i].result.outliers[j].score);
+      }
+    }
+  };
+  check(got_a, expect_a);
+  check(got_b, expect_b);
 }
 
 TEST_F(BatchFixture, EmptyBatch) {

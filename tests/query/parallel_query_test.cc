@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "datagen/biblio_gen.h"
+#include "index/cached_index.h"
+#include "index/pm_index.h"
+#include "query/engine.h"
+
+namespace netout {
+namespace {
+
+// Intra-query parallelism (ExecOptions::num_threads) must be invisible
+// in the output: identical outlier names and bitwise-identical scores at
+// every thread count, with or without an index.
+class ParallelQueryFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    BiblioConfig config;
+    config.seed = 17;
+    config.num_areas = 3;
+    config.authors_per_area = 60;
+    config.papers_per_area = 180;
+    config.venues_per_area = 4;
+    config.terms_per_area = 30;
+    config.shared_terms = 15;
+    dataset_ = new BiblioDataset(GenerateBiblio(config).value());
+    pm_ = PmIndex::Build(*dataset_->hin).value().release();
+  }
+  static void TearDownTestSuite() {
+    delete pm_;
+    delete dataset_;
+  }
+
+  static QueryResult RunWithThreads(const MetaPathIndex* index,
+                                    std::size_t num_threads,
+                                    const std::string& query) {
+    EngineOptions options;
+    options.index = index;
+    options.exec.num_threads = num_threads;
+    Engine engine(dataset_->hin, options);
+    return engine.Execute(query).value();
+  }
+
+  static void ExpectIdentical(const QueryResult& a, const QueryResult& b) {
+    ASSERT_EQ(a.outliers.size(), b.outliers.size());
+    for (std::size_t i = 0; i < a.outliers.size(); ++i) {
+      EXPECT_EQ(a.outliers[i].name, b.outliers[i].name);
+      // Bitwise equality: the parallel path runs the identical
+      // per-candidate arithmetic, only distributed.
+      EXPECT_EQ(a.outliers[i].score, b.outliers[i].score);
+    }
+    EXPECT_EQ(a.stats.candidate_count, b.stats.candidate_count);
+    EXPECT_EQ(a.stats.reference_count, b.stats.reference_count);
+  }
+
+  // All authors as candidates — large enough to shard meaningfully.
+  static constexpr const char* kWideQuery =
+      "FIND OUTLIERS FROM author JUDGED BY author.paper.venue TOP 10;";
+
+  static BiblioDataset* dataset_;
+  static PmIndex* pm_;
+};
+
+BiblioDataset* ParallelQueryFixture::dataset_ = nullptr;
+PmIndex* ParallelQueryFixture::pm_ = nullptr;
+
+TEST_F(ParallelQueryFixture, BaselineIdenticalAcrossThreadCounts) {
+  const QueryResult serial = RunWithThreads(nullptr, 1, kWideQuery);
+  ASSERT_EQ(serial.outliers.size(), 10u);
+  for (std::size_t threads : {2u, 4u, 8u}) {
+    ExpectIdentical(serial, RunWithThreads(nullptr, threads, kWideQuery));
+  }
+}
+
+TEST_F(ParallelQueryFixture, PmIndexedIdenticalAcrossThreadCounts) {
+  const QueryResult serial = RunWithThreads(pm_, 1, kWideQuery);
+  ExpectIdentical(serial, RunWithThreads(pm_, 4, kWideQuery));
+  // Indexed and baseline answers agree too.
+  ExpectIdentical(serial, RunWithThreads(nullptr, 1, kWideQuery));
+}
+
+TEST_F(ParallelQueryFixture, CachedIndexFallsBackToSerialMaterialization) {
+  // CachedIndex is not safe for concurrent use; the executor must
+  // materialize serially (SupportsConcurrentUse() == false) yet still
+  // score in parallel — and stay correct.
+  CachedIndex cache(pm_);
+  ASSERT_FALSE(cache.SupportsConcurrentUse());
+  const QueryResult reference = RunWithThreads(nullptr, 1, kWideQuery);
+  ExpectIdentical(reference, RunWithThreads(&cache, 4, kWideQuery));
+}
+
+TEST_F(ParallelQueryFixture, MultiPathAndJointCombineIdentical) {
+  const std::string multi =
+      "FIND OUTLIERS FROM author JUDGED BY author.paper.venue: 2.0, "
+      "author.paper.author TOP 8;";
+  ExpectIdentical(RunWithThreads(nullptr, 1, multi),
+                  RunWithThreads(nullptr, 4, multi));
+  const std::string joint =
+      "FIND OUTLIERS FROM author JUDGED BY author.paper.venue, "
+      "author.paper.author COMBINE BY joint TOP 8;";
+  ExpectIdentical(RunWithThreads(nullptr, 1, joint),
+                  RunWithThreads(nullptr, 4, joint));
+}
+
+TEST_F(ParallelQueryFixture, StageTimingsArePopulated) {
+  const QueryResult result = RunWithThreads(nullptr, 4, kWideQuery);
+  const StageTimings& stages = result.stats.stages;
+  EXPECT_GT(stages.parse_nanos, 0);
+  EXPECT_GT(stages.analyze_nanos, 0);
+  EXPECT_GT(stages.materialize_nanos, 0);
+  EXPECT_GT(stages.score_nanos, 0);
+  EXPECT_GT(stages.topk_nanos, 0);
+  // Stages are disjoint spans inside the total.
+  EXPECT_LE(stages.parse_nanos + stages.analyze_nanos +
+                stages.materialize_nanos + stages.score_nanos +
+                stages.topk_nanos,
+            result.stats.total_nanos);
+}
+
+}  // namespace
+}  // namespace netout

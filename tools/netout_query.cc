@@ -8,9 +8,11 @@
 //   netout_query GRAPH.hin --query='...' --json
 //
 // With --file, queries (one per line) run through the parallel batch
-// driver. --pm / --spm attach a pre-built index. --explain prints why
-// the named candidate scores the way it does; --progressive streams
-// approximate top-k snapshots with confidence while executing.
+// driver; with --query, --threads instead enables intra-query
+// parallelism (ExecOptions::num_threads). --pm / --spm attach a
+// pre-built index. --explain prints why the named candidate scores the
+// way it does; --progressive streams approximate top-k snapshots with
+// confidence while executing.
 
 #include <cstdio>
 #include <sstream>
@@ -74,6 +76,8 @@ int main(int argc, char** argv) {
         UnwrapOrDie(LoadSpmIndex(*hin, args.Get("spm")), "load SPM index");
     engine_options.index = spm.get();
   }
+  const std::size_t threads =
+      static_cast<std::size_t>(args.GetInt("threads", 1));
 
   if (args.Has("file")) {
     const std::string text =
@@ -84,8 +88,6 @@ int main(int argc, char** argv) {
     while (std::getline(stream, line)) {
       if (!StrTrim(line).empty()) queries.push_back(line);
     }
-    const std::size_t threads =
-        static_cast<std::size_t>(args.GetInt("threads", 1));
     BatchRunner runner(hin, engine_options, threads);
     const auto outcomes = runner.Run(queries);
     for (std::size_t i = 0; i < outcomes.size(); ++i) {
@@ -100,6 +102,7 @@ int main(int argc, char** argv) {
   }
 
   const std::string query = args.Get("query");
+  engine_options.exec.num_threads = threads;
   Engine engine(hin, engine_options);
 
   if (args.Has("explain")) {
