@@ -1,19 +1,35 @@
 #!/usr/bin/env bash
-# Builds with ThreadSanitizer and runs the concurrency-labelled tests
-# (thread pool / task group / batch runner / intra-query parallelism).
-# Usage: scripts/check_tsan.sh [build-dir]   (default: build-tsan)
+# Sanitizer gate for the concurrency surface:
+#   1. ThreadSanitizer build -> `concurrency`-labelled tests (thread
+#      pool / task group / batch runner / intra-query parallelism /
+#      sharded-cache stress).
+#   2. AddressSanitizer build -> `cache`-labelled tests (the CachedIndex
+#      pinned-lookup lifetime contract: an evicted entry must never free
+#      memory a reader still holds).
+# Usage: scripts/check_tsan.sh [tsan-build-dir [asan-build-dir]]
+#        (defaults: build-tsan, build-asan)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-BUILD_DIR="${1:-build-tsan}"
+TSAN_BUILD_DIR="${1:-build-tsan}"
+ASAN_BUILD_DIR="${2:-build-asan}"
 
-cmake -B "${BUILD_DIR}" -S . \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DNETOUT_SANITIZE=thread \
-  -DNETOUT_BUILD_BENCHMARKS=OFF \
-  -DNETOUT_BUILD_EXAMPLES=OFF
-cmake --build "${BUILD_DIR}" -j "$(nproc)"
+build() {
+  local dir="$1" sanitizer="$2"
+  cmake -B "${dir}" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DNETOUT_SANITIZE="${sanitizer}" \
+    -DNETOUT_BUILD_BENCHMARKS=OFF \
+    -DNETOUT_BUILD_EXAMPLES=OFF
+  cmake --build "${dir}" -j "$(nproc)"
+}
 
+build "${TSAN_BUILD_DIR}" thread
 # halt_on_error so a data race fails the test run instead of scrolling by.
 TSAN_OPTIONS="halt_on_error=1" \
-  ctest --test-dir "${BUILD_DIR}" -L concurrency --output-on-failure -j "$(nproc)"
+  ctest --test-dir "${TSAN_BUILD_DIR}" -L 'concurrency|cache' \
+  --output-on-failure -j "$(nproc)"
+
+build "${ASAN_BUILD_DIR}" address
+ctest --test-dir "${ASAN_BUILD_DIR}" -L cache \
+  --output-on-failure -j "$(nproc)"

@@ -1,5 +1,7 @@
 #include "index/cached_index.h"
 
+#include <algorithm>
+
 namespace netout {
 
 CachedIndex::CachedIndex() : CachedIndex(nullptr, Options()) {}
@@ -8,51 +10,116 @@ CachedIndex::CachedIndex(const MetaPathIndex* base)
     : CachedIndex(base, Options()) {}
 
 CachedIndex::CachedIndex(const MetaPathIndex* base, const Options& options)
-    : base_(base), options_(options) {}
+    : base_(base),
+      options_(options),
+      shards_(std::max<std::size_t>(std::size_t{1}, options.num_shards)) {
+  // Per-shard budgets sum exactly to capacity_bytes; the remainder goes
+  // one byte at a time to the first shards.
+  const std::size_t n = shards_.size();
+  const std::size_t share = options_.capacity_bytes / n;
+  const std::size_t remainder = options_.capacity_bytes % n;
+  for (std::size_t i = 0; i < n; ++i) {
+    shards_[i].budget = share + (i < remainder ? 1 : 0);
+  }
+}
 
-std::optional<SparseVecView> CachedIndex::Lookup(const TwoStepKey& key,
-                                                 LocalId row) const {
+CachedIndex::Shard& CachedIndex::ShardFor(const CacheKey& key) const {
+  // Re-mix the map hash so shard choice and in-shard bucket choice do
+  // not correlate (a plain modulo of the same hash would leave every
+  // shard's map hitting the same few buckets).
+  std::size_t h = CacheKeyHash()(key);
+  h ^= h >> 29;
+  h *= 0x9e3779b97f4a7c15ULL;
+  h ^= h >> 32;
+  return shards_[h % shards_.size()];
+}
+
+std::optional<IndexHit> CachedIndex::Lookup(const TwoStepKey& key,
+                                            LocalId row) const {
   if (base_ != nullptr) {
-    std::optional<SparseVecView> hit = base_->Lookup(key, row);
+    std::optional<IndexHit> hit = base_->Lookup(key, row);
     if (hit.has_value()) return hit;
   }
-  auto it = entries_.find(CacheKey{key, row});
-  if (it == entries_.end()) {
-    ++stats_.misses;
-    return std::nullopt;
+  const CacheKey cache_key{key, row};
+  Shard& shard = ShardFor(cache_key);
+  std::shared_ptr<const SparseVector> pin;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.entries.find(cache_key);
+    if (it == shard.entries.end()) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);  // promote
+    pin = it->second->payload;
   }
-  ++stats_.hits;
-  lru_.splice(lru_.begin(), lru_, it->second);  // promote to front
-  return it->second->vector.View();
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  const SparseVecView view = pin->View();
+  return IndexHit{view.indices, view.values, std::move(pin)};
 }
 
 void CachedIndex::Remember(const TwoStepKey& key, LocalId row,
                            const SparseVector& vector) const {
   const CacheKey cache_key{key, row};
-  if (entries_.count(cache_key) > 0) return;  // already cached
+  Shard& shard = ShardFor(cache_key);
   const std::size_t bytes = vector.MemoryBytes() + sizeof(Entry);
-  if (bytes > options_.capacity_bytes) return;  // never admissible
-  lru_.push_front(Entry{cache_key, vector, bytes});
-  entries_.emplace(cache_key, lru_.begin());
-  bytes_ += bytes;
-  ++stats_.insertions;
-  EvictToBudget();
-}
-
-void CachedIndex::EvictToBudget() const {
-  while (bytes_ > options_.capacity_bytes && !lru_.empty()) {
-    const Entry& victim = lru_.back();
-    bytes_ -= victim.bytes;
-    entries_.erase(victim.key);
-    lru_.pop_back();
-    ++stats_.evictions;
+  if (bytes > shard.budget) return;  // never admissible in this shard
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.entries.count(cache_key) > 0) return;  // already cached
+  }
+  // Copy the payload outside the lock; re-check on insert because
+  // another thread may have remembered the same row meanwhile.
+  auto payload = std::make_shared<const SparseVector>(vector);
+  // Evicted payloads are destroyed after the lock is released (a pinned
+  // reader may even outlive this function with one of them).
+  std::vector<std::shared_ptr<const SparseVector>> evicted;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.entries.count(cache_key) > 0) return;
+    shard.lru.push_front(Entry{cache_key, std::move(payload), bytes});
+    shard.entries.emplace(cache_key, shard.lru.begin());
+    shard.bytes += bytes;
+    bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    num_entries_.fetch_add(1, std::memory_order_relaxed);
+    insertions_.fetch_add(1, std::memory_order_relaxed);
+    EvictToBudgetLocked(shard, &evicted);
   }
 }
 
+void CachedIndex::EvictToBudgetLocked(
+    Shard& shard,
+    std::vector<std::shared_ptr<const SparseVector>>* evicted) const {
+  while (shard.bytes > shard.budget && !shard.lru.empty()) {
+    Entry& victim = shard.lru.back();
+    shard.bytes -= victim.bytes;
+    bytes_.fetch_sub(victim.bytes, std::memory_order_relaxed);
+    num_entries_.fetch_sub(1, std::memory_order_relaxed);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    shard.entries.erase(victim.key);
+    evicted->push_back(std::move(victim.payload));
+    shard.lru.pop_back();
+  }
+}
+
+CachedIndex::Stats CachedIndex::stats() const {
+  Stats out;
+  out.hits = hits_.load(std::memory_order_relaxed);
+  out.misses = misses_.load(std::memory_order_relaxed);
+  out.insertions = insertions_.load(std::memory_order_relaxed);
+  out.evictions = evictions_.load(std::memory_order_relaxed);
+  return out;
+}
+
 void CachedIndex::Clear() {
-  lru_.clear();
-  entries_.clear();
-  bytes_ = 0;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    bytes_.fetch_sub(shard.bytes, std::memory_order_relaxed);
+    num_entries_.fetch_sub(shard.entries.size(), std::memory_order_relaxed);
+    shard.lru.clear();
+    shard.entries.clear();
+    shard.bytes = 0;
+  }
 }
 
 }  // namespace netout

@@ -1,10 +1,14 @@
 #ifndef NETOUT_INDEX_CACHED_INDEX_H_
 #define NETOUT_INDEX_CACHED_INDEX_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "common/hash.h"
 #include "metapath/index_iface.h"
@@ -26,15 +30,29 @@ namespace netout {
 /// first and only fall back to the cache, so the cache holds exactly the
 /// vectors the base index lacks.
 ///
-/// NOT thread-safe (lookups mutate LRU state); use one per Engine, like
-/// the Engine itself.
+/// Thread-safe (`SupportsConcurrentUse() == true`): the cache is split
+/// into `Options::num_shards` mutex-guarded shards keyed by
+/// hash(key, row), each with its own LRU list and byte budget (the
+/// budgets sum to `capacity_bytes`), so concurrent lookups on different
+/// shards never contend. Entry payloads are refcount-pinned: a Lookup
+/// hit returns an IndexHit carrying a shared_ptr to the vector, so an
+/// eviction (or Clear) on another thread can never free memory a reader
+/// still holds — the bug the old single-list implementation had even
+/// single-threaded, when a Remember between Lookup and the read evicted
+/// the looked-up entry. Stats counters are atomic.
 class CachedIndex : public MetaPathIndex {
  public:
   struct Options {
-    /// Cache payload budget; entries are evicted LRU-first when the
-    /// budget is exceeded. Entries larger than the whole budget are not
-    /// admitted.
+    /// Cache payload budget, split evenly across shards; entries are
+    /// evicted LRU-first (per shard) when a shard exceeds its share.
+    /// Entries larger than one shard's budget are not admitted.
     std::size_t capacity_bytes = std::size_t{64} << 20;
+
+    /// Number of independent mutex-guarded shards. More shards mean
+    /// less lock contention but a coarser (per-shard) LRU and a
+    /// smaller per-shard budget; 0 is clamped to 1. Single-threaded
+    /// code that wants exact global LRU semantics can use 1.
+    std::size_t num_shards = 8;
   };
 
   struct Stats {
@@ -49,24 +67,34 @@ class CachedIndex : public MetaPathIndex {
   explicit CachedIndex(const MetaPathIndex* base);
   CachedIndex(const MetaPathIndex* base, const Options& options);
 
-  std::optional<SparseVecView> Lookup(const TwoStepKey& key,
-                                      LocalId row) const override;
+  /// Hits are pinned: the returned spans stay valid for the lifetime of
+  /// the IndexHit even if the entry is evicted concurrently.
+  std::optional<IndexHit> Lookup(const TwoStepKey& key,
+                                 LocalId row) const override;
 
   void Remember(const TwoStepKey& key, LocalId row,
                 const SparseVector& vector) const override;
 
-  /// Lookup mutates LRU recency and Remember can evict entries whose
-  /// views another thread still holds, so concurrent use is unsafe.
-  bool SupportsConcurrentUse() const override { return false; }
+  bool SupportsConcurrentUse() const override { return true; }
 
   /// Cache payload bytes (excludes the base index; add
   /// base->MemoryBytes() for the total).
-  std::size_t MemoryBytes() const override { return bytes_; }
+  std::size_t MemoryBytes() const override {
+    return bytes_.load(std::memory_order_relaxed);
+  }
 
-  const Stats& stats() const { return stats_; }
-  std::size_t num_entries() const { return entries_.size(); }
+  /// A consistent-enough snapshot of the counters (each counter is
+  /// individually atomic; the four are not read under one lock).
+  Stats stats() const;
 
-  /// Drops every cached entry (stats are kept).
+  std::size_t num_entries() const {
+    return num_entries_.load(std::memory_order_relaxed);
+  }
+
+  std::size_t num_shards() const { return shards_.size(); }
+
+  /// Drops every cached entry (stats are kept). Pinned readers keep
+  /// their payloads alive until they drop their IndexHit.
   void Clear();
 
  private:
@@ -85,23 +113,42 @@ class CachedIndex : public MetaPathIndex {
   };
   struct Entry {
     CacheKey key;
-    SparseVector vector;
+    std::shared_ptr<const SparseVector> payload;
     std::size_t bytes = 0;
   };
+  /// One lock domain: its own LRU list, map, and byte budget. All
+  /// fields below `mu` are guarded by it.
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<CacheKey, std::list<Entry>::iterator, CacheKeyHash>
+        entries;
+    std::size_t bytes = 0;
+    std::size_t budget = 0;
+  };
 
-  void EvictToBudget() const;
+  Shard& ShardFor(const CacheKey& key) const;
+
+  /// Evicts LRU-last entries of `shard` until it fits its budget,
+  /// moving their payloads into `evicted` so they are destroyed (or
+  /// outlive this call via reader pins) after the lock is released.
+  /// Caller holds shard.mu.
+  void EvictToBudgetLocked(
+      Shard& shard,
+      std::vector<std::shared_ptr<const SparseVector>>* evicted) const;
 
   const MetaPathIndex* base_;
   Options options_;
 
   // Logically-const cache state (the memoization idiom): Lookup and
   // Remember mutate recency/occupancy but never observable results.
-  mutable std::list<Entry> lru_;  // front = most recently used
-  mutable std::unordered_map<CacheKey, std::list<Entry>::iterator,
-                             CacheKeyHash>
-      entries_;
-  mutable std::size_t bytes_ = 0;
-  mutable Stats stats_;
+  mutable std::vector<Shard> shards_;
+  mutable std::atomic<std::size_t> bytes_{0};
+  mutable std::atomic<std::size_t> num_entries_{0};
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
+  mutable std::atomic<std::uint64_t> insertions_{0};
+  mutable std::atomic<std::uint64_t> evictions_{0};
 };
 
 }  // namespace netout

@@ -58,12 +58,13 @@ Result<std::unique_ptr<PmIndex>> PmIndex::BuildForRoots(
   return index;
 }
 
-std::optional<SparseVecView> PmIndex::Lookup(const TwoStepKey& key,
-                                             LocalId row) const {
+std::optional<IndexHit> PmIndex::Lookup(const TwoStepKey& key,
+                                        LocalId row) const {
   auto it = relations_.find(key);
   if (it == relations_.end()) return std::nullopt;
   if (row >= it->second.num_rows()) return std::nullopt;
-  return it->second.Row(row);
+  const SparseVecView view = it->second.Row(row);
+  return IndexHit{view.indices, view.values, nullptr};
 }
 
 std::size_t PmIndex::MemoryBytes() const {

@@ -36,8 +36,10 @@ class PmIndex : public MetaPathIndex {
   static Result<std::unique_ptr<PmIndex>> BuildForRoots(
       const Hin& hin, const std::vector<TypeId>& root_types);
 
-  std::optional<SparseVecView> Lookup(const TwoStepKey& key,
-                                      LocalId row) const override;
+  /// Hits alias index storage (`pin` is null): the index is immutable
+  /// after build, so the spans outlive any reader.
+  std::optional<IndexHit> Lookup(const TwoStepKey& key,
+                                 LocalId row) const override;
 
   std::size_t MemoryBytes() const override;
 

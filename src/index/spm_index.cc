@@ -74,13 +74,14 @@ Result<std::unique_ptr<SpmIndex>> SpmIndex::BuildForVertices(
   return index;
 }
 
-std::optional<SparseVecView> SpmIndex::Lookup(const TwoStepKey& key,
-                                              LocalId row) const {
+std::optional<IndexHit> SpmIndex::Lookup(const TwoStepKey& key,
+                                         LocalId row) const {
   auto it = rows_.find(key);
   if (it == rows_.end()) return std::nullopt;
   auto row_it = it->second.find(row);
   if (row_it == it->second.end()) return std::nullopt;
-  return row_it->second.View();
+  const SparseVecView view = row_it->second.View();
+  return IndexHit{view.indices, view.values, nullptr};
 }
 
 std::size_t SpmIndex::MemoryBytes() const {

@@ -41,8 +41,10 @@ class SpmIndex : public MetaPathIndex {
   static Result<std::unique_ptr<SpmIndex>> BuildForVertices(
       const Hin& hin, const std::vector<VertexRef>& vertices);
 
-  std::optional<SparseVecView> Lookup(const TwoStepKey& key,
-                                      LocalId row) const override;
+  /// Hits alias index storage (`pin` is null): the index is immutable
+  /// after build, so the spans outlive any reader.
+  std::optional<IndexHit> Lookup(const TwoStepKey& key,
+                                 LocalId row) const override;
 
   std::size_t MemoryBytes() const override;
 

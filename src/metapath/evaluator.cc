@@ -54,7 +54,7 @@ Result<SparseVector> NeighborVectorEvaluator::Evaluate(VertexRef v,
     if (frontier.nnz() == 1) {
       const LocalId row = frontier.indices()[0];
       const double weight = frontier.values()[0];
-      std::optional<SparseVecView> hit = index_->Lookup(key, row);
+      const std::optional<IndexHit> hit = index_->Lookup(key, row);
       if (hit.has_value()) {
         ScopedTimer timer(stats ? &stats->indexed : nullptr);
         if (stats) ++stats->index_hits;
@@ -80,7 +80,7 @@ Result<SparseVector> NeighborVectorEvaluator::Evaluate(VertexRef v,
     for (std::size_t k = 0; k < indices.size(); ++k) {
       const LocalId row = indices[k];
       const double weight = values[k];
-      std::optional<SparseVecView> hit = index_->Lookup(key, row);
+      const std::optional<IndexHit> hit = index_->Lookup(key, row);
       if (hit.has_value()) {
         ScopedTimer timer(stats ? &stats->indexed : nullptr);
         if (stats) ++stats->index_hits;

@@ -2,7 +2,9 @@
 #define NETOUT_METAPATH_INDEX_IFACE_H_
 
 #include <cstddef>
+#include <memory>
 #include <optional>
+#include <span>
 
 #include "common/hash.h"
 #include "graph/types.h"
@@ -31,17 +33,34 @@ struct TwoStepKeyHash {
   }
 };
 
-/// Read interface shared by PmIndex (all vertices) and SpmIndex
-/// (frequency-selected vertices). Lookup returns the pre-materialized
-/// length-2 neighbor vector φ of `row` for the given key, or nullopt on
-/// a miss (not indexed). Implementations are immutable after build and
-/// safe for concurrent lookups.
+/// A successful index lookup: sorted parallel spans over the length-2
+/// neighbor vector, plus an ownership pin that keeps the spans valid.
+///
+/// For the immutable PM/SPM indexes `pin` is null — the spans alias
+/// index storage, which outlives any reader. CachedIndex sets `pin` to
+/// the entry's shared payload so that a concurrent (or later) eviction
+/// can never free memory a reader still holds: the spans stay valid for
+/// the lifetime of the IndexHit, full stop.
+struct IndexHit {
+  std::span<const LocalId> indices;
+  std::span<const double> values;
+  std::shared_ptr<const SparseVector> pin;  // null when storage is immortal
+
+  std::size_t nnz() const { return indices.size(); }
+  bool empty() const { return indices.empty(); }
+  SparseVecView View() const { return SparseVecView{indices, values}; }
+};
+
+/// Read interface shared by PmIndex (all vertices), SpmIndex
+/// (frequency-selected vertices), and CachedIndex (dynamic memoization).
+/// Lookup returns the pre-materialized length-2 neighbor vector φ of
+/// `row` for the given key, or nullopt on a miss (not indexed).
 class MetaPathIndex {
  public:
   virtual ~MetaPathIndex() = default;
 
-  virtual std::optional<SparseVecView> Lookup(const TwoStepKey& key,
-                                              LocalId row) const = 0;
+  virtual std::optional<IndexHit> Lookup(const TwoStepKey& key,
+                                         LocalId row) const = 0;
 
   /// Heap footprint of the index payload (Figure 5b accounting).
   virtual std::size_t MemoryBytes() const = 0;
@@ -57,11 +76,13 @@ class MetaPathIndex {
     (void)vector;
   }
 
-  /// True if Lookup/Remember may be called from several threads at once
-  /// (the immutable PM/SPM indexes). CachedIndex overrides to false — its
-  /// LRU state mutates on Lookup and returned views can dangle across an
-  /// eviction — which makes the parallel executor fall back to serial
-  /// materialization while keeping parallel scoring.
+  /// True if Lookup/Remember may be called from several threads at once.
+  /// All in-tree implementations qualify: PM/SPM are immutable after
+  /// build and CachedIndex is a sharded mutex-guarded LRU whose hits are
+  /// refcount-pinned. A third-party index that mutates unguarded state
+  /// must override to false; the executor and BatchRunner then *reject*
+  /// multi-threaded execution with kFailedPrecondition rather than
+  /// silently racing (or silently serializing, as older versions did).
   virtual bool SupportsConcurrentUse() const { return true; }
 };
 

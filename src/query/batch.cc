@@ -33,6 +33,20 @@ std::vector<BatchOutcome> BatchRunner::Run(
   std::vector<BatchOutcome> outcomes(queries.size());
   if (queries.empty()) return outcomes;
 
+  // The attached index is shared by every worker engine; with more than
+  // one worker an index that cannot serve concurrent lookups would be a
+  // silent data race, so reject the whole batch up front. All in-tree
+  // indexes (PM/SPM/CachedIndex) are concurrent-safe.
+  if (impl_->options.index != nullptr && impl_->pool.num_threads() > 1 &&
+      !impl_->options.index->SupportsConcurrentUse()) {
+    const Status rejected = Status::FailedPrecondition(
+        "the attached index reports SupportsConcurrentUse() == false and "
+        "cannot be shared across BatchRunner workers; use one thread or "
+        "a concurrent-safe index");
+    for (BatchOutcome& outcome : outcomes) outcome.status = rejected;
+    return outcomes;
+  }
+
   // Contiguous slices, one Engine per slice: engines are cheap but not
   // free (traversal workspaces), so build one per task rather than one
   // per query.

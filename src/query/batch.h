@@ -37,7 +37,10 @@ class BatchRunner {
   /// query failures are reported per-outcome, never thrown/propagated.
   /// Re-entrant: concurrent Run() calls from different threads share the
   /// worker pool but complete independently (each waits on a per-run
-  /// TaskGroup, not the pool's global idle state).
+  /// TaskGroup, not the pool's global idle state). If the attached index
+  /// reports SupportsConcurrentUse() == false and the runner has more
+  /// than one worker, every outcome fails with kFailedPrecondition
+  /// instead of racing on the shared index.
   std::vector<BatchOutcome> Run(const std::vector<std::string>& queries);
 
   std::size_t num_threads() const;

@@ -76,7 +76,6 @@ Executor::~Executor() = default;
 
 std::size_t Executor::MaterializeWorkers(std::size_t count) const {
   if (pool_ == nullptr || count < 2) return 1;
-  if (index_ != nullptr && !index_->SupportsConcurrentUse()) return 1;
   return std::min(worker_evaluators_.size(), count);
 }
 
@@ -238,6 +237,18 @@ Result<std::vector<VertexRef>> Executor::EvaluateSet(
 }
 
 Result<QueryResult> Executor::Run(const QueryPlan& plan) {
+  // Guard, not fallback: an index that cannot serve concurrent
+  // lookups must not be combined with intra-query parallelism. The
+  // in-tree indexes (PM/SPM/CachedIndex) are all concurrent-safe; this
+  // rejects third-party implementations instead of silently racing or
+  // silently dropping to one worker.
+  if (index_ != nullptr && options_.num_threads > 1 &&
+      !index_->SupportsConcurrentUse()) {
+    return Status::FailedPrecondition(
+        "the attached index reports SupportsConcurrentUse() == false and "
+        "cannot be used with num_threads > 1; run single-threaded or "
+        "attach one index instance per thread");
+  }
   Stopwatch total_watch;
   QueryResult result;
   QueryExecStats& stats = result.stats;

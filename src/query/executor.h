@@ -90,9 +90,10 @@ struct ExecOptions {
 
   /// Intra-query parallelism: > 1 spawns a private worker pool that fans
   /// out (a) per-candidate neighbor-vector materialization (one
-  /// traversal workspace per worker; falls back to serial when the
-  /// attached index does not SupportsConcurrentUse, e.g. CachedIndex)
-  /// and (b) the per-candidate NetOut/PathSim/CosSim scoring loops.
+  /// traversal workspace per worker; the attached index, if any, must
+  /// report SupportsConcurrentUse() — all in-tree indexes including
+  /// CachedIndex do; Run rejects others with kFailedPrecondition) and
+  /// (b) the per-candidate NetOut/PathSim/CosSim scoring loops.
   /// Results are bitwise-identical to num_threads == 1: every
   /// candidate's value is computed by the same serial per-candidate
   /// code, only the outer loop is distributed.
@@ -116,6 +117,13 @@ class Executor {
   /// candidate extraction and by tools). Members are returned sorted.
   Result<std::vector<VertexRef>> EvaluateSet(const ResolvedSet& set);
 
+  /// Worker count one materialization of `count` vectors would use: 1
+  /// without a pool or for tiny inputs, else min(num_threads, count).
+  /// Public for tests and diagnostics (it proves the executor no longer
+  /// falls back to serial materialization when a CachedIndex is
+  /// attached).
+  std::size_t MaterializeWorkers(std::size_t count) const;
+
  private:
   Result<std::vector<LocalId>> EvalSet(const ResolvedSet& set,
                                        EvalStats* stats);
@@ -131,10 +139,6 @@ class Executor {
   Result<std::vector<SparseVector>> MaterializeVectors(
       TypeId subject_type, const MetaPath& path,
       const std::vector<LocalId>& members, EvalStats* stats);
-
-  /// Worker count for one materialization: 1 (serial) without a pool,
-  /// for tiny inputs, or when the index is not safe for concurrent use.
-  std::size_t MaterializeWorkers(std::size_t count) const;
 
   HinPtr hin_;
   const MetaPathIndex* index_;

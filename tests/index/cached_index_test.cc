@@ -99,6 +99,7 @@ TEST_F(CachedIndexFixture, WrapsABaseIndexWithoutDoubleCaching) {
 TEST_F(CachedIndexFixture, EvictsLruUnderBudget) {
   CachedIndex::Options options;
   options.capacity_bytes = 4096;  // tiny: forces eviction
+  options.num_shards = 1;         // exact global LRU for this test
   CachedIndex cache(nullptr, options);
   NeighborVectorEvaluator evaluator(dataset_->hin, &cache);
   const MetaPath apv =
@@ -136,6 +137,94 @@ TEST_F(CachedIndexFixture, ClearEmptiesTheCache) {
   cache.Clear();
   EXPECT_EQ(cache.num_entries(), 0u);
   EXPECT_EQ(cache.MemoryBytes(), 0u);
+}
+
+// ---- Direct-use tests (no graph): fabricated keys and vectors. ----
+
+TwoStepKey MakeKey(EdgeTypeId id) {
+  const EdgeStep step{id, Direction::kForward};
+  return TwoStepKey{step, step};
+}
+
+// A recognizable vector: n entries whose values encode (seed, i).
+SparseVector MakeVec(double seed, std::size_t n) {
+  std::vector<LocalId> indices(n);
+  std::vector<double> values(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    indices[i] = static_cast<LocalId>(i);
+    values[i] = seed * 1000.0 + static_cast<double>(i);
+  }
+  return SparseVector::FromSorted(std::move(indices), std::move(values));
+}
+
+TEST(CachedIndexDirect, ReportsConcurrentSafe) {
+  CachedIndex cache;
+  EXPECT_TRUE(cache.SupportsConcurrentUse());
+  EXPECT_GT(cache.num_shards(), 0u);
+}
+
+// Regression (ASAN-visible before the refcount-pinned rewrite): a hit
+// returned by Lookup used to alias the LRU entry's storage, so any
+// Remember that evicted the entry freed memory the caller was still
+// reading. Pinned hits must stay readable across eviction of their
+// entry — and across Clear().
+TEST(CachedIndexDirect, LookupSurvivesEvictionOfItsEntry) {
+  CachedIndex::Options options;
+  options.num_shards = 1;
+  const SparseVector first = MakeVec(1.0, 32);
+  // Room for roughly two entries: the third Remember evicts the first.
+  options.capacity_bytes = 3 * first.MemoryBytes();
+  CachedIndex cache(nullptr, options);
+
+  cache.Remember(MakeKey(0), 0, first);
+  const std::optional<IndexHit> hit = cache.Lookup(MakeKey(0), 0);
+  ASSERT_TRUE(hit.has_value());
+  ASSERT_NE(hit->pin, nullptr);
+
+  cache.Remember(MakeKey(1), 0, MakeVec(2.0, 32));
+  cache.Remember(MakeKey(2), 0, MakeVec(3.0, 32));
+  ASSERT_GT(cache.stats().evictions, 0u);
+  EXPECT_FALSE(cache.Lookup(MakeKey(0), 0).has_value());  // evicted
+
+  // The pinned hit still reads the original data (ASAN would flag a
+  // use-after-free here with the old copy-free semantics).
+  ASSERT_EQ(hit->nnz(), 32u);
+  for (std::size_t i = 0; i < hit->nnz(); ++i) {
+    EXPECT_EQ(hit->indices[i], static_cast<LocalId>(i));
+    EXPECT_DOUBLE_EQ(hit->values[i], 1000.0 + static_cast<double>(i));
+  }
+
+  cache.Clear();
+  EXPECT_DOUBLE_EQ(hit->values[31], 1031.0);  // pin outlives Clear too
+}
+
+TEST(CachedIndexDirect, LookupPromotesRecency) {
+  CachedIndex::Options options;
+  options.num_shards = 1;
+  const SparseVector a = MakeVec(1.0, 16);
+  options.capacity_bytes = 2 * (a.MemoryBytes() + 128);
+  CachedIndex cache(nullptr, options);
+
+  cache.Remember(MakeKey(0), 0, a);              // LRU: [0]
+  cache.Remember(MakeKey(1), 0, MakeVec(2, 16));  // LRU: [1, 0]
+  ASSERT_TRUE(cache.Lookup(MakeKey(0), 0).has_value());  // LRU: [0, 1]
+  cache.Remember(MakeKey(2), 0, MakeVec(3, 16));  // evicts 1, not 0
+  EXPECT_TRUE(cache.Lookup(MakeKey(0), 0).has_value());
+  EXPECT_FALSE(cache.Lookup(MakeKey(1), 0).has_value());
+  EXPECT_TRUE(cache.Lookup(MakeKey(2), 0).has_value());
+}
+
+TEST(CachedIndexDirect, PerShardBudgetsKeepTotalUnderCapacity) {
+  CachedIndex::Options options;
+  options.num_shards = 4;
+  options.capacity_bytes = 8192;
+  CachedIndex cache(nullptr, options);
+  for (EdgeTypeId k = 0; k < 200; ++k) {
+    cache.Remember(MakeKey(k), 0, MakeVec(static_cast<double>(k), 8));
+  }
+  EXPECT_LE(cache.MemoryBytes(), options.capacity_bytes);
+  const CachedIndex::Stats stats = cache.stats();
+  EXPECT_EQ(stats.insertions - stats.evictions, cache.num_entries());
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 
 #include "datagen/biblio_gen.h"
 #include "datagen/workload.h"
+#include "index/cached_index.h"
 
 namespace netout {
 namespace {
@@ -123,6 +124,72 @@ TEST_F(BatchFixture, ConcurrentRunsCompleteIndependently) {
   };
   check(got_a, expect_a);
   check(got_b, expect_b);
+}
+
+// Regression: BatchRunner used to share any attached index across its
+// worker threads with no SupportsConcurrentUse() check — a silent data
+// race for non-concurrent-safe indexes. Such indexes are now rejected
+// up front with a clear per-outcome error.
+TEST_F(BatchFixture, NonConcurrentIndexIsRejected) {
+  class NonConcurrentIndex : public MetaPathIndex {
+   public:
+    std::optional<IndexHit> Lookup(const TwoStepKey&,
+                                   LocalId) const override {
+      return std::nullopt;
+    }
+    std::size_t MemoryBytes() const override { return 0; }
+    bool SupportsConcurrentUse() const override { return false; }
+  };
+  NonConcurrentIndex index;
+  EngineOptions options;
+  options.index = &index;
+  const std::vector<std::string> queries = {
+      "FIND OUTLIERS FROM author{\"" + dataset_->star_names[0] +
+      "\"}.paper.author JUDGED BY author.paper.venue TOP 3;"};
+
+  BatchRunner parallel(dataset_->hin, options, 4);
+  const auto rejected = parallel.Run(queries);
+  ASSERT_EQ(rejected.size(), 1u);
+  EXPECT_EQ(rejected[0].status.code(), StatusCode::kFailedPrecondition);
+
+  // A single-worker runner never shares the index: still allowed.
+  BatchRunner serial(dataset_->hin, options, 1);
+  const auto accepted = serial.Run(queries);
+  ASSERT_EQ(accepted.size(), 1u);
+  EXPECT_TRUE(accepted[0].status.ok());
+}
+
+// The sharded CachedIndex is concurrent-safe, so sharing one across
+// batch workers is supported — and warms across queries: parallel
+// outcomes must match the single-threaded un-cached run.
+TEST_F(BatchFixture, SharedCachedIndexAcrossWorkers) {
+  WorkloadConfig workload;
+  workload.num_queries = 24;
+  workload.seed = 9;
+  const auto queries = GenerateWorkload(*dataset_->hin, "author",
+                                        QueryTemplate::kQ1, workload)
+                           .value();
+  BatchRunner reference(dataset_->hin, EngineOptions{}, 1);
+  const auto expected = reference.Run(queries);
+
+  CachedIndex cache;
+  EngineOptions options;
+  options.index = &cache;
+  BatchRunner runner(dataset_->hin, options, 4);
+  const auto outcomes = runner.Run(queries);
+  ASSERT_EQ(outcomes.size(), expected.size());
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    ASSERT_TRUE(outcomes[i].status.ok()) << queries[i];
+    ASSERT_EQ(outcomes[i].result.outliers.size(),
+              expected[i].result.outliers.size());
+    for (std::size_t j = 0; j < outcomes[i].result.outliers.size(); ++j) {
+      EXPECT_EQ(outcomes[i].result.outliers[j].name,
+                expected[i].result.outliers[j].name);
+      EXPECT_DOUBLE_EQ(outcomes[i].result.outliers[j].score,
+                       expected[i].result.outliers[j].score);
+    }
+  }
+  EXPECT_GT(cache.stats().insertions, 0u);
 }
 
 TEST_F(BatchFixture, EmptyBatch) {

@@ -78,14 +78,67 @@ TEST_F(ParallelQueryFixture, PmIndexedIdenticalAcrossThreadCounts) {
   ExpectIdentical(serial, RunWithThreads(nullptr, 1, kWideQuery));
 }
 
-TEST_F(ParallelQueryFixture, CachedIndexFallsBackToSerialMaterialization) {
-  // CachedIndex is not safe for concurrent use; the executor must
-  // materialize serially (SupportsConcurrentUse() == false) yet still
-  // score in parallel — and stay correct.
+TEST_F(ParallelQueryFixture, CachedIndexMaterializesInParallel) {
+  // The sharded CachedIndex serves concurrent lookups/remembers, so the
+  // executor keeps its full worker count (no serial fallback) — and the
+  // answer stays bitwise identical to the un-cached serial run, with
+  // the cache cold (populated under parallelism) and warm.
   CachedIndex cache(pm_);
-  ASSERT_FALSE(cache.SupportsConcurrentUse());
+  ASSERT_TRUE(cache.SupportsConcurrentUse());
   const QueryResult reference = RunWithThreads(nullptr, 1, kWideQuery);
   ExpectIdentical(reference, RunWithThreads(&cache, 4, kWideQuery));
+  ExpectIdentical(reference, RunWithThreads(&cache, 4, kWideQuery));
+}
+
+TEST_F(ParallelQueryFixture, CachedIndexKeepsFullWorkerCount) {
+  // Regression: MaterializeWorkers used to return 1 whenever the
+  // attached index reported non-concurrent-safe, which CachedIndex did.
+  CachedIndex cache;
+  ExecOptions options;
+  options.num_threads = 4;
+  Executor executor(dataset_->hin, &cache, options);
+  EXPECT_EQ(executor.MaterializeWorkers(100), 4u);
+  EXPECT_EQ(executor.MaterializeWorkers(1), 1u);  // tiny input: serial
+}
+
+TEST_F(ParallelQueryFixture, PureCacheIdenticalAcrossThreadCounts) {
+  // No base index: every miss traverses and Remembers concurrently;
+  // every thread count (and the warm second run) must agree bitwise
+  // with the serial un-cached answer.
+  const QueryResult reference = RunWithThreads(nullptr, 1, kWideQuery);
+  for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+    CachedIndex cache;
+    ExpectIdentical(reference, RunWithThreads(&cache, threads, kWideQuery));
+    ExpectIdentical(reference, RunWithThreads(&cache, threads, kWideQuery));
+    EXPECT_GT(cache.stats().insertions, 0u);
+  }
+}
+
+TEST_F(ParallelQueryFixture, NonConcurrentIndexIsRejected) {
+  // A third-party index that still reports non-concurrent-safe must be
+  // rejected (not silently serialized, not raced on).
+  class NonConcurrentIndex : public MetaPathIndex {
+   public:
+    std::optional<IndexHit> Lookup(const TwoStepKey&,
+                                   LocalId) const override {
+      return std::nullopt;
+    }
+    std::size_t MemoryBytes() const override { return 0; }
+    bool SupportsConcurrentUse() const override { return false; }
+  };
+  NonConcurrentIndex index;
+  EngineOptions options;
+  options.index = &index;
+  options.exec.num_threads = 4;
+  Engine engine(dataset_->hin, options);
+  const auto result = engine.Execute(kWideQuery);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+
+  // Single-threaded execution remains allowed.
+  options.exec.num_threads = 1;
+  Engine serial_engine(dataset_->hin, options);
+  EXPECT_TRUE(serial_engine.Execute(kWideQuery).ok());
 }
 
 TEST_F(ParallelQueryFixture, MultiPathAndJointCombineIdentical) {

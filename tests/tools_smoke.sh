@@ -59,4 +59,15 @@ printf '%s\n%s\n' "$QUERY" "$QUERY" > "$WORK_DIR/batch.txt"
     --threads=2 > "$WORK_DIR/q_batch.log"
 [ "$(grep -c -- '-- query' "$WORK_DIR/q_batch.log")" = "2" ]
 
+# The dynamic cache composes with intra-query threads (sharded,
+# concurrency-safe) and with a PM base tier; answers stay identical.
+"$TOOLS_DIR/netout_query" "$GRAPH" --cache --threads=4 \
+    --query="$QUERY" > "$WORK_DIR/q_cache.log"
+top_cache=$(grep ' 1\.' "$WORK_DIR/q_cache.log" | head -1 | awk '{print $2}')
+[ "$top_base" = "$top_cache" ]
+"$TOOLS_DIR/netout_query" "$GRAPH" --pm="$WORK_DIR/pm.idx" --cache=16 \
+    --file="$WORK_DIR/batch.txt" --threads=2 > "$WORK_DIR/q_cache_batch.log"
+[ "$(grep -c -- '-- query' "$WORK_DIR/q_cache_batch.log")" = "2" ]
+grep -q " 1\. *$top_base" "$WORK_DIR/q_cache_batch.log"
+
 echo "tools smoke test passed"

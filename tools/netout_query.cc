@@ -2,7 +2,7 @@
 //
 //   netout_query GRAPH.hin --query='FIND OUTLIERS ... TOP 10;'
 //   netout_query GRAPH.hin --file=queries.txt [--pm=graph.pmidx]
-//                [--spm=graph.spmidx] [--threads=4]
+//                [--spm=graph.spmidx] [--cache[=MB]] [--threads=4]
 //   netout_query GRAPH.hin --query='...' --explain=VERTEX
 //   netout_query GRAPH.hin --query='...' --progressive [--batches=10]
 //   netout_query GRAPH.hin --query='...' --json
@@ -10,9 +10,12 @@
 // With --file, queries (one per line) run through the parallel batch
 // driver; with --query, --threads instead enables intra-query
 // parallelism (ExecOptions::num_threads). --pm / --spm attach a
-// pre-built index. --explain prints why the named candidate scores the
-// way it does; --progressive streams approximate top-k snapshots with
-// confidence while executing.
+// pre-built index; --cache[=MB] attaches the dynamic LRU cache
+// (default 64 MB), optionally wrapping --pm/--spm as a second tier.
+// The cache is sharded and concurrency-safe, so it combines freely
+// with --threads in both modes. --explain prints why the named
+// candidate scores the way it does; --progressive streams approximate
+// top-k snapshots with confidence while executing.
 
 #include <cstdio>
 #include <sstream>
@@ -20,6 +23,7 @@
 #include "common/binary_io.h"
 #include "common/string_util.h"
 #include "graph/io.h"
+#include "index/cached_index.h"
 #include "index/serialize.h"
 #include "query/analyzer.h"
 #include "query/batch.h"
@@ -58,7 +62,8 @@ int main(int argc, char** argv) {
       (!args.Has("query") && !args.Has("file"))) {
     std::fprintf(stderr,
                  "usage: netout_query GRAPH.hin --query='...' | "
-                 "--file=FILE [--pm=IDX | --spm=IDX] [--threads=N] "
+                 "--file=FILE [--pm=IDX | --spm=IDX] [--cache[=MB]] "
+                 "[--threads=N] "
                  "[--explain=VERTEX] [--progressive [--batches=N]]\n");
     return 1;
   }
@@ -67,6 +72,7 @@ int main(int argc, char** argv) {
 
   std::unique_ptr<PmIndex> pm;
   std::unique_ptr<SpmIndex> spm;
+  std::unique_ptr<CachedIndex> cache;
   EngineOptions engine_options;
   if (args.Has("pm")) {
     pm = UnwrapOrDie(LoadPmIndex(*hin, args.Get("pm")), "load PM index");
@@ -75,6 +81,17 @@ int main(int argc, char** argv) {
     spm =
         UnwrapOrDie(LoadSpmIndex(*hin, args.Get("spm")), "load SPM index");
     engine_options.index = spm.get();
+  }
+  if (args.Has("cache")) {
+    CachedIndex::Options cache_options;
+    const long long mb = args.GetInt("cache", 64);
+    if (mb > 0) {
+      cache_options.capacity_bytes =
+          static_cast<std::size_t>(mb) << 20;
+    }
+    cache = std::make_unique<CachedIndex>(engine_options.index,
+                                          cache_options);
+    engine_options.index = cache.get();
   }
   const std::size_t threads =
       static_cast<std::size_t>(args.GetInt("threads", 1));
