@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Sanitizer gate (generalizes the old check_tsan.sh):
+#   1. ThreadSanitizer build  -> `concurrency`+`cache`-labelled tests
+#      (thread pool / task group / batch runner / intra-query parallelism
+#      / sharded-cache stress).
+#   2. AddressSanitizer build -> `cache`-labelled tests (the CachedIndex
+#      pinned-lookup lifetime contract: an evicted entry must never free
+#      memory a reader still holds).
+#   3. UndefinedBehaviorSanitizer build -> the full test suite
+#      (halt-on-UB: the build uses -fno-sanitize-recover so any signed
+#      overflow / bad shift / misaligned access fails its test).
+# Usage: scripts/check_sanitizers.sh [tsan-dir [asan-dir [ubsan-dir]]]
+#        (defaults: build-tsan, build-asan, build-ubsan)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+TSAN_BUILD_DIR="${1:-build-tsan}"
+ASAN_BUILD_DIR="${2:-build-asan}"
+UBSAN_BUILD_DIR="${3:-build-ubsan}"
+JOBS="$(nproc)"
+
+build() {
+  local dir="$1" sanitizer="$2"
+  cmake -B "${dir}" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DNETOUT_SANITIZE="${sanitizer}" \
+    -DNETOUT_BUILD_BENCHMARKS=OFF \
+    -DNETOUT_BUILD_EXAMPLES=OFF
+  cmake --build "${dir}" -j "${JOBS}"
+}
+
+build "${TSAN_BUILD_DIR}" thread
+# halt_on_error so a data race fails the test run instead of scrolling by.
+TSAN_OPTIONS="halt_on_error=1" \
+  ctest --test-dir "${TSAN_BUILD_DIR}" -L 'concurrency|cache' \
+  --output-on-failure -j "${JOBS}"
+
+build "${ASAN_BUILD_DIR}" address
+ctest --test-dir "${ASAN_BUILD_DIR}" -L cache \
+  --output-on-failure -j "${JOBS}"
+
+build "${UBSAN_BUILD_DIR}" undefined
+# The `lint` label is the compile-failure harness (tests/lint); it
+# re-enters cmake and needs no sanitizer, so keep the UBSan run focused
+# on the runtime suite.
+ctest --test-dir "${UBSAN_BUILD_DIR}" -LE lint \
+  --output-on-failure -j "${JOBS}"
+
+echo "check_sanitizers: TSAN + ASAN + UBSan all green"

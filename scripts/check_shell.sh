@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Shell-script gate: bash syntax check (always) + shellcheck (when
+# installed; the minimal build container does not ship it, CI does).
+# Covers every tracked *.sh in scripts/ and tests/.
+# Usage: scripts/check_shell.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+mapfile -t shell_files < <(git ls-files 'scripts/*.sh' 'tests/*.sh')
+if [ "${#shell_files[@]}" -eq 0 ]; then
+  echo "check_shell: no shell scripts found" >&2
+  exit 1
+fi
+
+for f in "${shell_files[@]}"; do
+  bash -n "$f"
+done
+echo "check_shell: bash -n OK (${#shell_files[@]} scripts)"
+
+if command -v shellcheck > /dev/null 2>&1; then
+  shellcheck --severity=style "${shell_files[@]}"
+  echo "check_shell: shellcheck clean"
+else
+  echo "check_shell: shellcheck not found; syntax check only" >&2
+fi

@@ -1,35 +1,5 @@
 #!/usr/bin/env bash
-# Sanitizer gate for the concurrency surface:
-#   1. ThreadSanitizer build -> `concurrency`-labelled tests (thread
-#      pool / task group / batch runner / intra-query parallelism /
-#      sharded-cache stress).
-#   2. AddressSanitizer build -> `cache`-labelled tests (the CachedIndex
-#      pinned-lookup lifetime contract: an evicted entry must never free
-#      memory a reader still holds).
-# Usage: scripts/check_tsan.sh [tsan-build-dir [asan-build-dir]]
-#        (defaults: build-tsan, build-asan)
+# Deprecated name kept for muscle memory and old docs: the TSAN/ASAN gate
+# grew a UBSan leg and now lives in check_sanitizers.sh.
 set -euo pipefail
-
-cd "$(dirname "$0")/.."
-TSAN_BUILD_DIR="${1:-build-tsan}"
-ASAN_BUILD_DIR="${2:-build-asan}"
-
-build() {
-  local dir="$1" sanitizer="$2"
-  cmake -B "${dir}" -S . \
-    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-    -DNETOUT_SANITIZE="${sanitizer}" \
-    -DNETOUT_BUILD_BENCHMARKS=OFF \
-    -DNETOUT_BUILD_EXAMPLES=OFF
-  cmake --build "${dir}" -j "$(nproc)"
-}
-
-build "${TSAN_BUILD_DIR}" thread
-# halt_on_error so a data race fails the test run instead of scrolling by.
-TSAN_OPTIONS="halt_on_error=1" \
-  ctest --test-dir "${TSAN_BUILD_DIR}" -L 'concurrency|cache' \
-  --output-on-failure -j "$(nproc)"
-
-build "${ASAN_BUILD_DIR}" address
-ctest --test-dir "${ASAN_BUILD_DIR}" -L cache \
-  --output-on-failure -j "$(nproc)"
+exec "$(dirname "$0")/check_sanitizers.sh" "$@"

@@ -70,7 +70,10 @@ Result<double> Cursor::ReadDouble() {
 
 Result<std::string> Cursor::ReadString() {
   NETOUT_ASSIGN_OR_RETURN(std::uint64_t size, ReadU64());
-  if (pos_ + size > data_.size()) {
+  // `size` is untrusted input: compare against the remaining bytes
+  // instead of forming `pos_ + size`, which wraps for sizes near 2^64
+  // and would sail past the truncation check.
+  if (size > data_.size() - pos_) {
     return Status::Corruption("buffer truncated (string)");
   }
   std::string out(data_.substr(pos_, size));
@@ -126,7 +129,10 @@ Result<std::string> UnwrapChecked(std::string_view magic8,
   }
   Cursor header(file_data.substr(8, 8));
   NETOUT_ASSIGN_OR_RETURN(std::uint64_t payload_size, header.ReadU64());
-  if (file_data.size() != 8 + 8 + payload_size + 8) {
+  // Untrusted size: `8 + 8 + payload_size + 8` wraps for values near
+  // 2^64, so bound payload_size by the actual file size first.
+  if (payload_size > file_data.size() - 24 ||
+      file_data.size() != 8 + 8 + payload_size + 8) {
     return Status::Corruption("file size mismatch");
   }
   std::string_view payload = file_data.substr(16, payload_size);

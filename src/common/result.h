@@ -5,6 +5,7 @@
 #include <utility>
 #include <variant>
 
+#include "common/logging.h"
 #include "common/status.h"
 
 namespace netout {
@@ -14,8 +15,12 @@ namespace netout {
 /// Invariant: a Result either holds a value of type T, or a non-OK Status.
 /// Constructing a Result from an OK status is a programming error and is
 /// converted to an internal error so the invariant always holds.
+///
+/// [[nodiscard]] like Status: ignoring a returned Result loses the value
+/// *and* the error it may carry, so it is a compile error under the
+/// warning gate (see tests/lint/ for the enforcing regression tests).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs a Result holding `value`. Intentionally implicit so that
   /// `return value;` works in functions returning Result<T>.
@@ -34,23 +39,23 @@ class Result {
   Result(Result&&) noexcept = default;
   Result& operator=(Result&&) noexcept = default;
 
-  bool ok() const { return std::holds_alternative<T>(repr_); }
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(repr_); }
 
   /// The error status; Status::OK() when a value is held.
-  Status status() const {
+  [[nodiscard]] Status status() const {
     return ok() ? Status::OK() : std::get<Status>(repr_);
   }
 
   /// Access the held value. Must not be called on an error Result.
-  const T& value() const& {
+  [[nodiscard]] const T& value() const& {
     assert(ok());
     return std::get<T>(repr_);
   }
-  T& value() & {
+  [[nodiscard]] T& value() & {
     assert(ok());
     return std::get<T>(repr_);
   }
-  T&& value() && {
+  [[nodiscard]] T&& value() && {
     assert(ok());
     return std::get<T>(std::move(repr_));
   }
@@ -61,7 +66,18 @@ class Result {
   T* operator->() { return &value(); }
 
   /// Returns the value, or `fallback` if this Result holds an error.
-  T value_or(T fallback) const& { return ok() ? value() : fallback; }
+  [[nodiscard]] T value_or(T fallback) const& {
+    return ok() ? value() : fallback;
+  }
+
+  /// Consumes a must-succeed Result whose value is not needed: aborts
+  /// with the carried error in *all* build modes (unlike value(), whose
+  /// assert disappears under NDEBUG). This is the [[nodiscard]]-
+  /// conforming spelling of the old `Foo(...).value();` discard idiom.
+  void CheckOk() const {
+    NETOUT_CHECK(ok()) << "Result expected OK, got: "
+                       << status().ToString();
+  }
 
  private:
   std::variant<T, Status> repr_;

@@ -1,5 +1,7 @@
 #include "common/status.h"
 
+#include "common/logging.h"
+
 namespace netout {
 
 const char* StatusCodeToString(StatusCode code) {
@@ -46,6 +48,10 @@ Status Status::WithContext(std::string_view context) const {
   Status result;
   result.rep_ = std::make_unique<Rep>(Rep{code(), std::move(msg)});
   return result;
+}
+
+void Status::CheckOk() const {
+  NETOUT_CHECK(ok()) << "Status expected OK, got: " << ToString();
 }
 
 std::ostream& operator<<(std::ostream& os, const Status& status) {

@@ -35,7 +35,14 @@ const char* StatusCodeToString(StatusCode code);
 ///
 /// Status is cheap to copy in the OK case (a single null pointer); error
 /// states carry a heap-allocated code+message payload.
-class Status {
+///
+/// The class is [[nodiscard]]: a function returning Status whose result
+/// is ignored at the call site is a compile error under the project's
+/// warning gate (-Wall promotes unused-result, NETOUT_WERROR promotes it
+/// to an error; regression-proven by the `lint`-labelled compile-failure
+/// tests in tests/lint/). A Status that is intentionally best-effort must
+/// be consumed explicitly, e.g. logged or bound to a named variable.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -51,53 +58,62 @@ class Status {
   Status(Status&&) noexcept = default;
   Status& operator=(Status&&) noexcept = default;
 
-  /// Factory helpers, one per error code.
-  static Status OK() { return Status(); }
-  static Status InvalidArgument(std::string msg) {
+  /// Factory helpers, one per error code. [[nodiscard]] individually as
+  /// well as via the class: building an error and dropping it on the
+  /// floor is never intended.
+  [[nodiscard]] static Status OK() { return Status(); }
+  [[nodiscard]] static Status InvalidArgument(std::string msg) {
     return Status(StatusCode::kInvalidArgument, std::move(msg));
   }
-  static Status NotFound(std::string msg) {
+  [[nodiscard]] static Status NotFound(std::string msg) {
     return Status(StatusCode::kNotFound, std::move(msg));
   }
-  static Status AlreadyExists(std::string msg) {
+  [[nodiscard]] static Status AlreadyExists(std::string msg) {
     return Status(StatusCode::kAlreadyExists, std::move(msg));
   }
-  static Status OutOfRange(std::string msg) {
+  [[nodiscard]] static Status OutOfRange(std::string msg) {
     return Status(StatusCode::kOutOfRange, std::move(msg));
   }
-  static Status FailedPrecondition(std::string msg) {
+  [[nodiscard]] static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
-  static Status ParseError(std::string msg) {
+  [[nodiscard]] static Status ParseError(std::string msg) {
     return Status(StatusCode::kParseError, std::move(msg));
   }
-  static Status IoError(std::string msg) {
+  [[nodiscard]] static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
   }
-  static Status Corruption(std::string msg) {
+  [[nodiscard]] static Status Corruption(std::string msg) {
     return Status(StatusCode::kCorruption, std::move(msg));
   }
-  static Status Unimplemented(std::string msg) {
+  [[nodiscard]] static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
   }
-  static Status Internal(std::string msg) {
+  [[nodiscard]] static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
 
-  bool ok() const { return rep_ == nullptr; }
-  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  [[nodiscard]] bool ok() const { return rep_ == nullptr; }
+  [[nodiscard]] StatusCode code() const {
+    return rep_ ? rep_->code : StatusCode::kOk;
+  }
 
   /// Human-readable error message; empty for OK statuses.
-  std::string_view message() const {
+  [[nodiscard]] std::string_view message() const {
     return rep_ ? std::string_view(rep_->message) : std::string_view();
   }
 
   /// "ok" or "<code-name>: <message>".
-  std::string ToString() const;
+  [[nodiscard]] std::string ToString() const;
+
+  /// Consumes a must-succeed Status: aborts with the carried error in
+  /// all build modes. The [[nodiscard]]-conforming way to call a
+  /// Status-returning function whose failure is a programming error.
+  void CheckOk() const;
 
   /// Returns a copy of this status with `context` prefixed to the message,
   /// used to add call-site information while propagating errors upward.
-  Status WithContext(std::string_view context) const;
+  [[nodiscard]] Status WithContext(std::string_view context) const;
 
   bool operator==(const Status& other) const {
     return code() == other.code() && message() == other.message();

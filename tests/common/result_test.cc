@@ -80,5 +80,17 @@ TEST(ResultTest, CopyableResult) {
   EXPECT_EQ(b.value(), "x");
 }
 
+TEST(ResultTest, CheckOkPassesOnValue) {
+  Result<int> result = 3;
+  result.CheckOk();  // must not abort
+}
+
+TEST(ResultDeathTest, CheckOkAbortsOnErrorInAllBuildModes) {
+  // Unlike value()'s assert, CheckOk aborts even with NDEBUG defined and
+  // names the carried error.
+  Result<int> result = Status::NotFound("missing row");
+  EXPECT_DEATH(result.CheckOk(), "missing row");
+}
+
 }  // namespace
 }  // namespace netout

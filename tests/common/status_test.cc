@@ -93,5 +93,13 @@ TEST(StatusTest, ReturnIfErrorPropagates) {
   EXPECT_EQ(wrapper2().code(), StatusCode::kInternal);
 }
 
+TEST(StatusTest, CheckOkPassesOnOk) {
+  Status::OK().CheckOk();  // must not abort
+}
+
+TEST(StatusDeathTest, CheckOkAbortsOnErrorInAllBuildModes) {
+  EXPECT_DEATH(Status::IoError("disk gone").CheckOk(), "disk gone");
+}
+
 }  // namespace
 }  // namespace netout

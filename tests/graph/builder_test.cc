@@ -117,7 +117,7 @@ TEST_F(BuilderFixture, FinishOnEmptyBuilderGivesEmptyHin) {
 }
 
 TEST_F(BuilderFixture, IsolatedVerticesSurviveFinish) {
-  builder_.AddVertex(author_, "Hermit").value();
+  builder_.AddVertex(author_, "Hermit").CheckOk();
   const HinPtr hin = builder_.Finish().value();
   EXPECT_EQ(hin->NumVertices(author_), 1u);
   const VertexRef hermit = hin->FindVertex(author_, "Hermit").value();

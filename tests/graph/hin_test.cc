@@ -14,8 +14,8 @@ class HinFixture : public ::testing::Test {
     author_ = builder.AddVertexType("author").value();
     paper_ = builder.AddVertexType("paper").value();
     venue_ = builder.AddVertexType("venue").value();
-    builder.AddEdgeType("writes", author_, paper_).value();
-    builder.AddEdgeType("published_in", paper_, venue_).value();
+    builder.AddEdgeType("writes", author_, paper_).CheckOk();
+    builder.AddEdgeType("published_in", paper_, venue_).CheckOk();
     ASSERT_TRUE(builder.AddEdgeByName("writes", "Ava", "P1").ok());
     ASSERT_TRUE(builder.AddEdgeByName("writes", "Liam", "P1").ok());
     ASSERT_TRUE(builder.AddEdgeByName("writes", "Ava", "P2").ok());

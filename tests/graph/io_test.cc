@@ -23,7 +23,7 @@ HinPtr MakeSample() {
   GraphBuilder builder;
   const TypeId author = builder.AddVertexType("author").value();
   const TypeId paper = builder.AddVertexType("paper").value();
-  builder.AddEdgeType("writes", author, paper).value();
+  builder.AddEdgeType("writes", author, paper).CheckOk();
   EXPECT_TRUE(builder.AddEdgeByName("writes", "Ava Lovelace", "P1").ok());
   EXPECT_TRUE(builder.AddEdgeByName("writes", "Liam", "P1").ok());
   EXPECT_TRUE(builder.AddEdgeByName("writes", "Ava Lovelace", "P2").ok());
@@ -31,7 +31,7 @@ HinPtr MakeSample() {
   EXPECT_TRUE(builder.AddEdgeByName("writes", "Liam", "P2").ok());
   EXPECT_TRUE(builder.AddEdgeByName("writes", "Liam", "P2").ok());
   // An isolated vertex.
-  builder.AddVertex(author, "Hermit").value();
+  builder.AddVertex(author, "Hermit").CheckOk();
   return builder.Finish().value();
 }
 

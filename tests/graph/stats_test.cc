@@ -11,11 +11,11 @@ TEST(GraphStatsTest, ComputesCountsAndDegrees) {
   GraphBuilder builder;
   const TypeId author = builder.AddVertexType("author").value();
   const TypeId paper = builder.AddVertexType("paper").value();
-  builder.AddEdgeType("writes", author, paper).value();
+  builder.AddEdgeType("writes", author, paper).CheckOk();
   ASSERT_TRUE(builder.AddEdgeByName("writes", "Ava", "P1").ok());
   ASSERT_TRUE(builder.AddEdgeByName("writes", "Ava", "P2").ok());
   ASSERT_TRUE(builder.AddEdgeByName("writes", "Liam", "P1").ok());
-  builder.AddVertex(author, "Hermit").value();
+  builder.AddVertex(author, "Hermit").CheckOk();
   const HinPtr hin = builder.Finish().value();
 
   const GraphStats stats = ComputeGraphStats(*hin);
@@ -51,7 +51,7 @@ TEST(GraphStatsTest, EmptyNetwork) {
 TEST(GraphStatsTest, ToStringMentionsEverySection) {
   GraphBuilder builder;
   const TypeId a = builder.AddVertexType("alpha").value();
-  builder.AddEdgeType("self", a, a).value();
+  builder.AddEdgeType("self", a, a).CheckOk();
   ASSERT_TRUE(builder.AddEdgeByName("self", "x", "y").ok());
   const HinPtr hin = builder.Finish().value();
   const std::string report = ComputeGraphStats(*hin).ToString();

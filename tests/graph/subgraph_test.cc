@@ -14,8 +14,8 @@ class SubgraphFixture : public ::testing::Test {
     author_ = builder.AddVertexType("author").value();
     paper_ = builder.AddVertexType("paper").value();
     venue_ = builder.AddVertexType("venue").value();
-    builder.AddEdgeType("writes", author_, paper_).value();
-    builder.AddEdgeType("published_in", paper_, venue_).value();
+    builder.AddEdgeType("writes", author_, paper_).CheckOk();
+    builder.AddEdgeType("published_in", paper_, venue_).CheckOk();
     // Ava-p1-KDD, Liam-p1, Liam-p2-ICDE, Zoe-p3-KDD (Zoe disconnected
     // from the others except through KDD).
     ASSERT_TRUE(builder.AddEdgeByName("writes", "Ava", "p1").ok());

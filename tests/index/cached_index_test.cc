@@ -88,7 +88,7 @@ TEST_F(CachedIndexFixture, WrapsABaseIndexWithoutDoubleCaching) {
       MetaPath::Parse(dataset_->hin->schema(), "author.paper.venue").value();
   for (LocalId v = 0; v < 20; ++v) {
     evaluator.Evaluate(VertexRef{dataset_->author_type, v}, apv, nullptr)
-        .value();
+        .CheckOk();
   }
   // Everything hit the PM base: no cache population at all.
   EXPECT_EQ(cache.num_entries(), 0u);
@@ -106,7 +106,7 @@ TEST_F(CachedIndexFixture, EvictsLruUnderBudget) {
       MetaPath::Parse(dataset_->hin->schema(), "author.paper.venue").value();
   for (LocalId v = 0; v < 100; ++v) {
     evaluator.Evaluate(VertexRef{dataset_->author_type, v}, apv, nullptr)
-        .value();
+        .CheckOk();
   }
   EXPECT_LE(cache.MemoryBytes(), options.capacity_bytes);
   EXPECT_GT(cache.stats().evictions, 0u);
@@ -121,7 +121,7 @@ TEST_F(CachedIndexFixture, OversizedEntryIsNotAdmitted) {
   const MetaPath apv =
       MetaPath::Parse(dataset_->hin->schema(), "author.paper.venue").value();
   evaluator.Evaluate(VertexRef{dataset_->author_type, 0}, apv, nullptr)
-      .value();
+      .CheckOk();
   EXPECT_EQ(cache.num_entries(), 0u);
   EXPECT_EQ(cache.stats().evictions, 0u);
 }
@@ -132,7 +132,7 @@ TEST_F(CachedIndexFixture, ClearEmptiesTheCache) {
   const MetaPath apv =
       MetaPath::Parse(dataset_->hin->schema(), "author.paper.venue").value();
   evaluator.Evaluate(VertexRef{dataset_->author_type, 0}, apv, nullptr)
-      .value();
+      .CheckOk();
   ASSERT_GT(cache.num_entries(), 0u);
   cache.Clear();
   EXPECT_EQ(cache.num_entries(), 0u);

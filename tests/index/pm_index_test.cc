@@ -15,8 +15,8 @@ class PmIndexFixture : public ::testing::Test {
     author_ = builder.AddVertexType("author").value();
     paper_ = builder.AddVertexType("paper").value();
     venue_ = builder.AddVertexType("venue").value();
-    builder.AddEdgeType("writes", author_, paper_).value();
-    builder.AddEdgeType("published_in", paper_, venue_).value();
+    builder.AddEdgeType("writes", author_, paper_).CheckOk();
+    builder.AddEdgeType("published_in", paper_, venue_).CheckOk();
     ASSERT_TRUE(builder.AddEdgeByName("writes", "Ava", "p1").ok());
     ASSERT_TRUE(builder.AddEdgeByName("writes", "Liam", "p1").ok());
     ASSERT_TRUE(builder.AddEdgeByName("writes", "Zoe", "p2").ok());
@@ -100,7 +100,7 @@ TEST(PmIndexEdgeCases, EmptyGraph) {
 TEST(PmIndexEdgeCases, SelfRelationBothOrientations) {
   GraphBuilder builder;
   const TypeId paper = builder.AddVertexType("paper").value();
-  builder.AddEdgeType("cites", paper, paper).value();
+  builder.AddEdgeType("cites", paper, paper).CheckOk();
   ASSERT_TRUE(builder.AddEdgeByName("cites", "a", "b").ok());
   ASSERT_TRUE(builder.AddEdgeByName("cites", "b", "c").ok());
   const HinPtr hin = builder.Finish().value();

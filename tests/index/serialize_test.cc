@@ -23,8 +23,8 @@ HinPtr MakeSample() {
   const TypeId author = builder.AddVertexType("author").value();
   const TypeId paper = builder.AddVertexType("paper").value();
   const TypeId venue = builder.AddVertexType("venue").value();
-  builder.AddEdgeType("writes", author, paper).value();
-  builder.AddEdgeType("published_in", paper, venue).value();
+  builder.AddEdgeType("writes", author, paper).CheckOk();
+  builder.AddEdgeType("published_in", paper, venue).CheckOk();
   EXPECT_TRUE(builder.AddEdgeByName("writes", "Ava", "p1").ok());
   EXPECT_TRUE(builder.AddEdgeByName("writes", "Liam", "p1").ok());
   EXPECT_TRUE(builder.AddEdgeByName("writes", "Zoe", "p2").ok());
@@ -38,8 +38,8 @@ HinPtr MakeDifferent() {
   const TypeId author = builder.AddVertexType("author").value();
   const TypeId paper = builder.AddVertexType("paper").value();
   const TypeId venue = builder.AddVertexType("venue").value();
-  builder.AddEdgeType("writes", author, paper).value();
-  builder.AddEdgeType("published_in", paper, venue).value();
+  builder.AddEdgeType("writes", author, paper).CheckOk();
+  builder.AddEdgeType("published_in", paper, venue).CheckOk();
   EXPECT_TRUE(builder.AddEdgeByName("writes", "OnlyOne", "p1").ok());
   EXPECT_TRUE(builder.AddEdgeByName("published_in", "p1", "X").ok());
   return builder.Finish().value();

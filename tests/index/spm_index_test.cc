@@ -14,8 +14,8 @@ HinPtr MakeSmallDblp() {
   const TypeId author = builder.AddVertexType("author").value();
   const TypeId paper = builder.AddVertexType("paper").value();
   const TypeId venue = builder.AddVertexType("venue").value();
-  builder.AddEdgeType("writes", author, paper).value();
-  builder.AddEdgeType("published_in", paper, venue).value();
+  builder.AddEdgeType("writes", author, paper).CheckOk();
+  builder.AddEdgeType("published_in", paper, venue).CheckOk();
   EXPECT_TRUE(builder.AddEdgeByName("writes", "Ava", "p1").ok());
   EXPECT_TRUE(builder.AddEdgeByName("writes", "Liam", "p1").ok());
   EXPECT_TRUE(builder.AddEdgeByName("writes", "Zoe", "p2").ok());

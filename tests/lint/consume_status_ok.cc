@@ -1,0 +1,24 @@
+// Positive control for the compile-failure harness: uses the same
+// headers and flags as the discard_* snippets but consumes every Status
+// and Result, so it must compile. If this breaks, the negative checks
+// prove nothing.
+#include "common/result.h"
+#include "common/status.h"
+
+namespace {
+
+netout::Result<int> ParseAnswer() { return 42; }
+
+netout::Status Validate(int value) {
+  if (value < 0) return netout::Status::InvalidArgument("negative");
+  return netout::Status::OK();
+}
+
+}  // namespace
+
+int main() {
+  netout::Result<int> answer = ParseAnswer();
+  if (!answer.ok()) return 1;
+  netout::Status status = Validate(*answer);
+  return status.ok() ? 0 : 1;
+}

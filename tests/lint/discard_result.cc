@@ -1,0 +1,15 @@
+// Must NOT compile: Result<T> is [[nodiscard]], and the gate builds with
+// unused-result promoted to an error. Discarding a Result loses both the
+// value and the error it may carry.
+#include "common/result.h"
+
+namespace {
+
+netout::Result<int> ParseAnswer() { return 42; }
+
+}  // namespace
+
+int main() {
+  ParseAnswer();  // discarded Result<int> — the compiler must reject this
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Must NOT compile: Status is [[nodiscard]], and the gate builds with
+// unused-result promoted to an error. If this snippet ever compiles, a
+// silently dropped I/O or validation error can slip into the tree.
+#include "common/status.h"
+
+namespace {
+
+netout::Status Validate(int value) {
+  if (value < 0) return netout::Status::InvalidArgument("negative");
+  return netout::Status::OK();
+}
+
+}  // namespace
+
+int main() {
+  Validate(-1);  // discarded Status — the compiler must reject this
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Runtime control for the checked-API probe: a *sorted* FromSorted call
+// must succeed and exit 0, proving the harness links and runs real
+// SparseVector code before we trust the unsorted probe's abort.
+#include "metapath/sparse_vector.h"
+
+int main() {
+  const netout::SparseVector vec =
+      netout::SparseVector::FromSorted({1, 2, 5}, {1.0, 2.0, 3.0});
+  return vec.nnz() == 3 ? 0 : 1;
+}

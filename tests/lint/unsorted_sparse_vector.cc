@@ -1,0 +1,11 @@
+// Must abort at runtime: FromSorted is the checked fast-path factory and
+// its debug sortedness assertion (active here — the probe project defines
+// no NDEBUG) must reject out-of-order indices, which would otherwise make
+// the merge-join kernels silently produce garbage.
+#include "metapath/sparse_vector.h"
+
+int main() {
+  const netout::SparseVector vec =
+      netout::SparseVector::FromSorted({2, 1}, {1.0, 1.0});
+  return vec.nnz() == 2 ? 0 : 1;  // unreachable: FromSorted must abort
+}

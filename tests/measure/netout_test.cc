@@ -31,7 +31,7 @@ class Table2Fixture : public ::testing::Test {
     published_in_ =
         builder.AddEdgeType("published_in", paper_, venue_).value();
     for (const char* venue : kVenues) {
-      builder.AddVertex(venue_, venue).value();
+      builder.AddVertex(venue_, venue).CheckOk();
     }
 
     auto add_author = [&](const std::string& name, int vldb, int kdd,

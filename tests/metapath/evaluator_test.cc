@@ -88,7 +88,7 @@ TEST_F(EvaluatorFixture, PmLookupsAreAllHits) {
   const MetaPath apv =
       MetaPath::Parse(hin_->schema(), "author.paper.venue").value();
   EvalStats stats;
-  indexed.Evaluate(VertexRef{dataset_.author_type, 1}, apv, &stats).value();
+  indexed.Evaluate(VertexRef{dataset_.author_type, 1}, apv, &stats).CheckOk();
   EXPECT_EQ(stats.index_hits, 1u);
   EXPECT_EQ(stats.index_misses, 0u);
 }

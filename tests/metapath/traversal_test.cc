@@ -19,8 +19,8 @@ class Figure1Fixture : public ::testing::Test {
     author_ = builder.AddVertexType("author").value();
     paper_ = builder.AddVertexType("paper").value();
     venue_ = builder.AddVertexType("venue").value();
-    builder.AddEdgeType("writes", author_, paper_).value();
-    builder.AddEdgeType("published_in", paper_, venue_).value();
+    builder.AddEdgeType("writes", author_, paper_).CheckOk();
+    builder.AddEdgeType("published_in", paper_, venue_).CheckOk();
 
     // Papers (authors -> venue):
     //   p1: Ava, Liam        -> KDD
@@ -142,8 +142,8 @@ TEST_F(Figure1Fixture, IsolatedVertexYieldsEmptyVector) {
   GraphBuilder builder;
   const TypeId a = builder.AddVertexType("author").value();
   const TypeId p = builder.AddVertexType("paper").value();
-  builder.AddEdgeType("writes", a, p).value();
-  builder.AddVertex(a, "Hermit").value();
+  builder.AddEdgeType("writes", a, p).CheckOk();
+  builder.AddVertex(a, "Hermit").CheckOk();
   const HinPtr hin = builder.Finish().value();
   PathCounter counter(hin);
   const MetaPath ap = MetaPath::Parse(hin->schema(), "author.paper").value();

@@ -75,11 +75,11 @@ TEST_F(EngineOptionsFixture, SkipZeroVisibilityThroughTheEngine) {
   const TypeId author = builder.AddVertexType("author").value();
   const TypeId paper = builder.AddVertexType("paper").value();
   const TypeId venue = builder.AddVertexType("venue").value();
-  builder.AddEdgeType("writes", author, paper).value();
-  builder.AddEdgeType("published_in", paper, venue).value();
+  builder.AddEdgeType("writes", author, paper).CheckOk();
+  builder.AddEdgeType("published_in", paper, venue).CheckOk();
   EXPECT_TRUE(builder.AddEdgeByName("writes", "Writer", "p1").ok());
   EXPECT_TRUE(builder.AddEdgeByName("published_in", "p1", "KDD").ok());
-  builder.AddVertex(author, "Ghost").value();
+  builder.AddVertex(author, "Ghost").CheckOk();
   const HinPtr hin = builder.Finish().value();
 
   const char* query =

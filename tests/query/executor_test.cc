@@ -25,8 +25,8 @@ class ExecutorFixture : public ::testing::Test {
     author_ = builder.AddVertexType("author").value();
     paper_ = builder.AddVertexType("paper").value();
     venue_ = builder.AddVertexType("venue").value();
-    builder.AddEdgeType("writes", author_, paper_).value();
-    builder.AddEdgeType("published_in", paper_, venue_).value();
+    builder.AddEdgeType("writes", author_, paper_).CheckOk();
+    builder.AddEdgeType("published_in", paper_, venue_).CheckOk();
 
     int serial = 0;
     auto paper_with = [&](std::initializer_list<const char*> authors,
@@ -236,9 +236,9 @@ TEST_F(ExecutorFixture, ZeroVisibilityHandling) {
   GraphBuilder builder;
   const TypeId author = builder.AddVertexType("author").value();
   const TypeId paper = builder.AddVertexType("paper").value();
-  builder.AddEdgeType("writes", author, paper).value();
+  builder.AddEdgeType("writes", author, paper).CheckOk();
   ASSERT_TRUE(builder.AddEdgeByName("writes", "Writer", "p1").ok());
-  builder.AddVertex(author, "Ghost").value();
+  builder.AddVertex(author, "Ghost").CheckOk();
   const HinPtr hin = builder.Finish().value();
 
   const QueryAst ast = ParseQuery(R"(

@@ -88,7 +88,7 @@ TEST_F(ProgressiveFixture, EstimatesConvergeTowardExactScores) {
              top_estimates.push_back(snapshot.top[0].score);
              return true;
            })
-      .value();
+      .CheckOk();
   ASSERT_EQ(top_estimates.size(), 10u);
   // The last estimate is exact; the last error is no larger than the
   // first (convergence, allowing sampling noise in between).
@@ -111,7 +111,7 @@ TEST_F(ProgressiveFixture, StandardErrorShrinks) {
              errors.push_back(total);
              return true;
            })
-      .value();
+      .CheckOk();
   // First snapshot has a single batch -> zero error by convention; from
   // the second on the error is positive and the last is below the peak.
   ASSERT_GE(errors.size(), 3u);
@@ -183,7 +183,7 @@ TEST_F(ProgressiveFixture, SingleBatchDegeneratesToExact) {
              EXPECT_TRUE(snapshot.final);
              return true;
            })
-      .value();
+      .CheckOk();
   EXPECT_EQ(snapshots, 1);
 }
 
