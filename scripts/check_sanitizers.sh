@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Sanitizer gate (generalizes the old check_tsan.sh):
-#   1. ThreadSanitizer build  -> `concurrency`+`cache`-labelled tests
-#      (thread pool / task group / batch runner / intra-query parallelism
-#      / sharded-cache stress).
+#   1. ThreadSanitizer build  -> `concurrency`+`cache`+`planner`-labelled
+#      tests (thread pool / task group / batch runner / intra-query
+#      parallelism / sharded-cache stress / merged-plan DAG scheduling).
 #   2. AddressSanitizer build -> `cache`-labelled tests (the CachedIndex
 #      pinned-lookup lifetime contract: an evicted entry must never free
 #      memory a reader still holds).
@@ -32,7 +32,7 @@ build() {
 build "${TSAN_BUILD_DIR}" thread
 # halt_on_error so a data race fails the test run instead of scrolling by.
 TSAN_OPTIONS="halt_on_error=1" \
-  ctest --test-dir "${TSAN_BUILD_DIR}" -L 'concurrency|cache' \
+  ctest --test-dir "${TSAN_BUILD_DIR}" -L 'concurrency|cache|planner' \
   --output-on-failure -j "${JOBS}"
 
 build "${ASAN_BUILD_DIR}" address

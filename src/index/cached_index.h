@@ -77,6 +77,8 @@ class CachedIndex : public MetaPathIndex {
 
   bool SupportsConcurrentUse() const override { return true; }
 
+  std::string_view Name() const override { return "cache"; }
+
   /// Cache payload bytes (excludes the base index; add
   /// base->MemoryBytes() for the total).
   std::size_t MemoryBytes() const override {

@@ -43,6 +43,8 @@ class PmIndex : public MetaPathIndex {
 
   std::size_t MemoryBytes() const override;
 
+  std::string_view Name() const override { return "pm"; }
+
   /// Number of distinct length-2 meta-paths materialized.
   std::size_t num_relations() const { return relations_.size(); }
 

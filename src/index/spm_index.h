@@ -48,6 +48,8 @@ class SpmIndex : public MetaPathIndex {
 
   std::size_t MemoryBytes() const override;
 
+  std::string_view Name() const override { return "spm"; }
+
   std::size_t num_indexed_vertices() const { return num_indexed_vertices_; }
   std::int64_t build_time_nanos() const { return build_time_nanos_; }
 

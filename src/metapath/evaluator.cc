@@ -40,9 +40,23 @@ Result<SparseVector> NeighborVectorEvaluator::Evaluate(VertexRef v,
     return counter_.NeighborVector(v, path);
   }
 
-  const auto& steps = path.steps();
-  SparseVector frontier = SparseVector::FromSorted({v.local}, {1.0});
+  return EvaluateSteps(SparseVector::FromSorted({v.local}, {1.0}),
+                       path.steps(), stats);
+}
 
+Result<SparseVector> NeighborVectorEvaluator::EvaluateFrontier(
+    SparseVector frontier, const MetaPath& path, EvalStats* stats) {
+  if (path.length() == 0 || frontier.empty()) return frontier;
+  if (index_ == nullptr) {
+    ScopedTimer timer(stats ? &stats->not_indexed : nullptr);
+    return counter_.Propagate(frontier, path);
+  }
+  return EvaluateSteps(std::move(frontier), path.steps(), stats);
+}
+
+SparseVector NeighborVectorEvaluator::EvaluateSteps(
+    SparseVector frontier, std::span<const EdgeStep> steps,
+    EvalStats* stats) {
   std::size_t i = 0;
   for (; i + 1 < steps.size(); i += 2) {
     const TwoStepKey key{steps[i], steps[i + 1]};

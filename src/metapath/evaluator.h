@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <memory>
+#include <span>
 
 #include "common/result.h"
 #include "common/stopwatch.h"
@@ -59,6 +60,16 @@ class NeighborVectorEvaluator {
   Result<SparseVector> Evaluate(VertexRef v, const MetaPath& path,
                                 EvalStats* stats);
 
+  /// Pushes an arbitrary starting frontier (over path.source_type())
+  /// through `path`: result = frontierᵀ · M_P, through the index when one
+  /// is attached. This is the shared-prefix extension primitive: a
+  /// materialized prefix vector re-enters here as the frontier of the
+  /// remaining suffix. A length-0 path (or an empty frontier) returns the
+  /// frontier unchanged.
+  Result<SparseVector> EvaluateFrontier(SparseVector frontier,
+                                        const MetaPath& path,
+                                        EvalStats* stats);
+
   const Hin& hin() const { return *hin_; }
   bool has_index() const { return index_ != nullptr; }
 
@@ -66,6 +77,13 @@ class NeighborVectorEvaluator {
   // Two-hop traversal for one frontier entry on an index miss.
   SparseVector TraverseChunk(LocalId source, const EdgeStep& s1,
                              const EdgeStep& s2);
+
+  // The length-2 chunk decomposition loop (index attached): pushes the
+  // frontier through full chunks via the index and a trailing odd hop
+  // raw.
+  SparseVector EvaluateSteps(SparseVector frontier,
+                             std::span<const EdgeStep> steps,
+                             EvalStats* stats);
 
   HinPtr hin_;
   const MetaPathIndex* index_;

@@ -5,6 +5,7 @@
 #include <memory>
 #include <optional>
 #include <span>
+#include <string_view>
 
 #include "common/hash.h"
 #include "graph/types.h"
@@ -75,6 +76,10 @@ class MetaPathIndex {
     (void)row;
     (void)vector;
   }
+
+  /// Short lowercase tag naming the index family ("pm", "spm", "cache"),
+  /// used by EXPLAIN PLAN to label indexed operators.
+  virtual std::string_view Name() const { return "indexed"; }
 
   /// True if Lookup/Remember may be called from several threads at once.
   /// All in-tree implementations qualify: PM/SPM are immutable after

@@ -1,31 +1,220 @@
 #include "query/batch.h"
 
 #include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
 #include <utility>
 
+#include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "query/parser.h"
+#include "query/planner.h"
 
 namespace netout {
 
 struct BatchRunner::Impl {
   Impl(HinPtr hin_in, const EngineOptions& options_in,
-       std::size_t num_threads)
-      : hin(std::move(hin_in)), options(options_in), pool(num_threads) {}
+       std::size_t num_threads, const BatchOptions& batch_options_in)
+      : hin(std::move(hin_in)),
+        options(options_in),
+        batch_options(batch_options_in),
+        pool(num_threads) {}
+
+  std::vector<BatchOutcome> RunMerged(
+      const std::vector<std::string>& queries);
 
   HinPtr hin;
   EngineOptions options;
+  BatchOptions batch_options;
   ThreadPool pool;
 };
 
 BatchRunner::BatchRunner(HinPtr hin, const EngineOptions& engine_options,
-                         std::size_t num_threads)
+                         std::size_t num_threads,
+                         const BatchOptions& batch_options)
     : impl_(std::make_unique<Impl>(std::move(hin), engine_options,
-                                   num_threads)) {}
+                                   num_threads, batch_options)) {}
 
 BatchRunner::~BatchRunner() = default;
 
 std::size_t BatchRunner::num_threads() const {
   return impl_->pool.num_threads();
+}
+
+std::vector<BatchOutcome> BatchRunner::Impl::RunMerged(
+    const std::vector<std::string>& queries) {
+  std::vector<BatchOutcome> outcomes(queries.size());
+
+  // Parse and analyze every query up front; failures are isolated here
+  // and never enter the merged plan. Prepared plans live in a
+  // pre-reserved vector because the planner borrows them by pointer.
+  struct Prepared {
+    std::size_t input_index = 0;
+    std::size_t query_index = 0;  // PlanQuery index after AddQuery
+    QueryPlan plan;
+    std::int64_t parse_nanos = 0;
+    std::int64_t analyze_nanos = 0;
+  };
+  std::vector<Prepared> prepared;
+  prepared.reserve(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    Prepared p;
+    p.input_index = i;
+    Stopwatch parse_watch;
+    Result<QueryAst> ast = ParseQuery(queries[i]);
+    p.parse_nanos = parse_watch.ElapsedNanos();
+    if (!ast.ok()) {
+      outcomes[i].status = ast.status();
+      continue;
+    }
+    Stopwatch analyze_watch;
+    Result<QueryPlan> plan =
+        AnalyzeQuery(*hin, ast.value(), options.analyzer);
+    p.analyze_nanos = analyze_watch.ElapsedNanos();
+    if (!plan.ok()) {
+      outcomes[i].status = plan.status();
+      continue;
+    }
+    p.plan = std::move(plan).value();
+    prepared.push_back(std::move(p));
+  }
+  if (prepared.empty()) return outcomes;
+
+  // One planner over the whole workload: this is where cross-query
+  // sharing happens (identical sets, conditions, features and common
+  // prefixes collapse to single ops).
+  Planner planner(*hin,
+                  PlannerOptions{options.exec.plan_cse, options.index});
+  for (Prepared& p : prepared) {
+    p.query_index = planner.AddQuery(p.plan);
+  }
+  const PhysicalPlan plan = planner.Take();
+  const std::size_t num_ops = plan.ops.size();
+
+  // One single-threaded executor per worker (plus one for the waiting
+  // thread, which helps drain its own group), checked out per operator.
+  ExecOptions exec_options = options.exec;
+  exec_options.num_threads = 1;
+  std::vector<std::unique_ptr<Executor>> executors;
+  std::vector<Executor*> free_executors;
+  for (std::size_t w = 0; w < pool.num_threads() + 1; ++w) {
+    executors.push_back(
+        std::make_unique<Executor>(hin, options.index, exec_options));
+    free_executors.push_back(executors.back().get());
+  }
+  std::mutex executor_mutex;
+
+  // DAG scheduling state. Each op's slot/runtime/status is written only
+  // by the op's own task; consumers run only after every input's
+  // completion decremented their indegree (acq_rel, so the final
+  // decrement publishes all inputs' writes).
+  std::vector<OpOutput> slots(num_ops);
+  std::vector<PlanOpRuntime> runtimes(num_ops);
+  std::vector<Status> statuses(num_ops);
+  std::vector<std::vector<std::size_t>> consumers(num_ops);
+  const auto indegree =
+      std::make_unique<std::atomic<std::size_t>[]>(num_ops);
+  for (std::size_t id = 0; id < num_ops; ++id) {
+    indegree[id].store(plan.ops[id].inputs.size(),
+                       std::memory_order_relaxed);
+    for (const std::size_t input : plan.ops[id].inputs) {
+      consumers[input].push_back(id);
+    }
+  }
+
+  TaskGroup group(&pool);
+  std::function<void(std::size_t)> run_op = [&](std::size_t id) {
+    // Skip propagation: an op whose input failed (or was skipped)
+    // inherits the first failing input's status and never executes.
+    Status input_failure;
+    for (const std::size_t input : plan.ops[id].inputs) {
+      if (!statuses[input].ok()) {
+        input_failure = statuses[input];
+        break;
+      }
+    }
+    if (input_failure.ok()) {
+      Executor* executor = nullptr;
+      {
+        std::lock_guard<std::mutex> lock(executor_mutex);
+        executor = free_executors.back();
+        free_executors.pop_back();
+      }
+      statuses[id] = executor->ExecuteOp(plan, id,
+                                         std::span<OpOutput>(slots),
+                                         &runtimes[id]);
+      {
+        std::lock_guard<std::mutex> lock(executor_mutex);
+        free_executors.push_back(executor);
+      }
+    } else {
+      statuses[id] = std::move(input_failure);
+    }
+    for (const std::size_t consumer : consumers[id]) {
+      if (indegree[consumer].fetch_sub(1, std::memory_order_acq_rel) ==
+          1) {
+        group.Submit([&run_op, consumer] { run_op(consumer); });
+      }
+    }
+  };
+  // Seed from the static inputs.empty() property, never the live atomic:
+  // a root submitted earlier in this loop may already be cascading on a
+  // worker, driving downstream indegrees to zero before the scan reaches
+  // them -- reading the counter here would submit those ops a second
+  // time. Input-free ops appear in no consumers list, so the static test
+  // and the final-decrement submit partition the DAG exactly.
+  for (std::size_t id = 0; id < num_ops; ++id) {
+    if (plan.ops[id].inputs.empty()) {
+      group.Submit([&run_op, id] { run_op(id); });
+    }
+  }
+  group.Wait();
+
+  // Per-query assembly, mirroring single-query semantics: set-phase
+  // errors first, then the empty-candidate early-out, then the
+  // empty-reference precondition, then the first feature-pipeline error.
+  for (const Prepared& p : prepared) {
+    BatchOutcome& outcome = outcomes[p.input_index];
+    const PlanQuery& entry = plan.queries[p.query_index];
+    Status failure;
+    for (const std::size_t id : entry.set_phase_ops) {
+      if (!statuses[id].ok()) {
+        failure = statuses[id];
+        break;
+      }
+    }
+    const bool candidates_empty =
+        failure.ok() && slots[entry.candidate_op].members.empty();
+    if (failure.ok() && !candidates_empty) {
+      if (slots[entry.reference_op].members.empty()) {
+        failure = Status::FailedPrecondition("the reference set is empty");
+      } else {
+        for (const std::size_t id : entry.ops) {
+          if (!statuses[id].ok()) {
+            failure = statuses[id];
+            break;
+          }
+        }
+      }
+    }
+    if (!failure.ok()) {
+      outcome.status = std::move(failure);
+      continue;
+    }
+    outcome.result = executors[0]->AssembleResult(
+        plan, p.query_index, slots, runtimes);
+    QueryExecStats& stats = outcome.result.stats;
+    stats.stages.parse_nanos = p.parse_nanos;
+    stats.stages.analyze_nanos = p.analyze_nanos;
+    // No end-to-end clock exists for one query of a merged DAG; report
+    // the work it consumed instead.
+    stats.total_nanos = p.parse_nanos + p.analyze_nanos;
+    for (const std::size_t id : entry.ops) {
+      if (runtimes[id].executed) stats.total_nanos += runtimes[id].wall_nanos;
+    }
+  }
+  return outcomes;
 }
 
 std::vector<BatchOutcome> BatchRunner::Run(
@@ -45,6 +234,10 @@ std::vector<BatchOutcome> BatchRunner::Run(
         "a concurrent-safe index");
     for (BatchOutcome& outcome : outcomes) outcome.status = rejected;
     return outcomes;
+  }
+
+  if (impl_->batch_options.merge_plans) {
+    return impl_->RunMerged(queries);
   }
 
   // Contiguous slices, one Engine per slice: engines are cheap but not

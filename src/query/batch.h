@@ -16,6 +16,22 @@ struct BatchOutcome {
   QueryResult result;
 };
 
+/// Batch execution knobs.
+struct BatchOptions {
+  /// Merge the whole workload into ONE shared physical plan: every query
+  /// is lowered into the same Planner, so identical set expressions,
+  /// WHERE conditions and feature materializations — and common
+  /// meta-path prefixes — across queries become one shared operator, and
+  /// the operator DAG is scheduled across the workers as inputs
+  /// complete. Per-query outcomes (scores, top-k, error isolation) are
+  /// identical to unmerged execution; stats differ in that shared work
+  /// is charged to the first query that requested it and counted as
+  /// vectors_reused by the others, and total_nanos sums the query's
+  /// per-operator wall times rather than one end-to-end clock.
+  /// Off (default): one independent Engine execution per query.
+  bool merge_plans = false;
+};
+
 /// Executes batches of outlier queries concurrently. The immutable Hin
 /// and indexes are shared; each worker owns a private Engine (traversal
 /// workspaces are the only mutable state), so execution is lock-free.
@@ -27,7 +43,8 @@ class BatchRunner {
  public:
   /// `num_threads` workers are spawned once and reused across Run calls.
   BatchRunner(HinPtr hin, const EngineOptions& engine_options,
-              std::size_t num_threads);
+              std::size_t num_threads,
+              const BatchOptions& batch_options = {});
   ~BatchRunner();
 
   BatchRunner(const BatchRunner&) = delete;

@@ -9,6 +9,8 @@
 #include "measure/scores.h"
 #include "metapath/evaluator.h"
 #include "query/parser.h"
+#include "query/physical_plan.h"
+#include "query/planner.h"
 
 namespace netout {
 
@@ -49,33 +51,6 @@ Result<std::vector<VertexRef>> Engine::CandidateVertices(
 
 namespace {
 
-void DescribeWhere(const Hin& hin, const ResolvedWhere& where,
-                   std::string* out) {
-  switch (where.kind) {
-    case WhereExpr::Kind::kAtom:
-      *out += "COUNT(" + where.atom.path.ToString(hin.schema()) + ") ";
-      *out += CmpOpToString(where.atom.op);
-      *out += " " + FormatDouble(where.atom.value, 6);
-      // Trim trailing zeros for readability.
-      while (out->back() == '0') out->pop_back();
-      if (out->back() == '.') out->pop_back();
-      return;
-    case WhereExpr::Kind::kNot:
-      *out += "NOT (";
-      DescribeWhere(hin, *where.lhs, out);
-      *out += ")";
-      return;
-    case WhereExpr::Kind::kAnd:
-    case WhereExpr::Kind::kOr:
-      *out += "(";
-      DescribeWhere(hin, *where.lhs, out);
-      *out += where.kind == WhereExpr::Kind::kAnd ? " AND " : " OR ";
-      DescribeWhere(hin, *where.rhs, out);
-      *out += ")";
-      return;
-  }
-}
-
 void DescribeSet(const Hin& hin, const ResolvedSet& set, std::string* out,
                  int indent) {
   const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
@@ -93,8 +68,7 @@ void DescribeSet(const Hin& hin, const ResolvedSet& set, std::string* out,
                 hin.schema().VertexTypeName(primary.element_type);
       }
       if (primary.where != nullptr) {
-        *out += " WHERE ";
-        DescribeWhere(hin, *primary.where, out);
+        *out += " WHERE " + FormatWhere(hin, *primary.where);
       }
       *out += "\n";
       return;
@@ -151,6 +125,21 @@ std::string Engine::DescribePlan(const QueryPlan& plan) const {
 Result<std::string> Engine::DescribePlan(std::string_view query_text) const {
   NETOUT_ASSIGN_OR_RETURN(QueryPlan plan, Prepare(query_text));
   return DescribePlan(plan);
+}
+
+std::string Engine::ExplainPlan(const QueryPlan& plan) const {
+  Planner planner(*hin_,
+                  PlannerOptions{options_.exec.plan_cse, options_.index});
+  planner.AddQuery(plan);
+  const PhysicalPlan physical = planner.Take();
+  const std::vector<PlanOpInfo> infos =
+      DescribePhysicalPlan(*hin_, physical);
+  return RenderPlan(infos, /*include_runtime=*/false);
+}
+
+Result<std::string> Engine::ExplainPlan(std::string_view query_text) const {
+  NETOUT_ASSIGN_OR_RETURN(QueryPlan plan, Prepare(query_text));
+  return ExplainPlan(plan);
 }
 
 Result<std::vector<std::string>> Engine::SuggestFeaturePaths(

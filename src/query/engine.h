@@ -87,6 +87,14 @@ class Engine {
   Result<std::string> DescribePlan(std::string_view query_text) const;
   std::string DescribePlan(const QueryPlan& plan) const;
 
+  /// EXPLAIN PLAN: the physical operator tree the query would execute —
+  /// per-operator index modes and shared-materialization (reuse) counts,
+  /// without running anything. For the executed plan with per-operator
+  /// wall clock and row counts, render QueryResult::plan_ops with
+  /// RenderPlan(..., /*include_runtime=*/true) instead.
+  Result<std::string> ExplainPlan(std::string_view query_text) const;
+  std::string ExplainPlan(const QueryPlan& plan) const;
+
   const Hin& hin() const { return *hin_; }
   bool has_index() const { return options_.index != nullptr; }
 

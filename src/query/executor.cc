@@ -1,11 +1,14 @@
 #include "query/executor.h"
 
 #include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
 #include <utility>
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
 #include "measure/topk.h"
+#include "query/planner.h"
 
 namespace netout {
 namespace {
@@ -51,6 +54,57 @@ bool Compare(double lhs, CmpOp op, double rhs) {
       return lhs != rhs;
   }
   return false;
+}
+
+/// Assigns each WHERE atom its pre-order index — the order the planner
+/// listed the condition materializations in kFilter's inputs[1..].
+void MapAtoms(const ResolvedWhere& where, std::size_t* next,
+              std::unordered_map<const ResolvedWhere*, std::size_t>* map) {
+  switch (where.kind) {
+    case WhereExpr::Kind::kAtom:
+      (*map)[&where] = (*next)++;
+      return;
+    case WhereExpr::Kind::kNot:
+      MapAtoms(*where.lhs, next, map);
+      return;
+    case WhereExpr::Kind::kAnd:
+    case WhereExpr::Kind::kOr:
+      MapAtoms(*where.lhs, next, map);
+      MapAtoms(*where.rhs, next, map);
+      return;
+  }
+}
+
+/// Evaluates the WHERE tree for the member at position `j` of the base
+/// member list, reading each atom's COUNT from its pre-materialized
+/// vector batch (the batched replacement for the old per-member
+/// traversals).
+bool EvalPredicate(
+    const ResolvedWhere& where, std::size_t j, const PhysicalOp& op,
+    std::span<const OpOutput> slots,
+    const std::unordered_map<const ResolvedWhere*, std::size_t>& atoms) {
+  switch (where.kind) {
+    case WhereExpr::Kind::kAtom: {
+      const OpOutput& mat = slots[op.inputs[1 + atoms.at(&where)]];
+      return Compare(static_cast<double>(mat.vectors[j].nnz()),
+                     where.atom.op, where.atom.value);
+    }
+    case WhereExpr::Kind::kNot:
+      return !EvalPredicate(*where.lhs, j, op, slots, atoms);
+    case WhereExpr::Kind::kAnd:
+      return EvalPredicate(*where.lhs, j, op, slots, atoms) &&
+             EvalPredicate(*where.rhs, j, op, slots, atoms);
+    case WhereExpr::Kind::kOr:
+      return EvalPredicate(*where.lhs, j, op, slots, atoms) ||
+             EvalPredicate(*where.rhs, j, op, slots, atoms);
+  }
+  return false;
+}
+
+/// Position of `id` in the sorted member list `all`.
+std::size_t MemberPos(const std::vector<LocalId>& all, LocalId id) {
+  const auto it = std::lower_bound(all.begin(), all.end(), id);
+  return static_cast<std::size_t>(it - all.begin());
 }
 
 }  // namespace
@@ -128,112 +182,377 @@ Result<std::vector<SparseVector>> Executor::MaterializeVectors(
   return vectors;
 }
 
-Result<bool> Executor::EvalWhere(const ResolvedWhere& where,
-                                 VertexRef member, EvalStats* stats) {
-  switch (where.kind) {
-    case WhereExpr::Kind::kAtom: {
+Result<std::vector<SparseVector>> Executor::ExtendVectors(
+    const MetaPath& suffix, const std::vector<SparseVector>& parents,
+    EvalStats* stats) {
+  std::vector<SparseVector> vectors(parents.size());
+  const std::size_t workers = MaterializeWorkers(parents.size());
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < parents.size(); ++i) {
       NETOUT_ASSIGN_OR_RETURN(
-          SparseVector vec,
-          evaluator_.Evaluate(member, where.atom.path, stats));
-      // COUNT(...) counts distinct reachable vertices.
-      return Compare(static_cast<double>(vec.nnz()), where.atom.op,
-                     where.atom.value);
+          vectors[i],
+          evaluator_.EvaluateFrontier(parents[i], suffix, stats));
     }
-    case WhereExpr::Kind::kNot: {
-      NETOUT_ASSIGN_OR_RETURN(bool inner,
-                              EvalWhere(*where.lhs, member, stats));
-      return !inner;
-    }
-    case WhereExpr::Kind::kAnd: {
-      NETOUT_ASSIGN_OR_RETURN(bool lhs, EvalWhere(*where.lhs, member, stats));
-      if (!lhs) return false;
-      return EvalWhere(*where.rhs, member, stats);
-    }
-    case WhereExpr::Kind::kOr: {
-      NETOUT_ASSIGN_OR_RETURN(bool lhs, EvalWhere(*where.lhs, member, stats));
-      if (lhs) return true;
-      return EvalWhere(*where.rhs, member, stats);
-    }
+    return vectors;
   }
-  return Status::Internal("unhandled WHERE node kind");
+
+  std::vector<EvalStats> shard_stats(workers);
+  std::vector<Status> shard_status(workers);
+  const std::size_t shard_size = (parents.size() + workers - 1) / workers;
+  TaskGroup group(pool_.get());
+  for (std::size_t w = 0; w < workers; ++w) {
+    const std::size_t begin = w * shard_size;
+    const std::size_t end = std::min(parents.size(), begin + shard_size);
+    if (begin >= end) break;
+    group.Submit([this, w, begin, end, &suffix, &parents, &vectors,
+                  &shard_stats, &shard_status] {
+      NeighborVectorEvaluator& evaluator = *worker_evaluators_[w];
+      for (std::size_t i = begin; i < end; ++i) {
+        Result<SparseVector> vec =
+            evaluator.EvaluateFrontier(parents[i], suffix, &shard_stats[w]);
+        if (!vec.ok()) {
+          shard_status[w] = vec.status();
+          return;
+        }
+        vectors[i] = std::move(vec).value();
+      }
+    });
+  }
+  group.Wait();
+  for (std::size_t w = 0; w < workers; ++w) {
+    if (stats != nullptr) stats->MergeFrom(shard_stats[w]);
+  }
+  for (std::size_t w = 0; w < workers; ++w) {
+    if (!shard_status[w].ok()) return shard_status[w];
+  }
+  return vectors;
 }
 
-Result<std::vector<LocalId>> Executor::EvalPrimary(
-    const ResolvedPrimary& primary, EvalStats* stats) {
-  std::vector<LocalId> members;
-  if (primary.anchor.has_value()) {
-    if (primary.hops.length() == 0) {
-      members.push_back(primary.anchor->local);
+Status Executor::ExecuteOp(const PhysicalPlan& plan, std::size_t id,
+                           std::span<OpOutput> slots,
+                           PlanOpRuntime* runtime) {
+  const PhysicalOp& op = plan.ops[id];
+  OpOutput& out = slots[id];
+  EvalStats* stats = &runtime->eval;
+  Stopwatch watch;
+
+  switch (op.kind) {
+    case PhysOpKind::kEvalSet: {
+      if (op.set_kind == SetExpr::Kind::kPrimary) {
+        const ResolvedPrimary& primary = *op.primary;
+        if (primary.anchor.has_value()) {
+          if (primary.hops.length() == 0) {
+            out.members.push_back(primary.anchor->local);
+          } else {
+            NETOUT_ASSIGN_OR_RETURN(
+                SparseVector vec,
+                evaluator_.Evaluate(*primary.anchor, primary.hops, stats));
+            out.members.assign(vec.indices().begin(), vec.indices().end());
+          }
+        } else {
+          // All vertices of the element type.
+          const std::size_t n = hin_->NumVertices(op.element_type);
+          out.members.resize(n);
+          for (std::size_t i = 0; i < n; ++i) {
+            out.members[i] = static_cast<LocalId>(i);
+          }
+        }
+      } else {
+        const std::vector<LocalId>& lhs = slots[op.inputs[0]].members;
+        const std::vector<LocalId>& rhs = slots[op.inputs[1]].members;
+        switch (op.set_kind) {
+          case SetExpr::Kind::kUnion:
+            out.members = SetUnion(lhs, rhs);
+            break;
+          case SetExpr::Kind::kIntersect:
+            out.members = SetIntersection(lhs, rhs);
+            break;
+          case SetExpr::Kind::kExcept:
+            out.members = SetDifference(lhs, rhs);
+            break;
+          case SetExpr::Kind::kPrimary:
+            return Status::Internal("unhandled set node kind");
+        }
+      }
+      runtime->rows = out.members.size();
+      break;
+    }
+
+    case PhysOpKind::kFilter: {
+      const OpOutput& base = slots[op.inputs[0]];
+      std::unordered_map<const ResolvedWhere*, std::size_t> atoms;
+      std::size_t next = 0;
+      MapAtoms(*op.where, &next, &atoms);
+      out.members.reserve(base.members.size());
+      for (std::size_t j = 0; j < base.members.size(); ++j) {
+        if (EvalPredicate(*op.where, j, op,
+                          std::span<const OpOutput>(slots.data(),
+                                                    slots.size()),
+                          atoms)) {
+          out.members.push_back(base.members[j]);
+        }
+      }
+      runtime->rows = out.members.size();
+      break;
+    }
+
+    case PhysOpKind::kMaterialize: {
+      if (op.extends) {
+        NETOUT_ASSIGN_OR_RETURN(
+            out.vectors,
+            ExtendVectors(op.path, slots[op.inputs[0]].vectors, stats));
+      } else {
+        NETOUT_ASSIGN_OR_RETURN(
+            out.vectors,
+            MaterializeVectors(op.subject_type, op.path,
+                               slots[op.members_op].members, stats));
+      }
+      runtime->rows = out.vectors.size();
+      break;
+    }
+
+    case PhysOpKind::kScore: {
+      const std::vector<LocalId>& candidates = slots[op.inputs[0]].members;
+      const std::vector<LocalId>& references = slots[op.inputs[1]].members;
+      const OpOutput& mat = slots[op.inputs[2]];
+      const std::vector<LocalId>& all =
+          slots[plan.ops[op.inputs[2]].members_op].members;
+      std::vector<SparseVecView> cand_views;
+      cand_views.reserve(candidates.size());
+      for (const LocalId vid : candidates) {
+        cand_views.push_back(mat.vectors[MemberPos(all, vid)].View());
+      }
+      std::vector<SparseVecView> ref_views;
+      ref_views.reserve(references.size());
+      for (const LocalId vid : references) {
+        ref_views.push_back(mat.vectors[MemberPos(all, vid)].View());
+      }
+      ScoreOptions score_options;
+      score_options.measure = op.query->measure;
+      score_options.use_factored = options_.use_factored_netout;
+      score_options.lof_k = options_.lof_k;
+      score_options.pool = pool_.get();
+      NETOUT_ASSIGN_OR_RETURN(
+          out.scores,
+          ComputeOutlierScores(std::span<const SparseVecView>(cand_views),
+                               std::span<const SparseVecView>(ref_views),
+                               score_options));
+      runtime->rows = out.scores.size();
+      break;
+    }
+
+    case PhysOpKind::kCombine: {
+      const QueryPlan& query = *op.query;
+      std::vector<double> weights;
+      weights.reserve(query.features.size());
+      for (const WeightedMetaPath& feature : query.features) {
+        weights.push_back(feature.weight);
+      }
+      if (query.combine == CombineMode::kJointConnectivity) {
+        const std::vector<LocalId>& candidates =
+            slots[op.inputs[0]].members;
+        const std::vector<LocalId>& references =
+            slots[op.inputs[1]].members;
+        std::vector<std::vector<SparseVecView>> cand_views;
+        std::vector<std::vector<SparseVecView>> ref_views;
+        for (std::size_t f = 2; f < op.inputs.size(); ++f) {
+          const OpOutput& mat = slots[op.inputs[f]];
+          const std::vector<LocalId>& all =
+              slots[plan.ops[op.inputs[f]].members_op].members;
+          std::vector<SparseVecView> cand;
+          cand.reserve(candidates.size());
+          for (const LocalId vid : candidates) {
+            cand.push_back(mat.vectors[MemberPos(all, vid)].View());
+          }
+          std::vector<SparseVecView> ref;
+          ref.reserve(references.size());
+          for (const LocalId vid : references) {
+            ref.push_back(mat.vectors[MemberPos(all, vid)].View());
+          }
+          cand_views.push_back(std::move(cand));
+          ref_views.push_back(std::move(ref));
+        }
+        NETOUT_ASSIGN_OR_RETURN(
+            out.scores,
+            JointNetOutScores(cand_views, ref_views, weights, pool_.get()));
+      } else {
+        std::vector<std::vector<double>> per_path_scores;
+        per_path_scores.reserve(op.inputs.size());
+        for (const std::size_t input : op.inputs) {
+          per_path_scores.push_back(slots[input].scores);
+        }
+        NETOUT_ASSIGN_OR_RETURN(
+            out.scores, CombineScores(per_path_scores, weights,
+                                      query.combine, query.measure));
+      }
+      runtime->rows = out.scores.size();
+      break;
+    }
+
+    case PhysOpKind::kTopK: {
+      const QueryPlan& query = *op.query;
+      const std::vector<double>& combined = slots[op.inputs[0]].scores;
+      const std::vector<LocalId>& candidates = slots[op.inputs[1]].members;
+      // zero_visibility[i]: candidate i has an empty vector under every
+      // feature meta-path.
+      std::vector<bool> zero_visibility(candidates.size(), true);
+      for (std::size_t f = 2; f < op.inputs.size(); ++f) {
+        const OpOutput& mat = slots[op.inputs[f]];
+        const std::vector<LocalId>& all =
+            slots[plan.ops[op.inputs[f]].members_op].members;
+        for (std::size_t i = 0; i < candidates.size(); ++i) {
+          if (!mat.vectors[MemberPos(all, candidates[i])].empty()) {
+            zero_visibility[i] = false;
+          }
+        }
+      }
+      std::vector<std::size_t> eligible;
+      eligible.reserve(candidates.size());
+      for (std::size_t i = 0; i < candidates.size(); ++i) {
+        if (options_.skip_zero_visibility && zero_visibility[i]) continue;
+        eligible.push_back(i);
+      }
+      std::vector<double> eligible_scores;
+      eligible_scores.reserve(eligible.size());
+      for (const std::size_t i : eligible) {
+        eligible_scores.push_back(combined[i]);
+      }
+      const bool smaller_first =
+          CombinedSmallerIsMoreOutlying(query.combine, query.measure);
+      const std::vector<std::size_t> top =
+          SelectTopK(eligible_scores, query.top_k, smaller_first);
+      out.outliers.reserve(top.size());
+      for (const std::size_t rank : top) {
+        const std::size_t i = eligible[rank];
+        OutlierEntry entry;
+        entry.vertex = VertexRef{query.subject_type, candidates[i]};
+        entry.name = hin_->VertexName(entry.vertex);
+        entry.score = combined[i];
+        entry.zero_visibility = zero_visibility[i];
+        out.outliers.push_back(std::move(entry));
+      }
+      runtime->rows = out.outliers.size();
+      break;
+    }
+  }
+
+  runtime->wall_nanos = watch.ElapsedNanos();
+  runtime->executed = true;
+  out.has_value = true;
+  return Status::OK();
+}
+
+QueryResult Executor::AssembleResult(
+    const PhysicalPlan& plan, std::size_t query_index,
+    std::span<const OpOutput> slots,
+    std::span<const PlanOpRuntime> runtimes) const {
+  QueryResult result;
+  const PlanQuery& entry = plan.queries[query_index];
+  if (entry.topk_op != kNoOp && slots[entry.topk_op].has_value) {
+    result.outliers = slots[entry.topk_op].outliers;
+  }
+  QueryExecStats& stats = result.stats;
+  stats.candidate_count = slots[entry.candidate_op].members.size();
+  stats.reference_count = slots[entry.reference_op].members.size();
+
+  for (const std::size_t id : entry.ops) {
+    const PlanOpRuntime& rt = runtimes[id];
+    if (!rt.executed) continue;
+    stats.eval.MergeFrom(rt.eval);
+    switch (plan.ops[id].kind) {
+      case PhysOpKind::kMaterialize:
+        stats.stages.materialize_nanos += rt.wall_nanos;
+        if (plan.ops[id].owner_query == query_index) {
+          stats.vectors_materialized += rt.rows;
+        }
+        break;
+      case PhysOpKind::kScore:
+      case PhysOpKind::kCombine:
+        stats.stages.score_nanos += rt.wall_nanos;
+        stats.scoring.AddNanos(rt.wall_nanos);
+        break;
+      case PhysOpKind::kTopK:
+        stats.stages.topk_nanos += rt.wall_nanos;
+        break;
+      case PhysOpKind::kEvalSet:
+      case PhysOpKind::kFilter:
+        break;
+    }
+  }
+
+  // Reuse accounting: each Filter atom and each TopK feature slot is one
+  // demand for a vector batch. The first demand of a batch this query
+  // owns is the materialization itself; every further demand — a repeated
+  // feature/condition path, or a batch another query materialized — was
+  // served from the shared node.
+  std::unordered_set<std::size_t> seen;
+  for (const std::size_t id : entry.ops) {
+    const PhysicalOp& op = plan.ops[id];
+    std::size_t first = 0;
+    if (op.kind == PhysOpKind::kFilter) {
+      first = 1;
+    } else if (op.kind == PhysOpKind::kTopK) {
+      first = 2;
     } else {
-      NETOUT_ASSIGN_OR_RETURN(
-          SparseVector vec,
-          evaluator_.Evaluate(*primary.anchor, primary.hops, stats));
-      members.assign(vec.indices().begin(), vec.indices().end());
+      continue;
     }
-  } else {
-    // All vertices of the element type.
-    const std::size_t n = hin_->NumVertices(primary.element_type);
-    members.resize(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      members[i] = static_cast<LocalId>(i);
+    for (std::size_t j = first; j < op.inputs.size(); ++j) {
+      const std::size_t m = op.inputs[j];
+      if (plan.ops[m].kind != PhysOpKind::kMaterialize) continue;
+      if (!runtimes[m].executed) continue;
+      const bool first_use = seen.insert(m).second;
+      if (!first_use || plan.ops[m].owner_query != query_index) {
+        stats.vectors_reused += runtimes[m].rows;
+      }
     }
   }
 
-  if (primary.where != nullptr) {
-    std::vector<LocalId> filtered;
-    filtered.reserve(members.size());
-    for (LocalId member : members) {
-      NETOUT_ASSIGN_OR_RETURN(
-          bool keep,
-          EvalWhere(*primary.where,
-                    VertexRef{primary.element_type, member}, stats));
-      if (keep) filtered.push_back(member);
+  std::vector<PlanOpInfo> infos = DescribePhysicalPlan(*hin_, plan);
+  result.plan_ops.reserve(entry.ops.size());
+  for (const std::size_t id : entry.ops) {
+    PlanOpInfo info = std::move(infos[id]);
+    const PlanOpRuntime& rt = runtimes[id];
+    info.executed = rt.executed;
+    info.wall_nanos = rt.wall_nanos;
+    info.rows = rt.rows;
+    if (rt.executed && plan.ops[id].kind == PhysOpKind::kMaterialize) {
+      info.vectors_materialized = rt.rows;
+      info.vectors_reused = rt.rows * (info.reuse_count - 1);
     }
-    members = std::move(filtered);
+    result.plan_ops.push_back(std::move(info));
   }
-  return members;
+  return result;
 }
 
-Result<std::vector<LocalId>> Executor::EvalSet(const ResolvedSet& set,
-                                               EvalStats* stats) {
-  switch (set.kind) {
-    case SetExpr::Kind::kPrimary:
-      return EvalPrimary(set.primary, stats);
-    case SetExpr::Kind::kUnion: {
-      NETOUT_ASSIGN_OR_RETURN(std::vector<LocalId> lhs,
-                              EvalSet(*set.lhs, stats));
-      NETOUT_ASSIGN_OR_RETURN(std::vector<LocalId> rhs,
-                              EvalSet(*set.rhs, stats));
-      return SetUnion(lhs, rhs);
-    }
-    case SetExpr::Kind::kIntersect: {
-      NETOUT_ASSIGN_OR_RETURN(std::vector<LocalId> lhs,
-                              EvalSet(*set.lhs, stats));
-      NETOUT_ASSIGN_OR_RETURN(std::vector<LocalId> rhs,
-                              EvalSet(*set.rhs, stats));
-      return SetIntersection(lhs, rhs);
-    }
-    case SetExpr::Kind::kExcept: {
-      NETOUT_ASSIGN_OR_RETURN(std::vector<LocalId> lhs,
-                              EvalSet(*set.lhs, stats));
-      NETOUT_ASSIGN_OR_RETURN(std::vector<LocalId> rhs,
-                              EvalSet(*set.rhs, stats));
-      return SetDifference(lhs, rhs);
-    }
-  }
-  return Status::Internal("unhandled set node kind");
-}
+Result<QueryResult> Executor::RunPlanned(const PhysicalPlan& plan,
+                                         std::size_t query_index,
+                                         const Stopwatch& total_watch) {
+  const PlanQuery& entry = plan.queries[query_index];
+  std::vector<OpOutput> slots(plan.ops.size());
+  std::vector<PlanOpRuntime> runtimes(plan.ops.size());
+  const std::span<OpOutput> slot_span(slots);
 
-Result<std::vector<VertexRef>> Executor::EvaluateSet(
-    const ResolvedSet& set) {
-  NETOUT_ASSIGN_OR_RETURN(std::vector<LocalId> members,
-                          EvalSet(set, nullptr));
-  std::vector<VertexRef> out;
-  out.reserve(members.size());
-  for (LocalId member : members) {
-    out.push_back(VertexRef{set.element_type, member});
+  for (const std::size_t id : entry.set_phase_ops) {
+    NETOUT_RETURN_IF_ERROR(ExecuteOp(plan, id, slot_span, &runtimes[id]));
   }
-  return out;
+  if (slots[entry.candidate_op].members.empty()) {
+    // Legacy early-out: nothing to rank, skip the feature pipeline.
+    QueryResult result =
+        AssembleResult(plan, query_index, slots, runtimes);
+    result.stats.total_nanos = total_watch.ElapsedNanos();
+    return result;
+  }
+  if (slots[entry.reference_op].members.empty()) {
+    return Status::FailedPrecondition("the reference set is empty");
+  }
+
+  for (const std::size_t id : entry.ops) {
+    if (slots[id].has_value) continue;  // ran in the set phase
+    NETOUT_RETURN_IF_ERROR(ExecuteOp(plan, id, slot_span, &runtimes[id]));
+  }
+  QueryResult result = AssembleResult(plan, query_index, slots, runtimes);
+  result.stats.total_nanos = total_watch.ElapsedNanos();
+  return result;
 }
 
 Result<QueryResult> Executor::Run(const QueryPlan& plan) {
@@ -250,137 +569,31 @@ Result<QueryResult> Executor::Run(const QueryPlan& plan) {
         "attach one index instance per thread");
   }
   Stopwatch total_watch;
-  QueryResult result;
-  QueryExecStats& stats = result.stats;
+  Planner planner(*hin_, PlannerOptions{options_.plan_cse, index_});
+  const std::size_t query_index = planner.AddQuery(plan);
+  const PhysicalPlan physical = planner.Take();
+  return RunPlanned(physical, query_index, total_watch);
+}
 
-  NETOUT_ASSIGN_OR_RETURN(std::vector<LocalId> candidates,
-                          EvalSet(plan.candidate, &stats.eval));
-  std::vector<LocalId> references;
-  if (plan.reference.has_value()) {
-    NETOUT_ASSIGN_OR_RETURN(references,
-                            EvalSet(*plan.reference, &stats.eval));
-  } else {
-    references = candidates;
+Result<std::vector<VertexRef>> Executor::EvaluateSet(
+    const ResolvedSet& set) {
+  Planner planner(*hin_, PlannerOptions{options_.plan_cse, index_});
+  const std::size_t query_index = planner.AddSet(set);
+  const PhysicalPlan physical = planner.Take();
+  const PlanQuery& entry = physical.queries[query_index];
+  std::vector<OpOutput> slots(physical.ops.size());
+  std::vector<PlanOpRuntime> runtimes(physical.ops.size());
+  for (const std::size_t id : entry.set_phase_ops) {
+    NETOUT_RETURN_IF_ERROR(
+        ExecuteOp(physical, id, std::span<OpOutput>(slots), &runtimes[id]));
   }
-  stats.candidate_count = candidates.size();
-  stats.reference_count = references.size();
-
-  if (candidates.empty()) {
-    stats.total_nanos = total_watch.ElapsedNanos();
-    return result;
+  const std::vector<LocalId>& members = slots[entry.candidate_op].members;
+  std::vector<VertexRef> out;
+  out.reserve(members.size());
+  for (const LocalId member : members) {
+    out.push_back(VertexRef{set.element_type, member});
   }
-  if (references.empty()) {
-    return Status::FailedPrecondition("the reference set is empty");
-  }
-
-  // Materialize the feature vectors of every distinct candidate/reference
-  // vertex, per feature meta-path, then score.
-  std::vector<std::vector<double>> per_path_scores;
-  std::vector<double> weights;
-  // zero_visibility[i]: candidate i had an empty vector under every path.
-  std::vector<bool> zero_visibility(candidates.size(), true);
-  // Joint-connectivity combination scores once over all paths, so the
-  // materialized vectors must outlive the feature loop.
-  const bool joint = plan.combine == CombineMode::kJointConnectivity;
-  std::vector<std::vector<SparseVector>> joint_storage;
-  std::vector<std::vector<SparseVecView>> joint_cand_views;
-  std::vector<std::vector<SparseVecView>> joint_ref_views;
-
-  for (const WeightedMetaPath& feature : plan.features) {
-    const std::vector<LocalId> all = SetUnion(candidates, references);
-    Stopwatch materialize_watch;
-    NETOUT_ASSIGN_OR_RETURN(
-        std::vector<SparseVector> vectors,
-        MaterializeVectors(plan.subject_type, feature.path, all,
-                           &stats.eval));
-    stats.stages.materialize_nanos += materialize_watch.ElapsedNanos();
-    auto vector_of = [&](LocalId id) -> const SparseVector& {
-      const auto it = std::lower_bound(all.begin(), all.end(), id);
-      return vectors[static_cast<std::size_t>(it - all.begin())];
-    };
-
-    ScopedTimer scoring_timer(&stats.scoring);
-    std::vector<SparseVecView> cand_vecs;
-    cand_vecs.reserve(candidates.size());
-    for (std::size_t i = 0; i < candidates.size(); ++i) {
-      cand_vecs.push_back(vector_of(candidates[i]).View());
-      if (!cand_vecs.back().empty()) zero_visibility[i] = false;
-    }
-    std::vector<SparseVecView> ref_vecs;
-    ref_vecs.reserve(references.size());
-    for (LocalId id : references) {
-      ref_vecs.push_back(vector_of(id).View());
-    }
-    if (joint) {
-      joint_storage.push_back(std::move(vectors));
-      joint_cand_views.push_back(std::move(cand_vecs));
-      joint_ref_views.push_back(std::move(ref_vecs));
-      weights.push_back(feature.weight);
-      continue;
-    }
-    ScoreOptions score_options;
-    score_options.measure = plan.measure;
-    score_options.use_factored = options_.use_factored_netout;
-    score_options.lof_k = options_.lof_k;
-    score_options.pool = pool_.get();
-    Stopwatch score_watch;
-    NETOUT_ASSIGN_OR_RETURN(
-        std::vector<double> scores,
-        ComputeOutlierScores(std::span<const SparseVecView>(cand_vecs),
-                             std::span<const SparseVecView>(ref_vecs),
-                             score_options));
-    stats.stages.score_nanos += score_watch.ElapsedNanos();
-    per_path_scores.push_back(std::move(scores));
-    weights.push_back(feature.weight);
-  }
-
-  std::vector<double> combined;
-  {
-    ScopedTimer scoring_timer(&stats.scoring);
-    Stopwatch score_watch;
-    if (joint) {
-      NETOUT_ASSIGN_OR_RETURN(
-          combined, JointNetOutScores(joint_cand_views, joint_ref_views,
-                                      weights, pool_.get()));
-    } else {
-      NETOUT_ASSIGN_OR_RETURN(
-          combined, CombineScores(per_path_scores, weights, plan.combine,
-                                  plan.measure));
-    }
-    stats.stages.score_nanos += score_watch.ElapsedNanos();
-  }
-
-  // Optionally exclude zero-visibility candidates, then select the top-k.
-  Stopwatch topk_watch;
-  std::vector<std::size_t> eligible;
-  eligible.reserve(candidates.size());
-  for (std::size_t i = 0; i < candidates.size(); ++i) {
-    if (options_.skip_zero_visibility && zero_visibility[i]) continue;
-    eligible.push_back(i);
-  }
-  std::vector<double> eligible_scores;
-  eligible_scores.reserve(eligible.size());
-  for (std::size_t i : eligible) {
-    eligible_scores.push_back(combined[i]);
-  }
-  const bool smaller_first =
-      CombinedSmallerIsMoreOutlying(plan.combine, plan.measure);
-  const std::vector<std::size_t> top =
-      SelectTopK(eligible_scores, plan.top_k, smaller_first);
-
-  result.outliers.reserve(top.size());
-  for (std::size_t rank : top) {
-    const std::size_t i = eligible[rank];
-    OutlierEntry entry;
-    entry.vertex = VertexRef{plan.subject_type, candidates[i]};
-    entry.name = hin_->VertexName(entry.vertex);
-    entry.score = combined[i];
-    entry.zero_visibility = zero_visibility[i];
-    result.outliers.push_back(std::move(entry));
-  }
-  stats.stages.topk_nanos += topk_watch.ElapsedNanos();
-  stats.total_nanos = total_watch.ElapsedNanos();
-  return result;
+  return out;
 }
 
 }  // namespace netout

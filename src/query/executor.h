@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -10,6 +11,7 @@
 #include "common/stopwatch.h"
 #include "graph/hin.h"
 #include "metapath/evaluator.h"
+#include "query/physical_plan.h"
 #include "query/plan.h"
 
 namespace netout {
@@ -29,7 +31,9 @@ struct OutlierEntry {
 
 /// Wall-clock nanoseconds per pipeline stage of one query, end to end:
 /// parse and analyze are filled by Engine::Execute (Prepare-only callers
-/// see zeros), the rest by the executor. Unlike EvalStats (which slices
+/// see zeros), the rest by the executor by summing its physical
+/// operators into the stage buckets (Materialize ops → materialize,
+/// Score/Combine → score, TopK → topk). Unlike EvalStats (which slices
 /// materialization by index hit/miss), these are disjoint wall-clock
 /// spans whose sum approximates total_nanos, so speedups from
 /// ExecOptions::num_threads show up directly per stage.
@@ -51,7 +55,8 @@ struct StageTimings {
 
 /// Per-query execution statistics, matching the Figure 4 breakdown:
 /// eval.not_indexed (traversal materialization), eval.indexed (index
-/// lookups), scoring (outlierness calculation).
+/// lookups), scoring (outlierness calculation), plus the plan-level
+/// reuse counters that quantify common-subpath elimination.
 struct QueryExecStats {
   EvalStats eval;
   TimeAccumulator scoring;
@@ -59,6 +64,13 @@ struct QueryExecStats {
   std::int64_t total_nanos = 0;
   std::size_t candidate_count = 0;
   std::size_t reference_count = 0;
+  /// Neighbor vectors this query actually computed (rows of the
+  /// Materialize ops it owns) vs. vectors it consumed beyond their first
+  /// materialization — i.e. served from a shared plan node instead of
+  /// being recomputed. Without CSE, reused is 0 and materialized equals
+  /// one batch per feature/condition path.
+  std::size_t vectors_materialized = 0;
+  std::size_t vectors_reused = 0;
 
   void MergeFrom(const QueryExecStats& other) {
     eval.MergeFrom(other.eval);
@@ -67,12 +79,18 @@ struct QueryExecStats {
     total_nanos += other.total_nanos;
     candidate_count += other.candidate_count;
     reference_count += other.reference_count;
+    vectors_materialized += other.vectors_materialized;
+    vectors_reused += other.vectors_reused;
   }
 };
 
 struct QueryResult {
   std::vector<OutlierEntry> outliers;
   QueryExecStats stats;
+  /// Per-operator plan description with runtime observations, in op
+  /// order; the input of EXPLAIN PLAN rendering and the "plan" array of
+  /// the JSON result.
+  std::vector<PlanOpInfo> plan_ops;
 };
 
 /// Execution tuning knobs.
@@ -98,11 +116,36 @@ struct ExecOptions {
   /// candidate's value is computed by the same serial per-candidate
   /// code, only the outer loop is distributed.
   std::size_t num_threads = 1;
+
+  /// Common-subpath elimination in the planner (see PlannerOptions).
+  /// Scores are bitwise-identical either way; off re-materializes every
+  /// path independently (the ablation baseline).
+  bool plan_cse = true;
+};
+
+/// The value one physical operator produced; which fields are populated
+/// depends on the op kind (members for EvalSet/Filter, vectors for
+/// Materialize, scores for Score/Combine, outliers for TopK).
+struct OpOutput {
+  std::vector<LocalId> members;
+  std::vector<SparseVector> vectors;
+  std::vector<double> scores;
+  std::vector<OutlierEntry> outliers;
+  bool has_value = false;
+};
+
+/// What the executor observed while running one physical operator.
+struct PlanOpRuntime {
+  bool executed = false;
+  std::int64_t wall_nanos = 0;
+  std::size_t rows = 0;
+  EvalStats eval;
 };
 
 /// Executes resolved query plans against one network, optionally through
-/// a pre-materialization index. Owns traversal workspaces; create one
-/// executor per thread.
+/// a pre-materialization index, by lowering them to a PhysicalPlan
+/// (Planner) and interpreting the operator DAG. Owns traversal
+/// workspaces; create one executor per thread.
 class Executor {
  public:
   /// `index` may be null (baseline execution); it is borrowed.
@@ -110,7 +153,7 @@ class Executor {
            const ExecOptions& options = {});
   ~Executor();
 
-  /// Runs a full outlier query.
+  /// Runs a full outlier query: plan, execute, observe.
   Result<QueryResult> Run(const QueryPlan& plan);
 
   /// Evaluates just a set expression (used for SPM initialization-query
@@ -124,21 +167,48 @@ class Executor {
   /// attached).
   std::size_t MaterializeWorkers(std::size_t count) const;
 
- private:
-  Result<std::vector<LocalId>> EvalSet(const ResolvedSet& set,
-                                       EvalStats* stats);
-  Result<std::vector<LocalId>> EvalPrimary(const ResolvedPrimary& primary,
-                                           EvalStats* stats);
-  Result<bool> EvalWhere(const ResolvedWhere& where, VertexRef member,
-                         EvalStats* stats);
-
   /// φ of every vertex of `members` under `path`, in order. Shards
   /// contiguously across worker_evaluators_ when MaterializeWorkers says
   /// so; per-shard stats and errors merge in shard order after the group
   /// waits, so output and first-error choice are thread-count-invariant.
+  /// Public for the progressive strategy, which materializes candidate
+  /// batches outside a physical plan.
   Result<std::vector<SparseVector>> MaterializeVectors(
       TypeId subject_type, const MetaPath& path,
       const std::vector<LocalId>& members, EvalStats* stats);
+
+  // --- Plan interpretation -----------------------------------------
+  // The DAG-level API BatchRunner's merged mode drives directly: one
+  // slot vector shared across queries, ops dispatched as their inputs
+  // complete (each on some executor with num_threads == 1), results
+  // assembled per query afterwards. Run() is exactly this loop over a
+  // single-query plan.
+
+  /// Executes op `id` of `plan` into slots[id]. Inputs must already be
+  /// populated (slots[input].has_value). `runtime` (required) receives
+  /// wall time, rows and evaluation stats.
+  Status ExecuteOp(const PhysicalPlan& plan, std::size_t id,
+                   std::span<OpOutput> slots, PlanOpRuntime* runtime);
+
+  /// Builds the per-query result of `plan.queries[query_index]` from
+  /// executed slots: outliers from its TopK op, stage/eval stats and
+  /// reuse counters folded from `runtimes` over the query's ops, plus
+  /// the annotated plan_ops. total_nanos and parse/analyze stages are
+  /// left zero for the caller.
+  QueryResult AssembleResult(const PhysicalPlan& plan,
+                             std::size_t query_index,
+                             std::span<const OpOutput> slots,
+                             std::span<const PlanOpRuntime> runtimes) const;
+
+ private:
+  Result<QueryResult> RunPlanned(const PhysicalPlan& plan,
+                                 std::size_t query_index,
+                                 const Stopwatch& total_watch);
+  /// Extends already-materialized parent vectors along a suffix path
+  /// (shared-prefix reuse), sharded like MaterializeVectors.
+  Result<std::vector<SparseVector>> ExtendVectors(
+      const MetaPath& suffix, const std::vector<SparseVector>& parents,
+      EvalStats* stats);
 
   HinPtr hin_;
   const MetaPathIndex* index_;

@@ -1,0 +1,467 @@
+#include "query/planner.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace netout {
+namespace {
+
+std::string StepsSig(std::span<const EdgeStep> steps) {
+  std::string sig;
+  for (const EdgeStep& step : steps) {
+    sig += std::to_string(step.edge_type);
+    sig += step.direction == Direction::kForward ? 'f' : 'b';
+  }
+  return sig;
+}
+
+std::string BitsHex(double value) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(
+                    std::bit_cast<std::uint64_t>(value)));
+  return buf;
+}
+
+std::string WhereSig(const ResolvedWhere& where) {
+  switch (where.kind) {
+    case WhereExpr::Kind::kAtom:
+      return "a(" + StepsSig(where.atom.path.steps()) + "," +
+             std::to_string(static_cast<int>(where.atom.op)) + "," +
+             BitsHex(where.atom.value) + ")";
+    case WhereExpr::Kind::kNot:
+      return "n(" + WhereSig(*where.lhs) + ")";
+    case WhereExpr::Kind::kAnd:
+      return "&(" + WhereSig(*where.lhs) + "," + WhereSig(*where.rhs) + ")";
+    case WhereExpr::Kind::kOr:
+      return "|(" + WhereSig(*where.lhs) + "," + WhereSig(*where.rhs) + ")";
+  }
+  return "?";
+}
+
+/// Condition meta-paths in pre-order — the order kFilter inputs use and
+/// the executor's predicate walk re-derives.
+void CollectAtomPaths(const ResolvedWhere& where,
+                      std::vector<const MetaPath*>* out) {
+  switch (where.kind) {
+    case WhereExpr::Kind::kAtom:
+      out->push_back(&where.atom.path);
+      return;
+    case WhereExpr::Kind::kNot:
+      CollectAtomPaths(*where.lhs, out);
+      return;
+    case WhereExpr::Kind::kAnd:
+    case WhereExpr::Kind::kOr:
+      CollectAtomPaths(*where.lhs, out);
+      CollectAtomPaths(*where.rhs, out);
+      return;
+  }
+}
+
+MetaPath SubPath(const Schema& schema, std::span<const EdgeStep> steps,
+                 std::size_t begin, std::size_t end) {
+  std::vector<EdgeStep> sub(steps.begin() + static_cast<std::ptrdiff_t>(begin),
+                            steps.begin() + static_cast<std::ptrdiff_t>(end));
+  Result<MetaPath> path = MetaPath::FromSteps(schema, std::move(sub));
+  path.CheckOk();  // subranges of a resolved path always chain
+  return std::move(path).value();
+}
+
+}  // namespace
+
+Planner::Planner(const Hin& hin, const PlannerOptions& options)
+    : hin_(hin), options_(options) {
+  plan_.cse_enabled = options_.enable_cse;
+  if (options_.index != nullptr) {
+    plan_.index_name = std::string(options_.index->Name());
+  }
+}
+
+std::size_t Planner::Intern(std::string signature, PhysicalOp op,
+                            std::size_t owner) {
+  if (options_.enable_cse) {
+    const auto it = registry_.find(signature);
+    if (it != registry_.end()) return it->second;
+  }
+  op.owner_query = owner;
+  const std::size_t id = plan_.ops.size();
+  plan_.ops.push_back(std::move(op));
+  if (options_.enable_cse) registry_.emplace(std::move(signature), id);
+  return id;
+}
+
+std::size_t Planner::LowerPrimary(const ResolvedPrimary& primary,
+                                  TypeId element_type, std::size_t owner) {
+  std::string sig = "prim:" + std::to_string(element_type) + ":";
+  if (primary.anchor.has_value()) {
+    sig += std::to_string(primary.anchor->type) + "/" +
+           std::to_string(primary.anchor->local) + ":" +
+           StepsSig(primary.hops.steps());
+  } else {
+    sig += "all";
+  }
+  PhysicalOp base;
+  base.kind = PhysOpKind::kEvalSet;
+  base.set_kind = SetExpr::Kind::kPrimary;
+  base.primary = &primary;
+  base.element_type = element_type;
+  base.index_mode =
+      options_.index != nullptr && primary.hops.length() >= 2
+          ? IndexMode::kIndexed
+          : IndexMode::kTraverse;
+  std::size_t id = Intern(std::move(sig), std::move(base), owner);
+
+  if (primary.where != nullptr) {
+    std::vector<const MetaPath*> atoms;
+    CollectAtomPaths(*primary.where, &atoms);
+    std::vector<PathRequest> requests;
+    requests.reserve(atoms.size());
+    for (const MetaPath* path : atoms) {
+      requests.push_back(PathRequest{owner, path});
+    }
+    const std::vector<std::size_t> mats =
+        LowerPathGroup(id, element_type, requests);
+    PhysicalOp filter;
+    filter.kind = PhysOpKind::kFilter;
+    filter.where = primary.where.get();
+    filter.element_type = element_type;
+    filter.inputs.push_back(id);
+    filter.inputs.insert(filter.inputs.end(), mats.begin(), mats.end());
+    std::string fsig =
+        "filter:" + std::to_string(id) + ":" + WhereSig(*primary.where);
+    id = Intern(std::move(fsig), std::move(filter), owner);
+  }
+  return id;
+}
+
+std::size_t Planner::LowerSet(const ResolvedSet& set, std::size_t owner) {
+  if (set.kind == SetExpr::Kind::kPrimary) {
+    return LowerPrimary(set.primary, set.primary.element_type, owner);
+  }
+  const std::size_t lhs = LowerSet(*set.lhs, owner);
+  const std::size_t rhs = LowerSet(*set.rhs, owner);
+  PhysicalOp op;
+  op.kind = PhysOpKind::kEvalSet;
+  op.set_kind = set.kind;
+  op.element_type = set.element_type;
+  op.inputs = {lhs, rhs};
+  std::string sig = "set:" + std::to_string(static_cast<int>(set.kind)) +
+                    ":" + std::to_string(lhs) + ":" + std::to_string(rhs);
+  return Intern(std::move(sig), std::move(op), owner);
+}
+
+std::vector<std::size_t> Planner::LowerPathGroup(
+    std::size_t members_op, TypeId subject_type,
+    const std::vector<PathRequest>& requests) {
+  const Schema& schema = hin_.schema();
+  std::vector<std::size_t> result(requests.size(), kNoOp);
+  const bool indexed = options_.index != nullptr;
+  const auto mode_for = [&](std::size_t length) {
+    return indexed && length >= 2 ? IndexMode::kIndexed
+                                  : IndexMode::kTraverse;
+  };
+  const auto make_root = [&](MetaPath path) {
+    PhysicalOp op;
+    op.kind = PhysOpKind::kMaterialize;
+    op.inputs = {members_op};
+    op.members_op = members_op;
+    op.subject_type = subject_type;
+    op.index_mode = mode_for(path.length());
+    op.path = std::move(path);
+    return op;
+  };
+
+  if (!options_.enable_cse) {
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      result[i] = Intern("", make_root(*requests[i].path),
+                         requests[i].query);
+    }
+    return result;
+  }
+
+  // Distinct paths in first-request order.
+  struct Node {
+    std::vector<EdgeStep> steps;
+    std::size_t owner = 0;
+  };
+  std::vector<Node> nodes;
+  std::unordered_map<std::string, std::size_t> node_index;
+  std::vector<std::string> request_sig(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    request_sig[i] = StepsSig(requests[i].path->steps());
+    const auto [it, inserted] =
+        node_index.emplace(request_sig[i], nodes.size());
+    if (inserted) {
+      const auto& steps = requests[i].path->steps();
+      nodes.push_back(
+          Node{std::vector<EdgeStep>(steps.begin(), steps.end()),
+               requests[i].query});
+    }
+  }
+
+  // A prefix split must leave a prefix the execution layer can serve
+  // no worse than the unsplit path: any non-empty prefix when
+  // traversing, a complete-chunk (even, >= 2 hop) prefix when an index
+  // is attached — a mid-chunk split would shift every TwoStepKey of the
+  // remainder and turn index hits into traversals.
+  const auto allowed_split = [&](std::size_t depth) {
+    if (depth < 1) return false;
+    if (indexed) return depth >= 2 && depth % 2 == 0;
+    return true;
+  };
+
+  // Mark shared prefixes: for every pair of distinct paths, the deepest
+  // allowed split at or below their longest common prefix.
+  const std::size_t num_paths = nodes.size();
+  for (std::size_t i = 0; i < num_paths; ++i) {
+    for (std::size_t j = i + 1; j < num_paths; ++j) {
+      const auto& a = nodes[i].steps;
+      const auto& b = nodes[j].steps;
+      std::size_t lcp = 0;
+      while (lcp < a.size() && lcp < b.size() && a[lcp] == b[lcp]) ++lcp;
+      std::size_t depth = lcp;
+      while (depth > 0 && !allowed_split(depth)) --depth;
+      if (depth == 0) continue;
+      // Skip when the realized prefix equals one of the paths (already a
+      // node) — otherwise register it as a shared materialization point.
+      const std::vector<EdgeStep> prefix(
+          a.begin(), a.begin() + static_cast<std::ptrdiff_t>(depth));
+      const std::string sig = StepsSig(prefix);
+      if (node_index.emplace(sig, nodes.size()).second) {
+        nodes.push_back(Node{prefix, std::min(nodes[i].owner,
+                                              nodes[j].owner)});
+      }
+    }
+  }
+
+  // Create one op per node, shortest first so parents exist before the
+  // extensions that consume them; ties break on the signature so op ids
+  // are deterministic.
+  std::vector<std::size_t> order(nodes.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (nodes[a].steps.size() != nodes[b].steps.size()) {
+      return nodes[a].steps.size() < nodes[b].steps.size();
+    }
+    return StepsSig(nodes[a].steps) < StepsSig(nodes[b].steps);
+  });
+  std::unordered_map<std::string, std::size_t> node_op;
+  for (const std::size_t idx : order) {
+    const std::vector<EdgeStep>& steps = nodes[idx].steps;
+    const std::string full_sig = StepsSig(steps);
+    // Deepest allowed proper prefix that is itself a node.
+    std::size_t split = 0;
+    for (std::size_t depth = steps.size() - 1; depth >= 1; --depth) {
+      if (!allowed_split(depth)) continue;
+      if (node_op.contains(StepsSig(std::span<const EdgeStep>(
+              steps.data(), depth)))) {
+        split = depth;
+        break;
+      }
+    }
+    PhysicalOp op;
+    if (split > 0) {
+      const std::size_t parent =
+          node_op.at(StepsSig(std::span<const EdgeStep>(steps.data(),
+                                                        split)));
+      op.kind = PhysOpKind::kMaterialize;
+      op.extends = true;
+      op.inputs = {parent};
+      op.members_op = members_op;
+      op.subject_type = subject_type;
+      op.path = SubPath(schema, steps, split, steps.size());
+      op.index_mode = mode_for(op.path.length());
+    } else {
+      op = make_root(SubPath(schema, steps, 0, steps.size()));
+    }
+    const std::string sig = "mat:" + std::to_string(op.inputs[0]) + ":" +
+                            StepsSig(op.path.steps());
+    node_op[full_sig] = Intern(sig, std::move(op), nodes[idx].owner);
+  }
+
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    result[i] = node_op.at(request_sig[i]);
+  }
+  return result;
+}
+
+std::size_t Planner::GroupFor(std::size_t members_op, TypeId subject_type) {
+  for (std::size_t i = 0; i < groups_.size(); ++i) {
+    if (groups_[i].members_op == members_op) return i;
+  }
+  groups_.push_back(FeatureGroup{members_op, subject_type, {}});
+  return groups_.size() - 1;
+}
+
+std::size_t Planner::AddQuery(const QueryPlan& plan) {
+  NETOUT_CHECK(!taken_);
+  const std::size_t q = plan_.queries.size();
+  PlanQuery entry;
+  entry.query = &plan;
+  entry.candidate_op = LowerSet(plan.candidate, q);
+  entry.reference_op = plan.reference.has_value()
+                           ? LowerSet(*plan.reference, q)
+                           : entry.candidate_op;
+  // The member list feature vectors materialize over: every distinct
+  // candidate/reference vertex (the legacy SetUnion(candidates,
+  // references); the union op is elided when Sr = Sc).
+  std::size_t members = entry.candidate_op;
+  if (entry.reference_op != entry.candidate_op) {
+    PhysicalOp op;
+    op.kind = PhysOpKind::kEvalSet;
+    op.set_kind = SetExpr::Kind::kUnion;
+    op.element_type = plan.subject_type;
+    op.inputs = {entry.candidate_op, entry.reference_op};
+    std::string sig =
+        "set:" + std::to_string(static_cast<int>(SetExpr::Kind::kUnion)) +
+        ":" + std::to_string(entry.candidate_op) + ":" +
+        std::to_string(entry.reference_op);
+    members = Intern(std::move(sig), std::move(op), q);
+  }
+  const std::size_t group = GroupFor(members, plan.subject_type);
+  pending_.push_back(
+      PendingQuery{&plan, q, group, groups_[group].requests.size()});
+  for (const WeightedMetaPath& feature : plan.features) {
+    groups_[group].requests.push_back(PathRequest{q, &feature.path});
+  }
+  plan_.queries.push_back(std::move(entry));
+  return q;
+}
+
+std::size_t Planner::AddSet(const ResolvedSet& set) {
+  NETOUT_CHECK(!taken_);
+  const std::size_t q = plan_.queries.size();
+  PlanQuery entry;
+  entry.candidate_op = LowerSet(set, q);
+  entry.reference_op = entry.candidate_op;
+  plan_.queries.push_back(std::move(entry));
+  return q;
+}
+
+namespace {
+
+std::vector<std::size_t> Reachable(const std::vector<PhysicalOp>& ops,
+                                   std::vector<std::size_t> roots) {
+  std::vector<bool> seen(ops.size(), false);
+  while (!roots.empty()) {
+    const std::size_t id = roots.back();
+    roots.pop_back();
+    if (id == kNoOp || seen[id]) continue;
+    seen[id] = true;
+    for (const std::size_t input : ops[id].inputs) roots.push_back(input);
+  }
+  std::vector<std::size_t> out;
+  for (std::size_t id = 0; id < ops.size(); ++id) {
+    if (seen[id]) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace
+
+PhysicalPlan Planner::Take() {
+  NETOUT_CHECK(!taken_);
+  taken_ = true;
+
+  // Feature materializations are lowered here, once every query is in,
+  // so shared subpaths are found workload-wide.
+  group_results_.resize(groups_.size());
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    group_results_[g] = LowerPathGroup(
+        groups_[g].members_op, groups_[g].subject_type,
+        groups_[g].requests);
+  }
+
+  for (const PendingQuery& pending : pending_) {
+    const QueryPlan& plan = *pending.plan;
+    PlanQuery& entry = plan_.queries[pending.query_index];
+    const std::vector<std::size_t>& group_ops =
+        group_results_[pending.group];
+    std::vector<std::size_t> mats(
+        group_ops.begin() +
+            static_cast<std::ptrdiff_t>(pending.first_request),
+        group_ops.begin() + static_cast<std::ptrdiff_t>(
+                                pending.first_request +
+                                plan.features.size()));
+    const std::size_t cand = entry.candidate_op;
+    const std::size_t ref = entry.reference_op;
+
+    std::size_t combine = kNoOp;
+    if (plan.combine == CombineMode::kJointConnectivity) {
+      PhysicalOp op;
+      op.kind = PhysOpKind::kCombine;
+      op.query = &plan;
+      op.inputs = {cand, ref};
+      op.inputs.insert(op.inputs.end(), mats.begin(), mats.end());
+      std::string sig = "combj:" + std::to_string(cand) + ":" +
+                        std::to_string(ref);
+      for (std::size_t i = 0; i < mats.size(); ++i) {
+        sig += ":m" + std::to_string(mats[i]) + "w" +
+               BitsHex(plan.features[i].weight);
+      }
+      combine = Intern(std::move(sig), std::move(op),
+                       pending.query_index);
+    } else {
+      std::vector<std::size_t> scores;
+      scores.reserve(mats.size());
+      for (const std::size_t mat : mats) {
+        PhysicalOp op;
+        op.kind = PhysOpKind::kScore;
+        op.query = &plan;
+        op.inputs = {cand, ref, mat};
+        std::string sig = "score:" + std::to_string(cand) + ":" +
+                          std::to_string(ref) + ":" + std::to_string(mat) +
+                          ":" +
+                          std::to_string(static_cast<int>(plan.measure));
+        scores.push_back(
+            Intern(std::move(sig), std::move(op), pending.query_index));
+      }
+      PhysicalOp op;
+      op.kind = PhysOpKind::kCombine;
+      op.query = &plan;
+      op.inputs = scores;
+      std::string sig =
+          "comb:" + std::to_string(static_cast<int>(plan.combine)) + ":" +
+          std::to_string(static_cast<int>(plan.measure));
+      for (std::size_t i = 0; i < scores.size(); ++i) {
+        sig += ":s" + std::to_string(scores[i]) + "w" +
+               BitsHex(plan.features[i].weight);
+      }
+      combine = Intern(std::move(sig), std::move(op),
+                       pending.query_index);
+    }
+
+    PhysicalOp top;
+    top.kind = PhysOpKind::kTopK;
+    top.query = &plan;
+    top.inputs = {combine, cand};
+    top.inputs.insert(top.inputs.end(), mats.begin(), mats.end());
+    std::string sig = "topk:" + std::to_string(combine) + ":" +
+                      std::to_string(cand) + ":" +
+                      std::to_string(plan.top_k);
+    for (const std::size_t mat : mats) sig += ":m" + std::to_string(mat);
+    entry.topk_op = Intern(std::move(sig), std::move(top),
+                           pending.query_index);
+  }
+
+  for (PlanQuery& entry : plan_.queries) {
+    entry.set_phase_ops = Reachable(
+        plan_.ops, {entry.candidate_op, entry.reference_op});
+    entry.ops = Reachable(
+        plan_.ops,
+        {entry.candidate_op, entry.reference_op, entry.topk_op});
+  }
+  plan_.consumer_count.assign(plan_.ops.size(), 0);
+  for (const PhysicalOp& op : plan_.ops) {
+    for (const std::size_t input : op.inputs) {
+      ++plan_.consumer_count[input];
+    }
+  }
+  return std::move(plan_);
+}
+
+}  // namespace netout

@@ -1,0 +1,101 @@
+#ifndef NETOUT_QUERY_PLANNER_H_
+#define NETOUT_QUERY_PLANNER_H_
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/hin.h"
+#include "metapath/index_iface.h"
+#include "query/physical_plan.h"
+#include "query/plan.h"
+
+namespace netout {
+
+struct PlannerOptions {
+  /// Common-subpath elimination: identical set expressions, WHERE
+  /// conditions, feature materializations and score computations are
+  /// lowered to one shared op, and feature / condition meta-paths that
+  /// share a prefix materialize the prefix once and extend it. Off, the
+  /// lowering is a 1:1 transcription of each query (the ablation
+  /// baseline of bench_plan_cse).
+  bool enable_cse = true;
+
+  /// The index execution will run against (borrowed, may be null). The
+  /// planner needs it for two decisions: per-op index-mode selection
+  /// (paths shorter than one length-2 chunk traverse even when an index
+  /// is attached), and prefix-split alignment — with an index, a shared
+  /// prefix may only end on a chunk boundary (even hop count), because
+  /// splitting mid-chunk would evaluate different TwoStepKeys than the
+  /// unsplit path and forfeit every pre-materialized row.
+  const MetaPathIndex* index = nullptr;
+};
+
+/// Lowers resolved QueryPlans into one shared PhysicalPlan DAG.
+///
+/// Add every query of a workload (batch-level plan merging), then call
+/// Take() exactly once. Feature materializations are lowered at Take()
+/// time so common subpaths are detected across *all* added queries, not
+/// just within one. The QueryPlans (and bare sets) passed in are
+/// borrowed and must outlive the produced PhysicalPlan.
+class Planner {
+ public:
+  explicit Planner(const Hin& hin, const PlannerOptions& options = {});
+
+  /// Lowers one full query; returns its PlanQuery index.
+  std::size_t AddQuery(const QueryPlan& plan);
+
+  /// Lowers a bare set expression (Executor::EvaluateSet,
+  /// Engine::CandidateVertices, SPM initialization); returns its
+  /// PlanQuery index. The resulting entry has candidate_op ==
+  /// reference_op and no top-k pipeline.
+  std::size_t AddSet(const ResolvedSet& set);
+
+  /// Finalizes feature lowering, reachability, and consumer counts.
+  PhysicalPlan Take();
+
+ private:
+  struct PathRequest {
+    std::size_t query = 0;
+    const MetaPath* path = nullptr;
+  };
+  struct FeatureGroup {
+    std::size_t members_op = kNoOp;
+    TypeId subject_type = kInvalidTypeId;
+    std::vector<PathRequest> requests;
+  };
+  struct PendingQuery {
+    const QueryPlan* plan = nullptr;
+    std::size_t query_index = 0;
+    std::size_t group = 0;          // index into groups_
+    std::size_t first_request = 0;  // offset of this query's features
+  };
+
+  std::size_t Intern(std::string signature, PhysicalOp op,
+                     std::size_t owner);
+  std::size_t LowerSet(const ResolvedSet& set, std::size_t owner);
+  std::size_t LowerPrimary(const ResolvedPrimary& primary,
+                           TypeId element_type, std::size_t owner);
+  /// Lowers a batch of meta-path materializations over one member list,
+  /// sharing exact duplicates and common prefixes (see PlannerOptions
+  /// for the index alignment rule). Returns one final (full-path) op id
+  /// per request, aligned with `requests`.
+  std::vector<std::size_t> LowerPathGroup(
+      std::size_t members_op, TypeId subject_type,
+      const std::vector<PathRequest>& requests);
+  std::size_t GroupFor(std::size_t members_op, TypeId subject_type);
+
+  const Hin& hin_;
+  PlannerOptions options_;
+  PhysicalPlan plan_;
+  std::unordered_map<std::string, std::size_t> registry_;
+  std::vector<FeatureGroup> groups_;
+  std::vector<std::vector<std::size_t>> group_results_;
+  std::vector<PendingQuery> pending_;
+  bool taken_ = false;
+};
+
+}  // namespace netout
+
+#endif  // NETOUT_QUERY_PLANNER_H_

@@ -94,15 +94,23 @@ Result<QueryResult> ProgressiveExecutor::Run(
   }
   std::vector<bool> zero_visibility(num_candidates, true);
   {
+    // Candidate vectors go through the executor's sharded batch
+    // materialization (one shard per worker when num_threads > 1); only
+    // the incremental reference folding below stays per-vertex.
+    std::vector<LocalId> candidate_locals(num_candidates);
+    for (std::size_t i = 0; i < num_candidates; ++i) {
+      candidate_locals[i] = candidate_refs[i].local;
+    }
     Stopwatch materialize_watch;
     for (std::size_t p = 0; p < num_paths; ++p) {
-      cand_vectors[p].resize(num_candidates);
+      NETOUT_ASSIGN_OR_RETURN(
+          cand_vectors[p],
+          executor_.MaterializeVectors(plan.subject_type,
+                                       plan.features[p].path,
+                                       candidate_locals,
+                                       &result.stats.eval));
       cand_visibility[p].resize(num_candidates);
       for (std::size_t i = 0; i < num_candidates; ++i) {
-        NETOUT_ASSIGN_OR_RETURN(
-            cand_vectors[p][i],
-            evaluator_.Evaluate(candidate_refs[i], plan.features[p].path,
-                                &result.stats.eval));
         cand_visibility[p][i] = Visibility(cand_vectors[p][i].View());
         if (cand_visibility[p][i] > 0.0) zero_visibility[i] = false;
       }

@@ -46,6 +46,13 @@ std::string QueryResultToJson(const Hin& hin, const QueryResult& result,
   json.Uint(result.stats.eval.index_hits);
   json.Key("index_misses");
   json.Uint(result.stats.eval.index_misses);
+  // Plan-level reuse counters: vectors this query computed vs. vectors
+  // served from a shared materialization node (common-subpath
+  // elimination, batch plan merging).
+  json.Key("vectors_materialized");
+  json.Uint(result.stats.vectors_materialized);
+  json.Key("vectors_reused");
+  json.Uint(result.stats.vectors_reused);
   // Disjoint wall-clock spans of the pipeline (StageTimings); parse and
   // analyze are zero unless the result came from Engine::Execute.
   json.Key("stages");
@@ -63,6 +70,46 @@ std::string QueryResultToJson(const Hin& hin, const QueryResult& result,
   json.Number(static_cast<double>(stages.topk_nanos) / 1e6);
   json.EndObject();
   json.EndObject();
+
+  // The executed physical plan, one entry per operator (EXPLAIN PLAN as
+  // data); absent when the result did not come from plan execution.
+  if (!result.plan_ops.empty()) {
+    json.Key("plan");
+    json.BeginArray();
+    for (const PlanOpInfo& op : result.plan_ops) {
+      json.BeginObject();
+      json.Key("id");
+      json.Uint(op.id);
+      json.Key("op");
+      json.String(op.label);
+      json.Key("detail");
+      json.String(op.detail);
+      json.Key("inputs");
+      json.BeginArray();
+      for (const std::size_t input : op.inputs) json.Uint(input);
+      json.EndArray();
+      if (!op.index_mode.empty()) {
+        json.Key("index_mode");
+        json.String(op.index_mode);
+      }
+      json.Key("reuse_count");
+      json.Uint(op.reuse_count);
+      json.Key("executed");
+      json.Bool(op.executed);
+      if (op.executed) {
+        json.Key("wall_ms");
+        json.Number(static_cast<double>(op.wall_nanos) / 1e6);
+        json.Key("rows");
+        json.Uint(op.rows);
+        json.Key("vectors_materialized");
+        json.Uint(op.vectors_materialized);
+        json.Key("vectors_reused");
+        json.Uint(op.vectors_reused);
+      }
+      json.EndObject();
+    }
+    json.EndArray();
+  }
 
   json.EndObject();
   return std::move(json).Take();

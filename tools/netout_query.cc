@@ -4,6 +4,8 @@
 //   netout_query GRAPH.hin --file=queries.txt [--pm=graph.pmidx]
 //                [--spm=graph.spmidx] [--cache[=MB]] [--threads=4]
 //   netout_query GRAPH.hin --query='...' --explain=VERTEX
+//   netout_query GRAPH.hin --query='...' --explain-plan
+//   netout_query GRAPH.hin --file=queries.txt --merge
 //   netout_query GRAPH.hin --query='...' --progressive [--batches=10]
 //   netout_query GRAPH.hin --query='...' --json
 //
@@ -14,8 +16,13 @@
 // (default 64 MB), optionally wrapping --pm/--spm as a second tier.
 // The cache is sharded and concurrency-safe, so it combines freely
 // with --threads in both modes. --explain prints why the named
-// candidate scores the way it does; --progressive streams approximate
-// top-k snapshots with confidence while executing.
+// candidate scores the way it does; --explain-plan prints the physical
+// operator tree (after running the query, annotated with per-operator
+// wall clock, row counts, index mode and reuse); --merge lowers the
+// whole --file workload into one shared physical plan so duplicate
+// sets, conditions and feature prefixes are computed once;
+// --progressive streams approximate top-k snapshots with confidence
+// while executing.
 
 #include <cstdio>
 #include <sstream>
@@ -29,6 +36,7 @@
 #include "query/batch.h"
 #include "query/engine.h"
 #include "query/parser.h"
+#include "query/physical_plan.h"
 #include "query/progressive.h"
 #include "query/result_json.h"
 #include "tools/tool_util.h"
@@ -63,8 +71,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: netout_query GRAPH.hin --query='...' | "
                  "--file=FILE [--pm=IDX | --spm=IDX] [--cache[=MB]] "
-                 "[--threads=N] "
-                 "[--explain=VERTEX] [--progressive [--batches=N]]\n");
+                 "[--threads=N] [--merge] [--explain=VERTEX] "
+                 "[--explain-plan] [--progressive [--batches=N]]\n");
     return 1;
   }
   const HinPtr hin =
@@ -105,7 +113,9 @@ int main(int argc, char** argv) {
     while (std::getline(stream, line)) {
       if (!StrTrim(line).empty()) queries.push_back(line);
     }
-    BatchRunner runner(hin, engine_options, threads);
+    BatchOptions batch_options;
+    batch_options.merge_plans = args.Has("merge");
+    BatchRunner runner(hin, engine_options, threads, batch_options);
     const auto outcomes = runner.Run(queries);
     for (std::size_t i = 0; i < outcomes.size(); ++i) {
       std::printf("\n-- query %zu: %s\n", i + 1, queries[i].c_str());
@@ -176,6 +186,12 @@ int main(int argc, char** argv) {
   }
 
   const QueryResult result = UnwrapOrDie(engine.Execute(query), "execute");
+  if (args.Has("explain-plan")) {
+    std::printf("%s",
+                RenderPlan(result.plan_ops, /*include_runtime=*/true)
+                    .c_str());
+    return 0;
+  }
   if (args.Has("json")) {
     std::printf("%s\n", QueryResultToJson(*hin, result, true).c_str());
   } else {
