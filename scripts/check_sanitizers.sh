@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
 # Sanitizer gate (generalizes the old check_tsan.sh):
-#   1. ThreadSanitizer build  -> `concurrency`+`cache`+`planner`-labelled
-#      tests (thread pool / task group / batch runner / intra-query
-#      parallelism / sharded-cache stress / merged-plan DAG scheduling).
-#   2. AddressSanitizer build -> `cache`-labelled tests (the CachedIndex
-#      pinned-lookup lifetime contract: an evicted entry must never free
-#      memory a reader still holds).
+#   1. ThreadSanitizer build  -> `concurrency`+`cache`+`planner`+
+#      `robustness`-labelled tests (thread pool / task group / batch
+#      runner / intra-query parallelism / sharded-cache stress /
+#      merged-plan DAG scheduling / stop tokens tripped and polled
+#      across worker threads).
+#   2. AddressSanitizer build -> `cache`+`robustness`-labelled tests
+#      (the CachedIndex pinned-lookup lifetime contract plus degraded
+#      partial results, which must never hand out freed or
+#      half-initialized slots).
 #   3. UndefinedBehaviorSanitizer build -> the full test suite
 #      (halt-on-UB: the build uses -fno-sanitize-recover so any signed
 #      overflow / bad shift / misaligned access fails its test).
@@ -32,11 +35,12 @@ build() {
 build "${TSAN_BUILD_DIR}" thread
 # halt_on_error so a data race fails the test run instead of scrolling by.
 TSAN_OPTIONS="halt_on_error=1" \
-  ctest --test-dir "${TSAN_BUILD_DIR}" -L 'concurrency|cache|planner' \
+  ctest --test-dir "${TSAN_BUILD_DIR}" \
+  -L 'concurrency|cache|planner|robustness' \
   --output-on-failure -j "${JOBS}"
 
 build "${ASAN_BUILD_DIR}" address
-ctest --test-dir "${ASAN_BUILD_DIR}" -L cache \
+ctest --test-dir "${ASAN_BUILD_DIR}" -L 'cache|robustness' \
   --output-on-failure -j "${JOBS}"
 
 build "${UBSAN_BUILD_DIR}" undefined

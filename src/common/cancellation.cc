@@ -1,0 +1,117 @@
+#include "common/cancellation.h"
+
+#include <chrono>
+
+namespace netout {
+namespace {
+
+std::int64_t SteadyNowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+const char* StopReasonToString(StopReason reason) {
+  switch (reason) {
+    case StopReason::kNone:
+      return "none";
+    case StopReason::kDeadline:
+      return "deadline";
+    case StopReason::kCancelled:
+      return "cancelled";
+    case StopReason::kBudget:
+      return "budget";
+    case StopReason::kCallback:
+      return "callback";
+  }
+  return "unknown";
+}
+
+bool IsStopStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kCancelled:
+    case StatusCode::kResourceExhausted:
+      return true;
+    default:
+      return false;
+  }
+}
+
+StopReason StopReasonFromStatus(StatusCode code) {
+  switch (code) {
+    case StatusCode::kDeadlineExceeded:
+      return StopReason::kDeadline;
+    case StatusCode::kCancelled:
+      return StopReason::kCancelled;
+    case StatusCode::kResourceExhausted:
+      return StopReason::kBudget;
+    default:
+      return StopReason::kNone;
+  }
+}
+
+CancellationToken::CancellationToken(std::int64_t timeout_millis,
+                                     std::size_t budget_bytes,
+                                     const CancellationToken* external)
+    : deadline_nanos_(timeout_millis < 0
+                          ? -1
+                          : SteadyNowNanos() + timeout_millis * 1'000'000),
+      budget_bytes_(budget_bytes),
+      external_(external) {}
+
+bool CancellationToken::TripIfFirst(StopReason reason) const {
+  StopReason expected = StopReason::kNone;
+  return reason_.compare_exchange_strong(expected, reason,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire);
+}
+
+void CancellationToken::ChargeBytes(std::size_t bytes) const {
+  const std::size_t total =
+      charged_bytes_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  if (budget_bytes_ > 0 && total > budget_bytes_) {
+    TripIfFirst(StopReason::kBudget);
+  }
+}
+
+bool CancellationToken::ShouldStop() const {
+  if (reason_.load(std::memory_order_relaxed) != StopReason::kNone) {
+    return true;
+  }
+  if (external_ != nullptr && external_->ShouldStop()) {
+    // Adopt the chained reason so diagnostics stay precise; a racing
+    // external trip that has no reason yet degrades to kCancelled.
+    const StopReason external_reason = external_->stop_reason();
+    TripIfFirst(external_reason != StopReason::kNone
+                    ? external_reason
+                    : StopReason::kCancelled);
+    return true;
+  }
+  if (deadline_nanos_ >= 0 && SteadyNowNanos() >= deadline_nanos_) {
+    TripIfFirst(StopReason::kDeadline);
+    return true;
+  }
+  return false;
+}
+
+Status CancellationToken::ToStatus() const {
+  switch (stop_reason()) {
+    case StopReason::kNone:
+      return Status::OK();
+    case StopReason::kDeadline:
+      return Status::DeadlineExceeded("query deadline exceeded");
+    case StopReason::kCancelled:
+      return Status::Cancelled("query cancelled");
+    case StopReason::kBudget:
+      return Status::ResourceExhausted(
+          "query memory budget exhausted by materialization");
+    case StopReason::kCallback:
+      return Status::Cancelled("stopped by progressive callback");
+  }
+  return Status::Internal("unknown stop reason");
+}
+
+}  // namespace netout

@@ -1,0 +1,121 @@
+#ifndef NETOUT_COMMON_CANCELLATION_H_
+#define NETOUT_COMMON_CANCELLATION_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace netout {
+
+/// Why a cooperative execution stopped before finishing.
+enum class StopReason : std::uint8_t {
+  kNone = 0,       // still running / ran to completion
+  kDeadline = 1,   // the wall-clock deadline passed
+  kCancelled = 2,  // RequestCancel() (directly or via a chained token)
+  kBudget = 3,     // the materialization byte budget was exhausted
+  kCallback = 4,   // a progressive callback declined to continue
+};
+
+/// Canonical lower-case name ("none", "deadline", ...). Never null.
+const char* StopReasonToString(StopReason reason);
+
+/// What the engine does when a limit trips mid-query: surface the stop
+/// as an error status, or assemble a best-effort partial result marked
+/// QueryResult::degraded.
+enum class StopPolicy : std::uint8_t {
+  kError = 0,
+  kPartial = 1,
+};
+
+/// True for the three status codes a tripped CancellationToken produces
+/// (kDeadlineExceeded / kCancelled / kResourceExhausted) — the statuses
+/// eligible for StopPolicy::kPartial degradation, as opposed to real
+/// execution errors.
+bool IsStopStatus(const Status& status);
+
+/// Maps a stop status code back to the StopReason that produced it
+/// (kNone for non-stop codes). Used where only the Status survived.
+StopReason StopReasonFromStatus(StatusCode code);
+
+/// Cooperative stop signal for one query execution: an optional
+/// wall-clock deadline, an optional materialization byte budget, an
+/// external cancel chain, and explicit cancellation. The first trigger
+/// wins and is sticky — stop_reason() never changes once set.
+///
+/// The hot-path check (ShouldStop) is one relaxed atomic load when
+/// nothing tripped and no deadline is armed; the clock is read only when
+/// a deadline exists. Execution code polls at chunk boundaries (per
+/// operator, per materialized vector, per traversal hop), never per
+/// edge, so the overhead is unmeasurable and stop latency is bounded by
+/// one chunk of work.
+///
+/// Thread-safe: any thread may poll, charge, or cancel concurrently.
+/// Not copyable or movable (workers hold stable pointers to it).
+class CancellationToken {
+ public:
+  /// A token with no limits: stops only via RequestCancel().
+  CancellationToken() = default;
+
+  /// `timeout_millis` < 0 disables the deadline (armed from *now*);
+  /// `budget_bytes` == 0 disables the byte budget. `external` (borrowed,
+  /// may be null, must outlive this token) chains a caller-owned cancel
+  /// handle: when it stops, this token adopts its reason.
+  CancellationToken(std::int64_t timeout_millis, std::size_t budget_bytes,
+                    const CancellationToken* external = nullptr);
+
+  CancellationToken(const CancellationToken&) = delete;
+  CancellationToken& operator=(const CancellationToken&) = delete;
+
+  /// Requests cooperative cancellation (kCancelled, unless something
+  /// else tripped first). Safe from any thread, including signal-free
+  /// UI/watchdog threads.
+  void RequestCancel() const { TripIfFirst(StopReason::kCancelled); }
+
+  /// Records `bytes` of materialized data against the budget; trips
+  /// kBudget when the cumulative total exceeds it. No-op without a
+  /// budget (the counter still accumulates for charged_bytes()).
+  void ChargeBytes(std::size_t bytes) const;
+
+  /// True once any trigger fired. This is the poll: relaxed load first,
+  /// then the external chain, then the deadline clock (only if armed).
+  bool ShouldStop() const;
+
+  /// The first trigger that fired, kNone while running.
+  StopReason stop_reason() const {
+    return reason_.load(std::memory_order_acquire);
+  }
+
+  /// The stop as a Status: kDeadlineExceeded / kCancelled /
+  /// kResourceExhausted (callback stops map to kCancelled); OK when
+  /// nothing tripped.
+  Status ToStatus() const;
+
+  /// True when a deadline or budget is armed (an external chain alone
+  /// does not count — the caller knows it passed one).
+  bool has_limits() const {
+    return deadline_nanos_ >= 0 || budget_bytes_ > 0;
+  }
+
+  /// Cumulative bytes charged so far (diagnostic).
+  std::size_t charged_bytes() const {
+    return charged_bytes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// CAS-installs `reason` if nothing tripped yet; returns true if this
+  /// call won. Stickiness is what makes stop_reason() stable under
+  /// concurrent triggers.
+  bool TripIfFirst(StopReason reason) const;
+
+  mutable std::atomic<StopReason> reason_{StopReason::kNone};
+  mutable std::atomic<std::size_t> charged_bytes_{0};
+  std::int64_t deadline_nanos_ = -1;  // steady-clock ns; -1 = no deadline
+  std::size_t budget_bytes_ = 0;      // 0 = no budget
+  const CancellationToken* external_ = nullptr;
+};
+
+}  // namespace netout
+
+#endif  // NETOUT_COMMON_CANCELLATION_H_

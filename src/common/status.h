@@ -23,6 +23,9 @@ enum class StatusCode : std::uint8_t {
   kCorruption = 8,        // Stored data failed integrity validation.
   kUnimplemented = 9,     // The requested feature is not implemented.
   kInternal = 10,         // Invariant violation inside the library.
+  kDeadlineExceeded = 11, // The operation's wall-clock deadline passed.
+  kCancelled = 12,        // The operation was cancelled cooperatively.
+  kResourceExhausted = 13,// A per-operation resource budget ran out.
 };
 
 /// Returns the canonical lower-case name of a status code ("ok",
@@ -91,6 +94,15 @@ class [[nodiscard]] Status {
   }
   [[nodiscard]] static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  [[nodiscard]] static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  [[nodiscard]] static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  [[nodiscard]] static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   [[nodiscard]] bool ok() const { return rep_ == nullptr; }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/cancellation.h"
 #include "common/logging.h"
 
 namespace netout {
@@ -115,7 +116,8 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
-TaskGroup::TaskGroup(ThreadPool* pool) : pool_(pool) {
+TaskGroup::TaskGroup(ThreadPool* pool, const CancellationToken* cancel)
+    : pool_(pool), cancel_(cancel) {
   NETOUT_CHECK(pool_ != nullptr);
 }
 
@@ -128,10 +130,15 @@ void TaskGroup::Submit(std::function<void()> task) {
   }
   pool_->SubmitOwned(this, [this, task = std::move(task)]() mutable {
     std::exception_ptr thrown;
-    try {
-      task();
-    } catch (...) {
-      thrown = std::current_exception();
+    // A cancelled group's queued tasks are dequeued as no-ops: the
+    // completion accounting below still runs (so Wait() returns), but
+    // the work is skipped. Callers observe the skip via the token.
+    if (cancel_ == nullptr || !cancel_->ShouldStop()) {
+      try {
+        task();
+      } catch (...) {
+        thrown = std::current_exception();
+      }
     }
     std::unique_lock<std::mutex> lock(mutex_);
     if (thrown != nullptr && first_exception_ == nullptr) {
@@ -173,16 +180,20 @@ void TaskGroup::Wait() {
 }
 
 void ParallelFor(ThreadPool* pool, std::size_t count,
-                 const std::function<void(std::size_t)>& fn) {
+                 const std::function<void(std::size_t)>& fn,
+                 const CancellationToken* cancel) {
   if (count == 0) return;
   // Chunk the index space so tiny tasks do not thrash the queue lock.
   const std::size_t chunks = std::min(count, pool->num_threads() * 4);
   const std::size_t chunk_size = (count + chunks - 1) / chunks;
-  TaskGroup group(pool);
+  TaskGroup group(pool, cancel);
   for (std::size_t begin = 0; begin < count; begin += chunk_size) {
     const std::size_t end = std::min(count, begin + chunk_size);
-    group.Submit([begin, end, &fn] {
-      for (std::size_t i = begin; i < end; ++i) fn(i);
+    group.Submit([begin, end, &fn, cancel] {
+      for (std::size_t i = begin; i < end; ++i) {
+        if (cancel != nullptr && cancel->ShouldStop()) return;
+        fn(i);
+      }
     });
   }
   group.Wait();

@@ -12,6 +12,8 @@
 
 namespace netout {
 
+class CancellationToken;
+
 /// A minimal fixed-size thread pool shared by the batch query driver
 /// (whole-query parallelism) and the executor's intra-query fan-out
 /// (ExecOptions::num_threads). The immutable Hin makes query execution
@@ -96,8 +98,15 @@ class ThreadPool {
 /// group; unrelated threads must not Submit() concurrently with Wait().
 class TaskGroup {
  public:
-  /// `pool` is borrowed and must outlive the group.
-  explicit TaskGroup(ThreadPool* pool);
+  /// `pool` is borrowed and must outlive the group. `cancel` (optional,
+  /// borrowed) makes the group cooperative: once the token reports
+  /// ShouldStop(), tasks of this group that have not started yet are
+  /// skipped (dequeued as no-ops, so Wait() still returns promptly).
+  /// Already-running tasks finish; callers that need partial-output
+  /// correctness must consult the token after Wait() — a skipped task
+  /// left its output slot untouched.
+  explicit TaskGroup(ThreadPool* pool,
+                     const CancellationToken* cancel = nullptr);
 
   /// Blocks until every submitted task finished (never throws).
   ~TaskGroup();
@@ -120,6 +129,7 @@ class TaskGroup {
   void WaitAllFinished();
 
   ThreadPool* pool_;
+  const CancellationToken* cancel_;
   std::mutex mutex_;
   std::condition_variable done_;
   std::size_t pending_ = 0;
@@ -130,8 +140,14 @@ class TaskGroup {
 /// completion of exactly these calls (concurrent ParallelFor invocations
 /// on one pool do not interfere). The first exception thrown by `fn` is
 /// rethrown here. Safe to call from inside a pool task.
+///
+/// `cancel` (optional, borrowed) stops cooperatively: queued chunks of a
+/// stopped token are skipped and running chunks stop between iterations,
+/// so some fn(i) calls never happen. The caller must check the token
+/// after returning before trusting the outputs.
 void ParallelFor(ThreadPool* pool, std::size_t count,
-                 const std::function<void(std::size_t)>& fn);
+                 const std::function<void(std::size_t)>& fn,
+                 const CancellationToken* cancel = nullptr);
 
 }  // namespace netout
 

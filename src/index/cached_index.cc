@@ -63,7 +63,10 @@ void CachedIndex::Remember(const TwoStepKey& key, LocalId row,
   const CacheKey cache_key{key, row};
   Shard& shard = ShardFor(cache_key);
   const std::size_t bytes = vector.MemoryBytes() + sizeof(Entry);
-  if (bytes > shard.budget) return;  // never admissible in this shard
+  if (bytes > shard.budget) {  // never admissible in this shard
+    rejected_too_large_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     if (shard.entries.count(cache_key) > 0) return;  // already cached
@@ -108,6 +111,8 @@ CachedIndex::Stats CachedIndex::stats() const {
   out.misses = misses_.load(std::memory_order_relaxed);
   out.insertions = insertions_.load(std::memory_order_relaxed);
   out.evictions = evictions_.load(std::memory_order_relaxed);
+  out.rejected_too_large =
+      rejected_too_large_.load(std::memory_order_relaxed);
   return out;
 }
 

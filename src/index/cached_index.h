@@ -60,6 +60,11 @@ class CachedIndex : public MetaPathIndex {
     std::uint64_t misses = 0;      // neither base nor cache had the row
     std::uint64_t insertions = 0;  // rows remembered
     std::uint64_t evictions = 0;   // rows dropped for space
+    /// Remember() calls refused because the row alone exceeds one
+    /// shard's byte budget. A persistently high count means the
+    /// capacity/num_shards ratio is too small for the workload's hub
+    /// vectors — they will miss forever, silently, without this signal.
+    std::uint64_t rejected_too_large = 0;
   };
 
   /// `base` may be null (pure cache); it is borrowed.
@@ -151,6 +156,7 @@ class CachedIndex : public MetaPathIndex {
   mutable std::atomic<std::uint64_t> misses_{0};
   mutable std::atomic<std::uint64_t> insertions_{0};
   mutable std::atomic<std::uint64_t> evictions_{0};
+  mutable std::atomic<std::uint64_t> rejected_too_large_{0};
 };
 
 }  // namespace netout

@@ -5,6 +5,7 @@
 #include <numeric>
 #include <unordered_map>
 
+#include "common/cancellation.h"
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
@@ -93,25 +94,35 @@ namespace {
 /// Runs fn(i) for every candidate index, fanning across `pool` when one
 /// is attached. Each call writes only its own output slot and reads only
 /// shared immutable inputs, so the parallel and serial paths produce
-/// bitwise-identical scores.
-void ForEachCandidate(ThreadPool* pool, std::size_t count,
+/// bitwise-identical scores. `cancel` stops the loop cooperatively (a
+/// tripped token leaves later slots unwritten — the caller must turn the
+/// stop into an error instead of returning the partial scores).
+void ForEachCandidate(ThreadPool* pool, const CancellationToken* cancel,
+                      std::size_t count,
                       const std::function<void(std::size_t)>& fn) {
   if (pool == nullptr || count < 2) {
-    for (std::size_t i = 0; i < count; ++i) fn(i);
+    constexpr std::size_t kPollStride = 64;
+    for (std::size_t i = 0; i < count; ++i) {
+      if (cancel != nullptr && i % kPollStride == 0 && cancel->ShouldStop()) {
+        return;
+      }
+      fn(i);
+    }
     return;
   }
-  ParallelFor(pool, count, fn);
+  ParallelFor(pool, count, fn, cancel);
 }
 
 std::vector<double> NetOutFactored(std::span<const SparseVecView> candidates,
                                    std::span<const SparseVecView> references,
-                                   ThreadPool* pool) {
+                                   ThreadPool* pool,
+                                   const CancellationToken* cancel) {
   // Equation (1): Ω(vi) = (φ(vi) · Σ_j φ(vj)) / ‖φ(vi)‖². The reference
   // sum is computed once and shared read-only across workers.
   const SparseVector reference_sum = SumVectors(references);
   const SparseVecView sum_view = reference_sum.View();
   std::vector<double> scores(candidates.size(), 0.0);
-  ForEachCandidate(pool, candidates.size(), [&](std::size_t i) {
+  ForEachCandidate(pool, cancel, candidates.size(), [&](std::size_t i) {
     const SparseVecView& cand = candidates[i];
     const double visibility = Visibility(cand);
     if (visibility != 0.0) {
@@ -123,9 +134,10 @@ std::vector<double> NetOutFactored(std::span<const SparseVecView> candidates,
 
 std::vector<double> NetOutNaive(std::span<const SparseVecView> candidates,
                                 std::span<const SparseVecView> references,
-                                ThreadPool* pool) {
+                                ThreadPool* pool,
+                                const CancellationToken* cancel) {
   std::vector<double> scores(candidates.size(), 0.0);
-  ForEachCandidate(pool, candidates.size(), [&](std::size_t i) {
+  ForEachCandidate(pool, cancel, candidates.size(), [&](std::size_t i) {
     double total = 0.0;
     for (const SparseVecView& ref : references) {
       total += NormalizedConnectivity(candidates[i], ref);
@@ -137,9 +149,10 @@ std::vector<double> NetOutNaive(std::span<const SparseVecView> candidates,
 
 std::vector<double> PathSimSums(std::span<const SparseVecView> candidates,
                                 std::span<const SparseVecView> references,
-                                ThreadPool* pool) {
+                                ThreadPool* pool,
+                                const CancellationToken* cancel) {
   std::vector<double> scores(candidates.size(), 0.0);
-  ForEachCandidate(pool, candidates.size(), [&](std::size_t i) {
+  ForEachCandidate(pool, cancel, candidates.size(), [&](std::size_t i) {
     double total = 0.0;
     for (const SparseVecView& ref : references) {
       total += PathSim(candidates[i], ref);
@@ -151,9 +164,10 @@ std::vector<double> PathSimSums(std::span<const SparseVecView> candidates,
 
 std::vector<double> CosSimSums(std::span<const SparseVecView> candidates,
                                std::span<const SparseVecView> references,
-                               ThreadPool* pool) {
+                               ThreadPool* pool,
+                               const CancellationToken* cancel) {
   std::vector<double> scores(candidates.size(), 0.0);
-  ForEachCandidate(pool, candidates.size(), [&](std::size_t i) {
+  ForEachCandidate(pool, cancel, candidates.size(), [&](std::size_t i) {
     double total = 0.0;
     for (const SparseVecView& ref : references) {
       total += CosineSimilarity(candidates[i], ref);
@@ -172,35 +186,49 @@ Result<std::vector<double>> ComputeOutlierScores(
     return Status::InvalidArgument(
         "outlier scoring requires a non-empty reference set");
   }
-  switch (options.measure) {
-    case OutlierMeasure::kNetOut:
-      return options.use_factored
-                 ? NetOutFactored(candidates, references, options.pool)
-                 : NetOutNaive(candidates, references, options.pool);
-    case OutlierMeasure::kPathSim:
-      return PathSimSums(candidates, references, options.pool);
-    case OutlierMeasure::kCosSim:
-      return CosSimSums(candidates, references, options.pool);
-    case OutlierMeasure::kLof:
-      return LofScores(candidates, references, options.lof_k);
-    case OutlierMeasure::kCustom: {
-      if (!options.custom_similarity) {
-        return Status::InvalidArgument(
-            "kCustom requires ScoreOptions::custom_similarity");
-      }
-      std::vector<double> scores;
-      scores.reserve(candidates.size());
-      for (const SparseVecView& cand : candidates) {
-        double total = 0.0;
-        for (const SparseVecView& ref : references) {
-          total += options.custom_similarity(cand, ref);
+  Result<std::vector<double>> scores =
+      [&]() -> Result<std::vector<double>> {
+    switch (options.measure) {
+      case OutlierMeasure::kNetOut:
+        return options.use_factored
+                   ? NetOutFactored(candidates, references, options.pool,
+                                    options.cancel)
+                   : NetOutNaive(candidates, references, options.pool,
+                                 options.cancel);
+      case OutlierMeasure::kPathSim:
+        return PathSimSums(candidates, references, options.pool,
+                           options.cancel);
+      case OutlierMeasure::kCosSim:
+        return CosSimSums(candidates, references, options.pool,
+                          options.cancel);
+      case OutlierMeasure::kLof:
+        return LofScores(candidates, references, options.lof_k);
+      case OutlierMeasure::kCustom: {
+        if (!options.custom_similarity) {
+          return Status::InvalidArgument(
+              "kCustom requires ScoreOptions::custom_similarity");
         }
-        scores.push_back(total);
+        std::vector<double> totals;
+        totals.reserve(candidates.size());
+        for (const SparseVecView& cand : candidates) {
+          double total = 0.0;
+          for (const SparseVecView& ref : references) {
+            total += options.custom_similarity(cand, ref);
+          }
+          totals.push_back(total);
+        }
+        return totals;
       }
-      return scores;
     }
+    return Status::Internal("unhandled measure");
+  }();
+  // A tripped token leaves unvisited slots at 0.0 — never hand those out
+  // as real scores; surface the stop instead.
+  if (scores.ok() && options.cancel != nullptr &&
+      options.cancel->ShouldStop()) {
+    return options.cancel->ToStatus();
   }
-  return Status::Internal("unhandled measure");
+  return scores;
 }
 
 Result<std::vector<double>> ComputeOutlierScores(
@@ -216,7 +244,8 @@ Result<std::vector<double>> ComputeOutlierScores(
 Result<std::vector<double>> JointNetOutScores(
     const std::vector<std::vector<SparseVecView>>& per_path_candidates,
     const std::vector<std::vector<SparseVecView>>& per_path_references,
-    const std::vector<double>& weights, ThreadPool* pool) {
+    const std::vector<double>& weights, ThreadPool* pool,
+    const CancellationToken* cancel) {
   if (per_path_candidates.empty() ||
       per_path_candidates.size() != per_path_references.size() ||
       per_path_candidates.size() != weights.size()) {
@@ -256,7 +285,7 @@ Result<std::vector<double>> JointNetOutScores(
     reference_sums.push_back(SumVectors(refs));
   }
   std::vector<double> scores(num_candidates, 0.0);
-  ForEachCandidate(pool, num_candidates, [&](std::size_t i) {
+  ForEachCandidate(pool, cancel, num_candidates, [&](std::size_t i) {
     double numerator = 0.0;
     double joint_visibility = 0.0;
     for (std::size_t p = 0; p < per_path_candidates.size(); ++p) {
@@ -267,6 +296,9 @@ Result<std::vector<double>> JointNetOutScores(
     scores[i] =
         joint_visibility == 0.0 ? 0.0 : numerator / joint_visibility;
   });
+  if (cancel != nullptr && cancel->ShouldStop()) {
+    return cancel->ToStatus();
+  }
   return scores;
 }
 

@@ -12,6 +12,7 @@
 
 namespace netout {
 
+class CancellationToken;
 class ThreadPool;
 
 /// Which outlierness measure to apply (Section 5.2 compares them; the
@@ -66,6 +67,11 @@ struct ScoreOptions {
   /// LOF and kCustom stay serial (LOF mutates shared distance state;
   /// a user similarity fn is not guaranteed thread-safe). Null = serial.
   ThreadPool* pool = nullptr;
+
+  /// Optional cooperative stop token (borrowed). The per-candidate loops
+  /// poll it at chunk boundaries; a tripped token makes scoring fail
+  /// with the token's stop status instead of returning partial scores.
+  const CancellationToken* cancel = nullptr;
 };
 
 /// Outlier scores of every candidate against the reference set, given
@@ -124,7 +130,8 @@ enum class CombineMode : std::uint8_t {
 Result<std::vector<double>> JointNetOutScores(
     const std::vector<std::vector<SparseVecView>>& per_path_candidates,
     const std::vector<std::vector<SparseVecView>>& per_path_references,
-    const std::vector<double>& weights, ThreadPool* pool = nullptr);
+    const std::vector<double>& weights, ThreadPool* pool = nullptr,
+    const CancellationToken* cancel = nullptr);
 
 /// Combines per-path score lists (outer index: meta-path, inner index:
 /// candidate) with the given weights. Weights are normalized to sum to

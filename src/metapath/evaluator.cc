@@ -54,11 +54,18 @@ Result<SparseVector> NeighborVectorEvaluator::EvaluateFrontier(
   return EvaluateSteps(std::move(frontier), path.steps(), stats);
 }
 
-SparseVector NeighborVectorEvaluator::EvaluateSteps(
+Result<SparseVector> NeighborVectorEvaluator::EvaluateSteps(
     SparseVector frontier, std::span<const EdgeStep> steps,
     EvalStats* stats) {
+  // How many frontier entries a wide chunk processes between stop-token
+  // polls: coarse enough that the relaxed atomic load is free, fine
+  // enough that a hub-anchored frontier cannot run away for seconds.
+  constexpr std::size_t kPollStride = 256;
   std::size_t i = 0;
   for (; i + 1 < steps.size(); i += 2) {
+    if (stop_token_ != nullptr && stop_token_->ShouldStop()) {
+      return stop_token_->ToStatus();
+    }
     const TwoStepKey key{steps[i], steps[i + 1]};
     const TypeId target = hin_->schema().StepTarget(steps[i + 1]);
 
@@ -92,6 +99,10 @@ SparseVector NeighborVectorEvaluator::EvaluateSteps(
     const auto indices = frontier.indices();
     const auto values = frontier.values();
     for (std::size_t k = 0; k < indices.size(); ++k) {
+      if (stop_token_ != nullptr && k % kPollStride == 0 &&
+          stop_token_->ShouldStop()) {
+        return stop_token_->ToStatus();
+      }
       const LocalId row = indices[k];
       const double weight = values[k];
       const std::optional<IndexHit> hit = index_->Lookup(key, row);
@@ -121,6 +132,9 @@ SparseVector NeighborVectorEvaluator::EvaluateSteps(
   }
 
   if (i < steps.size()) {
+    if (stop_token_ != nullptr && stop_token_->ShouldStop()) {
+      return stop_token_->ToStatus();
+    }
     // Odd-length tail: a single raw hop (Section 6.2).
     ScopedTimer timer(stats ? &stats->not_indexed : nullptr);
     frontier = counter_.PropagateStep(frontier, steps[i]);

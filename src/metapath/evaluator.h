@@ -73,6 +73,16 @@ class NeighborVectorEvaluator {
   const Hin& hin() const { return *hin_; }
   bool has_index() const { return index_ != nullptr; }
 
+  /// Installs (or clears, with nullptr) a cooperative stop token, also
+  /// forwarded to the owned PathCounter: evaluation polls it at chunk
+  /// boundaries (per length-2 chunk, per hop, and every few hundred
+  /// frontier entries inside a wide chunk) and fails with the token's
+  /// stop status. `token` is borrowed and must outlive its installation.
+  void SetStopToken(const CancellationToken* token) {
+    stop_token_ = token;
+    counter_.SetStopToken(token);
+  }
+
  private:
   // Two-hop traversal for one frontier entry on an index miss.
   SparseVector TraverseChunk(LocalId source, const EdgeStep& s1,
@@ -80,13 +90,14 @@ class NeighborVectorEvaluator {
 
   // The length-2 chunk decomposition loop (index attached): pushes the
   // frontier through full chunks via the index and a trailing odd hop
-  // raw.
-  SparseVector EvaluateSteps(SparseVector frontier,
-                             std::span<const EdgeStep> steps,
-                             EvalStats* stats);
+  // raw. Fails with the stop status when the installed token trips.
+  Result<SparseVector> EvaluateSteps(SparseVector frontier,
+                                     std::span<const EdgeStep> steps,
+                                     EvalStats* stats);
 
   HinPtr hin_;
   const MetaPathIndex* index_;
+  const CancellationToken* stop_token_ = nullptr;
   PathCounter counter_;
   DenseAccumulator chunk_acc_;
 };

@@ -52,9 +52,12 @@ SparseVector PathCounter::PropagateStep(const SparseVector& frontier,
   return acc.Harvest();
 }
 
-SparseVector PathCounter::RunHops(SparseVector frontier,
-                                  std::span<const EdgeStep> steps) {
+Result<SparseVector> PathCounter::RunHops(SparseVector frontier,
+                                          std::span<const EdgeStep> steps) {
   for (const EdgeStep& step : steps) {
+    if (stop_token_ != nullptr && stop_token_->ShouldStop()) {
+      return stop_token_->ToStatus();
+    }
     frontier = PropagateStep(frontier, step);
     if (frontier.empty()) break;  // nothing reachable further on
   }

@@ -4,6 +4,7 @@
 #include <span>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/result.h"
 #include "graph/hin.h"
 #include "metapath/metapath.h"
@@ -45,14 +46,22 @@ class PathCounter {
 
   const Hin& hin() const { return *hin_; }
 
+  /// Installs (or clears, with nullptr) a cooperative stop token: the
+  /// multi-hop entry points poll it between hops and fail with the
+  /// token's stop status instead of starting the next propagation.
+  /// PropagateStep itself never polls — one hop is the stop granularity.
+  /// `token` is borrowed and must outlive its installation.
+  void SetStopToken(const CancellationToken* token) { stop_token_ = token; }
+
  private:
   // Runs the hops of `path` starting from a frontier already loaded into
   // acc_[path.source_type() workspace]; leaves the result as a harvested
-  // vector.
-  SparseVector RunHops(SparseVector frontier,
-                       std::span<const EdgeStep> steps);
+  // vector. Polls the stop token once per hop.
+  Result<SparseVector> RunHops(SparseVector frontier,
+                               std::span<const EdgeStep> steps);
 
   HinPtr hin_;
+  const CancellationToken* stop_token_ = nullptr;
   // One reusable dense accumulator per vertex type.
   std::vector<DenseAccumulator> acc_;
 };

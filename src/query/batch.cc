@@ -22,7 +22,7 @@ struct BatchRunner::Impl {
         pool(num_threads) {}
 
   std::vector<BatchOutcome> RunMerged(
-      const std::vector<std::string>& queries);
+      const std::vector<BatchQuery>& queries);
 
   HinPtr hin;
   EngineOptions options;
@@ -43,7 +43,7 @@ std::size_t BatchRunner::num_threads() const {
 }
 
 std::vector<BatchOutcome> BatchRunner::Impl::RunMerged(
-    const std::vector<std::string>& queries) {
+    const std::vector<BatchQuery>& queries) {
   std::vector<BatchOutcome> outcomes(queries.size());
 
   // Parse and analyze every query up front; failures are isolated here
@@ -62,7 +62,7 @@ std::vector<BatchOutcome> BatchRunner::Impl::RunMerged(
     Prepared p;
     p.input_index = i;
     Stopwatch parse_watch;
-    Result<QueryAst> ast = ParseQuery(queries[i]);
+    Result<QueryAst> ast = ParseQuery(queries[i].text);
     p.parse_nanos = parse_watch.ElapsedNanos();
     if (!ast.ok()) {
       outcomes[i].status = ast.status();
@@ -81,6 +81,24 @@ std::vector<BatchOutcome> BatchRunner::Impl::RunMerged(
   }
   if (prepared.empty()) return outcomes;
 
+  // Per-query control tokens (unique_ptr: the token's atomics make it
+  // non-movable), arming the engine-wide limits and chaining the
+  // caller's cancel handle. A query with neither gets a null pointer so
+  // its operators keep the zero-overhead no-token path.
+  std::vector<std::unique_ptr<CancellationToken>> tokens;
+  std::vector<const CancellationToken*> token_ptrs;
+  tokens.reserve(prepared.size());
+  token_ptrs.reserve(prepared.size());
+  for (const Prepared& p : prepared) {
+    const CancellationToken* external = queries[p.input_index].cancel;
+    tokens.push_back(std::make_unique<CancellationToken>(
+        options.exec.timeout_millis, options.exec.memory_budget_bytes,
+        external));
+    token_ptrs.push_back(tokens.back()->has_limits() || external != nullptr
+                             ? tokens.back().get()
+                             : nullptr);
+  }
+
   // One planner over the whole workload: this is where cross-query
   // sharing happens (identical sets, conditions, features and common
   // prefixes collapse to single ops).
@@ -91,6 +109,28 @@ std::vector<BatchOutcome> BatchRunner::Impl::RunMerged(
   }
   const PhysicalPlan plan = planner.Take();
   const std::size_t num_ops = plan.ops.size();
+
+  // Which queries' tokens watch each operator. An op exclusive to one
+  // query (single non-null consumer) runs *under* that token — it is
+  // installed on the executing worker's executor so deadlines trip
+  // mid-operator; a shared op runs token-free so one query's stop can
+  // never corrupt output other queries still need. Separately, any op is
+  // skipped outright once every consuming query has stopped (a null
+  // entry — a query without limits — never stops, keeping its ops live).
+  std::vector<std::vector<const CancellationToken*>> op_tokens(num_ops);
+  for (std::size_t pi = 0; pi < prepared.size(); ++pi) {
+    const PlanQuery& entry = plan.queries[prepared[pi].query_index];
+    const auto watch = [&](std::size_t id) {
+      // One query may list an op in both set_phase_ops and ops; dedup by
+      // the tail (queries are visited one at a time, so a duplicate from
+      // this query is always the last element).
+      if (op_tokens[id].empty() || op_tokens[id].back() != token_ptrs[pi]) {
+        op_tokens[id].push_back(token_ptrs[pi]);
+      }
+    };
+    for (const std::size_t id : entry.set_phase_ops) watch(id);
+    for (const std::size_t id : entry.ops) watch(id);
+  }
 
   // One single-threaded executor per worker (plus one for the waiting
   // thread, which helps drain its own group), checked out per operator.
@@ -134,22 +174,43 @@ std::vector<BatchOutcome> BatchRunner::Impl::RunMerged(
         break;
       }
     }
-    if (input_failure.ok()) {
+    // An op whose every consuming query has stopped is dead weight:
+    // record a stop status instead of executing (skip-propagation then
+    // retires its downstream the same way). A null consumer belongs to a
+    // query without limits and keeps the op live.
+    const CancellationToken* sole_stopper = nullptr;
+    bool all_consumers_stopped = !op_tokens[id].empty();
+    for (const CancellationToken* tok : op_tokens[id]) {
+      if (tok == nullptr || !tok->ShouldStop()) {
+        all_consumers_stopped = false;
+        break;
+      }
+      sole_stopper = tok;
+    }
+    if (!input_failure.ok()) {
+      statuses[id] = std::move(input_failure);
+    } else if (all_consumers_stopped) {
+      statuses[id] = sole_stopper->ToStatus();
+    } else {
       Executor* executor = nullptr;
       {
         std::lock_guard<std::mutex> lock(executor_mutex);
         executor = free_executors.back();
         free_executors.pop_back();
       }
+      // Install the token only on a query-exclusive op; a shared op must
+      // run to completion for the other consumers.
+      const CancellationToken* exclusive =
+          op_tokens[id].size() == 1 ? op_tokens[id][0] : nullptr;
+      if (exclusive != nullptr) executor->SetStopToken(exclusive);
       statuses[id] = executor->ExecuteOp(plan, id,
                                          std::span<OpOutput>(slots),
                                          &runtimes[id]);
+      if (exclusive != nullptr) executor->SetStopToken(nullptr);
       {
         std::lock_guard<std::mutex> lock(executor_mutex);
         free_executors.push_back(executor);
       }
-    } else {
-      statuses[id] = std::move(input_failure);
     }
     for (const std::size_t consumer : consumers[id]) {
       if (indegree[consumer].fetch_sub(1, std::memory_order_acq_rel) ==
@@ -174,7 +235,11 @@ std::vector<BatchOutcome> BatchRunner::Impl::RunMerged(
   // Per-query assembly, mirroring single-query semantics: set-phase
   // errors first, then the empty-candidate early-out, then the
   // empty-reference precondition, then the first feature-pipeline error.
-  for (const Prepared& p : prepared) {
+  // A failure that is this query's own stop status resolves per
+  // StopPolicy: kError reports it, kPartial assembles the completed
+  // operators into a degraded result — exactly like a solo Run().
+  for (std::size_t pi = 0; pi < prepared.size(); ++pi) {
+    const Prepared& p = prepared[pi];
     BatchOutcome& outcome = outcomes[p.input_index];
     const PlanQuery& entry = plan.queries[p.query_index];
     Status failure;
@@ -198,12 +263,27 @@ std::vector<BatchOutcome> BatchRunner::Impl::RunMerged(
         }
       }
     }
-    if (!failure.ok()) {
+    const CancellationToken* tok = token_ptrs[pi];
+    if (failure.ok() && tok != nullptr && tok->ShouldStop()) {
+      // The query stopped after its last owned op completed (e.g. the
+      // deadline fired during someone else's operator): still degraded.
+      failure = tok->ToStatus();
+    }
+    const bool degrade = !failure.ok() && IsStopStatus(failure) &&
+                         options.exec.stop_policy == StopPolicy::kPartial;
+    if (!failure.ok() && !degrade) {
       outcome.status = std::move(failure);
       continue;
     }
     outcome.result = executors[0]->AssembleResult(
         plan, p.query_index, slots, runtimes);
+    if (degrade) {
+      outcome.result.degraded = true;
+      outcome.result.stop_reason =
+          tok != nullptr && tok->stop_reason() != StopReason::kNone
+              ? tok->stop_reason()
+              : StopReasonFromStatus(failure.code());
+    }
     QueryExecStats& stats = outcome.result.stats;
     stats.stages.parse_nanos = p.parse_nanos;
     stats.stages.analyze_nanos = p.analyze_nanos;
@@ -219,6 +299,16 @@ std::vector<BatchOutcome> BatchRunner::Impl::RunMerged(
 
 std::vector<BatchOutcome> BatchRunner::Run(
     const std::vector<std::string>& queries) {
+  std::vector<BatchQuery> batch;
+  batch.reserve(queries.size());
+  for (const std::string& text : queries) {
+    batch.push_back(BatchQuery{text, nullptr});
+  }
+  return Run(batch);
+}
+
+std::vector<BatchOutcome> BatchRunner::Run(
+    const std::vector<BatchQuery>& queries) {
   std::vector<BatchOutcome> outcomes(queries.size());
   if (queries.empty()) return outcomes;
 
@@ -256,7 +346,7 @@ std::vector<BatchOutcome> BatchRunner::Run(
     group.Submit([this, &queries, &outcomes, begin, end] {
       Engine engine(impl_->hin, impl_->options);
       for (std::size_t i = begin; i < end; ++i) {
-        auto result = engine.Execute(queries[i]);
+        auto result = engine.Execute(queries[i].text, queries[i].cancel);
         if (result.ok()) {
           outcomes[i].result = std::move(result).value();
         } else {

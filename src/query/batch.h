@@ -16,6 +16,16 @@ struct BatchOutcome {
   QueryResult result;
 };
 
+/// One query of a batch with an optional per-query cancel handle
+/// (borrowed, may be null; must outlive the Run call). The handle chains
+/// into the query's own control token — which also arms the engine-wide
+/// ExecOptions timeout/budget — so one slow query can be stopped without
+/// touching the rest of the batch.
+struct BatchQuery {
+  std::string text;
+  const CancellationToken* cancel = nullptr;
+};
+
 /// Batch execution knobs.
 struct BatchOptions {
   /// Merge the whole workload into ONE shared physical plan: every query
@@ -58,7 +68,17 @@ class BatchRunner {
   /// reports SupportsConcurrentUse() == false and the runner has more
   /// than one worker, every outcome fails with kFailedPrecondition
   /// instead of racing on the shared index.
+  ///
+  /// Deadlines/budgets/cancellation are per query, in merged mode too:
+  /// each query of the shared DAG carries its own control token,
+  /// installed only around the operators that query exclusively owns.
+  /// Shared operators never observe any token (a stop must not poison
+  /// the queries still running), and an operator is skipped outright
+  /// only once every consuming query has stopped. A stopped query
+  /// resolves like a single-query run: its stop status under
+  /// StopPolicy::kError, or a degraded partial result under kPartial.
   std::vector<BatchOutcome> Run(const std::vector<std::string>& queries);
+  std::vector<BatchOutcome> Run(const std::vector<BatchQuery>& queries);
 
   std::size_t num_threads() const;
 

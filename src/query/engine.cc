@@ -25,6 +25,11 @@ Result<QueryPlan> Engine::Prepare(std::string_view query_text) const {
 }
 
 Result<QueryResult> Engine::Execute(std::string_view query_text) {
+  return Execute(query_text, nullptr);
+}
+
+Result<QueryResult> Engine::Execute(std::string_view query_text,
+                                    const CancellationToken* cancel) {
   Stopwatch parse_watch;
   NETOUT_ASSIGN_OR_RETURN(QueryAst ast, ParseQuery(query_text));
   const std::int64_t parse_nanos = parse_watch.ElapsedNanos();
@@ -32,15 +37,16 @@ Result<QueryResult> Engine::Execute(std::string_view query_text) {
   NETOUT_ASSIGN_OR_RETURN(QueryPlan plan,
                           AnalyzeQuery(*hin_, ast, options_.analyzer));
   const std::int64_t analyze_nanos = analyze_watch.ElapsedNanos();
-  NETOUT_ASSIGN_OR_RETURN(QueryResult result, executor_.Run(plan));
+  NETOUT_ASSIGN_OR_RETURN(QueryResult result, executor_.Run(plan, cancel));
   result.stats.stages.parse_nanos = parse_nanos;
   result.stats.stages.analyze_nanos = analyze_nanos;
   result.stats.total_nanos += parse_nanos + analyze_nanos;
   return result;
 }
 
-Result<QueryResult> Engine::ExecutePlan(const QueryPlan& plan) {
-  return executor_.Run(plan);
+Result<QueryResult> Engine::ExecutePlan(const QueryPlan& plan,
+                                        const CancellationToken* cancel) {
+  return executor_.Run(plan, cancel);
 }
 
 Result<std::vector<VertexRef>> Engine::CandidateVertices(

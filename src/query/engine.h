@@ -35,15 +35,22 @@ class Engine {
  public:
   explicit Engine(HinPtr hin, const EngineOptions& options = {});
 
-  /// Parses, analyzes, and runs `query_text`.
+  /// Parses, analyzes, and runs `query_text`. The overload taking
+  /// `cancel` (borrowed, may be null) lets a caller-held
+  /// CancellationToken stop the query from another thread; it chains
+  /// into the executor's control token alongside the configured
+  /// timeout/budget limits.
   Result<QueryResult> Execute(std::string_view query_text);
+  Result<QueryResult> Execute(std::string_view query_text,
+                              const CancellationToken* cancel);
 
   /// Parse + analyze only; useful for validating queries and for
   /// repeated execution of one plan.
   Result<QueryPlan> Prepare(std::string_view query_text) const;
 
   /// Runs an already-prepared plan.
-  Result<QueryResult> ExecutePlan(const QueryPlan& plan);
+  Result<QueryResult> ExecutePlan(const QueryPlan& plan,
+                                  const CancellationToken* cancel = nullptr);
 
   /// Evaluates just the candidate set of `query_text` — the vertex lists
   /// SPM's initialization-query frequency counting consumes

@@ -128,6 +128,14 @@ Executor::Executor(HinPtr hin, const MetaPathIndex* index,
 
 Executor::~Executor() = default;
 
+void Executor::SetStopToken(const CancellationToken* token) {
+  stop_token_ = token;
+  evaluator_.SetStopToken(token);
+  for (const auto& worker : worker_evaluators_) {
+    worker->SetStopToken(token);
+  }
+}
+
 std::size_t Executor::MaterializeWorkers(std::size_t count) const {
   if (pool_ == nullptr || count < 2) return 1;
   return std::min(worker_evaluators_.size(), count);
@@ -140,9 +148,15 @@ Result<std::vector<SparseVector>> Executor::MaterializeVectors(
   const std::size_t workers = MaterializeWorkers(members.size());
   if (workers <= 1) {
     for (std::size_t i = 0; i < members.size(); ++i) {
+      if (stop_token_ != nullptr && stop_token_->ShouldStop()) {
+        return stop_token_->ToStatus();
+      }
       NETOUT_ASSIGN_OR_RETURN(
           vectors[i], evaluator_.Evaluate(VertexRef{subject_type, members[i]},
                                           path, stats));
+      if (stop_token_ != nullptr) {
+        stop_token_->ChargeBytes(vectors[i].MemoryBytes());
+      }
     }
     return vectors;
   }
@@ -153,7 +167,10 @@ Result<std::vector<SparseVector>> Executor::MaterializeVectors(
   std::vector<EvalStats> shard_stats(workers);
   std::vector<Status> shard_status(workers);
   const std::size_t shard_size = (members.size() + workers - 1) / workers;
-  TaskGroup group(pool_.get());
+  // A tripped token makes the group skip still-queued shards entirely
+  // (their status slots stay OK with unwritten vectors); the token check
+  // after the merge below keeps such holes from escaping as results.
+  TaskGroup group(pool_.get(), stop_token_);
   for (std::size_t w = 0; w < workers; ++w) {
     const std::size_t begin = w * shard_size;
     const std::size_t end = std::min(members.size(), begin + shard_size);
@@ -162,6 +179,10 @@ Result<std::vector<SparseVector>> Executor::MaterializeVectors(
                   &vectors, &shard_stats, &shard_status] {
       NeighborVectorEvaluator& evaluator = *worker_evaluators_[w];
       for (std::size_t i = begin; i < end; ++i) {
+        if (stop_token_ != nullptr && stop_token_->ShouldStop()) {
+          shard_status[w] = stop_token_->ToStatus();
+          return;
+        }
         Result<SparseVector> vec = evaluator.Evaluate(
             VertexRef{subject_type, members[i]}, path, &shard_stats[w]);
         if (!vec.ok()) {
@@ -169,6 +190,9 @@ Result<std::vector<SparseVector>> Executor::MaterializeVectors(
           return;
         }
         vectors[i] = std::move(vec).value();
+        if (stop_token_ != nullptr) {
+          stop_token_->ChargeBytes(vectors[i].MemoryBytes());
+        }
       }
     });
   }
@@ -176,8 +200,15 @@ Result<std::vector<SparseVector>> Executor::MaterializeVectors(
   for (std::size_t w = 0; w < workers; ++w) {
     if (stats != nullptr) stats->MergeFrom(shard_stats[w]);
   }
+  // Real errors win over stop statuses so the surfaced first error stays
+  // thread-count-invariant; only then does the stop itself surface.
   for (std::size_t w = 0; w < workers; ++w) {
-    if (!shard_status[w].ok()) return shard_status[w];
+    if (!shard_status[w].ok() && !IsStopStatus(shard_status[w])) {
+      return shard_status[w];
+    }
+  }
+  if (stop_token_ != nullptr && stop_token_->ShouldStop()) {
+    return stop_token_->ToStatus();
   }
   return vectors;
 }
@@ -189,9 +220,15 @@ Result<std::vector<SparseVector>> Executor::ExtendVectors(
   const std::size_t workers = MaterializeWorkers(parents.size());
   if (workers <= 1) {
     for (std::size_t i = 0; i < parents.size(); ++i) {
+      if (stop_token_ != nullptr && stop_token_->ShouldStop()) {
+        return stop_token_->ToStatus();
+      }
       NETOUT_ASSIGN_OR_RETURN(
           vectors[i],
           evaluator_.EvaluateFrontier(parents[i], suffix, stats));
+      if (stop_token_ != nullptr) {
+        stop_token_->ChargeBytes(vectors[i].MemoryBytes());
+      }
     }
     return vectors;
   }
@@ -199,7 +236,7 @@ Result<std::vector<SparseVector>> Executor::ExtendVectors(
   std::vector<EvalStats> shard_stats(workers);
   std::vector<Status> shard_status(workers);
   const std::size_t shard_size = (parents.size() + workers - 1) / workers;
-  TaskGroup group(pool_.get());
+  TaskGroup group(pool_.get(), stop_token_);
   for (std::size_t w = 0; w < workers; ++w) {
     const std::size_t begin = w * shard_size;
     const std::size_t end = std::min(parents.size(), begin + shard_size);
@@ -208,6 +245,10 @@ Result<std::vector<SparseVector>> Executor::ExtendVectors(
                   &shard_stats, &shard_status] {
       NeighborVectorEvaluator& evaluator = *worker_evaluators_[w];
       for (std::size_t i = begin; i < end; ++i) {
+        if (stop_token_ != nullptr && stop_token_->ShouldStop()) {
+          shard_status[w] = stop_token_->ToStatus();
+          return;
+        }
         Result<SparseVector> vec =
             evaluator.EvaluateFrontier(parents[i], suffix, &shard_stats[w]);
         if (!vec.ok()) {
@@ -215,6 +256,9 @@ Result<std::vector<SparseVector>> Executor::ExtendVectors(
           return;
         }
         vectors[i] = std::move(vec).value();
+        if (stop_token_ != nullptr) {
+          stop_token_->ChargeBytes(vectors[i].MemoryBytes());
+        }
       }
     });
   }
@@ -223,7 +267,12 @@ Result<std::vector<SparseVector>> Executor::ExtendVectors(
     if (stats != nullptr) stats->MergeFrom(shard_stats[w]);
   }
   for (std::size_t w = 0; w < workers; ++w) {
-    if (!shard_status[w].ok()) return shard_status[w];
+    if (!shard_status[w].ok() && !IsStopStatus(shard_status[w])) {
+      return shard_status[w];
+    }
+  }
+  if (stop_token_ != nullptr && stop_token_->ShouldStop()) {
+    return stop_token_->ToStatus();
   }
   return vectors;
 }
@@ -231,6 +280,11 @@ Result<std::vector<SparseVector>> Executor::ExtendVectors(
 Status Executor::ExecuteOp(const PhysicalPlan& plan, std::size_t id,
                            std::span<OpOutput> slots,
                            PlanOpRuntime* runtime) {
+  // Per-operator poll: the coarse boundary every op respects even when
+  // its inner loops have no finer-grained polling of their own.
+  if (stop_token_ != nullptr && stop_token_->ShouldStop()) {
+    return stop_token_->ToStatus();
+  }
   const PhysicalOp& op = plan.ops[id];
   OpOutput& out = slots[id];
   EvalStats* stats = &runtime->eval;
@@ -247,6 +301,9 @@ Status Executor::ExecuteOp(const PhysicalPlan& plan, std::size_t id,
             NETOUT_ASSIGN_OR_RETURN(
                 SparseVector vec,
                 evaluator_.Evaluate(*primary.anchor, primary.hops, stats));
+            if (stop_token_ != nullptr) {
+              stop_token_->ChargeBytes(vec.MemoryBytes());
+            }
             out.members.assign(vec.indices().begin(), vec.indices().end());
           }
         } else {
@@ -332,6 +389,7 @@ Status Executor::ExecuteOp(const PhysicalPlan& plan, std::size_t id,
       score_options.use_factored = options_.use_factored_netout;
       score_options.lof_k = options_.lof_k;
       score_options.pool = pool_.get();
+      score_options.cancel = stop_token_;
       NETOUT_ASSIGN_OR_RETURN(
           out.scores,
           ComputeOutlierScores(std::span<const SparseVecView>(cand_views),
@@ -374,7 +432,8 @@ Status Executor::ExecuteOp(const PhysicalPlan& plan, std::size_t id,
         }
         NETOUT_ASSIGN_OR_RETURN(
             out.scores,
-            JointNetOutScores(cand_views, ref_views, weights, pool_.get()));
+            JointNetOutScores(cand_views, ref_views, weights, pool_.get(),
+                              stop_token_));
       } else {
         std::vector<std::vector<double>> per_path_scores;
         per_path_scores.reserve(op.inputs.size());
@@ -532,8 +591,36 @@ Result<QueryResult> Executor::RunPlanned(const PhysicalPlan& plan,
   std::vector<PlanOpRuntime> runtimes(plan.ops.size());
   const std::span<OpOutput> slot_span(slots);
 
-  for (const std::size_t id : entry.set_phase_ops) {
-    NETOUT_RETURN_IF_ERROR(ExecuteOp(plan, id, slot_span, &runtimes[id]));
+  const auto run_ops = [&](std::span<const std::size_t> ids) -> Status {
+    for (const std::size_t id : ids) {
+      if (slots[id].has_value) continue;  // ran in an earlier phase
+      NETOUT_RETURN_IF_ERROR(ExecuteOp(plan, id, slot_span, &runtimes[id]));
+    }
+    return Status::OK();
+  };
+  // Graceful degradation: a stop status under StopPolicy::kPartial
+  // becomes a best-effort result assembled from the completed operators
+  // (AssembleResult tolerates unexecuted slots), marked degraded with
+  // the trigger that fired.
+  const auto degrade = [&](const Status& stop) -> QueryResult {
+    QueryResult result = AssembleResult(plan, query_index, slots, runtimes);
+    result.degraded = true;
+    result.stop_reason =
+        stop_token_ != nullptr &&
+                stop_token_->stop_reason() != StopReason::kNone
+            ? stop_token_->stop_reason()
+            : StopReasonFromStatus(stop.code());
+    result.stats.total_nanos = total_watch.ElapsedNanos();
+    return result;
+  };
+
+  Status set_status = run_ops(entry.set_phase_ops);
+  if (!set_status.ok()) {
+    if (IsStopStatus(set_status) &&
+        options_.stop_policy == StopPolicy::kPartial) {
+      return degrade(set_status);
+    }
+    return set_status;
   }
   if (slots[entry.candidate_op].members.empty()) {
     // Legacy early-out: nothing to rank, skip the feature pipeline.
@@ -546,9 +633,13 @@ Result<QueryResult> Executor::RunPlanned(const PhysicalPlan& plan,
     return Status::FailedPrecondition("the reference set is empty");
   }
 
-  for (const std::size_t id : entry.ops) {
-    if (slots[id].has_value) continue;  // ran in the set phase
-    NETOUT_RETURN_IF_ERROR(ExecuteOp(plan, id, slot_span, &runtimes[id]));
+  Status feature_status = run_ops(entry.ops);
+  if (!feature_status.ok()) {
+    if (IsStopStatus(feature_status) &&
+        options_.stop_policy == StopPolicy::kPartial) {
+      return degrade(feature_status);
+    }
+    return feature_status;
   }
   QueryResult result = AssembleResult(plan, query_index, slots, runtimes);
   result.stats.total_nanos = total_watch.ElapsedNanos();
@@ -556,6 +647,11 @@ Result<QueryResult> Executor::RunPlanned(const PhysicalPlan& plan,
 }
 
 Result<QueryResult> Executor::Run(const QueryPlan& plan) {
+  return Run(plan, nullptr);
+}
+
+Result<QueryResult> Executor::Run(const QueryPlan& plan,
+                                  const CancellationToken* cancel) {
   // Guard, not fallback: an index that cannot serve concurrent
   // lookups must not be combined with intra-query parallelism. The
   // in-tree indexes (PM/SPM/CachedIndex) are all concurrent-safe; this
@@ -568,6 +664,19 @@ Result<QueryResult> Executor::Run(const QueryPlan& plan) {
         "cannot be used with num_threads > 1; run single-threaded or "
         "attach one index instance per thread");
   }
+  // The run's control token: arms the configured deadline/budget now and
+  // chains the caller's cancel handle. When nothing is armed, no token
+  // is installed at all — every poll stays a null-pointer check and
+  // execution is byte-for-byte the pre-limit code path.
+  const CancellationToken control(options_.timeout_millis,
+                                  options_.memory_budget_bytes, cancel);
+  struct TokenScope {
+    Executor* executor;
+    ~TokenScope() { executor->SetStopToken(nullptr); }
+  } scope{this};
+  SetStopToken(control.has_limits() || cancel != nullptr ? &control
+                                                         : nullptr);
+
   Stopwatch total_watch;
   Planner planner(*hin_, PlannerOptions{options_.plan_cse, index_});
   const std::size_t query_index = planner.AddQuery(plan);

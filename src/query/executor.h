@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/result.h"
 #include "common/stopwatch.h"
 #include "graph/hin.h"
@@ -91,6 +92,13 @@ struct QueryResult {
   /// order; the input of EXPLAIN PLAN rendering and the "plan" array of
   /// the JSON result.
   std::vector<PlanOpInfo> plan_ops;
+  /// True when a limit (deadline / cancel / budget) or a progressive
+  /// callback stopped execution early and the result was assembled from
+  /// the work completed so far (StopPolicy::kPartial): outliers may be
+  /// incomplete, empty, or extrapolated estimates. `stop_reason` says
+  /// which trigger fired; it is kNone iff `degraded` is false.
+  bool degraded = false;
+  StopReason stop_reason = StopReason::kNone;
 };
 
 /// Execution tuning knobs.
@@ -121,6 +129,23 @@ struct ExecOptions {
   /// Scores are bitwise-identical either way; off re-materializes every
   /// path independently (the ablation baseline).
   bool plan_cse = true;
+
+  /// Wall-clock deadline per Run(), in milliseconds, armed when the run
+  /// starts; < 0 (default) disables it. 0 means "already expired" —
+  /// useful to validate a query executes at all without paying for it.
+  std::int64_t timeout_millis = -1;
+
+  /// Per-query byte budget charged by materialization (every neighbor
+  /// vector's MemoryBytes() as it is produced); 0 (default) disables it.
+  /// Trips StopReason::kBudget when the cumulative total exceeds it.
+  std::size_t memory_budget_bytes = 0;
+
+  /// What happens when a limit trips (or an external token cancels):
+  /// kError fails the run with the matching stop status
+  /// (kDeadlineExceeded / kCancelled / kResourceExhausted); kPartial
+  /// assembles a best-effort result from the operators that completed,
+  /// marked QueryResult::degraded with the stop_reason.
+  StopPolicy stop_policy = StopPolicy::kError;
 };
 
 /// The value one physical operator produced; which fields are populated
@@ -153,8 +178,22 @@ class Executor {
            const ExecOptions& options = {});
   ~Executor();
 
-  /// Runs a full outlier query: plan, execute, observe.
+  /// Runs a full outlier query: plan, execute, observe. The overload
+  /// taking `cancel` (borrowed, may be null) chains an external cancel
+  /// handle into the run's own control token — which also arms
+  /// options.timeout_millis / memory_budget_bytes — so a caller-held
+  /// token can stop the query from another thread.
   Result<QueryResult> Run(const QueryPlan& plan);
+  Result<QueryResult> Run(const QueryPlan& plan,
+                          const CancellationToken* cancel);
+
+  /// Installs (or clears, with nullptr) the cooperative stop token
+  /// polled per operator, per materialized vector, and inside the
+  /// evaluators' chunk loops; also the budget sink for ChargeBytes.
+  /// Run() manages this itself; BatchRunner's merged mode installs a
+  /// per-query token around individual ExecuteOp calls. `token` is
+  /// borrowed and must outlive its installation.
+  void SetStopToken(const CancellationToken* token);
 
   /// Evaluates just a set expression (used for SPM initialization-query
   /// candidate extraction and by tools). Members are returned sorted.
@@ -213,6 +252,7 @@ class Executor {
   HinPtr hin_;
   const MetaPathIndex* index_;
   ExecOptions options_;
+  const CancellationToken* stop_token_ = nullptr;
   NeighborVectorEvaluator evaluator_;
   // Intra-query pool and one traversal workspace per worker; null/empty
   // unless options_.num_threads > 1.

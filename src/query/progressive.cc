@@ -47,6 +47,12 @@ ProgressiveExecutor::ProgressiveExecutor(HinPtr hin,
 
 Result<QueryResult> ProgressiveExecutor::Run(
     const QueryPlan& plan, const ProgressiveCallback& callback) {
+  return Run(plan, callback, nullptr);
+}
+
+Result<QueryResult> ProgressiveExecutor::Run(
+    const QueryPlan& plan, const ProgressiveCallback& callback,
+    const CancellationToken* cancel) {
   if (plan.measure != OutlierMeasure::kNetOut) {
     return Status::Unimplemented(
         "progressive execution supports the NetOut measure only");
@@ -56,15 +62,63 @@ Result<QueryResult> ProgressiveExecutor::Run(
         "progressive execution supports weighted-average combination only");
   }
 
+  // The run's control token, armed from the same ExecOptions limits a
+  // plain Executor::Run would use, chained with the caller's handle.
+  // Progressive execution degrades especially gracefully: every
+  // published snapshot is a complete (extrapolated) answer, so a limit
+  // trip under StopPolicy::kPartial just keeps the latest one.
+  const CancellationToken control(exec_options_.timeout_millis,
+                                  exec_options_.memory_budget_bytes, cancel);
+  const CancellationToken* token =
+      control.has_limits() || cancel != nullptr ? &control : nullptr;
+  struct TokenScope {
+    ProgressiveExecutor* self;
+    ~TokenScope() {
+      self->executor_.SetStopToken(nullptr);
+      self->evaluator_.SetStopToken(nullptr);
+    }
+  } scope{this};
+  executor_.SetStopToken(token);
+  evaluator_.SetStopToken(token);
+
   Stopwatch total_watch;
   QueryResult result;
 
-  NETOUT_ASSIGN_OR_RETURN(std::vector<VertexRef> candidate_refs,
-                          executor_.EvaluateSet(plan.candidate));
+  // Turns a stop status into the policy-selected outcome: the status
+  // itself under kError, or the result as accumulated so far (outliers =
+  // the last published snapshot) marked degraded under kPartial. Real
+  // errors never come through here.
+  const auto degrade = [&](const Status& stop) -> Result<QueryResult> {
+    if (exec_options_.stop_policy == StopPolicy::kError) return stop;
+    result.degraded = true;
+    result.stop_reason =
+        token != nullptr && token->stop_reason() != StopReason::kNone
+            ? token->stop_reason()
+            : StopReasonFromStatus(stop.code());
+    result.stats.total_nanos = total_watch.ElapsedNanos();
+    return std::move(result);
+  };
+
+  Result<std::vector<VertexRef>> candidates_or =
+      executor_.EvaluateSet(plan.candidate);
+  if (!candidates_or.ok()) {
+    if (IsStopStatus(candidates_or.status())) {
+      return degrade(candidates_or.status());
+    }
+    return candidates_or.status();
+  }
+  std::vector<VertexRef> candidate_refs = std::move(candidates_or).value();
   std::vector<VertexRef> reference_refs;
   if (plan.reference.has_value()) {
-    NETOUT_ASSIGN_OR_RETURN(reference_refs,
-                            executor_.EvaluateSet(*plan.reference));
+    Result<std::vector<VertexRef>> references_or =
+        executor_.EvaluateSet(*plan.reference);
+    if (!references_or.ok()) {
+      if (IsStopStatus(references_or.status())) {
+        return degrade(references_or.status());
+      }
+      return references_or.status();
+    }
+    reference_refs = std::move(references_or).value();
   } else {
     reference_refs = candidate_refs;
   }
@@ -103,12 +157,20 @@ Result<QueryResult> ProgressiveExecutor::Run(
     }
     Stopwatch materialize_watch;
     for (std::size_t p = 0; p < num_paths; ++p) {
-      NETOUT_ASSIGN_OR_RETURN(
-          cand_vectors[p],
+      Result<std::vector<SparseVector>> vectors_or =
           executor_.MaterializeVectors(plan.subject_type,
                                        plan.features[p].path,
                                        candidate_locals,
-                                       &result.stats.eval));
+                                       &result.stats.eval);
+      if (!vectors_or.ok()) {
+        result.stats.stages.materialize_nanos +=
+            materialize_watch.ElapsedNanos();
+        if (IsStopStatus(vectors_or.status())) {
+          return degrade(vectors_or.status());
+        }
+        return vectors_or.status();
+      }
+      cand_vectors[p] = std::move(vectors_or).value();
       cand_visibility[p].resize(num_candidates);
       for (std::size_t i = 0; i < num_candidates; ++i) {
         cand_visibility[p][i] = Visibility(cand_vectors[p][i].View());
@@ -138,6 +200,11 @@ Result<QueryResult> ProgressiveExecutor::Run(
   bool stopped_early = false;
   for (std::size_t batch = 0; batch < num_batches && !stopped_early;
        ++batch) {
+    // Batch boundaries are the progressive loop's stop granularity; the
+    // traversals inside also poll through the installed token.
+    if (token != nullptr && token->ShouldStop()) {
+      return degrade(token->ToStatus());
+    }
     const std::size_t begin = batch * num_references / num_batches;
     const std::size_t end = (batch + 1) * num_references / num_batches;
     if (begin == end) continue;
@@ -148,11 +215,20 @@ Result<QueryResult> ProgressiveExecutor::Run(
     std::vector<SparseVector> batch_sum(num_paths);
     for (std::size_t p = 0; p < num_paths; ++p) {
       for (std::size_t r = begin; r < end; ++r) {
-        NETOUT_ASSIGN_OR_RETURN(
-            SparseVector phi,
+        Result<SparseVector> phi_or =
             evaluator_.Evaluate(reference_refs[order[r]],
                                 plan.features[p].path,
-                                &result.stats.eval));
+                                &result.stats.eval);
+        if (!phi_or.ok()) {
+          result.stats.stages.materialize_nanos +=
+              materialize_watch.ElapsedNanos();
+          if (IsStopStatus(phi_or.status())) {
+            return degrade(phi_or.status());
+          }
+          return phi_or.status();
+        }
+        SparseVector phi = std::move(phi_or).value();
+        if (token != nullptr) token->ChargeBytes(phi.MemoryBytes());
         batch_sum[p] = AddScaled(batch_sum[p].View(), phi.View(), 1.0);
       }
       refsum[p] = AddScaled(refsum[p].View(), batch_sum[p].View(), 1.0);
@@ -161,7 +237,6 @@ Result<QueryResult> ProgressiveExecutor::Run(
     result.stats.stages.materialize_nanos += materialize_watch.ElapsedNanos();
 
     Stopwatch score_watch;
-    ScopedTimer scoring_timer(&result.stats.scoring);
     const double extrapolate =
         static_cast<double>(num_references) / static_cast<double>(processed);
     const double batch_extrapolate =
@@ -183,7 +258,12 @@ Result<QueryResult> ProgressiveExecutor::Run(
       estimates[i] = estimate * extrapolate;
       batch_stats[i].Add(batch_estimate * batch_extrapolate);
     }
-    result.stats.stages.score_nanos += score_watch.ElapsedNanos();
+    // One clock feeds both views of scoring time (the stage bucket and
+    // the EvalStats-style accumulator) so they agree exactly; a second
+    // ScopedTimer here double-counted the same span into `scoring`.
+    const std::int64_t score_nanos = score_watch.ElapsedNanos();
+    result.stats.stages.score_nanos += score_nanos;
+    result.stats.scoring.AddNanos(score_nanos);
 
     // Build and publish the snapshot.
     Stopwatch topk_watch;
@@ -216,7 +296,14 @@ Result<QueryResult> ProgressiveExecutor::Run(
 
     result.outliers = snapshot.top;
     if (callback && !callback(snapshot)) {
+      // The user accepted an approximate answer: the estimates stand,
+      // but the result must say it is partial (unless this was already
+      // the final snapshot and the scores are exact).
       stopped_early = true;
+      if (!snapshot.final) {
+        result.degraded = true;
+        result.stop_reason = StopReason::kCallback;
+      }
     }
   }
 

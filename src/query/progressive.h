@@ -72,8 +72,18 @@ class ProgressiveExecutor {
                       const ExecOptions& exec_options = {},
                       const ProgressiveOptions& options = {});
 
+  /// Runs progressively, publishing a snapshot per reference batch. Any
+  /// early stop — the callback returning false, or (in the `cancel`
+  /// overload / with ExecOptions limits armed) a deadline, external
+  /// cancel, or budget trip — marks the returned result
+  /// QueryResult::degraded with the matching stop_reason; a callback
+  /// stop always yields the last snapshot, a limit stop yields it under
+  /// StopPolicy::kPartial and fails with the stop status under kError.
   Result<QueryResult> Run(const QueryPlan& plan,
                           const ProgressiveCallback& callback);
+  Result<QueryResult> Run(const QueryPlan& plan,
+                          const ProgressiveCallback& callback,
+                          const CancellationToken* cancel);
 
  private:
   HinPtr hin_;

@@ -28,6 +28,15 @@ std::string QueryResultToJson(const Hin& hin, const QueryResult& result,
   }
   json.EndArray();
 
+  // Degradation marker: consumers must check this before trusting the
+  // ranking — a degraded result was cut short by a deadline, cancel,
+  // memory budget, or progressive callback (`stop_reason` says which)
+  // and may be incomplete or extrapolated.
+  json.Key("degraded");
+  json.Bool(result.degraded);
+  json.Key("stop_reason");
+  json.String(StopReasonToString(result.stop_reason));
+
   json.Key("stats");
   json.BeginObject();
   json.Key("candidates");

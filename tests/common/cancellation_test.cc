@@ -1,0 +1,154 @@
+#include "common/cancellation.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+
+namespace netout {
+namespace {
+
+TEST(CancellationToken, DefaultTokenNeverStops) {
+  CancellationToken token;
+  EXPECT_FALSE(token.ShouldStop());
+  EXPECT_EQ(token.stop_reason(), StopReason::kNone);
+  EXPECT_TRUE(token.ToStatus().ok());
+  EXPECT_FALSE(token.has_limits());
+}
+
+TEST(CancellationToken, RequestCancelTrips) {
+  CancellationToken token;
+  token.RequestCancel();
+  EXPECT_TRUE(token.ShouldStop());
+  EXPECT_EQ(token.stop_reason(), StopReason::kCancelled);
+  EXPECT_EQ(token.ToStatus().code(), StatusCode::kCancelled);
+}
+
+TEST(CancellationToken, ZeroTimeoutIsAlreadyExpired) {
+  CancellationToken token(/*timeout_millis=*/0, /*budget_bytes=*/0);
+  EXPECT_TRUE(token.has_limits());
+  EXPECT_TRUE(token.ShouldStop());
+  EXPECT_EQ(token.stop_reason(), StopReason::kDeadline);
+  EXPECT_EQ(token.ToStatus().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(CancellationToken, GenerousTimeoutDoesNotTrip) {
+  CancellationToken token(/*timeout_millis=*/3'600'000, /*budget_bytes=*/0);
+  EXPECT_TRUE(token.has_limits());
+  EXPECT_FALSE(token.ShouldStop());
+}
+
+TEST(CancellationToken, BudgetExhaustionTrips) {
+  CancellationToken token(/*timeout_millis=*/-1, /*budget_bytes=*/100);
+  token.ChargeBytes(60);
+  EXPECT_FALSE(token.ShouldStop());
+  token.ChargeBytes(60);  // cumulative 120 > 100
+  EXPECT_TRUE(token.ShouldStop());
+  EXPECT_EQ(token.stop_reason(), StopReason::kBudget);
+  EXPECT_EQ(token.ToStatus().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(token.charged_bytes(), 120u);
+}
+
+TEST(CancellationToken, ChargesAccumulateWithoutBudget) {
+  CancellationToken token;
+  token.ChargeBytes(1 << 20);
+  EXPECT_FALSE(token.ShouldStop());
+  EXPECT_EQ(token.charged_bytes(), std::size_t{1} << 20);
+}
+
+TEST(CancellationToken, ExternalChainAdoptsReason) {
+  CancellationToken external;
+  CancellationToken chained(/*timeout_millis=*/-1, /*budget_bytes=*/0,
+                            &external);
+  EXPECT_FALSE(chained.has_limits());  // an external alone is not a limit
+  EXPECT_FALSE(chained.ShouldStop());
+  external.RequestCancel();
+  EXPECT_TRUE(chained.ShouldStop());
+  EXPECT_EQ(chained.stop_reason(), StopReason::kCancelled);
+}
+
+TEST(CancellationToken, FirstReasonIsSticky) {
+  CancellationToken token(/*timeout_millis=*/-1, /*budget_bytes=*/10);
+  token.ChargeBytes(100);  // trips kBudget first
+  token.RequestCancel();   // must not overwrite
+  EXPECT_EQ(token.stop_reason(), StopReason::kBudget);
+}
+
+TEST(CancellationToken, StickyUnderConcurrentTriggers) {
+  // Whatever wins, every thread must observe the same single reason.
+  for (int round = 0; round < 20; ++round) {
+    CancellationToken token;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&token] { token.RequestCancel(); });
+    }
+    for (std::thread& thread : threads) thread.join();
+    EXPECT_EQ(token.stop_reason(), StopReason::kCancelled);
+    EXPECT_TRUE(token.ShouldStop());
+  }
+}
+
+TEST(CancellationToken, StopReasonNames) {
+  EXPECT_STREQ(StopReasonToString(StopReason::kNone), "none");
+  EXPECT_STREQ(StopReasonToString(StopReason::kDeadline), "deadline");
+  EXPECT_STREQ(StopReasonToString(StopReason::kCancelled), "cancelled");
+  EXPECT_STREQ(StopReasonToString(StopReason::kBudget), "budget");
+  EXPECT_STREQ(StopReasonToString(StopReason::kCallback), "callback");
+}
+
+TEST(CancellationToken, StopStatusRoundTrip) {
+  EXPECT_TRUE(IsStopStatus(Status::DeadlineExceeded("x")));
+  EXPECT_TRUE(IsStopStatus(Status::Cancelled("x")));
+  EXPECT_TRUE(IsStopStatus(Status::ResourceExhausted("x")));
+  EXPECT_FALSE(IsStopStatus(Status::Internal("x")));
+  EXPECT_FALSE(IsStopStatus(Status::OK()));
+  EXPECT_EQ(StopReasonFromStatus(StatusCode::kDeadlineExceeded),
+            StopReason::kDeadline);
+  EXPECT_EQ(StopReasonFromStatus(StatusCode::kCancelled),
+            StopReason::kCancelled);
+  EXPECT_EQ(StopReasonFromStatus(StatusCode::kResourceExhausted),
+            StopReason::kBudget);
+  EXPECT_EQ(StopReasonFromStatus(StatusCode::kInternal), StopReason::kNone);
+}
+
+TEST(CancellationToken, CancelledTaskGroupSkipsQueuedTasks) {
+  ThreadPool pool(2);
+  CancellationToken token;
+  token.RequestCancel();  // cancelled before anything is queued
+  TaskGroup group(&pool, &token);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 64; ++i) {
+    group.Submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  }
+  group.Wait();  // must still return: accounting runs even for skips
+  EXPECT_EQ(ran.load(), 0);
+}
+
+TEST(CancellationToken, ParallelForHonorsPreCancelledToken) {
+  ThreadPool pool(4);
+  CancellationToken token;
+  token.RequestCancel();
+  std::atomic<int> ran{0};
+  ParallelFor(
+      &pool, 1000,
+      [&ran](std::size_t) { ran.fetch_add(1, std::memory_order_relaxed); },
+      &token);
+  EXPECT_EQ(ran.load(), 0);
+}
+
+TEST(CancellationToken, ParallelForRunsFullyWithUntrippedToken) {
+  ThreadPool pool(4);
+  CancellationToken token;
+  std::atomic<int> ran{0};
+  ParallelFor(
+      &pool, 100,
+      [&ran](std::size_t) { ran.fetch_add(1, std::memory_order_relaxed); },
+      &token);
+  EXPECT_EQ(ran.load(), 100);
+}
+
+}  // namespace
+}  // namespace netout

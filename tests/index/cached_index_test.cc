@@ -124,6 +124,22 @@ TEST_F(CachedIndexFixture, OversizedEntryIsNotAdmitted) {
       .CheckOk();
   EXPECT_EQ(cache.num_entries(), 0u);
   EXPECT_EQ(cache.stats().evictions, 0u);
+  // Regression: the refusal used to be completely silent — a
+  // misconfigured capacity/num_shards ratio showed up only as a 0% hit
+  // rate. Every refused Remember now counts as rejected_too_large.
+  EXPECT_GT(cache.stats().rejected_too_large, 0u);
+  EXPECT_EQ(cache.stats().insertions, 0u);
+}
+
+TEST_F(CachedIndexFixture, AdmittedEntriesAreNotCountedAsRejected) {
+  CachedIndex cache;  // default 64 MB: everything here fits
+  NeighborVectorEvaluator evaluator(dataset_->hin, &cache);
+  const MetaPath apv =
+      MetaPath::Parse(dataset_->hin->schema(), "author.paper.venue").value();
+  evaluator.Evaluate(VertexRef{dataset_->author_type, 0}, apv, nullptr)
+      .CheckOk();
+  EXPECT_GT(cache.stats().insertions, 0u);
+  EXPECT_EQ(cache.stats().rejected_too_large, 0u);
 }
 
 TEST_F(CachedIndexFixture, ClearEmptiesTheCache) {

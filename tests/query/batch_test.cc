@@ -194,7 +194,7 @@ TEST_F(BatchFixture, SharedCachedIndexAcrossWorkers) {
 
 TEST_F(BatchFixture, EmptyBatch) {
   BatchRunner runner(dataset_->hin, EngineOptions{}, 2);
-  EXPECT_TRUE(runner.Run({}).empty());
+  EXPECT_TRUE(runner.Run(std::vector<std::string>{}).empty());
 }
 
 TEST_F(BatchFixture, ReusableAcrossRuns) {

@@ -141,6 +141,61 @@ TEST_F(ProgressiveFixture, EarlyStopReturnsApproximateAnswer) {
   EXPECT_EQ(result.outliers.size(), 5u);  // still a usable top-k
 }
 
+// Regression: a callback stop used to return the approximate answer
+// with no marker at all — indistinguishable from an exact result. It
+// must now be flagged degraded with the callback stop reason.
+TEST_F(ProgressiveFixture, CallbackStopMarksResultDegraded) {
+  const QueryPlan plan = MakePlan(StarQuery());
+  ProgressiveOptions options;
+  options.num_batches = 10;
+  ProgressiveExecutor progressive(dataset_->hin, nullptr, ExecOptions{},
+                                  options);
+  int snapshots = 0;
+  const QueryResult result =
+      progressive
+          .Run(plan,
+               [&](const ProgressiveSnapshot&) { return ++snapshots < 2; })
+          .value();
+  EXPECT_EQ(snapshots, 2);
+  EXPECT_TRUE(result.degraded);
+  EXPECT_EQ(result.stop_reason, StopReason::kCallback);
+}
+
+// A "stop" on the final snapshot accepted the exact answer — nothing
+// was cut short, so the result must NOT be marked degraded.
+TEST_F(ProgressiveFixture, StopOnFinalSnapshotIsNotDegraded) {
+  const QueryPlan plan = MakePlan(StarQuery());
+  ProgressiveOptions options;
+  options.num_batches = 4;
+  ProgressiveExecutor progressive(dataset_->hin, nullptr, ExecOptions{},
+                                  options);
+  const QueryResult result =
+      progressive
+          .Run(plan,
+               [&](const ProgressiveSnapshot& snapshot) {
+                 return !snapshot.final;  // "stop" exactly on the last one
+               })
+          .value();
+  EXPECT_FALSE(result.degraded);
+  EXPECT_EQ(result.stop_reason, StopReason::kNone);
+}
+
+// Regression: scoring time was accumulated twice (a Stopwatch into
+// stages.score_nanos and an independent ScopedTimer into
+// stats.scoring), so the two views of the same span disagreed. One
+// clock now feeds both; they must match exactly.
+TEST_F(ProgressiveFixture, ScoringTimeIsCountedOnce) {
+  const QueryPlan plan = MakePlan(StarQuery());
+  ProgressiveOptions options;
+  options.num_batches = 6;
+  ProgressiveExecutor progressive(dataset_->hin, nullptr, ExecOptions{},
+                                  options);
+  const QueryResult result = progressive.Run(plan, nullptr).value();
+  EXPECT_EQ(result.stats.scoring.TotalNanos(),
+            result.stats.stages.score_nanos);
+  EXPECT_GT(result.stats.stages.score_nanos, 0);
+}
+
 TEST_F(ProgressiveFixture, MultiPathWeightedAverageSupported) {
   const QueryPlan plan = MakePlan(
       "FIND OUTLIERS FROM author{\"" + dataset_->star_names[0] +

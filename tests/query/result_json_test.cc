@@ -51,6 +51,19 @@ TEST_F(ResultJsonFixture, EmptyResultSerializes) {
   QueryResult empty;
   const std::string json = QueryResultToJson(*dataset_.hin, empty);
   EXPECT_NE(json.find("\"outliers\":[]"), std::string::npos);
+  // Non-degraded results carry the markers too, so consumers can rely
+  // on the fields existing.
+  EXPECT_NE(json.find("\"degraded\":false"), std::string::npos);
+  EXPECT_NE(json.find("\"stop_reason\":\"none\""), std::string::npos);
+}
+
+TEST_F(ResultJsonFixture, DegradedResultCarriesStopReason) {
+  QueryResult degraded;
+  degraded.degraded = true;
+  degraded.stop_reason = StopReason::kDeadline;
+  const std::string json = QueryResultToJson(*dataset_.hin, degraded);
+  EXPECT_NE(json.find("\"degraded\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"stop_reason\":\"deadline\""), std::string::npos);
 }
 
 TEST_F(ResultJsonFixture, PrettyOutputHasNewlines) {

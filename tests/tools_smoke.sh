@@ -69,5 +69,46 @@ top_cache=$(grep ' 1\.' "$WORK_DIR/q_cache.log" | head -1 | awk '{print $2}')
     --file="$WORK_DIR/batch.txt" --threads=2 > "$WORK_DIR/q_cache_batch.log"
 [ "$(grep -c -- '-- query' "$WORK_DIR/q_cache_batch.log")" = "2" ]
 grep -q " 1\. *$top_base" "$WORK_DIR/q_cache_batch.log"
+# Cache runs report their stats line, including the silent-refusal
+# counter.
+grep -q "rejected-too-large" "$WORK_DIR/q_cache.log"
+
+# A mistyped flag must be rejected with a usage error, not silently
+# ignored (it used to run with defaults).
+if "$TOOLS_DIR/netout_query" "$GRAPH" --query="$QUERY" --timout-ms=50 \
+    > "$WORK_DIR/q_typo.log" 2>&1; then
+  echo "expected netout_query to reject --timout-ms" >&2
+  exit 1
+fi
+grep -q "unknown option '--timout-ms'" "$WORK_DIR/q_typo.log"
+if "$TOOLS_DIR/netout_gen" --kind=biblio --out="$WORK_DIR/x.hin" \
+    --sed=42 > "$WORK_DIR/gen_typo.log" 2>&1; then
+  echo "expected netout_gen to reject --sed" >&2
+  exit 1
+fi
+grep -q "unknown option '--sed'" "$WORK_DIR/gen_typo.log"
+
+# An already-expired deadline degrades promptly (no hang, no crash) and
+# says why, in both human and JSON output.
+"$TOOLS_DIR/netout_query" "$GRAPH" --query="$QUERY" --timeout-ms=0 \
+    > "$WORK_DIR/q_deadline.log"
+grep -q "DEGRADED (stop reason: deadline)" "$WORK_DIR/q_deadline.log"
+"$TOOLS_DIR/netout_query" "$GRAPH" --query="$QUERY" --timeout-ms=0 \
+    --json > "$WORK_DIR/q_deadline_json.log"
+grep -q '"stop_reason": "deadline"' "$WORK_DIR/q_deadline_json.log"
+grep -q '"degraded": true' "$WORK_DIR/q_deadline_json.log"
+# Under --stop-policy=error the same deadline is a hard failure.
+if "$TOOLS_DIR/netout_query" "$GRAPH" --query="$QUERY" --timeout-ms=0 \
+    --stop-policy=error > "$WORK_DIR/q_deadline_err.log" 2>&1; then
+  echo "expected --stop-policy=error to fail on an expired deadline" >&2
+  exit 1
+fi
+grep -q "deadline" "$WORK_DIR/q_deadline_err.log"
+# Generous limits leave the answer untouched.
+"$TOOLS_DIR/netout_query" "$GRAPH" --query="$QUERY" --timeout-ms=60000 \
+    --memory-budget-mb=4096 > "$WORK_DIR/q_limits.log"
+top_limits=$(grep ' 1\.' "$WORK_DIR/q_limits.log" | head -1 | awk '{print $2}')
+[ "$top_base" = "$top_limits" ]
+! grep -q "DEGRADED" "$WORK_DIR/q_limits.log"
 
 echo "tools smoke test passed"

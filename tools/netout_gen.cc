@@ -25,13 +25,18 @@ int main(int argc, char** argv) {
   using namespace netout;
   using namespace netout::tools;
 
-  const Args args = ParseArgs(argc, argv);
+  constexpr const char* kUsage =
+      "usage: netout_gen --kind=biblio|security|csv --out=PATH "
+      "[--seed=N] [--scale=X] [--text] [--areas=N] [--authors=N] "
+      "[--papers=N] [--csv=FILE]\n";
+  const Args args = ParseArgs(argc, argv,
+                              {"kind", "out", "seed", "scale", "text",
+                               "areas", "authors", "papers", "csv"},
+                              kUsage);
   const std::string kind = args.Get("kind", "biblio");
   const std::string out = args.Get("out");
   if (out.empty()) {
-    std::fprintf(stderr,
-                 "usage: netout_gen --kind=biblio|security --out=PATH "
-                 "[--seed=N] [--scale=X] [--text]\n");
+    std::fprintf(stderr, "%s", kUsage);
     return 1;
   }
 

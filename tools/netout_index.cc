@@ -24,11 +24,13 @@ int main(int argc, char** argv) {
   using namespace netout;
   using namespace netout::tools;
 
-  const Args args = ParseArgs(argc, argv);
+  constexpr const char* kUsage =
+      "usage: netout_index GRAPH.hin --type=pm|spm --out=PATH "
+      "[--roots=a,b] [--queries=FILE --threshold=0.01]\n";
+  const Args args = ParseArgs(
+      argc, argv, {"type", "out", "roots", "queries", "threshold"}, kUsage);
   if (args.positional.size() != 1 || !args.Has("out")) {
-    std::fprintf(stderr,
-                 "usage: netout_index GRAPH.hin --type=pm|spm --out=PATH "
-                 "[--roots=a,b] [--queries=FILE --threshold=0.01]\n");
+    std::fprintf(stderr, "%s", kUsage);
     return 1;
   }
   const HinPtr hin =

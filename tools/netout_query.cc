@@ -8,6 +8,8 @@
 //   netout_query GRAPH.hin --file=queries.txt --merge
 //   netout_query GRAPH.hin --query='...' --progressive [--batches=10]
 //   netout_query GRAPH.hin --query='...' --json
+//   netout_query GRAPH.hin --query='...' --timeout-ms=500
+//                [--memory-budget-mb=256] [--stop-policy=partial|error]
 //
 // With --file, queries (one per line) run through the parallel batch
 // driver; with --query, --threads instead enables intra-query
@@ -23,6 +25,13 @@
 // sets, conditions and feature prefixes are computed once;
 // --progressive streams approximate top-k snapshots with confidence
 // while executing.
+//
+// --timeout-ms arms a per-query wall-clock deadline and
+// --memory-budget-mb a per-query materialization byte budget (both
+// apply per query in --file mode too, including --merge, where a query
+// that trips never disturbs the others). What happens on a trip is
+// --stop-policy: 'partial' (default) prints a best-effort result marked
+// DEGRADED with the reason, 'error' fails the query.
 
 #include <cstdio>
 #include <sstream>
@@ -52,6 +61,11 @@ void PrintResult(const QueryResult& result) {
               static_cast<double>(result.stats.total_nanos) / 1e6,
               result.stats.eval.index_hits,
               result.stats.eval.index_misses);
+  if (result.degraded) {
+    std::printf("  DEGRADED (stop reason: %s) — partial best-effort "
+                "result\n",
+                StopReasonToString(result.stop_reason));
+  }
   for (std::size_t i = 0; i < result.outliers.size(); ++i) {
     std::printf("  %2zu. %-28s %12.4f%s\n", i + 1,
                 result.outliers[i].name.c_str(), result.outliers[i].score,
@@ -60,19 +74,43 @@ void PrintResult(const QueryResult& result) {
   }
 }
 
+/// One-line cache telemetry; rejected-too-large is the silent-refusal
+/// counter (rows bigger than a shard's budget never get admitted). Goes
+/// to stderr in --json mode to keep stdout machine-parseable.
+void PrintCacheStats(const CachedIndex* cache, bool to_stderr) {
+  if (cache == nullptr) return;
+  const CachedIndex::Stats stats = cache->stats();
+  std::fprintf(to_stderr ? stderr : stdout,
+               "cache: %llu hits, %llu misses, %llu insertions, "
+               "%llu evictions, %llu rejected-too-large\n",
+               static_cast<unsigned long long>(stats.hits),
+               static_cast<unsigned long long>(stats.misses),
+               static_cast<unsigned long long>(stats.insertions),
+               static_cast<unsigned long long>(stats.evictions),
+               static_cast<unsigned long long>(stats.rejected_too_large));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace netout::tools;
 
-  const Args args = ParseArgs(argc, argv);
+  constexpr const char* kUsage =
+      "usage: netout_query GRAPH.hin --query='...' | "
+      "--file=FILE [--pm=IDX | --spm=IDX] [--cache[=MB]] "
+      "[--threads=N] [--merge] [--explain=VERTEX] "
+      "[--explain-plan] [--progressive [--batches=N]] [--json] "
+      "[--timeout-ms=N] [--memory-budget-mb=N] "
+      "[--stop-policy=partial|error]\n";
+  const Args args = ParseArgs(
+      argc, argv,
+      {"query", "file", "pm", "spm", "cache", "threads", "merge",
+       "explain", "explain-plan", "progressive", "batches", "json",
+       "timeout-ms", "memory-budget-mb", "stop-policy"},
+      kUsage);
   if (args.positional.size() != 1 ||
       (!args.Has("query") && !args.Has("file"))) {
-    std::fprintf(stderr,
-                 "usage: netout_query GRAPH.hin --query='...' | "
-                 "--file=FILE [--pm=IDX | --spm=IDX] [--cache[=MB]] "
-                 "[--threads=N] [--merge] [--explain=VERTEX] "
-                 "[--explain-plan] [--progressive [--batches=N]]\n");
+    std::fprintf(stderr, "%s", kUsage);
     return 1;
   }
   const HinPtr hin =
@@ -104,6 +142,25 @@ int main(int argc, char** argv) {
   const std::size_t threads =
       static_cast<std::size_t>(args.GetInt("threads", 1));
 
+  engine_options.exec.timeout_millis = args.GetInt("timeout-ms", -1);
+  const std::int64_t budget_mb = args.GetInt("memory-budget-mb", 0);
+  if (budget_mb > 0) {
+    engine_options.exec.memory_budget_bytes =
+        static_cast<std::size_t>(budget_mb) << 20;
+  }
+  const std::string stop_policy = args.Get("stop-policy", "partial");
+  if (stop_policy == "partial") {
+    engine_options.exec.stop_policy = StopPolicy::kPartial;
+  } else if (stop_policy == "error") {
+    engine_options.exec.stop_policy = StopPolicy::kError;
+  } else {
+    std::fprintf(stderr,
+                 "error: --stop-policy must be 'partial' or 'error' "
+                 "(got '%s')\n",
+                 stop_policy.c_str());
+    return 1;
+  }
+
   if (args.Has("file")) {
     const std::string text =
         UnwrapOrDie(ReadFileToString(args.Get("file")), "read query file");
@@ -125,6 +182,7 @@ int main(int argc, char** argv) {
         PrintResult(outcomes[i].result);
       }
     }
+    PrintCacheStats(cache.get(), /*to_stderr=*/false);
     return 0;
   }
 
@@ -182,6 +240,7 @@ int main(int argc, char** argv) {
         "progressive run");
     std::printf("\nfinal answer:\n");
     PrintResult(result);
+    PrintCacheStats(cache.get(), /*to_stderr=*/false);
     return 0;
   }
 
@@ -197,5 +256,6 @@ int main(int argc, char** argv) {
   } else {
     PrintResult(result);
   }
+  PrintCacheStats(cache.get(), /*to_stderr=*/args.Has("json"));
   return 0;
 }

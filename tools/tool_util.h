@@ -1,10 +1,13 @@
 #ifndef NETOUT_TOOLS_TOOL_UTIL_H_
 #define NETOUT_TOOLS_TOOL_UTIL_H_
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <initializer_list>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/result.h"
@@ -41,17 +44,29 @@ struct Args {
   }
 };
 
-inline Args ParseArgs(int argc, char** argv) {
+/// Parses positionals and --key[=value] options, validating every option
+/// against `known_flags`. A mistyped flag (--timout-ms for --timeout-ms)
+/// used to be absorbed into the option map and silently ignored — the
+/// worst failure mode for limits like timeouts, which just don't arm.
+/// Now it prints the offending flag plus the tool's usage and exits 1.
+inline Args ParseArgs(int argc, char** argv,
+                      std::initializer_list<std::string_view> known_flags,
+                      const char* usage) {
   Args args;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (StartsWith(arg, "--")) {
       const std::size_t eq = arg.find('=');
-      if (eq == std::string::npos) {
-        args.options[arg.substr(2)] = "true";
-      } else {
-        args.options[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      const std::string key =
+          eq == std::string::npos ? arg.substr(2) : arg.substr(2, eq - 2);
+      if (std::find(known_flags.begin(), known_flags.end(), key) ==
+          known_flags.end()) {
+        std::fprintf(stderr, "error: unknown option '--%s'\n%s",
+                     key.c_str(), usage);
+        std::exit(1);
       }
+      args.options[key] =
+          eq == std::string::npos ? "true" : arg.substr(eq + 1);
     } else {
       args.positional.push_back(arg);
     }
