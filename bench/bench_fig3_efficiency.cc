@@ -13,14 +13,16 @@
 
 #include <cstdio>
 
+#include "bench/bench_json.h"
 #include "bench/efficiency_common.h"
 #include "common/string_util.h"
 #include "index/pm_index.h"
 #include "index/spm_index.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace netout;
   using namespace netout::bench;
+  StageRecorder recorder("fig3_efficiency", &argc, argv);
 
   PrintHeader("Figure 3: Baseline vs PM vs SPM total execution time");
   const std::size_t queries_per_set =
@@ -36,6 +38,7 @@ int main() {
   // Per Section 6.2 the pre-materialized set may be restricted to the
   // query-relevant subset: the templates never start a length-2 chunk at
   // a paper vertex, and paper-rooted relations dominate memory.
+  const double pm_cpu_before = ProcessCpuNanos();
   Stopwatch pm_watch;
   const Schema& schema = setup.dataset.hin->schema();
   const std::vector<TypeId> roots = {
@@ -47,6 +50,8 @@ int main() {
   std::printf("PM index: %zu relations, %s, built in %.1f ms\n",
               pm->num_relations(), HumanBytes(pm->MemoryBytes()).c_str(),
               pm_watch.ElapsedMillis());
+  recorder.Add("pm_build", 1, pm_watch.ElapsedMillis() * 1e6,
+               ProcessCpuNanos() - pm_cpu_before);
 
   std::printf("%-4s %14s %14s %14s %10s %10s\n", "set", "Baseline(ms)",
               "PM(ms)", "SPM(ms)", "PM-spdup", "SPM-spdup");
@@ -71,9 +76,17 @@ int main() {
     spm_engine_options.index = spm.get();
     Engine spm_engine(setup.dataset.hin, spm_engine_options);
 
-    const double baseline_ms = RunQuerySet(&baseline, queries, nullptr);
-    const double pm_ms = RunQuerySet(&pm_engine, queries, nullptr);
-    const double spm_ms = RunQuerySet(&spm_engine, queries, nullptr);
+    const auto set_size = static_cast<std::int64_t>(queries.size());
+    const std::string set = QueryTemplateName(tmpl);
+    const double baseline_ms = recorder.TimeStageMillis(
+        set + "/baseline", set_size,
+        [&] { return RunQuerySet(&baseline, queries, nullptr); });
+    const double pm_ms = recorder.TimeStageMillis(
+        set + "/pm", set_size,
+        [&] { return RunQuerySet(&pm_engine, queries, nullptr); });
+    const double spm_ms = recorder.TimeStageMillis(
+        set + "/spm", set_size,
+        [&] { return RunQuerySet(&spm_engine, queries, nullptr); });
 
     std::printf("%-4s %14.1f %14.1f %14.1f %9.1fx %9.1fx\n",
                 QueryTemplateName(tmpl), baseline_ms, pm_ms, spm_ms,
@@ -85,5 +98,6 @@ int main() {
   std::printf(
       "\nshape check (paper): PM 5-100x over Baseline on all sets; SPM\n"
       "between Baseline and PM.\n");
+  if (!recorder.WriteIfRequested()) return 1;
   return 0;
 }

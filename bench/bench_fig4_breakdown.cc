@@ -9,12 +9,14 @@
 
 #include <cstdio>
 
+#include "bench/bench_json.h"
 #include "bench/efficiency_common.h"
 #include "index/spm_index.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace netout;
   using namespace netout::bench;
+  StageRecorder recorder("fig4_breakdown", &argc, argv);
 
   PrintHeader("Figure 4: SPM processing-time breakdown (threshold 0.01)");
   const std::size_t queries_per_set =
@@ -36,7 +38,18 @@ int main() {
     Engine engine(setup.dataset.hin, engine_options);
 
     QueryExecStats total;
-    RunQuerySet(&engine, setup.query_sets[t], &total);
+    const auto set_size =
+        static_cast<std::int64_t>(setup.query_sets[t].size());
+    const std::string set = QueryTemplateName(tmpl);
+    recorder.TimeStageMillis(set + "/total", set_size, [&] {
+      return RunQuerySet(&engine, setup.query_sets[t], &total);
+    });
+    recorder.Add(set + "/not_indexed", set_size,
+                 total.eval.not_indexed.TotalMillis() * 1e6, 0.0);
+    recorder.Add(set + "/indexed", set_size,
+                 total.eval.indexed.TotalMillis() * 1e6, 0.0);
+    recorder.Add(set + "/outlierness", set_size,
+                 total.scoring.TotalMillis() * 1e6, 0.0);
     std::printf("%-4s %16.1f %16.1f %16.1f %12zu %12zu\n",
                 QueryTemplateName(tmpl),
                 total.eval.not_indexed.TotalMillis(),
@@ -48,5 +61,6 @@ int main() {
       "\nshape check (paper): 'not indexed' dominates; indexed lookups\n"
       "are the least time-consuming part, outlierness calculation can be\n"
       "slower than lookups (inner products vs index retrieval).\n");
+  if (!recorder.WriteIfRequested()) return 1;
   return 0;
 }

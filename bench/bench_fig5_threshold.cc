@@ -8,13 +8,15 @@
 
 #include <cstdio>
 
+#include "bench/bench_json.h"
 #include "bench/efficiency_common.h"
 #include "common/string_util.h"
 #include "index/spm_index.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace netout;
   using namespace netout::bench;
+  StageRecorder recorder("fig5_threshold", &argc, argv);
 
   PrintHeader("Figure 5: SPM threshold sweep on Q1");
   const std::size_t queries_per_set =
@@ -34,7 +36,11 @@ int main() {
     EngineOptions engine_options;
     engine_options.index = spm.get();
     Engine engine(setup.dataset.hin, engine_options);
-    const double total_ms = RunQuerySet(&engine, queries, nullptr);
+    char stage[32];
+    std::snprintf(stage, sizeof(stage), "threshold_%.3f", threshold);
+    const double total_ms = recorder.TimeStageMillis(
+        stage, static_cast<std::int64_t>(queries.size()),
+        [&] { return RunQuerySet(&engine, queries, nullptr); });
     std::printf("%-10.3f %14.3f %18.1f %16s %14zu\n", threshold,
                 total_ms / static_cast<double>(queries.size()), total_ms,
                 HumanBytes(spm->MemoryBytes()).c_str(),
@@ -44,5 +50,6 @@ int main() {
       "\nshape check (paper): average execution time rises and index\n"
       "size falls as the threshold grows; a good operating point lies\n"
       "between 0.01 and 0.05.\n");
+  if (!recorder.WriteIfRequested()) return 1;
   return 0;
 }

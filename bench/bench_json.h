@@ -1,0 +1,204 @@
+#ifndef NETOUT_BENCH_BENCH_JSON_H_
+#define NETOUT_BENCH_BENCH_JSON_H_
+
+// BENCH_*.json perf artifacts: every perf bench accepts `--json <path>`
+// (or `--json=<path>`) and mirrors its measurements into a
+// machine-readable file so CI can archive a performance trajectory
+// across commits. Schema (version 1):
+//
+//   {
+//     "schema_version": 1,
+//     "bench": "<short bench name>",
+//     "commit": "<NETOUT_BENCH_COMMIT | GITHUB_SHA | unknown>",
+//     "scale": <NETOUT_BENCH_SCALE as a number>,
+//     "kernel_variant": "scalar" | "avx2",
+//     "entries": [
+//       {"name": "...", "iterations": N,
+//        "real_nanos": <wall ns>, "cpu_nanos": <CPU ns>},
+//       ...
+//     ]
+//   }
+//
+// For google-benchmark binaries (bench/micro/, via bench_json_main.h)
+// real/cpu nanos are per-iteration, exactly the console columns; for the
+// stage-level recorders of the figure benches they are the total for the
+// named stage with `iterations` holding the query count.
+// scripts/check_bench_json.sh validates this shape in CI.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "metapath/kernels.h"
+
+namespace netout::bench {
+
+struct BenchJsonEntry {
+  std::string name;
+  std::int64_t iterations = 1;
+  double real_nanos = 0.0;
+  double cpu_nanos = 0.0;
+};
+
+/// Commit stamp for the artifact: an explicit NETOUT_BENCH_COMMIT wins,
+/// then CI's GITHUB_SHA, else "unknown" (local runs).
+inline std::string BenchCommit() {
+  for (const char* var : {"NETOUT_BENCH_COMMIT", "GITHUB_SHA"}) {
+    const char* value = std::getenv(var);
+    if (value != nullptr && *value != '\0') return value;
+  }
+  return "unknown";
+}
+
+/// Process CPU time for the stage recorders of the plain figure benches
+/// (the google-benchmark binaries get CPU time from the library).
+inline double ProcessCpuNanos() {
+  timespec ts{};
+  if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) != 0) return 0.0;
+  return static_cast<double>(ts.tv_sec) * 1e9 +
+         static_cast<double>(ts.tv_nsec);
+}
+
+inline std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Writes the artifact; returns false (after printing to stderr) when
+/// the file cannot be written.
+inline bool WriteBenchJson(const std::string& path, const std::string& bench,
+                           const std::vector<BenchJsonEntry>& entries) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "FATAL cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"schema_version\": 1,\n"
+               "  \"bench\": \"%s\",\n"
+               "  \"commit\": \"%s\",\n"
+               "  \"scale\": %g,\n"
+               "  \"kernel_variant\": \"%s\",\n"
+               "  \"entries\": [",
+               JsonEscape(bench).c_str(), JsonEscape(BenchCommit()).c_str(),
+               BenchScale(), KernelVariantName(ActiveKernelVariant()));
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const BenchJsonEntry& e = entries[i];
+    std::fprintf(f,
+                 "%s\n    {\"name\": \"%s\", \"iterations\": %lld, "
+                 "\"real_nanos\": %.3f, \"cpu_nanos\": %.3f}",
+                 i == 0 ? "" : ",", JsonEscape(e.name).c_str(),
+                 static_cast<long long>(e.iterations), e.real_nanos,
+                 e.cpu_nanos);
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  if (std::fclose(f) != 0) {
+    std::fprintf(stderr, "FATAL error closing %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// Pulls `--json <path>` / `--json=<path>` out of argv (so remaining
+/// flags can go to google-benchmark untouched). Returns the path, or ""
+/// when the flag is absent. Exits with a usage error on a bare --json.
+inline std::string ExtractJsonFlag(int* argc, char** argv) {
+  std::string path;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      if (i + 1 >= *argc) {
+        std::fprintf(stderr, "usage error: --json requires a path\n");
+        std::exit(2);
+      }
+      path = argv[++i];
+    } else if (arg.rfind("--json=", 0) == 0) {
+      path = arg.substr(7);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  return path;
+}
+
+/// Stage-level recorder for the plain (non-google-benchmark) figure
+/// benches: construct from argv (consumes --json), Add()/TimeStageMillis
+/// per stage, WriteIfRequested() before exit. Without --json the
+/// recorder still collects but writes nothing.
+class StageRecorder {
+ public:
+  StageRecorder(std::string bench, int* argc, char** argv)
+      : bench_(std::move(bench)), path_(ExtractJsonFlag(argc, argv)) {}
+
+  void Add(std::string name, std::int64_t iterations, double real_nanos,
+           double cpu_nanos) {
+    entries_.push_back(
+        BenchJsonEntry{std::move(name), iterations, real_nanos, cpu_nanos});
+  }
+
+  /// Times fn() — which must return its elapsed wall milliseconds — as
+  /// one stage, pairing it with the process CPU time spent inside.
+  template <typename Fn>
+  double TimeStageMillis(const std::string& name, std::int64_t iterations,
+                         Fn&& fn) {
+    const double cpu_before = ProcessCpuNanos();
+    const double millis = fn();
+    Add(name, iterations, millis * 1e6, ProcessCpuNanos() - cpu_before);
+    return millis;
+  }
+
+  /// Writes the artifact when --json was passed; returns false when the
+  /// write fails (callers should exit nonzero).
+  bool WriteIfRequested() const {
+    if (path_.empty()) return true;
+    if (!WriteBenchJson(path_, bench_, entries_)) return false;
+    std::printf("\nwrote %s (%zu entries)\n", path_.c_str(), entries_.size());
+    return true;
+  }
+
+ private:
+  std::string bench_;
+  std::string path_;
+  std::vector<BenchJsonEntry> entries_;
+};
+
+}  // namespace netout::bench
+
+#endif  // NETOUT_BENCH_BENCH_JSON_H_

@@ -1,6 +1,8 @@
 #ifndef NETOUT_BENCH_BENCH_UTIL_H_
 #define NETOUT_BENCH_BENCH_UTIL_H_
 
+#include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -9,15 +11,41 @@
 
 namespace netout::bench {
 
+/// Parses a NETOUT_BENCH_SCALE value into *out. Accepts a finite
+/// positive decimal number with optional surrounding whitespace; rejects
+/// everything else — empty strings, trailing garbage ("4x"), zero,
+/// negatives, NaN/inf — without touching *out.
+inline bool ParseBenchScale(const char* text, double* out) {
+  if (text == nullptr) return false;
+  char* end = nullptr;
+  const double value = std::strtod(text, &end);
+  if (end == text) return false;  // no digits consumed
+  while (*end != '\0') {
+    if (std::isspace(static_cast<unsigned char>(*end)) == 0) return false;
+    ++end;
+  }
+  if (!std::isfinite(value) || value <= 0.0) return false;
+  *out = value;
+  return true;
+}
+
 /// Global scale knob for the efficiency benches: NETOUT_BENCH_SCALE=4
 /// quadruples workload sizes (query counts, graph size). Default 1.0
 /// keeps every bench comfortably inside CI time budgets while preserving
-/// the paper's relative shapes.
+/// the paper's relative shapes. A malformed or non-positive value is a
+/// usage error (aborting beats silently benchmarking the wrong scale).
 inline double BenchScale() {
   const char* env = std::getenv("NETOUT_BENCH_SCALE");
   if (env == nullptr) return 1.0;
-  const double value = std::atof(env);
-  return value > 0.0 ? value : 1.0;
+  double value = 1.0;
+  if (!ParseBenchScale(env, &value)) {
+    std::fprintf(stderr,
+                 "usage error: NETOUT_BENCH_SCALE='%s' is not a positive "
+                 "number (examples: 0.5, 1, 4)\n",
+                 env);
+    std::exit(2);
+  }
+  return value;
 }
 
 /// The shared synthetic stand-in for the ArnetMiner network (see

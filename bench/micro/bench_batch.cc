@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/micro/bench_json_main.h"
+
 #include "datagen/biblio_gen.h"
 #include "datagen/workload.h"
 #include "query/batch.h"
@@ -56,4 +58,4 @@ BENCHMARK(BM_BatchRunner)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+NETOUT_BENCH_JSON_MAIN("batch");

@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/micro/bench_json_main.h"
+
 #include "common/random.h"
 #include "common/thread_pool.h"
 #include "measure/scores.h"
@@ -127,4 +129,4 @@ BENCHMARK(BM_Lof)->Arg(64)->Arg(256);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+NETOUT_BENCH_JSON_MAIN("netout");

@@ -9,6 +9,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/micro/bench_json_main.h"
+
 #include "common/logging.h"
 #include "datagen/biblio_gen.h"
 #include "query/engine.h"
@@ -84,4 +86,4 @@ BENCHMARK(BM_SingleQuery)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+NETOUT_BENCH_JSON_MAIN("parallel_query");

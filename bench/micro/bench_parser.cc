@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/micro/bench_json_main.h"
+
 #include "datagen/biblio_gen.h"
 #include "query/analyzer.h"
 #include "query/parser.h"
@@ -60,4 +62,4 @@ BENCHMARK(BM_Prepare)->Arg(0)->Arg(1);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+NETOUT_BENCH_JSON_MAIN("parser");

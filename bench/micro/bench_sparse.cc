@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/micro/bench_json_main.h"
+
 #include "common/random.h"
 #include "metapath/sparse_vector.h"
 
@@ -53,11 +55,16 @@ void BM_AddScaled(benchmark::State& state) {
 }
 BENCHMARK(BM_AddScaled)->Arg(16)->Arg(256)->Arg(4096);
 
+// Args: {dimension, nnz}. The second pairing pushes the accumulator
+// past its dense-mode threshold (touched >= dimension / 4), exercising
+// the vectorized dense harvest (harvest_count / harvest_fill kernels)
+// instead of the sparse touched-list sort.
 void BM_AccumulatorHarvest(benchmark::State& state) {
-  const std::size_t nnz = static_cast<std::size_t>(state.range(0));
-  const SparseVector a = RandomVector(nnz * 10, nnz, 6);
+  const std::size_t dimension = static_cast<std::size_t>(state.range(0));
+  const std::size_t nnz = static_cast<std::size_t>(state.range(1));
+  const SparseVector a = RandomVector(dimension, nnz, 6);
   DenseAccumulator acc;
-  acc.Resize(nnz * 10);
+  acc.Resize(dimension);
   for (auto _ : state) {
     for (std::size_t i = 0; i < a.nnz(); ++i) {
       acc.Add(a.indices()[i], a.values()[i]);
@@ -65,7 +72,11 @@ void BM_AccumulatorHarvest(benchmark::State& state) {
     benchmark::DoNotOptimize(acc.Harvest());
   }
 }
-BENCHMARK(BM_AccumulatorHarvest)->Arg(256)->Arg(4096);
+BENCHMARK(BM_AccumulatorHarvest)
+    ->Args({2560, 256})     // sparse regime: ~10% occupancy
+    ->Args({40960, 4096})   // sparse regime at scale
+    ->Args({4096, 2048})    // dense regime: half the slots touched
+    ->Args({4096, 4000});   // dense regime: near-full occupancy
 
 void BM_FromPairs(benchmark::State& state) {
   const std::size_t nnz = static_cast<std::size_t>(state.range(0));
@@ -84,4 +95,4 @@ BENCHMARK(BM_FromPairs)->Arg(256)->Arg(4096);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+NETOUT_BENCH_JSON_MAIN("sparse");

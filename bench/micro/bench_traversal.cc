@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/micro/bench_json_main.h"
+
 #include "datagen/biblio_gen.h"
 #include "index/pm_index.h"
 #include "metapath/evaluator.h"
@@ -87,4 +89,4 @@ BENCHMARK(BM_RelationMatrixMaterialize);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+NETOUT_BENCH_JSON_MAIN("traversal");

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Validates BENCH_*.json perf artifacts (the --json output of the bench
+# binaries; schema documented in bench/bench_json.h) so a malformed
+# writer fails CI instead of silently corrupting the perf trajectory.
+# Usage: scripts/check_bench_json.sh BENCH_foo.json [BENCH_bar.json ...]
+set -euo pipefail
+
+if [[ $# -eq 0 ]]; then
+  echo "usage: $0 BENCH_*.json" >&2
+  exit 2
+fi
+
+python3 - "$@" <<'PYEOF'
+import json
+import sys
+
+failures = 0
+
+
+def fail(path, message):
+    global failures
+    failures += 1
+    print(f"{path}: {message}", file=sys.stderr)
+
+
+for path in sys.argv[1:]:
+    failures_before = failures
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(path, f"unreadable or invalid JSON: {e}")
+        continue
+    if not isinstance(doc, dict):
+        fail(path, "top level is not an object")
+        continue
+    if doc.get("schema_version") != 1:
+        fail(path, f"schema_version != 1: {doc.get('schema_version')!r}")
+    for key in ("bench", "commit"):
+        if not isinstance(doc.get(key), str) or not doc.get(key):
+            fail(path, f"'{key}' missing or not a non-empty string")
+    scale = doc.get("scale")
+    if not isinstance(scale, (int, float)) or isinstance(scale, bool) \
+            or scale <= 0:
+        fail(path, f"'scale' is not a positive number: {scale!r}")
+    if doc.get("kernel_variant") not in ("scalar", "avx2"):
+        fail(path, f"bad 'kernel_variant': {doc.get('kernel_variant')!r}")
+    entries = doc.get("entries")
+    if not isinstance(entries, list) or not entries:
+        fail(path, "'entries' missing, not a list, or empty")
+        continue
+    for i, entry in enumerate(entries):
+        if not isinstance(entry, dict):
+            fail(path, f"entries[{i}] is not an object")
+            continue
+        if not isinstance(entry.get("name"), str) or not entry.get("name"):
+            fail(path, f"entries[{i}].name missing or empty")
+        iters = entry.get("iterations")
+        if not isinstance(iters, int) or isinstance(iters, bool) or iters < 1:
+            fail(path, f"entries[{i}].iterations not a positive int: "
+                       f"{iters!r}")
+        for key in ("real_nanos", "cpu_nanos"):
+            value = entry.get(key)
+            if not isinstance(value, (int, float)) \
+                    or isinstance(value, bool) or value < 0:
+                fail(path, f"entries[{i}].{key} not a non-negative "
+                           f"number: {value!r}")
+    if failures == failures_before:
+        print(f"{path}: OK ({doc['bench']}, {len(entries)} entries, "
+              f"kernel={doc['kernel_variant']})")
+
+sys.exit(1 if failures else 0)
+PYEOF
+
+echo "check_bench_json: all artifacts valid"

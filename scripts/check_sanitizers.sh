@@ -5,10 +5,10 @@
 #      runner / intra-query parallelism / sharded-cache stress /
 #      merged-plan DAG scheduling / stop tokens tripped and polled
 #      across worker threads).
-#   2. AddressSanitizer build -> `cache`+`robustness`-labelled tests
-#      (the CachedIndex pinned-lookup lifetime contract plus degraded
-#      partial results, which must never hand out freed or
-#      half-initialized slots).
+#   2. AddressSanitizer build -> `cache`+`robustness`+`kernels`-
+#      labelled tests (the CachedIndex pinned-lookup lifetime contract,
+#      degraded partial results, and the SIMD kernel property tests,
+#      whose raw-pointer merge loops must never read past a buffer).
 #   3. UndefinedBehaviorSanitizer build -> the full test suite
 #      (halt-on-UB: the build uses -fno-sanitize-recover so any signed
 #      overflow / bad shift / misaligned access fails its test).
@@ -40,7 +40,7 @@ TSAN_OPTIONS="halt_on_error=1" \
   --output-on-failure -j "${JOBS}"
 
 build "${ASAN_BUILD_DIR}" address
-ctest --test-dir "${ASAN_BUILD_DIR}" -L 'cache|robustness' \
+ctest --test-dir "${ASAN_BUILD_DIR}" -L 'cache|robustness|kernels' \
   --output-on-failure -j "${JOBS}"
 
 build "${UBSAN_BUILD_DIR}" undefined

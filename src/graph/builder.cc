@@ -103,6 +103,7 @@ Result<HinPtr> GraphBuilder::Finish() {
     hin->forward_.push_back(Csr::FromEdges(src_rows, std::move(edges_[e])));
     hin->reverse_.push_back(Csr::FromEdges(dst_rows, std::move(reversed)));
   }
+  hin->ComputeSketches();
 
   // Reset to a pristine state so reuse is well-defined.
   schema_ = Schema();

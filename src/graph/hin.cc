@@ -1,5 +1,7 @@
 #include "graph/hin.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace netout {
@@ -54,6 +56,34 @@ const Csr& Hin::Adjacency(const EdgeStep& step) const {
   NETOUT_CHECK(step.edge_type < forward_.size()) << "edge type out of range";
   return step.direction == Direction::kForward ? forward_[step.edge_type]
                                                : reverse_[step.edge_type];
+}
+
+const AdjacencySketch& Hin::StepSketch(const EdgeStep& step) const {
+  NETOUT_CHECK(step.edge_type < forward_sketch_.size())
+      << "edge type out of range";
+  return step.direction == Direction::kForward
+             ? forward_sketch_[step.edge_type]
+             : reverse_sketch_[step.edge_type];
+}
+
+void Hin::ComputeSketches() {
+  const auto sketch_of = [](const Csr& csr) {
+    AdjacencySketch s;
+    s.rows = csr.num_rows();
+    s.entries = csr.num_entries();
+    s.multiplicity = csr.TotalEdgeCount();
+    for (LocalId row = 0; row < s.rows; ++row) {
+      s.max_row_entries = std::max<std::uint64_t>(s.max_row_entries,
+                                                  csr.RowDegree(row));
+    }
+    return s;
+  };
+  forward_sketch_.clear();
+  reverse_sketch_.clear();
+  forward_sketch_.reserve(forward_.size());
+  reverse_sketch_.reserve(reverse_.size());
+  for (const Csr& csr : forward_) forward_sketch_.push_back(sketch_of(csr));
+  for (const Csr& csr : reverse_) reverse_sketch_.push_back(sketch_of(csr));
 }
 
 std::span<const CsrEntry> Hin::Neighbors(VertexRef v,

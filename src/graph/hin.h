@@ -14,6 +14,26 @@
 
 namespace netout {
 
+/// Degree-sum sketch of one stored adjacency direction, computed once at
+/// graph build (and persisted in the binary snapshot) so the query
+/// planner can estimate per-hop expansion cardinalities without touching
+/// the CSR arrays.
+struct AdjacencySketch {
+  std::uint64_t rows = 0;             // source-side vertex count
+  std::uint64_t entries = 0;          // distinct (src, dst) pairs
+  std::uint64_t multiplicity = 0;     // total parallel-edge count
+  std::uint64_t max_row_entries = 0;  // largest row degree
+
+  /// Mean out-degree (distinct neighbors) of a source vertex.
+  double AvgRowEntries() const {
+    return rows == 0 ? 0.0
+                     : static_cast<double>(entries) / static_cast<double>(rows);
+  }
+
+  friend bool operator==(const AdjacencySketch& a,
+                         const AdjacencySketch& b) = default;
+};
+
 /// An immutable heterogeneous information network (Definition 1 of the
 /// paper): multi-typed vertices with named identities and typed links.
 ///
@@ -54,6 +74,9 @@ class Hin {
   /// Adjacency rows for one resolved meta-path hop.
   const Csr& Adjacency(const EdgeStep& step) const;
 
+  /// Degree-sum sketch of the adjacency `step` resolves to.
+  const AdjacencySketch& StepSketch(const EdgeStep& step) const;
+
   /// Neighbors of `v` along `step` (empty if v is out of range).
   std::span<const CsrEntry> Neighbors(VertexRef v,
                                       const EdgeStep& step) const;
@@ -68,6 +91,10 @@ class Hin {
 
   Hin() = default;
 
+  /// Rebuilds forward_sketch_ / reverse_sketch_ from the CSR arrays
+  /// (graph build, and snapshot versions predating sketch persistence).
+  void ComputeSketches();
+
   Schema schema_;
   // names_[type][local] is the vertex name; name_index_[type] maps
   // name -> local id.
@@ -76,6 +103,8 @@ class Hin {
   // forward_[edge_type] / reverse_[edge_type]
   std::vector<Csr> forward_;
   std::vector<Csr> reverse_;
+  std::vector<AdjacencySketch> forward_sketch_;
+  std::vector<AdjacencySketch> reverse_sketch_;
 };
 
 using HinPtr = std::shared_ptr<const Hin>;

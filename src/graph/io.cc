@@ -13,7 +13,28 @@
 namespace netout {
 namespace {
 
-constexpr std::string_view kHinMagic = "NOUTHIN1";
+// Version 1 stored schema + names + forward CSRs. Version 2 appends the
+// per-direction adjacency sketches (degree-sum statistics the planner's
+// cardinality estimator reads); v1 snapshots still load, recomputing the
+// sketches from the CSR arrays.
+constexpr std::string_view kHinMagicV1 = "NOUTHIN1";
+constexpr std::string_view kHinMagicV2 = "NOUTHIN2";
+
+void AppendSketch(std::string* buf, const AdjacencySketch& sketch) {
+  AppendU64(buf, sketch.rows);
+  AppendU64(buf, sketch.entries);
+  AppendU64(buf, sketch.multiplicity);
+  AppendU64(buf, sketch.max_row_entries);
+}
+
+Result<AdjacencySketch> ReadSketch(Cursor* cur) {
+  AdjacencySketch sketch;
+  NETOUT_ASSIGN_OR_RETURN(sketch.rows, cur->ReadU64());
+  NETOUT_ASSIGN_OR_RETURN(sketch.entries, cur->ReadU64());
+  NETOUT_ASSIGN_OR_RETURN(sketch.multiplicity, cur->ReadU64());
+  NETOUT_ASSIGN_OR_RETURN(sketch.max_row_entries, cur->ReadU64());
+  return sketch;
+}
 
 }  // namespace
 
@@ -138,14 +159,22 @@ Status SaveHinBinary(const Hin& hin, std::string_view path) {
       AppendU32(&payload, entry.count);
     }
   }
+  for (EdgeTypeId e = 0; e < schema.num_edge_types(); ++e) {
+    AppendSketch(&payload, hin.StepSketch(EdgeStep{e, Direction::kForward}));
+    AppendSketch(&payload, hin.StepSketch(EdgeStep{e, Direction::kReverse}));
+  }
 
-  return WriteStringToFile(path, WrapWithChecksum(kHinMagic, payload));
+  return WriteStringToFile(path, WrapWithChecksum(kHinMagicV2, payload));
 }
 
 Result<HinPtr> LoadHinBinary(std::string_view path) {
   NETOUT_ASSIGN_OR_RETURN(std::string data, ReadFileToString(path));
-  NETOUT_ASSIGN_OR_RETURN(std::string payload,
-                          UnwrapChecked(kHinMagic, data));
+  const bool is_v1 =
+      data.size() >= kHinMagicV1.size() &&
+      std::string_view(data).substr(0, kHinMagicV1.size()) == kHinMagicV1;
+  NETOUT_ASSIGN_OR_RETURN(
+      std::string payload,
+      UnwrapChecked(is_v1 ? kHinMagicV1 : kHinMagicV2, data));
 
   auto hin = std::shared_ptr<Hin>(new Hin());
   Cursor cur(payload);
@@ -225,6 +254,27 @@ Result<HinPtr> LoadHinBinary(std::string_view path) {
     hin->forward_.push_back(std::move(forward));
     hin->reverse_.push_back(
         Csr::FromEdges(hin->names_[info.dst].size(), std::move(reversed)));
+  }
+
+  if (is_v1) {
+    hin->ComputeSketches();
+  } else {
+    hin->forward_sketch_.reserve(num_edge_types);
+    hin->reverse_sketch_.reserve(num_edge_types);
+    for (std::uint64_t e = 0; e < num_edge_types; ++e) {
+      NETOUT_ASSIGN_OR_RETURN(AdjacencySketch fwd, ReadSketch(&cur));
+      NETOUT_ASSIGN_OR_RETURN(AdjacencySketch rev, ReadSketch(&cur));
+      const Csr& fwd_csr = hin->forward_[e];
+      const Csr& rev_csr = hin->reverse_[e];
+      if (fwd.rows != fwd_csr.num_rows() ||
+          fwd.entries != fwd_csr.num_entries() ||
+          rev.rows != rev_csr.num_rows() ||
+          rev.entries != rev_csr.num_entries()) {
+        return Status::Corruption("adjacency sketch does not match CSR");
+      }
+      hin->forward_sketch_.push_back(fwd);
+      hin->reverse_sketch_.push_back(rev);
+    }
   }
 
   if (!cur.AtEnd()) {

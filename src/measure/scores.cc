@@ -78,9 +78,7 @@ SparseVector SumVectors(std::span<const SparseVecView> vectors) {
   DenseAccumulator acc;
   acc.Resize(static_cast<std::size_t>(max_index) + 1);
   for (const SparseVecView& vec : vectors) {
-    for (std::size_t i = 0; i < vec.indices.size(); ++i) {
-      acc.Add(vec.indices[i], vec.values[i]);
-    }
+    acc.AddSpan(vec.indices, vec.values, 1.0);
   }
   return acc.Harvest();
 }

@@ -109,19 +109,13 @@ Result<SparseVector> NeighborVectorEvaluator::EvaluateSteps(
       if (hit.has_value()) {
         ScopedTimer timer(stats ? &stats->indexed : nullptr);
         if (stats) ++stats->index_hits;
-        for (std::size_t e = 0; e < hit->indices.size(); ++e) {
-          chunk_acc_.Add(hit->indices[e], weight * hit->values[e]);
-        }
+        chunk_acc_.AddSpan(hit->indices, hit->values, weight);
       } else {
         ScopedTimer timer(stats ? &stats->not_indexed : nullptr);
         if (stats) ++stats->index_misses;
         SparseVector two_hop = TraverseChunk(row, steps[i], steps[i + 1]);
         index_->Remember(key, row, two_hop);
-        const auto ti = two_hop.indices();
-        const auto tv = two_hop.values();
-        for (std::size_t e = 0; e < ti.size(); ++e) {
-          chunk_acc_.Add(ti[e], weight * tv[e]);
-        }
+        chunk_acc_.AddSpan(two_hop.indices(), two_hop.values(), weight);
       }
     }
     {

@@ -1,0 +1,546 @@
+#include "metapath/kernels.h"
+
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string_view>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define NETOUT_HAS_AVX2_KERNELS 1
+#else
+#define NETOUT_HAS_AVX2_KERNELS 0
+#endif
+
+namespace netout {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scalar variant. The loop shapes here are the determinism reference:
+// the AVX2 variant below must perform the same per-element operations in
+// the same order (see the contract in kernels.h).
+// ---------------------------------------------------------------------------
+
+double DotScalar(const LocalId* a_idx, const double* a_val, std::size_t a_n,
+                 const LocalId* b_idx, const double* b_val, std::size_t b_n) {
+  double total = 0.0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a_n && j < b_n) {
+    if (a_idx[i] < b_idx[j]) {
+      ++i;
+    } else if (a_idx[i] > b_idx[j]) {
+      ++j;
+    } else {
+      total += a_val[i] * b_val[j];
+      ++i;
+      ++j;
+    }
+  }
+  return total;
+}
+
+// Canonical 4-lane reduction: lane = position mod 4, fixed final
+// combine. Both variants share this exact association.
+double SumScalar(const double* values, std::size_t n) {
+  double lane[4] = {0.0, 0.0, 0.0, 0.0};
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    lane[0] += values[i];
+    lane[1] += values[i + 1];
+    lane[2] += values[i + 2];
+    lane[3] += values[i + 3];
+  }
+  for (; i < n; ++i) lane[i % 4] += values[i];
+  return (lane[0] + lane[1]) + (lane[2] + lane[3]);
+}
+
+double L1Scalar(const double* values, std::size_t n) {
+  double lane[4] = {0.0, 0.0, 0.0, 0.0};
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    lane[0] += std::abs(values[i]);
+    lane[1] += std::abs(values[i + 1]);
+    lane[2] += std::abs(values[i + 2]);
+    lane[3] += std::abs(values[i + 3]);
+  }
+  for (; i < n; ++i) lane[i % 4] += std::abs(values[i]);
+  return (lane[0] + lane[1]) + (lane[2] + lane[3]);
+}
+
+double L2sqScalar(const double* values, std::size_t n) {
+  double lane[4] = {0.0, 0.0, 0.0, 0.0};
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    lane[0] += values[i] * values[i];
+    lane[1] += values[i + 1] * values[i + 1];
+    lane[2] += values[i + 2] * values[i + 2];
+    lane[3] += values[i + 3] * values[i + 3];
+  }
+  for (; i < n; ++i) lane[i % 4] += values[i] * values[i];
+  return (lane[0] + lane[1]) + (lane[2] + lane[3]);
+}
+
+std::size_t AddScaledScalar(const LocalId* a_idx, const double* a_val,
+                            std::size_t a_n, const LocalId* b_idx,
+                            const double* b_val, std::size_t b_n, double scale,
+                            LocalId* out_idx, double* out_val) {
+  // Plain three-way merge into preallocated buffers: the old
+  // push_back-based union spent most of its time in vector growth
+  // bookkeeping. (Branchless cmov-select and skip-ahead formulations
+  // were both measured and both lose: the selects serialize the loop on
+  // the index-advance dependency chain, and skip-ahead loses on
+  // interleaved inputs. Both kernel variants share this merge.)
+  std::size_t i = 0;
+  std::size_t j = 0;
+  std::size_t o = 0;
+  while (i < a_n && j < b_n) {
+    const LocalId x = a_idx[i];
+    const LocalId y = b_idx[j];
+    if (x < y) {
+      out_idx[o] = x;
+      out_val[o] = a_val[i];
+      ++i;
+    } else if (y < x) {
+      out_idx[o] = y;
+      out_val[o] = scale * b_val[j];
+      ++j;
+    } else {
+      out_idx[o] = x;
+      out_val[o] = a_val[i] + scale * b_val[j];
+      ++i;
+      ++j;
+    }
+    ++o;
+  }
+  if (i < a_n) {
+    std::memcpy(out_idx + o, a_idx + i, (a_n - i) * sizeof(LocalId));
+    std::memcpy(out_val + o, a_val + i, (a_n - i) * sizeof(double));
+    o += a_n - i;
+  }
+  for (; j < b_n; ++j, ++o) {
+    out_idx[o] = b_idx[j];
+    out_val[o] = scale * b_val[j];
+  }
+  return o;
+}
+
+void AddSpanScalar(const LocalId* idx, const double* val, std::size_t n,
+                   double weight, double* dense) {
+  for (std::size_t k = 0; k < n; ++k) {
+    dense[idx[k]] += weight * val[k];
+  }
+}
+
+void ExpandRowScalar(const CsrEntry* entries, std::size_t n, double weight,
+                     double* dense) {
+  for (std::size_t k = 0; k < n; ++k) {
+    dense[entries[k].neighbor] +=
+        weight * static_cast<double>(entries[k].count);
+  }
+}
+
+std::size_t HarvestCountScalar(const double* dense, std::size_t n) {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (dense[i] != 0.0) ++count;
+  }
+  return count;
+}
+
+void HarvestFillScalar(double* dense, std::size_t n, LocalId* out_idx,
+                       double* out_val) {
+  std::size_t o = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    // Store back only when the slot's bit pattern is not +0.0 (covers
+    // real values, NaN, and -0.0 normalization) — an unconditional zero
+    // store would dirty the whole workspace on every harvest.
+    std::uint64_t bits;
+    std::memcpy(&bits, &dense[i], sizeof(bits));
+    if (bits == 0) continue;
+    if (dense[i] != 0.0) {
+      out_idx[o] = static_cast<LocalId>(i);
+      out_val[o] = dense[i];
+      ++o;
+    }
+    dense[i] = 0.0;
+  }
+}
+
+constexpr KernelOps kScalarOps = {
+    DotScalar,        SumScalar,          L1Scalar,
+    L2sqScalar,       AddScaledScalar,    AddSpanScalar,
+    ExpandRowScalar,  HarvestCountScalar, HarvestFillScalar,
+};
+
+#if NETOUT_HAS_AVX2_KERNELS
+
+// ---------------------------------------------------------------------------
+// AVX2 variant. Index comparisons on uint32 use the classic sign-bias
+// trick (xor 0x80000000) so signed epi32 compares order them correctly.
+// Sorted inputs make every lane mask a contiguous prefix, so popcount /
+// countr_one give exact run lengths.
+// ---------------------------------------------------------------------------
+
+[[gnu::target("avx2")]]
+inline __m256i Bias() {
+  return _mm256_set1_epi32(static_cast<int>(0x80000000u));
+}
+
+// Gallop flavor for strongly asymmetric inputs (a much sparser than b):
+// walk a element-wise and skip ahead in b eight indices at a time.
+[[gnu::target("avx2")]]
+double DotGallopAvx2(const LocalId* a_idx, const double* a_val,
+                     std::size_t a_n, const LocalId* b_idx,
+                     const double* b_val, std::size_t b_n) {
+  double total = 0.0;
+  const __m256i bias = Bias();
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a_n) {
+    const LocalId target = a_idx[i];
+    const __m256i vt = _mm256_xor_si256(
+        _mm256_set1_epi32(static_cast<int>(target)), bias);
+    while (j + 8 <= b_n) {
+      const __m256i vb = _mm256_xor_si256(
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b_idx + j)),
+          bias);
+      const __m256i lt = _mm256_cmpgt_epi32(vt, vb);  // b < target lanes
+      const unsigned mask = static_cast<unsigned>(
+          _mm256_movemask_ps(_mm256_castsi256_ps(lt)));
+      if (mask == 0xFFu) {
+        j += 8;
+        continue;
+      }
+      j += static_cast<std::size_t>(std::popcount(mask));
+      break;
+    }
+    while (j < b_n && b_idx[j] < target) ++j;
+    if (j >= b_n) break;
+    if (b_idx[j] == target) {
+      total += a_val[i] * b_val[j];
+      ++j;
+    }
+    ++i;
+  }
+  return total;
+}
+
+[[gnu::target("avx2")]]
+double DotAvx2(const LocalId* a_idx, const double* a_val, std::size_t a_n,
+               const LocalId* b_idx, const double* b_val, std::size_t b_n) {
+  // Matches accumulate into `total` in ascending index order and each
+  // product is commutative, so both flavors below are bit-identical to
+  // the scalar merge.
+  if (a_n > b_n) {
+    const LocalId* ti = a_idx;
+    a_idx = b_idx;
+    b_idx = ti;
+    const double* tv = a_val;
+    a_val = b_val;
+    b_val = tv;
+    const std::size_t tn = a_n;
+    a_n = b_n;
+    b_n = tn;
+  }
+  if (a_n * 8 <= b_n) {
+    return DotGallopAvx2(a_idx, a_val, a_n, b_idx, b_val, b_n);
+  }
+  // Comparable sizes: 4x4 block intersection. Compare a block of four a
+  // indices against all rotations of four b indices; uniqueness means
+  // each a lane matches at most one b lane. Advancing the block whose
+  // max is smaller never skips a match (any b equal to a remaining a is
+  // bounded by that max and thus inside the compared block).
+  double total = 0.0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i + 4 <= a_n && j + 4 <= b_n) {
+    const __m128i va = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(a_idx + i));
+    const __m128i vb = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(b_idx + j));
+    const unsigned m0 = static_cast<unsigned>(
+        _mm_movemask_ps(_mm_castsi128_ps(_mm_cmpeq_epi32(va, vb))));
+    const unsigned m1 = static_cast<unsigned>(_mm_movemask_ps(_mm_castsi128_ps(
+        _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, 0x39)))));  // (1,2,3,0)
+    const unsigned m2 = static_cast<unsigned>(_mm_movemask_ps(_mm_castsi128_ps(
+        _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, 0x4E)))));  // (2,3,0,1)
+    const unsigned m3 = static_cast<unsigned>(_mm_movemask_ps(_mm_castsi128_ps(
+        _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, 0x93)))));  // (3,0,1,2)
+    if ((m0 | m1 | m2 | m3) != 0) {
+      for (unsigned l = 0; l < 4; ++l) {
+        unsigned bl;
+        if ((m0 >> l) & 1u) {
+          bl = l;
+        } else if ((m1 >> l) & 1u) {
+          bl = (l + 1) & 3u;
+        } else if ((m2 >> l) & 1u) {
+          bl = (l + 2) & 3u;
+        } else if ((m3 >> l) & 1u) {
+          bl = (l + 3) & 3u;
+        } else {
+          continue;
+        }
+        total += a_val[i + l] * b_val[j + bl];
+      }
+    }
+    const LocalId a_max = a_idx[i + 3];
+    const LocalId b_max = b_idx[j + 3];
+    if (a_max <= b_max) i += 4;
+    if (b_max <= a_max) j += 4;
+  }
+  // Scalar merge over the remainders.
+  while (i < a_n && j < b_n) {
+    if (a_idx[i] < b_idx[j]) {
+      ++i;
+    } else if (a_idx[i] > b_idx[j]) {
+      ++j;
+    } else {
+      total += a_val[i] * b_val[j];
+      ++i;
+      ++j;
+    }
+  }
+  return total;
+}
+
+[[gnu::target("avx2")]]
+double SumAvx2(const double* values, std::size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc = _mm256_add_pd(acc, _mm256_loadu_pd(values + i));
+  }
+  alignas(32) double lane[4];
+  _mm256_store_pd(lane, acc);
+  for (; i < n; ++i) lane[i % 4] += values[i];
+  return (lane[0] + lane[1]) + (lane[2] + lane[3]);
+}
+
+[[gnu::target("avx2")]]
+double L1Avx2(const double* values, std::size_t n) {
+  const __m256d sign_mask = _mm256_set1_pd(-0.0);
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc = _mm256_add_pd(acc,
+                        _mm256_andnot_pd(sign_mask, _mm256_loadu_pd(values + i)));
+  }
+  alignas(32) double lane[4];
+  _mm256_store_pd(lane, acc);
+  for (; i < n; ++i) lane[i % 4] += std::abs(values[i]);
+  return (lane[0] + lane[1]) + (lane[2] + lane[3]);
+}
+
+[[gnu::target("avx2")]]
+double L2sqAvx2(const double* values, std::size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d v = _mm256_loadu_pd(values + i);
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(v, v));
+  }
+  alignas(32) double lane[4];
+  _mm256_store_pd(lane, acc);
+  for (; i < n; ++i) lane[i % 4] += values[i] * values[i];
+  return (lane[0] + lane[1]) + (lane[2] + lane[3]);
+}
+
+// No AVX2 flavor of add_scaled: a merge union writes one output per
+// element through data-dependent advances, and every SIMD/branchless
+// formulation measured (run detection, lookahead skip-ahead, cmov
+// selects) lost to the plain three-way merge on interleaved inputs. The
+// AVX2 table reuses the scalar kernel; its speedup over the pre-kernel
+// implementation comes from the preallocated output buffers.
+
+[[gnu::target("avx2")]]
+void AddSpanAvx2(const LocalId* idx, const double* val, std::size_t n,
+                 double weight, double* dense) {
+  // Vectorize the products, scatter scalar. Indices within one span are
+  // unique, so the four adds never alias.
+  const __m256d vw = _mm256_set1_pd(weight);
+  alignas(32) double prod[4];
+  std::size_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    _mm256_store_pd(prod, _mm256_mul_pd(vw, _mm256_loadu_pd(val + k)));
+    dense[idx[k]] += prod[0];
+    dense[idx[k + 1]] += prod[1];
+    dense[idx[k + 2]] += prod[2];
+    dense[idx[k + 3]] += prod[3];
+  }
+  for (; k < n; ++k) dense[idx[k]] += weight * val[k];
+}
+
+[[gnu::target("avx2")]]
+void ExpandRowAvx2(const CsrEntry* entries, std::size_t n, double weight,
+                   double* dense) {
+  // CsrEntry is {u32 neighbor, u32 count}; a 256-bit load covers four
+  // entries. Counts sit in the odd epi32 lanes — gather them, convert to
+  // double, multiply by the weight, scatter scalar. cvtepi32_pd is a
+  // signed convert, so entries with count >= 2^31 (never produced by
+  // realistic multiplicities, but allowed by the format) take the scalar
+  // path for their block.
+  static_assert(sizeof(CsrEntry) == 8);
+  const __m256d vw = _mm256_set1_pd(weight);
+  const __m256i count_lanes = _mm256_setr_epi32(1, 3, 5, 7, 0, 0, 0, 0);
+  alignas(32) double prod[4];
+  std::size_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    const __m256i raw = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(entries + k));
+    const unsigned high = static_cast<unsigned>(
+        _mm256_movemask_ps(_mm256_castsi256_ps(raw)));
+    if ((high & 0xAAu) != 0) {  // a count with its top bit set
+      for (std::size_t t = 0; t < 4; ++t) {
+        dense[entries[k + t].neighbor] +=
+            weight * static_cast<double>(entries[k + t].count);
+      }
+      continue;
+    }
+    const __m256i counts = _mm256_permutevar8x32_epi32(raw, count_lanes);
+    const __m256d cd = _mm256_cvtepi32_pd(_mm256_castsi256_si128(counts));
+    _mm256_store_pd(prod, _mm256_mul_pd(vw, cd));
+    dense[entries[k].neighbor] += prod[0];
+    dense[entries[k + 1].neighbor] += prod[1];
+    dense[entries[k + 2].neighbor] += prod[2];
+    dense[entries[k + 3].neighbor] += prod[3];
+  }
+  for (; k < n; ++k) {
+    dense[entries[k].neighbor] +=
+        weight * static_cast<double>(entries[k].count);
+  }
+}
+
+[[gnu::target("avx2")]]
+std::size_t HarvestCountAvx2(const double* dense, std::size_t n) {
+  const __m256d zero = _mm256_setzero_pd();
+  std::size_t count = 0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d v = _mm256_loadu_pd(dense + i);
+    const __m256d neq = _mm256_cmp_pd(v, zero, _CMP_NEQ_UQ);
+    count += static_cast<std::size_t>(
+        std::popcount(static_cast<unsigned>(_mm256_movemask_pd(neq))));
+  }
+  for (; i < n; ++i) {
+    if (dense[i] != 0.0) ++count;
+  }
+  return count;
+}
+
+[[gnu::target("avx2")]]
+void HarvestFillAvx2(double* dense, std::size_t n, LocalId* out_idx,
+                     double* out_val) {
+  const __m256d zero = _mm256_setzero_pd();
+  const __m256i izero = _mm256_setzero_si256();
+  std::size_t o = 0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    // Skip blocks whose bit pattern is exactly +0.0 in every lane; a
+    // lane holding a value, NaN, or -0.0 forces the emit/normalize path
+    // (mirrors the scalar kernel's lazy store).
+    const __m256i bits = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(dense + i));
+    const unsigned nonzero_bits = static_cast<unsigned>(_mm256_movemask_pd(
+        _mm256_castsi256_pd(_mm256_cmpeq_epi64(bits, izero))));
+    if (nonzero_bits == 0xFu) continue;
+    const __m256d v = _mm256_castsi256_pd(bits);
+    unsigned mask = static_cast<unsigned>(
+        _mm256_movemask_pd(_mm256_cmp_pd(v, zero, _CMP_NEQ_UQ)));
+    if (mask != 0) {
+      alignas(32) double lane[4];
+      _mm256_store_pd(lane, v);
+      while (mask != 0) {
+        const unsigned l = static_cast<unsigned>(std::countr_zero(mask));
+        out_idx[o] = static_cast<LocalId>(i + l);
+        out_val[o] = lane[l];
+        ++o;
+        mask &= mask - 1;
+      }
+    }
+    _mm256_storeu_pd(dense + i, zero);
+  }
+  for (; i < n; ++i) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &dense[i], sizeof(bits));
+    if (bits == 0) continue;
+    if (dense[i] != 0.0) {
+      out_idx[o] = static_cast<LocalId>(i);
+      out_val[o] = dense[i];
+      ++o;
+    }
+    dense[i] = 0.0;
+  }
+}
+
+constexpr KernelOps kAvx2Ops = {
+    DotAvx2,        SumAvx2,          L1Avx2,
+    L2sqAvx2,       AddScaledScalar,  AddSpanAvx2,
+    ExpandRowAvx2,  HarvestCountAvx2, HarvestFillAvx2,
+};
+
+#endif  // NETOUT_HAS_AVX2_KERNELS
+
+KernelVariant SelectVariant() {
+  const bool avx2 = CpuSupportsAvx2();
+  const char* env = std::getenv("NETOUT_KERNELS");
+  if (env != nullptr && *env != '\0') {
+    const std::string_view requested(env);
+    if (requested == "scalar") return KernelVariant::kScalar;
+    if (requested == "avx2") {
+      if (avx2) return KernelVariant::kAvx2;
+      std::fprintf(stderr,
+                   "netout: NETOUT_KERNELS=avx2 requested but this host "
+                   "cannot run AVX2; using scalar kernels\n");
+      return KernelVariant::kScalar;
+    }
+    std::fprintf(stderr,
+                 "netout: ignoring unrecognized NETOUT_KERNELS='%s' "
+                 "(expected scalar|avx2)\n",
+                 env);
+  }
+  return avx2 ? KernelVariant::kAvx2 : KernelVariant::kScalar;
+}
+
+}  // namespace
+
+const char* KernelVariantName(KernelVariant variant) {
+  switch (variant) {
+    case KernelVariant::kScalar:
+      return "scalar";
+    case KernelVariant::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+bool CpuSupportsAvx2() {
+#if NETOUT_HAS_AVX2_KERNELS
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+const KernelOps& GetKernelOps(KernelVariant variant) {
+#if NETOUT_HAS_AVX2_KERNELS
+  if (variant == KernelVariant::kAvx2 && CpuSupportsAvx2()) return kAvx2Ops;
+#else
+  (void)variant;
+#endif
+  return kScalarOps;
+}
+
+KernelVariant ActiveKernelVariant() {
+  static const KernelVariant variant = SelectVariant();
+  return variant;
+}
+
+const KernelOps& ActiveKernels() {
+  static const KernelOps& ops = GetKernelOps(ActiveKernelVariant());
+  return ops;
+}
+
+}  // namespace netout

@@ -1,0 +1,99 @@
+#ifndef NETOUT_METAPATH_KERNELS_H_
+#define NETOUT_METAPATH_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.h"
+#include "graph/types.h"
+
+namespace netout {
+
+/// Runtime-dispatched numeric kernels behind the sparse-vector hot
+/// loops (merge joins, reductions, frontier expansion, dense harvest).
+///
+/// Two implementations exist: a portable scalar one and an AVX2 one.
+/// The active variant is selected ONCE, on first use: AVX2 when the CPU
+/// supports it, overridable for A/B testing via the environment variable
+/// `NETOUT_KERNELS=scalar|avx2` (an unsupported or unrecognized value
+/// falls back to the auto pick with a warning on stderr).
+///
+/// Determinism contract (see DESIGN.md §10): for identical inputs, every
+/// kernel produces BITWISE identical results across variants. SIMD is
+/// used to accelerate index matching, run detection, and element-wise
+/// products, never to reassociate a floating-point reduction differently
+/// from the scalar variant: reductions in BOTH variants accumulate into
+/// the same canonical 4-lane split (lane = position mod 4, final combine
+/// (l0+l1)+(l2+l3)), and merge/expansion kernels perform the exact same
+/// per-element operations in the same order. FMA contraction is never
+/// enabled for kernel code.
+
+enum class KernelVariant : std::uint8_t {
+  kScalar = 0,
+  kAvx2 = 1,
+};
+
+/// "scalar" / "avx2" — stable names used by NETOUT_KERNELS and the
+/// BENCH_*.json artifacts.
+const char* KernelVariantName(KernelVariant variant);
+
+/// Function-pointer table over raw arrays. All index arrays are sorted
+/// strictly ascending; output buffers are caller-preallocated to the
+/// worst case documented per kernel.
+struct KernelOps {
+  /// Merge-join dot product. Matched products accumulate sequentially in
+  /// ascending index order.
+  double (*dot)(const LocalId* a_idx, const double* a_val, std::size_t a_n,
+                const LocalId* b_idx, const double* b_val, std::size_t b_n);
+
+  /// Canonical 4-lane reductions (see determinism contract above).
+  double (*sum)(const double* values, std::size_t n);
+  double (*l1)(const double* values, std::size_t n);
+  double (*l2sq)(const double* values, std::size_t n);
+
+  /// Sorted merge union out = a + scale * b into preallocated buffers of
+  /// capacity a_n + b_n. Returns the number of entries written.
+  std::size_t (*add_scaled)(const LocalId* a_idx, const double* a_val,
+                            std::size_t a_n, const LocalId* b_idx,
+                            const double* b_val, std::size_t b_n, double scale,
+                            LocalId* out_idx, double* out_val);
+
+  /// Dense scatter: dense[idx[k]] += weight * val[k] for k in [0, n).
+  /// (Sparse-tracking accumulation stays inline in DenseAccumulator —
+  /// its per-slot zero test and touched push defeat vectorization.)
+  void (*add_span)(const LocalId* idx, const double* val, std::size_t n,
+                   double weight, double* dense);
+
+  /// dense[e.neighbor] += weight * e.count for each CSR entry (frontier
+  /// expansion), dense scatter.
+  void (*expand_row)(const CsrEntry* entries, std::size_t n, double weight,
+                     double* dense);
+
+  /// Number of slots with dense[i] != 0.0 (NaN counts; -0.0 does not).
+  std::size_t (*harvest_count)(const double* dense, std::size_t n);
+
+  /// Writes the (index, value) pairs of all non-zero slots in ascending
+  /// index order into buffers sized by harvest_count, zeroing the dense
+  /// array as it goes (every slot is exactly +0.0 afterwards).
+  void (*harvest_fill)(double* dense, std::size_t n, LocalId* out_idx,
+                       double* out_val);
+};
+
+/// True when the host CPU (and build target) can run the AVX2 variant.
+bool CpuSupportsAvx2();
+
+/// Table for an explicit variant. Requesting kAvx2 on a host without
+/// AVX2 support returns the scalar table (callers that care should check
+/// CpuSupportsAvx2() first — the property tests do).
+const KernelOps& GetKernelOps(KernelVariant variant);
+
+/// The variant selected for this process (env override applied once).
+KernelVariant ActiveKernelVariant();
+
+/// Table of the active variant — what the hot paths call.
+const KernelOps& ActiveKernels();
+
+}  // namespace netout
+
+#endif  // NETOUT_METAPATH_KERNELS_H_

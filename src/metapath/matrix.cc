@@ -1,18 +1,21 @@
 #include "metapath/matrix.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 #include "metapath/traversal.h"
 
 namespace netout {
 
-Result<RelationMatrix> RelationMatrix::Materialize(const Hin& hin,
-                                                   const MetaPath& path) {
+Result<RelationMatrix> RelationMatrix::Materialize(
+    const Hin& hin, const MetaPath& path, const CancellationToken* stop) {
   if (path.types().empty()) {
     return Status::InvalidArgument("empty meta-path");
   }
   RelationMatrix out;
   out.row_type_ = path.source_type();
   out.col_type_ = path.target_type();
+  out.num_cols_ = hin.NumVertices(out.col_type_);
   const std::size_t rows = hin.NumVertices(out.row_type_);
 
   // Hop state as a dense frontier per source vertex, reusing one
@@ -20,9 +23,11 @@ Result<RelationMatrix> RelationMatrix::Materialize(const Hin& hin,
   // PathCounter needs a HinPtr; wrap without ownership transfer.
   HinPtr alias(&hin, [](const Hin*) {});
   PathCounter counter(alias);
+  counter.SetStopToken(stop);
 
   out.offsets_.assign(rows + 1, 0);
   for (LocalId row = 0; row < rows; ++row) {
+    if (stop != nullptr && stop->ShouldStop()) return stop->ToStatus();
     NETOUT_ASSIGN_OR_RETURN(
         SparseVector vec,
         counter.NeighborVector(VertexRef{out.row_type_, row}, path));
@@ -31,6 +36,35 @@ Result<RelationMatrix> RelationMatrix::Materialize(const Hin& hin,
                      vec.indices().end());
     out.vals_.insert(out.vals_.end(), vec.values().begin(),
                      vec.values().end());
+  }
+  return out;
+}
+
+RelationMatrix RelationMatrix::Transpose() const {
+  RelationMatrix out;
+  out.row_type_ = col_type_;
+  out.col_type_ = row_type_;
+  out.num_cols_ = num_rows();
+  const std::size_t out_rows = num_cols_;
+  out.offsets_.assign(out_rows + 1, 0);
+  for (LocalId col : cols_) {
+    ++out.offsets_[static_cast<std::size_t>(col) + 1];
+  }
+  for (std::size_t r = 0; r < out_rows; ++r) {
+    out.offsets_[r + 1] += out.offsets_[r];
+  }
+  out.cols_.resize(cols_.size());
+  out.vals_.resize(vals_.size());
+  // Scatter row-by-row in ascending source order, so each transposed
+  // row's columns come out sorted.
+  std::vector<std::uint64_t> cursor(out.offsets_.begin(),
+                                    out.offsets_.end() - 1);
+  for (std::size_t row = 0; row + 1 < offsets_.size(); ++row) {
+    for (std::uint64_t k = offsets_[row]; k < offsets_[row + 1]; ++k) {
+      const std::uint64_t slot = cursor[cols_[k]]++;
+      out.cols_[slot] = static_cast<LocalId>(row);
+      out.vals_[slot] = vals_[k];
+    }
   }
   return out;
 }
@@ -59,6 +93,10 @@ Result<RelationMatrix> RelationMatrix::FromRaw(
   RelationMatrix out;
   out.row_type_ = row_type;
   out.col_type_ = col_type;
+  for (LocalId col : cols) {
+    out.num_cols_ =
+        std::max(out.num_cols_, static_cast<std::size_t>(col) + 1);
+  }
   out.offsets_ = std::move(offsets);
   out.cols_ = std::move(cols);
   out.vals_ = std::move(vals);
@@ -69,21 +107,15 @@ SparseVector MultiplyRowVector(const SparseVector& vec,
                                const RelationMatrix& matrix,
                                DenseAccumulator* acc) {
   NETOUT_CHECK(acc != nullptr);
-  // Output dimension: columns of the matrix. The accumulator is sized to
-  // the max column id + 1 we could touch; the matrix knows its column
-  // type's cardinality only implicitly, so size by scanning is avoided by
-  // requiring callers to Resize upfront. For safety, grow lazily here.
+  // Size the accumulator once: every row entry is < num_cols() by
+  // construction (the old per-entry lazy Resize branch sat inside the
+  // inner loop of the hottest multiply).
+  acc->Resize(matrix.num_cols());
   const auto indices = vec.indices();
   const auto values = vec.values();
   for (std::size_t i = 0; i < indices.size(); ++i) {
     SparseVecView row = matrix.Row(indices[i]);
-    const double weight = values[i];
-    for (std::size_t k = 0; k < row.indices.size(); ++k) {
-      if (row.indices[k] >= acc->dimension()) {
-        acc->Resize(row.indices[k] + 1);
-      }
-      acc->Add(row.indices[k], weight * row.values[k]);
-    }
+    acc->AddSpan(row.indices, row.values, values[i]);
   }
   return acc->Harvest();
 }

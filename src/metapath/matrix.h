@@ -5,6 +5,7 @@
 #include <span>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/result.h"
 #include "graph/hin.h"
 #include "metapath/metapath.h"
@@ -21,9 +22,11 @@ class RelationMatrix {
   RelationMatrix() : offsets_(1, 0) {}
 
   /// Materializes the full relation of `path` over `hin` by propagating
-  /// every source vertex. O(Σ_v traversal(v)).
-  static Result<RelationMatrix> Materialize(const Hin& hin,
-                                            const MetaPath& path);
+  /// every source vertex. O(Σ_v traversal(v)). Polls `stop` (when
+  /// non-null) between source rows and fails with its stop status.
+  static Result<RelationMatrix> Materialize(
+      const Hin& hin, const MetaPath& path,
+      const CancellationToken* stop = nullptr);
 
   /// Neighbor vector of source row `row` as a view (no copy).
   SparseVecView Row(LocalId row) const {
@@ -38,8 +41,18 @@ class RelationMatrix {
   std::size_t num_rows() const { return offsets_.size() - 1; }
   std::size_t num_entries() const { return cols_.size(); }
 
+  /// Column-space dimension: the col type's vertex count when built via
+  /// Materialize, max column id + 1 when rebuilt from raw arrays. Every
+  /// row entry is strictly below this bound.
+  std::size_t num_cols() const { return num_cols_; }
+
   TypeId row_type() const { return row_type_; }
   TypeId col_type() const { return col_type_; }
+
+  /// The reversed relation: out[c][r] = this[r][c]. Row r of the result
+  /// is φ_{P⁻¹}(v_r); used when building a relation segment in the
+  /// cheaper direction and flipping it. O(entries).
+  RelationMatrix Transpose() const;
 
   /// Heap footprint in bytes (Figure 5b index-size accounting).
   std::size_t MemoryBytes() const {
@@ -63,6 +76,7 @@ class RelationMatrix {
  private:
   TypeId row_type_ = kInvalidTypeId;
   TypeId col_type_ = kInvalidTypeId;
+  std::size_t num_cols_ = 0;
   std::vector<std::uint64_t> offsets_;
   std::vector<LocalId> cols_;
   std::vector<double> vals_;

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/logging.h"
+#include "metapath/kernels.h"
 
 namespace netout {
 
@@ -89,65 +90,31 @@ std::string SparseVector::ToString() const {
 }
 
 double Dot(SparseVecView a, SparseVecView b) {
-  double total = 0.0;
-  std::size_t i = 0;
-  std::size_t j = 0;
-  while (i < a.indices.size() && j < b.indices.size()) {
-    if (a.indices[i] < b.indices[j]) {
-      ++i;
-    } else if (a.indices[i] > b.indices[j]) {
-      ++j;
-    } else {
-      total += a.values[i] * b.values[j];
-      ++i;
-      ++j;
-    }
-  }
-  return total;
+  return ActiveKernels().dot(a.indices.data(), a.values.data(),
+                             a.indices.size(), b.indices.data(),
+                             b.values.data(), b.indices.size());
 }
 
 double Sum(SparseVecView v) {
-  double total = 0.0;
-  for (double value : v.values) total += value;
-  return total;
+  return ActiveKernels().sum(v.values.data(), v.values.size());
 }
 
 double L1Norm(SparseVecView v) {
-  double total = 0.0;
-  for (double value : v.values) total += std::abs(value);
-  return total;
+  return ActiveKernels().l1(v.values.data(), v.values.size());
 }
 
 double L2NormSquared(SparseVecView v) {
-  double total = 0.0;
-  for (double value : v.values) total += value * value;
-  return total;
+  return ActiveKernels().l2sq(v.values.data(), v.values.size());
 }
 
 SparseVector AddScaled(SparseVecView a, SparseVecView b, double scale) {
-  std::vector<LocalId> indices;
-  std::vector<double> values;
-  indices.reserve(a.nnz() + b.nnz());
-  values.reserve(a.nnz() + b.nnz());
-  std::size_t i = 0;
-  std::size_t j = 0;
-  while (i < a.indices.size() || j < b.indices.size()) {
-    if (j >= b.indices.size() ||
-        (i < a.indices.size() && a.indices[i] < b.indices[j])) {
-      indices.push_back(a.indices[i]);
-      values.push_back(a.values[i]);
-      ++i;
-    } else if (i >= a.indices.size() || b.indices[j] < a.indices[i]) {
-      indices.push_back(b.indices[j]);
-      values.push_back(scale * b.values[j]);
-      ++j;
-    } else {
-      indices.push_back(a.indices[i]);
-      values.push_back(a.values[i] + scale * b.values[j]);
-      ++i;
-      ++j;
-    }
-  }
+  std::vector<LocalId> indices(a.nnz() + b.nnz());
+  std::vector<double> values(indices.size());
+  const std::size_t written = ActiveKernels().add_scaled(
+      a.indices.data(), a.values.data(), a.indices.size(), b.indices.data(),
+      b.values.data(), b.indices.size(), scale, indices.data(), values.data());
+  indices.resize(written);
+  values.resize(written);
   return SparseVector::FromSorted(std::move(indices), std::move(values));
 }
 
@@ -162,19 +129,74 @@ void DenseAccumulator::Resize(std::size_t dimension) {
   if (dense_.size() < dimension) {
     dense_.resize(dimension, 0.0);
   }
+  // Dense-scan harvesting beats sort-based harvesting once roughly a
+  // quarter of the slots are live: the scan touches 4 slots per output
+  // entry (read-mostly, vectorized) while the sort pays O(log t) plus a
+  // gather per entry.
+  dense_switch_ = std::max<std::size_t>(8, dense_.size() / 4);
 }
 
 void DenseAccumulator::Add(LocalId index, double value) {
   NETOUT_CHECK(index < dense_.size()) << "accumulator index out of range";
-  if (dense_[index] == 0.0) {
-    touched_.push_back(index);
+  if (!dense_mode_ && dense_[index] == 0.0) {
+    NoteTouched(index);
   }
   dense_[index] += value;
   // A sum landing exactly on zero would orphan the touched entry; keep it
   // (Harvest filters zero values) to stay O(1) per Add.
 }
 
+void DenseAccumulator::AddSpan(std::span<const LocalId> indices,
+                               std::span<const double> values, double weight) {
+  NETOUT_CHECK(indices.size() == values.size());
+  NETOUT_CHECK(indices.empty() || indices.back() < dense_.size())
+      << "accumulator index out of range";
+  if (dense_mode_) {
+    ActiveKernels().add_span(indices.data(), values.data(), indices.size(),
+                             weight, dense_.data());
+    return;
+  }
+  // Sparse regime stays inline: the per-slot zero test and touched push
+  // defeat vectorization, and an indirect call per (often tiny) span
+  // costs more than the loop.
+  for (std::size_t k = 0; k < indices.size(); ++k) {
+    const LocalId i = indices[k];
+    if (dense_[i] == 0.0) touched_.push_back(i);
+    dense_[i] += weight * values[k];
+  }
+  if (touched_.size() >= dense_switch_) dense_mode_ = true;
+}
+
+void DenseAccumulator::AddRow(std::span<const CsrEntry> row, double weight) {
+  NETOUT_CHECK(row.empty() || row.back().neighbor < dense_.size())
+      << "accumulator index out of range";
+  if (dense_mode_) {
+    ActiveKernels().expand_row(row.data(), row.size(), weight, dense_.data());
+    return;
+  }
+  for (const CsrEntry& entry : row) {
+    const LocalId i = entry.neighbor;
+    if (dense_[i] == 0.0) touched_.push_back(i);
+    dense_[i] += weight * static_cast<double>(entry.count);
+  }
+  if (touched_.size() >= dense_switch_) dense_mode_ = true;
+}
+
 SparseVector DenseAccumulator::Harvest() {
+  if (dense_mode_) {
+    // Dense regime: the touched list is stale (tracking stopped at the
+    // switch); scan the whole array instead. harvest_fill resets every
+    // slot to +0.0.
+    const KernelOps& kernels = ActiveKernels();
+    const std::size_t nnz = kernels.harvest_count(dense_.data(), dense_.size());
+    std::vector<LocalId> indices(nnz);
+    std::vector<double> values(nnz);
+    kernels.harvest_fill(dense_.data(), dense_.size(), indices.data(),
+                         values.data());
+    touched_.clear();
+    dense_mode_ = false;
+    return SparseVector::FromSorted(std::move(indices), std::move(values));
+  }
   std::sort(touched_.begin(), touched_.end());
   std::vector<LocalId> indices;
   std::vector<double> values;
@@ -195,7 +217,12 @@ SparseVector DenseAccumulator::Harvest() {
 }
 
 void DenseAccumulator::Clear() {
-  for (LocalId index : touched_) dense_[index] = 0.0;
+  if (dense_mode_) {
+    std::fill(dense_.begin(), dense_.end(), 0.0);
+    dense_mode_ = false;
+  } else {
+    for (LocalId index : touched_) dense_[index] = 0.0;
+  }
   touched_.clear();
 }
 

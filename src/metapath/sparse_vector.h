@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "graph/csr.h"
 #include "graph/types.h"
 
 namespace netout {
@@ -108,6 +109,14 @@ double CosineSimilarity(SparseVecView a, SparseVecView b);
 /// dimension (one vertex type). Add() is O(1); Harvest() emits a sorted
 /// SparseVector and resets. The workspace persists across calls so
 /// repeated materializations avoid reallocating the dense array.
+///
+/// Two harvesting regimes: while the touched set is small relative to
+/// the dimension, touched indices are tracked and Harvest sorts them
+/// (O(t log t)). Once the touched count crosses dimension/16 the
+/// accumulator flips to dense mode — tracking stops (adds become a pure
+/// scatter) and Harvest scans the whole dense array with the vectorized
+/// harvest kernels, which is both cheaper than the sort at that density
+/// and branch-light. Both regimes produce identical vectors.
 class DenseAccumulator {
  public:
   /// Grows the dense workspace to `dimension` slots if needed.
@@ -115,13 +124,20 @@ class DenseAccumulator {
 
   void Add(LocalId index, double value);
 
+  /// Bulk add of a sorted unique (index, value) span scaled by `weight`:
+  /// dense[idx[k]] += weight * val[k]. Kernel-dispatched.
+  void AddSpan(std::span<const LocalId> indices, std::span<const double> values,
+               double weight);
+
+  /// Frontier expansion: dense[e.neighbor] += weight * e.count for every
+  /// entry of a CSR row. Kernel-dispatched.
+  void AddRow(std::span<const CsrEntry> row, double weight);
+
   /// True if no slot has been touched since the last Harvest/Clear.
-  bool IsEmpty() const { return touched_.empty(); }
+  bool IsEmpty() const { return touched_.empty() && !dense_mode_; }
 
   std::size_t dimension() const { return dense_.size(); }
 
-  /// Touched slots (unsorted, unique).
-  std::span<const LocalId> touched() const { return touched_; }
   double ValueAt(LocalId index) const { return dense_[index]; }
 
   /// Emits the accumulated vector (sorted) and clears the workspace.
@@ -131,8 +147,17 @@ class DenseAccumulator {
   void Clear();
 
  private:
+  void NoteTouched(LocalId index) {
+    touched_.push_back(index);
+    if (touched_.size() >= dense_switch_) dense_mode_ = true;
+  }
+
   std::vector<double> dense_;
   std::vector<LocalId> touched_;
+  /// Touched count at which tracking stops and Harvest switches to a
+  /// full dense scan.
+  std::size_t dense_switch_ = 0;
+  bool dense_mode_ = false;
 };
 
 }  // namespace netout

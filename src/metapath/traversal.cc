@@ -44,10 +44,7 @@ SparseVector PathCounter::PropagateStep(const SparseVector& frontier,
   const auto indices = frontier.indices();
   const auto values = frontier.values();
   for (std::size_t i = 0; i < indices.size(); ++i) {
-    const double weight = values[i];
-    for (const CsrEntry& entry : adj.Row(indices[i])) {
-      acc.Add(entry.neighbor, weight * entry.count);
-    }
+    acc.AddRow(adj.Row(indices[i]), values[i]);
   }
   return acc.Harvest();
 }

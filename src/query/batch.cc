@@ -103,7 +103,9 @@ std::vector<BatchOutcome> BatchRunner::Impl::RunMerged(
   // sharing happens (identical sets, conditions, features and common
   // prefixes collapse to single ops).
   Planner planner(*hin,
-                  PlannerOptions{options.exec.plan_cse, options.index});
+                  PlannerOptions{options.exec.plan_cse,
+                                 options.exec.cost_based_order,
+                                 options.index});
   for (Prepared& p : prepared) {
     p.query_index = planner.AddQuery(p.plan);
   }

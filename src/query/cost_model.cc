@@ -1,0 +1,31 @@
+#include "query/cost_model.h"
+
+#include <cmath>
+
+namespace netout {
+
+PathEstimate CardinalityEstimator::EstimateChain(
+    std::span<const EdgeStep> steps, double start_rows) const {
+  PathEstimate est{start_rows, 0.0};
+  for (const EdgeStep& step : steps) {
+    const AdjacencySketch& sketch = hin_.StepSketch(step);
+    const double entries = est.rows * sketch.AvgRowEntries();
+    est.work += entries;
+    const double population =
+        static_cast<double>(hin_.NumVertices(hin_.schema().StepTarget(step)));
+    est.rows = population <= 0.0
+                   ? 0.0
+                   : population * (1.0 - std::exp(-entries / population));
+  }
+  return est;
+}
+
+double CardinalityEstimator::MatrixBuildWork(
+    std::span<const EdgeStep> steps) const {
+  if (steps.empty()) return 0.0;
+  const double rows = static_cast<double>(
+      hin_.NumVertices(hin_.schema().StepSource(steps.front())));
+  return rows * EstimatePerVertex(steps).work;
+}
+
+}  // namespace netout

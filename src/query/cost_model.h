@@ -1,0 +1,54 @@
+#ifndef NETOUT_QUERY_COST_MODEL_H_
+#define NETOUT_QUERY_COST_MODEL_H_
+
+#include <cstddef>
+#include <span>
+
+#include "graph/hin.h"
+
+namespace netout {
+
+/// What the estimator predicts for expanding a meta-path chain from a
+/// set of source vertices: the distinct-vertex cardinality of the final
+/// frontier, and the traversal work (adjacency entries expanded, summed
+/// over every hop) to get there.
+struct PathEstimate {
+  double rows = 0.0;
+  double work = 0.0;
+};
+
+/// Per-hop cardinality estimator over the graph's adjacency sketches
+/// (Hin::StepSketch). Each hop multiplies the current distinct frontier
+/// by the direction's mean out-degree to predict expanded entries, then
+/// saturates the distinct count against the target type's population
+/// with the standard balls-into-bins collision estimate
+///   distinct ≈ N · (1 − exp(−entries / N)),
+/// which stays below both `entries` and N. Estimates are heuristics for
+/// cost-based planning — never for correctness decisions.
+class CardinalityEstimator {
+ public:
+  explicit CardinalityEstimator(const Hin& hin) : hin_(hin) {}
+
+  /// Expands `steps` starting from `start_rows` distinct source
+  /// vertices. An empty chain is the identity: {start_rows, 0}.
+  PathEstimate EstimateChain(std::span<const EdgeStep> steps,
+                             double start_rows) const;
+
+  /// Per-source-vertex expansion (start_rows = 1) — the expected cost
+  /// and result cardinality of one neighbor-vector materialization.
+  PathEstimate EstimatePerVertex(std::span<const EdgeStep> steps) const {
+    return EstimateChain(steps, 1.0);
+  }
+
+  /// Traversal work of materializing the full relation matrix of
+  /// `steps` (one row per source-type vertex, each expanded
+  /// independently — per-row saturation, not global).
+  double MatrixBuildWork(std::span<const EdgeStep> steps) const;
+
+ private:
+  const Hin& hin_;
+};
+
+}  // namespace netout
+
+#endif  // NETOUT_QUERY_COST_MODEL_H_

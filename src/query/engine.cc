@@ -135,7 +135,9 @@ Result<std::string> Engine::DescribePlan(std::string_view query_text) const {
 
 std::string Engine::ExplainPlan(const QueryPlan& plan) const {
   Planner planner(*hin_,
-                  PlannerOptions{options_.exec.plan_cse, options_.index});
+                  PlannerOptions{options_.exec.plan_cse,
+                                 options_.exec.cost_based_order,
+                                 options_.index});
   planner.AddQuery(plan);
   const PhysicalPlan physical = planner.Take();
   const std::vector<PlanOpInfo> infos =

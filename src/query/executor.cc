@@ -277,6 +277,58 @@ Result<std::vector<SparseVector>> Executor::ExtendVectors(
   return vectors;
 }
 
+Result<std::vector<SparseVector>> Executor::ApplyMatrixVectors(
+    const RelationMatrix& matrix, const std::vector<SparseVector>& parents) {
+  std::vector<SparseVector> vectors(parents.size());
+  const std::size_t workers = MaterializeWorkers(parents.size());
+  if (workers <= 1) {
+    DenseAccumulator acc;
+    for (std::size_t i = 0; i < parents.size(); ++i) {
+      if (stop_token_ != nullptr && stop_token_->ShouldStop()) {
+        return stop_token_->ToStatus();
+      }
+      vectors[i] = MultiplyRowVector(parents[i], matrix, &acc);
+      if (stop_token_ != nullptr) {
+        stop_token_->ChargeBytes(vectors[i].MemoryBytes());
+      }
+    }
+    return vectors;
+  }
+
+  std::vector<Status> shard_status(workers);
+  const std::size_t shard_size = (parents.size() + workers - 1) / workers;
+  TaskGroup group(pool_.get(), stop_token_);
+  for (std::size_t w = 0; w < workers; ++w) {
+    const std::size_t begin = w * shard_size;
+    const std::size_t end = std::min(parents.size(), begin + shard_size);
+    if (begin >= end) break;
+    group.Submit([this, w, begin, end, &matrix, &parents, &vectors,
+                  &shard_status] {
+      DenseAccumulator acc;
+      for (std::size_t i = begin; i < end; ++i) {
+        if (stop_token_ != nullptr && stop_token_->ShouldStop()) {
+          shard_status[w] = stop_token_->ToStatus();
+          return;
+        }
+        vectors[i] = MultiplyRowVector(parents[i], matrix, &acc);
+        if (stop_token_ != nullptr) {
+          stop_token_->ChargeBytes(vectors[i].MemoryBytes());
+        }
+      }
+    });
+  }
+  group.Wait();
+  for (std::size_t w = 0; w < workers; ++w) {
+    if (!shard_status[w].ok() && !IsStopStatus(shard_status[w])) {
+      return shard_status[w];
+    }
+  }
+  if (stop_token_ != nullptr && stop_token_->ShouldStop()) {
+    return stop_token_->ToStatus();
+  }
+  return vectors;
+}
+
 Status Executor::ExecuteOp(const PhysicalPlan& plan, std::size_t id,
                            std::span<OpOutput> slots,
                            PlanOpRuntime* runtime) {
@@ -354,7 +406,26 @@ Status Executor::ExecuteOp(const PhysicalPlan& plan, std::size_t id,
     }
 
     case PhysOpKind::kMaterialize: {
-      if (op.extends) {
+      if (op.matrix_input != kNoOp) {
+        const RelationMatrix& matrix =
+            slots[op.inputs[op.matrix_input]].matrix;
+        if (op.extends) {
+          NETOUT_ASSIGN_OR_RETURN(
+              out.vectors,
+              ApplyMatrixVectors(matrix, slots[op.inputs[0]].vectors));
+        } else {
+          // Whole-path matrix: a member's neighbor vector IS its row.
+          const std::vector<LocalId>& members =
+              slots[op.members_op].members;
+          out.vectors.reserve(members.size());
+          for (const LocalId member : members) {
+            const SparseVecView row = matrix.Row(member);
+            out.vectors.push_back(SparseVector::FromSorted(
+                std::vector<LocalId>(row.indices.begin(), row.indices.end()),
+                std::vector<double>(row.values.begin(), row.values.end())));
+          }
+        }
+      } else if (op.extends) {
         NETOUT_ASSIGN_OR_RETURN(
             out.vectors,
             ExtendVectors(op.path, slots[op.inputs[0]].vectors, stats));
@@ -365,6 +436,25 @@ Status Executor::ExecuteOp(const PhysicalPlan& plan, std::size_t id,
                                slots[op.members_op].members, stats));
       }
       runtime->rows = out.vectors.size();
+      break;
+    }
+
+    case PhysOpKind::kBuildMatrix: {
+      if (op.build_reverse) {
+        NETOUT_ASSIGN_OR_RETURN(
+            RelationMatrix reversed,
+            RelationMatrix::Materialize(*hin_, op.path.Reverse(),
+                                        stop_token_));
+        out.matrix = reversed.Transpose();
+      } else {
+        NETOUT_ASSIGN_OR_RETURN(
+            out.matrix,
+            RelationMatrix::Materialize(*hin_, op.path, stop_token_));
+      }
+      if (stop_token_ != nullptr) {
+        stop_token_->ChargeBytes(out.matrix.MemoryBytes());
+      }
+      runtime->rows = out.matrix.num_rows();
       break;
     }
 
@@ -525,6 +615,9 @@ QueryResult Executor::AssembleResult(
           stats.vectors_materialized += rt.rows;
         }
         break;
+      case PhysOpKind::kBuildMatrix:
+        stats.stages.materialize_nanos += rt.wall_nanos;
+        break;
       case PhysOpKind::kScore:
       case PhysOpKind::kCombine:
         stats.stages.score_nanos += rt.wall_nanos;
@@ -678,7 +771,8 @@ Result<QueryResult> Executor::Run(const QueryPlan& plan,
                                                          : nullptr);
 
   Stopwatch total_watch;
-  Planner planner(*hin_, PlannerOptions{options_.plan_cse, index_});
+  Planner planner(*hin_, PlannerOptions{options_.plan_cse,
+                                        options_.cost_based_order, index_});
   const std::size_t query_index = planner.AddQuery(plan);
   const PhysicalPlan physical = planner.Take();
   return RunPlanned(physical, query_index, total_watch);
@@ -686,7 +780,8 @@ Result<QueryResult> Executor::Run(const QueryPlan& plan,
 
 Result<std::vector<VertexRef>> Executor::EvaluateSet(
     const ResolvedSet& set) {
-  Planner planner(*hin_, PlannerOptions{options_.plan_cse, index_});
+  Planner planner(*hin_, PlannerOptions{options_.plan_cse,
+                                        options_.cost_based_order, index_});
   const std::size_t query_index = planner.AddSet(set);
   const PhysicalPlan physical = planner.Take();
   const PlanQuery& entry = physical.queries[query_index];

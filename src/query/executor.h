@@ -12,6 +12,7 @@
 #include "common/stopwatch.h"
 #include "graph/hin.h"
 #include "metapath/evaluator.h"
+#include "metapath/matrix.h"
 #include "query/physical_plan.h"
 #include "query/plan.h"
 
@@ -130,6 +131,14 @@ struct ExecOptions {
   /// path independently (the ablation baseline).
   bool plan_cse = true;
 
+  /// Cost-based materialization ordering in the planner (see
+  /// PlannerOptions::cost_based_order): estimated per-hop cardinalities
+  /// pick a split point and evaluation direction for expensive
+  /// unindexed materializations. Scores and top-k are bitwise-identical
+  /// either way; off keeps the fixed left-to-right traversal (the
+  /// ablation baseline).
+  bool cost_based_order = true;
+
   /// Wall-clock deadline per Run(), in milliseconds, armed when the run
   /// starts; < 0 (default) disables it. 0 means "already expired" —
   /// useful to validate a query executes at all without paying for it.
@@ -156,6 +165,7 @@ struct OpOutput {
   std::vector<SparseVector> vectors;
   std::vector<double> scores;
   std::vector<OutlierEntry> outliers;
+  RelationMatrix matrix;  // kBuildMatrix
   bool has_value = false;
 };
 
@@ -248,6 +258,12 @@ class Executor {
   Result<std::vector<SparseVector>> ExtendVectors(
       const MetaPath& suffix, const std::vector<SparseVector>& parents,
       EvalStats* stats);
+  /// Multiplies every parent vector through a materialized relation
+  /// (the cost-based split's apply step), sharded like
+  /// MaterializeVectors with one dense accumulator per shard.
+  Result<std::vector<SparseVector>> ApplyMatrixVectors(
+      const RelationMatrix& matrix,
+      const std::vector<SparseVector>& parents);
 
   HinPtr hin_;
   const MetaPathIndex* index_;

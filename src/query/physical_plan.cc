@@ -55,11 +55,15 @@ std::string DescribeOp(const Hin& hin, const PhysicalOp& op) {
       return "?";
     case PhysOpKind::kFilter:
       return "WHERE " + FormatWhere(hin, *op.where);
-    case PhysOpKind::kMaterialize:
-      if (op.extends) {
-        return "extend " + op.path.ToString(schema);
-      }
-      return "path " + op.path.ToString(schema);
+    case PhysOpKind::kMaterialize: {
+      const char* how = op.extends ? "extend " : "path ";
+      std::string out = how + op.path.ToString(schema);
+      if (op.matrix_input != kNoOp) out += " (apply matrix)";
+      return out;
+    }
+    case PhysOpKind::kBuildMatrix:
+      return op.path.ToString(schema) +
+             (op.build_reverse ? " (reverse build)" : "");
     case PhysOpKind::kScore:
       return OutlierMeasureToString(op.query->measure);
     case PhysOpKind::kCombine: {
@@ -92,6 +96,8 @@ const char* LabelOf(PhysOpKind kind) {
       return "Combine";
     case PhysOpKind::kTopK:
       return "TopK";
+    case PhysOpKind::kBuildMatrix:
+      return "BuildMatrix";
   }
   return "?";
 }
@@ -118,7 +124,11 @@ void RenderOp(const std::unordered_map<std::size_t, std::size_t>& position,
     if (info.executed) {
       *out += " {" +
               FormatDouble(static_cast<double>(info.wall_nanos) / 1e6, 3) +
-              " ms, " + std::to_string(info.rows) + " rows}";
+              " ms, " + std::to_string(info.rows) + " rows";
+      if (info.est_rows > 0) {
+        *out += ", est " + std::to_string(info.est_rows);
+      }
+      *out += "}";
     } else {
       *out += " {not executed}";
     }
@@ -175,6 +185,7 @@ std::vector<PlanOpInfo> DescribePhysicalPlan(const Hin& hin,
         id < plan.consumer_count.size() && plan.consumer_count[id] > 1
             ? plan.consumer_count[id]
             : 1;
+    info.est_rows = op.est_rows;
     infos.push_back(std::move(info));
   }
   return infos;

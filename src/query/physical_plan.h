@@ -46,6 +46,13 @@ enum class PhysOpKind : std::uint8_t {
   /// Final selection. inputs = [combine, candidate members,
   /// feature materialize ops...] (the latter drive zero-visibility).
   kTopK = 5,
+  /// Materializes the full relation matrix of `path` directly from the
+  /// graph (no inputs). With `build_reverse`, the reversed path is
+  /// expanded instead and the result transposed — chosen when the
+  /// cost model says the backward degree sums are cheaper; the matrix
+  /// content is identical either way. Consumed by kMaterialize ops via
+  /// `matrix_input`.
+  kBuildMatrix = 6,
 };
 
 /// How a kMaterialize / anchor-hop evaluation is served: raw traversal,
@@ -88,6 +95,21 @@ struct PhysicalOp {
   std::size_t members_op = kNoOp;
   TypeId subject_type = kInvalidTypeId;
   IndexMode index_mode = IndexMode::kTraverse;
+  /// Cost-based evaluation: when not kNoOp, inputs[matrix_input] is a
+  /// kBuildMatrix op and this op's vectors come from it — a root op
+  /// copies matrix rows per member, an extension multiplies each parent
+  /// vector through the matrix — instead of traversing `path`. Count
+  /// arithmetic is integral (DESIGN.md §10), so the result is bitwise
+  /// identical to the traversal it replaces.
+  std::size_t matrix_input = kNoOp;
+
+  // kBuildMatrix
+  bool build_reverse = false;
+
+  /// Planner-estimated output rows (members / vectors / matrix rows);
+  /// 0 = no estimate. Rendered next to the observed row count by the
+  /// runtime EXPLAIN so estimator quality is visible per op.
+  std::size_t est_rows = 0;
 
   // kScore / kCombine / kTopK: the query whose measure / weights /
   // combine mode / k parameterize the op.
@@ -140,6 +162,7 @@ struct PlanOpInfo {
   std::string detail;      // op-specific: path, set, measure, k, ...
   std::string index_mode;  // "traverse" or the index's Name(); "" = n/a
   std::size_t reuse_count = 1;  // consumer_count, 1 = unshared
+  std::size_t est_rows = 0;     // planner estimate; 0 = none
 
   // Runtime (zero until the op executed).
   bool executed = false;

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 #include <cstdio>
 #include <utility>
 
 #include "common/logging.h"
+#include "query/cost_model.h"
 
 namespace netout {
 namespace {
@@ -71,6 +73,30 @@ MetaPath SubPath(const Schema& schema, std::span<const EdgeStep> steps,
   return std::move(path).value();
 }
 
+std::size_t RoundRows(double rows) {
+  return rows <= 1.0 ? 1 : static_cast<std::size_t>(std::llround(rows));
+}
+
+/// The same hops walked target-to-source: order reversed, every
+/// direction flipped.
+std::vector<EdgeStep> ReversedSteps(std::span<const EdgeStep> steps) {
+  std::vector<EdgeStep> out(steps.rbegin(), steps.rend());
+  for (EdgeStep& step : out) {
+    step.direction = step.direction == Direction::kForward
+                         ? Direction::kReverse
+                         : Direction::kForward;
+  }
+  return out;
+}
+
+// Cost-rewrite guards: only bother when the estimated baseline clears an
+// absolute work floor (small graphs execute any plan in microseconds;
+// rewriting them churns golden EXPLAIN snapshots for nothing), and only
+// accept a split that beats the baseline by a margin (the estimator is a
+// heuristic; near-ties should keep the simpler plan).
+constexpr double kCostRewriteMinWork = 250'000.0;
+constexpr double kCostRewriteMargin = 1.25;
+
 }  // namespace
 
 Planner::Planner(const Hin& hin, const PlannerOptions& options)
@@ -92,6 +118,149 @@ std::size_t Planner::Intern(std::string signature, PhysicalOp op,
   plan_.ops.push_back(std::move(op));
   if (options_.enable_cse) registry_.emplace(std::move(signature), id);
   return id;
+}
+
+double Planner::EstimateOpRows(std::size_t id) {
+  if (id == kNoOp || id >= plan_.ops.size()) return 1.0;
+  const auto it = row_estimates_.find(id);
+  if (it != row_estimates_.end()) return it->second;
+  const PhysicalOp& op = plan_.ops[id];
+  double rows = 1.0;
+  switch (op.kind) {
+    case PhysOpKind::kEvalSet:
+      if (op.set_kind == SetExpr::Kind::kPrimary) {
+        if (op.primary != nullptr && op.primary->anchor.has_value()) {
+          rows = CardinalityEstimator(hin_)
+                     .EstimatePerVertex(op.primary->hops.steps())
+                     .rows;
+        } else {
+          rows = static_cast<double>(hin_.NumVertices(op.element_type));
+        }
+      } else {
+        const double lhs = EstimateOpRows(op.inputs[0]);
+        const double rhs = EstimateOpRows(op.inputs[1]);
+        switch (op.set_kind) {
+          case SetExpr::Kind::kUnion:
+            rows = std::min(
+                lhs + rhs,
+                static_cast<double>(hin_.NumVertices(op.element_type)));
+            break;
+          case SetExpr::Kind::kIntersect:
+            rows = std::min(lhs, rhs);
+            break;
+          case SetExpr::Kind::kExcept:
+          case SetExpr::Kind::kPrimary:
+            rows = lhs;
+            break;
+        }
+      }
+      break;
+    case PhysOpKind::kFilter:
+      // No selectivity model for COUNT predicates yet; assume the filter
+      // keeps everything (the conservative choice for cost rewrites).
+      rows = EstimateOpRows(op.inputs[0]);
+      break;
+    default:
+      break;
+  }
+  rows = std::max(rows, 1.0);
+  row_estimates_.emplace(id, rows);
+  return rows;
+}
+
+std::size_t Planner::LowerRootMaterialize(MetaPath path,
+                                          std::size_t members_op,
+                                          TypeId subject_type, IndexMode mode,
+                                          std::size_t owner) {
+  const double members = EstimateOpRows(members_op);
+  const auto plain = [&](MetaPath p) {
+    PhysicalOp op;
+    op.kind = PhysOpKind::kMaterialize;
+    op.inputs = {members_op};
+    op.members_op = members_op;
+    op.subject_type = subject_type;
+    op.index_mode = mode;
+    op.est_rows = RoundRows(members);
+    std::string sig =
+        "mat:" + std::to_string(members_op) + ":" + StepsSig(p.steps());
+    op.path = std::move(p);
+    return Intern(std::move(sig), std::move(op), owner);
+  };
+
+  const std::size_t len = path.length();
+  if (!options_.cost_based_order || mode != IndexMode::kTraverse || len < 2) {
+    return plain(std::move(path));
+  }
+
+  const CardinalityEstimator est(hin_);
+  const std::span<const EdgeStep> steps(path.steps());
+  const double baseline = members * est.EstimatePerVertex(steps).work;
+  if (baseline < kCostRewriteMinWork) return plain(std::move(path));
+
+  // Candidate splits: traverse steps [0, s) per member, serve the tail
+  // [s, len) from a relation matrix built once — in whichever direction
+  // the degree sums make cheaper (a reverse build pays one extra pass
+  // over the entries to transpose). s = 0 degenerates to copying matrix
+  // rows per member. Tails of a single hop are excluded: that matrix is
+  // the adjacency itself.
+  double best_cost = baseline / kCostRewriteMargin;
+  std::size_t best_split = len;  // sentinel: keep the plain traversal
+  bool best_reverse = false;
+  for (std::size_t s = 0; s + 2 <= len; ++s) {
+    const std::span<const EdgeStep> head = steps.subspan(0, s);
+    const std::span<const EdgeStep> tail = steps.subspan(s);
+    const PathEstimate head_est = est.EstimatePerVertex(head);
+    const PathEstimate tail_est = est.EstimatePerVertex(tail);
+    const double mid_rows =
+        static_cast<double>(hin_.NumVertices(path.types()[s]));
+    const double entries = mid_rows * tail_est.rows;
+    const double forward_build = est.MatrixBuildWork(tail);
+    const double reverse_build =
+        est.MatrixBuildWork(ReversedSteps(tail)) + entries;
+    const double apply = members * head_est.rows * tail_est.rows;
+    const double total = members * head_est.work +
+                         std::min(forward_build, reverse_build) + apply;
+    if (total < best_cost) {
+      best_cost = total;
+      best_split = s;
+      best_reverse = reverse_build < forward_build;
+    }
+  }
+  if (best_split == len) return plain(std::move(path));
+
+  const Schema& schema = hin_.schema();
+  MetaPath tail_path = SubPath(schema, steps, best_split, len);
+  PhysicalOp bmat;
+  bmat.kind = PhysOpKind::kBuildMatrix;
+  bmat.build_reverse = best_reverse;
+  bmat.est_rows = hin_.NumVertices(path.types()[best_split]);
+  std::string bmat_sig = "bmat:" + StepsSig(tail_path.steps());
+  bmat.path = tail_path;
+  const std::size_t bmat_id =
+      Intern(std::move(bmat_sig), std::move(bmat), owner);
+
+  PhysicalOp op;
+  op.kind = PhysOpKind::kMaterialize;
+  op.matrix_input = 1;
+  op.members_op = members_op;
+  op.subject_type = subject_type;
+  op.index_mode = IndexMode::kTraverse;
+  op.est_rows = RoundRows(members);
+  if (best_split == 0) {
+    op.inputs = {members_op, bmat_id};
+    std::string sig = "matx:" + std::to_string(members_op) + ":" +
+                      std::to_string(bmat_id) + ":" + StepsSig(path.steps());
+    op.path = std::move(path);
+    return Intern(std::move(sig), std::move(op), owner);
+  }
+  const std::size_t head_id = plain(SubPath(schema, steps, 0, best_split));
+  op.extends = true;
+  op.inputs = {head_id, bmat_id};
+  std::string sig = "matx:" + std::to_string(head_id) + ":" +
+                    std::to_string(bmat_id) + ":" +
+                    StepsSig(tail_path.steps());
+  op.path = std::move(tail_path);
+  return Intern(std::move(sig), std::move(op), owner);
 }
 
 std::size_t Planner::LowerPrimary(const ResolvedPrimary& primary,
@@ -164,21 +333,15 @@ std::vector<std::size_t> Planner::LowerPathGroup(
     return indexed && length >= 2 ? IndexMode::kIndexed
                                   : IndexMode::kTraverse;
   };
-  const auto make_root = [&](MetaPath path) {
-    PhysicalOp op;
-    op.kind = PhysOpKind::kMaterialize;
-    op.inputs = {members_op};
-    op.members_op = members_op;
-    op.subject_type = subject_type;
-    op.index_mode = mode_for(path.length());
-    op.path = std::move(path);
-    return op;
+  const auto lower_root = [&](MetaPath path, std::size_t owner) {
+    const IndexMode mode = mode_for(path.length());
+    return LowerRootMaterialize(std::move(path), members_op, subject_type,
+                                mode, owner);
   };
 
   if (!options_.enable_cse) {
     for (std::size_t i = 0; i < requests.size(); ++i) {
-      result[i] = Intern("", make_root(*requests[i].path),
-                         requests[i].query);
+      result[i] = lower_root(*requests[i].path, requests[i].query);
     }
     return result;
   }
@@ -243,12 +406,17 @@ std::vector<std::size_t> Planner::LowerPathGroup(
   // are deterministic.
   std::vector<std::size_t> order(nodes.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    if (nodes[a].steps.size() != nodes[b].steps.size()) {
-      return nodes[a].steps.size() < nodes[b].steps.size();
-    }
-    return StepsSig(nodes[a].steps) < StepsSig(nodes[b].steps);
-  });
+  // Stable sort with the signature tiebreak: node signatures are unique,
+  // but stability keeps op-id assignment (and therefore EXPLAIN PLAN
+  // output) independent of the std::sort implementation even if two
+  // comparator keys ever compare equal.
+  std::stable_sort(
+      order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        if (nodes[a].steps.size() != nodes[b].steps.size()) {
+          return nodes[a].steps.size() < nodes[b].steps.size();
+        }
+        return StepsSig(nodes[a].steps) < StepsSig(nodes[b].steps);
+      });
   std::unordered_map<std::string, std::size_t> node_op;
   for (const std::size_t idx : order) {
     const std::vector<EdgeStep>& steps = nodes[idx].steps;
@@ -263,11 +431,11 @@ std::vector<std::size_t> Planner::LowerPathGroup(
         break;
       }
     }
-    PhysicalOp op;
     if (split > 0) {
       const std::size_t parent =
           node_op.at(StepsSig(std::span<const EdgeStep>(steps.data(),
                                                         split)));
+      PhysicalOp op;
       op.kind = PhysOpKind::kMaterialize;
       op.extends = true;
       op.inputs = {parent};
@@ -275,12 +443,14 @@ std::vector<std::size_t> Planner::LowerPathGroup(
       op.subject_type = subject_type;
       op.path = SubPath(schema, steps, split, steps.size());
       op.index_mode = mode_for(op.path.length());
+      op.est_rows = RoundRows(EstimateOpRows(members_op));
+      const std::string sig = "mat:" + std::to_string(parent) + ":" +
+                              StepsSig(op.path.steps());
+      node_op[full_sig] = Intern(sig, std::move(op), nodes[idx].owner);
     } else {
-      op = make_root(SubPath(schema, steps, 0, steps.size()));
+      node_op[full_sig] = lower_root(
+          SubPath(schema, steps, 0, steps.size()), nodes[idx].owner);
     }
-    const std::string sig = "mat:" + std::to_string(op.inputs[0]) + ":" +
-                            StepsSig(op.path.steps());
-    node_op[full_sig] = Intern(sig, std::move(op), nodes[idx].owner);
   }
 
   for (std::size_t i = 0; i < requests.size(); ++i) {
@@ -446,6 +616,15 @@ PhysicalPlan Planner::Take() {
     for (const std::size_t mat : mats) sig += ":m" + std::to_string(mat);
     entry.topk_op = Intern(std::move(sig), std::move(top),
                            pending.query_index);
+  }
+
+  // Member-count estimates for the set-phase ops (materialize ops get
+  // theirs at lowering time); rendered as "est N" by runtime EXPLAIN.
+  for (std::size_t id = 0; id < plan_.ops.size(); ++id) {
+    PhysicalOp& op = plan_.ops[id];
+    if (op.kind == PhysOpKind::kEvalSet || op.kind == PhysOpKind::kFilter) {
+      op.est_rows = RoundRows(EstimateOpRows(id));
+    }
   }
 
   for (PlanQuery& entry : plan_.queries) {

@@ -22,6 +22,18 @@ struct PlannerOptions {
   /// baseline of bench_plan_cse).
   bool enable_cse = true;
 
+  /// Cost-based materialization ordering: for an unindexed kMaterialize
+  /// root whose estimated traversal work clears a fixed threshold, the
+  /// planner consults the per-hop cardinality estimator (over the
+  /// graph's adjacency sketches) to pick a split point and evaluation
+  /// direction — the path's tail is built once as a relation matrix
+  /// (kBuildMatrix, forward or reverse + transpose, whichever direction
+  /// has the smaller degree sums) and each member only traverses the
+  /// head before multiplying through it. Off, materialization is the
+  /// fixed left-to-right per-member traversal. Results are bitwise
+  /// identical either way (integral count arithmetic; DESIGN.md §10).
+  bool cost_based_order = true;
+
   /// The index execution will run against (borrowed, may be null). The
   /// planner needs it for two decisions: per-op index-mode selection
   /// (paths shorter than one length-2 chunk traverse even when an index
@@ -74,6 +86,16 @@ class Planner {
 
   std::size_t Intern(std::string signature, PhysicalOp op,
                      std::size_t owner);
+  /// Estimated member count of op `id` (kEvalSet / kFilter chains),
+  /// memoized; >= 1 so downstream cost products stay meaningful.
+  double EstimateOpRows(std::size_t id);
+  /// Lowers one full-path root materialization over `members_op`,
+  /// applying the cost-based split/direction rewrite when it is enabled,
+  /// the op traverses (no index), and the estimated saving clears the
+  /// margin. Returns the op producing the final vectors.
+  std::size_t LowerRootMaterialize(MetaPath path, std::size_t members_op,
+                                   TypeId subject_type, IndexMode mode,
+                                   std::size_t owner);
   std::size_t LowerSet(const ResolvedSet& set, std::size_t owner);
   std::size_t LowerPrimary(const ResolvedPrimary& primary,
                            TypeId element_type, std::size_t owner);
@@ -90,6 +112,7 @@ class Planner {
   PlannerOptions options_;
   PhysicalPlan plan_;
   std::unordered_map<std::string, std::size_t> registry_;
+  std::unordered_map<std::size_t, double> row_estimates_;
   std::vector<FeatureGroup> groups_;
   std::vector<std::vector<std::size_t>> group_results_;
   std::vector<PendingQuery> pending_;

@@ -213,7 +213,14 @@ Result<QueryResult> ProgressiveExecutor::Run(
     // keep the batch-only sums for the jackknife.
     Stopwatch materialize_watch;
     std::vector<SparseVector> batch_sum(num_paths);
+    DenseAccumulator batch_acc;
     for (std::size_t p = 0; p < num_paths; ++p) {
+      // Accumulate the batch densely: the old running AddScaled re-merged
+      // the growing batch sum once per reference (quadratic in the batch's
+      // total nnz). Per-slot adds happen in the same reference order, so
+      // the harvested sum is bit-identical.
+      batch_acc.Resize(
+          hin_->NumVertices(plan.features[p].path.target_type()));
       for (std::size_t r = begin; r < end; ++r) {
         Result<SparseVector> phi_or =
             evaluator_.Evaluate(reference_refs[order[r]],
@@ -229,8 +236,9 @@ Result<QueryResult> ProgressiveExecutor::Run(
         }
         SparseVector phi = std::move(phi_or).value();
         if (token != nullptr) token->ChargeBytes(phi.MemoryBytes());
-        batch_sum[p] = AddScaled(batch_sum[p].View(), phi.View(), 1.0);
+        batch_acc.AddSpan(phi.indices(), phi.values(), 1.0);
       }
+      batch_sum[p] = batch_acc.Harvest();
       refsum[p] = AddScaled(refsum[p].View(), batch_sum[p].View(), 1.0);
     }
     processed += end - begin;

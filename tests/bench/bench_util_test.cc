@@ -1,0 +1,68 @@
+// NETOUT_BENCH_SCALE parsing: a malformed scale must be a usage error,
+// never a silent fallback (a bench run at the wrong scale poisons the
+// BENCH_*.json perf trajectory).
+
+#include "bench/bench_util.h"
+
+#include <gtest/gtest.h>
+
+namespace netout::bench {
+namespace {
+
+double ParsedOr(const char* text, double fallback) {
+  double value = fallback;
+  ParseBenchScale(text, &value);
+  return value;
+}
+
+TEST(ParseBenchScaleTest, AcceptsPositiveNumbers) {
+  double value = 0.0;
+  EXPECT_TRUE(ParseBenchScale("1", &value));
+  EXPECT_DOUBLE_EQ(value, 1.0);
+  EXPECT_TRUE(ParseBenchScale("0.5", &value));
+  EXPECT_DOUBLE_EQ(value, 0.5);
+  EXPECT_TRUE(ParseBenchScale("4", &value));
+  EXPECT_DOUBLE_EQ(value, 4.0);
+  EXPECT_TRUE(ParseBenchScale("2e1", &value));
+  EXPECT_DOUBLE_EQ(value, 20.0);
+  EXPECT_TRUE(ParseBenchScale("  3.25  ", &value));
+  EXPECT_DOUBLE_EQ(value, 3.25);
+}
+
+TEST(ParseBenchScaleTest, RejectsNonNumeric) {
+  EXPECT_FALSE(ParseBenchScale(nullptr, nullptr));
+  EXPECT_DOUBLE_EQ(ParsedOr("", -1.0), -1.0);
+  EXPECT_DOUBLE_EQ(ParsedOr("bogus", -1.0), -1.0);
+  EXPECT_DOUBLE_EQ(ParsedOr("4x", -1.0), -1.0);     // trailing garbage
+  EXPECT_DOUBLE_EQ(ParsedOr("1.5.2", -1.0), -1.0);  // double dot
+  EXPECT_DOUBLE_EQ(ParsedOr("  ", -1.0), -1.0);     // whitespace only
+}
+
+TEST(ParseBenchScaleTest, RejectsZeroNegativeAndNonFinite) {
+  EXPECT_DOUBLE_EQ(ParsedOr("0", -1.0), -1.0);
+  EXPECT_DOUBLE_EQ(ParsedOr("0.0", -1.0), -1.0);
+  EXPECT_DOUBLE_EQ(ParsedOr("-1", -1.0), -1.0);
+  EXPECT_DOUBLE_EQ(ParsedOr("-0.25", -1.0), -1.0);
+  EXPECT_DOUBLE_EQ(ParsedOr("inf", -1.0), -1.0);
+  EXPECT_DOUBLE_EQ(ParsedOr("nan", -1.0), -1.0);
+}
+
+TEST(ParseBenchScaleTest, RejectionNeverWritesOutput) {
+  double value = 7.0;
+  EXPECT_FALSE(ParseBenchScale("garbage", &value));
+  EXPECT_DOUBLE_EQ(value, 7.0);
+  EXPECT_FALSE(ParseBenchScale("-2", &value));
+  EXPECT_DOUBLE_EQ(value, 7.0);
+}
+
+TEST(BenchScaleTest, DefaultsToOneWithoutEnv) {
+  // The suite does not set NETOUT_BENCH_SCALE; guard against ambient
+  // state leaking in from the harness.
+  if (std::getenv("NETOUT_BENCH_SCALE") != nullptr) {
+    GTEST_SKIP() << "NETOUT_BENCH_SCALE set in this environment";
+  }
+  EXPECT_DOUBLE_EQ(BenchScale(), 1.0);
+}
+
+}  // namespace
+}  // namespace netout::bench

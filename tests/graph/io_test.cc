@@ -101,6 +101,69 @@ TEST(GraphIoTest, BinaryRoundTripPreservesIds) {
   std::remove(path.c_str());
 }
 
+TEST(GraphIoTest, BinaryRoundTripPreservesSketches) {
+  const HinPtr original = MakeSample();
+  const std::string path = TempPath("sketch.hin");
+  ASSERT_TRUE(SaveHinBinary(*original, path).ok());
+  const HinPtr loaded = LoadHinBinary(path).value();
+  for (EdgeTypeId e = 0; e < original->schema().num_edge_types(); ++e) {
+    for (Direction dir : {Direction::kForward, Direction::kReverse}) {
+      const EdgeStep step{e, dir};
+      EXPECT_EQ(original->StepSketch(step), loaded->StepSketch(step));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, V1SnapshotsLoadAndRecomputeSketches) {
+  // A v1 snapshot is exactly the v2 payload minus the trailing sketch
+  // section (4 u64 per edge type and direction), wrapped with the old
+  // magic; the loader must accept it and rebuild sketches from the CSR.
+  const HinPtr original = MakeSample();
+  const std::string path = TempPath("v1.hin");
+  ASSERT_TRUE(SaveHinBinary(*original, path).ok());
+  const std::string v2_bytes = ReadFileToString(path).value();
+  std::string payload = UnwrapChecked("NOUTHIN2", v2_bytes).value();
+  const std::size_t sketch_bytes =
+      original->schema().num_edge_types() * 2 * 4 * sizeof(std::uint64_t);
+  ASSERT_GT(payload.size(), sketch_bytes);
+  payload.resize(payload.size() - sketch_bytes);
+  ASSERT_TRUE(
+      WriteStringToFile(path, WrapWithChecksum("NOUTHIN1", payload)).ok());
+
+  const HinPtr loaded = LoadHinBinary(path).value();
+  ExpectSameNetwork(*original, *loaded);
+  for (EdgeTypeId e = 0; e < original->schema().num_edge_types(); ++e) {
+    for (Direction dir : {Direction::kForward, Direction::kReverse}) {
+      const EdgeStep step{e, dir};
+      EXPECT_EQ(original->StepSketch(step), loaded->StepSketch(step));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, BinaryLoadRejectsSketchCsrMismatch) {
+  const HinPtr original = MakeSample();
+  const std::string path = TempPath("badsketch.hin");
+  ASSERT_TRUE(SaveHinBinary(*original, path).ok());
+  const std::string v2_bytes = ReadFileToString(path).value();
+  std::string payload = UnwrapChecked("NOUTHIN2", v2_bytes).value();
+  // Corrupt the `entries` field (second u64) of the first sketch, which
+  // sits at the start of the trailing sketch section.
+  const std::size_t sketch_bytes =
+      original->schema().num_edge_types() * 2 * 4 * sizeof(std::uint64_t);
+  const std::size_t entries_offset =
+      payload.size() - sketch_bytes + sizeof(std::uint64_t);
+  payload[entries_offset] = static_cast<char>(
+      static_cast<unsigned char>(payload[entries_offset]) ^ 0x7F);
+  ASSERT_TRUE(
+      WriteStringToFile(path, WrapWithChecksum("NOUTHIN2", payload)).ok());
+  auto r = LoadHinBinary(path);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
 TEST(GraphIoTest, TextParserRejectsMalformedLines) {
   const std::string path = TempPath("bad.hin");
   {

@@ -1,0 +1,247 @@
+// Property tests for the runtime-dispatched SIMD kernels: the scalar
+// and AVX2 tables must produce BITWISE identical results on identical
+// inputs (DESIGN.md §10). Policy: exact equality everywhere — merges
+// and scatters perform the same per-element operations in the same
+// order in both variants, and reductions share the canonical 4-lane
+// split — so the assertions below compare bit patterns, not values
+// within some ULP tolerance. A deliberate consequence: if a future
+// kernel cannot meet bitwise equality, it does not belong in this
+// dispatch layer.
+
+#include "metapath/kernels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "graph/csr.h"
+
+namespace netout {
+namespace {
+
+std::uint64_t Bits(double value) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+#define EXPECT_BITWISE_EQ(a, b) EXPECT_EQ(Bits(a), Bits(b))
+
+struct RandomSparse {
+  std::vector<LocalId> idx;
+  std::vector<double> val;
+};
+
+/// Sorted strictly-ascending indices over [0, universe); values are a
+/// mix of small integral counts (the hot-path distribution: path counts
+/// are integers) and arbitrary fractional doubles (scores, weights).
+RandomSparse MakeRandomSparse(Rng* rng, std::size_t nnz,
+                              std::size_t universe) {
+  RandomSparse out;
+  std::vector<bool> used(universe, false);
+  while (out.idx.size() < nnz) {
+    const auto candidate = static_cast<LocalId>(rng->NextBounded(universe));
+    if (used[candidate]) continue;
+    used[candidate] = true;
+    out.idx.push_back(candidate);
+  }
+  std::sort(out.idx.begin(), out.idx.end());
+  out.val.reserve(nnz);
+  for (std::size_t i = 0; i < nnz; ++i) {
+    if (rng->NextBool(0.5)) {
+      out.val.push_back(static_cast<double>(rng->NextInt(1, 1000)));
+    } else {
+      out.val.push_back(rng->NextDouble() * 16.0 - 8.0);
+    }
+  }
+  return out;
+}
+
+class KernelPropertyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!CpuSupportsAvx2()) {
+      GTEST_SKIP() << "host has no AVX2; nothing to compare";
+    }
+    scalar_ = &GetKernelOps(KernelVariant::kScalar);
+    avx2_ = &GetKernelOps(KernelVariant::kAvx2);
+  }
+
+  const KernelOps* scalar_ = nullptr;
+  const KernelOps* avx2_ = nullptr;
+};
+
+TEST_F(KernelPropertyTest, ReductionsBitwiseIdentical) {
+  Rng rng(0xC0FFEE);
+  // Sweep sizes across the 4-lane boundary cases (0..n%4 remainders)
+  // and well past any unrolling width.
+  for (std::size_t n : {0u, 1u, 2u, 3u, 4u, 5u, 7u, 8u, 15u, 16u, 17u, 63u,
+                        64u, 100u, 1000u, 4097u}) {
+    const RandomSparse v = MakeRandomSparse(&rng, n, n * 4 + 8);
+    EXPECT_BITWISE_EQ(scalar_->sum(v.val.data(), n),
+                      avx2_->sum(v.val.data(), n))
+        << "sum n=" << n;
+    EXPECT_BITWISE_EQ(scalar_->l1(v.val.data(), n),
+                      avx2_->l1(v.val.data(), n))
+        << "l1 n=" << n;
+    EXPECT_BITWISE_EQ(scalar_->l2sq(v.val.data(), n),
+                      avx2_->l2sq(v.val.data(), n))
+        << "l2sq n=" << n;
+  }
+}
+
+TEST_F(KernelPropertyTest, DotBitwiseIdenticalOnRandomOverlap) {
+  Rng rng(0xD07);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t universe = 16 + rng.NextBounded(512);
+    const RandomSparse a =
+        MakeRandomSparse(&rng, rng.NextBounded(universe), universe);
+    const RandomSparse b =
+        MakeRandomSparse(&rng, rng.NextBounded(universe), universe);
+    const double s = scalar_->dot(a.idx.data(), a.val.data(), a.idx.size(),
+                                  b.idx.data(), b.val.data(), b.idx.size());
+    const double v = avx2_->dot(a.idx.data(), a.val.data(), a.idx.size(),
+                                b.idx.data(), b.val.data(), b.idx.size());
+    EXPECT_BITWISE_EQ(s, v) << "trial " << trial;
+  }
+}
+
+TEST_F(KernelPropertyTest, DotEdgeCases) {
+  const std::vector<LocalId> idx = {1, 5, 9};
+  const std::vector<double> val = {1.5, -2.0, 3.0};
+  // Empty against anything.
+  EXPECT_BITWISE_EQ(
+      scalar_->dot(nullptr, nullptr, 0, idx.data(), val.data(), 3),
+      avx2_->dot(nullptr, nullptr, 0, idx.data(), val.data(), 3));
+  // Identical vectors (every index matches).
+  EXPECT_BITWISE_EQ(
+      scalar_->dot(idx.data(), val.data(), 3, idx.data(), val.data(), 3),
+      avx2_->dot(idx.data(), val.data(), 3, idx.data(), val.data(), 3));
+}
+
+TEST_F(KernelPropertyTest, AddScaledExactMergeEquality) {
+  Rng rng(0xADD);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t universe = 8 + rng.NextBounded(256);
+    const RandomSparse a =
+        MakeRandomSparse(&rng, rng.NextBounded(universe), universe);
+    const RandomSparse b =
+        MakeRandomSparse(&rng, rng.NextBounded(universe), universe);
+    const double scale = rng.NextBool(0.5)
+                             ? static_cast<double>(rng.NextInt(1, 8))
+                             : rng.NextDouble() * 4.0;
+    const std::size_t cap = a.idx.size() + b.idx.size();
+    std::vector<LocalId> s_idx(cap), v_idx(cap);
+    std::vector<double> s_val(cap), v_val(cap);
+    const std::size_t s_n = scalar_->add_scaled(
+        a.idx.data(), a.val.data(), a.idx.size(), b.idx.data(), b.val.data(),
+        b.idx.size(), scale, s_idx.data(), s_val.data());
+    const std::size_t v_n = avx2_->add_scaled(
+        a.idx.data(), a.val.data(), a.idx.size(), b.idx.data(), b.val.data(),
+        b.idx.size(), scale, v_idx.data(), v_val.data());
+    ASSERT_EQ(s_n, v_n) << "trial " << trial;
+    for (std::size_t i = 0; i < s_n; ++i) {
+      ASSERT_EQ(s_idx[i], v_idx[i]) << "trial " << trial << " slot " << i;
+      ASSERT_EQ(Bits(s_val[i]), Bits(v_val[i]))
+          << "trial " << trial << " slot " << i;
+    }
+  }
+}
+
+TEST_F(KernelPropertyTest, AddSpanAndExpandRowBitwiseIdentical) {
+  Rng rng(0x5CA7);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t dim = 32 + rng.NextBounded(512);
+    const RandomSparse v = MakeRandomSparse(&rng, rng.NextBounded(dim), dim);
+    const double weight = rng.NextDouble() * 3.0 + 0.25;
+    std::vector<double> dense_s(dim, 0.0), dense_v(dim, 0.0);
+    scalar_->add_span(v.idx.data(), v.val.data(), v.idx.size(), weight,
+                      dense_s.data());
+    avx2_->add_span(v.idx.data(), v.val.data(), v.idx.size(), weight,
+                    dense_v.data());
+    for (std::size_t i = 0; i < dim; ++i) {
+      ASSERT_EQ(Bits(dense_s[i]), Bits(dense_v[i])) << "add_span slot " << i;
+    }
+
+    std::vector<CsrEntry> row;
+    for (std::size_t i = 0; i < v.idx.size(); ++i) {
+      row.push_back(CsrEntry{
+          v.idx[i], static_cast<std::uint32_t>(rng.NextInt(1, 50))});
+    }
+    std::fill(dense_s.begin(), dense_s.end(), 0.0);
+    std::fill(dense_v.begin(), dense_v.end(), 0.0);
+    scalar_->expand_row(row.data(), row.size(), weight, dense_s.data());
+    avx2_->expand_row(row.data(), row.size(), weight, dense_v.data());
+    for (std::size_t i = 0; i < dim; ++i) {
+      ASSERT_EQ(Bits(dense_s[i]), Bits(dense_v[i]))
+          << "expand_row slot " << i;
+    }
+  }
+}
+
+TEST_F(KernelPropertyTest, HarvestRoundTripIdentical) {
+  Rng rng(0x4A17);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t dim = 16 + rng.NextBounded(1024);
+    const RandomSparse v =
+        MakeRandomSparse(&rng, rng.NextBounded(dim / 2 + 1), dim);
+    std::vector<double> dense_s(dim, 0.0), dense_v(dim, 0.0);
+    for (std::size_t i = 0; i < v.idx.size(); ++i) {
+      dense_s[v.idx[i]] = v.val[i];
+      dense_v[v.idx[i]] = v.val[i];
+    }
+    const std::size_t count_s = scalar_->harvest_count(dense_s.data(), dim);
+    const std::size_t count_v = avx2_->harvest_count(dense_v.data(), dim);
+    ASSERT_EQ(count_s, count_v) << "trial " << trial;
+    std::vector<LocalId> idx_s(count_s), idx_v(count_v);
+    std::vector<double> val_s(count_s), val_v(count_v);
+    scalar_->harvest_fill(dense_s.data(), dim, idx_s.data(), val_s.data());
+    avx2_->harvest_fill(dense_v.data(), dim, idx_v.data(), val_v.data());
+    for (std::size_t i = 0; i < count_s; ++i) {
+      ASSERT_EQ(idx_s[i], idx_v[i]) << "trial " << trial;
+      ASSERT_EQ(Bits(val_s[i]), Bits(val_v[i])) << "trial " << trial;
+    }
+    // Both fills must leave every slot exactly +0.0.
+    for (std::size_t i = 0; i < dim; ++i) {
+      ASSERT_EQ(Bits(dense_s[i]), Bits(0.0)) << "scalar residue at " << i;
+      ASSERT_EQ(Bits(dense_v[i]), Bits(0.0)) << "avx2 residue at " << i;
+    }
+  }
+}
+
+TEST_F(KernelPropertyTest, HarvestCountsNanNotNegativeZero) {
+  // The contract: NaN counts as non-zero, -0.0 does not (it compares
+  // equal to 0.0). Both variants must agree.
+  std::vector<double> dense = {0.0, -0.0, std::nan(""), 1.0, -0.0, 2.0};
+  std::vector<double> copy = dense;
+  EXPECT_EQ(scalar_->harvest_count(dense.data(), dense.size()), 3u);
+  EXPECT_EQ(avx2_->harvest_count(copy.data(), copy.size()), 3u);
+}
+
+TEST(KernelDispatchTest, ExplicitVariantTablesAreDistinctObjects) {
+  // The accessor contract: requesting kScalar always yields the scalar
+  // table; kAvx2 yields the AVX2 table when supported, else scalar.
+  const KernelOps& scalar = GetKernelOps(KernelVariant::kScalar);
+  if (CpuSupportsAvx2()) {
+    const KernelOps& avx2 = GetKernelOps(KernelVariant::kAvx2);
+    // The AVX2 table must exist; individual entries may intentionally
+    // alias the scalar kernels (e.g. add_scaled, where SIMD loses).
+    EXPECT_NE(avx2.l2sq, nullptr);
+  } else {
+    EXPECT_EQ(&GetKernelOps(KernelVariant::kAvx2), &scalar);
+  }
+  EXPECT_NE(scalar.dot, nullptr);
+}
+
+TEST(KernelDispatchTest, VariantNamesAreStable) {
+  EXPECT_STREQ(KernelVariantName(KernelVariant::kScalar), "scalar");
+  EXPECT_STREQ(KernelVariantName(KernelVariant::kAvx2), "avx2");
+}
+
+}  // namespace
+}  // namespace netout
