@@ -1,0 +1,216 @@
+// Daemon throughput bench (extension beyond the paper): QPS and
+// latency of netout_serve's poll-loop multiplexor + merged-batch
+// dispatcher under 1 and N concurrent NDJSON sessions, against the
+// resident Figure-3 network. The observable is sustained queries/sec
+// with per-query latency percentiles from the server's own histogram —
+// the serving-path counterpart of the per-process wall clocks the
+// figure benches measure.
+//
+//   bench_serve [--json BENCH_serve.json]
+//
+// Scaled by NETOUT_BENCH_SCALE like the figure benches (network size
+// and query count both move).
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_json.h"
+#include "bench/efficiency_common.h"
+#include "common/json.h"
+#include "common/stopwatch.h"
+#include "server/server.h"
+
+namespace {
+
+using namespace netout;
+using namespace netout::bench;
+
+/// Minimal blocking session: send one request line, read one response
+/// line, repeat. Mirrors what netout_client does.
+class BenchSession {
+ public:
+  explicit BenchSession(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd_ < 0) return;
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      ::close(fd_);
+      fd_ = -1;
+      return;
+    }
+    int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+
+  ~BenchSession() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool connected() const { return fd_ >= 0; }
+
+  bool RoundTrip(const std::string& request_line) {
+    std::size_t sent = 0;
+    while (sent < request_line.size()) {
+      const ssize_t n = ::send(fd_, request_line.data() + sent,
+                               request_line.size() - sent, MSG_NOSIGNAL);
+      if (n > 0) {
+        sent += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    for (;;) {
+      const std::size_t newline = buffer_.find('\n');
+      if (newline != std::string::npos) {
+        const bool ok = buffer_.compare(0, newline, "{\"ok\":true", 0,
+                                        10) == 0 ||
+                        buffer_.find("\"ok\":true") < newline;
+        buffer_.erase(0, newline + 1);
+        return ok;
+      }
+      char chunk[16 * 1024];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n > 0) {
+        buffer_.append(chunk, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+std::string MakeRequestLine(const std::string& query) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("q");
+  json.String(query);
+  json.EndObject();
+  std::string line = std::move(json).Take();
+  line.push_back('\n');
+  return line;
+}
+
+/// Runs `sessions` concurrent connections, each issuing its share of
+/// `request_lines` lock-step; returns wall nanos for the whole burst
+/// and the number of failed round trips.
+std::pair<std::int64_t, std::size_t> RunBurst(
+    std::uint16_t port, std::size_t sessions,
+    const std::vector<std::string>& request_lines) {
+  std::vector<std::thread> workers;
+  std::vector<std::size_t> failures(sessions, 0);
+  Stopwatch watch;
+  for (std::size_t s = 0; s < sessions; ++s) {
+    workers.emplace_back([&, s] {
+      BenchSession session(port);
+      if (!session.connected()) {
+        failures[s] = request_lines.size();
+        return;
+      }
+      for (std::size_t i = s; i < request_lines.size(); i += sessions) {
+        if (!session.RoundTrip(request_lines[i])) ++failures[s];
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  const std::int64_t nanos = watch.ElapsedNanos();
+  std::size_t failed = 0;
+  for (std::size_t f : failures) failed += f;
+  return {nanos, failed};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  StageRecorder recorder("serve", &argc, argv);
+
+  PrintHeader("netout_serve: sustained QPS over the NDJSON wire");
+  EfficiencySetup setup = MakeEfficiencySetup(
+      static_cast<std::size_t>(200 * BenchScale()));
+
+  ServerOptions options;
+  options.num_threads = 2;
+  Server server(setup.dataset.hin, EngineOptions{}, options);
+  {
+    const Status started = server.Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "FATAL start: %s\n", started.ToString().c_str());
+      return 1;
+    }
+  }
+  std::thread serve_thread([&server] {
+    const Status status = server.Serve();
+    if (!status.ok()) {
+      std::fprintf(stderr, "serve: %s\n", status.ToString().c_str());
+    }
+  });
+
+  // The Q1 workload (anchored neighborhood queries), pre-serialized so
+  // the bench measures the server, not request formatting.
+  std::vector<std::string> request_lines;
+  for (const std::string& query : setup.query_sets[0]) {
+    request_lines.push_back(MakeRequestLine(query));
+  }
+  std::printf("%zu queries, %zu vertices\n", request_lines.size(),
+              setup.dataset.hin->TotalVertices());
+  std::printf("%-22s %10s %12s %10s %10s %10s\n", "mode", "time(ms)",
+              "qps", "p50(ms)", "p99(ms)", "failed");
+
+  const std::size_t session_counts[] = {1, 4, 8};
+  for (std::size_t sessions : session_counts) {
+    const double cpu_before = ProcessCpuNanos();
+    const auto [nanos, failed] =
+        RunBurst(server.port(), sessions, request_lines);
+    const double cpu_nanos = ProcessCpuNanos() - cpu_before;
+    const ServerStatsSnapshot stats = server.stats();
+    const double millis = static_cast<double>(nanos) / 1e6;
+    const double qps = millis == 0.0
+                           ? 0.0
+                           : static_cast<double>(request_lines.size()) /
+                                 (millis / 1e3);
+    std::printf("%-22s %10.1f %12.1f %10.3f %10.3f %10zu\n",
+                (std::to_string(sessions) + "_sessions").c_str(), millis,
+                qps, stats.latency_p50_ms, stats.latency_p99_ms, failed);
+    if (failed != 0) {
+      std::fprintf(stderr, "FATAL %zu round trips failed\n", failed);
+      return 1;
+    }
+    recorder.Add("qps_" + std::to_string(sessions) + "_sessions",
+                 static_cast<std::int64_t>(request_lines.size()),
+                 static_cast<double>(nanos), cpu_nanos);
+  }
+
+  // Final histogram percentiles across the whole run, as their own
+  // entries (per-query nanos, iterations = sample count).
+  const ServerStatsSnapshot stats = server.stats();
+  recorder.Add("latency_p50",
+               static_cast<std::int64_t>(stats.latency_count),
+               stats.latency_p50_ms * 1e6, 0.0);
+  recorder.Add("latency_p99",
+               static_cast<std::int64_t>(stats.latency_count),
+               stats.latency_p99_ms * 1e6, 0.0);
+
+  server.RequestShutdown();
+  serve_thread.join();
+  return recorder.WriteIfRequested() ? 0 : 1;
+}

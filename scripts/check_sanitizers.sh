@@ -4,11 +4,14 @@
 #      `robustness`-labelled tests (thread pool / task group / batch
 #      runner / intra-query parallelism / sharded-cache stress /
 #      merged-plan DAG scheduling / stop tokens tripped and polled
-#      across worker threads).
+#      across worker threads / the netout_serve poll-loop <-> dispatcher
+#      handoff under concurrent sessions — the server tests live in the
+#      `robustness` label).
 #   2. AddressSanitizer build -> `cache`+`robustness`+`kernels`-
 #      labelled tests (the CachedIndex pinned-lookup lifetime contract,
-#      degraded partial results, and the SIMD kernel property tests,
-#      whose raw-pointer merge loops must never read past a buffer).
+#      degraded partial results, the server's untrusted-byte framing
+#      layer, and the SIMD kernel property tests, whose raw-pointer
+#      merge loops must never read past a buffer).
 #   3. UndefinedBehaviorSanitizer build -> the full test suite
 #      (halt-on-UB: the build uses -fno-sanitize-recover so any signed
 #      overflow / bad shift / misaligned access fails its test).

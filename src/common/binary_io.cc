@@ -1,13 +1,51 @@
 #include "common/binary_io.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstring>
-#include <fstream>
-#include <sstream>
 
 #include "common/hash.h"
 #include "common/logging.h"
 
 namespace netout {
+namespace {
+
+std::string ErrnoMessage(std::string_view what, std::string_view path) {
+  std::string msg(what);
+  if (!path.empty()) {
+    msg += " '";
+    msg += path;
+    msg += "'";
+  }
+  msg += ": ";
+  msg += std::strerror(errno);
+  return msg;
+}
+
+/// RAII fd so every error path below closes.
+class UniqueFd {
+ public:
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  ~UniqueFd() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+  int get() const { return fd_; }
+  /// Closes now and reports the result (close can surface write errors).
+  int CloseNow() {
+    const int rc = ::close(fd_);
+    fd_ = -1;
+    return rc;
+  }
+
+ private:
+  int fd_;
+};
+
+}  // namespace
 
 void AppendU64(std::string* buf, std::uint64_t value) {
   for (int i = 0; i < 8; ++i) {
@@ -81,30 +119,111 @@ Result<std::string> Cursor::ReadString() {
   return out;
 }
 
+Status ReadFull(int fd, void* buf, std::size_t size,
+                std::size_t* bytes_read) {
+  NETOUT_CHECK(bytes_read != nullptr) << "bytes_read is required";
+  char* out = static_cast<char*>(buf);
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::read(fd, out + done, size - done);
+    if (n > 0) {
+      done += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n == 0) break;  // EOF
+    if (errno == EINTR) continue;
+    *bytes_read = done;
+    return Status::IoError(ErrnoMessage("read failed", ""));
+  }
+  *bytes_read = done;
+  return Status::OK();
+}
+
+Status WriteFull(int fd, const void* buf, std::size_t size) {
+  const char* in = static_cast<const char*>(buf);
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::write(fd, in + done, size - done);
+    if (n >= 0) {
+      done += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return Status::IoError(ErrnoMessage("write failed", ""));
+  }
+  return Status::OK();
+}
+
+Result<std::string> ReadFdToString(int fd) {
+  std::string out;
+  char chunk[1 << 16];
+  while (true) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n > 0) {
+      out.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) return out;  // EOF
+    if (errno == EINTR) continue;
+    return Status::IoError(ErrnoMessage("read failed", ""));
+  }
+}
+
 Result<std::string> ReadFileToString(std::string_view path) {
-  std::ifstream in{std::string(path), std::ios::binary};
-  if (!in) {
-    return Status::IoError("cannot open '" + std::string(path) +
-                           "' for reading");
+  UniqueFd fd(::open(std::string(path).c_str(), O_RDONLY | O_CLOEXEC));
+  if (fd.get() < 0) {
+    return Status::IoError(ErrnoMessage("cannot open", path));
   }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  if (in.bad()) {
-    return Status::IoError("read failed on '" + std::string(path) + "'");
+  Result<std::string> data = ReadFdToString(fd.get());
+  if (!data.ok()) {
+    return data.status().WithContext("reading '" + std::string(path) +
+                                     "'");
   }
-  return buffer.str();
+  return data;
 }
 
 Status WriteStringToFile(std::string_view path, std::string_view data) {
-  std::ofstream out{std::string(path), std::ios::binary | std::ios::trunc};
-  if (!out) {
-    return Status::IoError("cannot open '" + std::string(path) +
-                           "' for writing");
+  UniqueFd fd(::open(std::string(path).c_str(),
+                     O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644));
+  if (fd.get() < 0) {
+    return Status::IoError(ErrnoMessage("cannot open", path));
   }
-  out.write(data.data(), static_cast<std::streamsize>(data.size()));
-  out.flush();
-  if (!out) {
-    return Status::IoError("write failed on '" + std::string(path) + "'");
+  NETOUT_RETURN_IF_ERROR(WriteFull(fd.get(), data.data(), data.size())
+                             .WithContext("writing '" + std::string(path) +
+                                          "'"));
+  if (fd.CloseNow() != 0) {
+    return Status::IoError(ErrnoMessage("close failed", path));
+  }
+  return Status::OK();
+}
+
+Status WriteStringToFileAtomic(std::string_view path,
+                               std::string_view data) {
+  // The temp file lives next to the target so rename() stays within one
+  // filesystem (cross-device rename fails with EXDEV).
+  const std::string target(path);
+  const std::string tmp = target + ".tmp." + std::to_string(::getpid());
+  UniqueFd fd(::open(tmp.c_str(),
+                     O_WRONLY | O_CREAT | O_EXCL | O_CLOEXEC, 0644));
+  if (fd.get() < 0) {
+    return Status::IoError(ErrnoMessage("cannot open", tmp));
+  }
+  auto fail = [&](Status status) {
+    ::unlink(tmp.c_str());
+    return status;
+  };
+  Status written = WriteFull(fd.get(), data.data(), data.size());
+  if (!written.ok()) {
+    return fail(written.WithContext("writing '" + tmp + "'"));
+  }
+  if (::fsync(fd.get()) != 0) {
+    return fail(Status::IoError(ErrnoMessage("fsync failed", tmp)));
+  }
+  if (fd.CloseNow() != 0) {
+    return fail(Status::IoError(ErrnoMessage("close failed", tmp)));
+  }
+  if (::rename(tmp.c_str(), target.c_str()) != 0) {
+    return fail(Status::IoError(ErrnoMessage("rename failed", target)));
   }
   return Status::OK();
 }

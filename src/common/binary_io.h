@@ -36,9 +36,34 @@ class Cursor {
   std::size_t pos_ = 0;
 };
 
-/// Whole-file helpers.
+/// POSIX fd transfer helpers shared by file snapshots and sockets.
+/// read()/write() may legally transfer fewer bytes than asked (sockets,
+/// pipes, signals) and may fail spuriously with EINTR; treating either
+/// as corruption was a latent bug for snapshot files under signals and
+/// a fatal one for socket I/O. These loop until done.
+
+/// Reads exactly `size` bytes into `buf` unless EOF arrives first;
+/// `*bytes_read` (required) receives the count actually read. Short
+/// counts and EINTR are retried; only a true error returns kIoError.
+Status ReadFull(int fd, void* buf, std::size_t size,
+                std::size_t* bytes_read);
+
+/// Writes all `size` bytes of `buf`, retrying short writes and EINTR.
+Status WriteFull(int fd, const void* buf, std::size_t size);
+
+/// Reads `fd` to EOF (the blocking-client receive path and the
+/// file-loading backend).
+Result<std::string> ReadFdToString(int fd);
+
+/// Whole-file helpers (EINTR-safe via the loops above).
 Result<std::string> ReadFileToString(std::string_view path);
 Status WriteStringToFile(std::string_view path, std::string_view data);
+
+/// Durable variant for snapshots/indexes: writes to a temporary file in
+/// the target directory, fsyncs, then rename()s over `path`, so a crash
+/// or signal mid-write can never leave a torn file under the final name.
+Status WriteStringToFileAtomic(std::string_view path,
+                               std::string_view data);
 
 /// Wraps `payload` in the standard netout container:
 ///   magic(8) | u64 payload_size | payload | u64 fnv1a(payload)

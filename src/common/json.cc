@@ -2,6 +2,8 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <utility>
 
 #include "common/logging.h"
 
@@ -149,12 +151,339 @@ void JsonWriter::Null() {
   Raw("null");
 }
 
+void JsonWriter::RawValue(std::string_view json) {
+  Separator();
+  Raw(json);
+}
+
 std::string JsonWriter::Take() && {
   NETOUT_CHECK(has_element_.empty())
       << "unbalanced Begin/End at JSON Take()";
   std::string out = std::move(out_);
   out_.clear();
   return out;
+}
+
+// ---------------------------------------------------------------------
+// JsonValue
+// ---------------------------------------------------------------------
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+Result<std::int64_t> JsonValue::AsInt64() const {
+  if (kind_ != Kind::kNumber) {
+    return Status::InvalidArgument("value is not a number");
+  }
+  // 2^63 is the first double not representable back as int64; exclude
+  // the boundary itself (it rounds to exactly 2^63, which overflows).
+  constexpr double kBound = 9223372036854775808.0;  // 2^63
+  if (!std::isfinite(number_) || number_ != std::floor(number_) ||
+      number_ >= kBound || number_ < -kBound) {
+    return Status::InvalidArgument("number is not an exact int64");
+  }
+  return static_cast<std::int64_t>(number_);
+}
+
+JsonValue JsonValue::MakeBool(bool value) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = value;
+  return v;
+}
+
+JsonValue JsonValue::MakeNumber(double value) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = value;
+  return v;
+}
+
+JsonValue JsonValue::MakeString(std::string value) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(value);
+  return v;
+}
+
+JsonValue JsonValue::MakeArray(std::vector<JsonValue> items) {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  v.items_ = std::move(items);
+  return v;
+}
+
+JsonValue JsonValue::MakeObject(
+    std::vector<std::pair<std::string, JsonValue>> members) {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  v.members_ = std::move(members);
+  return v;
+}
+
+// ---------------------------------------------------------------------
+// JsonParse — recursive descent over untrusted bytes
+// ---------------------------------------------------------------------
+
+namespace {
+
+class JsonParser {
+ public:
+  JsonParser(std::string_view text, const JsonParseOptions& options)
+      : text_(text), options_(options) {}
+
+  Result<JsonValue> Parse() {
+    SkipWhitespace();
+    NETOUT_ASSIGN_OR_RETURN(JsonValue value, ParseValue(0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Fail("trailing content after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  Status Fail(std::string_view why) const {
+    return Status::ParseError("JSON at byte " + std::to_string(pos_) +
+                              ": " + std::string(why));
+  }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+
+  void SkipWhitespace() {
+    while (!AtEnd()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (AtEnd() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  Status Expect(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) {
+      return Fail("invalid literal");
+    }
+    pos_ += literal.size();
+    return Status::OK();
+  }
+
+  Result<JsonValue> ParseValue(std::size_t depth) {
+    if (depth > options_.max_depth) {
+      return Fail("nesting deeper than the configured limit");
+    }
+    SkipWhitespace();
+    if (AtEnd()) return Fail("unexpected end of input");
+    switch (Peek()) {
+      case 'n':
+        NETOUT_RETURN_IF_ERROR(Expect("null"));
+        return JsonValue::MakeNull();
+      case 't':
+        NETOUT_RETURN_IF_ERROR(Expect("true"));
+        return JsonValue::MakeBool(true);
+      case 'f':
+        NETOUT_RETURN_IF_ERROR(Expect("false"));
+        return JsonValue::MakeBool(false);
+      case '"': {
+        NETOUT_ASSIGN_OR_RETURN(std::string s, ParseString());
+        return JsonValue::MakeString(std::move(s));
+      }
+      case '[':
+        return ParseArray(depth);
+      case '{':
+        return ParseObject(depth);
+      default:
+        return ParseNumber();
+    }
+  }
+
+  Result<JsonValue> ParseArray(std::size_t depth) {
+    ++pos_;  // '['
+    std::vector<JsonValue> items;
+    SkipWhitespace();
+    if (Consume(']')) return JsonValue::MakeArray(std::move(items));
+    while (true) {
+      NETOUT_ASSIGN_OR_RETURN(JsonValue item, ParseValue(depth + 1));
+      items.push_back(std::move(item));
+      SkipWhitespace();
+      if (Consume(']')) break;
+      if (!Consume(',')) return Fail("expected ',' or ']' in array");
+    }
+    return JsonValue::MakeArray(std::move(items));
+  }
+
+  Result<JsonValue> ParseObject(std::size_t depth) {
+    ++pos_;  // '{'
+    std::vector<std::pair<std::string, JsonValue>> members;
+    SkipWhitespace();
+    if (Consume('}')) return JsonValue::MakeObject(std::move(members));
+    while (true) {
+      SkipWhitespace();
+      if (AtEnd() || Peek() != '"') return Fail("expected object key");
+      NETOUT_ASSIGN_OR_RETURN(std::string key, ParseString());
+      for (const auto& [existing, unused] : members) {
+        (void)unused;
+        if (existing == key) return Fail("duplicate object key");
+      }
+      SkipWhitespace();
+      if (!Consume(':')) return Fail("expected ':' after object key");
+      NETOUT_ASSIGN_OR_RETURN(JsonValue value, ParseValue(depth + 1));
+      members.emplace_back(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (Consume('}')) break;
+      if (!Consume(',')) return Fail("expected ',' or '}' in object");
+    }
+    return JsonValue::MakeObject(std::move(members));
+  }
+
+  Result<std::string> ParseString() {
+    ++pos_;  // opening quote
+    std::string out;
+    while (true) {
+      if (AtEnd()) return Fail("unterminated string");
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return out;
+      }
+      if (c < 0x20) return Fail("raw control byte in string");
+      if (c != '\\') {
+        out.push_back(static_cast<char>(c));
+        ++pos_;
+        continue;
+      }
+      ++pos_;  // backslash
+      if (AtEnd()) return Fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          NETOUT_ASSIGN_OR_RETURN(std::uint32_t code, ParseHex4());
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            // High surrogate: require a low surrogate escape next.
+            if (!Consume('\\') || !Consume('u')) {
+              return Fail("unpaired high surrogate");
+            }
+            NETOUT_ASSIGN_OR_RETURN(std::uint32_t low, ParseHex4());
+            if (low < 0xDC00 || low > 0xDFFF) {
+              return Fail("invalid low surrogate");
+            }
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+          } else if (code >= 0xDC00 && code <= 0xDFFF) {
+            return Fail("unpaired low surrogate");
+          }
+          AppendUtf8(&out, code);
+          break;
+        }
+        default:
+          return Fail("invalid escape character");
+      }
+    }
+  }
+
+  Result<std::uint32_t> ParseHex4() {
+    if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + static_cast<std::size_t>(i)];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        return Fail("invalid hex digit in \\u escape");
+      }
+    }
+    pos_ += 4;
+    return value;
+  }
+
+  static void AppendUtf8(std::string* out, std::uint32_t code) {
+    if (code < 0x80) {
+      out->push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  Result<JsonValue> ParseNumber() {
+    const std::size_t start = pos_;
+    if (Consume('-') && AtEnd()) return Fail("lone minus sign");
+    // Strict RFC 8259 grammar up front (strtod accepts hex, inf, nan,
+    // leading '+' — none of which are JSON).
+    if (AtEnd() || Peek() < '0' || Peek() > '9') {
+      return Fail("invalid number");
+    }
+    if (Peek() == '0') {
+      ++pos_;
+    } else {
+      while (!AtEnd() && Peek() >= '0' && Peek() <= '9') ++pos_;
+    }
+    if (Consume('.')) {
+      if (AtEnd() || Peek() < '0' || Peek() > '9') {
+        return Fail("digit required after decimal point");
+      }
+      while (!AtEnd() && Peek() >= '0' && Peek() <= '9') ++pos_;
+    }
+    if (!AtEnd() && (Peek() == 'e' || Peek() == 'E')) {
+      ++pos_;
+      if (!AtEnd() && (Peek() == '+' || Peek() == '-')) ++pos_;
+      if (AtEnd() || Peek() < '0' || Peek() > '9') {
+        return Fail("digit required in exponent");
+      }
+      while (!AtEnd() && Peek() >= '0' && Peek() <= '9') ++pos_;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    errno = 0;
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return Fail("invalid number");
+    // Out-of-range magnitudes become +/-inf (errno ERANGE); JSON has no
+    // infinities, so reject rather than smuggle one in.
+    if (!std::isfinite(value)) return Fail("number out of range");
+    return JsonValue::MakeNumber(value);
+  }
+
+  std::string_view text_;
+  JsonParseOptions options_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue> JsonParse(std::string_view text,
+                            const JsonParseOptions& options) {
+  return JsonParser(text, options).Parse();
 }
 
 }  // namespace netout

@@ -4,7 +4,10 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
+
+#include "common/result.h"
 
 namespace netout {
 
@@ -43,6 +46,12 @@ class JsonWriter {
   void Bool(bool value);
   void Null();
 
+  /// Emits `json` verbatim as one value (comma/key handling applies).
+  /// The caller guarantees it is a complete, valid JSON document —
+  /// used to embed an already-serialized result object or echo a
+  /// request id without re-parsing.
+  void RawValue(std::string_view json);
+
   /// Returns the document and resets the writer.
   std::string Take() &&;
 
@@ -60,6 +69,78 @@ class JsonWriter {
 
 /// Escapes `value` as a JSON string literal including the quotes.
 std::string JsonEscape(std::string_view value);
+
+/// A parsed JSON document node. Objects keep their members in input
+/// order (duplicate keys are a parse error — the wire protocol must not
+/// depend on which copy wins).
+class JsonValue {
+ public:
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; calling the wrong one is a programming error
+  /// (checked in debug builds), so test kind() / is_*() first.
+  bool bool_value() const { return bool_; }
+  double number_value() const { return number_; }
+  const std::string& string_value() const { return string_; }
+  const std::vector<JsonValue>& items() const { return items_; }
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  /// Object member lookup; null when this is not an object or the key
+  /// is absent.
+  const JsonValue* Find(std::string_view key) const;
+
+  /// The number as an int64 when it is one exactly (integral, in
+  /// range); kInvalidArgument otherwise. The wire protocol uses this
+  /// for ids/limits so 1.5 or 1e300 fail loudly instead of truncating.
+  Result<std::int64_t> AsInt64() const;
+
+  static JsonValue MakeNull() { return JsonValue(); }
+  static JsonValue MakeBool(bool value);
+  static JsonValue MakeNumber(double value);
+  static JsonValue MakeString(std::string value);
+  static JsonValue MakeArray(std::vector<JsonValue> items);
+  static JsonValue MakeObject(
+      std::vector<std::pair<std::string, JsonValue>> members);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+struct JsonParseOptions {
+  /// Maximum nesting depth of arrays/objects; deeper input fails with
+  /// kParseError instead of recursing toward a stack overflow on
+  /// hostile wire bytes.
+  std::size_t max_depth = 64;
+};
+
+/// Parses one complete JSON document (RFC 8259: UTF-8, \uXXXX escapes
+/// incl. surrogate pairs, strict number syntax). Trailing content other
+/// than whitespace is an error. Fails with kParseError, never aborts —
+/// this is the entry point for untrusted socket bytes.
+Result<JsonValue> JsonParse(std::string_view text,
+                            const JsonParseOptions& options = {});
 
 }  // namespace netout
 

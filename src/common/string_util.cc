@@ -123,4 +123,27 @@ std::string FormatDouble(double value, int digits) {
   return buf;
 }
 
+std::string StrEscapeControl(std::string_view input) {
+  std::string out;
+  out.reserve(input.size());
+  for (const char c : input) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    switch (c) {
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\\': out += "\\\\"; break;
+      default:
+        if (u < 0x20 || u == 0x7f) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\x%02x", u);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
 }  // namespace netout

@@ -40,6 +40,12 @@ std::string HumanBytes(std::uint64_t bytes);
 /// Formats a double with `digits` digits after the decimal point.
 std::string FormatDouble(double value, int digits);
 
+/// Renders `input` safe for one line of terminal/log output: control
+/// bytes (including newlines) become C-style escapes (\n, \t, \xNN).
+/// Error messages can embed hostile query text; printed raw they would
+/// break line-oriented CLI output and log framing.
+std::string StrEscapeControl(std::string_view input);
+
 }  // namespace netout
 
 #endif  // NETOUT_COMMON_STRING_UTIL_H_

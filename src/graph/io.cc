@@ -121,7 +121,9 @@ Status SaveHinText(const Hin& hin, std::string_view path) {
       }
     }
   }
-  return WriteStringToFile(path, out);
+  // Atomic (temp + rename): a signal or crash mid-save must never leave
+  // a torn graph file under the final name.
+  return WriteStringToFileAtomic(path, out);
 }
 
 // ---------------------------------------------------------------------
@@ -164,7 +166,11 @@ Status SaveHinBinary(const Hin& hin, std::string_view path) {
     AppendSketch(&payload, hin.StepSketch(EdgeStep{e, Direction::kReverse}));
   }
 
-  return WriteStringToFile(path, WrapWithChecksum(kHinMagicV2, payload));
+  // Atomic (temp + rename): the checksum detects a torn snapshot after
+  // the fact, but a reader racing a plain in-place rewrite would still
+  // observe one; rename makes the swap indivisible.
+  return WriteStringToFileAtomic(path,
+                                 WrapWithChecksum(kHinMagicV2, payload));
 }
 
 Result<HinPtr> LoadHinBinary(std::string_view path) {

@@ -1,0 +1,118 @@
+#ifndef NETOUT_SERVER_PROTOCOL_H_
+#define NETOUT_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "graph/hin.h"
+#include "query/executor.h"
+
+namespace netout {
+
+/// The netout_serve wire protocol: newline-delimited JSON (NDJSON).
+/// Every request is one JSON object on one line; every response is one
+/// JSON object on one line, in request order per connection. Grammar:
+///
+///   request  = { "op": "query", "q": "<netout query text>",
+///                ["id": <number|string|bool|null>,]
+///                ["timeout_ms": N,] ["memory_budget_mb": N] } NL
+///            | { "op": "ping" | "stats" | "config" | "shutdown",
+///                ["id": ...] } NL
+///   response = { ["id": <echoed>,] "ok": true,  "op": "<op>", ... } NL
+///            | { ["id": <echoed>,] "ok": false, "op": "<op>",
+///                "error": { "code": "<status-code>",
+///                           "message": "<escaped text>" } } NL
+///
+/// A query response carries "result" (the QueryResultToJson object,
+/// bitwise identical to `netout_query --json` on the same snapshot and
+/// options), "latency_ms" (end-to-end, including queue wait) and
+/// "shed": true when admission control tightened the deadline under
+/// load. Error text always passes through JsonEscape, so a hostile
+/// query whose parse error embeds newlines or quotes can never break
+/// the line framing.
+
+/// Caps applied to untrusted request bytes before any parsing.
+struct ProtocolLimits {
+  /// Longest accepted request line (bytes, excluding the newline). A
+  /// line that exceeds this poisons the connection: framing can no
+  /// longer be trusted, so the session is closed after an error
+  /// response.
+  std::size_t max_line_bytes = 1 << 20;
+  /// JSON nesting cap for request documents.
+  std::size_t max_json_depth = 32;
+};
+
+enum class RequestOp : std::uint8_t {
+  kQuery,
+  kPing,
+  kStats,
+  kConfig,
+  kShutdown,
+};
+
+const char* RequestOpName(RequestOp op);
+
+/// One parsed request. `id_json` is the client's "id" member
+/// re-serialized (empty = absent); responses echo it verbatim so
+/// clients can correlate pipelined requests.
+struct Request {
+  RequestOp op = RequestOp::kQuery;
+  std::string id_json;
+  std::string query;                      // kQuery only
+  std::int64_t timeout_millis = -1;       // < 0: server default applies
+  std::int64_t memory_budget_bytes = -1;  // < 0: server default applies
+};
+
+/// Parses one request line. Fails with kParseError on malformed JSON or
+/// schema violations (unknown op, wrong member types, unknown members);
+/// the connection stays usable because line framing is intact.
+Result<Request> ParseRequest(std::string_view line,
+                             const ProtocolLimits& limits);
+
+/// Incremental newline framing over an untrusted byte stream. Feed
+/// whatever recv() produced; pop complete lines. Once a line exceeds
+/// max_line_bytes the assembler latches into the overflowed state
+/// (Append fails, NextLine yields nothing) — the caller must error out
+/// the session, since resynchronizing framing is impossible.
+class LineAssembler {
+ public:
+  explicit LineAssembler(std::size_t max_line_bytes)
+      : max_line_bytes_(max_line_bytes) {}
+
+  /// Buffers `bytes`; kResourceExhausted once the current line exceeds
+  /// the cap (sticky).
+  Status Append(std::string_view bytes);
+
+  /// Pops the next complete line into `*line` (trailing '\r' stripped);
+  /// false when no full line is buffered.
+  bool NextLine(std::string* line);
+
+  bool overflowed() const { return overflowed_; }
+  std::size_t buffered_bytes() const { return buffer_.size(); }
+
+ private:
+  std::size_t max_line_bytes_;
+  std::string buffer_;
+  std::size_t scan_pos_ = 0;  // first byte not yet scanned for '\n'
+  bool overflowed_ = false;
+};
+
+/// Response builders. Every string member is JsonEscape'd; the returned
+/// payload is exactly one line including the trailing '\n'.
+std::string BuildErrorResponse(const Request* request,
+                               const Status& status);
+std::string BuildPingResponse(const Request& request);
+std::string BuildQueryResponse(const Hin& hin, const Request& request,
+                               const QueryResult& result, bool shed,
+                               double latency_ms);
+/// STATS / CONFIG carry a caller-built JSON object under "stats" /
+/// "config" (see Server::StatsJson / Server::ConfigJson).
+std::string BuildObjectResponse(const Request& request,
+                                std::string_view key,
+                                std::string_view object_json);
+
+}  // namespace netout
+
+#endif  // NETOUT_SERVER_PROTOCOL_H_

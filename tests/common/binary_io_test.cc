@@ -1,10 +1,13 @@
 #include "common/binary_io.h"
 
+#include <unistd.h>
+
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <limits>
 #include <string>
+#include <thread>
 
 #include <gtest/gtest.h>
 
@@ -123,6 +126,89 @@ TEST(BinaryIoTest, TruncatedContainerRejected) {
   auto r = UnwrapChecked("MAGIC678", wrapped);
   EXPECT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+}
+
+// A pipe delivers reads in kernel-buffer-sized chunks, so a transfer
+// larger than the pipe capacity forces ReadFull/WriteFull through their
+// short-transfer loops — the exact situation the old single-call code
+// mishandled.
+TEST(BinaryIoFdTest, FullTransferAcrossPipeChunks) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  std::string payload(1 << 20, '\0');
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<char>(i * 1315423911u);
+  }
+  std::thread writer([&] {
+    EXPECT_TRUE(WriteFull(fds[1], payload.data(), payload.size()).ok());
+    ::close(fds[1]);
+  });
+  std::string got(payload.size(), '\0');
+  std::size_t bytes_read = 0;
+  ASSERT_TRUE(ReadFull(fds[0], got.data(), got.size(), &bytes_read).ok());
+  writer.join();
+  EXPECT_EQ(bytes_read, payload.size());
+  EXPECT_EQ(got, payload);
+  ::close(fds[0]);
+}
+
+TEST(BinaryIoFdTest, ReadFullReportsShortCountAtEof) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  ASSERT_TRUE(WriteFull(fds[1], "abc", 3).ok());
+  ::close(fds[1]);
+  char buf[16];
+  std::size_t bytes_read = 0;
+  ASSERT_TRUE(ReadFull(fds[0], buf, sizeof(buf), &bytes_read).ok());
+  EXPECT_EQ(bytes_read, 3u);
+  EXPECT_EQ(std::string_view(buf, 3), "abc");
+  ::close(fds[0]);
+}
+
+TEST(BinaryIoFdTest, ReadFdToStringDrainsToEof) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  std::string payload(300000, 'x');
+  payload += std::string("\0\xff tail", 7);
+  std::thread writer([&] {
+    EXPECT_TRUE(WriteFull(fds[1], payload.data(), payload.size()).ok());
+    ::close(fds[1]);
+  });
+  auto got = ReadFdToString(fds[0]);
+  writer.join();
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value(), payload);
+  ::close(fds[0]);
+}
+
+TEST(BinaryIoFdTest, WriteToBadFdIsIoError) {
+  EXPECT_EQ(WriteFull(-1, "x", 1).code(), StatusCode::kIoError);
+  std::size_t bytes_read = 0;
+  char buf[1];
+  EXPECT_EQ(ReadFull(-1, buf, 1, &bytes_read).code(), StatusCode::kIoError);
+}
+
+TEST(AtomicWriteTest, RoundTripAndNoTempLeftover) {
+  const std::string path = TempPath("atomic");
+  ASSERT_TRUE(WriteStringToFileAtomic(path, "v1").ok());
+  EXPECT_EQ(ReadFileToString(path).value(), "v1");
+  // Overwrite must swap indivisibly and leave no *.tmp.* debris behind.
+  ASSERT_TRUE(WriteStringToFileAtomic(path, "version two").ok());
+  EXPECT_EQ(ReadFileToString(path).value(), "version two");
+  const auto dir = std::filesystem::path(path).parent_path();
+  const auto stem = std::filesystem::path(path).filename().string();
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    EXPECT_EQ(name.find(stem + ".tmp."), std::string::npos)
+        << "temp file leaked: " << name;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(AtomicWriteTest, MissingDirectoryFailsWithoutCreatingTarget) {
+  const std::string path = "/nonexistent/definitely/missing/file.bin";
+  EXPECT_EQ(WriteStringToFileAtomic(path, "x").code(), StatusCode::kIoError);
+  EXPECT_FALSE(std::filesystem::exists(path));
 }
 
 }  // namespace

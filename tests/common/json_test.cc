@@ -102,5 +102,95 @@ TEST(JsonWriterDeathTest, UnbalancedTakeAborts) {
       "unbalanced");
 }
 
+TEST(JsonWriterTest, RawValueEmbedsVerbatimWithSeparators) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("id");
+  json.RawValue("\"abc\"");
+  json.Key("result");
+  json.RawValue("{\"k\":[1,2]}");
+  json.EndObject();
+  EXPECT_EQ(std::move(json).Take(),
+            "{\"id\":\"abc\",\"result\":{\"k\":[1,2]}}");
+}
+
+TEST(JsonParseTest, Scalars) {
+  EXPECT_TRUE(JsonParse("null").value().is_null());
+  EXPECT_TRUE(JsonParse("true").value().bool_value());
+  EXPECT_FALSE(JsonParse("false").value().bool_value());
+  EXPECT_DOUBLE_EQ(JsonParse("-12.5e2").value().number_value(), -1250.0);
+  EXPECT_EQ(JsonParse("\"hi\"").value().string_value(), "hi");
+}
+
+TEST(JsonParseTest, NestedDocumentPreservesOrder) {
+  auto doc = JsonParse("{\"b\": [1, {\"x\": null}], \"a\": \"v\"} ");
+  ASSERT_TRUE(doc.ok());
+  const JsonValue& root = doc.value();
+  ASSERT_TRUE(root.is_object());
+  ASSERT_EQ(root.members().size(), 2u);
+  EXPECT_EQ(root.members()[0].first, "b");
+  EXPECT_EQ(root.members()[1].first, "a");
+  const JsonValue* b = root.Find("b");
+  ASSERT_NE(b, nullptr);
+  ASSERT_TRUE(b->is_array());
+  ASSERT_EQ(b->items().size(), 2u);
+  EXPECT_DOUBLE_EQ(b->items()[0].number_value(), 1.0);
+  EXPECT_TRUE(b->items()[1].Find("x")->is_null());
+  EXPECT_EQ(root.Find("missing"), nullptr);
+}
+
+TEST(JsonParseTest, StringEscapesAndSurrogatePairs) {
+  EXPECT_EQ(JsonParse("\"a\\n\\t\\\"\\\\b\"").value().string_value(),
+            "a\n\t\"\\b");
+  EXPECT_EQ(JsonParse("\"\\u0041\"").value().string_value(), "A");
+  // U+1F600 as a surrogate pair -> 4-byte UTF-8.
+  EXPECT_EQ(JsonParse("\"\\uD83D\\uDE00\"").value().string_value(),
+            "\xF0\x9F\x98\x80");
+  // Lone high surrogate is malformed.
+  EXPECT_EQ(JsonParse("\"\\uD83D\"").status().code(),
+            StatusCode::kParseError);
+}
+
+TEST(JsonParseTest, RejectsHostileInput) {
+  // Raw control byte inside a string (line framing attack).
+  EXPECT_FALSE(JsonParse("\"a\nb\"").ok());
+  // Duplicate keys: which copy wins must never matter.
+  EXPECT_FALSE(JsonParse("{\"k\":1,\"k\":2}").ok());
+  // Trailing content after the document.
+  EXPECT_FALSE(JsonParse("{} {}").ok());
+  // Malformed numbers that strtod would happily half-accept.
+  EXPECT_FALSE(JsonParse("01").ok());
+  EXPECT_FALSE(JsonParse("1.").ok());
+  EXPECT_FALSE(JsonParse("+1").ok());
+  EXPECT_FALSE(JsonParse("nan").ok());
+  // Unterminated containers and strings.
+  EXPECT_FALSE(JsonParse("[1,").ok());
+  EXPECT_FALSE(JsonParse("\"open").ok());
+  EXPECT_FALSE(JsonParse("").ok());
+}
+
+TEST(JsonParseTest, DepthLimitStopsRecursion) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += "[";
+  JsonParseOptions options;
+  options.max_depth = 32;
+  auto r = JsonParse(deep, options);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  // Within the cap it parses fine.
+  EXPECT_TRUE(JsonParse("[[[[[[[[1]]]]]]]]", options).ok());
+}
+
+TEST(JsonParseTest, AsInt64ExactnessBoundaries) {
+  EXPECT_EQ(JsonParse("42").value().AsInt64().value(), 42);
+  EXPECT_EQ(JsonParse("-9007199254740992").value().AsInt64().value(),
+            -9007199254740992LL);
+  // Non-integral and out-of-range values fail loudly.
+  EXPECT_FALSE(JsonParse("1.5").value().AsInt64().ok());
+  EXPECT_FALSE(JsonParse("1e300").value().AsInt64().ok());
+  // 2^63 is representable as a double but not as int64.
+  EXPECT_FALSE(JsonParse("9223372036854775808").value().AsInt64().ok());
+}
+
 }  // namespace
 }  // namespace netout

@@ -1,0 +1,207 @@
+#include "server/protocol.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+#include "datagen/biblio_gen.h"
+
+namespace netout {
+namespace {
+
+ProtocolLimits SmallLimits() {
+  ProtocolLimits limits;
+  limits.max_line_bytes = 128;
+  return limits;
+}
+
+TEST(ParseRequestTest, QueryWithAllMembers) {
+  auto r = ParseRequest(
+      "{\"op\":\"query\",\"id\":7,\"q\":\"FIND OUTLIERS ...;\","
+      "\"timeout_ms\":250,\"memory_budget_mb\":64}",
+      ProtocolLimits{});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Request& request = r.value();
+  EXPECT_EQ(request.op, RequestOp::kQuery);
+  EXPECT_EQ(request.id_json, "7");
+  EXPECT_EQ(request.query, "FIND OUTLIERS ...;");
+  EXPECT_EQ(request.timeout_millis, 250);
+  EXPECT_EQ(request.memory_budget_bytes, std::int64_t{64} << 20);
+}
+
+TEST(ParseRequestTest, BareQShorthandDefaultsToQuery) {
+  auto r = ParseRequest("{\"q\":\"FIND ...;\"}", ProtocolLimits{});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().op, RequestOp::kQuery);
+  EXPECT_EQ(r.value().timeout_millis, -1);
+  EXPECT_EQ(r.value().memory_budget_bytes, -1);
+}
+
+TEST(ParseRequestTest, AdminOps) {
+  EXPECT_EQ(ParseRequest("{\"op\":\"ping\"}", ProtocolLimits{}).value().op,
+            RequestOp::kPing);
+  EXPECT_EQ(ParseRequest("{\"op\":\"stats\"}", ProtocolLimits{}).value().op,
+            RequestOp::kStats);
+  EXPECT_EQ(ParseRequest("{\"op\":\"config\"}", ProtocolLimits{}).value().op,
+            RequestOp::kConfig);
+  EXPECT_EQ(
+      ParseRequest("{\"op\":\"shutdown\"}", ProtocolLimits{}).value().op,
+      RequestOp::kShutdown);
+}
+
+TEST(ParseRequestTest, SchemaViolationsAreParseErrors) {
+  const ProtocolLimits limits;
+  // Unknown member: a typo must fail loudly, exactly like CLI flags.
+  EXPECT_FALSE(ParseRequest("{\"q\":\"x\",\"timout_ms\":5}", limits).ok());
+  // Unknown op.
+  EXPECT_FALSE(ParseRequest("{\"op\":\"drop-tables\"}", limits).ok());
+  // Wrong member types.
+  EXPECT_FALSE(ParseRequest("{\"op\":42}", limits).ok());
+  EXPECT_FALSE(ParseRequest("{\"q\":17}", limits).ok());
+  EXPECT_FALSE(ParseRequest("{\"q\":\"x\",\"timeout_ms\":-1}", limits).ok());
+  EXPECT_FALSE(ParseRequest("{\"q\":\"x\",\"timeout_ms\":1.5}", limits).ok());
+  // Composite id (depth-cap bait for the echo path).
+  EXPECT_FALSE(ParseRequest("{\"q\":\"x\",\"id\":[1]}", limits).ok());
+  // Query op without text / text with non-query op / neither.
+  EXPECT_FALSE(ParseRequest("{\"op\":\"query\"}", limits).ok());
+  EXPECT_FALSE(ParseRequest("{\"op\":\"ping\",\"q\":\"x\"}", limits).ok());
+  EXPECT_FALSE(ParseRequest("{}", limits).ok());
+  // Not an object at all.
+  EXPECT_FALSE(ParseRequest("[1,2]", limits).ok());
+  EXPECT_FALSE(ParseRequest("garbage", limits).ok());
+  // Implausible memory budget (would overflow the MiB shift).
+  EXPECT_FALSE(
+      ParseRequest("{\"q\":\"x\",\"memory_budget_mb\":1099511627777}", limits)
+          .ok());
+}
+
+TEST(ParseRequestTest, OversizedLineIsResourceExhausted) {
+  std::string line = "{\"q\":\"";
+  line += std::string(200, 'a');
+  line += "\"}";
+  auto r = ParseRequest(line, SmallLimits());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(LineAssemblerTest, ReassemblesAcrossArbitraryChunks) {
+  LineAssembler lines(1024);
+  const std::string stream = "{\"op\":\"ping\"}\r\n{\"q\":\"two\"}\nrest";
+  // Feed one byte at a time — the worst case recv() can produce.
+  std::vector<std::string> got;
+  std::string line;
+  for (char byte : stream) {
+    ASSERT_TRUE(lines.Append(std::string_view(&byte, 1)).ok());
+    while (lines.NextLine(&line)) got.push_back(line);
+  }
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], "{\"op\":\"ping\"}");  // \r stripped
+  EXPECT_EQ(got[1], "{\"q\":\"two\"}");
+  EXPECT_EQ(lines.buffered_bytes(), 4u);  // "rest" awaits its newline
+}
+
+TEST(LineAssemblerTest, ManyLinesInOneChunk) {
+  LineAssembler lines(1024);
+  ASSERT_TRUE(lines.Append("a\nb\nc\n").ok());
+  std::string line;
+  ASSERT_TRUE(lines.NextLine(&line));
+  EXPECT_EQ(line, "a");
+  ASSERT_TRUE(lines.NextLine(&line));
+  EXPECT_EQ(line, "b");
+  ASSERT_TRUE(lines.NextLine(&line));
+  EXPECT_EQ(line, "c");
+  EXPECT_FALSE(lines.NextLine(&line));
+}
+
+TEST(LineAssemblerTest, OverflowIsSticky) {
+  LineAssembler lines(16);
+  Status last = Status::OK();
+  for (int i = 0; i < 8 && last.ok(); ++i) {
+    last = lines.Append("aaaaaaaa");  // never a newline
+  }
+  ASSERT_FALSE(last.ok());
+  EXPECT_EQ(last.code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(lines.overflowed());
+  // Latched: even a newline cannot resynchronize the framing.
+  EXPECT_FALSE(lines.Append("\n").ok());
+  std::string line;
+  EXPECT_FALSE(lines.NextLine(&line));
+}
+
+TEST(LineAssemblerTest, LongLineUnderCapSurvives) {
+  LineAssembler lines(64);
+  ASSERT_TRUE(lines.Append(std::string(60, 'x')).ok());
+  ASSERT_TRUE(lines.Append("\n").ok());
+  std::string line;
+  ASSERT_TRUE(lines.NextLine(&line));
+  EXPECT_EQ(line.size(), 60u);
+  EXPECT_FALSE(lines.overflowed());
+}
+
+TEST(ResponseBuilderTest, ErrorResponseIsOneEscapedLine) {
+  Request request;
+  request.op = RequestOp::kQuery;
+  request.id_json = "\"req-1\"";
+  // A hostile Status message full of framing hazards.
+  const Status status = Status::ParseError(
+      "bad query\ninjected {\"ok\":true}\r\x01 end");
+  const std::string line = BuildErrorResponse(&request, status);
+  ASSERT_FALSE(line.empty());
+  EXPECT_EQ(line.back(), '\n');
+  // Exactly one newline: the embedded ones must have been escaped.
+  EXPECT_EQ(line.find('\n'), line.size() - 1);
+  EXPECT_EQ(line.find('\r'), std::string::npos);
+  // Round-trips through the parser with the id echoed.
+  auto doc = JsonParse(std::string_view(line.data(), line.size() - 1));
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc.value().Find("id")->string_value(), "req-1");
+  EXPECT_FALSE(doc.value().Find("ok")->bool_value());
+  const JsonValue* error = doc.value().Find("error");
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(error->Find("code")->string_value(), "parse-error");
+  EXPECT_NE(error->Find("message")->string_value().find("injected"),
+            std::string::npos);
+}
+
+TEST(ResponseBuilderTest, PingAndObjectResponses) {
+  Request request;
+  request.op = RequestOp::kPing;
+  request.id_json = "3";
+  const std::string ping = BuildPingResponse(request);
+  EXPECT_EQ(ping, "{\"id\":3,\"ok\":true,\"op\":\"ping\"}\n");
+
+  Request stats_request;
+  stats_request.op = RequestOp::kStats;
+  const std::string stats =
+      BuildObjectResponse(stats_request, "stats", "{\"a\":1}");
+  EXPECT_EQ(stats, "{\"ok\":true,\"op\":\"stats\",\"stats\":{\"a\":1}}\n");
+}
+
+TEST(ResponseBuilderTest, QueryResponseEmbedsResultObject) {
+  Request request;
+  request.op = RequestOp::kQuery;
+  BiblioConfig config;
+  config.num_areas = 1;
+  config.authors_per_area = 4;
+  config.papers_per_area = 4;
+  const HinPtr hin = GenerateBiblio(config).value().hin;
+  QueryResult result;
+  result.degraded = true;
+  result.stop_reason = StopReason::kDeadline;
+  const std::string line =
+      BuildQueryResponse(*hin, request, result, /*shed=*/true,
+                         /*latency_ms=*/1.25);
+  EXPECT_EQ(line.find('\n'), line.size() - 1);
+  auto doc = JsonParse(std::string_view(line.data(), line.size() - 1));
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_TRUE(doc.value().Find("shed")->bool_value());
+  const JsonValue* payload = doc.value().Find("result");
+  ASSERT_NE(payload, nullptr);
+  EXPECT_TRUE(payload->Find("degraded")->bool_value());
+  EXPECT_EQ(payload->Find("stop_reason")->string_value(), "deadline");
+}
+
+}  // namespace
+}  // namespace netout

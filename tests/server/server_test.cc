@@ -1,0 +1,416 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/binary_io.h"
+#include "common/json.h"
+#include "datagen/biblio_gen.h"
+#include "query/engine.h"
+#include "query/result_json.h"
+
+namespace netout {
+namespace {
+
+constexpr const char* kStarQuery =
+    "FIND OUTLIERS FROM author{\"star_0\"}.paper.author "
+    "JUDGED BY author.paper.venue TOP 5;";
+constexpr const char* kVenueQuery =
+    "FIND OUTLIERS FROM author{\"star_1\"}.paper.author "
+    "JUDGED BY author.paper.term TOP 5;";
+
+/// Blocking test client with a receive deadline, so a server bug shows
+/// up as a failed assertion instead of a hung test binary.
+class TestClient {
+ public:
+  explicit TestClient(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd_ < 0) return;
+    timeval timeout{10, 0};
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  ~TestClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool connected() const { return fd_ >= 0; }
+
+  Status SendBytes(std::string_view bytes) {
+    return WriteFull(fd_, bytes.data(), bytes.size());
+  }
+
+  Status SendLine(std::string line) {
+    line.push_back('\n');
+    return SendBytes(line);
+  }
+
+  void ShutdownWrite() { ::shutdown(fd_, SHUT_WR); }
+
+  /// One response line; kIoError on EOF or after the 10s deadline.
+  Result<std::string> ReadLine() {
+    for (;;) {
+      const std::size_t newline = buffer_.find('\n');
+      if (newline != std::string::npos) {
+        std::string line = buffer_.substr(0, newline);
+        buffer_.erase(0, newline + 1);
+        return line;
+      }
+      char chunk[8192];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n > 0) {
+        buffer_.append(chunk, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n == 0) return Status::IoError("eof");
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("recv: ") + std::strerror(errno));
+    }
+  }
+
+  /// True when the server closed the connection (clean EOF).
+  bool ReadEof() {
+    char byte;
+    for (;;) {
+      const ssize_t n = ::recv(fd_, &byte, 1, 0);
+      if (n == 0) return true;
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+JsonValue MustParse(const std::string& line) {
+  auto doc = JsonParse(line);
+  EXPECT_TRUE(doc.ok()) << doc.status().ToString() << " in: " << line;
+  return doc.ok() ? std::move(doc).value() : JsonValue::MakeNull();
+}
+
+/// The exact "outliers" array bytes of a serialized result — the
+/// bitwise-identity comparand (stats/latency legitimately differ).
+std::string ExtractOutliers(const std::string& json) {
+  const std::size_t key = json.find("\"outliers\":[");
+  if (key == std::string::npos) return "<missing>";
+  std::size_t pos = key + std::strlen("\"outliers\":[");
+  int depth = 1;
+  while (pos < json.size() && depth > 0) {
+    if (json[pos] == '[') ++depth;
+    if (json[pos] == ']') --depth;
+    ++pos;
+  }
+  return json.substr(key, pos - key);
+}
+
+class ServerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    BiblioConfig config;
+    config.seed = 17;
+    config.num_areas = 2;
+    config.authors_per_area = 50;
+    config.papers_per_area = 120;
+    config.venues_per_area = 4;
+    config.terms_per_area = 30;
+    config.shared_terms = 12;
+    dataset_ = new BiblioDataset(GenerateBiblio(config).value());
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+
+  /// Starts a server (ephemeral port) and its Serve() thread.
+  void StartServer(ServerOptions options = {}) {
+    EngineOptions engine_options;
+    server_ = std::make_unique<Server>(dataset_->hin, engine_options,
+                                       options);
+    ASSERT_TRUE(server_->Start().ok());
+    serve_thread_ = std::thread([this] {
+      const Status status = server_->Serve();
+      EXPECT_TRUE(status.ok()) << status.ToString();
+    });
+  }
+
+  void TearDown() override {
+    if (server_ != nullptr && serve_thread_.joinable()) {
+      server_->RequestShutdown();
+      serve_thread_.join();
+    }
+  }
+
+  /// What `netout_query --json` would print for this query — the
+  /// identity reference.
+  static std::string SoloResultJson(const std::string& query) {
+    EngineOptions engine_options;
+    Engine engine(dataset_->hin, engine_options);
+    auto result = engine.Execute(query);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return QueryResultToJson(*dataset_->hin, result.value(),
+                             /*pretty=*/false);
+  }
+
+  static BiblioDataset* dataset_;
+  std::unique_ptr<Server> server_;
+  std::thread serve_thread_;
+};
+
+BiblioDataset* ServerTest::dataset_ = nullptr;
+
+TEST_F(ServerTest, PingStatsConfig) {
+  StartServer();
+  TestClient client(server_->port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.SendLine("{\"op\":\"ping\",\"id\":1}").ok());
+  JsonValue pong = MustParse(client.ReadLine().value());
+  EXPECT_TRUE(pong.Find("ok")->bool_value());
+  EXPECT_EQ(pong.Find("id")->AsInt64().value(), 1);
+
+  ASSERT_TRUE(client.SendLine("{\"op\":\"stats\"}").ok());
+  JsonValue stats = MustParse(client.ReadLine().value());
+  ASSERT_TRUE(stats.Find("ok")->bool_value());
+  const JsonValue* requests = stats.Find("stats")->Find("requests");
+  ASSERT_NE(requests, nullptr);
+  EXPECT_GE(requests->Find("received")->AsInt64().value(), 2);
+
+  ASSERT_TRUE(client.SendLine("{\"op\":\"config\"}").ok());
+  JsonValue config = MustParse(client.ReadLine().value());
+  ASSERT_TRUE(config.Find("ok")->bool_value());
+  EXPECT_EQ(config.Find("config")->Find("port")->AsInt64().value(),
+            server_->port());
+}
+
+TEST_F(ServerTest, QueryBitwiseIdenticalToSoloEngine) {
+  StartServer();
+  const std::string expected = ExtractOutliers(SoloResultJson(kStarQuery));
+  TestClient client(server_->port());
+  ASSERT_TRUE(client.connected());
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("q");
+  json.String(kStarQuery);
+  json.EndObject();
+  ASSERT_TRUE(client.SendLine(std::move(json).Take()).ok());
+  const std::string line = client.ReadLine().value();
+  JsonValue response = MustParse(line);
+  ASSERT_TRUE(response.Find("ok")->bool_value()) << line;
+  EXPECT_EQ(ExtractOutliers(line), expected);
+  EXPECT_FALSE(response.Find("result")->Find("degraded")->bool_value());
+}
+
+TEST_F(ServerTest, ConcurrentSessionsStayBitwiseIdentical) {
+  StartServer();
+  const std::string expected_star =
+      ExtractOutliers(SoloResultJson(kStarQuery));
+  const std::string expected_venue =
+      ExtractOutliers(SoloResultJson(kVenueQuery));
+  constexpr int kSessions = 6;
+  constexpr int kRounds = 4;
+  std::vector<std::thread> sessions;
+  std::atomic<int> mismatches{0};
+  for (int s = 0; s < kSessions; ++s) {
+    sessions.emplace_back([&, s] {
+      TestClient client(server_->port());
+      if (!client.connected()) {
+        mismatches.fetch_add(1000);
+        return;
+      }
+      for (int round = 0; round < kRounds; ++round) {
+        const bool star = (s + round) % 2 == 0;
+        JsonWriter json;
+        json.BeginObject();
+        json.Key("q");
+        json.String(star ? kStarQuery : kVenueQuery);
+        json.EndObject();
+        if (!client.SendLine(std::move(json).Take()).ok()) {
+          mismatches.fetch_add(100);
+          return;
+        }
+        auto line = client.ReadLine();
+        if (!line.ok()) {
+          mismatches.fetch_add(100);
+          return;
+        }
+        const std::string& expected =
+            star ? expected_star : expected_venue;
+        if (ExtractOutliers(line.value()) != expected) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& session : sessions) session.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  const ServerStatsSnapshot stats = server_->stats();
+  EXPECT_EQ(stats.queries_ok,
+            static_cast<std::uint64_t>(kSessions * kRounds));
+  EXPECT_EQ(stats.queries_error, 0u);
+}
+
+TEST_F(ServerTest, GarbageBytesGetErrorAndSessionSurvives) {
+  StartServer();
+  TestClient client(server_->port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.SendLine("\x7f garbage \x01 bytes").ok());
+  JsonValue error = MustParse(client.ReadLine().value());
+  EXPECT_FALSE(error.Find("ok")->bool_value());
+  EXPECT_EQ(error.Find("error")->Find("code")->string_value(),
+            "parse-error");
+  // Framing was intact, so the session must still work.
+  ASSERT_TRUE(client.SendLine("{\"op\":\"ping\"}").ok());
+  EXPECT_TRUE(MustParse(client.ReadLine().value()).Find("ok")->bool_value());
+}
+
+TEST_F(ServerTest, OversizedLineGetsErrorThenClose) {
+  ServerOptions options;
+  options.limits.max_line_bytes = 512;
+  StartServer(options);
+  TestClient client(server_->port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.SendBytes(std::string(4096, 'a')).ok());  // no newline
+  JsonValue error = MustParse(client.ReadLine().value());
+  EXPECT_FALSE(error.Find("ok")->bool_value());
+  EXPECT_EQ(error.Find("error")->Find("code")->string_value(),
+            "resource-exhausted");
+  // Framing is unrecoverable: the server must hang up.
+  EXPECT_TRUE(client.ReadEof());
+}
+
+TEST_F(ServerTest, HalfClosedSocketStillGetsItsAnswer) {
+  StartServer();
+  TestClient client(server_->port());
+  ASSERT_TRUE(client.connected());
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("q");
+  json.String(kStarQuery);
+  json.EndObject();
+  ASSERT_TRUE(client.SendLine(std::move(json).Take()).ok());
+  client.ShutdownWrite();  // half-close: we can still read
+  const std::string line = client.ReadLine().value();
+  EXPECT_TRUE(MustParse(line).Find("ok")->bool_value()) << line;
+  EXPECT_TRUE(client.ReadEof());  // then the server finishes the close
+}
+
+TEST_F(ServerTest, ZeroDeadlineYieldsDegradedPartialAnswer) {
+  StartServer();
+  TestClient client(server_->port());
+  ASSERT_TRUE(client.connected());
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("q");
+  json.String(kStarQuery);
+  json.Key("timeout_ms");
+  json.Int(0);
+  json.EndObject();
+  ASSERT_TRUE(client.SendLine(std::move(json).Take()).ok());
+  const std::string line = client.ReadLine().value();
+  JsonValue response = MustParse(line);
+  // kPartial policy: the deadline trip is an answer, not an error.
+  ASSERT_TRUE(response.Find("ok")->bool_value()) << line;
+  const JsonValue* result = response.Find("result");
+  ASSERT_NE(result, nullptr);
+  EXPECT_TRUE(result->Find("degraded")->bool_value());
+  EXPECT_EQ(result->Find("stop_reason")->string_value(), "deadline");
+  const ServerStatsSnapshot stats = server_->stats();
+  EXPECT_EQ(stats.queries_degraded, 1u);
+}
+
+TEST_F(ServerTest, SessionLimitRefusesExtraConnections) {
+  ServerOptions options;
+  options.max_sessions = 1;
+  StartServer(options);
+  TestClient first(server_->port());
+  ASSERT_TRUE(first.connected());
+  // The cap is enforced at accept time; make sure the first session is
+  // registered before racing the second one in.
+  ASSERT_TRUE(first.SendLine("{\"op\":\"ping\"}").ok());
+  ASSERT_TRUE(first.ReadLine().ok());
+  TestClient second(server_->port());
+  ASSERT_TRUE(second.connected());
+  JsonValue refusal = MustParse(second.ReadLine().value());
+  EXPECT_FALSE(refusal.Find("ok")->bool_value());
+  EXPECT_EQ(refusal.Find("error")->Find("code")->string_value(),
+            "resource-exhausted");
+  EXPECT_TRUE(second.ReadEof());
+  // The admitted session is unaffected.
+  ASSERT_TRUE(first.SendLine("{\"op\":\"ping\"}").ok());
+  EXPECT_TRUE(MustParse(first.ReadLine().value()).Find("ok")->bool_value());
+}
+
+TEST_F(ServerTest, RemoteShutdownAcksAndDrains) {
+  StartServer();
+  TestClient client(server_->port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.SendLine("{\"op\":\"shutdown\",\"id\":9}").ok());
+  JsonValue ack = MustParse(client.ReadLine().value());
+  EXPECT_TRUE(ack.Find("ok")->bool_value());
+  EXPECT_TRUE(client.ReadEof());
+  serve_thread_.join();  // Serve() must return on its own
+}
+
+TEST_F(ServerTest, RemoteShutdownCanBeDisabled) {
+  ServerOptions options;
+  options.allow_remote_shutdown = false;
+  StartServer(options);
+  TestClient client(server_->port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.SendLine("{\"op\":\"shutdown\"}").ok());
+  JsonValue refusal = MustParse(client.ReadLine().value());
+  EXPECT_FALSE(refusal.Find("ok")->bool_value());
+  // Still serving.
+  ASSERT_TRUE(client.SendLine("{\"op\":\"ping\"}").ok());
+  EXPECT_TRUE(MustParse(client.ReadLine().value()).Find("ok")->bool_value());
+}
+
+TEST_F(ServerTest, PipelinedRequestsAnswerInOrder) {
+  StartServer();
+  TestClient client(server_->port());
+  ASSERT_TRUE(client.connected());
+  std::string burst;
+  for (int i = 0; i < 5; ++i) {
+    JsonWriter json;
+    json.BeginObject();
+    json.Key("id");
+    json.Int(i);
+    json.Key("q");
+    json.String(kStarQuery);
+    json.EndObject();
+    burst += std::move(json).Take();
+    burst.push_back('\n');
+  }
+  ASSERT_TRUE(client.SendBytes(burst).ok());
+  for (int i = 0; i < 5; ++i) {
+    JsonValue response = MustParse(client.ReadLine().value());
+    EXPECT_TRUE(response.Find("ok")->bool_value());
+    EXPECT_EQ(response.Find("id")->AsInt64().value(), i);
+  }
+}
+
+}  // namespace
+}  // namespace netout

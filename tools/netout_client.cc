@@ -1,0 +1,207 @@
+// netout_client — blocking NDJSON client for netout_serve.
+//
+//   netout_client --port=N [--host=127.0.0.1] --query='FIND ...;'
+//                 [--timeout-ms=N] [--memory-budget-mb=N]
+//   netout_client --port=N --file=queries.txt
+//   netout_client --port=N --op=ping|stats|config|shutdown
+//   netout_client --port=N --raw='{"op":"ping"}'
+//
+// Sends one request per line, waits for the matching response and
+// prints it verbatim (one JSON object per line, exactly as it came off
+// the wire — useful for diffing against `netout_query --json`). --raw
+// transmits the given bytes plus a newline without any client-side
+// validation, which is how the robustness tests poke the server with
+// malformed input. Exit status: 0 when every response has "ok": true,
+// 1 when any response is an error, 2 on connection/protocol failures.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/binary_io.h"
+#include "common/json.h"
+#include "common/string_util.h"
+#include "tools/tool_util.h"
+
+namespace {
+
+using namespace netout;
+
+/// Blocking line reader over a connected socket; retries EINTR, fails
+/// on EOF before the newline.
+class SocketLineReader {
+ public:
+  explicit SocketLineReader(int fd) : fd_(fd) {}
+
+  Result<std::string> ReadLine() {
+    for (;;) {
+      const std::size_t newline = buffer_.find('\n');
+      if (newline != std::string::npos) {
+        std::string line = buffer_.substr(0, newline);
+        buffer_.erase(0, newline + 1);
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        return line;
+      }
+      char chunk[16 * 1024];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n > 0) {
+        buffer_.append(chunk, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n == 0) {
+        return Status::IoError("server closed the connection mid-response");
+      }
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("recv: ") + std::strerror(errno));
+    }
+  }
+
+ private:
+  int fd_;
+  std::string buffer_;
+};
+
+std::string BuildQueryRequest(const std::string& query,
+                              std::int64_t timeout_ms,
+                              std::int64_t budget_mb, std::uint64_t id) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("op");
+  json.String("query");
+  json.Key("id");
+  json.Uint(id);
+  json.Key("q");
+  json.String(query);
+  if (timeout_ms >= 0) {
+    json.Key("timeout_ms");
+    json.Int(timeout_ms);
+  }
+  if (budget_mb >= 0) {
+    json.Key("memory_budget_mb");
+    json.Int(budget_mb);
+  }
+  json.EndObject();
+  std::string out = std::move(json).Take();
+  out.push_back('\n');
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace netout::tools;
+
+  constexpr const char* kUsage =
+      "usage: netout_client --port=N [--host=ADDR] "
+      "(--query='...' | --file=FILE | --op=ping|stats|config|shutdown | "
+      "--raw='{...}') [--timeout-ms=N] [--memory-budget-mb=N]\n";
+  const Args args = ParseArgs(argc, argv,
+                              {"port", "host", "query", "file", "op", "raw",
+                               "timeout-ms", "memory-budget-mb"},
+                              kUsage);
+  const std::int64_t port = args.GetInt("port", 0);
+  if (args.positional.size() != 0 || port <= 0 || port > 65535) {
+    std::fprintf(stderr, "%s", kUsage);
+    return 2;
+  }
+  const std::string host = args.Get("host", "127.0.0.1");
+
+  std::vector<std::string> requests;
+  const std::int64_t timeout_ms = args.GetInt("timeout-ms", -1);
+  const std::int64_t budget_mb = args.GetInt("memory-budget-mb", -1);
+  if (args.Has("query")) {
+    requests.push_back(
+        BuildQueryRequest(args.Get("query"), timeout_ms, budget_mb, 1));
+  } else if (args.Has("file")) {
+    const std::string text =
+        UnwrapOrDie(ReadFileToString(args.Get("file")), "read query file");
+    std::istringstream stream(text);
+    std::string line;
+    std::uint64_t id = 0;
+    while (std::getline(stream, line)) {
+      if (StrTrim(line).empty()) continue;
+      requests.push_back(
+          BuildQueryRequest(line, timeout_ms, budget_mb, ++id));
+    }
+  } else if (args.Has("op")) {
+    JsonWriter json;
+    json.BeginObject();
+    json.Key("op");
+    json.String(args.Get("op"));
+    json.EndObject();
+    std::string request = std::move(json).Take();
+    request.push_back('\n');
+    requests.push_back(std::move(request));
+  } else if (args.Has("raw")) {
+    requests.push_back(args.Get("raw") + "\n");
+  } else {
+    std::fprintf(stderr, "%s", kUsage);
+    return 2;
+  }
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    std::fprintf(stderr, "error: socket: %s\n", std::strerror(errno));
+    return 2;
+  }
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    std::fprintf(stderr, "error: bad host '%s'\n", host.c_str());
+    ::close(fd);
+    return 2;
+  }
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    std::fprintf(stderr, "error: connect %s:%lld: %s\n", host.c_str(),
+                 static_cast<long long>(port), std::strerror(errno));
+    ::close(fd);
+    return 2;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  SocketLineReader reader(fd);
+  bool any_error = false;
+  for (const std::string& request : requests) {
+    // WriteFull loops partial sends and retries EINTR.
+    const Status sent = WriteFull(fd, request.data(), request.size());
+    if (!sent.ok()) {
+      std::fprintf(stderr, "error: send: %s\n", sent.ToString().c_str());
+      ::close(fd);
+      return 2;
+    }
+    Result<std::string> line = reader.ReadLine();
+    if (!line.ok()) {
+      std::fprintf(stderr, "error: %s\n", line.status().ToString().c_str());
+      ::close(fd);
+      return 2;
+    }
+    std::printf("%s\n", line.value().c_str());
+    const Result<JsonValue> parsed = JsonParse(line.value());
+    const JsonValue* ok =
+        parsed.ok() ? parsed.value().Find("ok") : nullptr;
+    if (ok == nullptr || !ok->is_bool()) {
+      std::fprintf(stderr, "error: response is not a protocol envelope\n");
+      ::close(fd);
+      return 2;
+    }
+    if (!ok->bool_value()) any_error = true;
+  }
+  ::close(fd);
+  return any_error ? 1 : 0;
+}

@@ -37,6 +37,7 @@
 #include <sstream>
 
 #include "common/binary_io.h"
+#include "common/json.h"
 #include "common/string_util.h"
 #include "graph/io.h"
 #include "index/cached_index.h"
@@ -177,7 +178,10 @@ int main(int argc, char** argv) {
     for (std::size_t i = 0; i < outcomes.size(); ++i) {
       std::printf("\n-- query %zu: %s\n", i + 1, queries[i].c_str());
       if (!outcomes[i].status.ok()) {
-        std::printf("  error: %s\n", outcomes[i].status.ToString().c_str());
+        // Escaped: a hostile query line can steer its own parse error
+        // text, which must not fake extra output lines.
+        std::printf("  error: %s\n",
+                    StrEscapeControl(outcomes[i].status.ToString()).c_str());
       } else {
         PrintResult(outcomes[i].result);
       }
@@ -244,7 +248,25 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  const QueryResult result = UnwrapOrDie(engine.Execute(query), "execute");
+  Result<QueryResult> executed = engine.Execute(query);
+  if (!executed.ok() && args.Has("json")) {
+    // --json promised machine-parseable stdout; keep the promise on
+    // failure too with a JSON error object (message JsonEscape'd, so
+    // hostile query text inside the status can't break the consumer).
+    JsonWriter json;
+    json.BeginObject();
+    json.Key("error");
+    json.BeginObject();
+    json.Key("code");
+    json.String(StatusCodeToString(executed.status().code()));
+    json.Key("message");
+    json.String(executed.status().message());
+    json.EndObject();
+    json.EndObject();
+    std::printf("%s\n", std::move(json).Take().c_str());
+    return 1;
+  }
+  const QueryResult result = UnwrapOrDie(std::move(executed), "execute");
   if (args.Has("explain-plan")) {
     std::printf("%s",
                 RenderPlan(result.plan_ops, /*include_runtime=*/true)

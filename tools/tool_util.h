@@ -74,11 +74,14 @@ inline Args ParseArgs(int argc, char** argv,
   return args;
 }
 
-/// Prints an error and exits if `status` is not OK.
+/// Prints an error and exits if `status` is not OK. Status text can
+/// quote user input (a query, a file path, wire bytes), so it passes
+/// through StrEscapeControl: an embedded newline or control byte must
+/// not fake a second log line or corrupt the terminal.
 inline void CheckOk(const Status& status, const char* what) {
   if (!status.ok()) {
     std::fprintf(stderr, "error (%s): %s\n", what,
-                 status.ToString().c_str());
+                 StrEscapeControl(status.ToString()).c_str());
     std::exit(1);
   }
 }
@@ -87,7 +90,7 @@ template <typename T>
 T UnwrapOrDie(Result<T> result, const char* what) {
   if (!result.ok()) {
     std::fprintf(stderr, "error (%s): %s\n", what,
-                 result.status().ToString().c_str());
+                 StrEscapeControl(result.status().ToString()).c_str());
     std::exit(1);
   }
   return std::move(result).value();
