@@ -3,6 +3,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <cstring>
 
@@ -200,9 +201,14 @@ Status WriteStringToFile(std::string_view path, std::string_view data) {
 Status WriteStringToFileAtomic(std::string_view path,
                                std::string_view data) {
   // The temp file lives next to the target so rename() stays within one
-  // filesystem (cross-device rename fails with EXDEV).
+  // filesystem (cross-device rename fails with EXDEV). The name must be
+  // unique per call, not just per process: two threads saving the same
+  // path would otherwise collide on O_EXCL.
+  static std::atomic<std::uint64_t> save_serial{0};
   const std::string target(path);
-  const std::string tmp = target + ".tmp." + std::to_string(::getpid());
+  const std::string tmp =
+      target + ".tmp." + std::to_string(::getpid()) + "." +
+      std::to_string(save_serial.fetch_add(1, std::memory_order_relaxed));
   UniqueFd fd(::open(tmp.c_str(),
                      O_WRONLY | O_CREAT | O_EXCL | O_CLOEXEC, 0644));
   if (fd.get() < 0) {
@@ -224,6 +230,20 @@ Status WriteStringToFileAtomic(std::string_view path,
   }
   if (::rename(tmp.c_str(), target.c_str()) != 0) {
     return fail(Status::IoError(ErrnoMessage("rename failed", target)));
+  }
+  // The rename itself is only durable once the directory entry reaches
+  // disk; without this a crash can resurrect the old file. The target
+  // is already in place, so failures here must not unlink anything.
+  const std::size_t slash = target.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? "."
+                              : (slash == 0 ? "/" : target.substr(0, slash));
+  UniqueFd dir_fd(::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC));
+  if (dir_fd.get() < 0) {
+    return Status::IoError(ErrnoMessage("cannot open directory", dir));
+  }
+  if (::fsync(dir_fd.get()) != 0) {
+    return Status::IoError(ErrnoMessage("fsync failed", dir));
   }
   return Status::OK();
 }

@@ -115,6 +115,7 @@ struct Server::Impl {
     std::size_t inflight = 0;    // queries handed to the dispatcher
     bool read_closed = false;
     bool close_after_flush = false;
+    bool dead = false;  // fatal I/O or overflow; reaped by SweepClosable
 
     explicit Session(std::size_t max_line_bytes) : lines(max_line_bytes) {}
   };
@@ -375,9 +376,11 @@ struct Server::Impl {
     }
     std::vector<pollfd> fds;
     std::vector<int> session_fds;
+    std::vector<std::uint64_t> session_ids;
     for (;;) {
       fds.clear();
       session_fds.clear();
+      session_ids.clear();
       fds.push_back(pollfd{wake_read_fd, POLLIN, 0});
       const bool accepting = listen_fd >= 0;
       if (accepting) fds.push_back(pollfd{listen_fd, POLLIN, 0});
@@ -389,6 +392,7 @@ struct Server::Impl {
         if (session->out_offset < session->out.size()) events |= POLLOUT;
         fds.push_back(pollfd{fd, events, 0});
         session_fds.push_back(fd);
+        session_ids.push_back(session->id);
       }
 
       const int rc = ::poll(fds.data(), fds.size(), /*timeout_ms=*/200);
@@ -411,6 +415,10 @@ struct Server::Impl {
         if (revents == 0) continue;
         auto it = sessions_by_fd.find(fd);
         if (it == sessions_by_fd.end()) continue;  // closed this pass
+        // An fd number can be reused within one pass (close + accept);
+        // the id check keeps a dead connection's revents from landing
+        // on the newcomer.
+        if (it->second->id != session_ids[i]) continue;
         HandleSessionEvents(it->second.get(), revents);
       }
 
@@ -491,18 +499,18 @@ struct Server::Impl {
 
   void HandleSessionEvents(Session* session, short revents) {
     if ((revents & (POLLERR | POLLNVAL)) != 0) {
-      CloseSession(session);
+      AbortSession(session);
       return;
     }
     if ((revents & (POLLIN | POLLHUP)) != 0 && !session->read_closed) {
-      if (!ReadFromSession(session)) return;  // session closed
+      if (!ReadFromSession(session)) return;  // session aborted
     }
     if ((revents & POLLOUT) != 0) {
       if (!FlushWrites(session)) return;
     }
   }
 
-  /// Returns false when the session was closed.
+  /// Returns false when the session was aborted.
   bool ReadFromSession(Session* session) {
     char buf[64 * 1024];
     for (;;) {
@@ -536,7 +544,7 @@ struct Server::Impl {
       }
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
-      CloseSession(session);
+      AbortSession(session);
       return false;
     }
   }
@@ -661,21 +669,36 @@ struct Server::Impl {
     }
   }
 
+  /// Marks a session unusable without freeing it: pending output is
+  /// dropped and SweepClosable reaps it at the end of the poll pass.
+  /// Never destroys the Session, so callers holding the pointer mid-pass
+  /// (ReadFromSession's line loop, DeliverCompletions) stay safe.
+  void AbortSession(Session* session) {
+    session->dead = true;
+    session->read_closed = true;
+    session->close_after_flush = true;
+    session->out.clear();
+    session->out_offset = 0;
+  }
+
   void Enqueue(Session* session, std::string payload) {
+    if (session->dead) return;  // output already dropped; reap pending
     session->out += payload;
     if (session->out.size() - session->out_offset >
         options.max_session_write_bytes) {
       // The reader is slower than its own query stream; buffering
       // without bound would defeat the memory budget, so drop it.
       counters.sessions_overflowed.fetch_add(1, std::memory_order_relaxed);
-      CloseSession(session);
+      AbortSession(session);
       return;
     }
     FlushWrites(session);  // opportunistic; the poll loop retries
   }
 
-  /// Returns false when the session was closed.
+  /// Returns false when the session was aborted (it stays allocated
+  /// until SweepClosable; only the sweep ever frees a session).
   bool FlushWrites(Session* session) {
+    if (session->dead) return false;
     while (session->out_offset < session->out.size()) {
       const ssize_t n =
           ::send(session->fd, session->out.data() + session->out_offset,
@@ -688,7 +711,7 @@ struct Server::Impl {
       }
       if (n < 0 && errno == EINTR) continue;
       if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
-      CloseSession(session);  // EPIPE/ECONNRESET and friends
+      AbortSession(session);  // EPIPE/ECONNRESET and friends
       return false;
     }
     if (session->out_offset == session->out.size()) {
@@ -704,6 +727,10 @@ struct Server::Impl {
   void SweepClosable() {
     std::vector<Session*> doomed;
     for (const auto& [fd, session] : sessions_by_fd) {
+      if (session->dead) {
+        doomed.push_back(session.get());
+        continue;
+      }
       const bool flushed = session->out_offset == session->out.size();
       if (!flushed) continue;
       if (session->close_after_flush ||
@@ -724,6 +751,9 @@ struct Server::Impl {
     for (Session* session : doomed) CloseSession(session);
   }
 
+  /// Frees the session. Only SweepClosable/ForceCloseAll/Cleanup may
+  /// call this; mid-pass failure paths go through AbortSession so live
+  /// Session pointers are never invalidated under a caller.
   void CloseSession(Session* session) {
     counters.sessions_closed.fetch_add(1, std::memory_order_relaxed);
     sessions_by_id.erase(session->id);

@@ -2,12 +2,14 @@
 
 #include <unistd.h>
 
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <limits>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -202,6 +204,33 @@ TEST(AtomicWriteTest, RoundTripAndNoTempLeftover) {
     EXPECT_EQ(name.find(stem + ".tmp."), std::string::npos)
         << "temp file leaked: " << name;
   }
+  std::remove(path.c_str());
+}
+
+TEST(AtomicWriteTest, ConcurrentSavesOfSamePathAllSucceed) {
+  // Two threads saving one path must not collide on the temp file's
+  // O_EXCL open: the temp name carries a per-call serial, not just the
+  // pid. Whichever rename lands last wins, but every call succeeds.
+  const std::string path = TempPath("atomic_concurrent");
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 8;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const std::string payload = "writer-" + std::to_string(t);
+      for (int round = 0; round < kRounds; ++round) {
+        if (!WriteStringToFileAtomic(path, payload).ok()) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  const auto final_content = ReadFileToString(path);
+  ASSERT_TRUE(final_content.ok());
+  EXPECT_EQ(final_content.value().rfind("writer-", 0), 0u);
   std::remove(path.c_str());
 }
 

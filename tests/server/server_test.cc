@@ -388,6 +388,57 @@ TEST_F(ServerTest, RemoteShutdownCanBeDisabled) {
   EXPECT_TRUE(MustParse(client.ReadLine().value()).Find("ok")->bool_value());
 }
 
+TEST_F(ServerTest, WriteOverflowOnReadPathDropsSessionNotServer) {
+  // A write cap smaller than one response makes the very first Enqueue
+  // overflow inside the HandleLine loop — the path that used to free
+  // the session under ReadFromSession's feet (use-after-free).
+  ServerOptions options;
+  options.max_session_write_bytes = 16;
+  StartServer(options);
+  TestClient client(server_->port());
+  ASSERT_TRUE(client.connected());
+  // Several pipelined pings arrive in one recv, so the line loop keeps
+  // running after the overflow; pre-fix this was a heap-use-after-free.
+  std::string burst;
+  for (int i = 0; i < 4; ++i) burst += "{\"op\":\"ping\"}\n";
+  ASSERT_TRUE(client.SendBytes(burst).ok());
+  // Pending output is dropped wholesale, so the client just sees EOF.
+  EXPECT_TRUE(client.ReadEof());
+  const ServerStatsSnapshot stats = server_->stats();
+  EXPECT_GE(stats.sessions_overflowed, 1u);
+  // The server itself must be unharmed: it still accepts and serves a
+  // new session. Its ping response trips the tiny cap too, so the clean
+  // EOF (rather than a hang or crash) is the aliveness signal.
+  TestClient second(server_->port());
+  ASSERT_TRUE(second.connected());
+  ASSERT_TRUE(second.SendLine("{\"op\":\"ping\"}").ok());
+  EXPECT_TRUE(second.ReadEof());
+  EXPECT_GE(server_->stats().sessions_overflowed, 2u);
+}
+
+TEST_F(ServerTest, WriteOverflowOnCompletionPathDropsSessionNotServer) {
+  // Same overflow, but triggered from DeliverCompletions: a query
+  // response larger than the cap, enqueued after the dispatcher runs.
+  ServerOptions options;
+  options.max_session_write_bytes = 64;
+  StartServer(options);
+  TestClient client(server_->port());
+  ASSERT_TRUE(client.connected());
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("q");
+  json.String(kStarQuery);
+  json.EndObject();
+  ASSERT_TRUE(client.SendLine(std::move(json).Take()).ok());
+  EXPECT_TRUE(client.ReadEof());
+  const ServerStatsSnapshot stats = server_->stats();
+  EXPECT_GE(stats.sessions_overflowed, 1u);
+  TestClient second(server_->port());
+  ASSERT_TRUE(second.connected());
+  ASSERT_TRUE(second.SendLine("{\"op\":\"ping\"}").ok());
+  EXPECT_TRUE(MustParse(second.ReadLine().value()).Find("ok")->bool_value());
+}
+
 TEST_F(ServerTest, PipelinedRequestsAnswerInOrder) {
   StartServer();
   TestClient client(server_->port());
