@@ -63,12 +63,18 @@ void CachedIndex::Remember(const TwoStepKey& key, LocalId row,
   const CacheKey cache_key{key, row};
   Shard& shard = ShardFor(cache_key);
   const std::size_t bytes = vector.MemoryBytes() + sizeof(Entry);
-  if (bytes > shard.budget) {  // never admissible in this shard
-    rejected_too_large_.fetch_add(1, std::memory_order_relaxed);
-    return;
-  }
   {
+    // The admission check reads shard.budget, which the shard protocol
+    // (cached_index.h: "all fields below mu are guarded by it") puts
+    // under mu — the old unlocked fast-path read was a guard violation
+    // that only stayed benign while budgets happen to be frozen at
+    // construction. Folding it into the duplicate probe's critical
+    // section restores the contract without adding a lock acquisition.
     std::lock_guard<std::mutex> lock(shard.mu);
+    if (bytes > shard.budget) {  // never admissible in this shard
+      rejected_too_large_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
     if (shard.entries.count(cache_key) > 0) return;  // already cached
   }
   // Copy the payload outside the lock; re-check on insert because

@@ -103,6 +103,66 @@ TEST(CachedIndexStress, MixedOps8Threads) { RunStress(8, 8); }
 // Worst-case contention: every thread hammering one mutex-guarded shard.
 TEST(CachedIndexStress, MixedOps8ThreadsSingleShard) { RunStress(8, 1); }
 
+// Regression for the Remember() admission check: it reads shard.budget,
+// which the shard protocol puts under shard.mu, but used to do so
+// without the lock — an unlocked read racing the writers that mutate
+// shard state under mu. Oversized inserts (bigger than any shard's
+// whole budget) race normal lookup/remember churn: every one must be
+// rejected and accounted, none may be admitted, and the per-shard byte
+// ceiling must hold throughout. Runs under TSAN via the cache label.
+TEST(CachedIndexStress, OversizedRemembersRejectedUnderRace) {
+  CachedIndex::Options options;
+  options.capacity_bytes = 8 * 1024;  // 2 KiB per shard
+  options.num_shards = 4;
+  CachedIndex cache(nullptr, options);
+
+  // ~16 KiB payload: never admissible in any shard.
+  const auto oversized = [](EdgeTypeId id) {
+    const std::size_t n = 1024;
+    std::vector<LocalId> indices(n);
+    std::vector<double> values(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      indices[i] = static_cast<LocalId>(i);
+      values[i] = static_cast<double>(id);
+    }
+    return SparseVector::FromSorted(std::move(indices), std::move(values));
+  };
+
+  // Disjoint key spaces so a wrongly admitted oversized entry could only
+  // surface as an unexpected hit on an id >= 100.
+  constexpr EdgeTypeId kOversizedBase = 100;
+  std::atomic<std::uint64_t> oversized_attempts{0};
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t op = 0; op < 1500; ++op) {
+        if ((op + t) % 3 == 0) {
+          const EdgeTypeId id =
+              static_cast<EdgeTypeId>(kOversizedBase + (op + t) % 7);
+          cache.Remember(MakeKey(id), 0, oversized(id));
+          oversized_attempts.fetch_add(1, std::memory_order_relaxed);
+          EXPECT_FALSE(cache.Lookup(MakeKey(id), 0).has_value());
+        } else {
+          const EdgeTypeId id = static_cast<EdgeTypeId>((op + t) % 13);
+          const LocalId row = static_cast<LocalId>(op % 7);
+          const std::optional<IndexHit> hit = cache.Lookup(MakeKey(id), row);
+          if (hit.has_value()) {
+            CheckHit(*hit, id, row);
+          } else {
+            cache.Remember(MakeKey(id), row, OracleVec(id, row));
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  const CachedIndex::Stats stats = cache.stats();
+  EXPECT_EQ(stats.rejected_too_large, oversized_attempts.load());
+  EXPECT_LE(cache.MemoryBytes(), options.capacity_bytes);
+  EXPECT_EQ(stats.insertions - stats.evictions, cache.num_entries());
+}
+
 // Concurrent Clear() against readers/writers: pins must keep payloads
 // valid and the cache must stay internally consistent.
 TEST(CachedIndexStress, ClearWhileReadingAndWriting) {
