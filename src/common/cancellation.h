@@ -53,6 +53,12 @@ StopReason StopReasonFromStatus(StatusCode code);
 ///
 /// Thread-safe: any thread may poll, charge, or cancel concurrently.
 /// Not copyable or movable (workers hold stable pointers to it).
+///
+/// Deliberately outside the capability model of common/sync.h: the
+/// token is lock-free by construction (atomics only, first-trigger
+/// resolved by compare-exchange), so there is no mutex for the
+/// thread-safety analysis to track — async-signal-safety of
+/// RequestCancel() depends on it staying that way.
 class CancellationToken {
  public:
   /// A token with no limits: stops only via RequestCancel().

@@ -3,7 +3,8 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
+
+#include "common/sync.h"
 
 namespace netout {
 namespace {
@@ -11,8 +12,9 @@ namespace {
 std::atomic<LogLevel> g_log_level{LogLevel::kInfo};
 
 // Serializes writes so concurrent log lines do not interleave.
-std::mutex& LogMutex() {
-  static std::mutex* mutex = new std::mutex;
+// Heap-leaked so logging stays usable during static destruction.
+Mutex& LogMutex() {
+  static Mutex* mutex = new Mutex;
   return *mutex;
 }
 
@@ -56,7 +58,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 LogMessage::~LogMessage() {
   stream_ << "\n";
   {
-    std::lock_guard<std::mutex> lock(LogMutex());
+    MutexLock lock(LogMutex());
     std::fputs(stream_.str().c_str(), stderr);
     std::fflush(stderr);
   }

@@ -1,0 +1,148 @@
+#ifndef NETOUT_COMMON_SYNC_H_
+#define NETOUT_COMMON_SYNC_H_
+
+#include <condition_variable>
+#include <mutex>
+
+/// Capability-annotated synchronization layer (DESIGN.md §12).
+///
+/// Every mutex in the project goes through this header: the wrappers
+/// carry Clang Thread Safety Analysis annotations (the Capability model
+/// of -Wthread-safety), so "which mutex protects this field" is part of
+/// the type system and a lock-discipline mistake — touching a
+/// NETOUT_GUARDED_BY field without its Mutex, calling a NETOUT_REQUIRES
+/// function lock-free — is a *compile* error under clang instead of a
+/// TSAN finding that depends on a test hitting the interleaving.
+///
+/// On GCC (which has no thread-safety attributes) every macro expands to
+/// nothing and the wrappers are zero-cost shims over the std primitives,
+/// so non-clang builds are unaffected. scripts/check_thread_safety.sh is
+/// the clang gate; scripts/check_invariants.sh enforces that no naked
+/// std::mutex/std::lock_guard appears outside this header.
+
+#if defined(__clang__)
+#define NETOUT_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define NETOUT_THREAD_ANNOTATION_(x)
+#endif
+
+/// Declares a type to be a capability (a lockable resource).
+#define NETOUT_CAPABILITY(x) NETOUT_THREAD_ANNOTATION_(capability(x))
+
+/// Declares an RAII type that acquires a capability in its constructor
+/// and releases it in its destructor.
+#define NETOUT_SCOPED_CAPABILITY NETOUT_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Field may only be read or written while holding the named capability.
+#define NETOUT_GUARDED_BY(x) NETOUT_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer field whose *pointee* is protected by the named capability.
+#define NETOUT_PT_GUARDED_BY(x) NETOUT_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function may only be called while already holding the capabilities.
+#define NETOUT_REQUIRES(...) \
+  NETOUT_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Function acquires the capability and holds it on return.
+#define NETOUT_ACQUIRE(...) \
+  NETOUT_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Function releases a capability the caller held on entry.
+#define NETOUT_RELEASE(...) \
+  NETOUT_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability only when returning the given value.
+#define NETOUT_TRY_ACQUIRE(...) \
+  NETOUT_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capabilities (the function acquires them
+/// itself; holding one on entry would self-deadlock a non-recursive
+/// mutex). This is what makes lock-order mistakes visible to clang.
+#define NETOUT_EXCLUDES(...) \
+  NETOUT_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Escape hatch: disables the analysis for one function. Reserved for
+/// sync.h internals; scripts/check_thread_safety.sh fails on any use
+/// outside this header, and every use must carry a one-line
+/// justification comment.
+#define NETOUT_NO_THREAD_SAFETY_ANALYSIS \
+  NETOUT_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace netout {
+
+class CondVar;
+
+/// A std::mutex declared as a TSA capability. Prefer MutexLock for
+/// scoped acquisition; Lock()/Unlock() exist for the rare manual
+/// protocol and keep the analysis informed via ACQUIRE/RELEASE.
+class NETOUT_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() NETOUT_ACQUIRE() { mu_.lock(); }
+  void Unlock() NETOUT_RELEASE() { mu_.unlock(); }
+  bool TryLock() NETOUT_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+
+  std::mutex mu_;
+};
+
+/// RAII lock over a Mutex (the std::lock_guard of the capability
+/// layer). Declaring it tells the analysis the capability is held for
+/// the enclosing scope, so guarded fields are accessible inside it.
+class NETOUT_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) NETOUT_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() NETOUT_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable bound to the capability layer. Wait() requires the
+/// Mutex to be held (the analysis enforces it), releases it for the
+/// block, and re-holds it on return — so the canonical pattern
+///
+///   MutexLock lock(mu_);
+///   while (!predicate) cv_.Wait(mu_);
+///
+/// type-checks with every predicate read covered by the capability.
+/// There is deliberately no predicate-lambda overload: a lambda body is
+/// analyzed as a separate function that would not see the held lock,
+/// forcing NETOUT_NO_THREAD_SAFETY_ANALYSIS escapes at every call site.
+class CondVar {
+ public:
+  CondVar() = default;
+
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu` and blocks until notified (spurious
+  /// wakeups possible — always wait in a predicate loop). `mu` is held
+  /// again when Wait returns.
+  void Wait(Mutex& mu) NETOUT_REQUIRES(mu) {
+    // adopt_lock / release(): borrow the already-held std::mutex for the
+    // duration of the wait without transferring ownership to this frame.
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace netout
+
+#endif  // NETOUT_COMMON_SYNC_H_

@@ -18,10 +18,10 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutting_down_ = true;
   }
-  work_available_.notify_all();
+  work_available_.NotifyAll();
   for (auto& worker : workers_) {
     worker.join();
   }
@@ -33,17 +33,17 @@ void ThreadPool::Submit(std::function<void()> task) {
 
 void ThreadPool::SubmitOwned(const void* owner, std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     NETOUT_CHECK(!shutting_down_) << "Submit after shutdown";
     queue_.push_back(QueuedTask{std::move(task), owner});
     ++in_flight_;
   }
-  work_available_.notify_one();
+  work_available_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(mutex_);
+  while (in_flight_ != 0) all_done_.Wait(mutex_);
 }
 
 void ThreadPool::ExecuteTask(std::function<void()> task) {
@@ -52,9 +52,9 @@ void ThreadPool::ExecuteTask(std::function<void()> task) {
   struct InFlightGuard {
     ThreadPool* pool;
     ~InFlightGuard() {
-      std::unique_lock<std::mutex> lock(pool->mutex_);
+      MutexLock lock(pool->mutex_);
       --pool->in_flight_;
-      if (pool->in_flight_ == 0) pool->all_done_.notify_all();
+      if (pool->in_flight_ == 0) pool->all_done_.NotifyAll();
     }
   } guard{this};
   try {
@@ -72,7 +72,7 @@ void ThreadPool::ExecuteTask(std::function<void()> task) {
 bool ThreadPool::RunOneTask() {
   std::function<void()> task;
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (queue_.empty()) return false;
     task = std::move(queue_.front().fn);
     queue_.pop_front();
@@ -84,7 +84,7 @@ bool ThreadPool::RunOneTask() {
 bool ThreadPool::RunOneTaskOwnedBy(const void* owner) {
   std::function<void()> task;
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     const auto it =
         std::find_if(queue_.begin(), queue_.end(),
                      [owner](const QueuedTask& queued) {
@@ -102,9 +102,8 @@ void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_available_.wait(
-          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!shutting_down_ && queue_.empty()) work_available_.Wait(mutex_);
       if (queue_.empty()) {
         // shutting_down_ must be true here; drain completed, exit.
         return;
@@ -125,7 +124,7 @@ TaskGroup::~TaskGroup() { WaitAllFinished(); }
 
 void TaskGroup::Submit(std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     ++pending_;
   }
   pool_->SubmitOwned(this, [this, task = std::move(task)]() mutable {
@@ -140,18 +139,18 @@ void TaskGroup::Submit(std::function<void()> task) {
         thrown = std::current_exception();
       }
     }
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (thrown != nullptr && first_exception_ == nullptr) {
       first_exception_ = thrown;
     }
-    if (--pending_ == 0) done_.notify_all();
+    if (--pending_ == 0) done_.NotifyAll();
   });
 }
 
 void TaskGroup::WaitAllFinished() {
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (pending_ == 0) return;
     }
     // Help drain this group's own tasks instead of sleeping: a Wait()
@@ -163,8 +162,8 @@ void TaskGroup::WaitAllFinished() {
     // Queue empty: the group's remaining tasks are executing on other
     // threads; sleep until they land. Any task they enqueue wakes a pool
     // worker via Submit's notify, so sleeping here cannot deadlock.
-    std::unique_lock<std::mutex> lock(mutex_);
-    done_.wait(lock, [this] { return pending_ == 0; });
+    MutexLock lock(mutex_);
+    while (pending_ != 0) done_.Wait(mutex_);
     return;
   }
 }
@@ -173,7 +172,7 @@ void TaskGroup::Wait() {
   WaitAllFinished();
   std::exception_ptr thrown;
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     thrown = std::exchange(first_exception_, nullptr);
   }
   if (thrown != nullptr) std::rethrow_exception(thrown);

@@ -1,14 +1,14 @@
 #ifndef NETOUT_COMMON_THREAD_POOL_H_
 #define NETOUT_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace netout {
 
@@ -38,16 +38,16 @@ class ThreadPool {
   /// Enqueues `task` for execution on some worker. Prefer
   /// TaskGroup::Submit when completion must be awaited: an exception
   /// escaping a raw-submitted task is logged and dropped.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) NETOUT_EXCLUDES(mutex_);
 
   /// Blocks until the pool is globally idle: every task submitted by
   /// *any* client has finished. Prefer TaskGroup::Wait, which waits only
   /// for its own tasks and propagates their exceptions.
-  void Wait();
+  void Wait() NETOUT_EXCLUDES(mutex_);
 
   /// Runs one queued task on the calling thread, if any is queued.
   /// Returns false when the queue was empty.
-  bool RunOneTask();
+  bool RunOneTask() NETOUT_EXCLUDES(mutex_);
 
   std::size_t num_threads() const { return workers_.size(); }
 
@@ -67,21 +67,24 @@ class ThreadPool {
   // one owner's tasks. TaskGroup::Wait uses the latter while blocked,
   // so a Wait() issued from inside a pool task (e.g. a nested
   // ParallelFor) cannot starve the pool.
-  void SubmitOwned(const void* owner, std::function<void()> task);
-  bool RunOneTaskOwnedBy(const void* owner);
+  void SubmitOwned(const void* owner, std::function<void()> task)
+      NETOUT_EXCLUDES(mutex_);
+  bool RunOneTaskOwnedBy(const void* owner) NETOUT_EXCLUDES(mutex_);
 
-  void WorkerLoop();
+  void WorkerLoop() NETOUT_EXCLUDES(mutex_);
   // Runs `task` with the in-flight count released via RAII, so a
   // throwing task cannot leave the pool's idle accounting stuck.
-  void ExecuteTask(std::function<void()> task);
+  void ExecuteTask(std::function<void()> task) NETOUT_EXCLUDES(mutex_);
 
-  std::mutex mutex_;
-  std::condition_variable work_available_;
-  std::condition_variable all_done_;
-  std::deque<QueuedTask> queue_;
+  Mutex mutex_;
+  CondVar work_available_;
+  CondVar all_done_;
+  std::deque<QueuedTask> queue_ NETOUT_GUARDED_BY(mutex_);
+  // Written only by the constructor, before any thread but the owner
+  // can see the pool; workers never touch it. Safe to read unlocked.
   std::vector<std::thread> workers_;
-  std::size_t in_flight_ = 0;
-  bool shutting_down_ = false;
+  std::size_t in_flight_ NETOUT_GUARDED_BY(mutex_) = 0;
+  bool shutting_down_ NETOUT_GUARDED_BY(mutex_) = false;
 };
 
 /// A completion latch over one batch of tasks on a shared ThreadPool.
@@ -116,24 +119,24 @@ class TaskGroup {
 
   /// Enqueues `task`; its completion (and any exception) is tracked by
   /// this group.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) NETOUT_EXCLUDES(mutex_);
 
   /// Blocks until every task submitted to this group has finished, then
   /// rethrows the first captured exception, if any. While blocked, the
   /// calling thread helps execute this group's queued tasks (never a
   /// foreign group's, which could block the waiter on unrelated work).
-  void Wait();
+  void Wait() NETOUT_EXCLUDES(mutex_);
 
  private:
   // Waits for pending_ == 0 without consuming the captured exception.
-  void WaitAllFinished();
+  void WaitAllFinished() NETOUT_EXCLUDES(mutex_);
 
   ThreadPool* pool_;
   const CancellationToken* cancel_;
-  std::mutex mutex_;
-  std::condition_variable done_;
-  std::size_t pending_ = 0;
-  std::exception_ptr first_exception_;
+  Mutex mutex_;
+  CondVar done_;
+  std::size_t pending_ NETOUT_GUARDED_BY(mutex_) = 0;
+  std::exception_ptr first_exception_ NETOUT_GUARDED_BY(mutex_);
 };
 
 /// Runs fn(i) for i in [0, count) across the pool and waits for

@@ -19,6 +19,10 @@ CachedIndex::CachedIndex(const MetaPathIndex* base, const Options& options)
   const std::size_t share = options_.capacity_bytes / n;
   const std::size_t remainder = options_.capacity_bytes % n;
   for (std::size_t i = 0; i < n; ++i) {
+    // budget is guarded by the shard mutex; no other thread can exist
+    // yet, but taking the (uncontended) lock keeps the capability
+    // analysis exact rather than relying on constructor exclusivity.
+    MutexLock lock(shards_[i].mu);
     shards_[i].budget = share + (i < remainder ? 1 : 0);
   }
 }
@@ -44,7 +48,7 @@ std::optional<IndexHit> CachedIndex::Lookup(const TwoStepKey& key,
   Shard& shard = ShardFor(cache_key);
   std::shared_ptr<const SparseVector> pin;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     auto it = shard.entries.find(cache_key);
     if (it == shard.entries.end()) {
       misses_.fetch_add(1, std::memory_order_relaxed);
@@ -64,13 +68,12 @@ void CachedIndex::Remember(const TwoStepKey& key, LocalId row,
   Shard& shard = ShardFor(cache_key);
   const std::size_t bytes = vector.MemoryBytes() + sizeof(Entry);
   {
-    // The admission check reads shard.budget, which the shard protocol
-    // (cached_index.h: "all fields below mu are guarded by it") puts
-    // under mu — the old unlocked fast-path read was a guard violation
-    // that only stayed benign while budgets happen to be frozen at
-    // construction. Folding it into the duplicate probe's critical
-    // section restores the contract without adding a lock acquisition.
-    std::lock_guard<std::mutex> lock(shard.mu);
+    // The admission check reads shard.budget, which is guarded by mu —
+    // the old unlocked fast-path read was a guard violation that only
+    // stayed benign while budgets happen to be frozen at construction.
+    // Folding it into the duplicate probe's critical section restores
+    // the contract without adding a lock acquisition.
+    MutexLock lock(shard.mu);
     if (bytes > shard.budget) {  // never admissible in this shard
       rejected_too_large_.fetch_add(1, std::memory_order_relaxed);
       return;
@@ -84,7 +87,7 @@ void CachedIndex::Remember(const TwoStepKey& key, LocalId row,
   // reader may even outlive this function with one of them).
   std::vector<std::shared_ptr<const SparseVector>> evicted;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     if (shard.entries.count(cache_key) > 0) return;
     shard.lru.push_front(Entry{cache_key, std::move(payload), bytes});
     shard.entries.emplace(cache_key, shard.lru.begin());
@@ -124,7 +127,7 @@ CachedIndex::Stats CachedIndex::stats() const {
 
 void CachedIndex::Clear() {
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     bytes_.fetch_sub(shard.bytes, std::memory_order_relaxed);
     num_entries_.fetch_sub(shard.entries.size(), std::memory_order_relaxed);
     shard.lru.clear();

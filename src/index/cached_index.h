@@ -5,12 +5,12 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "common/hash.h"
+#include "common/sync.h"
 #include "metapath/index_iface.h"
 
 namespace netout {
@@ -123,15 +123,17 @@ class CachedIndex : public MetaPathIndex {
     std::shared_ptr<const SparseVector> payload;
     std::size_t bytes = 0;
   };
-  /// One lock domain: its own LRU list, map, and byte budget. All
-  /// fields below `mu` are guarded by it.
+  /// One lock domain: its own LRU list, map, and byte budget. Shards
+  /// are independent capabilities — no code path holds two shard
+  /// mutexes at once (Clear() locks them one at a time), so there is no
+  /// shard-vs-shard lock order to get wrong.
   struct Shard {
-    mutable std::mutex mu;
-    std::list<Entry> lru;  // front = most recently used
+    mutable Mutex mu;
+    std::list<Entry> lru NETOUT_GUARDED_BY(mu);  // front = MRU
     std::unordered_map<CacheKey, std::list<Entry>::iterator, CacheKeyHash>
-        entries;
-    std::size_t bytes = 0;
-    std::size_t budget = 0;
+        entries NETOUT_GUARDED_BY(mu);
+    std::size_t bytes NETOUT_GUARDED_BY(mu) = 0;
+    std::size_t budget NETOUT_GUARDED_BY(mu) = 0;
   };
 
   Shard& ShardFor(const CacheKey& key) const;
@@ -139,10 +141,10 @@ class CachedIndex : public MetaPathIndex {
   /// Evicts LRU-last entries of `shard` until it fits its budget,
   /// moving their payloads into `evicted` so they are destroyed (or
   /// outlive this call via reader pins) after the lock is released.
-  /// Caller holds shard.mu.
   void EvictToBudgetLocked(
       Shard& shard,
-      std::vector<std::shared_ptr<const SparseVector>>* evicted) const;
+      std::vector<std::shared_ptr<const SparseVector>>* evicted) const
+      NETOUT_REQUIRES(shard.mu);
 
   const MetaPathIndex* base_;
   Options options_;

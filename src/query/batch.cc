@@ -3,10 +3,10 @@
 #include <atomic>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <utility>
 
 #include "common/stopwatch.h"
+#include "common/sync.h"
 #include "common/thread_pool.h"
 #include "query/parser.h"
 #include "query/planner.h"
@@ -145,7 +145,9 @@ std::vector<BatchOutcome> BatchRunner::Impl::RunMerged(
         std::make_unique<Executor>(hin, options.index, exec_options));
     free_executors.push_back(executors.back().get());
   }
-  std::mutex executor_mutex;
+  // Guards free_executors (locals cannot carry GUARDED_BY; the
+  // capability layer still checks the acquire/release pairing).
+  Mutex executor_mutex;
 
   // DAG scheduling state. Each op's slot/runtime/status is written only
   // by the op's own task; consumers run only after every input's
@@ -196,7 +198,7 @@ std::vector<BatchOutcome> BatchRunner::Impl::RunMerged(
     } else {
       Executor* executor = nullptr;
       {
-        std::lock_guard<std::mutex> lock(executor_mutex);
+        MutexLock lock(executor_mutex);
         executor = free_executors.back();
         free_executors.pop_back();
       }
@@ -210,7 +212,7 @@ std::vector<BatchOutcome> BatchRunner::Impl::RunMerged(
                                          &runtimes[id]);
       if (exclusive != nullptr) executor->SetStopToken(nullptr);
       {
-        std::lock_guard<std::mutex> lock(executor_mutex);
+        MutexLock lock(executor_mutex);
         free_executors.push_back(executor);
       }
     }

@@ -12,16 +12,15 @@
 #include <bit>
 #include <cerrno>
 #include <chrono>
-#include <condition_variable>
 #include <cstring>
 #include <deque>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "common/json.h"
+#include "common/sync.h"
 #include "query/batch.h"
 
 namespace netout {
@@ -158,14 +157,18 @@ struct Server::Impl {
   std::unordered_map<std::uint64_t, Session*> sessions_by_id;
   std::uint64_t next_session_id = 1;
 
-  std::mutex dispatch_mutex;
-  std::condition_variable dispatch_cv;
-  std::deque<PendingRequest> pending;
-  bool dispatcher_stop = false;
+  // Poll loop -> dispatcher handoff. dispatch_mutex and
+  // completion_mutex are never held together (DESIGN.md §12): requests
+  // cross under dispatch_mutex, responses cross back under
+  // completion_mutex, and all other session state is poll-thread-only.
+  Mutex dispatch_mutex;
+  CondVar dispatch_cv;
+  std::deque<PendingRequest> pending NETOUT_GUARDED_BY(dispatch_mutex);
+  bool dispatcher_stop NETOUT_GUARDED_BY(dispatch_mutex) = false;
   std::thread dispatcher;
 
-  std::mutex completion_mutex;
-  std::vector<Completion> completions;
+  Mutex completion_mutex;
+  std::vector<Completion> completions NETOUT_GUARDED_BY(completion_mutex);
 
   Counters counters;
   Clock::time_point start_time;
@@ -175,7 +178,7 @@ struct Server::Impl {
 
   ~Impl() { Cleanup(); }
 
-  void Cleanup() {
+  void Cleanup() NETOUT_EXCLUDES(dispatch_mutex) {
     StopDispatcher();
     for (auto& [fd, session] : sessions_by_fd) ::close(fd);
     sessions_by_fd.clear();
@@ -194,12 +197,12 @@ struct Server::Impl {
     }
   }
 
-  void StopDispatcher() {
+  void StopDispatcher() NETOUT_EXCLUDES(dispatch_mutex) {
     {
-      std::lock_guard<std::mutex> lock(dispatch_mutex);
+      MutexLock lock(dispatch_mutex);
       dispatcher_stop = true;
     }
-    dispatch_cv.notify_all();
+    dispatch_cv.NotifyAll();
     if (dispatcher.joinable()) dispatcher.join();
   }
 
@@ -278,13 +281,14 @@ struct Server::Impl {
   // so natural batching emerges under load (the deeper the backlog, the
   // more cross-request sharing the merged plan gets).
 
-  void DispatcherLoop() {
+  void DispatcherLoop() NETOUT_EXCLUDES(dispatch_mutex, completion_mutex) {
     for (;;) {
       std::vector<PendingRequest> batch;
       {
-        std::unique_lock<std::mutex> lock(dispatch_mutex);
-        dispatch_cv.wait(lock,
-                         [this] { return dispatcher_stop || !pending.empty(); });
+        MutexLock lock(dispatch_mutex);
+        while (!dispatcher_stop && pending.empty()) {
+          dispatch_cv.Wait(dispatch_mutex);
+        }
         if (pending.empty()) {
           if (dispatcher_stop) return;
           continue;
@@ -345,7 +349,7 @@ struct Server::Impl {
         done.push_back(std::move(completion));
       }
       {
-        std::lock_guard<std::mutex> lock(completion_mutex);
+        MutexLock lock(completion_mutex);
         completions.insert(completions.end(),
                            std::make_move_iterator(done.begin()),
                            std::make_move_iterator(done.end()));
@@ -370,7 +374,7 @@ struct Server::Impl {
   // ---------------------------------------------------------------
   // Poll loop
 
-  Status Serve() {
+  Status Serve() NETOUT_EXCLUDES(dispatch_mutex, completion_mutex) {
     if (!started) {
       return Status::FailedPrecondition("Serve() requires Start()");
     }
@@ -436,7 +440,7 @@ struct Server::Impl {
     StopDispatcher();
     // Late completions have no readers anymore; drop them.
     {
-      std::lock_guard<std::mutex> lock(completion_mutex);
+      MutexLock lock(completion_mutex);
       completions.clear();
     }
     return Status::OK();
@@ -448,7 +452,7 @@ struct Server::Impl {
     }
   }
 
-  void BeginDrain() {
+  void BeginDrain() NETOUT_EXCLUDES(dispatch_mutex) {
     draining = true;
     drain_started = Clock::now();
     if (listen_fd >= 0) {
@@ -459,10 +463,10 @@ struct Server::Impl {
     // queued-but-unstarted ones resolve immediately the same way.
     drain_token.RequestCancel();
     {
-      std::lock_guard<std::mutex> lock(dispatch_mutex);
+      MutexLock lock(dispatch_mutex);
       dispatcher_stop = true;
     }
-    dispatch_cv.notify_all();
+    dispatch_cv.NotifyAll();
   }
 
   void AcceptNew() {
@@ -586,7 +590,8 @@ struct Server::Impl {
     }
   }
 
-  void AdmitQuery(Session* session, Request request) {
+  void AdmitQuery(Session* session, Request request)
+      NETOUT_EXCLUDES(dispatch_mutex) {
     if (draining) {
       counters.queries_refused.fetch_add(1, std::memory_order_relaxed);
       Enqueue(session, BuildErrorResponse(
@@ -596,7 +601,7 @@ struct Server::Impl {
     }
     std::size_t backlog;
     {
-      std::lock_guard<std::mutex> lock(dispatch_mutex);
+      MutexLock lock(dispatch_mutex);
       backlog = pending.size();
     }
     if (backlog >= max_backlog_effective) {
@@ -648,16 +653,16 @@ struct Server::Impl {
 
     session->inflight++;
     {
-      std::lock_guard<std::mutex> lock(dispatch_mutex);
+      MutexLock lock(dispatch_mutex);
       pending.push_back(std::move(pending_request));
     }
-    dispatch_cv.notify_one();
+    dispatch_cv.NotifyOne();
   }
 
-  void DeliverCompletions() {
+  void DeliverCompletions() NETOUT_EXCLUDES(completion_mutex) {
     std::vector<Completion> done;
     {
-      std::lock_guard<std::mutex> lock(completion_mutex);
+      MutexLock lock(completion_mutex);
       done.swap(completions);
     }
     for (Completion& completion : done) {
