@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Project-invariant gate: the lock-discipline rules Clang's
+# -Wthread-safety cannot express (see scripts/invariant_checker.py for
+# the invariant list: no naked std sync primitives outside
+# src/common/sync.h, no std::thread outside the pool/server, every
+# data-dependent while loop in executor/traversal files polls a
+# CancellationToken). Runs the checker's selftest first — a clean tree
+# exercises no detection path, so the selftest is what proves the gate
+# still catches violations. python3 is required (present in the build
+# container and CI); absence is an error, not a skip, because unlike
+# clang the checker has no compiled fallback.
+#
+# Usage: scripts/check_invariants.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+if ! command -v python3 > /dev/null 2>&1; then
+  echo "check_invariants: python3 not found; cannot run the invariant" \
+       "checker" >&2
+  exit 1
+fi
+
+python3 scripts/invariant_checker.py --selftest
+python3 scripts/invariant_checker.py .
+echo "check_invariants: OK"

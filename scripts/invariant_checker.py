@@ -1,0 +1,289 @@
+#!/usr/bin/env python3
+"""Project-invariant linter: what Clang Thread Safety Analysis can't see.
+
+Checked invariants (DESIGN.md §12):
+
+  1. No naked std synchronization primitive (std::mutex and friends,
+     std::lock_guard/unique_lock/scoped_lock, std::condition_variable)
+     outside src/common/sync.h. Every lock goes through the capability
+     layer so -Wthread-safety can track it; a raw primitive is invisible
+     to the analysis.
+  2. No std::thread outside src/common/thread_pool.{h,cc} and
+     src/server/server.cc. Threads come from the pool (or the server's
+     single dispatcher), which own join/exception discipline;
+     std::this_thread does not match and stays allowed anywhere.
+  3. Every `while` loop in the executor/traversal files polls a
+     CancellationToken (`ShouldStop(` in its condition or body): these
+     are the data-dependent loops whose trip count an adversarial graph
+     controls, so an unpolled loop is an unbounded query the deadline
+     machinery cannot stop. A loop that is provably bounded for another
+     reason can carry `// invariant: no-cancel-poll <why>` on the loop
+     line or the line above.
+
+Invariants 1 and 2 scan product code (src/ and tools/); tests and
+benches legitimately use raw primitives to orchestrate scenarios.
+Run with --selftest (the shell gate does, first) to prove the checker
+still detects violations, since a clean tree exercises nothing.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+SYNC_PRIMITIVE = re.compile(
+    r"std::(?:mutex|timed_mutex|recursive_mutex|recursive_timed_mutex"
+    r"|shared_mutex|shared_timed_mutex|lock_guard|unique_lock|scoped_lock"
+    r"|shared_lock|condition_variable|condition_variable_any)\b"
+)
+THREAD = re.compile(r"std::thread\b")
+WHILE = re.compile(r"(^|[^A-Za-z0-9_])while\s*\(")
+CANCEL_POLL = re.compile(r"ShouldStop\s*\(")
+SUPPRESS = re.compile(r"//\s*invariant:\s*no-cancel-poll")
+
+SYNC_LAYER = "src/common/sync.h"
+THREAD_OWNERS = (
+    "src/common/thread_pool.h",
+    "src/common/thread_pool.cc",
+    "src/server/server.cc",
+)
+# The data-dependent loop surfaces: query execution and graph traversal.
+CANCEL_POLL_FILES = (
+    "src/query/executor.cc",
+    "src/query/progressive.cc",
+    "src/metapath/traversal.cc",
+    "src/metapath/evaluator.cc",
+)
+
+
+def strip_noncode(text):
+    """Blanks comments and string/char literals, preserving offsets, so
+    a primitive named in prose or a quoted example never trips a check."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if ch == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            out.append(" " * (j - i))
+            i = j
+        elif ch == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j < 0 else j
+            span = text[i : j + 2]
+            out.append("".join(c if c == "\n" else " " for c in span))
+            i = j + 2
+        elif ch in "\"'":
+            j = i + 1
+            while j < n and text[j] != ch:
+                j += 2 if text[j] == "\\" else 1
+            out.append(" " * (j + 1 - i))
+            i = j + 1
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def match_loop_extent(code, open_paren):
+    """Returns (condition, body) extents for the while at open_paren:
+    the span of the parenthesized condition and of the statement that
+    follows (braced block or single statement up to ';')."""
+    depth, i = 0, open_paren
+    while i < len(code):
+        if code[i] == "(":
+            depth += 1
+        elif code[i] == ")":
+            depth -= 1
+            if depth == 0:
+                break
+        i += 1
+    cond = code[open_paren : i + 1]
+    j = i + 1
+    while j < len(code) and code[j] in " \t\r\n":
+        j += 1
+    if j < len(code) and code[j] == "{":
+        depth, k = 0, j
+        while k < len(code):
+            if code[k] == "{":
+                depth += 1
+            elif code[k] == "}":
+                depth -= 1
+                if depth == 0:
+                    break
+            k += 1
+        body = code[j : k + 1]
+    else:
+        k = code.find(";", j)
+        body = code[j : k + 1] if k >= 0 else code[j:]
+    return cond, body
+
+
+def check_cancel_polling(rel_name, text):
+    """Returns [(line, message)] for while loops without a cancel poll."""
+    code = strip_noncode(text)
+    findings = []
+    for m in WHILE.finditer(code):
+        open_paren = code.find("(", m.start())
+        line = code.count("\n", 0, open_paren) + 1
+        lines = text.splitlines()
+        context = "\n".join(lines[max(0, line - 2) : line])
+        if SUPPRESS.search(context):
+            continue
+        cond, body = match_loop_extent(code, open_paren)
+        if CANCEL_POLL.search(cond) or CANCEL_POLL.search(body):
+            continue
+        findings.append(
+            (
+                line,
+                f"{rel_name}:{line}: while loop without a CancellationToken "
+                "poll (ShouldStop) in its condition or body; bounded loops "
+                "may carry `// invariant: no-cancel-poll <why>`",
+            )
+        )
+    return findings
+
+
+def check_tree(root):
+    failures = []
+    product = []
+    for top in ("src", "tools"):
+        product.extend(sorted((root / top).rglob("*.h")))
+        product.extend(sorted((root / top).rglob("*.cc")))
+    for path in product:
+        rel = path.relative_to(root).as_posix()
+        code = strip_noncode(path.read_text(encoding="utf-8"))
+        if rel != SYNC_LAYER:
+            for m in SYNC_PRIMITIVE.finditer(code):
+                line = code.count("\n", 0, m.start()) + 1
+                failures.append(
+                    f"{rel}:{line}: naked {m.group(0)} — use the capability "
+                    f"wrappers in {SYNC_LAYER} so -Wthread-safety sees the lock"
+                )
+        if rel not in THREAD_OWNERS:
+            for m in THREAD.finditer(code):
+                line = code.count("\n", 0, m.start()) + 1
+                failures.append(
+                    f"{rel}:{line}: naked std::thread — spawn through "
+                    "ThreadPool/TaskGroup (or the server dispatcher), which "
+                    "own join and exception discipline"
+                )
+    for rel in CANCEL_POLL_FILES:
+        path = root / rel
+        if not path.exists():
+            failures.append(f"{rel}: listed in CANCEL_POLL_FILES but missing")
+            continue
+        text = path.read_text(encoding="utf-8")
+        failures.extend(msg for _, msg in check_cancel_polling(rel, text))
+    return failures
+
+
+# -- selftest fixtures: each pair is (snippet, should_trip) ------------
+
+UNPOLLED = """
+void Walk(const Graph& g) {
+  std::size_t i = 0;
+  while (i < g.size()) {  // no poll: must trip
+    Visit(g, i++);
+  }
+}
+"""
+
+POLLED_CONDITION = """
+void Walk(const Graph& g) {
+  std::size_t i = 0;
+  while (i < g.size() && !token->ShouldStop()) {
+    Visit(g, i++);
+  }
+}
+"""
+
+POLLED_BODY = """
+void Walk(const Graph& g) {
+  std::size_t i = 0;
+  while (i < g.size()) {
+    if (token->ShouldStop()) return;
+    Visit(g, i++);
+  }
+}
+"""
+
+SUPPRESSED = """
+void Pad(std::string* s) {
+  // invariant: no-cancel-poll bounded by the fixed 8-byte alignment
+  while (s->size() % 8 != 0) s->push_back(' ');
+}
+"""
+
+COMMENTED_ONLY = """
+void Doc() {
+  // a while (x) loop in prose must not be flagged
+  const char* s = "while (true)";
+  (void)s;
+}
+"""
+
+NESTED_INNER_UNPOLLED = """
+void Walk(const Graph& g) {
+  while (!token->ShouldStop()) {
+    std::size_t j = 0;
+    while (j < g.size()) ++j;  // inner loop unpolled: must trip
+  }
+}
+"""
+
+
+def selftest():
+    cases = [
+        ("unpolled", UNPOLLED, 1),
+        ("polled-condition", POLLED_CONDITION, 0),
+        ("polled-body", POLLED_BODY, 0),
+        ("suppressed", SUPPRESSED, 0),
+        ("commented-only", COMMENTED_ONLY, 0),
+        ("nested-inner-unpolled", NESTED_INNER_UNPOLLED, 1),
+    ]
+    ok = True
+    for name, snippet, expected in cases:
+        got = len(check_cancel_polling(f"<{name}>", snippet))
+        if got != expected:
+            print(
+                f"selftest FAIL: {name}: expected {expected} finding(s), "
+                f"got {got}",
+                file=sys.stderr,
+            )
+            ok = False
+    if not SYNC_PRIMITIVE.search("std::mutex m;"):
+        print("selftest FAIL: sync-primitive regex", file=sys.stderr)
+        ok = False
+    if SYNC_PRIMITIVE.search(strip_noncode('// std::mutex in a comment')):
+        print("selftest FAIL: comment stripping", file=sys.stderr)
+        ok = False
+    if not THREAD.search("std::thread t(f);"):
+        print("selftest FAIL: thread regex", file=sys.stderr)
+        ok = False
+    if THREAD.search("std::this_thread::yield();"):
+        print("selftest FAIL: this_thread false positive", file=sys.stderr)
+        ok = False
+    return ok
+
+
+def main(argv):
+    if "--selftest" in argv:
+        if not selftest():
+            return 1
+        print("invariant_checker: selftest OK")
+        return 0
+    root = Path(argv[1]) if len(argv) > 1 else Path.cwd()
+    failures = check_tree(root)
+    for failure in failures:
+        print(failure, file=sys.stderr)
+    if failures:
+        print(f"invariant_checker: {len(failures)} violation(s)", file=sys.stderr)
+        return 1
+    print("invariant_checker: all invariants hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

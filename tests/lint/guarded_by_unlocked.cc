@@ -1,0 +1,23 @@
+// Must NOT compile under -Wthread-safety -Werror=thread-safety: writes
+// a NETOUT_GUARDED_BY field without holding its Mutex. If this builds,
+// the capability gate of common/sync.h is not being enforced.
+#include "common/sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() { ++value_; }  // guard violation: mu_ not held
+
+ private:
+  netout::Mutex mu_;
+  int value_ NETOUT_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Must NOT compile under -Wthread-safety -Werror=thread-safety: calls a
+// NETOUT_REQUIRES function without holding the required Mutex. If this
+// builds, lock preconditions are not being enforced at call sites.
+#include "common/sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() { IncrementLocked(); }  // violation: mu_ not held
+
+ private:
+  void IncrementLocked() NETOUT_REQUIRES(mu_) { ++value_; }
+
+  netout::Mutex mu_;
+  int value_ NETOUT_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  return 0;
+}

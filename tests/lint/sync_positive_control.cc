@@ -1,0 +1,35 @@
+// Positive control for the thread-safety probes: disciplined use of the
+// capability layer — the guarded field only touched under MutexLock, the
+// REQUIRES function only called with the lock held — must compile under
+// -Wthread-safety -Werror=thread-safety, so guarded_by_unlocked.cc and
+// requires_unlocked.cc fail for the right reason.
+#include "common/sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() NETOUT_EXCLUDES(mu_) {
+    netout::MutexLock lock(mu_);
+    IncrementLocked();
+  }
+
+  int Get() NETOUT_EXCLUDES(mu_) {
+    netout::MutexLock lock(mu_);
+    return value_;
+  }
+
+ private:
+  void IncrementLocked() NETOUT_REQUIRES(mu_) { ++value_; }
+
+  netout::Mutex mu_;
+  int value_ NETOUT_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  return counter.Get() == 1 ? 0 : 1;
+}
