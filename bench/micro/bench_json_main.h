@@ -28,6 +28,10 @@ class JsonBenchReporter : public ::benchmark::ConsoleReporter {
   void ReportRuns(const std::vector<Run>& reports) override {
     for (const Run& run : reports) {
       if (run.error_occurred) continue;
+      // Complexity fits (_BigO/_RMS rows) are not timing samples: they
+      // carry zero iterations, which the schema validator rightly
+      // rejects. The per-size rows they were fitted from are recorded.
+      if (run.report_big_o || run.report_rms) continue;
       entries_.push_back(BenchJsonEntry{
           run.benchmark_name(), static_cast<std::int64_t>(run.iterations),
           run.GetAdjustedRealTime(), run.GetAdjustedCPUTime()});
