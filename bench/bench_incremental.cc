@@ -1,0 +1,141 @@
+// Incremental index maintenance vs full rebuild (extension beyond the
+// paper): an append-heavy ingest stream lands in batches of B mutations
+// and the PM index must be brought current before the next query. Two
+// strategies:
+//   delta   : MutableHin::Commit -> AffectedTwoStepRows ->
+//             PmIndex::ApplyDelta (patch exactly the touched phi rows),
+//   rebuild : FlattenHin -> PmIndex::BuildForRoots from scratch.
+// Both are measured at the *same* post-commit snapshot, so each row of
+// the table compares two ways of reaching the identical index state
+// (the `incremental` test label proves they are bitwise identical).
+// Expected shape: delta wins by orders of magnitude at B=1 and its
+// advantage shrinks as B approaches the graph size; the crossover batch
+// size (first B where rebuild is cheaper, if any) is reported at the
+// end.
+//
+//   bench_incremental [--json BENCH_incremental.json]
+//
+// Scaled by NETOUT_BENCH_SCALE like the figure benches.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_json.h"
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "datagen/biblio_gen.h"
+#include "graph/delta.h"
+#include "index/incremental.h"
+#include "index/pm_index.h"
+
+int main(int argc, char** argv) {
+  using namespace netout;
+  using namespace netout::bench;
+
+  StageRecorder recorder("incremental", &argc, argv);
+  PrintHeader("Incremental maintenance: PM delta-patch vs full rebuild");
+
+  const auto dataset = Unwrap(GenerateBiblio(BenchBiblioConfig()), "dataset");
+  const HinPtr root = dataset.hin;
+  const std::vector<TypeId> roots = {dataset.author_type};
+  const std::size_t num_authors = root->NumVertices(dataset.author_type);
+  const std::size_t num_venues = root->NumVertices(dataset.venue_type);
+
+  MutableHin graph(root);
+  auto pm = Unwrap(PmIndex::BuildForRoots(*root, roots), "PM build");
+
+  std::printf("%zu vertices, %zu edges, author-rooted PM (%s)\n",
+              root->TotalVertices(), root->TotalEdges(),
+              HumanBytes(pm->MemoryBytes()).c_str());
+  std::printf("%8s %6s %14s %14s %10s %12s\n", "batch", "reps", "delta(ms)",
+              "rebuild(ms)", "speedup", "rows/batch");
+
+  constexpr int kReps = 3;
+  const std::size_t batch_sizes[] = {1, 4, 16, 64, 256, 1024};
+  std::size_t paper_serial = 0;
+  std::size_t crossover = 0;  // first batch size where rebuild wins
+
+  for (const std::size_t batch : batch_sizes) {
+    double delta_nanos = 0.0, delta_cpu = 0.0;
+    double rebuild_nanos = 0.0, rebuild_cpu = 0.0;
+    std::uint64_t rows_patched = 0;
+    for (int rep = 0; rep < kReps; ++rep) {
+      // Stage the batch: mostly fresh authorship events (a new paper by
+      // an existing author, auto-created), with every third op filing
+      // the previous new paper at a venue so venue-keyed phi rows churn
+      // too. Staging is untimed — both strategies start from a
+      // committed snapshot either way.
+      std::string last_paper;
+      for (std::size_t i = 0; i < batch; ++i) {
+        if (i % 3 == 2 && !last_paper.empty()) {
+          const std::string venue =
+              root->VertexName(VertexRef{dataset.venue_type,
+                                         static_cast<LocalId>(
+                                             paper_serial % num_venues)});
+          Check(graph.AddEdge("published_in", last_paper, venue),
+                "stage published_in");
+          continue;
+        }
+        const std::string author =
+            root->VertexName(VertexRef{dataset.author_type,
+                                       static_cast<LocalId>(
+                                           paper_serial % num_authors)});
+        last_paper = "bench_paper_" + std::to_string(paper_serial++);
+        Check(graph.AddEdge("writes", author, last_paper, 1,
+                            /*create_vertices=*/true),
+              "stage writes");
+      }
+
+      // Delta path: publish the epoch and patch the touched rows.
+      const double delta_cpu_before = ProcessCpuNanos();
+      Stopwatch delta_watch;
+      const std::uint64_t patched_before = pm->rows_patched();
+      const CommitResult commit = Unwrap(graph.Commit(), "commit");
+      const AffectedRows affected =
+          AffectedTwoStepRows(*commit.snapshot.hin, commit.summary);
+      Check(pm->ApplyDelta(*commit.snapshot.hin, affected), "apply delta");
+      delta_nanos += static_cast<double>(delta_watch.ElapsedNanos());
+      delta_cpu += ProcessCpuNanos() - delta_cpu_before;
+      rows_patched += pm->rows_patched() - patched_before;
+
+      // Rebuild path: same snapshot, from scratch.
+      const double rebuild_cpu_before = ProcessCpuNanos();
+      Stopwatch rebuild_watch;
+      const HinPtr flat = Unwrap(FlattenHin(commit.snapshot.hin), "flatten");
+      const auto fresh =
+          Unwrap(PmIndex::BuildForRoots(*flat, roots), "rebuild");
+      rebuild_nanos += static_cast<double>(rebuild_watch.ElapsedNanos());
+      rebuild_cpu += ProcessCpuNanos() - rebuild_cpu_before;
+      if (fresh->MemoryBytes() == 0) return 1;  // keep `fresh` observable
+    }
+
+    const double delta_ms = delta_nanos / 1e6 / kReps;
+    const double rebuild_ms = rebuild_nanos / 1e6 / kReps;
+    std::printf("%8zu %6d %14.3f %14.3f %9.1fx %12zu\n", batch, kReps,
+                delta_ms, rebuild_ms,
+                delta_nanos == 0.0 ? 0.0 : rebuild_nanos / delta_nanos,
+                static_cast<std::size_t>(rows_patched / kReps));
+    if (crossover == 0 && delta_nanos >= rebuild_nanos) crossover = batch;
+    recorder.Add("delta_b" + std::to_string(batch), kReps, delta_nanos,
+                 delta_cpu);
+    recorder.Add("rebuild_b" + std::to_string(batch), kReps, rebuild_nanos,
+                 rebuild_cpu);
+  }
+
+  if (crossover == 0) {
+    std::printf(
+        "\ncrossover batch size: none up to %zu — delta maintenance beat\n"
+        "a full rebuild at every measured batch size.\n",
+        batch_sizes[std::size(batch_sizes) - 1]);
+  } else {
+    std::printf(
+        "\ncrossover batch size: %zu — below it delta maintenance wins,\n"
+        "at and above it a full rebuild is cheaper.\n",
+        crossover);
+  }
+  return recorder.WriteIfRequested() ? 0 : 1;
+}

@@ -1,17 +1,20 @@
 #!/usr/bin/env bash
 # Sanitizer gate (generalizes the old check_tsan.sh):
 #   1. ThreadSanitizer build  -> `concurrency`+`cache`+`planner`+
-#      `robustness`-labelled tests (thread pool / task group / batch
-#      runner / intra-query parallelism / sharded-cache stress /
-#      merged-plan DAG scheduling / stop tokens tripped and polled
-#      across worker threads / the netout_serve poll-loop <-> dispatcher
-#      handoff under concurrent sessions — the server tests live in the
-#      `robustness` label).
-#   2. AddressSanitizer build -> `cache`+`robustness`+`kernels`-
-#      labelled tests (the CachedIndex pinned-lookup lifetime contract,
-#      degraded partial results, the server's untrusted-byte framing
-#      layer, and the SIMD kernel property tests, whose raw-pointer
-#      merge loops must never read past a buffer).
+#      `robustness`+`incremental`-labelled tests (thread pool / task
+#      group / batch runner / intra-query parallelism / sharded-cache
+#      stress / merged-plan DAG scheduling / stop tokens tripped and
+#      polled across worker threads / the netout_serve poll-loop <->
+#      dispatcher handoff under concurrent sessions — the server tests
+#      live in the `robustness` label — and the incremental-mutation
+#      layer, where epoch transitions race reader traffic by design).
+#   2. AddressSanitizer build -> `cache`+`robustness`+`kernels`+
+#      `incremental`-labelled tests (the CachedIndex pinned-lookup
+#      lifetime contract, degraded partial results, the server's
+#      untrusted-byte framing layer, the SIMD kernel property tests,
+#      whose raw-pointer merge loops must never read past a buffer, and
+#      keyed invalidation, whose dropped payloads must outlive any
+#      reader still pinning them).
 #   3. UndefinedBehaviorSanitizer build -> the full test suite
 #      (halt-on-UB: the build uses -fno-sanitize-recover so any signed
 #      overflow / bad shift / misaligned access fails its test).
@@ -39,11 +42,12 @@ build "${TSAN_BUILD_DIR}" thread
 # halt_on_error so a data race fails the test run instead of scrolling by.
 TSAN_OPTIONS="halt_on_error=1" \
   ctest --test-dir "${TSAN_BUILD_DIR}" \
-  -L 'concurrency|cache|planner|robustness' \
+  -L 'concurrency|cache|planner|robustness|incremental' \
   --output-on-failure -j "${JOBS}"
 
 build "${ASAN_BUILD_DIR}" address
-ctest --test-dir "${ASAN_BUILD_DIR}" -L 'cache|robustness|kernels' \
+ctest --test-dir "${ASAN_BUILD_DIR}" \
+  -L 'cache|robustness|kernels|incremental' \
   --output-on-failure -j "${JOBS}"
 
 build "${UBSAN_BUILD_DIR}" undefined

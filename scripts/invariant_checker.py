@@ -19,8 +19,15 @@ Checked invariants (DESIGN.md §12):
      machinery cannot stop. A loop that is provably bounded for another
      reason can carry `// invariant: no-cancel-poll <why>` on the loop
      line or the line above.
+  4. No Hin::Adjacency() call outside src/graph/hin.{h,cc} and the
+     base-graph serializer src/graph/io.cc. Adjacency() hands out the
+     whole CSR and ABORTS on epoch-overlay snapshots (src/graph/delta.*);
+     every traversal must read per-row via StepRow()/StepSketch(), which
+     all snapshots support. A call site that provably only ever sees
+     base graphs can carry `// invariant: base-only <why>` on its line
+     or the line above.
 
-Invariants 1 and 2 scan product code (src/ and tools/); tests and
+Invariants 1, 2 and 4 scan product code (src/ and tools/); tests and
 benches legitimately use raw primitives to orchestrate scenarios.
 Run with --selftest (the shell gate does, first) to prove the checker
 still detects violations, since a clean tree exercises nothing.
@@ -39,6 +46,8 @@ THREAD = re.compile(r"std::thread\b")
 WHILE = re.compile(r"(^|[^A-Za-z0-9_])while\s*\(")
 CANCEL_POLL = re.compile(r"ShouldStop\s*\(")
 SUPPRESS = re.compile(r"//\s*invariant:\s*no-cancel-poll")
+ADJACENCY = re.compile(r"(?:\.|->)\s*Adjacency\s*\(")
+SUPPRESS_BASE_ONLY = re.compile(r"//\s*invariant:\s*base-only")
 
 SYNC_LAYER = "src/common/sync.h"
 THREAD_OWNERS = (
@@ -46,12 +55,22 @@ THREAD_OWNERS = (
     "src/common/thread_pool.cc",
     "src/server/server.cc",
 )
-# The data-dependent loop surfaces: query execution and graph traversal.
+# The data-dependent loop surfaces: query execution, graph traversal,
+# and the mutation-commit fold (whose loops are graph-size-bounded; any
+# `while` there documents its bound via the suppression comment).
 CANCEL_POLL_FILES = (
     "src/query/executor.cc",
     "src/query/progressive.cc",
     "src/metapath/traversal.cc",
     "src/metapath/evaluator.cc",
+    "src/graph/delta.cc",
+)
+# The only files allowed to touch the whole-CSR accessor (invariant 4):
+# its definition plus the base-graph serializer, which flattens first.
+ADJACENCY_OWNERS = (
+    "src/graph/hin.h",
+    "src/graph/hin.cc",
+    "src/graph/io.cc",
 )
 
 
@@ -145,6 +164,29 @@ def check_cancel_polling(rel_name, text):
     return findings
 
 
+def check_overlay_safety(rel_name, text):
+    """Returns [(line, message)] for Adjacency() calls: whole-CSR access
+    aborts on overlay snapshots, so traversal must use StepRow()."""
+    code = strip_noncode(text)
+    findings = []
+    lines = text.splitlines()
+    for m in ADJACENCY.finditer(code):
+        line = code.count("\n", 0, m.start()) + 1
+        context = "\n".join(lines[max(0, line - 2) : line])
+        if SUPPRESS_BASE_ONLY.search(context):
+            continue
+        findings.append(
+            (
+                line,
+                f"{rel_name}:{line}: Hin::Adjacency() aborts on epoch-"
+                "overlay snapshots — read rows via StepRow()/StepSketch(); "
+                "call sites that only ever see base graphs may carry "
+                "`// invariant: base-only <why>`",
+            )
+        )
+    return findings
+
+
 def check_tree(root):
     failures = []
     product = []
@@ -169,6 +211,11 @@ def check_tree(root):
                     "ThreadPool/TaskGroup (or the server dispatcher), which "
                     "own join and exception discipline"
                 )
+        if rel not in ADJACENCY_OWNERS:
+            text = path.read_text(encoding="utf-8")
+            failures.extend(
+                msg for _, msg in check_overlay_safety(rel, text)
+            )
     for rel in CANCEL_POLL_FILES:
         path = root / rel
         if not path.exists():
@@ -234,6 +281,36 @@ void Walk(const Graph& g) {
 """
 
 
+WHOLE_CSR = """
+void Walk(const Hin& hin, const EdgeStep& step) {
+  const Csr& csr = hin.Adjacency(step);  // must trip: aborts on overlays
+  Visit(csr);
+}
+"""
+
+PER_ROW = """
+void Walk(const Hin& hin, const EdgeStep& step, LocalId row) {
+  for (const CsrEntry& e : hin.StepRow(step, row)) Visit(e);
+}
+"""
+
+BASE_ONLY_SUPPRESSED = """
+Status Save(const Hin& hin, const EdgeStep& step) {
+  // invariant: base-only the serializer flattens overlays before here
+  const Csr& csr = hin.Adjacency(step);
+  return WriteCsr(csr);
+}
+"""
+
+ADJACENCY_IN_PROSE = """
+void Doc() {
+  // calling hin.Adjacency(step) in a comment must not be flagged
+  const char* s = "snapshot->Adjacency(step)";
+  (void)s;
+}
+"""
+
+
 def selftest():
     cases = [
         ("unpolled", UNPOLLED, 1),
@@ -243,9 +320,24 @@ def selftest():
         ("commented-only", COMMENTED_ONLY, 0),
         ("nested-inner-unpolled", NESTED_INNER_UNPOLLED, 1),
     ]
+    overlay_cases = [
+        ("whole-csr", WHOLE_CSR, 1),
+        ("per-row", PER_ROW, 0),
+        ("base-only-suppressed", BASE_ONLY_SUPPRESSED, 0),
+        ("adjacency-in-prose", ADJACENCY_IN_PROSE, 0),
+    ]
     ok = True
     for name, snippet, expected in cases:
         got = len(check_cancel_polling(f"<{name}>", snippet))
+        if got != expected:
+            print(
+                f"selftest FAIL: {name}: expected {expected} finding(s), "
+                f"got {got}",
+                file=sys.stderr,
+            )
+            ok = False
+    for name, snippet, expected in overlay_cases:
+        got = len(check_overlay_safety(f"<{name}>", snippet))
         if got != expected:
             print(
                 f"selftest FAIL: {name}: expected {expected} finding(s), "

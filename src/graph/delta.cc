@@ -1,0 +1,542 @@
+#include "graph/delta.h"
+
+#include <algorithm>
+#include <span>
+#include <tuple>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace netout {
+
+namespace {
+
+std::uint64_t RowMultiplicity(std::span<const CsrEntry> row) {
+  std::uint64_t total = 0;
+  for (const CsrEntry& entry : row) total += entry.count;
+  return total;
+}
+
+/// Inserts (or tops up) `neighbor` in a sorted coalesced row — the same
+/// merge Csr::FromEdges performs, one entry at a time.
+void InsertEntry(std::vector<CsrEntry>* row, LocalId neighbor,
+                 std::uint32_t count) {
+  auto it = std::lower_bound(
+      row->begin(), row->end(), neighbor,
+      [](const CsrEntry& e, LocalId n) { return e.neighbor < n; });
+  if (it != row->end() && it->neighbor == neighbor) {
+    it->count += count;
+  } else {
+    row->insert(it, CsrEntry{neighbor, count});
+  }
+}
+
+/// Removes `neighbor` (all parallel links) from a sorted row; returns
+/// the removed multiplicity (0 when absent).
+std::uint32_t RemoveEntry(std::vector<CsrEntry>* row, LocalId neighbor) {
+  auto it = std::lower_bound(
+      row->begin(), row->end(), neighbor,
+      [](const CsrEntry& e, LocalId n) { return e.neighbor < n; });
+  if (it == row->end() || it->neighbor != neighbor) return 0;
+  const std::uint32_t removed = it->count;
+  row->erase(it);
+  return removed;
+}
+
+}  // namespace
+
+std::optional<LocalId> GraphDelta::FindAdded(TypeId type,
+                                             std::string_view name) const {
+  if (type >= added_index_.size()) return std::nullopt;
+  auto it = added_index_[type].find(std::string(name));
+  if (it == added_index_[type].end()) return std::nullopt;
+  return it->second;
+}
+
+const std::vector<CsrEntry>* GraphDelta::PatchedRow(const EdgeStep& step,
+                                                    LocalId row) const {
+  const auto& maps = step.direction == Direction::kForward ? patched_forward_
+                                                           : patched_reverse_;
+  const auto& per_edge = maps[step.edge_type];
+  auto it = per_edge.find(row);
+  return it == per_edge.end() ? nullptr : it->second.get();
+}
+
+std::uint64_t GraphDelta::TotalEdges() const {
+  // Forward sketches are maintained exactly, so their multiplicity sums
+  // are the graph's edge count (each conceptual edge counted once).
+  std::uint64_t total = 0;
+  for (const AdjacencySketch& sketch : forward_sketch_) {
+    total += sketch.multiplicity;
+  }
+  return total;
+}
+
+std::uint64_t GraphDelta::rows_patched() const {
+  std::uint64_t total = 0;
+  for (const auto& per_edge : patched_forward_) total += per_edge.size();
+  for (const auto& per_edge : patched_reverse_) total += per_edge.size();
+  return total;
+}
+
+std::size_t GraphDelta::MemoryBytes() const {
+  std::size_t bytes = sizeof(GraphDelta);
+  for (const auto& per_type : added_names_) {
+    for (const std::string& name : per_type) {
+      bytes += name.capacity() + sizeof(std::string);
+    }
+  }
+  for (const auto& index : added_index_) {
+    bytes += index.size() * (sizeof(void*) * 4 + sizeof(LocalId));
+  }
+  bytes += dead_.size() * (sizeof(void*) * 4 + sizeof(VertexRef));
+  const auto row_map_bytes =
+      [](const std::vector<std::unordered_map<LocalId, RowPtr>>& maps) {
+        std::size_t b = 0;
+        for (const auto& per_edge : maps) {
+          b += per_edge.size() *
+               (sizeof(void*) * 4 + sizeof(LocalId) + sizeof(RowPtr));
+          for (const auto& [row, ptr] : per_edge) {
+            // Rows shared with prior epochs are charged to each delta
+            // that references them; this is an upper-bound estimate.
+            b += sizeof(std::vector<CsrEntry>) +
+                 ptr->capacity() * sizeof(CsrEntry);
+          }
+        }
+        return b;
+      };
+  bytes += row_map_bytes(patched_forward_);
+  bytes += row_map_bytes(patched_reverse_);
+  bytes += (forward_sketch_.capacity() + reverse_sketch_.capacity()) *
+           sizeof(AdjacencySketch);
+  return bytes;
+}
+
+MutableHin::MutableHin(HinPtr root) : root_(std::move(root)) {
+  NETOUT_CHECK(root_ != nullptr) << "MutableHin requires a graph";
+  NETOUT_CHECK(!root_->has_overlay())
+      << "MutableHin wraps a root graph; flatten the overlay first";
+  snapshot_ = root_;
+  const std::size_t num_types = root_->schema().num_vertex_types();
+  staged_names_.resize(num_types);
+  staged_index_.resize(num_types);
+}
+
+HinSnapshot MutableHin::Snapshot() const {
+  MutexLock lock(mu_);
+  return HinSnapshot{snapshot_, epoch_};
+}
+
+std::size_t MutableHin::PendingOps() const {
+  MutexLock lock(mu_);
+  std::size_t ops = staged_edges_.size() + staged_tombstones_.size();
+  for (const auto& names : staged_names_) ops += names.size();
+  return ops;
+}
+
+std::size_t MutableHin::NumVerticesLocked(TypeId type) const {
+  return snapshot_->NumVertices(type) + staged_names_[type].size();
+}
+
+std::optional<LocalId> MutableHin::ResolveLocked(TypeId type,
+                                                 std::string_view name,
+                                                 bool* dead) const {
+  *dead = false;
+  LocalId local = kInvalidLocalId;
+  auto it = root_->name_index_[type].find(std::string(name));
+  if (it != root_->name_index_[type].end()) {
+    local = it->second;
+  } else if (delta_) {
+    if (auto added = delta_->FindAdded(type, name); added.has_value()) {
+      local = *added;
+    }
+  }
+  if (local == kInvalidLocalId) {
+    auto staged = staged_index_[type].find(std::string(name));
+    if (staged == staged_index_[type].end()) return std::nullopt;
+    local = staged->second;
+  }
+  const VertexRef ref{type, local};
+  if ((delta_ && delta_->IsDead(ref)) || staged_dead_.count(ref) > 0) {
+    *dead = true;
+  }
+  return local;
+}
+
+Result<VertexRef> MutableHin::AddVertexLocked(TypeId type,
+                                              std::string_view name) {
+  bool dead = false;
+  if (auto existing = ResolveLocked(type, name, &dead); existing.has_value()) {
+    if (dead) {
+      return Status::FailedPrecondition(
+          "vertex '" + std::string(name) + "' of type '" +
+          root_->schema().VertexTypeName(type) +
+          "' was deleted; tombstoned names are retired");
+    }
+    return VertexRef{type, *existing};  // idempotent re-add
+  }
+  const auto local = static_cast<LocalId>(NumVerticesLocked(type));
+  staged_index_[type].emplace(std::string(name), local);
+  staged_names_[type].push_back(std::string(name));
+  return VertexRef{type, local};
+}
+
+Result<LocalId> MutableHin::ResolveEndpointLocked(TypeId type,
+                                                  std::string_view name,
+                                                  bool create) {
+  bool dead = false;
+  if (auto local = ResolveLocked(type, name, &dead); local.has_value()) {
+    if (dead) {
+      return Status::FailedPrecondition(
+          "vertex '" + std::string(name) + "' of type '" +
+          root_->schema().VertexTypeName(type) + "' is deleted");
+    }
+    return *local;
+  }
+  if (!create) {
+    return Status::NotFound("no vertex named '" + std::string(name) +
+                            "' of type '" +
+                            root_->schema().VertexTypeName(type) + "'");
+  }
+  NETOUT_ASSIGN_OR_RETURN(VertexRef ref, AddVertexLocked(type, name));
+  return ref.local;
+}
+
+Result<VertexRef> MutableHin::AddVertex(std::string_view type_name,
+                                        std::string_view name) {
+  if (name.empty()) {
+    return Status::InvalidArgument("vertex name must be non-empty");
+  }
+  NETOUT_ASSIGN_OR_RETURN(TypeId type,
+                          root_->schema().FindVertexType(type_name));
+  MutexLock lock(mu_);
+  return AddVertexLocked(type, name);
+}
+
+Status MutableHin::AddEdge(std::string_view edge_type_name,
+                           std::string_view src_name,
+                           std::string_view dst_name, std::uint32_t count,
+                           bool create_vertices) {
+  if (count == 0) {
+    return Status::InvalidArgument("edge count must be positive");
+  }
+  NETOUT_ASSIGN_OR_RETURN(EdgeTypeId edge,
+                          root_->schema().FindEdgeType(edge_type_name));
+  const EdgeTypeInfo& info = root_->schema().edge_type(edge);
+  MutexLock lock(mu_);
+  NETOUT_ASSIGN_OR_RETURN(
+      LocalId src, ResolveEndpointLocked(info.src, src_name, create_vertices));
+  NETOUT_ASSIGN_OR_RETURN(
+      LocalId dst, ResolveEndpointLocked(info.dst, dst_name, create_vertices));
+  staged_edges_.push_back(StagedEdgeOp{false, edge, src, dst, count});
+  return Status::OK();
+}
+
+Status MutableHin::DeleteEdge(std::string_view edge_type_name,
+                              std::string_view src_name,
+                              std::string_view dst_name) {
+  NETOUT_ASSIGN_OR_RETURN(EdgeTypeId edge,
+                          root_->schema().FindEdgeType(edge_type_name));
+  const EdgeTypeInfo& info = root_->schema().edge_type(edge);
+  MutexLock lock(mu_);
+  NETOUT_ASSIGN_OR_RETURN(LocalId src,
+                          ResolveEndpointLocked(info.src, src_name, false));
+  NETOUT_ASSIGN_OR_RETURN(LocalId dst,
+                          ResolveEndpointLocked(info.dst, dst_name, false));
+  // The link must exist in the committed-plus-staged view.
+  bool present = false;
+  const std::span<const CsrEntry> row =
+      snapshot_->StepRow(EdgeStep{edge, Direction::kForward}, src);
+  auto it = std::lower_bound(
+      row.begin(), row.end(), dst,
+      [](const CsrEntry& e, LocalId n) { return e.neighbor < n; });
+  if (it != row.end() && it->neighbor == dst) present = true;
+  for (const StagedEdgeOp& op : staged_edges_) {
+    if (op.edge_type == edge && op.src == src && op.dst == dst) {
+      present = !op.is_delete;
+    }
+  }
+  if (!present) {
+    return Status::NotFound("no '" + std::string(edge_type_name) +
+                            "' link from '" + std::string(src_name) +
+                            "' to '" + std::string(dst_name) + "'");
+  }
+  staged_edges_.push_back(StagedEdgeOp{true, edge, src, dst, 0});
+  return Status::OK();
+}
+
+Status MutableHin::DeleteVertex(std::string_view type_name,
+                                std::string_view name) {
+  NETOUT_ASSIGN_OR_RETURN(TypeId type,
+                          root_->schema().FindVertexType(type_name));
+  MutexLock lock(mu_);
+  bool dead = false;
+  auto local = ResolveLocked(type, name, &dead);
+  if (!local.has_value() || dead) {
+    return Status::NotFound("no vertex named '" + std::string(name) +
+                            "' of type '" +
+                            root_->schema().VertexTypeName(type) + "'");
+  }
+  const VertexRef ref{type, *local};
+  staged_dead_.insert(ref);
+  staged_tombstones_.push_back(ref);
+  return Status::OK();
+}
+
+Result<CommitResult> MutableHin::Commit() {
+  MutexLock lock(mu_);
+  const Schema& schema = root_->schema();
+  const std::size_t num_types = schema.num_vertex_types();
+  const std::size_t num_edges = schema.num_edge_types();
+
+  MutationSummary summary;
+  summary.epoch = epoch_;
+  summary.touched_forward.resize(num_edges);
+  summary.touched_reverse.resize(num_edges);
+
+  const bool nothing_staged =
+      staged_edges_.empty() && staged_tombstones_.empty() &&
+      std::all_of(staged_names_.begin(), staged_names_.end(),
+                  [](const auto& names) { return names.empty(); });
+  if (nothing_staged) {
+    return CommitResult{HinSnapshot{snapshot_, epoch_}, std::move(summary)};
+  }
+
+  std::shared_ptr<GraphDelta> next(new GraphDelta());
+  if (delta_) {
+    // Copy the prior epoch's maps; the replacement rows themselves are
+    // shared_ptrs, so this shares row storage across epochs.
+    *next = *delta_;
+  } else {
+    next->added_names_.resize(num_types);
+    next->added_index_.resize(num_types);
+    next->patched_forward_.resize(num_edges);
+    next->patched_reverse_.resize(num_edges);
+    next->forward_sketch_ = root_->forward_sketch_;
+    next->reverse_sketch_ = root_->reverse_sketch_;
+  }
+  next->epoch_ = epoch_ + 1;
+  summary.epoch = next->epoch_;
+
+  // Reads a row as modified *so far in this commit* (staged ops apply
+  // sequentially), falling back to the root CSR.
+  const auto row_of = [&](const EdgeStep& step,
+                          LocalId row) -> std::vector<CsrEntry> {
+    const auto& maps = step.direction == Direction::kForward
+                           ? next->patched_forward_
+                           : next->patched_reverse_;
+    auto it = maps[step.edge_type].find(row);
+    if (it != maps[step.edge_type].end()) return *it->second;
+    const Csr& csr = step.direction == Direction::kForward
+                         ? root_->forward_[step.edge_type]
+                         : root_->reverse_[step.edge_type];
+    const std::span<const CsrEntry> span = csr.Row(row);
+    return std::vector<CsrEntry>(span.begin(), span.end());
+  };
+
+  // A shrink of a max-degree row invalidates max_row_entries; the exact
+  // value is recomputed in one pass per flagged (edge, direction) below.
+  std::vector<char> rescan_forward(num_edges, 0);
+  std::vector<char> rescan_reverse(num_edges, 0);
+
+  const auto set_row = [&](const EdgeStep& step, LocalId row,
+                           std::vector<CsrEntry> contents) {
+    AdjacencySketch& sketch = step.direction == Direction::kForward
+                                  ? next->forward_sketch_[step.edge_type]
+                                  : next->reverse_sketch_[step.edge_type];
+    const std::vector<CsrEntry> old = row_of(step, row);
+    sketch.entries += contents.size();
+    sketch.entries -= old.size();
+    sketch.multiplicity += RowMultiplicity(contents);
+    sketch.multiplicity -= RowMultiplicity(old);
+    if (contents.size() > sketch.max_row_entries) {
+      sketch.max_row_entries = contents.size();
+    } else if (contents.size() < old.size() &&
+               old.size() == sketch.max_row_entries) {
+      (step.direction == Direction::kForward
+           ? rescan_forward
+           : rescan_reverse)[step.edge_type] = 1;
+    }
+    auto& maps = step.direction == Direction::kForward
+                     ? next->patched_forward_
+                     : next->patched_reverse_;
+    maps[step.edge_type][row] =
+        std::make_shared<const std::vector<CsrEntry>>(std::move(contents));
+    auto& touched = step.direction == Direction::kForward
+                        ? summary.touched_forward
+                        : summary.touched_reverse;
+    touched[step.edge_type].push_back(row);
+  };
+
+  // 1. Vertex additions, in staging order per type: the absolute ids
+  // assigned here reproduce the ids AddVertexLocked promised.
+  for (std::size_t t = 0; t < num_types; ++t) {
+    const auto type = static_cast<TypeId>(t);
+    for (std::string& name : staged_names_[t]) {
+      const auto local = static_cast<LocalId>(root_->names_[t].size() +
+                                              next->added_names_[t].size());
+      next->added_index_[t].emplace(name, local);
+      next->added_names_[t].push_back(std::move(name));
+      next->vertices_added_ += 1;
+      summary.added_vertices.push_back(VertexRef{type, local});
+      for (std::size_t e = 0; e < num_edges; ++e) {
+        const EdgeTypeInfo& info = schema.edge_type(static_cast<EdgeTypeId>(e));
+        if (info.src == type) next->forward_sketch_[e].rows += 1;
+        if (info.dst == type) next->reverse_sketch_[e].rows += 1;
+      }
+    }
+  }
+
+  // 2. Edge insertions/removals, in staging order. Both stored
+  // directions are patched so every StepRow stays exact.
+  for (const StagedEdgeOp& op : staged_edges_) {
+    const EdgeStep fwd{op.edge_type, Direction::kForward};
+    const EdgeStep rev{op.edge_type, Direction::kReverse};
+    std::vector<CsrEntry> src_row = row_of(fwd, op.src);
+    std::vector<CsrEntry> dst_row = row_of(rev, op.dst);
+    if (op.is_delete) {
+      const std::uint32_t removed = RemoveEntry(&src_row, op.dst);
+      RemoveEntry(&dst_row, op.src);
+      next->edges_deleted_ += removed;
+      summary.edges_deleted += removed;
+    } else {
+      InsertEntry(&src_row, op.dst, op.count);
+      InsertEntry(&dst_row, op.src, op.count);
+      next->edges_added_ += op.count;
+      summary.edges_added += op.count;
+    }
+    set_row(fwd, op.src, std::move(src_row));
+    set_row(rev, op.dst, std::move(dst_row));
+  }
+
+  // 3. Tombstones, last: clear the vertex's own rows and excise it from
+  // every incident neighbor's opposite-direction row. Each underlying
+  // edge is counted once (its surviving occurrence at excision time).
+  for (const VertexRef v : staged_tombstones_) {
+    if (next->dead_.count(v) > 0) continue;
+    for (std::size_t e = 0; e < num_edges; ++e) {
+      const auto edge = static_cast<EdgeTypeId>(e);
+      const EdgeTypeInfo& info = schema.edge_type(edge);
+      const EdgeStep fwd{edge, Direction::kForward};
+      const EdgeStep rev{edge, Direction::kReverse};
+      if (info.src == v.type) {
+        const std::vector<CsrEntry> row = row_of(fwd, v.local);
+        for (const CsrEntry& entry : row) {
+          std::vector<CsrEntry> neighbor_row = row_of(rev, entry.neighbor);
+          RemoveEntry(&neighbor_row, v.local);
+          set_row(rev, entry.neighbor, std::move(neighbor_row));
+          next->edges_deleted_ += entry.count;
+          summary.edges_deleted += entry.count;
+        }
+        if (!row.empty()) set_row(fwd, v.local, {});
+      }
+      if (info.dst == v.type) {
+        const std::vector<CsrEntry> row = row_of(rev, v.local);
+        for (const CsrEntry& entry : row) {
+          std::vector<CsrEntry> neighbor_row = row_of(fwd, entry.neighbor);
+          RemoveEntry(&neighbor_row, v.local);
+          set_row(fwd, entry.neighbor, std::move(neighbor_row));
+          next->edges_deleted_ += entry.count;
+          summary.edges_deleted += entry.count;
+        }
+        if (!row.empty()) set_row(rev, v.local, {});
+      }
+    }
+    next->dead_.insert(v);
+    summary.vertices_deleted += 1;
+  }
+
+  // 4. Exact max_row_entries for any (edge, direction) whose maximum
+  // may have shrunk: one degree pass over patched + root rows.
+  for (std::size_t e = 0; e < num_edges; ++e) {
+    for (const Direction dir : {Direction::kForward, Direction::kReverse}) {
+      const bool flagged = dir == Direction::kForward ? rescan_forward[e] != 0
+                                                      : rescan_reverse[e] != 0;
+      if (!flagged) continue;
+      AdjacencySketch& sketch = dir == Direction::kForward
+                                    ? next->forward_sketch_[e]
+                                    : next->reverse_sketch_[e];
+      const auto& patched = dir == Direction::kForward
+                                ? next->patched_forward_[e]
+                                : next->patched_reverse_[e];
+      const Csr& csr = dir == Direction::kForward ? root_->forward_[e]
+                                                  : root_->reverse_[e];
+      std::uint64_t max_entries = 0;
+      for (LocalId row = 0; row < sketch.rows; ++row) {
+        auto it = patched.find(row);
+        const std::size_t degree =
+            it != patched.end() ? it->second->size() : csr.RowDegree(row);
+        max_entries = std::max<std::uint64_t>(max_entries, degree);
+      }
+      sketch.max_row_entries = max_entries;
+    }
+  }
+
+  for (auto* touched : {&summary.touched_forward, &summary.touched_reverse}) {
+    for (std::vector<LocalId>& rows : *touched) {
+      std::sort(rows.begin(), rows.end());
+      rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+    }
+  }
+
+  std::shared_ptr<Hin> published(new Hin());
+  published->base_ = root_;
+  published->overlay_ = next;
+  snapshot_ = published;
+  epoch_ = next->epoch_;
+  delta_ = next;
+
+  for (auto& names : staged_names_) names.clear();
+  for (auto& index : staged_index_) index.clear();
+  staged_dead_.clear();
+  staged_tombstones_.clear();
+  staged_edges_.clear();
+
+  return CommitResult{HinSnapshot{snapshot_, epoch_}, std::move(summary)};
+}
+
+Result<HinPtr> FlattenHin(const HinPtr& hin) {
+  if (hin == nullptr) return Status::InvalidArgument("null graph");
+  if (!hin->has_overlay()) return hin;
+  const Schema& schema = hin->schema();
+  std::shared_ptr<Hin> flat(new Hin());
+  flat->schema_ = schema;
+  const std::size_t num_types = schema.num_vertex_types();
+  flat->names_.resize(num_types);
+  flat->name_index_.resize(num_types);
+  for (std::size_t t = 0; t < num_types; ++t) {
+    const auto type = static_cast<TypeId>(t);
+    const std::size_t count = hin->NumVertices(type);
+    flat->names_[t].reserve(count);
+    for (LocalId v = 0; v < count; ++v) {
+      // Tombstoned vertices flatten to plain isolated vertices (name
+      // and id slot retained), keeping every live id stable.
+      flat->names_[t].push_back(hin->VertexName(VertexRef{type, v}));
+      flat->name_index_[t].emplace(flat->names_[t].back(), v);
+    }
+  }
+  const std::size_t num_edges = schema.num_edge_types();
+  flat->forward_.reserve(num_edges);
+  flat->reverse_.reserve(num_edges);
+  for (std::size_t e = 0; e < num_edges; ++e) {
+    const auto edge = static_cast<EdgeTypeId>(e);
+    for (const Direction dir : {Direction::kForward, Direction::kReverse}) {
+      const EdgeStep step{edge, dir};
+      const std::size_t rows = hin->NumVertices(schema.StepSource(step));
+      std::vector<std::uint64_t> offsets(1, 0);
+      std::vector<CsrEntry> entries;
+      for (LocalId row = 0; row < rows; ++row) {
+        const std::span<const CsrEntry> span = hin->StepRow(step, row);
+        entries.insert(entries.end(), span.begin(), span.end());
+        offsets.push_back(entries.size());
+      }
+      Csr csr = Csr::FromRaw(std::move(offsets), std::move(entries));
+      (dir == Direction::kForward ? flat->forward_ : flat->reverse_)
+          .push_back(std::move(csr));
+    }
+  }
+  flat->ComputeSketches();
+  return HinPtr(flat);
+}
+
+}  // namespace netout

@@ -1,0 +1,269 @@
+#ifndef NETOUT_GRAPH_DELTA_H_
+#define NETOUT_GRAPH_DELTA_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/result.h"
+#include "common/sync.h"
+#include "graph/hin.h"
+
+namespace netout {
+
+/// The mutation layer (DESIGN.md §14): the HIN stays "immutable base +
+/// epoch-versioned delta overlay". A root Hin never changes after build;
+/// every committed mutation batch publishes a *new* immutable overlay
+/// Hin (base pointer + GraphDelta) at epoch N+1. Queries pin one
+/// snapshot (HinPtr) for their lifetime, so a concurrent commit can
+/// never change answers mid-query — old snapshots stay fully readable
+/// until their last reader drops them.
+///
+/// The defining exactness property: every patched adjacency row in a
+/// GraphDelta is stored fully merged, coalesced and sorted — exactly
+/// the row `Csr::FromEdges` would produce for the mutated edge multiset
+/// — so traversals (and the incrementally maintained PM/SPM indexes
+/// built from them) are *bitwise* identical to a from-scratch rebuild
+/// at the same epoch. See tests/integration/incremental_equivalence.
+
+/// One immutable delta overlay: everything epoch N changed relative to
+/// the root graph. Patched rows are complete replacement rows (not
+/// diffs) shared across epochs via shared_ptr, so publishing epoch N+1
+/// copies row *pointers*, not row storage.
+class GraphDelta {
+ public:
+  using RowPtr = std::shared_ptr<const std::vector<CsrEntry>>;
+
+  std::uint64_t epoch() const { return epoch_; }
+
+  /// Vertices added on top of the root, per type. Added vertices keep
+  /// absolute LocalIds (root count + position), so one id space spans
+  /// base and overlay.
+  std::size_t NumAddedVertices(TypeId type) const {
+    return type < added_names_.size() ? added_names_[type].size() : 0;
+  }
+  /// Name of the added vertex with *absolute* local id `local`
+  /// (callers check local >= root count first).
+  const std::string& AddedName(TypeId type, LocalId local,
+                               LocalId root_count) const {
+    return added_names_[type][local - root_count];
+  }
+  /// Absolute local id of an added vertex by name, if present.
+  std::optional<LocalId> FindAdded(TypeId type, std::string_view name) const;
+
+  /// True when `v` was tombstoned. Dead vertices keep their LocalId
+  /// slot and name (numbering must stay stable for every live vertex)
+  /// but lose all incident edges and fail FindVertex.
+  bool IsDead(VertexRef v) const {
+    return !dead_.empty() && dead_.count(v) > 0;
+  }
+  std::size_t NumDead() const { return dead_.size(); }
+
+  /// The replacement row for (step, row), or null when the row is
+  /// untouched (read the root CSR instead).
+  const std::vector<CsrEntry>* PatchedRow(const EdgeStep& step,
+                                          LocalId row) const;
+
+  /// Complete degree-sum sketch of the overlaid adjacency — equal to
+  /// what Hin::ComputeSketches would produce on a flattened rebuild.
+  const AdjacencySketch& Sketch(const EdgeStep& step) const {
+    return step.direction == Direction::kForward
+               ? forward_sketch_[step.edge_type]
+               : reverse_sketch_[step.edge_type];
+  }
+
+  /// Total links counting multiplicity across the whole overlaid graph.
+  std::uint64_t TotalEdges() const;
+
+  /// Lifetime counters since the root (over all epochs up to this one).
+  std::uint64_t vertices_added() const { return vertices_added_; }
+  std::uint64_t vertices_deleted() const { return dead_.size(); }
+  std::uint64_t edges_added() const { return edges_added_; }
+  std::uint64_t edges_deleted() const { return edges_deleted_; }
+  std::uint64_t rows_patched() const;
+
+  /// Approximate heap footprint of the overlay itself (the shared root
+  /// is accounted separately).
+  std::size_t MemoryBytes() const;
+
+ private:
+  friend class MutableHin;
+
+  GraphDelta() = default;
+
+  std::uint64_t epoch_ = 0;
+  // added_names_[type][i] is the name of absolute local id
+  // root_count + i; added_index_[type] maps name -> absolute local id.
+  std::vector<std::vector<std::string>> added_names_;
+  std::vector<std::unordered_map<std::string, LocalId>> added_index_;
+  std::unordered_set<VertexRef, VertexRefHash> dead_;
+  // patched_[direction][edge_type]: row -> replacement row.
+  std::vector<std::unordered_map<LocalId, RowPtr>> patched_forward_;
+  std::vector<std::unordered_map<LocalId, RowPtr>> patched_reverse_;
+  std::vector<AdjacencySketch> forward_sketch_;
+  std::vector<AdjacencySketch> reverse_sketch_;
+  std::uint64_t vertices_added_ = 0;
+  std::uint64_t edges_added_ = 0;
+  std::uint64_t edges_deleted_ = 0;
+};
+
+/// A pinned snapshot handle: the overlay (or root) Hin plus its epoch.
+/// `hin` is the only thing a query needs to thread through the read
+/// path — the Hin itself carries base pointer and delta — but carrying
+/// the epoch explicitly keeps index-maintenance call sites honest about
+/// *which* epoch they are patching toward.
+struct HinSnapshot {
+  HinPtr hin;
+  std::uint64_t epoch = 0;
+};
+
+/// What one Commit() changed: the inputs to index delta maintenance and
+/// keyed cache invalidation. Touched row lists are sorted and unique.
+struct MutationSummary {
+  std::uint64_t epoch = 0;
+  /// touched_forward[e] / touched_reverse[e]: rows of edge type `e`'s
+  /// forward / reverse adjacency whose contents this commit changed
+  /// (including rows emptied by a tombstone).
+  std::vector<std::vector<LocalId>> touched_forward;
+  std::vector<std::vector<LocalId>> touched_reverse;
+  /// Vertices this commit added (absolute ids).
+  std::vector<VertexRef> added_vertices;
+  std::size_t edges_added = 0;
+  std::size_t edges_deleted = 0;
+  std::size_t vertices_deleted = 0;
+
+  const std::vector<LocalId>& Touched(const EdgeStep& step) const {
+    return step.direction == Direction::kForward
+               ? touched_forward[step.edge_type]
+               : touched_reverse[step.edge_type];
+  }
+
+  bool empty() const {
+    return added_vertices.empty() && edges_added == 0 && edges_deleted == 0 &&
+           vertices_deleted == 0;
+  }
+};
+
+struct CommitResult {
+  HinSnapshot snapshot;
+  MutationSummary summary;
+};
+
+/// The thread-safe mutation manager over one root graph: stage
+/// AddVertex / AddEdge / DeleteEdge / DeleteVertex calls, then Commit()
+/// to publish them all as one new epoch. Staging validates eagerly (a
+/// bad op is rejected and never staged; the batch's other ops are
+/// unaffected). Snapshot() hands out the latest published epoch;
+/// published snapshots are immutable forever.
+///
+/// Concurrency: staging/commit/snapshot are serialized on one
+/// capability-annotated mutex. Commit only builds *new* immutable state
+/// — it never writes into a published Hin or GraphDelta — so readers of
+/// any snapshot need no lock at all. Index maintenance (PmIndex /
+/// SpmIndex ApplyDelta) is NOT handled here and is only safe with no
+/// concurrent index readers; the server serializes it through the
+/// dispatcher between query batches.
+class MutableHin {
+ public:
+  /// `root` must be a root graph (no overlay). Aborts otherwise.
+  explicit MutableHin(HinPtr root);
+
+  MutableHin(const MutableHin&) = delete;
+  MutableHin& operator=(const MutableHin&) = delete;
+
+  /// Latest published snapshot (epoch 0 = the root itself).
+  HinSnapshot Snapshot() const NETOUT_EXCLUDES(mu_);
+
+  /// Stages a new vertex; visible to queries only after Commit().
+  /// Idempotent per (type, name) against already-committed and staged
+  /// state — re-adding a live vertex returns its existing ref. Re-using
+  /// a tombstoned vertex's name is an error (its id slot is retired).
+  Result<VertexRef> AddVertex(std::string_view type_name,
+                              std::string_view name) NETOUT_EXCLUDES(mu_);
+
+  /// Stages `count` parallel links src -> dst of the named edge type.
+  /// Endpoints are resolved by name against committed + staged state;
+  /// with `create_vertices` they are auto-added when absent (the
+  /// streaming-ingest convenience the server's add_edge verb uses).
+  Status AddEdge(std::string_view edge_type_name, std::string_view src_name,
+                 std::string_view dst_name, std::uint32_t count = 1,
+                 bool create_vertices = false) NETOUT_EXCLUDES(mu_);
+
+  /// Stages the removal of *all* parallel links src -> dst of the named
+  /// edge type. kNotFound when no such link exists.
+  Status DeleteEdge(std::string_view edge_type_name,
+                    std::string_view src_name,
+                    std::string_view dst_name) NETOUT_EXCLUDES(mu_);
+
+  /// Stages a vertex tombstone: all incident edges are removed and the
+  /// vertex stops resolving via FindVertex. Its LocalId slot (and name)
+  /// is retired, keeping every other vertex's numbering stable.
+  Status DeleteVertex(std::string_view type_name,
+                      std::string_view name) NETOUT_EXCLUDES(mu_);
+
+  /// Publishes every staged mutation as one new epoch and returns the
+  /// new snapshot plus the change summary. With nothing staged, returns
+  /// the current snapshot and an empty summary (epoch unchanged).
+  Result<CommitResult> Commit() NETOUT_EXCLUDES(mu_);
+
+  /// Number of staged-but-uncommitted operations.
+  std::size_t PendingOps() const NETOUT_EXCLUDES(mu_);
+
+ private:
+  struct StagedEdgeOp {
+    bool is_delete = false;
+    EdgeTypeId edge_type = kInvalidEdgeTypeId;
+    LocalId src = kInvalidLocalId;
+    LocalId dst = kInvalidLocalId;
+    std::uint32_t count = 0;
+  };
+
+  /// Resolves (type, name) against committed + staged state. Returns
+  /// nullopt when absent; `dead` is set when the vertex is tombstoned
+  /// (committed or staged).
+  std::optional<LocalId> ResolveLocked(TypeId type, std::string_view name,
+                                       bool* dead) const
+      NETOUT_REQUIRES(mu_);
+  /// Resolves a live edge endpoint, optionally auto-creating it.
+  /// Errors: kFailedPrecondition for tombstoned vertices, kNotFound for
+  /// absent ones when `create` is false.
+  Result<LocalId> ResolveEndpointLocked(TypeId type, std::string_view name,
+                                        bool create) NETOUT_REQUIRES(mu_);
+  Result<VertexRef> AddVertexLocked(TypeId type, std::string_view name)
+      NETOUT_REQUIRES(mu_);
+  std::size_t NumVerticesLocked(TypeId type) const NETOUT_REQUIRES(mu_);
+
+  /// Current (pre-commit) contents of a row: staged-aware readers are
+  /// NOT provided — staging only records ops; Commit() folds them onto
+  /// the latest published snapshot.
+  mutable Mutex mu_;
+  HinPtr root_;
+  HinPtr snapshot_ NETOUT_GUARDED_BY(mu_);  // latest published epoch
+  std::uint64_t epoch_ NETOUT_GUARDED_BY(mu_) = 0;
+  std::shared_ptr<const GraphDelta> delta_ NETOUT_GUARDED_BY(mu_);
+
+  // Staged, uncommitted state.
+  std::vector<std::vector<std::string>> staged_names_ NETOUT_GUARDED_BY(mu_);
+  std::vector<std::unordered_map<std::string, LocalId>> staged_index_
+      NETOUT_GUARDED_BY(mu_);
+  std::unordered_set<VertexRef, VertexRefHash> staged_dead_
+      NETOUT_GUARDED_BY(mu_);
+  std::vector<VertexRef> staged_tombstones_ NETOUT_GUARDED_BY(mu_);
+  std::vector<StagedEdgeOp> staged_edges_ NETOUT_GUARDED_BY(mu_);
+};
+
+/// Materializes an overlay Hin into a fresh root Hin (same schema, same
+/// vertex numbering including retired tombstone slots, patched rows
+/// folded into plain CSR arrays). Used to persist a mutated graph with
+/// SaveHinBinary and as delta compaction when an overlay grows large.
+/// A root input is returned unchanged.
+Result<HinPtr> FlattenHin(const HinPtr& hin);
+
+}  // namespace netout
+
+#endif  // NETOUT_GRAPH_DELTA_H_

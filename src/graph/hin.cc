@@ -3,23 +3,34 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "graph/delta.h"
 
 namespace netout {
 
+std::uint64_t Hin::epoch() const {
+  return overlay_ ? overlay_->epoch() : 0;
+}
+
 std::size_t Hin::NumVertices(TypeId type) const {
-  NETOUT_CHECK(type < names_.size()) << "vertex type out of range";
-  return names_[type].size();
+  const Hin& root = base_ ? *base_ : *this;
+  NETOUT_CHECK(type < root.names_.size()) << "vertex type out of range";
+  std::size_t count = root.names_[type].size();
+  if (overlay_) count += overlay_->NumAddedVertices(type);
+  return count;
 }
 
 std::size_t Hin::TotalVertices() const {
+  const Hin& root = base_ ? *base_ : *this;
   std::size_t total = 0;
-  for (const auto& per_type : names_) {
-    total += per_type.size();
+  for (std::size_t t = 0; t < root.names_.size(); ++t) {
+    total += root.names_[t].size();
+    if (overlay_) total += overlay_->NumAddedVertices(static_cast<TypeId>(t));
   }
   return total;
 }
 
 std::uint64_t Hin::TotalEdges() const {
+  if (overlay_) return overlay_->TotalEdges();
   std::uint64_t total = 0;
   for (const Csr& csr : forward_) {
     total += csr.TotalEdgeCount();
@@ -28,37 +39,78 @@ std::uint64_t Hin::TotalEdges() const {
 }
 
 const std::string& Hin::VertexName(VertexRef v) const {
-  NETOUT_CHECK(v.type < names_.size()) << "vertex type out of range";
-  NETOUT_CHECK(v.local < names_[v.type].size()) << "vertex id out of range";
-  return names_[v.type][v.local];
+  const Hin& root = base_ ? *base_ : *this;
+  NETOUT_CHECK(v.type < root.names_.size()) << "vertex type out of range";
+  const auto root_count = static_cast<LocalId>(root.names_[v.type].size());
+  if (v.local < root_count) {
+    // Tombstoned vertices keep their name: numbering (and naming) of
+    // retired slots stays stable for diagnostics and persistence.
+    return root.names_[v.type][v.local];
+  }
+  NETOUT_CHECK(overlay_ != nullptr &&
+               v.local < root_count + overlay_->NumAddedVertices(v.type))
+      << "vertex id out of range";
+  return overlay_->AddedName(v.type, v.local, root_count);
 }
 
 Result<VertexRef> Hin::FindVertex(TypeId type, std::string_view name) const {
-  if (type >= names_.size()) {
+  const Hin& root = base_ ? *base_ : *this;
+  if (type >= root.names_.size()) {
     return Status::OutOfRange("vertex type id out of range");
   }
-  auto it = name_index_[type].find(std::string(name));
-  if (it == name_index_[type].end()) {
-    return Status::NotFound("no vertex named '" + std::string(name) +
-                            "' of type '" + schema_.VertexTypeName(type) +
-                            "'");
+  VertexRef found{};
+  auto it = root.name_index_[type].find(std::string(name));
+  if (it != root.name_index_[type].end()) {
+    found = VertexRef{type, it->second};
+  } else if (overlay_) {
+    if (auto added = overlay_->FindAdded(type, name); added.has_value()) {
+      found = VertexRef{type, *added};
+    }
   }
-  return VertexRef{type, it->second};
+  if (!found.valid() || (overlay_ && overlay_->IsDead(found))) {
+    return Status::NotFound("no vertex named '" + std::string(name) +
+                            "' of type '" +
+                            root.schema_.VertexTypeName(type) + "'");
+  }
+  return found;
 }
 
 Result<VertexRef> Hin::FindVertex(std::string_view type_name,
                                   std::string_view name) const {
-  NETOUT_ASSIGN_OR_RETURN(TypeId type, schema_.FindVertexType(type_name));
+  NETOUT_ASSIGN_OR_RETURN(TypeId type, schema().FindVertexType(type_name));
   return FindVertex(type, name);
 }
 
 const Csr& Hin::Adjacency(const EdgeStep& step) const {
+  NETOUT_CHECK(overlay_ == nullptr)
+      << "Adjacency() is base-only; overlay snapshots must read rows "
+         "through StepRow()/Neighbors()";
   NETOUT_CHECK(step.edge_type < forward_.size()) << "edge type out of range";
   return step.direction == Direction::kForward ? forward_[step.edge_type]
                                                : reverse_[step.edge_type];
 }
 
+std::span<const CsrEntry> Hin::StepRow(const EdgeStep& step,
+                                       LocalId row) const {
+  const Hin& root = base_ ? *base_ : *this;
+  NETOUT_CHECK(step.edge_type < root.forward_.size())
+      << "edge type out of range";
+  if (overlay_) {
+    if (const std::vector<CsrEntry>* patched =
+            overlay_->PatchedRow(step, row)) {
+      return std::span<const CsrEntry>(patched->data(), patched->size());
+    }
+  }
+  const Csr& csr = step.direction == Direction::kForward
+                       ? root.forward_[step.edge_type]
+                       : root.reverse_[step.edge_type];
+  // Csr::Row returns {} for out-of-range rows, which covers overlay-
+  // added vertices whose rows were never patched.
+  return csr.Row(row);
+}
+
 const AdjacencySketch& Hin::StepSketch(const EdgeStep& step) const {
+  if (overlay_) return overlay_->Sketch(step);
   NETOUT_CHECK(step.edge_type < forward_sketch_.size())
       << "edge type out of range";
   return step.direction == Direction::kForward
@@ -88,13 +140,16 @@ void Hin::ComputeSketches() {
 
 std::span<const CsrEntry> Hin::Neighbors(VertexRef v,
                                          const EdgeStep& step) const {
-  const Csr& csr = Adjacency(step);
-  NETOUT_CHECK(schema_.StepSource(step) == v.type)
+  NETOUT_CHECK(schema().StepSource(step) == v.type)
       << "vertex type does not match the step's source type";
-  return csr.Row(v.local);
+  return StepRow(step, v.local);
 }
 
 std::size_t Hin::MemoryBytes() const {
+  if (overlay_) {
+    // Overlay snapshot: the shared root plus the delta's own storage.
+    return base_->MemoryBytes() + overlay_->MemoryBytes();
+  }
   std::size_t bytes = 0;
   for (std::size_t t = 0; t < names_.size(); ++t) {
     for (const std::string& name : names_[t]) {
@@ -105,6 +160,8 @@ std::size_t Hin::MemoryBytes() const {
   }
   for (const Csr& csr : forward_) bytes += csr.MemoryBytes();
   for (const Csr& csr : reverse_) bytes += csr.MemoryBytes();
+  bytes += (forward_sketch_.capacity() + reverse_sketch_.capacity()) *
+           sizeof(AdjacencySketch);
   return bytes;
 }
 

@@ -14,6 +14,8 @@
 
 namespace netout {
 
+class GraphDelta;
+
 /// Degree-sum sketch of one stored adjacency direction, computed once at
 /// graph build (and persisted in the binary snapshot) so the query
 /// planner can estimate per-hop expansion cardinalities without touching
@@ -48,9 +50,29 @@ struct AdjacencySketch {
 ///
 /// Instances are produced by GraphBuilder (builder.h) or LoadHin* (io.h)
 /// and are immutable afterwards: concurrent queries need no locking.
+///
+/// Mutation model (delta.h, DESIGN.md §14): a built Hin is a *root*
+/// (epoch 0). MutableHin::Commit publishes overlay Hins — a shared base
+/// pointer plus an immutable GraphDelta — at increasing epochs. Overlay
+/// instances answer every accessor below through the combined view
+/// (added vertices, tombstones, patched adjacency rows); they are just
+/// as immutable as roots, so a HinPtr is a consistent snapshot either
+/// way and queries pin one for their whole lifetime.
 class Hin {
  public:
-  const Schema& schema() const { return schema_; }
+  const Schema& schema() const {
+    return base_ ? base_->schema_ : schema_;
+  }
+
+  /// Snapshot epoch: 0 for a root graph, the overlay's delta epoch
+  /// otherwise. Strictly increases across commits of one MutableHin.
+  std::uint64_t epoch() const;
+
+  /// True when this is an overlay snapshot (base + delta).
+  bool has_overlay() const { return overlay_ != nullptr; }
+
+  /// The delta overlay, or null for a root graph.
+  const GraphDelta* overlay() const { return overlay_.get(); }
 
   /// Number of vertices of `type`.
   std::size_t NumVertices(TypeId type) const;
@@ -71,10 +93,20 @@ class Hin {
   Result<VertexRef> FindVertex(std::string_view type_name,
                                std::string_view name) const;
 
-  /// Adjacency rows for one resolved meta-path hop.
+  /// Adjacency rows for one resolved meta-path hop. Base-only: aborts
+  /// on overlay snapshots, whose rows may be patched row-by-row — use
+  /// StepRow (or Neighbors), which every traversal-path caller does.
   const Csr& Adjacency(const EdgeStep& step) const;
 
-  /// Degree-sum sketch of the adjacency `step` resolves to.
+  /// One adjacency row of the step, overlay-aware: a patched row when
+  /// the delta touched it, the base CSR row otherwise. Sorted ascending
+  /// by neighbor id, duplicates coalesced — bitwise what Csr::FromEdges
+  /// would produce for the mutated edge multiset. Empty when `row` is
+  /// out of range (e.g. an added vertex with no edges yet).
+  std::span<const CsrEntry> StepRow(const EdgeStep& step, LocalId row) const;
+
+  /// Degree-sum sketch of the adjacency `step` resolves to (overlay-
+  /// aware: reflects patched rows and added vertices exactly).
   const AdjacencySketch& StepSketch(const EdgeStep& step) const;
 
   /// Neighbors of `v` along `step` (empty if v is out of range).
@@ -86,14 +118,24 @@ class Hin {
 
  private:
   friend class GraphBuilder;
+  friend class MutableHin;
   friend Result<std::shared_ptr<const Hin>> LoadHinBinary(
       std::string_view path);
+  friend Result<std::shared_ptr<const Hin>> FlattenHin(
+      const std::shared_ptr<const Hin>& hin);
 
   Hin() = default;
 
   /// Rebuilds forward_sketch_ / reverse_sketch_ from the CSR arrays
   /// (graph build, and snapshot versions predating sketch persistence).
   void ComputeSketches();
+
+  /// The root this overlay sits on (always a root — overlays are
+  /// flattened to depth 1 over it), or null for root graphs. The stored
+  /// arrays below are populated only for roots; overlay instances
+  /// delegate to `base_` + `overlay_`.
+  std::shared_ptr<const Hin> base_;
+  std::shared_ptr<const GraphDelta> overlay_;
 
   Schema schema_;
   // names_[type][local] is the vertex name; name_index_[type] maps

@@ -107,9 +107,10 @@ Status SaveHinText(const Hin& hin, std::string_view path) {
   }
   for (EdgeTypeId e = 0; e < schema.num_edge_types(); ++e) {
     const EdgeTypeInfo& info = schema.edge_type(e);
-    const Csr& csr = hin.Adjacency(EdgeStep{e, Direction::kForward});
-    for (LocalId src = 0; src < csr.num_rows(); ++src) {
-      for (const CsrEntry& entry : csr.Row(src)) {
+    const EdgeStep step{e, Direction::kForward};
+    const std::size_t rows = hin.NumVertices(info.src);
+    for (LocalId src = 0; src < rows; ++src) {
+      for (const CsrEntry& entry : hin.StepRow(step, src)) {
         const std::string& src_name = hin.VertexName(VertexRef{info.src, src});
         const std::string& dst_name =
             hin.VertexName(VertexRef{info.dst, entry.neighbor});
@@ -152,11 +153,35 @@ Status SaveHinBinary(const Hin& hin, std::string_view path) {
     }
   }
   for (EdgeTypeId e = 0; e < schema.num_edge_types(); ++e) {
-    const Csr& csr = hin.Adjacency(EdgeStep{e, Direction::kForward});
-    AppendU64(&payload, csr.num_rows());
-    AppendU64(&payload, csr.num_entries());
-    for (std::uint64_t offset : csr.offsets()) AppendU64(&payload, offset);
-    for (const CsrEntry& entry : csr.entries()) {
+    const EdgeStep step{e, Direction::kForward};
+    if (!hin.has_overlay()) {
+      // Root graphs stream the CSR arrays directly, copy-free.
+      const Csr& csr = hin.Adjacency(step);
+      AppendU64(&payload, csr.num_rows());
+      AppendU64(&payload, csr.num_entries());
+      for (std::uint64_t offset : csr.offsets()) AppendU64(&payload, offset);
+      for (const CsrEntry& entry : csr.entries()) {
+        AppendU32(&payload, entry.neighbor);
+        AppendU32(&payload, entry.count);
+      }
+      continue;
+    }
+    // Overlay snapshots: fold patched rows into contiguous arrays. The
+    // result is byte-identical to saving the flattened rebuild.
+    const EdgeTypeInfo& info = schema.edge_type(e);
+    const std::size_t rows = hin.NumVertices(info.src);
+    std::vector<std::uint64_t> offsets(1, 0);
+    std::vector<CsrEntry> flat;
+    offsets.reserve(rows + 1);
+    for (LocalId src = 0; src < rows; ++src) {
+      const std::span<const CsrEntry> row = hin.StepRow(step, src);
+      flat.insert(flat.end(), row.begin(), row.end());
+      offsets.push_back(flat.size());
+    }
+    AppendU64(&payload, rows);
+    AppendU64(&payload, flat.size());
+    for (std::uint64_t offset : offsets) AppendU64(&payload, offset);
+    for (const CsrEntry& entry : flat) {
       AppendU32(&payload, entry.neighbor);
       AppendU32(&payload, entry.count);
     }

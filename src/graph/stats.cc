@@ -17,14 +17,18 @@ GraphStats ComputeGraphStats(const Hin& hin) {
   }
   for (EdgeTypeId e = 0; e < schema.num_edge_types(); ++e) {
     const EdgeTypeInfo& info = schema.edge_type(e);
-    const Csr& csr = hin.Adjacency(EdgeStep{e, Direction::kForward});
+    const EdgeStep step{e, Direction::kForward};
+    const AdjacencySketch& sketch = hin.StepSketch(step);
     DegreeStats d;
     d.label = info.name + " (" + schema.VertexTypeName(info.src) + "->" +
               schema.VertexTypeName(info.dst) + ")";
-    d.rows = csr.num_rows();
-    d.edges = csr.TotalEdgeCount();
-    for (LocalId row = 0; row < csr.num_rows(); ++row) {
-      const std::uint64_t degree = csr.RowEdgeCount(row);
+    d.rows = sketch.rows;
+    d.edges = sketch.multiplicity;
+    for (LocalId row = 0; row < d.rows; ++row) {
+      std::uint64_t degree = 0;
+      for (const CsrEntry& entry : hin.StepRow(step, row)) {
+        degree += entry.count;
+      }
       if (degree == 0) ++d.isolated;
       d.max_degree = std::max(d.max_degree, degree);
     }
@@ -32,7 +36,7 @@ GraphStats ComputeGraphStats(const Hin& hin) {
         d.rows == 0 ? 0.0
                     : static_cast<double>(d.edges) / static_cast<double>(d.rows);
     stats.degree_stats.push_back(std::move(d));
-    stats.total_edges += csr.TotalEdgeCount();
+    stats.total_edges += sketch.multiplicity;
   }
   stats.memory_bytes = hin.MemoryBytes();
   return stats;

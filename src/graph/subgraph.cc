@@ -47,14 +47,15 @@ Result<HinPtr> InducedSubgraph(const Hin& hin,
   // Links with both endpoints selected, multiplicity preserved.
   for (EdgeTypeId e = 0; e < schema.num_edge_types(); ++e) {
     const EdgeTypeInfo& info = schema.edge_type(e);
-    const Csr& csr = hin.Adjacency(EdgeStep{e, Direction::kForward});
-    for (LocalId src = 0; src < csr.num_rows(); ++src) {
+    const EdgeStep step{e, Direction::kForward};
+    const std::size_t rows = hin.NumVertices(info.src);
+    for (LocalId src = 0; src < rows; ++src) {
       if (!selected[info.src][src]) continue;
       NETOUT_ASSIGN_OR_RETURN(
           VertexRef new_src,
           builder.AddVertex(info.src,
                             hin.VertexName(VertexRef{info.src, src})));
-      for (const CsrEntry& entry : csr.Row(src)) {
+      for (const CsrEntry& entry : hin.StepRow(step, src)) {
         if (!selected[info.dst][entry.neighbor]) continue;
         NETOUT_ASSIGN_OR_RETURN(
             VertexRef new_dst,

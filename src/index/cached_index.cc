@@ -27,7 +27,7 @@ CachedIndex::CachedIndex(const MetaPathIndex* base, const Options& options)
   }
 }
 
-CachedIndex::Shard& CachedIndex::ShardFor(const CacheKey& key) const {
+std::size_t CachedIndex::ShardIndexFor(const CacheKey& key) const {
   // Re-mix the map hash so shard choice and in-shard bucket choice do
   // not correlate (a plain modulo of the same hash would leave every
   // shard's map hitting the same few buckets).
@@ -35,20 +35,24 @@ CachedIndex::Shard& CachedIndex::ShardFor(const CacheKey& key) const {
   h ^= h >> 29;
   h *= 0x9e3779b97f4a7c15ULL;
   h ^= h >> 32;
-  return shards_[h % shards_.size()];
+  return h % shards_.size();
 }
 
-std::optional<IndexHit> CachedIndex::Lookup(const TwoStepKey& key,
-                                            LocalId row) const {
-  if (base_ != nullptr) {
-    std::optional<IndexHit> hit = base_->Lookup(key, row);
-    if (hit.has_value()) return hit;
-  }
-  const CacheKey cache_key{key, row};
+CachedIndex::Shard& CachedIndex::ShardFor(const CacheKey& key) const {
+  return shards_[ShardIndexFor(key)];
+}
+
+std::optional<IndexHit> CachedIndex::LookupImpl(
+    const CacheKey& cache_key, bool epoch_checked,
+    std::uint64_t reader_epoch) const {
   Shard& shard = ShardFor(cache_key);
   std::shared_ptr<const SparseVector> pin;
   {
     MutexLock lock(shard.mu);
+    if (epoch_checked && shard.epoch != reader_epoch) {
+      stale_lookups_.fetch_add(1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
     auto it = shard.entries.find(cache_key);
     if (it == shard.entries.end()) {
       misses_.fetch_add(1, std::memory_order_relaxed);
@@ -62,9 +66,27 @@ std::optional<IndexHit> CachedIndex::Lookup(const TwoStepKey& key,
   return IndexHit{view.indices, view.values, std::move(pin)};
 }
 
-void CachedIndex::Remember(const TwoStepKey& key, LocalId row,
-                           const SparseVector& vector) const {
-  const CacheKey cache_key{key, row};
+std::optional<IndexHit> CachedIndex::Lookup(const TwoStepKey& key,
+                                            LocalId row) const {
+  if (base_ != nullptr) {
+    std::optional<IndexHit> hit = base_->Lookup(key, row);
+    if (hit.has_value()) return hit;
+  }
+  return LookupImpl(CacheKey{key, row}, /*epoch_checked=*/false, 0);
+}
+
+std::optional<IndexHit> CachedIndex::LookupAt(
+    const TwoStepKey& key, LocalId row, std::uint64_t reader_epoch) const {
+  if (base_ != nullptr) {
+    std::optional<IndexHit> hit = base_->LookupAt(key, row, reader_epoch);
+    if (hit.has_value()) return hit;
+  }
+  return LookupImpl(CacheKey{key, row}, /*epoch_checked=*/true, reader_epoch);
+}
+
+void CachedIndex::RememberImpl(const CacheKey& cache_key,
+                               const SparseVector& vector, bool epoch_checked,
+                               std::uint64_t writer_epoch) const {
   Shard& shard = ShardFor(cache_key);
   const std::size_t bytes = vector.MemoryBytes() + sizeof(Entry);
   {
@@ -74,6 +96,10 @@ void CachedIndex::Remember(const TwoStepKey& key, LocalId row,
     // Folding it into the duplicate probe's critical section restores
     // the contract without adding a lock acquisition.
     MutexLock lock(shard.mu);
+    if (epoch_checked && shard.epoch != writer_epoch) {
+      stale_inserts_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
     if (bytes > shard.budget) {  // never admissible in this shard
       rejected_too_large_.fetch_add(1, std::memory_order_relaxed);
       return;
@@ -81,13 +107,18 @@ void CachedIndex::Remember(const TwoStepKey& key, LocalId row,
     if (shard.entries.count(cache_key) > 0) return;  // already cached
   }
   // Copy the payload outside the lock; re-check on insert because
-  // another thread may have remembered the same row meanwhile.
+  // another thread may have remembered the same row — or BeginEpoch may
+  // have moved the shard past the writer's snapshot — meanwhile.
   auto payload = std::make_shared<const SparseVector>(vector);
   // Evicted payloads are destroyed after the lock is released (a pinned
   // reader may even outlive this function with one of them).
   std::vector<std::shared_ptr<const SparseVector>> evicted;
   {
     MutexLock lock(shard.mu);
+    if (epoch_checked && shard.epoch != writer_epoch) {
+      stale_inserts_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
     if (shard.entries.count(cache_key) > 0) return;
     shard.lru.push_front(Entry{cache_key, std::move(payload), bytes});
     shard.entries.emplace(cache_key, shard.lru.begin());
@@ -97,6 +128,53 @@ void CachedIndex::Remember(const TwoStepKey& key, LocalId row,
     insertions_.fetch_add(1, std::memory_order_relaxed);
     EvictToBudgetLocked(shard, &evicted);
   }
+}
+
+void CachedIndex::Remember(const TwoStepKey& key, LocalId row,
+                           const SparseVector& vector) const {
+  RememberImpl(CacheKey{key, row}, vector, /*epoch_checked=*/false, 0);
+}
+
+void CachedIndex::RememberAt(const TwoStepKey& key, LocalId row,
+                             const SparseVector& vector,
+                             std::uint64_t writer_epoch) const {
+  RememberImpl(CacheKey{key, row}, vector, /*epoch_checked=*/true,
+               writer_epoch);
+}
+
+void CachedIndex::BeginEpoch(std::uint64_t new_epoch,
+                             const AffectedRows& affected) {
+  // Group the affected rows by shard first: each shard's erasures and
+  // its epoch bump must share one critical section, or a stale
+  // RememberAt racing in between would re-insert a dead row that then
+  // survives into the new epoch.
+  std::vector<std::vector<CacheKey>> by_shard(shards_.size());
+  for (const auto& [key, rows] : affected) {
+    for (const LocalId row : rows) {
+      const CacheKey cache_key{key, row};
+      by_shard[ShardIndexFor(cache_key)].push_back(cache_key);
+    }
+  }
+  // Dropped payloads are destroyed after each lock is released; pinned
+  // readers keep theirs alive beyond that.
+  std::vector<std::shared_ptr<const SparseVector>> dropped;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    Shard& shard = shards_[i];
+    MutexLock lock(shard.mu);
+    for (const CacheKey& cache_key : by_shard[i]) {
+      auto it = shard.entries.find(cache_key);
+      if (it == shard.entries.end()) continue;
+      shard.bytes -= it->second->bytes;
+      bytes_.fetch_sub(it->second->bytes, std::memory_order_relaxed);
+      num_entries_.fetch_sub(1, std::memory_order_relaxed);
+      invalidated_.fetch_add(1, std::memory_order_relaxed);
+      dropped.push_back(std::move(it->second->payload));
+      shard.lru.erase(it->second);
+      shard.entries.erase(it);
+    }
+    shard.epoch = new_epoch;
+  }
+  epoch_.store(new_epoch, std::memory_order_relaxed);
 }
 
 void CachedIndex::EvictToBudgetLocked(
@@ -122,6 +200,9 @@ CachedIndex::Stats CachedIndex::stats() const {
   out.evictions = evictions_.load(std::memory_order_relaxed);
   out.rejected_too_large =
       rejected_too_large_.load(std::memory_order_relaxed);
+  out.invalidated = invalidated_.load(std::memory_order_relaxed);
+  out.stale_lookups = stale_lookups_.load(std::memory_order_relaxed);
+  out.stale_inserts = stale_inserts_.load(std::memory_order_relaxed);
   return out;
 }
 

@@ -11,6 +11,7 @@
 
 #include "common/hash.h"
 #include "common/sync.h"
+#include "index/incremental.h"
 #include "metapath/index_iface.h"
 
 namespace netout {
@@ -65,6 +66,18 @@ class CachedIndex : public MetaPathIndex {
     /// capacity/num_shards ratio is too small for the workload's hub
     /// vectors — they will miss forever, silently, without this signal.
     std::uint64_t rejected_too_large = 0;
+    /// Entries dropped by BeginEpoch keyed invalidation (a commit
+    /// touched their source row). Distinct from evictions: these rows
+    /// were wrong for the new epoch, not merely cold.
+    std::uint64_t invalidated = 0;
+    /// LookupAt calls whose reader epoch no longer matched the shard
+    /// epoch (a commit landed while the query ran). They degrade to
+    /// traversal fallback on the reader's pinned snapshot.
+    std::uint64_t stale_lookups = 0;
+    /// RememberAt calls dropped because the writer's snapshot epoch no
+    /// longer matched the shard epoch — the guard that keeps an
+    /// old-snapshot reader from poisoning the cache for the new epoch.
+    std::uint64_t stale_inserts = 0;
   };
 
   /// `base` may be null (pure cache); it is borrowed.
@@ -79,6 +92,39 @@ class CachedIndex : public MetaPathIndex {
 
   void Remember(const TwoStepKey& key, LocalId row,
                 const SparseVector& vector) const override;
+
+  /// Current cache epoch (advanced by BeginEpoch). A relaxed mirror of
+  /// the per-shard epochs — exact once BeginEpoch returns, which is the
+  /// only time new-epoch readers can exist.
+  std::uint64_t epoch() const override {
+    return epoch_.load(std::memory_order_relaxed);
+  }
+
+  /// Epoch-checked hit path: delegates to the base index's LookupAt
+  /// first, then probes the cache with the epoch match evaluated under
+  /// the shard lock, so a racing BeginEpoch can never hand a stale row
+  /// to a reader it has already moved past.
+  std::optional<IndexHit> LookupAt(const TwoStepKey& key, LocalId row,
+                                   std::uint64_t reader_epoch) const override;
+
+  /// Epoch-checked memoization: the writer-epoch match is re-evaluated
+  /// inside the insert critical section, so an old-snapshot reader that
+  /// races BeginEpoch cannot poison the new epoch.
+  void RememberAt(const TwoStepKey& key, LocalId row,
+                  const SparseVector& vector,
+                  std::uint64_t writer_epoch) const override;
+
+  /// Transitions the cache to `new_epoch` after a MutableHin commit:
+  /// drops exactly the cached rows the commit affected (keyed
+  /// invalidation — everything else survives and stays valid for the
+  /// new epoch) and bumps each shard's epoch in the *same* critical
+  /// section as that shard's erasures, so a stale RememberAt cannot
+  /// slip a dead row back in between the erase and the bump. Pinned
+  /// readers keep invalidated payloads alive until they drop their
+  /// IndexHit. Safe to race with LookupAt/RememberAt traffic from
+  /// old-epoch readers; the dispatcher still publishes the new snapshot
+  /// only after this returns.
+  void BeginEpoch(std::uint64_t new_epoch, const AffectedRows& affected);
 
   bool SupportsConcurrentUse() const override { return true; }
 
@@ -134,9 +180,26 @@ class CachedIndex : public MetaPathIndex {
         entries NETOUT_GUARDED_BY(mu);
     std::size_t bytes NETOUT_GUARDED_BY(mu) = 0;
     std::size_t budget NETOUT_GUARDED_BY(mu) = 0;
+    /// The graph epoch this shard's entries describe. Checked (and, by
+    /// BeginEpoch, advanced) under mu so the match and the entry read
+    /// form one atomic step.
+    std::uint64_t epoch NETOUT_GUARDED_BY(mu) = 0;
   };
 
+  std::size_t ShardIndexFor(const CacheKey& key) const;
   Shard& ShardFor(const CacheKey& key) const;
+
+  /// Shared body of Lookup / LookupAt: probes `shard` for `cache_key`,
+  /// enforcing the epoch match (when `epoch_checked`) inside the
+  /// critical section.
+  std::optional<IndexHit> LookupImpl(const CacheKey& cache_key,
+                                     bool epoch_checked,
+                                     std::uint64_t reader_epoch) const;
+
+  /// Shared body of Remember / RememberAt: admission check, payload
+  /// copy outside the lock, epoch-re-checked insert.
+  void RememberImpl(const CacheKey& cache_key, const SparseVector& vector,
+                    bool epoch_checked, std::uint64_t writer_epoch) const;
 
   /// Evicts LRU-last entries of `shard` until it fits its budget,
   /// moving their payloads into `evicted` so they are destroyed (or
@@ -159,6 +222,11 @@ class CachedIndex : public MetaPathIndex {
   mutable std::atomic<std::uint64_t> insertions_{0};
   mutable std::atomic<std::uint64_t> evictions_{0};
   mutable std::atomic<std::uint64_t> rejected_too_large_{0};
+  mutable std::atomic<std::uint64_t> invalidated_{0};
+  mutable std::atomic<std::uint64_t> stale_lookups_{0};
+  mutable std::atomic<std::uint64_t> stale_inserts_{0};
+  // Mirror of the per-shard epochs for the lock-free epoch() accessor.
+  std::atomic<std::uint64_t> epoch_{0};
 };
 
 }  // namespace netout

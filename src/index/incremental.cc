@@ -1,0 +1,53 @@
+#include "index/incremental.h"
+
+#include <algorithm>
+
+namespace netout {
+
+std::vector<TwoStepKey> AllTwoStepKeys(const Schema& schema) {
+  std::vector<TwoStepKey> keys;
+  for (TypeId t0 = 0; t0 < schema.num_vertex_types(); ++t0) {
+    for (const EdgeStep& s1 : schema.StepsFrom(t0)) {
+      const TypeId t1 = schema.StepTarget(s1);
+      for (const EdgeStep& s2 : schema.StepsFrom(t1)) {
+        keys.push_back(TwoStepKey{s1, s2});
+      }
+    }
+  }
+  return keys;
+}
+
+AffectedRows AffectedTwoStepRows(const Hin& after,
+                                 const MutationSummary& summary) {
+  AffectedRows affected;
+  if (summary.empty()) return affected;
+  const Schema& schema = after.schema();
+  for (const TwoStepKey& key : AllTwoStepKeys(schema)) {
+    std::vector<LocalId> rows;
+    // (a) Sources whose own first-hop row changed.
+    const std::vector<LocalId>& direct = summary.Touched(key.first);
+    rows.insert(rows.end(), direct.begin(), direct.end());
+    // (b) Sources that still reach a mid-vertex whose second-hop row
+    // changed: the reversed first hop of each touched mid enumerates
+    // them in the after snapshot.
+    const EdgeStep back{key.first.edge_type, Opposite(key.first.direction)};
+    for (const LocalId mid : summary.Touched(key.second)) {
+      for (const CsrEntry& entry : after.StepRow(back, mid)) {
+        rows.push_back(entry.neighbor);
+      }
+    }
+    // (c) Vertices added this commit, when they are the key's source
+    // type: a rebuild would give them (possibly empty) φ rows.
+    const TypeId source = schema.StepSource(key.first);
+    for (const VertexRef& v : summary.added_vertices) {
+      if (v.type == source) rows.push_back(v.local);
+    }
+    if (rows.empty()) continue;
+    std::sort(rows.begin(), rows.end());
+    rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+    affected.emplace(key, std::move(rows));
+  }
+  return affected;
+}
+
+}  // namespace netout

@@ -1,0 +1,41 @@
+#ifndef NETOUT_INDEX_INCREMENTAL_H_
+#define NETOUT_INDEX_INCREMENTAL_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "graph/delta.h"
+#include "graph/schema.h"
+#include "metapath/index_iface.h"
+
+namespace netout {
+
+/// Rows per length-2 key whose pre-materialized vectors a commit
+/// invalidated: the shared input to PmIndex/SpmIndex::ApplyDelta and
+/// CachedIndex::BeginEpoch (compute once per commit, feed all three).
+using AffectedRows =
+    std::unordered_map<TwoStepKey, std::vector<LocalId>, TwoStepKeyHash>;
+
+/// Enumerates every composable (step1, step2) pair in the schema — the
+/// full key space of the length-2 pre-materialization indexes.
+std::vector<TwoStepKey> AllTwoStepKeys(const Schema& schema);
+
+/// Computes, for every length-2 key, the source rows whose neighbor
+/// vector φ the commit summarized by `summary` may have changed. `after`
+/// is the post-commit snapshot.
+///
+/// For key (s1, s2) a source row r is affected when
+///  (a) r's s1 adjacency row changed (r ∈ Touched(s1)),
+///  (b) some mid-vertex m with a changed s2 row is an s1-neighbor of r —
+///      found by scanning m's *reversed-s1* row in the after snapshot
+///      (a source that *lost* its link to m has a changed s1 row and is
+///      already in (a), so the after view suffices), or
+///  (c) r was added by this commit (its φ row must exist in the patched
+///      view even when empty, matching a from-scratch rebuild).
+/// Row lists are sorted and unique; untouched keys are absent.
+AffectedRows AffectedTwoStepRows(const Hin& after,
+                                 const MutationSummary& summary);
+
+}  // namespace netout
+
+#endif  // NETOUT_INDEX_INCREMENTAL_H_

@@ -3,25 +3,10 @@
 #include <utility>
 
 #include "common/stopwatch.h"
+#include "metapath/metapath.h"
+#include "metapath/traversal.h"
 
 namespace netout {
-namespace {
-
-/// Enumerates every composable (step1, step2) pair in the schema.
-std::vector<TwoStepKey> AllTwoStepKeys(const Schema& schema) {
-  std::vector<TwoStepKey> keys;
-  for (TypeId t0 = 0; t0 < schema.num_vertex_types(); ++t0) {
-    for (const EdgeStep& s1 : schema.StepsFrom(t0)) {
-      const TypeId t1 = schema.StepTarget(s1);
-      for (const EdgeStep& s2 : schema.StepsFrom(t1)) {
-        keys.push_back(TwoStepKey{s1, s2});
-      }
-    }
-  }
-  return keys;
-}
-
-}  // namespace
 
 Result<std::unique_ptr<PmIndex>> PmIndex::Build(const Hin& hin) {
   std::vector<TypeId> all_roots;
@@ -60,6 +45,19 @@ Result<std::unique_ptr<PmIndex>> PmIndex::BuildForRoots(
 
 std::optional<IndexHit> PmIndex::Lookup(const TwoStepKey& key,
                                         LocalId row) const {
+  // Delta-patched rows shadow the base matrix; only keys the base build
+  // materialized are ever patched, so a key absent from relations_ is
+  // a miss even after commits.
+  if (!overlay_rows_.empty()) {
+    auto patched = overlay_rows_.find(key);
+    if (patched != overlay_rows_.end()) {
+      auto row_it = patched->second.find(row);
+      if (row_it != patched->second.end()) {
+        const SparseVecView view = row_it->second.View();
+        return IndexHit{view.indices, view.values, nullptr};
+      }
+    }
+  }
   auto it = relations_.find(key);
   if (it == relations_.end()) return std::nullopt;
   if (row >= it->second.num_rows()) return std::nullopt;
@@ -67,10 +65,44 @@ std::optional<IndexHit> PmIndex::Lookup(const TwoStepKey& key,
   return IndexHit{view.indices, view.values, nullptr};
 }
 
+Status PmIndex::ApplyDelta(const Hin& after, const AffectedRows& affected) {
+  if (after.epoch() < epoch_) {
+    return Status::FailedPrecondition(
+        "ApplyDelta target epoch precedes the index epoch");
+  }
+  const Schema& schema = after.schema();
+  HinPtr alias(&after, [](const Hin*) {});
+  PathCounter counter(alias);
+  for (const auto& [key, rows] : affected) {
+    if (relations_.find(key) == relations_.end()) continue;
+    NETOUT_ASSIGN_OR_RETURN(
+        MetaPath path, MetaPath::FromSteps(schema, {key.first, key.second}));
+    const TypeId source = schema.StepSource(key.first);
+    auto& patched = overlay_rows_[key];
+    for (const LocalId row : rows) {
+      NETOUT_ASSIGN_OR_RETURN(
+          SparseVector vec,
+          counter.NeighborVector(VertexRef{source, row}, path));
+      patched[row] = std::move(vec);
+      ++rows_patched_;
+    }
+  }
+  epoch_ = after.epoch();
+  return Status::OK();
+}
+
 std::size_t PmIndex::MemoryBytes() const {
   std::size_t bytes = 0;
   for (const auto& [key, matrix] : relations_) {
     bytes += sizeof(key) + matrix.MemoryBytes();
+  }
+  for (const auto& [key, row_map] : overlay_rows_) {
+    bytes += sizeof(key);
+    for (const auto& [row, vec] : row_map) {
+      (void)row;
+      // Hash-node overhead approximated as 4 pointers per entry.
+      bytes += sizeof(LocalId) + vec.MemoryBytes() + sizeof(void*) * 4;
+    }
   }
   return bytes;
 }

@@ -8,8 +8,10 @@
 
 #include "common/result.h"
 #include "graph/hin.h"
+#include "index/incremental.h"
 #include "metapath/index_iface.h"
 #include "metapath/matrix.h"
+#include "metapath/sparse_vector.h"
 
 namespace netout {
 
@@ -37,13 +39,33 @@ class PmIndex : public MetaPathIndex {
       const Hin& hin, const std::vector<TypeId>& root_types);
 
   /// Hits alias index storage (`pin` is null): the index is immutable
-  /// after build, so the spans outlive any reader.
+  /// between commits, so the spans outlive any reader of the current
+  /// epoch. Delta-patched rows shadow the base matrices.
   std::optional<IndexHit> Lookup(const TwoStepKey& key,
                                  LocalId row) const override;
 
   std::size_t MemoryBytes() const override;
 
   std::string_view Name() const override { return "pm"; }
+
+  /// Epoch the index contents describe: the build snapshot's epoch until
+  /// ApplyDelta advances it.
+  std::uint64_t epoch() const override { return epoch_; }
+
+  /// Incremental maintenance after a MutableHin commit: recomputes the
+  /// affected φ rows (for keys this index materialized) against the
+  /// `after` snapshot and advances the index epoch to after.epoch().
+  /// Recomputation runs through PathCounter::NeighborVector — the same
+  /// kernel RelationMatrix::Materialize uses — so patched rows are
+  /// bitwise identical to a from-scratch rebuild.
+  ///
+  /// NOT safe with concurrent readers: the caller serializes ApplyDelta
+  /// against all Lookup/LookupAt traffic (the server runs it on the
+  /// dispatcher thread between query batches).
+  Status ApplyDelta(const Hin& after, const AffectedRows& affected);
+
+  /// Lifetime count of φ rows patched by ApplyDelta calls.
+  std::uint64_t rows_patched() const { return rows_patched_; }
 
   /// Number of distinct length-2 meta-paths materialized.
   std::size_t num_relations() const { return relations_.size(); }
@@ -64,6 +86,14 @@ class PmIndex : public MetaPathIndex {
   PmIndex() = default;
 
   std::unordered_map<TwoStepKey, RelationMatrix, TwoStepKeyHash> relations_;
+  // Rows recomputed by ApplyDelta, shadowing relations_ in Lookup.
+  // Covers rows beyond a matrix's row count (vertices added after the
+  // base build).
+  std::unordered_map<TwoStepKey, std::unordered_map<LocalId, SparseVector>,
+                     TwoStepKeyHash>
+      overlay_rows_;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t rows_patched_ = 0;
   std::int64_t build_time_nanos_ = 0;
 };
 

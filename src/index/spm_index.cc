@@ -74,6 +74,39 @@ Result<std::unique_ptr<SpmIndex>> SpmIndex::BuildForVertices(
   return index;
 }
 
+Status SpmIndex::ApplyDelta(const Hin& after, const AffectedRows& affected) {
+  if (after.epoch() < epoch_) {
+    return Status::FailedPrecondition(
+        "ApplyDelta target epoch precedes the index epoch");
+  }
+  const Schema& schema = after.schema();
+  HinPtr alias(&after, [](const Hin*) {});
+  PathCounter counter(alias);
+  for (const auto& [key, rows] : affected) {
+    auto it = rows_.find(key);
+    if (it == rows_.end()) continue;
+    const TypeId source = schema.StepSource(key.first);
+    MetaPath path;
+    bool path_resolved = false;
+    for (const LocalId row : rows) {
+      auto row_it = it->second.find(row);
+      if (row_it == it->second.end()) continue;  // vertex never selected
+      if (!path_resolved) {
+        NETOUT_ASSIGN_OR_RETURN(
+            path, MetaPath::FromSteps(schema, {key.first, key.second}));
+        path_resolved = true;
+      }
+      NETOUT_ASSIGN_OR_RETURN(
+          SparseVector vec,
+          counter.NeighborVector(VertexRef{source, row}, path));
+      row_it->second = std::move(vec);
+      ++rows_patched_;
+    }
+  }
+  epoch_ = after.epoch();
+  return Status::OK();
+}
+
 std::optional<IndexHit> SpmIndex::Lookup(const TwoStepKey& key,
                                          LocalId row) const {
   auto it = rows_.find(key);

@@ -9,6 +9,7 @@
 
 #include "common/result.h"
 #include "graph/hin.h"
+#include "index/incremental.h"
 #include "metapath/index_iface.h"
 
 namespace netout {
@@ -50,6 +51,21 @@ class SpmIndex : public MetaPathIndex {
 
   std::string_view Name() const override { return "spm"; }
 
+  /// Epoch the index contents describe: the build snapshot's epoch until
+  /// ApplyDelta advances it.
+  std::uint64_t epoch() const override { return epoch_; }
+
+  /// Incremental maintenance after a MutableHin commit: recomputes, in
+  /// place, every *already-indexed* φ row the commit affected (SPM never
+  /// grows its vertex selection — unselected rows keep falling back to
+  /// traversal) and advances the index epoch to after.epoch(). Same
+  /// bitwise-equivalence and no-concurrent-readers contract as
+  /// PmIndex::ApplyDelta.
+  Status ApplyDelta(const Hin& after, const AffectedRows& affected);
+
+  /// Lifetime count of φ rows patched by ApplyDelta calls.
+  std::uint64_t rows_patched() const { return rows_patched_; }
+
   std::size_t num_indexed_vertices() const { return num_indexed_vertices_; }
   std::int64_t build_time_nanos() const { return build_time_nanos_; }
 
@@ -70,6 +86,8 @@ class SpmIndex : public MetaPathIndex {
                      TwoStepKeyHash>
       rows_;
   std::size_t num_indexed_vertices_ = 0;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t rows_patched_ = 0;
   std::int64_t build_time_nanos_ = 0;
 };
 

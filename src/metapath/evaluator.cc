@@ -10,6 +10,11 @@ NeighborVectorEvaluator::NeighborVectorEvaluator(HinPtr hin,
                                                  const MetaPathIndex* index)
     : hin_(std::move(hin)), index_(index), counter_(hin_) {
   NETOUT_CHECK(hin_ != nullptr);
+  // Pinned once: every index interaction below is epoch-checked against
+  // the snapshot this evaluator was created with, so a mutation commit
+  // mid-query can neither serve us rows from another epoch nor let us
+  // poison the cache with rows from ours.
+  epoch_ = hin_->epoch();
 }
 
 SparseVector NeighborVectorEvaluator::TraverseChunk(LocalId source,
@@ -75,7 +80,7 @@ Result<SparseVector> NeighborVectorEvaluator::EvaluateSteps(
     if (frontier.nnz() == 1) {
       const LocalId row = frontier.indices()[0];
       const double weight = frontier.values()[0];
-      const std::optional<IndexHit> hit = index_->Lookup(key, row);
+      const std::optional<IndexHit> hit = index_->LookupAt(key, row, epoch_);
       if (hit.has_value()) {
         ScopedTimer timer(stats ? &stats->indexed : nullptr);
         if (stats) ++stats->index_hits;
@@ -87,7 +92,7 @@ Result<SparseVector> NeighborVectorEvaluator::EvaluateSteps(
         ScopedTimer timer(stats ? &stats->not_indexed : nullptr);
         if (stats) ++stats->index_misses;
         frontier = TraverseChunk(row, steps[i], steps[i + 1]);
-        index_->Remember(key, row, frontier);
+        index_->RememberAt(key, row, frontier, epoch_);
         if (weight != 1.0) frontier.Scale(weight);
       }
       if (frontier.empty()) return frontier;
@@ -105,7 +110,7 @@ Result<SparseVector> NeighborVectorEvaluator::EvaluateSteps(
       }
       const LocalId row = indices[k];
       const double weight = values[k];
-      const std::optional<IndexHit> hit = index_->Lookup(key, row);
+      const std::optional<IndexHit> hit = index_->LookupAt(key, row, epoch_);
       if (hit.has_value()) {
         ScopedTimer timer(stats ? &stats->indexed : nullptr);
         if (stats) ++stats->index_hits;
@@ -114,7 +119,7 @@ Result<SparseVector> NeighborVectorEvaluator::EvaluateSteps(
         ScopedTimer timer(stats ? &stats->not_indexed : nullptr);
         if (stats) ++stats->index_misses;
         SparseVector two_hop = TraverseChunk(row, steps[i], steps[i + 1]);
-        index_->Remember(key, row, two_hop);
+        index_->RememberAt(key, row, two_hop, epoch_);
         chunk_acc_.AddSpan(two_hop.indices(), two_hop.values(), weight);
       }
     }

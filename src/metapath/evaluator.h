@@ -2,6 +2,7 @@
 #define NETOUT_METAPATH_EVALUATOR_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <span>
 
@@ -97,6 +98,9 @@ class NeighborVectorEvaluator {
 
   HinPtr hin_;
   const MetaPathIndex* index_;
+  // The pinned snapshot's epoch, captured at construction; every index
+  // Lookup/Remember goes through the epoch-checked LookupAt/RememberAt.
+  std::uint64_t epoch_ = 0;
   const CancellationToken* stop_token_ = nullptr;
   PathCounter counter_;
   DenseAccumulator chunk_acc_;

@@ -2,6 +2,7 @@
 #define NETOUT_METAPATH_INDEX_IFACE_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <span>
@@ -75,6 +76,33 @@ class MetaPathIndex {
     (void)key;
     (void)row;
     (void)vector;
+  }
+
+  /// Graph epoch this index's contents describe (DESIGN.md §14). Roots
+  /// and indexes without delta maintenance stay at 0; incrementally
+  /// maintained indexes (PmIndex/SpmIndex ApplyDelta, CachedIndex
+  /// BeginEpoch) advance it in lockstep with MutableHin commits.
+  virtual std::uint64_t epoch() const { return 0; }
+
+  /// Epoch-checked lookup: a reader pinned to snapshot `reader_epoch`
+  /// must not consume rows describing a different epoch. The default
+  /// guards the plain Lookup with an exact epoch match — stale readers
+  /// (or a stale index) degrade to traversal fallback, never to wrong
+  /// answers. CachedIndex overrides with a per-shard check under the
+  /// shard lock.
+  virtual std::optional<IndexHit> LookupAt(const TwoStepKey& key, LocalId row,
+                                           std::uint64_t reader_epoch) const {
+    if (reader_epoch != epoch()) return std::nullopt;
+    return Lookup(key, row);
+  }
+
+  /// Epoch-checked memoization: drops the vector unless the writer's
+  /// snapshot epoch matches the index epoch, so a reader running against
+  /// an old snapshot can never poison the cache for the new epoch.
+  virtual void RememberAt(const TwoStepKey& key, LocalId row,
+                          const SparseVector& vector,
+                          std::uint64_t writer_epoch) const {
+    if (writer_epoch == epoch()) Remember(key, row, vector);
   }
 
   /// Short lowercase tag naming the index family ("pm", "spm", "cache"),

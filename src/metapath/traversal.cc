@@ -38,13 +38,14 @@ Result<SparseVector> PathCounter::Propagate(const SparseVector& frontier,
 SparseVector PathCounter::PropagateStep(const SparseVector& frontier,
                                         const EdgeStep& step) {
   const TypeId target = hin_->schema().StepTarget(step);
-  const Csr& adj = hin_->Adjacency(step);
   DenseAccumulator& acc = acc_[target];
   acc.Resize(hin_->NumVertices(target));
   const auto indices = frontier.indices();
   const auto values = frontier.values();
   for (std::size_t i = 0; i < indices.size(); ++i) {
-    acc.AddRow(adj.Row(indices[i]), values[i]);
+    // StepRow is overlay-aware: rows a delta patched come from the
+    // overlay, the rest straight from the base CSR.
+    acc.AddRow(hin_->StepRow(step, indices[i]), values[i]);
   }
   return acc.Harvest();
 }

@@ -42,6 +42,8 @@ std::size_t BatchRunner::num_threads() const {
   return impl_->pool.num_threads();
 }
 
+void BatchRunner::SetSnapshot(HinPtr hin) { impl_->hin = std::move(hin); }
+
 std::vector<BatchOutcome> BatchRunner::Impl::RunMerged(
     const std::vector<BatchQuery>& queries) {
   std::vector<BatchOutcome> outcomes(queries.size());

@@ -80,6 +80,13 @@ class BatchRunner {
   std::vector<BatchOutcome> Run(const std::vector<std::string>& queries);
   std::vector<BatchOutcome> Run(const std::vector<BatchQuery>& queries);
 
+  /// Swaps the graph snapshot subsequent Run calls execute against
+  /// (epoch publication after a MutableHin commit). NOT synchronized
+  /// against Run: the caller must serialize SetSnapshot with every Run
+  /// call — the server does both on its single dispatcher thread, which
+  /// is exactly the serialization the delta-maintained indexes need too.
+  void SetSnapshot(HinPtr hin);
+
   std::size_t num_threads() const;
 
  private:

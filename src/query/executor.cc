@@ -603,6 +603,7 @@ QueryResult Executor::AssembleResult(
   QueryExecStats& stats = result.stats;
   stats.candidate_count = slots[entry.candidate_op].members.size();
   stats.reference_count = slots[entry.reference_op].members.size();
+  stats.graph_epoch = hin_->epoch();
 
   for (const std::size_t id : entry.ops) {
     const PlanOpRuntime& rt = runtimes[id];

@@ -73,6 +73,10 @@ struct QueryExecStats {
   /// one batch per feature/condition path.
   std::size_t vectors_materialized = 0;
   std::size_t vectors_reused = 0;
+  /// Epoch of the graph snapshot the query ran against (0 for a root
+  /// graph that never saw a commit). Lets clients correlate an answer
+  /// with the mutation stream that produced the snapshot.
+  std::uint64_t graph_epoch = 0;
 
   void MergeFrom(const QueryExecStats& other) {
     eval.MergeFrom(other.eval);
@@ -83,6 +87,8 @@ struct QueryExecStats {
     reference_count += other.reference_count;
     vectors_materialized += other.vectors_materialized;
     vectors_reused += other.vectors_reused;
+    // Merged stats describe one snapshot; keep the newest epoch seen.
+    if (other.graph_epoch > graph_epoch) graph_epoch = other.graph_epoch;
   }
 };
 

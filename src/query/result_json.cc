@@ -62,6 +62,11 @@ std::string QueryResultToJson(const Hin& hin, const QueryResult& result,
   json.Uint(result.stats.vectors_materialized);
   json.Key("vectors_reused");
   json.Uint(result.stats.vectors_reused);
+  // Graph snapshot epoch the query ran against (0 = never-mutated root).
+  // Lives under "stats", never inside "outliers" — the byte-range
+  // equivalence gates compare the outlier array across epochs.
+  json.Key("graph_epoch");
+  json.Uint(result.stats.graph_epoch);
   // Disjoint wall-clock spans of the pipeline (StageTimings); parse and
   // analyze are zero unless the result came from Engine::Execute.
   json.Key("stages");

@@ -61,6 +61,12 @@ const char* RequestOpName(RequestOp op) {
   switch (op) {
     case RequestOp::kQuery:
       return "query";
+    case RequestOp::kAddVertex:
+      return "add_vertex";
+    case RequestOp::kAddEdge:
+      return "add_edge";
+    case RequestOp::kDeleteEdge:
+      return "delete_edge";
     case RequestOp::kPing:
       return "ping";
     case RequestOp::kStats:
@@ -71,6 +77,11 @@ const char* RequestOpName(RequestOp op) {
       return "shutdown";
   }
   return "unknown";
+}
+
+bool IsMutationOp(RequestOp op) {
+  return op == RequestOp::kAddVertex || op == RequestOp::kAddEdge ||
+         op == RequestOp::kDeleteEdge;
 }
 
 Result<Request> ParseRequest(std::string_view line,
@@ -89,6 +100,18 @@ Result<Request> ParseRequest(std::string_view line,
 
   Request request;
   bool saw_op = false;
+  bool saw_mutation_member = false;
+  bool saw_count = false;
+  const auto parse_name = [&](const JsonValue& value, std::string_view name,
+                              std::string* out) -> Status {
+    if (!value.is_string() || value.string_value().empty()) {
+      return Status::ParseError("'" + std::string(name) +
+                                "' must be a non-empty string");
+    }
+    *out = value.string_value();
+    saw_mutation_member = true;
+    return Status::OK();
+  };
   for (const auto& [key, value] : doc.members()) {
     if (key == "op") {
       if (!value.is_string()) {
@@ -97,6 +120,12 @@ Result<Request> ParseRequest(std::string_view line,
       const std::string& op = value.string_value();
       if (op == "query") {
         request.op = RequestOp::kQuery;
+      } else if (op == "add_vertex") {
+        request.op = RequestOp::kAddVertex;
+      } else if (op == "add_edge") {
+        request.op = RequestOp::kAddEdge;
+      } else if (op == "delete_edge") {
+        request.op = RequestOp::kDeleteEdge;
       } else if (op == "ping") {
         request.op = RequestOp::kPing;
       } else if (op == "stats") {
@@ -116,6 +145,23 @@ Result<Request> ParseRequest(std::string_view line,
         return Status::ParseError("'q' must be a string");
       }
       request.query = value.string_value();
+    } else if (key == "type") {
+      NETOUT_RETURN_IF_ERROR(parse_name(value, key, &request.vertex_type));
+    } else if (key == "name") {
+      NETOUT_RETURN_IF_ERROR(parse_name(value, key, &request.vertex_name));
+    } else if (key == "edge") {
+      NETOUT_RETURN_IF_ERROR(parse_name(value, key, &request.edge_type));
+    } else if (key == "src") {
+      NETOUT_RETURN_IF_ERROR(parse_name(value, key, &request.src_name));
+    } else if (key == "dst") {
+      NETOUT_RETURN_IF_ERROR(parse_name(value, key, &request.dst_name));
+    } else if (key == "count") {
+      NETOUT_ASSIGN_OR_RETURN(request.count, PositiveInt(value, "count"));
+      if (request.count < 1) {
+        return Status::ParseError("'count' must be at least 1");
+      }
+      saw_mutation_member = true;
+      saw_count = true;
     } else if (key == "timeout_ms") {
       NETOUT_ASSIGN_OR_RETURN(request.timeout_millis,
                               PositiveInt(value, "timeout_ms"));
@@ -146,6 +192,33 @@ Result<Request> ParseRequest(std::string_view line,
   }
   if (request.op != RequestOp::kQuery && !request.query.empty()) {
     return Status::ParseError("'q' is only valid with op 'query'");
+  }
+  if (!IsMutationOp(request.op) && saw_mutation_member) {
+    return Status::ParseError(
+        "'type'/'name'/'edge'/'src'/'dst'/'count' are only valid with "
+        "mutation ops");
+  }
+  if (request.op == RequestOp::kAddVertex) {
+    if (request.vertex_type.empty() || request.vertex_name.empty()) {
+      return Status::ParseError("'add_vertex' needs 'type' and 'name'");
+    }
+    if (!request.edge_type.empty() || !request.src_name.empty() ||
+        !request.dst_name.empty() || saw_count) {
+      return Status::ParseError(
+          "'add_vertex' takes only 'type' and 'name'");
+    }
+  } else if (request.op == RequestOp::kAddEdge ||
+             request.op == RequestOp::kDeleteEdge) {
+    if (request.edge_type.empty() || request.src_name.empty() ||
+        request.dst_name.empty()) {
+      return Status::ParseError("'" +
+                                std::string(RequestOpName(request.op)) +
+                                "' needs 'edge', 'src' and 'dst'");
+    }
+    if (!request.vertex_type.empty() || !request.vertex_name.empty()) {
+      return Status::ParseError(
+          "'type'/'name' are only valid with 'add_vertex'");
+    }
   }
   return request;
 }
@@ -224,6 +297,18 @@ std::string BuildQueryResponse(const Hin& hin, const Request& request,
   json.Number(latency_ms);
   json.Key("result");
   json.RawValue(QueryResultToJson(hin, result, /*pretty=*/false));
+  json.EndObject();
+  std::string out = std::move(json).Take();
+  out.push_back('\n');
+  return out;
+}
+
+std::string BuildMutationResponse(const Request& request,
+                                  std::uint64_t epoch) {
+  JsonWriter json;
+  BeginEnvelope(&json, &request, /*ok=*/true, request.op);
+  json.Key("epoch");
+  json.Uint(epoch);
   json.EndObject();
   std::string out = std::move(json).Take();
   out.push_back('\n');

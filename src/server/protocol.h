@@ -18,6 +18,11 @@ namespace netout {
 ///   request  = { "op": "query", "q": "<netout query text>",
 ///                ["id": <number|string|bool|null>,]
 ///                ["timeout_ms": N,] ["memory_budget_mb": N] } NL
+///            | { "op": "add_vertex", "type": "<vertex type>",
+///                "name": "<vertex name>", ["id": ...] } NL
+///            | { "op": "add_edge" | "delete_edge",
+///                "edge": "<edge type>", "src": "<name>",
+///                "dst": "<name>", ["count": N,] ["id": ...] } NL
 ///            | { "op": "ping" | "stats" | "config" | "shutdown",
 ///                ["id": ...] } NL
 ///   response = { ["id": <echoed>,] "ok": true,  "op": "<op>", ... } NL
@@ -32,6 +37,13 @@ namespace netout {
 /// load. Error text always passes through JsonEscape, so a hostile
 /// query whose parse error embeds newlines or quotes can never break
 /// the line framing.
+///
+/// Mutation ops (add_vertex / add_edge / delete_edge) are serialized
+/// through the dispatcher: each one commits a new graph epoch, patches
+/// the delta-maintained indexes, and answers with the epoch it
+/// committed. Queries parsed after a mutation on any connection run
+/// against the new snapshot. Endpoints are named by (type, name);
+/// add_edge creates missing endpoint vertices implicitly.
 
 /// Caps applied to untrusted request bytes before any parsing.
 struct ProtocolLimits {
@@ -46,6 +58,9 @@ struct ProtocolLimits {
 
 enum class RequestOp : std::uint8_t {
   kQuery,
+  kAddVertex,
+  kAddEdge,
+  kDeleteEdge,
   kPing,
   kStats,
   kConfig,
@@ -53,6 +68,10 @@ enum class RequestOp : std::uint8_t {
 };
 
 const char* RequestOpName(RequestOp op);
+
+/// True for the ops that mutate the graph (add_vertex / add_edge /
+/// delete_edge).
+bool IsMutationOp(RequestOp op);
 
 /// One parsed request. `id_json` is the client's "id" member
 /// re-serialized (empty = absent); responses echo it verbatim so
@@ -63,6 +82,15 @@ struct Request {
   std::string query;                      // kQuery only
   std::int64_t timeout_millis = -1;       // < 0: server default applies
   std::int64_t memory_budget_bytes = -1;  // < 0: server default applies
+  // Mutation members (kAddVertex: type+name; kAddEdge/kDeleteEdge:
+  // edge+src+dst, count defaulting to 1). Names, not ids: the wire
+  // protocol never exposes LocalIds, which are snapshot-relative.
+  std::string vertex_type;  // "type"
+  std::string vertex_name;  // "name"
+  std::string edge_type;    // "edge"
+  std::string src_name;     // "src"
+  std::string dst_name;     // "dst"
+  std::int64_t count = 1;   // "count" (parallel-edge multiplicity)
 };
 
 /// Parses one request line. Fails with kParseError on malformed JSON or
@@ -112,6 +140,10 @@ std::string BuildQueryResponse(const Hin& hin, const Request& request,
 std::string BuildObjectResponse(const Request& request,
                                 std::string_view key,
                                 std::string_view object_json);
+/// Acknowledges a committed mutation with the graph epoch it produced
+/// (every query response at or after this epoch reflects the change).
+std::string BuildMutationResponse(const Request& request,
+                                  std::uint64_t epoch);
 
 }  // namespace netout
 

@@ -21,6 +21,8 @@
 
 #include "common/json.h"
 #include "common/sync.h"
+#include "graph/delta.h"
+#include "index/incremental.h"
 #include "query/batch.h"
 
 namespace netout {
@@ -89,6 +91,16 @@ struct Counters {
   std::atomic<std::uint64_t> queries_shed{0};
   std::atomic<std::uint64_t> queries_refused{0};
   std::atomic<std::uint64_t> batches{0};
+  std::atomic<std::uint64_t> mutations_ok{0};
+  std::atomic<std::uint64_t> mutations_error{0};
+  std::atomic<std::uint64_t> epochs_committed{0};
+  std::atomic<std::uint64_t> vertices_added{0};
+  std::atomic<std::uint64_t> vertices_deleted{0};
+  std::atomic<std::uint64_t> edges_added{0};
+  std::atomic<std::uint64_t> edges_deleted{0};
+  std::atomic<std::uint64_t> index_rows_patched{0};
+  std::atomic<std::uint64_t> index_patch_failures{0};
+  std::atomic<std::uint64_t> graph_epoch{0};
   std::atomic<std::uint64_t> bytes_read{0};
   std::atomic<std::uint64_t> bytes_written{0};
   // Aggregated engine stats across finished queries.
@@ -135,10 +147,16 @@ struct Server::Impl {
     std::string payload;
   };
 
-  HinPtr hin;
+  /// The published snapshot queries run against. Written only by the
+  /// dispatcher (epoch publication after a commit) but read by the poll
+  /// thread too (ConfigJson), hence the mutex; the dispatcher reads its
+  /// own writes so a per-segment copy is all it ever locks for.
+  mutable Mutex snapshot_mutex;
+  HinPtr hin NETOUT_GUARDED_BY(snapshot_mutex);
   EngineOptions engine_options;
   ServerOptions options;
   const CachedIndex* cache = nullptr;
+  MutationContext mutations;
 
   std::unique_ptr<BatchRunner> runner;
   CancellationToken drain_token;
@@ -177,6 +195,11 @@ struct Server::Impl {
   std::size_t max_backlog_effective = 0;
 
   ~Impl() { Cleanup(); }
+
+  HinPtr CurrentSnapshot() const NETOUT_EXCLUDES(snapshot_mutex) {
+    MutexLock lock(snapshot_mutex);
+    return hin;
+  }
 
   void Cleanup() NETOUT_EXCLUDES(dispatch_mutex) {
     StopDispatcher();
@@ -231,7 +254,7 @@ struct Server::Impl {
     engine_options.exec.memory_budget_bytes = 0;
     BatchOptions batch_options;
     batch_options.merge_plans = options.merge_batches;
-    runner = std::make_unique<BatchRunner>(hin, engine_options,
+    runner = std::make_unique<BatchRunner>(CurrentSnapshot(), engine_options,
                                            options.num_threads, batch_options);
 
     int pipe_fds[2];
@@ -301,52 +324,27 @@ struct Server::Impl {
       }
       counters.batches.fetch_add(1, std::memory_order_relaxed);
 
-      std::vector<BatchQuery> queries;
-      queries.reserve(batch.size());
-      for (const PendingRequest& request : batch) {
-        queries.push_back(BatchQuery{request.request.query,
-                                     request.token.get()});
-      }
-      std::vector<BatchOutcome> outcomes = runner->Run(queries);
-
+      // Segment the drained batch into maximal runs of queries and runs
+      // of mutations, preserving order. A query run executes against
+      // one snapshot; a mutation run becomes one commit (one epoch)
+      // published before the next query run — the serialization the
+      // delta-maintained indexes require, with zero extra locking.
       std::vector<Completion> done;
       done.reserve(batch.size());
-      const Clock::time_point now = Clock::now();
-      for (std::size_t i = 0; i < batch.size(); ++i) {
-        PendingRequest& request = batch[i];
-        BatchOutcome& outcome = outcomes[i];
-        const std::uint64_t latency_nanos = static_cast<std::uint64_t>(
-            std::chrono::duration_cast<std::chrono::nanoseconds>(
-                now - request.received)
-                .count());
-        counters.latency.Record(latency_nanos);
-
-        Completion completion;
-        completion.session_id = request.session_id;
-        if (outcome.status.ok()) {
-          counters.queries_ok.fetch_add(1, std::memory_order_relaxed);
-          if (outcome.result.degraded) {
-            counters.queries_degraded.fetch_add(1, std::memory_order_relaxed);
-          }
-          if (request.shed) {
-            counters.queries_shed.fetch_add(1, std::memory_order_relaxed);
-          }
-          counters.plan_ops_executed.fetch_add(
-              outcome.result.plan_ops.size(), std::memory_order_relaxed);
-          counters.vectors_materialized.fetch_add(
-              outcome.result.stats.vectors_materialized,
-              std::memory_order_relaxed);
-          counters.vectors_reused.fetch_add(
-              outcome.result.stats.vectors_reused, std::memory_order_relaxed);
-          completion.payload = BuildQueryResponse(
-              *hin, request.request, outcome.result, request.shed,
-              NanosToMillis(latency_nanos));
-        } else {
-          counters.queries_error.fetch_add(1, std::memory_order_relaxed);
-          completion.payload =
-              BuildErrorResponse(&request.request, outcome.status);
+      std::size_t begin = 0;
+      while (begin < batch.size()) {
+        const bool mutation = IsMutationOp(batch[begin].request.op);
+        std::size_t end = begin;
+        while (end < batch.size() &&
+               IsMutationOp(batch[end].request.op) == mutation) {
+          ++end;
         }
-        done.push_back(std::move(completion));
+        if (mutation) {
+          RunMutationSegment(batch, begin, end, &done);
+        } else {
+          RunQuerySegment(batch, begin, end, &done);
+        }
+        begin = end;
       }
       {
         MutexLock lock(completion_mutex);
@@ -356,6 +354,173 @@ struct Server::Impl {
       }
       Wake();
     }
+  }
+
+  void RunQuerySegment(std::vector<PendingRequest>& batch, std::size_t begin,
+                       std::size_t end, std::vector<Completion>* done)
+      NETOUT_EXCLUDES(snapshot_mutex) {
+    const HinPtr snapshot = CurrentSnapshot();
+    std::vector<BatchQuery> queries;
+    queries.reserve(end - begin);
+    for (std::size_t i = begin; i < end; ++i) {
+      queries.push_back(BatchQuery{batch[i].request.query,
+                                   batch[i].token.get()});
+    }
+    std::vector<BatchOutcome> outcomes = runner->Run(queries);
+
+    const Clock::time_point now = Clock::now();
+    for (std::size_t i = begin; i < end; ++i) {
+      PendingRequest& request = batch[i];
+      BatchOutcome& outcome = outcomes[i - begin];
+      const std::uint64_t latency_nanos = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              now - request.received)
+              .count());
+      counters.latency.Record(latency_nanos);
+
+      Completion completion;
+      completion.session_id = request.session_id;
+      if (outcome.status.ok()) {
+        counters.queries_ok.fetch_add(1, std::memory_order_relaxed);
+        if (outcome.result.degraded) {
+          counters.queries_degraded.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (request.shed) {
+          counters.queries_shed.fetch_add(1, std::memory_order_relaxed);
+        }
+        counters.plan_ops_executed.fetch_add(
+            outcome.result.plan_ops.size(), std::memory_order_relaxed);
+        counters.vectors_materialized.fetch_add(
+            outcome.result.stats.vectors_materialized,
+            std::memory_order_relaxed);
+        counters.vectors_reused.fetch_add(
+            outcome.result.stats.vectors_reused, std::memory_order_relaxed);
+        completion.payload = BuildQueryResponse(
+            *snapshot, request.request, outcome.result, request.shed,
+            NanosToMillis(latency_nanos));
+      } else {
+        counters.queries_error.fetch_add(1, std::memory_order_relaxed);
+        completion.payload =
+            BuildErrorResponse(&request.request, outcome.status);
+      }
+      done->push_back(std::move(completion));
+    }
+  }
+
+  Status StageMutation(const Request& request) {
+    switch (request.op) {
+      case RequestOp::kAddVertex:
+        return mutations.graph
+            ->AddVertex(request.vertex_type, request.vertex_name)
+            .status();
+      case RequestOp::kAddEdge:
+        return mutations.graph->AddEdge(
+            request.edge_type, request.src_name, request.dst_name,
+            static_cast<std::uint32_t>(request.count),
+            /*create_vertices=*/true);
+      case RequestOp::kDeleteEdge:
+        return mutations.graph->DeleteEdge(request.edge_type,
+                                           request.src_name,
+                                           request.dst_name);
+      default:
+        return Status::Internal("not a mutation op");
+    }
+  }
+
+  void RunMutationSegment(std::vector<PendingRequest>& batch,
+                          std::size_t begin, std::size_t end,
+                          std::vector<Completion>* done)
+      NETOUT_EXCLUDES(snapshot_mutex) {
+    // Stage every op eagerly (bad ops are rejected individually and
+    // never staged), then fold the survivors into one commit.
+    std::vector<Status> staged(end - begin);
+    bool any_staged = false;
+    for (std::size_t i = begin; i < end; ++i) {
+      staged[i - begin] = StageMutation(batch[i].request);
+      any_staged |= staged[i - begin].ok();
+    }
+
+    Status commit_failure;
+    std::uint64_t epoch = 0;
+    if (any_staged) {
+      Result<CommitResult> committed = mutations.graph->Commit();
+      if (committed.ok()) {
+        epoch = committed.value().snapshot.epoch;
+        PublishSnapshot(committed.value());
+      } else {
+        commit_failure = committed.status();
+      }
+    }
+
+    const Clock::time_point now = Clock::now();
+    for (std::size_t i = begin; i < end; ++i) {
+      PendingRequest& request = batch[i];
+      counters.latency.Record(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              now - request.received)
+              .count()));
+      Completion completion;
+      completion.session_id = request.session_id;
+      const Status& failure =
+          staged[i - begin].ok() ? commit_failure : staged[i - begin];
+      if (failure.ok()) {
+        counters.mutations_ok.fetch_add(1, std::memory_order_relaxed);
+        completion.payload = BuildMutationResponse(request.request, epoch);
+      } else {
+        counters.mutations_error.fetch_add(1, std::memory_order_relaxed);
+        completion.payload = BuildErrorResponse(&request.request, failure);
+      }
+      done->push_back(std::move(completion));
+    }
+  }
+
+  /// Publishes a committed epoch: patches the delta-maintained indexes,
+  /// invalidates affected cache rows, and swaps the snapshot the next
+  /// query segment (and admin payloads) will see. Runs on the
+  /// dispatcher thread between segments, which is exactly the
+  /// no-concurrent-index-readers window ApplyDelta requires.
+  void PublishSnapshot(const CommitResult& committed)
+      NETOUT_EXCLUDES(snapshot_mutex) {
+    const Hin& after = *committed.snapshot.hin;
+    const AffectedRows affected =
+        AffectedTwoStepRows(after, committed.summary);
+    std::uint64_t patched = 0;
+    if (mutations.pm != nullptr) {
+      const std::uint64_t before = mutations.pm->rows_patched();
+      if (!mutations.pm->ApplyDelta(after, affected).ok()) {
+        // The PM epoch stays behind, so its LookupAt guard routes
+        // readers to traversal fallback — slower, never wrong.
+        counters.index_patch_failures.fetch_add(1, std::memory_order_relaxed);
+      }
+      patched += mutations.pm->rows_patched() - before;
+    }
+    if (mutations.spm != nullptr) {
+      const std::uint64_t before = mutations.spm->rows_patched();
+      if (!mutations.spm->ApplyDelta(after, affected).ok()) {
+        counters.index_patch_failures.fetch_add(1, std::memory_order_relaxed);
+      }
+      patched += mutations.spm->rows_patched() - before;
+    }
+    if (mutations.cache != nullptr) {
+      mutations.cache->BeginEpoch(committed.snapshot.epoch, affected);
+    }
+    runner->SetSnapshot(committed.snapshot.hin);
+    {
+      MutexLock lock(snapshot_mutex);
+      hin = committed.snapshot.hin;
+    }
+    counters.epochs_committed.fetch_add(1, std::memory_order_relaxed);
+    counters.graph_epoch.store(committed.snapshot.epoch,
+                               std::memory_order_relaxed);
+    counters.vertices_added.fetch_add(committed.summary.added_vertices.size(),
+                                      std::memory_order_relaxed);
+    counters.vertices_deleted.fetch_add(committed.summary.vertices_deleted,
+                                        std::memory_order_relaxed);
+    counters.edges_added.fetch_add(committed.summary.edges_added,
+                                   std::memory_order_relaxed);
+    counters.edges_deleted.fetch_add(committed.summary.edges_deleted,
+                                     std::memory_order_relaxed);
+    counters.index_rows_patched.fetch_add(patched, std::memory_order_relaxed);
   }
 
   /// Async-signal-safe: one atomic store + one write(). The poll loop
@@ -587,7 +752,60 @@ struct Server::Impl {
       case RequestOp::kQuery:
         AdmitQuery(session, std::move(request));
         return;
+      case RequestOp::kAddVertex:
+      case RequestOp::kAddEdge:
+      case RequestOp::kDeleteEdge:
+        AdmitMutation(session, std::move(request));
+        return;
     }
+  }
+
+  /// Mutations ride the dispatcher queue like queries (that ordering IS
+  /// the consistency story) but carry no control token: a commit is
+  /// quick, all-or-nothing, and must never be half-cancelled.
+  void AdmitMutation(Session* session, Request request)
+      NETOUT_EXCLUDES(dispatch_mutex) {
+    if (mutations.graph == nullptr) {
+      counters.mutations_error.fetch_add(1, std::memory_order_relaxed);
+      Enqueue(session,
+              BuildErrorResponse(
+                  &request, Status::FailedPrecondition(
+                                "server is read-only (started without a "
+                                "mutation context)")));
+      return;
+    }
+    if (draining) {
+      counters.mutations_error.fetch_add(1, std::memory_order_relaxed);
+      Enqueue(session, BuildErrorResponse(
+                           &request,
+                           Status::FailedPrecondition("server is draining")));
+      return;
+    }
+    std::size_t backlog;
+    {
+      MutexLock lock(dispatch_mutex);
+      backlog = pending.size();
+    }
+    if (backlog >= max_backlog_effective) {
+      counters.mutations_error.fetch_add(1, std::memory_order_relaxed);
+      Enqueue(session,
+              BuildErrorResponse(
+                  &request, Status::ResourceExhausted(
+                                "backlog full (" +
+                                std::to_string(max_backlog_effective) +
+                                " queued); retry later")));
+      return;
+    }
+    PendingRequest pending_request;
+    pending_request.session_id = session->id;
+    pending_request.received = Clock::now();
+    pending_request.request = std::move(request);
+    session->inflight++;
+    {
+      MutexLock lock(dispatch_mutex);
+      pending.push_back(std::move(pending_request));
+    }
+    dispatch_cv.NotifyOne();
   }
 
   void AdmitQuery(Session* session, Request request)
@@ -792,6 +1010,23 @@ struct Server::Impl {
     snap.queries_refused =
         counters.queries_refused.load(std::memory_order_relaxed);
     snap.batches = counters.batches.load(std::memory_order_relaxed);
+    snap.mutations_ok = counters.mutations_ok.load(std::memory_order_relaxed);
+    snap.mutations_error =
+        counters.mutations_error.load(std::memory_order_relaxed);
+    snap.epochs_committed =
+        counters.epochs_committed.load(std::memory_order_relaxed);
+    snap.vertices_added =
+        counters.vertices_added.load(std::memory_order_relaxed);
+    snap.vertices_deleted =
+        counters.vertices_deleted.load(std::memory_order_relaxed);
+    snap.edges_added = counters.edges_added.load(std::memory_order_relaxed);
+    snap.edges_deleted =
+        counters.edges_deleted.load(std::memory_order_relaxed);
+    snap.index_rows_patched =
+        counters.index_rows_patched.load(std::memory_order_relaxed);
+    snap.index_patch_failures =
+        counters.index_patch_failures.load(std::memory_order_relaxed);
+    snap.graph_epoch = counters.graph_epoch.load(std::memory_order_relaxed);
     snap.bytes_read = counters.bytes_read.load(std::memory_order_relaxed);
     snap.bytes_written = counters.bytes_written.load(std::memory_order_relaxed);
     snap.latency_count =
@@ -853,6 +1088,31 @@ struct Server::Impl {
     json.Key("batches");
     json.Uint(snap.batches);
     json.EndObject();
+    json.Key("graph");
+    json.BeginObject();
+    json.Key("epoch");
+    json.Uint(snap.graph_epoch);
+    json.Key("read_only");
+    json.Bool(mutations.graph == nullptr);
+    json.Key("mutations_ok");
+    json.Uint(snap.mutations_ok);
+    json.Key("mutations_error");
+    json.Uint(snap.mutations_error);
+    json.Key("epochs_committed");
+    json.Uint(snap.epochs_committed);
+    json.Key("vertices_added");
+    json.Uint(snap.vertices_added);
+    json.Key("vertices_deleted");
+    json.Uint(snap.vertices_deleted);
+    json.Key("edges_added");
+    json.Uint(snap.edges_added);
+    json.Key("edges_deleted");
+    json.Uint(snap.edges_deleted);
+    json.Key("index_rows_patched");
+    json.Uint(snap.index_rows_patched);
+    json.Key("index_patch_failures");
+    json.Uint(snap.index_patch_failures);
+    json.EndObject();
     json.Key("plan");
     json.BeginObject();
     json.Key("ops_executed");
@@ -876,6 +1136,12 @@ struct Server::Impl {
       json.Uint(cache_stats.evictions);
       json.Key("rejected_too_large");
       json.Uint(cache_stats.rejected_too_large);
+      json.Key("invalidated");
+      json.Uint(cache_stats.invalidated);
+      json.Key("stale_lookups");
+      json.Uint(cache_stats.stale_lookups);
+      json.Key("stale_inserts");
+      json.Uint(cache_stats.stale_inserts);
       json.Key("entries");
       json.Uint(cache->num_entries());
       json.Key("bytes");
@@ -944,22 +1210,32 @@ struct Server::Impl {
     json.Key("index");
     json.String(engine_options.index != nullptr ? engine_options.index->Name()
                                                 : "none");
+    json.Key("read_only");
+    json.Bool(mutations.graph == nullptr);
+    const HinPtr snapshot = CurrentSnapshot();
+    json.Key("epoch");
+    json.Uint(snapshot != nullptr ? snapshot->epoch() : 0);
     json.Key("vertices");
-    json.Uint(hin != nullptr ? hin->TotalVertices() : 0);
+    json.Uint(snapshot != nullptr ? snapshot->TotalVertices() : 0);
     json.Key("edges");
-    json.Uint(hin != nullptr ? hin->TotalEdges() : 0);
+    json.Uint(snapshot != nullptr ? snapshot->TotalEdges() : 0);
     json.EndObject();
     return std::move(json).Take();
   }
 };
 
 Server::Server(HinPtr hin, const EngineOptions& engine_options,
-               const ServerOptions& options, const CachedIndex* cache)
+               const ServerOptions& options, const CachedIndex* cache,
+               const MutationContext& mutations)
     : impl_(std::make_unique<Impl>()) {
-  impl_->hin = std::move(hin);
+  {
+    MutexLock lock(impl_->snapshot_mutex);
+    impl_->hin = std::move(hin);
+  }
   impl_->engine_options = engine_options;
   impl_->options = options;
   impl_->cache = cache;
+  impl_->mutations = mutations;
 }
 
 Server::~Server() = default;

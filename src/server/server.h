@@ -8,11 +8,28 @@
 
 #include "common/cancellation.h"
 #include "common/result.h"
+#include "graph/delta.h"
 #include "index/cached_index.h"
+#include "index/pm_index.h"
+#include "index/spm_index.h"
 #include "query/engine.h"
 #include "server/protocol.h"
 
 namespace netout {
+
+/// Everything the mutation verbs (add_vertex / add_edge / delete_edge)
+/// need: the mutation manager plus the delta-maintained indexes to
+/// patch after each commit. All pointers are borrowed and must outlive
+/// the server; every one is optional — a null `graph` makes the server
+/// read-only (mutation requests fail with kFailedPrecondition), and
+/// null indexes simply skip that maintenance step (their epoch guards
+/// then degrade lookups to traversal fallback, never to wrong answers).
+struct MutationContext {
+  MutableHin* graph = nullptr;
+  PmIndex* pm = nullptr;
+  SpmIndex* spm = nullptr;
+  CachedIndex* cache = nullptr;
+};
 
 /// netout_serve configuration. The server loads the HIN and indexes
 /// once and keeps them resident; every connection then pays only
@@ -79,6 +96,19 @@ struct ServerStatsSnapshot {
   std::uint64_t queries_shed = 0;
   std::uint64_t queries_refused = 0;
   std::uint64_t batches = 0;
+  std::uint64_t mutations_ok = 0;
+  std::uint64_t mutations_error = 0;
+  std::uint64_t epochs_committed = 0;
+  std::uint64_t vertices_added = 0;
+  std::uint64_t vertices_deleted = 0;
+  std::uint64_t edges_added = 0;
+  std::uint64_t edges_deleted = 0;
+  std::uint64_t index_rows_patched = 0;
+  /// ApplyDelta failures after a successful commit. The epoch guards
+  /// keep answers correct (the stale index degrades to traversal), but
+  /// a non-zero count means the fast path is silently eroding.
+  std::uint64_t index_patch_failures = 0;
+  std::uint64_t graph_epoch = 0;
   std::uint64_t bytes_read = 0;
   std::uint64_t bytes_written = 0;
   std::uint64_t latency_count = 0;
@@ -108,6 +138,16 @@ struct ServerStatsSnapshot {
 /// connection. Admin ops (ping/stats/config/shutdown) are answered
 /// from the poll loop immediately and may overtake earlier query
 /// responses still executing — correlate by "id".
+///
+/// Mutations: add_vertex / add_edge / delete_edge requests flow through
+/// the same dispatcher queue as queries, which gives the serialization
+/// the delta-maintained indexes need for free: the dispatcher splits
+/// each drained batch into maximal runs of queries and runs of
+/// mutations, executes query runs on the BatchRunner, folds each
+/// mutation run into ONE MutableHin commit (one epoch), patches
+/// PM/SPM, invalidates the cache by key, and swaps the published
+/// snapshot — all before the next query run starts. Queries admitted
+/// after a mutation (on any connection) therefore always see it.
 class Server {
  public:
   /// `engine_options.index` (and `cache`, when the index is a
@@ -116,7 +156,8 @@ class Server {
   /// budget members of engine_options are overridden by the server's
   /// per-request admission control.
   Server(HinPtr hin, const EngineOptions& engine_options,
-         const ServerOptions& options, const CachedIndex* cache = nullptr);
+         const ServerOptions& options, const CachedIndex* cache = nullptr,
+         const MutationContext& mutations = {});
   ~Server();
 
   Server(const Server&) = delete;

@@ -1,0 +1,259 @@
+#include "index/incremental.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "datagen/biblio_gen.h"
+#include "graph/builder.h"
+#include "graph/delta.h"
+#include "index/pm_index.h"
+#include "index/spm_index.h"
+
+namespace netout {
+namespace {
+
+/// Requires *exact* double equality (not ULP tolerance): the contract
+/// under test is that delta maintenance is bitwise identical to a
+/// from-scratch rebuild at the same epoch.
+void ExpectBitwiseEqualLookups(const MetaPathIndex& patched,
+                               const MetaPathIndex& fresh,
+                               const Hin& hin,
+                               const std::vector<TwoStepKey>& keys) {
+  const Schema& schema = hin.schema();
+  for (const TwoStepKey& key : keys) {
+    const TypeId source = schema.StepSource(key.first);
+    for (LocalId row = 0; row < hin.NumVertices(source); ++row) {
+      const auto got = patched.Lookup(key, row);
+      const auto want = fresh.Lookup(key, row);
+      ASSERT_EQ(got.has_value(), want.has_value())
+          << "row " << row << " presence diverged";
+      if (!want.has_value()) continue;
+      ASSERT_EQ(got->nnz(), want->nnz()) << "row " << row;
+      for (std::size_t i = 0; i < want->nnz(); ++i) {
+        ASSERT_EQ(got->indices[i], want->indices[i]) << "row " << row;
+        ASSERT_EQ(got->values[i], want->values[i]) << "row " << row;
+      }
+    }
+  }
+}
+
+class IncrementalIndexFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    BiblioConfig config;
+    config.seed = 23;
+    config.num_areas = 2;
+    config.authors_per_area = 30;
+    config.papers_per_area = 60;
+    config.venues_per_area = 3;
+    config.terms_per_area = 20;
+    config.shared_terms = 10;
+    dataset_ = new BiblioDataset(GenerateBiblio(config).value());
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+
+  /// One representative mutation batch: edge adds (including brand-new
+  /// vertices), an edge delete, and a vertex tombstone — every delta
+  /// shape ApplyDelta has to handle.
+  static void StageMixedBatch(MutableHin& graph) {
+    ASSERT_TRUE(graph
+                    .AddEdge("writes", "star_0", "paper_new_0", /*count=*/1,
+                             /*create_vertices=*/true)
+                    .ok());
+    ASSERT_TRUE(graph
+                    .AddEdge("published_in", "paper_new_0", "venue_0_0",
+                             /*count=*/1, /*create_vertices=*/true)
+                    .ok());
+    ASSERT_TRUE(graph
+                    .AddEdge("writes", "author_0_1", "paper_new_0",
+                             /*count=*/2, /*create_vertices=*/true)
+                    .ok());
+    // Disconnect star_0 from its first existing paper.
+    const HinPtr snapshot = graph.Snapshot().hin;
+    const VertexRef star =
+        snapshot->FindVertex(dataset_->author_type, "star_0").value();
+    const EdgeStep writes =
+        snapshot->schema()
+            .ResolveStep(dataset_->author_type, dataset_->paper_type)
+            .value();
+    const auto row = snapshot->StepRow(writes, star.local);
+    ASSERT_FALSE(row.empty());
+    const std::string paper = snapshot->VertexName(
+        VertexRef{dataset_->paper_type, row.front().neighbor});
+    ASSERT_TRUE(graph.DeleteEdge("writes", "star_0", paper).ok());
+    ASSERT_TRUE(graph.DeleteVertex("author", "author_0_2").ok());
+  }
+
+  static BiblioDataset* dataset_;
+};
+
+BiblioDataset* IncrementalIndexFixture::dataset_ = nullptr;
+
+TEST_F(IncrementalIndexFixture, AllTwoStepKeysMatchesThePmKeySpace) {
+  const auto pm = PmIndex::Build(*dataset_->hin).value();
+  std::vector<TwoStepKey> all = AllTwoStepKeys(dataset_->hin->schema());
+  std::vector<TwoStepKey> built = pm->Keys();
+  ASSERT_EQ(all.size(), built.size());
+  for (const TwoStepKey& key : all) {
+    EXPECT_NE(std::find(built.begin(), built.end(), key), built.end());
+  }
+}
+
+TEST_F(IncrementalIndexFixture, PmApplyDeltaIsBitwiseEqualToFreshBuild) {
+  const auto pm = PmIndex::Build(*dataset_->hin).value();
+  EXPECT_EQ(pm->epoch(), 0u);
+
+  MutableHin graph(dataset_->hin);
+  StageMixedBatch(graph);
+  const CommitResult commit = graph.Commit().value();
+  const HinPtr after = commit.snapshot.hin;
+
+  const AffectedRows affected = AffectedTwoStepRows(*after, commit.summary);
+  ASSERT_FALSE(affected.empty());
+  ASSERT_TRUE(pm->ApplyDelta(*after, affected).ok());
+  EXPECT_EQ(pm->epoch(), after->epoch());
+  EXPECT_GT(pm->rows_patched(), 0u);
+
+  const auto fresh = PmIndex::Build(*after).value();
+  ExpectBitwiseEqualLookups(*pm, *fresh, *after, fresh->Keys());
+}
+
+TEST_F(IncrementalIndexFixture, PmApplyDeltaAccumulatesAcrossEpochs) {
+  const auto pm = PmIndex::Build(*dataset_->hin).value();
+  MutableHin graph(dataset_->hin);
+
+  StageMixedBatch(graph);
+  const CommitResult first = graph.Commit().value();
+  ASSERT_TRUE(
+      pm->ApplyDelta(*first.snapshot.hin,
+                     AffectedTwoStepRows(*first.snapshot.hin, first.summary))
+          .ok());
+
+  ASSERT_TRUE(graph
+                  .AddEdge("writes", "star_1", "paper_new_1", /*count=*/1,
+                           /*create_vertices=*/true)
+                  .ok());
+  ASSERT_TRUE(graph.DeleteEdge("writes", "author_0_1", "paper_new_0").ok());
+  const CommitResult second = graph.Commit().value();
+  const HinPtr after = second.snapshot.hin;
+  ASSERT_TRUE(
+      pm->ApplyDelta(*after, AffectedTwoStepRows(*after, second.summary))
+          .ok());
+  EXPECT_EQ(pm->epoch(), 2u);
+
+  const auto fresh = PmIndex::Build(*after).value();
+  ExpectBitwiseEqualLookups(*pm, *fresh, *after, fresh->Keys());
+}
+
+TEST_F(IncrementalIndexFixture, ApplyDeltaRejectsSnapshotsOlderThanTheIndex) {
+  const auto pm = PmIndex::Build(*dataset_->hin).value();
+  MutableHin graph(dataset_->hin);
+  ASSERT_TRUE(graph
+                  .AddEdge("writes", "star_0", "paper_new_0", /*count=*/1,
+                           /*create_vertices=*/true)
+                  .ok());
+  const CommitResult commit = graph.Commit().value();
+  const HinPtr after = commit.snapshot.hin;
+  const AffectedRows affected = AffectedTwoStepRows(*after, commit.summary);
+  ASSERT_TRUE(pm->ApplyDelta(*after, affected).ok());
+  // Patching backward (toward the epoch-0 root) must refuse: the index
+  // already describes a later graph.
+  EXPECT_EQ(pm->ApplyDelta(*dataset_->hin, affected).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(IncrementalIndexFixture, SpmApplyDeltaIsBitwiseEqualToFreshBuild) {
+  // Select a handful of authors, among them vertices the batch touches.
+  std::vector<VertexRef> selection;
+  for (LocalId v = 0; v < 8; ++v) {
+    selection.push_back(VertexRef{dataset_->author_type, v});
+  }
+  const auto spm =
+      SpmIndex::BuildForVertices(*dataset_->hin, selection).value();
+  EXPECT_EQ(spm->epoch(), 0u);
+
+  MutableHin graph(dataset_->hin);
+  StageMixedBatch(graph);
+  const CommitResult commit = graph.Commit().value();
+  const HinPtr after = commit.snapshot.hin;
+  ASSERT_TRUE(
+      spm->ApplyDelta(*after, AffectedTwoStepRows(*after, commit.summary))
+          .ok());
+  EXPECT_EQ(spm->epoch(), after->epoch());
+
+  const auto fresh = SpmIndex::BuildForVertices(*after, selection).value();
+  ExpectBitwiseEqualLookups(*spm, *fresh, *after,
+                            AllTwoStepKeys(after->schema()));
+  // SPM never grows its selection: an unselected row still misses.
+  const EdgeStep a_to_p =
+      after->schema()
+          .ResolveStep(dataset_->author_type, dataset_->paper_type)
+          .value();
+  const EdgeStep p_to_v =
+      after->schema()
+          .ResolveStep(dataset_->paper_type, dataset_->venue_type)
+          .value();
+  EXPECT_FALSE(spm->Lookup(TwoStepKey{a_to_p, p_to_v}, 20).has_value());
+}
+
+// Ground-truth check of the (b) rule on a graph small enough to reason
+// about by hand: adding writes(Ava, P1) must invalidate KDD's
+// (venue->paper, paper->author) row — P1 gained an author, and KDD
+// reaches authors through P1 — without touching ICDE's.
+TEST(AffectedRowsGroundTruth, TransitiveInvalidationThroughMidVertices) {
+  GraphBuilder builder;
+  const TypeId author = builder.AddVertexType("author").value();
+  const TypeId paper = builder.AddVertexType("paper").value();
+  const TypeId venue = builder.AddVertexType("venue").value();
+  builder.AddEdgeType("writes", author, paper).CheckOk();
+  builder.AddEdgeType("published_in", paper, venue).CheckOk();
+  ASSERT_TRUE(builder.AddEdgeByName("writes", "Liam", "P1").ok());
+  ASSERT_TRUE(builder.AddEdgeByName("writes", "Zoe", "P2").ok());
+  ASSERT_TRUE(builder.AddEdgeByName("writes", "Ava", "P2").ok());
+  ASSERT_TRUE(builder.AddEdgeByName("published_in", "P1", "KDD").ok());
+  ASSERT_TRUE(builder.AddEdgeByName("published_in", "P2", "ICDE").ok());
+  const HinPtr root = builder.Finish().value();
+
+  MutableHin graph(root);
+  ASSERT_TRUE(graph.AddEdge("writes", "Ava", "P1").ok());
+  const CommitResult commit = graph.Commit().value();
+  const HinPtr after = commit.snapshot.hin;
+  const AffectedRows affected = AffectedTwoStepRows(*after, commit.summary);
+
+  const Schema& schema = after->schema();
+  const EdgeStep a_to_p = schema.ResolveStep(author, paper).value();
+  const EdgeStep p_to_a = schema.ResolveStep(paper, author).value();
+  const EdgeStep p_to_v = schema.ResolveStep(paper, venue).value();
+  const EdgeStep v_to_p = schema.ResolveStep(venue, paper).value();
+
+  const LocalId ava = after->FindVertex(author, "Ava")->local;
+  const LocalId liam = after->FindVertex(author, "Liam")->local;
+  const LocalId kdd = after->FindVertex(venue, "KDD")->local;
+
+  // (author->paper, paper->venue): only Ava's direct row changed.
+  const auto apv = affected.find(TwoStepKey{a_to_p, p_to_v});
+  ASSERT_NE(apv, affected.end());
+  EXPECT_EQ(apv->second, std::vector<LocalId>{ava});
+
+  // (venue->paper, paper->author): KDD reaches the changed mid P1; the
+  // ICDE row is provably untouched.
+  const auto vpa = affected.find(TwoStepKey{v_to_p, p_to_a});
+  ASSERT_NE(vpa, affected.end());
+  EXPECT_EQ(vpa->second, std::vector<LocalId>{kdd});
+
+  // (author->paper, paper->author): Ava directly, Liam through mid P1.
+  const auto apa = affected.find(TwoStepKey{a_to_p, p_to_a});
+  ASSERT_NE(apa, affected.end());
+  std::vector<LocalId> expect{liam, ava};
+  std::sort(expect.begin(), expect.end());
+  EXPECT_EQ(apa->second, expect);
+}
+
+}  // namespace
+}  // namespace netout

@@ -179,6 +179,123 @@ TEST(ResponseBuilderTest, PingAndObjectResponses) {
   EXPECT_EQ(stats, "{\"ok\":true,\"op\":\"stats\",\"stats\":{\"a\":1}}\n");
 }
 
+TEST(ParseRequestTest, MutationOps) {
+  auto add_vertex = ParseRequest(
+      "{\"op\":\"add_vertex\",\"type\":\"author\",\"name\":\"Ava\","
+      "\"id\":3}",
+      ProtocolLimits{});
+  ASSERT_TRUE(add_vertex.ok()) << add_vertex.status().ToString();
+  EXPECT_EQ(add_vertex.value().op, RequestOp::kAddVertex);
+  EXPECT_EQ(add_vertex.value().vertex_type, "author");
+  EXPECT_EQ(add_vertex.value().vertex_name, "Ava");
+  EXPECT_EQ(add_vertex.value().id_json, "3");
+
+  auto add_edge = ParseRequest(
+      "{\"op\":\"add_edge\",\"edge\":\"writes\",\"src\":\"Ava\","
+      "\"dst\":\"P1\",\"count\":3}",
+      ProtocolLimits{});
+  ASSERT_TRUE(add_edge.ok()) << add_edge.status().ToString();
+  EXPECT_EQ(add_edge.value().op, RequestOp::kAddEdge);
+  EXPECT_EQ(add_edge.value().edge_type, "writes");
+  EXPECT_EQ(add_edge.value().src_name, "Ava");
+  EXPECT_EQ(add_edge.value().dst_name, "P1");
+  EXPECT_EQ(add_edge.value().count, 3);
+
+  auto delete_edge = ParseRequest(
+      "{\"op\":\"delete_edge\",\"edge\":\"writes\",\"src\":\"Ava\","
+      "\"dst\":\"P1\"}",
+      ProtocolLimits{});
+  ASSERT_TRUE(delete_edge.ok());
+  EXPECT_EQ(delete_edge.value().op, RequestOp::kDeleteEdge);
+  EXPECT_EQ(delete_edge.value().count, 1);  // default multiplicity
+
+  EXPECT_TRUE(IsMutationOp(RequestOp::kAddVertex));
+  EXPECT_TRUE(IsMutationOp(RequestOp::kAddEdge));
+  EXPECT_TRUE(IsMutationOp(RequestOp::kDeleteEdge));
+  EXPECT_FALSE(IsMutationOp(RequestOp::kQuery));
+  EXPECT_FALSE(IsMutationOp(RequestOp::kPing));
+}
+
+TEST(ParseRequestTest, MutationSchemaViolationsAreParseErrors) {
+  const ProtocolLimits limits;
+  // Required members missing.
+  EXPECT_FALSE(ParseRequest("{\"op\":\"add_vertex\"}", limits).ok());
+  EXPECT_FALSE(
+      ParseRequest("{\"op\":\"add_vertex\",\"type\":\"author\"}", limits)
+          .ok());
+  EXPECT_FALSE(
+      ParseRequest("{\"op\":\"add_edge\",\"edge\":\"writes\","
+                   "\"src\":\"Ava\"}",
+                   limits)
+          .ok());
+  EXPECT_FALSE(
+      ParseRequest("{\"op\":\"delete_edge\",\"src\":\"a\",\"dst\":\"b\"}",
+                   limits)
+          .ok());
+  // Members from the wrong op family.
+  EXPECT_FALSE(
+      ParseRequest("{\"op\":\"add_vertex\",\"type\":\"author\","
+                   "\"name\":\"Ava\",\"src\":\"x\"}",
+                   limits)
+          .ok());
+  EXPECT_FALSE(
+      ParseRequest("{\"op\":\"add_vertex\",\"type\":\"author\","
+                   "\"name\":\"Ava\",\"count\":2}",
+                   limits)
+          .ok());
+  EXPECT_FALSE(
+      ParseRequest("{\"op\":\"add_edge\",\"edge\":\"writes\","
+                   "\"src\":\"a\",\"dst\":\"b\",\"type\":\"author\"}",
+                   limits)
+          .ok());
+  EXPECT_FALSE(
+      ParseRequest("{\"op\":\"ping\",\"name\":\"Ava\"}", limits).ok());
+  EXPECT_FALSE(ParseRequest("{\"op\":\"query\",\"q\":\"x\","
+                            "\"edge\":\"writes\"}",
+                            limits)
+                   .ok());
+  // Wrong member types / values.
+  EXPECT_FALSE(
+      ParseRequest("{\"op\":\"add_vertex\",\"type\":7,\"name\":\"A\"}",
+                   limits)
+          .ok());
+  EXPECT_FALSE(
+      ParseRequest("{\"op\":\"add_vertex\",\"type\":\"\",\"name\":\"A\"}",
+                   limits)
+          .ok());
+  EXPECT_FALSE(
+      ParseRequest("{\"op\":\"add_edge\",\"edge\":\"writes\","
+                   "\"src\":\"a\",\"dst\":\"b\",\"count\":0}",
+                   limits)
+          .ok());
+  EXPECT_FALSE(
+      ParseRequest("{\"op\":\"add_edge\",\"edge\":\"writes\","
+                   "\"src\":\"a\",\"dst\":\"b\",\"count\":-2}",
+                   limits)
+          .ok());
+  EXPECT_FALSE(
+      ParseRequest("{\"op\":\"add_edge\",\"edge\":\"writes\","
+                   "\"src\":\"a\",\"dst\":\"b\",\"count\":1.5}",
+                   limits)
+          .ok());
+}
+
+TEST(ResponseBuilderTest, MutationResponseCarriesTheCommittedEpoch) {
+  Request request;
+  request.op = RequestOp::kAddEdge;
+  request.id_json = "11";
+  const std::string line = BuildMutationResponse(request, /*epoch=*/42);
+  ASSERT_FALSE(line.empty());
+  EXPECT_EQ(line.back(), '\n');
+  EXPECT_EQ(line.find('\n'), line.size() - 1);
+  auto doc = JsonParse(std::string_view(line.data(), line.size() - 1));
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_TRUE(doc.value().Find("ok")->bool_value());
+  EXPECT_EQ(doc.value().Find("op")->string_value(), "add_edge");
+  EXPECT_EQ(doc.value().Find("id")->AsInt64().value(), 11);
+  EXPECT_EQ(doc.value().Find("epoch")->AsInt64().value(), 42);
+}
+
 TEST(ResponseBuilderTest, QueryResponseEmbedsResultObject) {
   Request request;
   request.op = RequestOp::kQuery;

@@ -157,6 +157,28 @@ class ServerTest : public ::testing::Test {
     });
   }
 
+  /// Starts a mutation-enabled server: MutableHin over the dataset plus
+  /// a delta-maintained PM index behind a cache — the full netout_serve
+  /// default wiring.
+  void StartMutableServer(ServerOptions options = {}) {
+    mutable_hin_ = std::make_unique<MutableHin>(dataset_->hin);
+    pm_ = PmIndex::Build(*dataset_->hin).value();
+    cache_ = std::make_unique<CachedIndex>(pm_.get());
+    EngineOptions engine_options;
+    engine_options.index = cache_.get();
+    MutationContext mutations;
+    mutations.graph = mutable_hin_.get();
+    mutations.pm = pm_.get();
+    mutations.cache = cache_.get();
+    server_ = std::make_unique<Server>(dataset_->hin, engine_options,
+                                       options, cache_.get(), mutations);
+    ASSERT_TRUE(server_->Start().ok());
+    serve_thread_ = std::thread([this] {
+      const Status status = server_->Serve();
+      EXPECT_TRUE(status.ok()) << status.ToString();
+    });
+  }
+
   void TearDown() override {
     if (server_ != nullptr && serve_thread_.joinable()) {
       server_->RequestShutdown();
@@ -167,15 +189,25 @@ class ServerTest : public ::testing::Test {
   /// What `netout_query --json` would print for this query — the
   /// identity reference.
   static std::string SoloResultJson(const std::string& query) {
+    return SoloResultJsonOn(dataset_->hin, query);
+  }
+
+  /// Same, against an arbitrary snapshot (mutated-graph references).
+  static std::string SoloResultJsonOn(const HinPtr& hin,
+                                      const std::string& query) {
     EngineOptions engine_options;
-    Engine engine(dataset_->hin, engine_options);
+    Engine engine(hin, engine_options);
     auto result = engine.Execute(query);
     EXPECT_TRUE(result.ok()) << result.status().ToString();
-    return QueryResultToJson(*dataset_->hin, result.value(),
-                             /*pretty=*/false);
+    return QueryResultToJson(*hin, result.value(), /*pretty=*/false);
   }
 
   static BiblioDataset* dataset_;
+  // Mutation context members are declared before server_ so they are
+  // destroyed after it (the server borrows them).
+  std::unique_ptr<MutableHin> mutable_hin_;
+  std::unique_ptr<PmIndex> pm_;
+  std::unique_ptr<CachedIndex> cache_;
   std::unique_ptr<Server> server_;
   std::thread serve_thread_;
 };
@@ -437,6 +469,208 @@ TEST_F(ServerTest, WriteOverflowOnCompletionPathDropsSessionNotServer) {
   ASSERT_TRUE(second.connected());
   ASSERT_TRUE(second.SendLine("{\"op\":\"ping\"}").ok());
   EXPECT_TRUE(MustParse(second.ReadLine().value()).Find("ok")->bool_value());
+}
+
+// The streaming-ingest scenario: papers arrive as add_edge verbs on a
+// live daemon while queries interleave. The served answers must stay
+// byte-identical (on the "outliers" array) to a solo engine run against
+// an equivalently mutated snapshot — the wire-level face of the
+// incremental-equivalence gate.
+TEST_F(ServerTest, StreamedMutationsKeepQueriesBitwiseIdenticalToSolo) {
+  StartMutableServer();
+  TestClient client(server_->port());
+  ASSERT_TRUE(client.connected());
+
+  // Baseline: the unmutated snapshot answers exactly like solo.
+  JsonWriter query_json;
+  query_json.BeginObject();
+  query_json.Key("q");
+  query_json.String(kStarQuery);
+  query_json.EndObject();
+  const std::string query_line = std::move(query_json).Take();
+  ASSERT_TRUE(client.SendLine(query_line).ok());
+  const std::string baseline = client.ReadLine().value();
+  ASSERT_TRUE(MustParse(baseline).Find("ok")->bool_value()) << baseline;
+  EXPECT_EQ(ExtractOutliers(baseline),
+            ExtractOutliers(SoloResultJson(kStarQuery)));
+
+  // Three papers stream in for star_0, wired into an off-area venue —
+  // enough signal to move the venue-judged scores.
+  std::vector<std::string> ops;
+  for (int i = 0; i < 3; ++i) {
+    const std::string paper = "paper_live_" + std::to_string(i);
+    ops.push_back("{\"op\":\"add_edge\",\"edge\":\"writes\","
+                  "\"src\":\"star_0\",\"dst\":\"" +
+                  paper + "\"}");
+    ops.push_back("{\"op\":\"add_edge\",\"edge\":\"published_in\","
+                  "\"src\":\"" +
+                  paper + "\",\"dst\":\"venue_1_0\"}");
+  }
+  std::uint64_t last_epoch = 0;
+  for (const std::string& op : ops) {
+    ASSERT_TRUE(client.SendLine(op).ok());
+    const std::string line = client.ReadLine().value();
+    JsonValue ack = MustParse(line);
+    ASSERT_TRUE(ack.Find("ok")->bool_value()) << line;
+    const auto epoch =
+        static_cast<std::uint64_t>(ack.Find("epoch")->AsInt64().value());
+    EXPECT_GE(epoch, 1u);
+    EXPECT_GE(epoch, last_epoch);  // epochs never move backward
+    last_epoch = epoch;
+  }
+
+  // The reference: the same ops applied to a private MutableHin.
+  MutableHin reference(dataset_->hin);
+  for (int i = 0; i < 3; ++i) {
+    const std::string paper = "paper_live_" + std::to_string(i);
+    ASSERT_TRUE(reference
+                    .AddEdge("writes", "star_0", paper, /*count=*/1,
+                             /*create_vertices=*/true)
+                    .ok());
+    ASSERT_TRUE(reference
+                    .AddEdge("published_in", paper, "venue_1_0",
+                             /*count=*/1, /*create_vertices=*/true)
+                    .ok());
+  }
+  const HinPtr expected_snapshot = reference.Commit().value().snapshot.hin;
+
+  ASSERT_TRUE(client.SendLine(query_line).ok());
+  const std::string after = client.ReadLine().value();
+  JsonValue response = MustParse(after);
+  ASSERT_TRUE(response.Find("ok")->bool_value()) << after;
+  EXPECT_EQ(ExtractOutliers(after),
+            ExtractOutliers(SoloResultJsonOn(expected_snapshot, kStarQuery)));
+  // The response's stats advertise the epoch the query ran at.
+  EXPECT_EQ(response.Find("result")
+                ->Find("stats")
+                ->Find("graph_epoch")
+                ->AsInt64()
+                .value(),
+            static_cast<std::int64_t>(last_epoch));
+
+  // The STATS verb exposes the mutation counters.
+  ASSERT_TRUE(client.SendLine("{\"op\":\"stats\"}").ok());
+  JsonValue stats = MustParse(client.ReadLine().value());
+  ASSERT_TRUE(stats.Find("ok")->bool_value());
+  const JsonValue* graph = stats.Find("stats")->Find("graph");
+  ASSERT_NE(graph, nullptr);
+  EXPECT_FALSE(graph->Find("read_only")->bool_value());
+  EXPECT_EQ(graph->Find("epoch")->AsInt64().value(),
+            static_cast<std::int64_t>(last_epoch));
+  EXPECT_EQ(graph->Find("mutations_ok")->AsInt64().value(), 6);
+  EXPECT_EQ(graph->Find("mutations_error")->AsInt64().value(), 0);
+  EXPECT_GE(graph->Find("epochs_committed")->AsInt64().value(), 1);
+  EXPECT_EQ(graph->Find("edges_added")->AsInt64().value(), 6);
+  EXPECT_EQ(graph->Find("vertices_added")->AsInt64().value(), 3);
+  EXPECT_GT(graph->Find("index_rows_patched")->AsInt64().value(), 0);
+  EXPECT_EQ(graph->Find("index_patch_failures")->AsInt64().value(), 0);
+}
+
+TEST_F(ServerTest, MutationErrorsAreIsolatedPerRequest) {
+  StartMutableServer();
+  TestClient client(server_->port());
+  ASSERT_TRUE(client.connected());
+  // Deleting a link that does not exist fails with not-found...
+  ASSERT_TRUE(
+      client
+          .SendLine("{\"op\":\"delete_edge\",\"edge\":\"writes\","
+                    "\"src\":\"star_0\",\"dst\":\"no_such_paper\",\"id\":1}")
+          .ok());
+  JsonValue error = MustParse(client.ReadLine().value());
+  EXPECT_FALSE(error.Find("ok")->bool_value());
+  EXPECT_EQ(error.Find("error")->Find("code")->string_value(), "not-found");
+  EXPECT_EQ(error.Find("id")->AsInt64().value(), 1);
+  // ...without poisoning the session or the graph: a valid mutation and
+  // a query still work.
+  ASSERT_TRUE(client
+                  .SendLine("{\"op\":\"add_vertex\",\"type\":\"author\","
+                            "\"name\":\"fresh_author\",\"id\":2}")
+                  .ok());
+  JsonValue ack = MustParse(client.ReadLine().value());
+  EXPECT_TRUE(ack.Find("ok")->bool_value());
+  EXPECT_GE(ack.Find("epoch")->AsInt64().value(), 1);
+  const ServerStatsSnapshot stats = server_->stats();
+  EXPECT_EQ(stats.mutations_error, 1u);
+  EXPECT_EQ(stats.mutations_ok, 1u);
+  EXPECT_EQ(stats.vertices_added, 1u);
+}
+
+TEST_F(ServerTest, ReadOnlyServerRefusesMutations) {
+  StartServer();  // no MutationContext: read-only
+  TestClient client(server_->port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client
+                  .SendLine("{\"op\":\"add_vertex\",\"type\":\"author\","
+                            "\"name\":\"Ava\"}")
+                  .ok());
+  JsonValue refusal = MustParse(client.ReadLine().value());
+  EXPECT_FALSE(refusal.Find("ok")->bool_value());
+  EXPECT_EQ(refusal.Find("error")->Find("code")->string_value(),
+            "failed-precondition");
+  // Still serving queries.
+  ASSERT_TRUE(client.SendLine("{\"op\":\"ping\"}").ok());
+  EXPECT_TRUE(MustParse(client.ReadLine().value()).Find("ok")->bool_value());
+  // STATS advertises the read-only state.
+  ASSERT_TRUE(client.SendLine("{\"op\":\"stats\"}").ok());
+  JsonValue stats = MustParse(client.ReadLine().value());
+  const JsonValue* graph = stats.Find("stats")->Find("graph");
+  ASSERT_NE(graph, nullptr);
+  EXPECT_TRUE(graph->Find("read_only")->bool_value());
+  EXPECT_EQ(server_->stats().mutations_error, 1u);
+}
+
+TEST_F(ServerTest, PipelinedMutationsAndQueriesAnswerInOrder) {
+  StartMutableServer();
+  TestClient client(server_->port());
+  ASSERT_TRUE(client.connected());
+  // query, mutation, query pipelined in one burst: the dispatcher must
+  // split the batch into runs yet answer strictly in request order, and
+  // the second query must see the committed epoch.
+  std::string burst;
+  JsonWriter q0;
+  q0.BeginObject();
+  q0.Key("id");
+  q0.Int(0);
+  q0.Key("q");
+  q0.String(kStarQuery);
+  q0.EndObject();
+  burst += std::move(q0).Take();
+  burst += "\n{\"op\":\"add_edge\",\"edge\":\"writes\",\"src\":\"star_0\","
+           "\"dst\":\"paper_pipelined\",\"id\":1}\n";
+  JsonWriter q2;
+  q2.BeginObject();
+  q2.Key("id");
+  q2.Int(2);
+  q2.Key("q");
+  q2.String(kStarQuery);
+  q2.EndObject();
+  burst += std::move(q2).Take();
+  burst.push_back('\n');
+  ASSERT_TRUE(client.SendBytes(burst).ok());
+
+  JsonValue first = MustParse(client.ReadLine().value());
+  EXPECT_EQ(first.Find("id")->AsInt64().value(), 0);
+  ASSERT_TRUE(first.Find("ok")->bool_value());
+  const std::int64_t epoch_before = first.Find("result")
+                                        ->Find("stats")
+                                        ->Find("graph_epoch")
+                                        ->AsInt64()
+                                        .value();
+  JsonValue ack = MustParse(client.ReadLine().value());
+  EXPECT_EQ(ack.Find("id")->AsInt64().value(), 1);
+  ASSERT_TRUE(ack.Find("ok")->bool_value());
+  const std::int64_t committed = ack.Find("epoch")->AsInt64().value();
+  JsonValue second = MustParse(client.ReadLine().value());
+  EXPECT_EQ(second.Find("id")->AsInt64().value(), 2);
+  ASSERT_TRUE(second.Find("ok")->bool_value());
+  const std::int64_t epoch_after = second.Find("result")
+                                       ->Find("stats")
+                                       ->Find("graph_epoch")
+                                       ->AsInt64()
+                                       .value();
+  EXPECT_EQ(epoch_before, 0);
+  EXPECT_GE(committed, 1);
+  EXPECT_EQ(epoch_after, committed);
 }
 
 TEST_F(ServerTest, PipelinedRequestsAnswerInOrder) {

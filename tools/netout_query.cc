@@ -57,11 +57,12 @@ using namespace netout;
 
 void PrintResult(const QueryResult& result) {
   std::printf("%zu candidate(s), %zu reference(s), %.2f ms "
-              "(index hits %zu / misses %zu)\n",
+              "(index hits %zu / misses %zu, epoch %llu)\n",
               result.stats.candidate_count, result.stats.reference_count,
               static_cast<double>(result.stats.total_nanos) / 1e6,
               result.stats.eval.index_hits,
-              result.stats.eval.index_misses);
+              result.stats.eval.index_misses,
+              static_cast<unsigned long long>(result.stats.graph_epoch));
   if (result.degraded) {
     std::printf("  DEGRADED (stop reason: %s) — partial best-effort "
                 "result\n",
@@ -83,12 +84,16 @@ void PrintCacheStats(const CachedIndex* cache, bool to_stderr) {
   const CachedIndex::Stats stats = cache->stats();
   std::fprintf(to_stderr ? stderr : stdout,
                "cache: %llu hits, %llu misses, %llu insertions, "
-               "%llu evictions, %llu rejected-too-large\n",
+               "%llu evictions, %llu rejected-too-large, "
+               "%llu invalidated, %llu stale-lookups, %llu stale-inserts\n",
                static_cast<unsigned long long>(stats.hits),
                static_cast<unsigned long long>(stats.misses),
                static_cast<unsigned long long>(stats.insertions),
                static_cast<unsigned long long>(stats.evictions),
-               static_cast<unsigned long long>(stats.rejected_too_large));
+               static_cast<unsigned long long>(stats.rejected_too_large),
+               static_cast<unsigned long long>(stats.invalidated),
+               static_cast<unsigned long long>(stats.stale_lookups),
+               static_cast<unsigned long long>(stats.stale_inserts));
 }
 
 }  // namespace

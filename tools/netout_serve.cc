@@ -5,7 +5,7 @@
 //                [--no-merge] [--timeout-ms=N] [--memory-budget-mb=N]
 //                [--max-sessions=N] [--shed-backlog=N]
 //                [--shed-timeout-ms=N] [--max-backlog=N]
-//                [--no-remote-shutdown]
+//                [--no-remote-shutdown] [--read-only]
 //
 // Loads the HIN and indexes once, binds HOST:PORT (port 0 = ephemeral;
 // the bound port is announced on stdout as "listening on HOST:PORT")
@@ -21,6 +21,14 @@
 // SIGINT/SIGTERM trip the server's drain token, so in-flight queries
 // resolve as degraded partials, responses flush, and the process exits
 // cleanly.
+//
+// Mutations: by default the daemon accepts the add_vertex / add_edge /
+// delete_edge verbs — each commit publishes a new graph epoch, the
+// loaded PM/SPM indexes are delta-patched, and the cache is invalidated
+// by key, so streaming ingest and queries interleave on one daemon.
+// --read-only disables the mutation verbs (kFailedPrecondition).
+// Mutations live in the serving process only; flatten-and-save is a
+// separate offline step (the on-disk GRAPH.hin is never touched).
 
 #include <csignal>
 #include <cstdio>
@@ -54,12 +62,12 @@ int main(int argc, char** argv) {
       "[--cache[=MB]] [--host=ADDR] [--port=N] [--threads=N] "
       "[--no-merge] [--timeout-ms=N] [--memory-budget-mb=N] "
       "[--max-sessions=N] [--shed-backlog=N] [--shed-timeout-ms=N] "
-      "[--max-backlog=N] [--no-remote-shutdown]\n";
+      "[--max-backlog=N] [--no-remote-shutdown] [--read-only]\n";
   const Args args = ParseArgs(
       argc, argv,
       {"pm", "spm", "cache", "host", "port", "threads", "no-merge",
        "timeout-ms", "memory-budget-mb", "max-sessions", "shed-backlog",
-       "shed-timeout-ms", "max-backlog", "no-remote-shutdown"},
+       "shed-timeout-ms", "max-backlog", "no-remote-shutdown", "read-only"},
       kUsage);
   if (args.positional.size() != 1) {
     std::fprintf(stderr, "%s", kUsage);
@@ -110,7 +118,19 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(args.GetInt("max-backlog", 0));
   options.allow_remote_shutdown = !args.Has("no-remote-shutdown");
 
-  Server server(hin, engine_options, options, cache.get());
+  // The mutation manager wants the root graph; MutationContext wires it
+  // to the loaded indexes so commits keep them delta-patched.
+  std::unique_ptr<MutableHin> mutable_hin;
+  MutationContext mutations;
+  if (!args.Has("read-only")) {
+    mutable_hin = std::make_unique<MutableHin>(hin);
+    mutations.graph = mutable_hin.get();
+    mutations.pm = pm.get();
+    mutations.spm = spm.get();
+    mutations.cache = cache.get();
+  }
+
+  Server server(hin, engine_options, options, cache.get(), mutations);
   CheckOk(server.Start(), "start server");
 
   g_server = &server;
