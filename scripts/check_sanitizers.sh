@@ -7,14 +7,18 @@
 #      polled across worker threads / the netout_serve poll-loop <->
 #      dispatcher handoff under concurrent sessions — the server tests
 #      live in the `robustness` label — and the incremental-mutation
-#      layer, where epoch transitions race reader traffic by design).
+#      layer, where epoch transitions race reader traffic by design,
+#      plus the `oocore` sharded-storage label, whose clock residency
+#      manager — Touch / EvictToBudget — races query readers by design).
 #   2. AddressSanitizer build -> `cache`+`robustness`+`kernels`+
-#      `incremental`-labelled tests (the CachedIndex pinned-lookup
-#      lifetime contract, degraded partial results, the server's
-#      untrusted-byte framing layer, the SIMD kernel property tests,
-#      whose raw-pointer merge loops must never read past a buffer, and
-#      keyed invalidation, whose dropped payloads must outlive any
-#      reader still pinning them).
+#      `incremental`+`oocore`-labelled tests (the CachedIndex
+#      pinned-lookup lifetime contract, degraded partial results, the
+#      server's untrusted-byte framing layer, the SIMD kernel property
+#      tests, whose raw-pointer merge loops must never read past a
+#      buffer, keyed invalidation, whose dropped payloads must outlive
+#      any reader still pinning them, and the segment loader's
+#      hostile-file sweep, where every mmapped span must stay in bounds
+#      through eviction and corrupt-input unwind).
 #   3. UndefinedBehaviorSanitizer build -> the full test suite
 #      (halt-on-UB: the build uses -fno-sanitize-recover so any signed
 #      overflow / bad shift / misaligned access fails its test).
@@ -42,12 +46,12 @@ build "${TSAN_BUILD_DIR}" thread
 # halt_on_error so a data race fails the test run instead of scrolling by.
 TSAN_OPTIONS="halt_on_error=1" \
   ctest --test-dir "${TSAN_BUILD_DIR}" \
-  -L 'concurrency|cache|planner|robustness|incremental' \
+  -L 'concurrency|cache|planner|robustness|incremental|oocore' \
   --output-on-failure -j "${JOBS}"
 
 build "${ASAN_BUILD_DIR}" address
 ctest --test-dir "${ASAN_BUILD_DIR}" \
-  -L 'cache|robustness|kernels|incremental' \
+  -L 'cache|robustness|kernels|incremental|oocore' \
   --output-on-failure -j "${JOBS}"
 
 build "${UBSAN_BUILD_DIR}" undefined

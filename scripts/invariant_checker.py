@@ -21,11 +21,13 @@ Checked invariants (DESIGN.md §12):
      line or the line above.
   4. No Hin::Adjacency() call outside src/graph/hin.{h,cc} and the
      base-graph serializer src/graph/io.cc. Adjacency() hands out the
-     whole CSR and ABORTS on epoch-overlay snapshots (src/graph/delta.*);
-     every traversal must read per-row via StepRow()/StepSketch(), which
-     all snapshots support. A call site that provably only ever sees
-     base graphs can carry `// invariant: base-only <why>` on its line
-     or the line above.
+     whole CSR and ABORTS on epoch-overlay snapshots (src/graph/delta.*)
+     and on sharded graphs (src/graph/segment.*, which keep no whole-CSR
+     arrays at all — rows live in mmapped segment files); every
+     traversal must read per-row via StepRow()/StepSketch(), which all
+     snapshots and both storage modes support. A call site that provably
+     only ever sees in-memory base graphs can carry `// invariant:
+     base-only <why>` on its line or the line above.
 
 Invariants 1, 2 and 4 scan product code (src/ and tools/); tests and
 benches legitimately use raw primitives to orchestrate scenarios.
@@ -166,7 +168,8 @@ def check_cancel_polling(rel_name, text):
 
 def check_overlay_safety(rel_name, text):
     """Returns [(line, message)] for Adjacency() calls: whole-CSR access
-    aborts on overlay snapshots, so traversal must use StepRow()."""
+    aborts on overlay snapshots and on sharded graphs, so traversal
+    must use StepRow()."""
     code = strip_noncode(text)
     findings = []
     lines = text.splitlines()
@@ -179,8 +182,9 @@ def check_overlay_safety(rel_name, text):
             (
                 line,
                 f"{rel_name}:{line}: Hin::Adjacency() aborts on epoch-"
-                "overlay snapshots — read rows via StepRow()/StepSketch(); "
-                "call sites that only ever see base graphs may carry "
+                "overlay snapshots and on sharded graphs — read rows via "
+                "StepRow()/StepSketch(); call sites that only ever see "
+                "in-memory base graphs may carry "
                 "`// invariant: base-only <why>`",
             )
         )

@@ -1,0 +1,62 @@
+#include "common/crc32c.h"
+
+#include <array>
+
+namespace netout {
+namespace {
+
+// Slice-by-8 tables for the reflected Castagnoli polynomial. Table 0 is
+// the classic byte-at-a-time table; table k folds a zero byte k times,
+// letting the hot loop consume 8 input bytes per iteration.
+struct Crc32cTables {
+  std::array<std::array<std::uint32_t, 256>, 8> t{};
+
+  constexpr Crc32cTables() {
+    constexpr std::uint32_t kPoly = 0x82F63B78u;
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+      }
+      t[0][i] = crc;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = t[0][i];
+      for (std::size_t slice = 1; slice < 8; ++slice) {
+        crc = t[0][crc & 0xFFu] ^ (crc >> 8);
+        t[slice][i] = crc;
+      }
+    }
+  }
+};
+
+constexpr Crc32cTables kTables;
+
+}  // namespace
+
+std::uint32_t Crc32cExtend(std::uint32_t crc, const void* data,
+                           std::size_t size) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  // Byte-at-a-time until we can read aligned-ish 8-byte groups. The
+  // slice loop reads bytes individually (no type punning), so alignment
+  // only matters for speed, not correctness — skip the alignment dance.
+  while (size >= 8) {
+    const std::uint32_t low = crc ^ (static_cast<std::uint32_t>(p[0]) |
+                                     static_cast<std::uint32_t>(p[1]) << 8 |
+                                     static_cast<std::uint32_t>(p[2]) << 16 |
+                                     static_cast<std::uint32_t>(p[3]) << 24);
+    crc = kTables.t[7][low & 0xFFu] ^ kTables.t[6][(low >> 8) & 0xFFu] ^
+          kTables.t[5][(low >> 16) & 0xFFu] ^ kTables.t[4][low >> 24] ^
+          kTables.t[3][p[4]] ^ kTables.t[2][p[5]] ^ kTables.t[1][p[6]] ^
+          kTables.t[0][p[7]];
+    p += 8;
+    size -= 8;
+  }
+  while (size-- > 0) {
+    crc = kTables.t[0][(crc ^ *p++) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace netout

@@ -1,0 +1,35 @@
+#ifndef NETOUT_COMMON_CRC32C_H_
+#define NETOUT_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace netout {
+
+/// CRC-32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78) —
+/// the checksum of the sharded graph segment files (graph/segment.h).
+/// Chosen over the snapshot container's FNV-1a because segment payloads
+/// are mmapped and read piecemeal: CRC32C is the storage-industry
+/// convention for exactly that case (iSCSI, ext4, leveldb), with far
+/// better burst-error detection than a multiplicative hash.
+///
+/// Software slice-by-8 implementation; one pass over 1 MB segments at
+/// load time is far off every query hot path, so hardware dispatch is
+/// not worth a second code path.
+
+/// Extends a running CRC-32C with `size` bytes. Start from 0.
+std::uint32_t Crc32cExtend(std::uint32_t crc, const void* data,
+                           std::size_t size);
+
+inline std::uint32_t Crc32c(const void* data, std::size_t size) {
+  return Crc32cExtend(0, data, size);
+}
+
+inline std::uint32_t Crc32c(std::string_view bytes) {
+  return Crc32cExtend(0, bytes.data(), bytes.size());
+}
+
+}  // namespace netout
+
+#endif  // NETOUT_COMMON_CRC32C_H_

@@ -327,10 +327,9 @@ Result<CommitResult> MutableHin::Commit() {
                            : next->patched_reverse_;
     auto it = maps[step.edge_type].find(row);
     if (it != maps[step.edge_type].end()) return *it->second;
-    const Csr& csr = step.direction == Direction::kForward
-                         ? root_->forward_[step.edge_type]
-                         : root_->reverse_[step.edge_type];
-    const std::span<const CsrEntry> span = csr.Row(row);
+    // Root rows go through StepRow (not the CSR arrays directly) so a
+    // mutable overlay works over sharded roots too.
+    const std::span<const CsrEntry> span = root_->StepRow(step, row);
     return std::vector<CsrEntry>(span.begin(), span.end());
   };
 
@@ -459,13 +458,13 @@ Result<CommitResult> MutableHin::Commit() {
       const auto& patched = dir == Direction::kForward
                                 ? next->patched_forward_[e]
                                 : next->patched_reverse_[e];
-      const Csr& csr = dir == Direction::kForward ? root_->forward_[e]
-                                                  : root_->reverse_[e];
+      const EdgeStep step{static_cast<EdgeTypeId>(e), dir};
       std::uint64_t max_entries = 0;
       for (LocalId row = 0; row < sketch.rows; ++row) {
         auto it = patched.find(row);
-        const std::size_t degree =
-            it != patched.end() ? it->second->size() : csr.RowDegree(row);
+        const std::size_t degree = it != patched.end()
+                                       ? it->second->size()
+                                       : root_->StepRow(step, row).size();
         max_entries = std::max<std::uint64_t>(max_entries, degree);
       }
       sketch.max_row_entries = max_entries;

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "graph/delta.h"
+#include "graph/segment.h"
 
 namespace netout {
 
@@ -31,6 +32,15 @@ std::size_t Hin::TotalVertices() const {
 
 std::uint64_t Hin::TotalEdges() const {
   if (overlay_) return overlay_->TotalEdges();
+  if (shards_) {
+    // Sharded roots keep no CSR arrays; the persisted sketches carry
+    // the exact multiplicity totals.
+    std::uint64_t total = 0;
+    for (const AdjacencySketch& sketch : forward_sketch_) {
+      total += sketch.multiplicity;
+    }
+    return total;
+  }
   std::uint64_t total = 0;
   for (const Csr& csr : forward_) {
     total += csr.TotalEdgeCount();
@@ -85,6 +95,9 @@ const Csr& Hin::Adjacency(const EdgeStep& step) const {
   NETOUT_CHECK(overlay_ == nullptr)
       << "Adjacency() is base-only; overlay snapshots must read rows "
          "through StepRow()/Neighbors()";
+  NETOUT_CHECK(shards_ == nullptr)
+      << "Adjacency() is in-memory-only; sharded graphs have no whole-"
+         "CSR arrays — read rows through StepRow()/Neighbors()";
   NETOUT_CHECK(step.edge_type < forward_.size()) << "edge type out of range";
   return step.direction == Direction::kForward ? forward_[step.edge_type]
                                                : reverse_[step.edge_type];
@@ -93,7 +106,7 @@ const Csr& Hin::Adjacency(const EdgeStep& step) const {
 std::span<const CsrEntry> Hin::StepRow(const EdgeStep& step,
                                        LocalId row) const {
   const Hin& root = base_ ? *base_ : *this;
-  NETOUT_CHECK(step.edge_type < root.forward_.size())
+  NETOUT_CHECK(step.edge_type < root.schema_.num_edge_types())
       << "edge type out of range";
   if (overlay_) {
     if (const std::vector<CsrEntry>* patched =
@@ -101,6 +114,10 @@ std::span<const CsrEntry> Hin::StepRow(const EdgeStep& step,
       return std::span<const CsrEntry>(patched->data(), patched->size());
     }
   }
+  // Sharded roots answer from the mapped segments; SegmentStore::Row is
+  // bitwise what the in-memory Csr row would hold (logical ids, sorted,
+  // coalesced) and returns {} for out-of-range rows like Csr::Row.
+  if (root.shards_) return root.shards_->Row(step, row);
   const Csr& csr = step.direction == Direction::kForward
                        ? root.forward_[step.edge_type]
                        : root.reverse_[step.edge_type];
@@ -160,6 +177,7 @@ std::size_t Hin::MemoryBytes() const {
   }
   for (const Csr& csr : forward_) bytes += csr.MemoryBytes();
   for (const Csr& csr : reverse_) bytes += csr.MemoryBytes();
+  if (shards_) bytes += shards_->MemoryBytes();
   bytes += (forward_sketch_.capacity() + reverse_sketch_.capacity()) *
            sizeof(AdjacencySketch);
   return bytes;

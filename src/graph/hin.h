@@ -15,6 +15,8 @@
 namespace netout {
 
 class GraphDelta;
+class SegmentStore;
+struct ShardedOptions;
 
 /// Degree-sum sketch of one stored adjacency direction, computed once at
 /// graph build (and persisted in the binary snapshot) so the query
@@ -74,6 +76,18 @@ class Hin {
   /// The delta overlay, or null for a root graph.
   const GraphDelta* overlay() const { return overlay_.get(); }
 
+  /// True when the (root) adjacency is served from mmapped shard
+  /// segments (segment.h) instead of in-memory CSR arrays. Orthogonal
+  /// to has_overlay(): an overlay can sit on a sharded root.
+  bool is_sharded() const { return shard_store() != nullptr; }
+
+  /// The segment store backing a sharded graph (possibly through an
+  /// overlay), or null for in-memory storage. For residency telemetry;
+  /// adjacency reads go through StepRow/Neighbors as always.
+  const SegmentStore* shard_store() const {
+    return base_ ? base_->shards_.get() : shards_.get();
+  }
+
   /// Number of vertices of `type`.
   std::size_t NumVertices(TypeId type) const;
 
@@ -93,9 +107,11 @@ class Hin {
   Result<VertexRef> FindVertex(std::string_view type_name,
                                std::string_view name) const;
 
-  /// Adjacency rows for one resolved meta-path hop. Base-only: aborts
-  /// on overlay snapshots, whose rows may be patched row-by-row — use
-  /// StepRow (or Neighbors), which every traversal-path caller does.
+  /// Adjacency rows for one resolved meta-path hop. In-memory-base
+  /// only: aborts on overlay snapshots (rows may be patched row-by-row)
+  /// and on sharded graphs (rows live in mapped segments, there is no
+  /// whole-CSR array) — use StepRow (or Neighbors), which every
+  /// traversal-path caller does.
   const Csr& Adjacency(const EdgeStep& step) const;
 
   /// One adjacency row of the step, overlay-aware: a patched row when
@@ -123,6 +139,8 @@ class Hin {
       std::string_view path);
   friend Result<std::shared_ptr<const Hin>> FlattenHin(
       const std::shared_ptr<const Hin>& hin);
+  friend Result<std::shared_ptr<const Hin>> LoadShardedHin(
+      std::string_view dir, const ShardedOptions& options);
 
   Hin() = default;
 
@@ -136,6 +154,11 @@ class Hin {
   /// delegate to `base_` + `overlay_`.
   std::shared_ptr<const Hin> base_;
   std::shared_ptr<const GraphDelta> overlay_;
+
+  /// Mapped-segment adjacency backing (segment.h), set only on sharded
+  /// roots; forward_/reverse_ stay empty then and StepRow dispatches
+  /// here. Sketches and name tables are always in-memory.
+  std::shared_ptr<const SegmentStore> shards_;
 
   Schema schema_;
   // names_[type][local] is the vertex name; name_index_[type] maps

@@ -154,8 +154,9 @@ Status SaveHinBinary(const Hin& hin, std::string_view path) {
   }
   for (EdgeTypeId e = 0; e < schema.num_edge_types(); ++e) {
     const EdgeStep step{e, Direction::kForward};
-    if (!hin.has_overlay()) {
-      // Root graphs stream the CSR arrays directly, copy-free.
+    if (!hin.has_overlay() && !hin.is_sharded()) {
+      // In-memory root graphs stream the CSR arrays directly,
+      // copy-free; overlay and sharded snapshots fold below.
       const Csr& csr = hin.Adjacency(step);
       AppendU64(&payload, csr.num_rows());
       AppendU64(&payload, csr.num_entries());
@@ -166,7 +167,7 @@ Status SaveHinBinary(const Hin& hin, std::string_view path) {
       }
       continue;
     }
-    // Overlay snapshots: fold patched rows into contiguous arrays. The
+    // Overlay/sharded snapshots: fold rows into contiguous arrays. The
     // result is byte-identical to saving the flattened rebuild.
     const EdgeTypeInfo& info = schema.edge_type(e);
     const std::size_t rows = hin.NumVertices(info.src);

@@ -1,0 +1,187 @@
+#ifndef NETOUT_GRAPH_SEGMENT_H_
+#define NETOUT_GRAPH_SEGMENT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/sync.h"
+#include "graph/hin.h"
+
+namespace netout {
+
+/// Out-of-core sharded graph storage (DESIGN.md §15).
+///
+/// A shard directory holds each relation's CSR partitioned by
+/// source-vertex range into checksummed segment files that are
+/// memory-mapped read-only and paged in on demand, so a graph larger
+/// than RAM serves queries under a fixed `--graph-budget-mb` cap. The
+/// whole mode hides behind `Hin::StepRow`/`StepSketch`: traversal,
+/// PM/SPM build, and the planner never learn which storage answered.
+///
+/// Layout of one segment file (`e<edge>_<f|r>_<seq>.seg`), all fields
+/// little-endian:
+///
+///   header (64 bytes):
+///     magic           "NOUTSEG1" (8)
+///     u32 version     1
+///     u32 crc32c      CRC-32C of the payload bytes
+///     u32 edge_type
+///     u32 direction   0 forward / 1 reverse
+///     u64 row_begin   first physical row of this segment
+///     u64 row_count
+///     u64 entry_count
+///     u64 payload_bytes  == (row_count + 1) * 8 + entry_count * 8
+///     u64 reserved    0
+///   payload:
+///     u64 offsets[row_count + 1]   segment-relative, offsets[0] == 0
+///     CsrEntry entries[entry_count]  {u32 neighbor, u32 count}
+///
+/// Neighbor ids in entries are *logical* LocalIds. Degree-ordered
+/// renumbering is purely physical: a persisted per-relation permutation
+/// maps logical row -> physical placement, so external ids (and the
+/// tie-break order of SelectTopK, which breaks on candidate index) are
+/// byte-for-byte unaffected by renumbering. That is what makes the
+/// oocore equivalence gate hold by construction.
+///
+/// The manifest (`MANIFEST.nshd`, standard netout container with magic
+/// "NOUTSHD1") records schema, vertex names, adjacency sketches, the
+/// per-relation permutations, and per-segment {row range, entry count,
+/// payload bytes, CRC}. Durability ordering at build time: every
+/// segment is written + fsynced, the directory is fsynced, and only
+/// then is the manifest renamed into place — a crash mid-build can
+/// never leave a manifest pointing at missing or partial segments.
+
+class SegmentStore;
+
+/// Build-time knobs for BuildShardedHin.
+struct ShardWriterOptions {
+  /// Target payload size at which a segment is cut. Small enough that
+  /// eviction granularity tracks the budget, large enough that the
+  /// per-segment residency bookkeeping stays negligible.
+  std::uint64_t target_segment_bytes = std::uint64_t{1} << 20;
+
+  /// Place rows in descending-degree order (ties by ascending logical
+  /// id) so the hot skewed rows of a metapath workload share pages.
+  /// Purely physical — logical ids are unchanged either way.
+  bool renumber = true;
+};
+
+/// Load-time knobs for LoadShardedHin.
+struct ShardedOptions {
+  /// Advisory residency cap over segment payload bytes; 0 = unlimited.
+  /// Enforced at segment granularity with a clock (second-chance)
+  /// sweep that madvise(MADV_DONTNEED)s cold segments.
+  std::uint64_t budget_bytes = 0;
+
+  /// Verify each segment's CRC-32C on load (one sequential pass; the
+  /// pages are dropped again afterwards when a budget is set).
+  bool verify_checksums = true;
+};
+
+/// Residency telemetry surfaced in STATS and EXPLAIN PLAN.
+struct ShardedStorageStats {
+  std::uint64_t budget_bytes = 0;     // 0 = unlimited
+  std::uint64_t mapped_bytes = 0;     // total payload bytes on disk
+  std::uint64_t resident_bytes = 0;   // payload bytes of resident segments
+  std::uint64_t segments = 0;
+  std::uint64_t resident_segments = 0;
+  std::uint64_t faults = 0;           // segment transitions cold -> resident
+  std::uint64_t evictions = 0;        // clock evictions (DONTNEED issued)
+};
+
+/// Writes `hin` as a shard directory at `dir` (created if missing).
+/// Works for root, overlay, and already-sharded snapshots — rows are
+/// folded through StepRow, so the emitted segments always describe the
+/// flattened graph at the snapshot's epoch.
+Status BuildShardedHin(const Hin& hin, std::string_view dir,
+                       const ShardWriterOptions& options = {});
+
+/// Opens a shard directory as a Hin whose adjacency is answered from
+/// the mapped segments. Every on-disk size, offset, id, and range is
+/// treated as untrusted and validated before first dereference;
+/// corrupt or truncated inputs return kCorruption, never crash.
+Result<HinPtr> LoadShardedHin(std::string_view dir,
+                              const ShardedOptions& options = {});
+
+/// The mapped-segment backing of a sharded Hin: owns the mmapped files
+/// and the clock residency manager. Reached via Hin::shard_store();
+/// queries never touch it directly.
+class SegmentStore {
+ public:
+  ~SegmentStore();
+
+  SegmentStore(const SegmentStore&) = delete;
+  SegmentStore& operator=(const SegmentStore&) = delete;
+
+  /// One adjacency row (logical ids in, logical neighbor ids out).
+  /// Sorted ascending by neighbor, duplicates coalesced — bitwise what
+  /// the in-memory Csr row holds. Empty when `row` is out of range.
+  /// Thread-safe; the returned span stays valid for the store's
+  /// lifetime (eviction only drops pages, never unmaps).
+  std::span<const CsrEntry> Row(const EdgeStep& step, LocalId row) const;
+
+  /// Point-in-time residency counters.
+  ShardedStorageStats Stats() const;
+
+  /// Bookkeeping heap bytes plus currently-resident payload bytes.
+  std::size_t MemoryBytes() const;
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  friend Result<HinPtr> LoadShardedHin(std::string_view dir,
+                                       const ShardedOptions& options);
+
+  struct Segment {
+    std::uint64_t row_begin = 0;  // physical
+    std::uint64_t row_count = 0;
+    std::uint64_t entry_count = 0;
+    std::uint64_t payload_bytes = 0;
+    std::uint32_t crc = 0;
+    // Whole-file mapping (header + payload), PROT_READ MAP_PRIVATE.
+    const unsigned char* map_base = nullptr;
+    std::size_t map_bytes = 0;
+    const std::uint64_t* offsets = nullptr;  // row_count + 1 entries
+    const CsrEntry* entries = nullptr;
+    // Residency is advisory accounting at segment granularity: an
+    // evicted segment's pages refault transparently on next access.
+    mutable std::atomic<bool> resident{false};
+    mutable std::atomic<bool> referenced{false};  // clock second chance
+  };
+
+  struct Relation {
+    std::uint64_t rows = 0;
+    std::vector<std::uint32_t> perm;  // logical -> physical; empty = id
+    std::vector<std::unique_ptr<Segment>> segments;  // contiguous ranges
+    std::vector<std::uint64_t> seg_starts;  // segments[i]->row_begin
+  };
+
+  SegmentStore() = default;
+
+  /// Marks the segment referenced/resident and triggers a clock sweep
+  /// when the budget is exceeded.
+  void Touch(const Segment& seg) const NETOUT_EXCLUDES(evict_mu_);
+  void EvictToBudget() const NETOUT_EXCLUDES(evict_mu_);
+
+  std::string dir_;
+  std::uint64_t budget_bytes_ = 0;
+  // relations_[2 * edge_type + (direction == kReverse)]
+  std::vector<Relation> relations_;
+  std::vector<const Segment*> all_segments_;  // clock sweep order
+
+  mutable std::atomic<std::uint64_t> resident_bytes_{0};
+  mutable std::atomic<std::uint64_t> faults_{0};
+  mutable std::atomic<std::uint64_t> evictions_{0};
+  mutable Mutex evict_mu_;
+  mutable std::size_t clock_hand_ NETOUT_GUARDED_BY(evict_mu_) = 0;
+};
+
+}  // namespace netout
+
+#endif  // NETOUT_GRAPH_SEGMENT_H_

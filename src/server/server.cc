@@ -22,6 +22,7 @@
 #include "common/json.h"
 #include "common/sync.h"
 #include "graph/delta.h"
+#include "graph/segment.h"
 #include "index/incremental.h"
 #include "query/batch.h"
 
@@ -1027,6 +1028,19 @@ struct Server::Impl {
     snap.index_patch_failures =
         counters.index_patch_failures.load(std::memory_order_relaxed);
     snap.graph_epoch = counters.graph_epoch.load(std::memory_order_relaxed);
+    // The segment store lives on the root graph, which every published
+    // overlay shares, so any snapshot reaches the same counters.
+    if (const SegmentStore* store = CurrentSnapshot()->shard_store()) {
+      const ShardedStorageStats storage = store->Stats();
+      snap.storage_sharded = true;
+      snap.storage_budget_bytes = storage.budget_bytes;
+      snap.storage_mapped_bytes = storage.mapped_bytes;
+      snap.storage_resident_bytes = storage.resident_bytes;
+      snap.storage_segments = storage.segments;
+      snap.storage_resident_segments = storage.resident_segments;
+      snap.storage_faults = storage.faults;
+      snap.storage_evictions = storage.evictions;
+    }
     snap.bytes_read = counters.bytes_read.load(std::memory_order_relaxed);
     snap.bytes_written = counters.bytes_written.load(std::memory_order_relaxed);
     snap.latency_count =
@@ -1112,6 +1126,27 @@ struct Server::Impl {
     json.Uint(snap.index_rows_patched);
     json.Key("index_patch_failures");
     json.Uint(snap.index_patch_failures);
+    json.EndObject();
+    json.Key("storage");
+    json.BeginObject();
+    json.Key("sharded");
+    json.Bool(snap.storage_sharded);
+    if (snap.storage_sharded) {
+      json.Key("budget_bytes");
+      json.Uint(snap.storage_budget_bytes);
+      json.Key("mapped_bytes");
+      json.Uint(snap.storage_mapped_bytes);
+      json.Key("resident_bytes");
+      json.Uint(snap.storage_resident_bytes);
+      json.Key("segments");
+      json.Uint(snap.storage_segments);
+      json.Key("resident_segments");
+      json.Uint(snap.storage_resident_segments);
+      json.Key("faults");
+      json.Uint(snap.storage_faults);
+      json.Key("evictions");
+      json.Uint(snap.storage_evictions);
+    }
     json.EndObject();
     json.Key("plan");
     json.BeginObject();

@@ -109,6 +109,16 @@ struct ServerStatsSnapshot {
   /// a non-zero count means the fast path is silently eroding.
   std::uint64_t index_patch_failures = 0;
   std::uint64_t graph_epoch = 0;
+  /// Sharded-storage residency (segment.h); all zero when the graph is
+  /// served from memory.
+  bool storage_sharded = false;
+  std::uint64_t storage_budget_bytes = 0;
+  std::uint64_t storage_mapped_bytes = 0;
+  std::uint64_t storage_resident_bytes = 0;
+  std::uint64_t storage_segments = 0;
+  std::uint64_t storage_resident_segments = 0;
+  std::uint64_t storage_faults = 0;
+  std::uint64_t storage_evictions = 0;
   std::uint64_t bytes_read = 0;
   std::uint64_t bytes_written = 0;
   std::uint64_t latency_count = 0;

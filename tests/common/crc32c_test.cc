@@ -1,0 +1,80 @@
+#include "common/crc32c.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace netout {
+namespace {
+
+TEST(Crc32cTest, KnownVectors) {
+  // The RFC 3720 check value every CRC-32C implementation must hit.
+  EXPECT_EQ(Crc32c("123456789"), 0xE3069283u);
+  EXPECT_EQ(Crc32c(""), 0x00000000u);
+  // 32 zero bytes and 32 0xFF bytes (iSCSI test vectors).
+  const std::string zeros(32, '\0');
+  EXPECT_EQ(Crc32c(zeros), 0x8A9136AAu);
+  const std::string ones(32, '\xff');
+  EXPECT_EQ(Crc32c(ones), 0x62A8AB43u);
+  // 0x00..0x1F ascending (iSCSI test vector).
+  std::string ascending;
+  for (int i = 0; i < 32; ++i) ascending.push_back(static_cast<char>(i));
+  EXPECT_EQ(Crc32c(ascending), 0x46DD794Eu);
+}
+
+TEST(Crc32cTest, ExtendIsEquivalentToOneShot) {
+  std::string bytes;
+  for (int i = 0; i < 1000; ++i) {
+    bytes.push_back(static_cast<char>((i * 131) ^ (i >> 3)));
+  }
+  const std::uint32_t whole = Crc32c(bytes);
+  // Every split point, including the empty prefix/suffix and splits
+  // that misalign the slice-by-8 inner loop.
+  for (const std::size_t split : {std::size_t{0}, std::size_t{1},
+                                  std::size_t{7}, std::size_t{8},
+                                  std::size_t{9}, std::size_t{500},
+                                  std::size_t{999}, bytes.size()}) {
+    std::uint32_t crc = Crc32cExtend(0, bytes.data(), split);
+    crc = Crc32cExtend(crc, bytes.data() + split, bytes.size() - split);
+    EXPECT_EQ(crc, whole) << "split at " << split;
+  }
+}
+
+TEST(Crc32cTest, DetectsSingleBitFlips) {
+  std::string bytes(64, '\0');
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    bytes[i] = static_cast<char>(i * 37);
+  }
+  const std::uint32_t clean = Crc32c(bytes);
+  for (std::size_t byte = 0; byte < bytes.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string flipped = bytes;
+      flipped[byte] = static_cast<char>(flipped[byte] ^ (1 << bit));
+      EXPECT_NE(Crc32c(flipped), clean)
+          << "missed flip at byte " << byte << " bit " << bit;
+    }
+  }
+}
+
+TEST(Crc32cTest, UnalignedStartsMatchAlignedStarts) {
+  // The hot loop reads byte-at-a-time, so any start alignment must give
+  // the same answer for the same logical bytes.
+  std::vector<unsigned char> buffer(128);
+  for (std::size_t i = 0; i < buffer.size(); ++i) {
+    buffer[i] = static_cast<unsigned char>(i ^ 0x5A);
+  }
+  for (std::size_t shift = 0; shift < 8; ++shift) {
+    // Same logical bytes, once read from an offset pointer into the
+    // original buffer and once from an aligned fresh allocation.
+    std::vector<unsigned char> aligned(buffer.begin() + shift,
+                                       buffer.begin() + shift + 64);
+    EXPECT_EQ(Crc32c(buffer.data() + shift, 64),
+              Crc32c(aligned.data(), 64))
+        << "shift " << shift;
+  }
+}
+
+}  // namespace
+}  // namespace netout

@@ -1,8 +1,12 @@
 #include "graph/delta.h"
 
+#include <cstdio>
+#include <filesystem>
+
 #include <gtest/gtest.h>
 
 #include "graph/builder.h"
+#include "graph/io.h"
 
 namespace netout {
 namespace {
@@ -338,6 +342,47 @@ TEST_F(DeltaFixture, MutableHinRequiresARootGraph) {
   ASSERT_TRUE(graph.AddEdge("writes", "Liam", "P2").ok());
   const HinPtr overlay = graph.Commit().value().snapshot.hin;
   EXPECT_DEATH(MutableHin{overlay}, "");
+}
+
+TEST_F(DeltaFixture, SaveHinOnOverlaySnapshotsRoundTrips) {
+  // Regression gate for the snapshot-I/O sweep: SaveHinBinary /
+  // SaveHinText on an epoch-N overlay must fold rows through StepRow
+  // (the overlay has no contiguous root arrays to block-copy), not
+  // abort or silently persist the stale root adjacency.
+  MutableHin graph(root_);
+  ASSERT_TRUE(graph.AddEdge("writes", "Liam", "P2").ok());
+  ASSERT_TRUE(graph.DeleteEdge("writes", "Ava", "P1").ok());
+  ASSERT_TRUE(graph
+                  .AddEdge("published_in", "P3", "KDD", /*count=*/2,
+                           /*create_vertices=*/true)
+                  .ok());
+  ASSERT_TRUE(graph.Commit().ok());
+  ASSERT_TRUE(graph.DeleteVertex("author", "Ava").ok());
+  ASSERT_TRUE(graph.Commit().ok());
+  const HinPtr overlay = graph.Snapshot().hin;
+  ASSERT_TRUE(overlay->has_overlay());
+
+  const std::string base =
+      (std::filesystem::temp_directory_path() / "netout_delta_save")
+          .string();
+  const std::string bin_path = base + ".hin";
+  const std::string text_path = base + ".txt";
+  ASSERT_TRUE(SaveHinBinary(*overlay, bin_path).ok());
+  ASSERT_TRUE(SaveHinText(*overlay, text_path).ok());
+
+  // The binary snapshot preserves local ids, so the reload must be
+  // bitwise the overlay view (tombstones flatten to isolated vertices).
+  const HinPtr reloaded = LoadHinBinary(bin_path).value();
+  EXPECT_FALSE(reloaded->has_overlay());
+  ExpectSameAdjacency(overlay, reloaded);
+  EXPECT_EQ(reloaded->TotalEdges(), overlay->TotalEdges());
+
+  // The text form renumbers; check the edge multiset size survived.
+  const HinPtr from_text = LoadHinText(text_path).value();
+  EXPECT_EQ(from_text->TotalEdges(), overlay->TotalEdges());
+
+  std::remove(bin_path.c_str());
+  std::remove(text_path.c_str());
 }
 
 }  // namespace

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # End-to-end smoke test of the command-line tools:
 # generate -> index (PM + SPM) -> query (plain / indexed / json /
-# explain / progressive / batch file).
+# explain / progressive / batch file) -> shard (build / verify /
+# budgeted out-of-core query identity).
 set -euo pipefail
 
 TOOLS_DIR="$1"
@@ -110,5 +111,30 @@ grep -q "deadline" "$WORK_DIR/q_deadline_err.log"
 top_limits=$(grep ' 1\.' "$WORK_DIR/q_limits.log" | head -1 | awk '{print $2}')
 [ "$top_base" = "$top_limits" ]
 ! grep -q "DEGRADED" "$WORK_DIR/q_limits.log"
+
+# Out-of-core sharding: build a segment directory, verify its
+# checksums, and query it — under a 1 MB residency budget — with the
+# same answer as the in-memory snapshot.
+SHARDS="$WORK_DIR/smoke.shards"
+"$TOOLS_DIR/netout_shard" build "$GRAPH" "$SHARDS" --segment-kb=64 \
+    > "$WORK_DIR/shard_build.log"
+grep -q "sharded .* segment(s)" "$WORK_DIR/shard_build.log"
+test -f "$SHARDS/MANIFEST.nshd"
+"$TOOLS_DIR/netout_shard" verify "$SHARDS" > "$WORK_DIR/shard_verify.log"
+grep -q "verify OK" "$WORK_DIR/shard_verify.log"
+"$TOOLS_DIR/netout_query" "$SHARDS" --graph-budget-mb=1 \
+    --query="$QUERY" > "$WORK_DIR/q_shard.log"
+top_shard=$(grep ' 1\.' "$WORK_DIR/q_shard.log" | head -1 | awk '{print $2}')
+[ "$top_base" = "$top_shard" ]
+grep -q "storage: sharded" "$WORK_DIR/q_shard.log"
+# A corrupted segment must be refused, not served.
+seg=$(ls "$SHARDS"/*.seg | head -1)
+printf 'X' | dd of="$seg" bs=1 seek=100 conv=notrunc status=none
+if "$TOOLS_DIR/netout_shard" verify "$SHARDS" \
+    > "$WORK_DIR/shard_corrupt.log" 2>&1; then
+  echo "expected netout_shard verify to reject a corrupted segment" >&2
+  exit 1
+fi
+grep -qi "corruption" "$WORK_DIR/shard_corrupt.log"
 
 echo "tools smoke test passed"

@@ -102,25 +102,26 @@ int main(int argc, char** argv) {
   using namespace netout::tools;
 
   constexpr const char* kUsage =
-      "usage: netout_query GRAPH.hin --query='...' | "
+      "usage: netout_query GRAPH.hin|SHARD_DIR --query='...' | "
       "--file=FILE [--pm=IDX | --spm=IDX] [--cache[=MB]] "
       "[--threads=N] [--merge] [--explain=VERTEX] "
       "[--explain-plan] [--progressive [--batches=N]] [--json] "
       "[--timeout-ms=N] [--memory-budget-mb=N] "
-      "[--stop-policy=partial|error]\n";
+      "[--stop-policy=partial|error] [--graph-budget-mb=N]\n";
   const Args args = ParseArgs(
       argc, argv,
       {"query", "file", "pm", "spm", "cache", "threads", "merge",
        "explain", "explain-plan", "progressive", "batches", "json",
-       "timeout-ms", "memory-budget-mb", "stop-policy"},
+       "timeout-ms", "memory-budget-mb", "stop-policy",
+       "graph-budget-mb"},
       kUsage);
   if (args.positional.size() != 1 ||
       (!args.Has("query") && !args.Has("file"))) {
     std::fprintf(stderr, "%s", kUsage);
     return 1;
   }
-  const HinPtr hin =
-      UnwrapOrDie(LoadHinBinary(args.positional[0]), "load graph");
+  const HinPtr hin = LoadGraphOrDie(args.positional[0],
+                                    args.GetInt("graph-budget-mb", 0));
 
   std::unique_ptr<PmIndex> pm;
   std::unique_ptr<SpmIndex> spm;
@@ -192,6 +193,7 @@ int main(int argc, char** argv) {
       }
     }
     PrintCacheStats(cache.get(), /*to_stderr=*/false);
+    PrintStorageStats(*hin, /*to_stderr=*/false);
     return 0;
   }
 
@@ -250,6 +252,7 @@ int main(int argc, char** argv) {
     std::printf("\nfinal answer:\n");
     PrintResult(result);
     PrintCacheStats(cache.get(), /*to_stderr=*/false);
+    PrintStorageStats(*hin, /*to_stderr=*/false);
     return 0;
   }
 
@@ -276,6 +279,9 @@ int main(int argc, char** argv) {
     std::printf("%s",
                 RenderPlan(result.plan_ops, /*include_runtime=*/true)
                     .c_str());
+    // The plan annotates index/cache behavior; sharded storage adds a
+    // residency line so paging cost is visible next to operator cost.
+    PrintStorageStats(*hin, /*to_stderr=*/false);
     return 0;
   }
   if (args.Has("json")) {
@@ -284,5 +290,6 @@ int main(int argc, char** argv) {
     PrintResult(result);
   }
   PrintCacheStats(cache.get(), /*to_stderr=*/args.Has("json"));
+  PrintStorageStats(*hin, /*to_stderr=*/args.Has("json"));
   return 0;
 }

@@ -1,8 +1,9 @@
 // netout_serve — resident query daemon over a loaded snapshot.
 //
-//   netout_serve GRAPH.hin [--pm=IDX | --spm=IDX] [--cache[=MB]]
-//                [--host=127.0.0.1] [--port=0] [--threads=2]
-//                [--no-merge] [--timeout-ms=N] [--memory-budget-mb=N]
+//   netout_serve GRAPH.hin|SHARD_DIR [--pm=IDX | --spm=IDX]
+//                [--cache[=MB]] [--host=127.0.0.1] [--port=0]
+//                [--threads=2] [--no-merge] [--timeout-ms=N]
+//                [--memory-budget-mb=N] [--graph-budget-mb=N]
 //                [--max-sessions=N] [--shed-backlog=N]
 //                [--shed-timeout-ms=N] [--max-backlog=N]
 //                [--no-remote-shutdown] [--read-only]
@@ -29,6 +30,11 @@
 // --read-only disables the mutation verbs (kFailedPrecondition).
 // Mutations live in the serving process only; flatten-and-save is a
 // separate offline step (the on-disk GRAPH.hin is never touched).
+//
+// The positional graph may also be a netout_shard directory, served
+// out-of-core through mmap-paged segments; --graph-budget-mb caps the
+// resident segment bytes (STATS reports residency and fault/eviction
+// counters under "storage").
 
 #include <csignal>
 #include <cstdio>
@@ -58,24 +64,26 @@ int main(int argc, char** argv) {
   using namespace netout::tools;
 
   constexpr const char* kUsage =
-      "usage: netout_serve GRAPH.hin [--pm=IDX | --spm=IDX] "
+      "usage: netout_serve GRAPH.hin|SHARD_DIR [--pm=IDX | --spm=IDX] "
       "[--cache[=MB]] [--host=ADDR] [--port=N] [--threads=N] "
       "[--no-merge] [--timeout-ms=N] [--memory-budget-mb=N] "
-      "[--max-sessions=N] [--shed-backlog=N] [--shed-timeout-ms=N] "
-      "[--max-backlog=N] [--no-remote-shutdown] [--read-only]\n";
+      "[--graph-budget-mb=N] [--max-sessions=N] [--shed-backlog=N] "
+      "[--shed-timeout-ms=N] [--max-backlog=N] [--no-remote-shutdown] "
+      "[--read-only]\n";
   const Args args = ParseArgs(
       argc, argv,
       {"pm", "spm", "cache", "host", "port", "threads", "no-merge",
-       "timeout-ms", "memory-budget-mb", "max-sessions", "shed-backlog",
-       "shed-timeout-ms", "max-backlog", "no-remote-shutdown", "read-only"},
+       "timeout-ms", "memory-budget-mb", "graph-budget-mb", "max-sessions",
+       "shed-backlog", "shed-timeout-ms", "max-backlog",
+       "no-remote-shutdown", "read-only"},
       kUsage);
   if (args.positional.size() != 1) {
     std::fprintf(stderr, "%s", kUsage);
     return 1;
   }
 
-  const HinPtr hin =
-      UnwrapOrDie(LoadHinBinary(args.positional[0]), "load graph");
+  const HinPtr hin = LoadGraphOrDie(args.positional[0],
+                                    args.GetInt("graph-budget-mb", 0));
 
   std::unique_ptr<PmIndex> pm;
   std::unique_ptr<SpmIndex> spm;

@@ -1,6 +1,8 @@
 #ifndef NETOUT_TOOLS_TOOL_UTIL_H_
 #define NETOUT_TOOLS_TOOL_UTIL_H_
 
+#include <sys/stat.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -12,6 +14,8 @@
 
 #include "common/result.h"
 #include "common/string_util.h"
+#include "graph/io.h"
+#include "graph/segment.h"
 
 namespace netout::tools {
 
@@ -94,6 +98,51 @@ T UnwrapOrDie(Result<T> result, const char* what) {
     std::exit(1);
   }
   return std::move(result).value();
+}
+
+/// Loads the GRAPH argument as either a binary snapshot (regular file)
+/// or an out-of-core shard directory built by netout_shard (detected
+/// via stat), applying --graph-budget-mb to segment residency in the
+/// sharded case. Both storage modes answer the same Hin interface, so
+/// callers never branch again.
+inline HinPtr LoadGraphOrDie(const std::string& path,
+                             std::int64_t graph_budget_mb) {
+  struct stat st{};
+  if (::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode)) {
+    ShardedOptions options;
+    if (graph_budget_mb > 0) {
+      options.budget_bytes = static_cast<std::uint64_t>(graph_budget_mb)
+                             << 20;
+    }
+    return UnwrapOrDie(LoadShardedHin(path, options), "load sharded graph");
+  }
+  if (graph_budget_mb > 0) {
+    std::fprintf(stderr,
+                 "note: --graph-budget-mb only applies to shard "
+                 "directories; '%s' is an in-memory snapshot\n",
+                 StrEscapeControl(path).c_str());
+  }
+  return UnwrapOrDie(LoadHinBinary(path), "load graph");
+}
+
+/// One-line residency telemetry for sharded graphs (no-op for
+/// in-memory storage). Mirrors the "storage" object in the server's
+/// STATS JSON.
+inline void PrintStorageStats(const Hin& hin, bool to_stderr) {
+  const SegmentStore* store = hin.shard_store();
+  if (store == nullptr) return;
+  const ShardedStorageStats stats = store->Stats();
+  std::fprintf(to_stderr ? stderr : stdout,
+               "storage: sharded, %llu segment(s) (%llu resident), "
+               "budget %.1f MB, resident %.2f MB of %.2f MB mapped, "
+               "%llu fault(s), %llu eviction(s)\n",
+               static_cast<unsigned long long>(stats.segments),
+               static_cast<unsigned long long>(stats.resident_segments),
+               static_cast<double>(stats.budget_bytes) / (1 << 20),
+               static_cast<double>(stats.resident_bytes) / (1 << 20),
+               static_cast<double>(stats.mapped_bytes) / (1 << 20),
+               static_cast<unsigned long long>(stats.faults),
+               static_cast<unsigned long long>(stats.evictions));
 }
 
 }  // namespace netout::tools
